@@ -1,0 +1,99 @@
+//! Benchmarks of the paper's core contribution: CP against Naive-I, and
+//! the lemma ablations, on a fixed synthetic workload (the wall-clock
+//! counterpart of Fig. 6 at criterion precision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crp_bench::exp::centroid_query;
+use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
+use crp_core::{cp, naive_i, CpConfig};
+use crp_data::{uncertain_dataset, UncertainConfig};
+use crp_rtree::RTreeParams;
+use crp_skyline::build_object_rtree;
+use std::hint::black_box;
+
+fn bench_cp(c: &mut Criterion) {
+    let ds = uncertain_dataset(&UncertainConfig {
+        cardinality: 20_000,
+        dim: 3,
+        radius_range: (0.0, 5.0),
+        seed: 0xBE,
+        ..UncertainConfig::default()
+    });
+    let tree = build_object_rtree(&ds, RTreeParams::paper_default(3));
+    let q = centroid_query(&ds);
+    let alpha = 0.6;
+    let ids = select_prsq_non_answers(
+        &ds,
+        &tree,
+        &q,
+        &PrsqSelectionConfig {
+            count: 8,
+            alpha_classify: alpha,
+            alpha_tractability: alpha,
+            min_candidates: 5,
+            max_candidates: 16,
+            max_free_candidates: 11,
+            seed: 3,
+        },
+    );
+    assert!(!ids.is_empty());
+
+    let mut group = c.benchmark_group("cp/refinement");
+    group.bench_function("cp_default", |b| {
+        b.iter(|| {
+            for &id in &ids {
+                black_box(cp(&ds, &tree, &q, id, alpha, &CpConfig::default()).unwrap());
+            }
+        })
+    });
+    for (name, cfg) in [
+        (
+            "cp_no_lemma4",
+            CpConfig {
+                use_lemma4: false,
+                ..CpConfig::default()
+            },
+        ),
+        (
+            "cp_no_lemma5",
+            CpConfig {
+                use_lemma5: false,
+                ..CpConfig::default()
+            },
+        ),
+        (
+            "cp_no_lemma6",
+            CpConfig {
+                use_lemma6: false,
+                ..CpConfig::default()
+            },
+        ),
+        (
+            "cp_probability_bound",
+            CpConfig {
+                use_probability_bound: true,
+                ..CpConfig::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for &id in &ids {
+                    black_box(cp(&ds, &tree, &q, id, alpha, &cfg).unwrap());
+                }
+            })
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("naive_i", |b| {
+        b.iter(|| {
+            for &id in &ids {
+                black_box(naive_i(&ds, &tree, &q, id, alpha, None).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cp);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks of the certain-data algorithm: CR against Naive-II (the
+//! wall-clock counterpart of Fig. 11 at criterion precision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crp_bench::exp::centroid_query;
+use crp_bench::selection::select_rsq_non_answers;
+use crp_core::{cr, naive_ii};
+use crp_data::{certain_dataset, CertainConfig, CertainKind};
+use crp_rtree::RTreeParams;
+use crp_skyline::build_point_rtree;
+use std::hint::black_box;
+
+fn bench_cr(c: &mut Criterion) {
+    let ds = certain_dataset(&CertainConfig {
+        kind: CertainKind::Independent,
+        cardinality: 20_000,
+        dim: 3,
+        seed: 0xBC,
+        ..CertainConfig::default()
+    });
+    let tree = build_point_rtree(&ds, RTreeParams::paper_default(3));
+    let q = centroid_query(&ds);
+    let ids = select_rsq_non_answers(&ds, &tree, &q, 8, 8, Some(16), 4);
+    assert!(!ids.is_empty());
+
+    let mut group = c.benchmark_group("cr/verification");
+    group.bench_function("cr_lemma7", |b| {
+        b.iter(|| {
+            for &id in &ids {
+                black_box(cr(&ds, &tree, &q, id).unwrap());
+            }
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("naive_ii", |b| {
+        b.iter(|| {
+            for &id in &ids {
+                black_box(naive_ii(&ds, &tree, &q, id, None).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cr);
+criterion_main!(benches);

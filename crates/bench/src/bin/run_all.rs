@@ -1,0 +1,50 @@
+//! Runs every experiment binary in sequence, forwarding `--quick` /
+//! `--trials` / `--cardinality`. The binaries live next to this one in
+//! the target directory.
+
+#![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 13] = [
+    "table3_nba",
+    "table4_cardb",
+    "fig6_cp_vs_naive",
+    "fig7_cp_alpha",
+    "fig8_cp_radius",
+    "fig9_cp_dim",
+    "fig10_cp_card",
+    "fig11_cr_vs_naive",
+    "fig12_cr_dim",
+    "fig13_cr_card",
+    "ablation_lemmas",
+    "ablation_filter",
+    "exp_pdf",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a parent directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n########## {name} ##########");
+        let status = Command::new(dir.join(name))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("!! {name} exited with {status}");
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; series written to bench_out/");
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

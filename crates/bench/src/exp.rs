@@ -1,0 +1,206 @@
+//! Shared experiment execution: run an algorithm over a set of selected
+//! non-answers, averaging the paper's two metrics (node accesses and CPU
+//! time) plus refinement counters.
+
+use crate::measure::AggregateStats;
+use crp_core::{cp, cr, naive_i, naive_ii, CpConfig, CrpError, CrpOutcome};
+use crp_geom::Point;
+use crp_rtree::RTree;
+use crp_uncertain::{ObjectId, UncertainDataset};
+use std::time::Instant;
+
+/// Aggregated metrics of one algorithm over a set of non-answers.
+#[derive(Clone, Debug, Default)]
+pub struct MeasuredAlgo {
+    /// R-tree node accesses per non-answer.
+    pub io: AggregateStats,
+    /// Wall-clock milliseconds per non-answer.
+    pub cpu_ms: AggregateStats,
+    /// Candidate causes per non-answer.
+    pub candidates: AggregateStats,
+    /// Candidate contingency sets examined per non-answer.
+    pub subsets: AggregateStats,
+    /// Actual causes found per non-answer.
+    pub causes: AggregateStats,
+    /// Threshold evaluations of Pr(an) per non-answer.
+    pub prsq_evals: AggregateStats,
+    /// Non-answers skipped (budget exhaustion or classification flips).
+    pub skipped: usize,
+}
+
+impl MeasuredAlgo {
+    fn absorb(&mut self, out: &CrpOutcome, ms: f64) {
+        self.io.push(out.stats.query.node_accesses as f64);
+        self.cpu_ms.push(ms);
+        self.candidates.push(out.stats.candidates as f64);
+        self.subsets.push(out.stats.subsets_examined as f64);
+        self.causes.push(out.causes.len() as f64);
+        self.prsq_evals.push(out.stats.prsq_evaluations as f64);
+    }
+}
+
+fn record(
+    agg: &mut MeasuredAlgo,
+    result: Result<CrpOutcome, CrpError>,
+    start: Instant,
+    id: ObjectId,
+) {
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    match result {
+        Ok(out) => agg.absorb(&out, ms),
+        Err(CrpError::BudgetExhausted { .. }) | Err(CrpError::NotANonAnswer { .. }) => {
+            agg.skipped += 1;
+        }
+        Err(e) => panic!("experiment failure on {id}: {e}"),
+    }
+}
+
+/// Runs CP over each non-answer, averaging metrics.
+pub fn run_cp_over(
+    ds: &UncertainDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    ids: &[ObjectId],
+    alpha: f64,
+    config: &CpConfig,
+) -> MeasuredAlgo {
+    let mut agg = MeasuredAlgo::default();
+    for &id in ids {
+        let start = Instant::now();
+        let result = cp(ds, tree, q, id, alpha, config);
+        record(&mut agg, result, start, id);
+    }
+    agg
+}
+
+/// Runs Naive-I over each non-answer.
+pub fn run_naive_i_over(
+    ds: &UncertainDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    ids: &[ObjectId],
+    alpha: f64,
+    max_subsets: Option<u64>,
+) -> MeasuredAlgo {
+    let mut agg = MeasuredAlgo::default();
+    for &id in ids {
+        let start = Instant::now();
+        let result = naive_i(ds, tree, q, id, alpha, max_subsets);
+        record(&mut agg, result, start, id);
+    }
+    agg
+}
+
+/// Runs CR over each non-answer.
+pub fn run_cr_over(
+    ds: &UncertainDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    ids: &[ObjectId],
+) -> MeasuredAlgo {
+    let mut agg = MeasuredAlgo::default();
+    for &id in ids {
+        let start = Instant::now();
+        let result = cr(ds, tree, q, id);
+        record(&mut agg, result, start, id);
+    }
+    agg
+}
+
+/// Runs Naive-II over each non-answer.
+pub fn run_naive_ii_over(
+    ds: &UncertainDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    ids: &[ObjectId],
+    max_subsets: Option<u64>,
+) -> MeasuredAlgo {
+    let mut agg = MeasuredAlgo::default();
+    for &id in ids {
+        let start = Instant::now();
+        let result = naive_ii(ds, tree, q, id, max_subsets);
+        record(&mut agg, result, start, id);
+    }
+    agg
+}
+
+/// A query object at the coordinate-wise centroid of the dataset — a
+/// deterministic, distribution-appropriate query for every family
+/// (uniform, skewed, clustered, …).
+pub fn centroid_query(ds: &UncertainDataset) -> Point {
+    let dim = ds.dim().expect("non-empty dataset");
+    let mut acc = vec![0.0; dim];
+    for o in ds.iter() {
+        let e = o.expectation();
+        for (i, a) in acc.iter_mut().enumerate() {
+            *a += e[i];
+        }
+    }
+    for a in &mut acc {
+        *a /= ds.len() as f64;
+    }
+    Point::new(acc)
+}
+
+/// Tiny argv helper: `--name value`.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Tiny argv helper: presence of `--name`.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Standard output directory for CSV series.
+pub fn out_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("bench_out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{select_prsq_non_answers, PrsqSelectionConfig};
+    use crp_data::{uncertain_dataset, UncertainConfig};
+    use crp_rtree::RTreeParams;
+    use crp_skyline::build_object_rtree;
+
+    #[test]
+    fn cp_and_naive_agree_and_aggregate() {
+        let ds = uncertain_dataset(&UncertainConfig {
+            cardinality: 1_500,
+            dim: 2,
+            radius_range: (0.0, 120.0),
+            seed: 77,
+            ..UncertainConfig::default()
+        });
+        let tree = build_object_rtree(&ds, RTreeParams::paper_default(2));
+        let q = Point::from([5_000.0, 5_000.0]);
+        let ids = select_prsq_non_answers(
+            &ds,
+            &tree,
+            &q,
+            &PrsqSelectionConfig {
+                count: 6,
+                alpha_classify: 0.5,
+                alpha_tractability: 0.5,
+                min_candidates: 1,
+                max_candidates: 12,
+                max_free_candidates: 10,
+                seed: 2,
+            },
+        );
+        assert!(!ids.is_empty());
+        let a = run_cp_over(&ds, &tree, &q, &ids, 0.5, &CpConfig::default());
+        let b = run_naive_i_over(&ds, &tree, &q, &ids, 0.5, Some(5_000_000));
+        assert_eq!(a.io.count(), b.io.count());
+        // Same filter -> identical average node accesses (Fig. 6's claim).
+        assert!((a.io.mean() - b.io.mean()).abs() < 1e-9);
+        // Naive refinement examines at least as many subsets.
+        assert!(b.subsets.mean() >= a.subsets.mean());
+        assert_eq!(a.causes.mean(), b.causes.mean());
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness reproducing the paper's evaluation (Section 5).
+//!
+//! One binary per table/figure (see `src/bin/`); this library holds the
+//! shared machinery:
+//!
+//! * [`selection`] — drawing random non-answers the way the paper does
+//!   ("we select randomly 50 non-answers, and report their average
+//!   performance"), with tractability guards documented in DESIGN.md,
+//! * [`measure`] — wall-clock timing and averaging,
+//! * [`report`] — aligned stdout tables plus CSV files under
+//!   `bench_out/` so the series behind every figure can be re-plotted.
+
+pub mod exp;
+pub mod measure;
+pub mod report;
+pub mod selection;
+
+pub use exp::{
+    arg_flag, arg_value, out_dir, run_cp_over, run_cr_over, run_naive_i_over, run_naive_ii_over,
+    MeasuredAlgo,
+};
+pub use measure::{time, AggregateStats};
+pub use report::{fnum, Table};
+pub use selection::{select_prsq_non_answers, select_rsq_non_answers, PrsqSelectionConfig};

@@ -1,0 +1,97 @@
+//! Timing and aggregation.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and the elapsed wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Running mean/min/max aggregator for per-non-answer measurements.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggregateStats {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let mut a = AggregateStats::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), 0.0);
+        for x in [2.0, 4.0, 9.0] {
+            a.push(x);
+        }
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(a.min(), 2.0);
+        assert_eq!(a.max(), 9.0);
+    }
+}

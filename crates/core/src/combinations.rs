@@ -1,0 +1,147 @@
+//! Streaming k-combination enumeration.
+//!
+//! FMCS examines candidate contingency sets "in the order of their
+//! cardinalities" so that the first valid set found is minimal. This
+//! module provides the inner loop: lexicographic enumeration of all
+//! `k`-subsets of `0..n` with early exit and no per-subset allocation.
+
+/// Calls `f` with each `k`-combination of `0..n` in lexicographic order.
+/// `f` returns `true` to stop the enumeration; the function then returns
+/// `true`. Returns `false` when the enumeration ran to completion.
+///
+/// `k == 0` yields exactly one (empty) combination; `k > n` yields none.
+pub fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize]) -> bool) -> bool {
+    if k > n {
+        return false;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        if f(&idx) {
+            return true;
+        }
+        // Advance to the next lexicographic combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return false;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Number of `k`-combinations of `n` items, saturating at `u128::MAX`.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul((n - i) as u128) {
+            Some(v) => v / (i as u128 + 1),
+            None => return u128::MAX,
+        };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for_each_combination(n, k, |c| {
+            out.push(c.to_vec());
+            false
+        });
+        out
+    }
+
+    #[test]
+    fn empty_combination() {
+        assert_eq!(collect(5, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(collect(0, 0), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn k_greater_than_n_yields_nothing() {
+        assert!(collect(2, 3).is_empty());
+    }
+
+    #[test]
+    fn four_choose_two_lexicographic() {
+        assert_eq!(
+            collect(4, 2),
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+
+    #[test]
+    fn full_combination() {
+        assert_eq!(collect(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn counts_match_binomial() {
+        for n in 0..=10 {
+            for k in 0..=n {
+                assert_eq!(
+                    collect(n, k).len() as u128,
+                    binomial(n, k),
+                    "C({n}, {k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let mut seen = 0;
+        let stopped = for_each_combination(6, 2, |_| {
+            seen += 1;
+            seen == 3
+        });
+        assert!(stopped);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        for c in collect(7, 3) {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        let all = collect(7, 3);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(3, 7), 0);
+        assert_eq!(binomial(200, 100), u128::MAX); // saturates
+    }
+}

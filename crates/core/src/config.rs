@@ -1,0 +1,92 @@
+//! Tuning switches for the CP algorithm.
+
+/// Configuration of the CP refinement phase.
+///
+/// The defaults enable every pruning rule from the paper; the switches
+/// exist for the ablation benchmarks (`ablation_lemmas`) that quantify
+/// what each lemma contributes, and `max_subsets` protects experiment
+/// sweeps from adversarial non-answers whose exact minimal-contingency
+/// search would be astronomically large (the search is NP-hard in
+/// general; the paper's Theorem 1 gives `O(|Cc|·2^|Cc−Ca∪Cb|)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpConfig {
+    /// Lemma 4: objects dominating `q` w.r.t. *every* sample of `an` with
+    /// probability 1 are forced into every contingency set.
+    pub use_lemma4: bool,
+    /// Lemma 5: counterfactual causes are excluded from the contingency
+    /// search space of the remaining candidates.
+    pub use_lemma5: bool,
+    /// Lemma 6: a found minimal contingency set seeds upper bounds (and
+    /// witness sets) for the candidates it contains.
+    pub use_lemma6: bool,
+    /// The `α = 1` fast path of Algorithm 1 (lines 9–11): every candidate
+    /// is a cause with responsibility `1/|Cc|`, skipping refinement.
+    pub alpha_one_fast_path: bool,
+    /// Probability-based branch-and-bound pruning (the paper's "future
+    /// work" extension): skip subset cardinalities that provably cannot
+    /// lift `Pr(an)` to `α` even when removing the most damaging
+    /// candidates.
+    pub use_probability_bound: bool,
+    /// Abort with [`crate::CrpError::BudgetExhausted`] after examining
+    /// this many candidate contingency sets (`None` = unlimited).
+    pub max_subsets: Option<u64>,
+}
+
+impl Default for CpConfig {
+    fn default() -> Self {
+        Self {
+            use_lemma4: true,
+            use_lemma5: true,
+            use_lemma6: true,
+            alpha_one_fast_path: true,
+            use_probability_bound: false,
+            max_subsets: None,
+        }
+    }
+}
+
+impl CpConfig {
+    /// All pruning disabled — the refinement degenerates to Naive-I.
+    pub fn naive() -> Self {
+        Self {
+            use_lemma4: false,
+            use_lemma5: false,
+            use_lemma6: false,
+            alpha_one_fast_path: false,
+            use_probability_bound: false,
+            max_subsets: None,
+        }
+    }
+
+    /// Default configuration with a subset budget.
+    pub fn with_budget(max_subsets: u64) -> Self {
+        Self {
+            max_subsets: Some(max_subsets),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all_lemmas() {
+        let c = CpConfig::default();
+        assert!(c.use_lemma4 && c.use_lemma5 && c.use_lemma6 && c.alpha_one_fast_path);
+        assert!(!c.use_probability_bound);
+        assert_eq!(c.max_subsets, None);
+    }
+
+    #[test]
+    fn naive_disables_all() {
+        let c = CpConfig::naive();
+        assert!(!c.use_lemma4 && !c.use_lemma5 && !c.use_lemma6 && !c.alpha_one_fast_path);
+    }
+
+    #[test]
+    fn budget_constructor() {
+        assert_eq!(CpConfig::with_budget(5).max_subsets, Some(5));
+    }
+}

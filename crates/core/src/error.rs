@@ -1,0 +1,70 @@
+//! Error type shared by the CRP algorithms.
+
+use crp_uncertain::ObjectId;
+use std::fmt;
+
+/// Errors raised by the causality/responsibility computations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrpError {
+    /// The designated object is actually an answer to the query, so the
+    /// non-answer CRP is undefined for it. Carries `Pr(an)` (or 1.0 for
+    /// certain data).
+    NotANonAnswer {
+        /// The object's reverse-skyline probability.
+        prob: f64,
+    },
+    /// The object id does not exist in the dataset.
+    UnknownObject(ObjectId),
+    /// `α` outside `(0, 1]`.
+    InvalidAlpha(f64),
+    /// The dataset holds no objects.
+    EmptyDataset,
+    /// The configured subset-examination budget was exhausted before the
+    /// search completed (see [`crate::CpConfig::max_subsets`]).
+    BudgetExhausted {
+        /// Subsets examined when the budget tripped.
+        examined: u64,
+    },
+    /// CR/Naive-II require certain data (single-sample objects).
+    NotCertainData,
+}
+
+impl fmt::Display for CrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrpError::NotANonAnswer { prob } => {
+                write!(f, "object is an answer (Pr = {prob}); CRP targets non-answers")
+            }
+            CrpError::UnknownObject(id) => write!(f, "object {id} not in the dataset"),
+            CrpError::InvalidAlpha(a) => write!(f, "probability threshold α = {a} not in (0, 1]"),
+            CrpError::EmptyDataset => write!(f, "dataset is empty"),
+            CrpError::BudgetExhausted { examined } => {
+                write!(f, "subset budget exhausted after {examined} candidate sets")
+            }
+            CrpError::NotCertainData => {
+                write!(f, "algorithm requires certain data (single-sample objects)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        for (e, needle) in [
+            (CrpError::NotANonAnswer { prob: 0.9 }, "0.9"),
+            (CrpError::UnknownObject(ObjectId(3)), "#3"),
+            (CrpError::InvalidAlpha(1.5), "1.5"),
+            (CrpError::EmptyDataset, "empty"),
+            (CrpError::BudgetExhausted { examined: 10 }, "10"),
+            (CrpError::NotCertainData, "certain"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

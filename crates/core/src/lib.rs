@@ -1,0 +1,54 @@
+//! Causality and responsibility for (probabilistic) reverse skyline query
+//! non-answers — the primary contribution of Gao, Liu, Chen, Zhou & Zheng
+//! (TKDE 2016).
+//!
+//! Given a non-answer `an` to a query over dataset `P`:
+//!
+//! * an object `p` is an **actual cause** when some *contingency set*
+//!   `Γ ⊆ P` exists with `(P−Γ) ⊭ Q(an)` and `(P−Γ−{p}) ⊨ Q(an)`
+//!   (Definition 1); `Γ = ∅` makes `p` a *counterfactual* cause,
+//! * its **responsibility** is `r(p, an) = 1 / (1 + min_Γ |Γ|)`
+//!   (Definition 2).
+//!
+//! Entry points:
+//!
+//! * [`cp`] — Algorithm 1 (*CP*) for probabilistic reverse skyline
+//!   queries under the discrete-sample model: an R-tree filter over the
+//!   dominance windows of `an`'s samples (Lemma 2), then refinement via
+//!   Lemmas 3–6 with the ascending-cardinality minimal-contingency search
+//!   *FMCS* (Algorithm 2),
+//! * [`cp_pdf`] — the continuous-pdf variant (Section 3.2),
+//! * [`cr`] — the certain-data algorithm *CR* for plain reverse skyline
+//!   queries, which needs no verification at all (Lemma 7),
+//! * [`naive_i`] / [`naive_ii`] — the baselines of Figures 6 and 11,
+//! * [`oracle_cp`] / [`oracle_cr`] — definition-level brute force used by
+//!   the test suites as ground truth,
+//! * [`CpConfig`] — lemma on/off switches and work budgets for the
+//!   ablation experiments.
+
+mod answers;
+mod combinations;
+mod config;
+mod cp;
+mod cr;
+mod error;
+mod kskyband;
+mod matrix;
+mod naive;
+mod oracle;
+mod pdf;
+mod refine;
+mod types;
+
+pub use answers::answer_causes;
+pub use combinations::{binomial, for_each_combination};
+pub use config::CpConfig;
+pub use cp::{collect_candidates, cp, cp_unindexed};
+pub use cr::cr;
+pub use error::CrpError;
+pub use kskyband::cr_kskyband;
+pub use matrix::{DominanceMatrix, PrEvaluator};
+pub use naive::{naive_i, naive_ii};
+pub use oracle::{oracle_cp, oracle_cr, oracle_crp, OracleCause};
+pub use pdf::{build_pdf_rtree, cp_pdf};
+pub use types::{Cause, CrpOutcome, RunStats};

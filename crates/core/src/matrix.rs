@@ -1,0 +1,446 @@
+//! Precomputed dominance probabilities for the refinement phase.
+//!
+//! During refinement, CP evaluates `Pr(an)` on `P − Γ` for many candidate
+//! contingency sets `Γ`. By Lemma 1 (and Lemma 3), only the candidate
+//! causes influence `Pr(an)`, so the evaluation reduces to
+//!
+//! ```text
+//! Pr(an | P − Γ) = Σ_i  w_i · Π_{c ∈ Cc − Γ} (1 − dp[c][i])
+//! ```
+//!
+//! where `w_i` is the appearance weight of `an`'s `i`-th sample (or
+//! discretisation cell, for the pdf model) and `dp[c][i]` is Eq. 3's
+//! probability that candidate `c` dominates `q` w.r.t. that sample. This
+//! struct stores `dp` once so every subset check is a tight loop.
+
+use crp_geom::{Point, PROB_EPSILON};
+use crp_skyline::dominance_probability;
+use crp_uncertain::UncertainDataset;
+
+/// Dominance-probability matrix of one non-answer against its candidate
+/// causes. Rows are candidates (by *candidate index*, the position within
+/// the candidate list); columns are the non-answer's samples/cells.
+#[derive(Clone, Debug)]
+pub struct DominanceMatrix {
+    /// `dp[c * samples + i]`, row-major.
+    dp: Vec<f64>,
+    /// `w_i`: appearance weight per sample/cell of the non-answer.
+    weights: Vec<f64>,
+    candidates: usize,
+}
+
+impl DominanceMatrix {
+    /// Builds the matrix for the discrete-sample model: candidate rows
+    /// are dataset positions `cand_positions`, columns are the samples of
+    /// the object at `an_pos`.
+    pub fn build(
+        ds: &UncertainDataset,
+        an_pos: usize,
+        q: &Point,
+        cand_positions: &[usize],
+    ) -> Self {
+        let an = ds.object_at(an_pos);
+        let samples = an.sample_count();
+        let mut dp = Vec::with_capacity(cand_positions.len() * samples);
+        for &c in cand_positions {
+            let obj = ds.object_at(c);
+            for s in an.samples() {
+                dp.push(dominance_probability(obj, s.point(), q));
+            }
+        }
+        let weights = an.samples().iter().map(|s| s.prob()).collect();
+        Self {
+            dp,
+            weights,
+            candidates: cand_positions.len(),
+        }
+    }
+
+    /// Builds the matrix from raw parts (used by the pdf model, which
+    /// computes `dp` by closed-form box integration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dp.len() != candidates * weights.len()`.
+    pub fn from_parts(dp: Vec<f64>, weights: Vec<f64>, candidates: usize) -> Self {
+        assert_eq!(
+            dp.len(),
+            candidates * weights.len(),
+            "matrix shape mismatch"
+        );
+        Self {
+            dp,
+            weights,
+            candidates,
+        }
+    }
+
+    /// Number of candidate rows.
+    #[inline]
+    pub fn candidates(&self) -> usize {
+        self.candidates
+    }
+
+    /// Number of sample/cell columns.
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `dp[c][i]`.
+    #[inline]
+    pub fn dominance(&self, c: usize, i: usize) -> f64 {
+        self.dp[c * self.weights.len() + i]
+    }
+
+    /// Appearance weight of sample/cell `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// True when candidate `c` dominates `q` w.r.t. every sample with
+    /// probability 1 — the Lemma 4 membership test (`c ∈ Ca`).
+    pub fn forces_zero(&self, c: usize) -> bool {
+        (0..self.samples()).all(|i| self.dominance(c, i) >= 1.0 - PROB_EPSILON)
+    }
+
+    /// True when candidate `c` has any dominating mass at all; rows that
+    /// fail this are not candidates (Lemma 1) and should be filtered out
+    /// before refinement.
+    pub fn has_mass(&self, c: usize) -> bool {
+        (0..self.samples()).any(|i| self.dominance(c, i) > 0.0)
+    }
+
+    /// Weighted total dominance mass of candidate `c` — a heuristic for
+    /// how much removing `c` can lift `Pr(an)`. Used to order the FMCS
+    /// search space so high-impact subsets are tried first (any order is
+    /// correct; this one finds valid sets sooner on deep non-answers).
+    pub fn impact(&self, c: usize) -> f64 {
+        let l = self.weights.len();
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w * self.dp[c * l + i])
+            .sum()
+    }
+
+    /// `Pr(an | P − Γ)` where `removed[c]` marks candidates in `Γ`.
+    pub fn pr_with_removed(&self, removed: &[bool]) -> f64 {
+        debug_assert_eq!(removed.len(), self.candidates);
+        let l = self.weights.len();
+        let mut total = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            let mut survive = w;
+            for (c, &gone) in removed.iter().enumerate() {
+                if gone {
+                    continue;
+                }
+                survive *= 1.0 - self.dp[c * l + i];
+                if survive == 0.0 {
+                    break;
+                }
+            }
+            total += survive;
+        }
+        total
+    }
+
+    /// `Pr(an)` with nothing removed.
+    pub fn pr_full(&self) -> f64 {
+        self.pr_with_removed(&vec![false; self.candidates])
+    }
+
+    /// Builds the incremental evaluator (see [`PrEvaluator`]).
+    pub fn evaluator(&self) -> PrEvaluator<'_> {
+        PrEvaluator::new(self)
+    }
+
+    /// For each subset size `t`, an upper bound on `Pr(an | P − Γ)` over
+    /// all `Γ` with `|Γ| ≤ t` — the probability-based pruning extension.
+    ///
+    /// Per sample `i`, removing `Γ` divides out at most the `t` smallest
+    /// factors `(1 − dp[c][i])`; dropping those factors entirely bounds
+    /// the reachable product from above. Sound because each per-sample
+    /// bound is independent of which `Γ` is chosen.
+    pub fn max_pr_after_removing(&self, t: usize) -> f64 {
+        let l = self.weights.len();
+        let mut total = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            // Collect the factors, keep all but the t smallest.
+            let mut factors: Vec<f64> = (0..self.candidates)
+                .map(|c| 1.0 - self.dp[c * l + i])
+                .collect();
+            factors.sort_by(|a, b| a.partial_cmp(b).expect("finite probabilities"));
+            let prod: f64 = factors.iter().skip(t.min(factors.len())).product();
+            total += w * prod;
+        }
+        total
+    }
+}
+
+/// Incremental `Pr(an | P − Γ)` evaluation for large candidate sets.
+///
+/// The direct evaluation is `O(|Cc| · L)` per contingency-set check; FMCS
+/// on deep non-answers (e.g. the NBA case study, hundreds of candidates)
+/// performs millions of checks. This evaluator precomputes, per sample:
+/// the count of *annihilating* factors (`dp = 1`, product term 0) and the
+/// log-sum of the remaining factors over **all** candidates. A check for
+/// a removal list `Γ` then only walks `Γ`: subtract its annihilator
+/// count and its log-factors — `O(|Γ| · L)`.
+///
+/// Verdicts within `GUARD` of the threshold are re-verified by the exact
+/// direct evaluation, so the log-space rounding (≤ ~1e-12 relative here)
+/// can never flip a classification relative to [`DominanceMatrix::pr_with_removed`].
+pub struct PrEvaluator<'a> {
+    matrix: &'a DominanceMatrix,
+    /// Per (candidate, sample): `ln(1 − dp)` for regular factors, NaN for
+    /// annihilators (`dp ≥ 1 − PROB_EPSILON`).
+    log_factors: Vec<f64>,
+    /// Per sample: number of annihilating candidates.
+    ones: Vec<u32>,
+    /// Per sample: `Σ ln(1 − dp)` over the regular candidates.
+    log_prod: Vec<f64>,
+}
+
+/// Width of the re-verification band around the decision threshold.
+const GUARD: f64 = 1e-6;
+
+impl<'a> PrEvaluator<'a> {
+    fn new(matrix: &'a DominanceMatrix) -> Self {
+        let l = matrix.samples();
+        let n = matrix.candidates();
+        let mut log_factors = vec![f64::NAN; n * l];
+        let mut ones = vec![0u32; l];
+        let mut log_prod = vec![0.0f64; l];
+        for c in 0..n {
+            for i in 0..l {
+                let dp = matrix.dominance(c, i);
+                if dp >= 1.0 - crp_geom::PROB_EPSILON {
+                    ones[i] += 1;
+                } else {
+                    let lf = (1.0 - dp).ln();
+                    log_factors[c * l + i] = lf;
+                    log_prod[i] += lf;
+                }
+            }
+        }
+        Self {
+            matrix,
+            log_factors,
+            ones,
+            log_prod,
+        }
+    }
+
+    /// `Pr(an | P − Γ)` for a removal *list* of candidate indices
+    /// (duplicates not allowed). Exact up to the guard band; use
+    /// [`PrEvaluator::is_answer_with_removed`] for classifications.
+    pub fn pr_with_removed_list(&self, removed: &[usize]) -> f64 {
+        let l = self.matrix.samples();
+        let mut total = 0.0;
+        for i in 0..l {
+            let w = self.matrix.weight(i);
+            let mut ones = self.ones[i];
+            let mut logq = 0.0;
+            for &c in removed {
+                let lf = self.log_factors[c * l + i];
+                if lf.is_nan() {
+                    ones -= 1;
+                } else {
+                    logq += lf;
+                }
+            }
+            if ones == 0 {
+                total += w * (self.log_prod[i] - logq).exp().min(1.0);
+            }
+        }
+        total
+    }
+
+    /// Classifies `Pr(an | P − Γ) ≥ α` (within the shared probability
+    /// tolerance), re-verifying near-threshold values with the exact
+    /// direct evaluation.
+    pub fn is_answer_with_removed(&self, removed: &[usize], alpha: f64) -> bool {
+        let fast = self.pr_with_removed_list(removed);
+        if (fast - alpha).abs() <= GUARD {
+            // Near the decision boundary: recompute exactly.
+            let mut mask = vec![false; self.matrix.candidates()];
+            for &c in removed {
+                mask[c] = true;
+            }
+            return self.matrix.pr_with_removed(&mask) >= alpha - crp_geom::PROB_EPSILON;
+        }
+        fast >= alpha - crp_geom::PROB_EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_uncertain::{ObjectId, UncertainObject};
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    /// an at (10,10) [certain]; q at (5,5); candidates:
+    /// * c0 at (7,7): dominates with prob 1,
+    /// * c1 two samples, one dominating: prob 0.5,
+    /// * c2 far away: prob 0.
+    fn fixture() -> (UncertainDataset, Point) {
+        let ds = UncertainDataset::from_objects(vec![
+            UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+            UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+            UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)])
+                .unwrap(),
+            UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)),
+        ])
+        .unwrap();
+        (ds, pt(5.0, 5.0))
+    }
+
+    #[test]
+    fn matrix_entries() {
+        let (ds, q) = fixture();
+        let m = DominanceMatrix::build(&ds, 0, &q, &[1, 2, 3]);
+        assert_eq!(m.candidates(), 3);
+        assert_eq!(m.samples(), 1);
+        assert!((m.dominance(0, 0) - 1.0).abs() < 1e-12);
+        assert!((m.dominance(1, 0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.dominance(2, 0), 0.0);
+        assert!(m.forces_zero(0));
+        assert!(!m.forces_zero(1));
+        assert!(m.has_mass(0) && m.has_mass(1));
+        assert!(!m.has_mass(2));
+    }
+
+    #[test]
+    fn pr_with_removed_matches_reference() {
+        let (ds, q) = fixture();
+        let m = DominanceMatrix::build(&ds, 0, &q, &[1, 2, 3]);
+        // Nothing removed: (1-1)(1-0.5)(1-0) = 0.
+        assert_eq!(m.pr_full(), 0.0);
+        // Remove c0: (1-0.5) = 0.5.
+        assert!((m.pr_with_removed(&[true, false, false]) - 0.5).abs() < 1e-12);
+        // Remove c0 and c1: 1.
+        assert!((m.pr_with_removed(&[true, true, false]) - 1.0).abs() < 1e-12);
+        // Cross-check against the skyline-crate evaluator.
+        let reference = crp_skyline::pr_reverse_skyline(&ds, 0, &q, |j| j == 1);
+        assert!((m.pr_with_removed(&[true, false, false]) - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_is_monotone_in_removals() {
+        let (ds, q) = fixture();
+        let m = DominanceMatrix::build(&ds, 0, &q, &[1, 2, 3]);
+        let base = m.pr_with_removed(&[false, false, false]);
+        let one = m.pr_with_removed(&[true, false, false]);
+        let two = m.pr_with_removed(&[true, true, false]);
+        assert!(base <= one && one <= two);
+    }
+
+    #[test]
+    fn probability_bound_is_sound_and_tight_at_extremes() {
+        let (ds, q) = fixture();
+        let m = DominanceMatrix::build(&ds, 0, &q, &[1, 2, 3]);
+        // t = 0: bound equals Pr(an).
+        assert!((m.max_pr_after_removing(0) - m.pr_full()).abs() < 1e-12);
+        // t = all: bound is 1 (everything removable).
+        assert!((m.max_pr_after_removing(3) - 1.0).abs() < 1e-12);
+        // Bound dominates every actual removal of size <= t.
+        for mask in 0u32..8 {
+            let removed: Vec<bool> = (0..3).map(|c| mask & (1 << c) != 0).collect();
+            let t = removed.iter().filter(|r| **r).count();
+            assert!(
+                m.pr_with_removed(&removed) <= m.max_pr_after_removing(t) + 1e-12,
+                "mask {mask:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_sample_weights() {
+        // an with two samples of weight 0.5 each; one candidate dominating
+        // w.r.t. sample 0 only.
+        let ds = UncertainDataset::from_objects(vec![
+            UncertainObject::with_equal_probs(ObjectId(0), vec![pt(10.0, 10.0), pt(0.0, 0.0)])
+                .unwrap(),
+            UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+        ])
+        .unwrap();
+        let q = pt(5.0, 5.0);
+        let m = DominanceMatrix::build(&ds, 0, &q, &[1]);
+        assert_eq!(m.samples(), 2);
+        // Pr(an) = 0.5·(1-1) + 0.5·(1-dp(sample1)).
+        let expected = crp_skyline::pr_reverse_skyline(&ds, 0, &q, |_| false);
+        assert!((m.pr_full() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_parts_validates_shape() {
+        let _ = DominanceMatrix::from_parts(vec![0.0; 5], vec![1.0; 2], 3);
+    }
+
+    #[test]
+    fn evaluator_matches_direct_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6006);
+        for round in 0..40 {
+            let n = rng.random_range(1..=120);
+            let l = rng.random_range(1..=6);
+            let weights = vec![1.0 / l as f64; l];
+            let dp: Vec<f64> = (0..n * l)
+                .map(|_| match rng.random_range(0..5) {
+                    0 => 0.0,
+                    1 => 1.0,
+                    2 => 1.0 - 1e-12, // inside the "one" tolerance
+                    _ => rng.random_range(0.01..0.99),
+                })
+                .collect();
+            let m = DominanceMatrix::from_parts(dp, weights, n);
+            let ev = m.evaluator();
+            for _ in 0..30 {
+                let k = rng.random_range(0..=n.min(20));
+                let mut removed: Vec<usize> = (0..n).collect();
+                for i in (1..removed.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    removed.swap(i, j);
+                }
+                removed.truncate(k);
+                let mut mask = vec![false; n];
+                for &c in &removed {
+                    mask[c] = true;
+                }
+                let exact = m.pr_with_removed(&mask);
+                let fast = ev.pr_with_removed_list(&removed);
+                assert!(
+                    (exact - fast).abs() < 1e-9,
+                    "round {round}: exact {exact} vs fast {fast}"
+                );
+                // Classification agreement at assorted thresholds,
+                // including right at the computed value.
+                for alpha in [0.1, 0.5, 0.9, exact.clamp(1e-6, 1.0)] {
+                    assert_eq!(
+                        ev.is_answer_with_removed(&removed, alpha),
+                        exact >= alpha - crp_geom::PROB_EPSILON,
+                        "round {round} alpha {alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_handles_annihilators() {
+        // One annihilating candidate: Pr = 0 until it is removed.
+        let m = DominanceMatrix::from_parts(vec![1.0, 0.5], vec![1.0], 2);
+        let ev = m.evaluator();
+        assert_eq!(ev.pr_with_removed_list(&[]), 0.0);
+        assert_eq!(ev.pr_with_removed_list(&[1]), 0.0);
+        assert!((ev.pr_with_removed_list(&[0]) - 0.5).abs() < 1e-12);
+        assert!((ev.pr_with_removed_list(&[0, 1]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Definition-level brute force — the test suites' ground truth.
+//!
+//! [`oracle_crp`] implements Definitions 1–2 literally: an object `p` is
+//! an actual cause for the non-answer `an` iff some `Γ ⊆ P` exists with
+//! `(P−Γ) ⊭ Q(an)` and `(P−Γ−{p}) ⊨ Q(an)`; the responsibility is
+//! `1/(1+|Γ_min|)`. Unlike CP, the oracle enumerates subsets of the
+//! *entire dataset* — it encodes no lemma, no filter, no insight, which
+//! is exactly what makes it trustworthy (and exponential).
+
+use crate::combinations::for_each_combination;
+use crate::error::CrpError;
+use crp_geom::{dominates, Point, PROB_EPSILON};
+use crp_skyline::pr_reverse_skyline;
+use crp_uncertain::{ObjectId, UncertainDataset};
+
+/// A cause as found by the oracle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleCause {
+    /// Dataset position of the cause.
+    pub position: usize,
+    /// A minimal contingency set (dataset positions, ascending).
+    pub min_gamma: Vec<usize>,
+}
+
+impl OracleCause {
+    /// `1 / (1 + |Γ_min|)`.
+    pub fn responsibility(&self) -> f64 {
+        1.0 / (1.0 + self.min_gamma.len() as f64)
+    }
+}
+
+/// Brute-force CRP over `n` dataset positions for the non-answer at
+/// `an_pos`. `is_answer(mask)` must report whether `an` is an answer to
+/// the query over the dataset minus the positions marked in `mask`
+/// (`an_pos` itself is never marked).
+///
+/// # Panics
+///
+/// Panics if `is_answer` of the full dataset is `true` (`an` must be a
+/// non-answer) or if `n` exceeds 20 (enumeration guard).
+pub fn oracle_crp(
+    n: usize,
+    an_pos: usize,
+    mut is_answer: impl FnMut(&[bool]) -> bool,
+) -> Vec<OracleCause> {
+    assert!(n <= 20, "oracle is exponential; refusing n = {n}");
+    let mut mask = vec![false; n];
+    assert!(
+        !is_answer(&mask),
+        "oracle requires a genuine non-answer"
+    );
+    let others: Vec<usize> = (0..n).filter(|&i| i != an_pos).collect();
+    let mut causes = Vec::new();
+    for &p in &others {
+        let pool: Vec<usize> = others.iter().copied().filter(|&i| i != p).collect();
+        let mut found: Option<Vec<usize>> = None;
+        'sizes: for k in 0..=pool.len() {
+            let hit = for_each_combination(pool.len(), k, |combo| {
+                mask.fill(false);
+                for &c in combo {
+                    mask[pool[c]] = true;
+                }
+                if is_answer(&mask) {
+                    return false; // condition (i) violated
+                }
+                mask[p] = true;
+                let becomes = is_answer(&mask);
+                mask[p] = false;
+                if becomes {
+                    found = Some(combo.iter().map(|&c| pool[c]).collect());
+                    true
+                } else {
+                    false
+                }
+            });
+            if hit {
+                break 'sizes;
+            }
+        }
+        if let Some(min_gamma) = found {
+            causes.push(OracleCause {
+                position: p,
+                min_gamma,
+            });
+        }
+    }
+    causes
+}
+
+/// Oracle for CR²PRSQ: causes for the non-answer `an_id` to the
+/// probabilistic reverse skyline query `(q, α)`, straight from the
+/// definitions and Eq. 2.
+pub fn oracle_cp(
+    ds: &UncertainDataset,
+    q: &Point,
+    an_id: ObjectId,
+    alpha: f64,
+) -> Result<Vec<(ObjectId, OracleCause)>, CrpError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(CrpError::InvalidAlpha(alpha));
+    }
+    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
+    let full = pr_reverse_skyline(ds, an_pos, q, |_| false);
+    if full >= alpha - PROB_EPSILON {
+        return Err(CrpError::NotANonAnswer { prob: full });
+    }
+    let causes = oracle_crp(ds.len(), an_pos, |mask| {
+        pr_reverse_skyline(ds, an_pos, q, |j| mask[j]) >= alpha - PROB_EPSILON
+    });
+    Ok(causes
+        .into_iter()
+        .map(|c| (ds.object_at(c.position).id(), c))
+        .collect())
+}
+
+/// Oracle for CRPRSQ: causes for the non-answer `an_id` to the plain
+/// reverse skyline query of `q` over certain data.
+pub fn oracle_cr(
+    ds: &UncertainDataset,
+    q: &Point,
+    an_id: ObjectId,
+) -> Result<Vec<(ObjectId, OracleCause)>, CrpError> {
+    if !ds.is_certain() {
+        return Err(CrpError::NotCertainData);
+    }
+    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
+    let an = ds.object_at(an_pos).certain_point().clone();
+    let is_answer = |mask: &[bool]| {
+        !(0..ds.len()).any(|j| {
+            j != an_pos && !mask[j] && dominates(ds.object_at(j).certain_point(), &an, q)
+        })
+    };
+    if is_answer(&vec![false; ds.len()]) {
+        return Err(CrpError::NotANonAnswer { prob: 1.0 });
+    }
+    let causes = oracle_crp(ds.len(), an_pos, is_answer);
+    Ok(causes
+        .into_iter()
+        .map(|c| (ds.object_at(c.position).id(), c))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_uncertain::UncertainObject;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    #[test]
+    fn oracle_cr_simple() {
+        // an at (10,10), q (5,5); dominators 1 and 2.
+        let ds = UncertainDataset::from_points(vec![
+            pt(10.0, 10.0),
+            pt(7.0, 7.0),
+            pt(6.0, 6.0),
+            pt(0.0, 0.0),
+        ])
+        .unwrap();
+        let causes = oracle_cr(&ds, &pt(5.0, 5.0), ObjectId(0)).unwrap();
+        let ids: Vec<u32> = causes.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        for (_, c) in &causes {
+            assert_eq!(c.min_gamma.len(), 1, "Γ = the other dominator");
+            assert!((c.responsibility() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn oracle_cp_counterfactual() {
+        let ds = UncertainDataset::from_objects(vec![
+            UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+            UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+        ])
+        .unwrap();
+        let causes = oracle_cp(&ds, &pt(5.0, 5.0), ObjectId(0), 0.5).unwrap();
+        assert_eq!(causes.len(), 1);
+        assert_eq!(causes[0].0, ObjectId(1));
+        assert!(causes[0].1.min_gamma.is_empty());
+    }
+
+    #[test]
+    fn oracle_rejects_answers() {
+        let ds = UncertainDataset::from_points(vec![pt(0.0, 0.0), pt(50.0, 50.0)]).unwrap();
+        assert!(matches!(
+            oracle_cr(&ds, &pt(1.0, 1.0), ObjectId(0)),
+            Err(CrpError::NotANonAnswer { .. })
+        ));
+        assert!(matches!(
+            oracle_cp(&ds, &pt(1.0, 1.0), ObjectId(0), 0.5),
+            Err(CrpError::NotANonAnswer { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn oracle_refuses_large_inputs() {
+        let _ = oracle_crp(21, 0, |_| false);
+    }
+
+    #[test]
+    fn oracle_non_cause_is_omitted() {
+        // Candidate with dominance too weak to ever be pivotal (see the
+        // matching refine.rs test).
+        let ds = UncertainDataset::from_objects(vec![
+            UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+            // dominates q w.r.t. an with p = 0.9 (9 of 10 samples).
+            UncertainObject::with_equal_probs(
+                ObjectId(1),
+                (0..10)
+                    .map(|i| {
+                        if i < 9 {
+                            pt(7.0, 7.0 + 0.01 * i as f64)
+                        } else {
+                            pt(50.0, 50.0)
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            // dominates with p = 0.05... use 1 of 20 -> here 1 of 2 is
+            // too strong; encode 0.1 with 1 of 10.
+            UncertainObject::with_equal_probs(
+                ObjectId(2),
+                (0..10)
+                    .map(|i| {
+                        if i == 0 {
+                            pt(8.0, 8.0)
+                        } else {
+                            pt(60.0 + i as f64, 60.0)
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        // Pr(an) = 0.1 · 0.9 = 0.09 < 0.5. Removing 2: 0.1 (still non-
+        // answer, and not an answer after removing 2 alone); removing 1:
+        // 0.9 ≥ α -> 1 is counterfactual; {1} fails condition (i) for 2.
+        let causes = oracle_cp(&ds, &pt(5.0, 5.0), ObjectId(0), 0.5).unwrap();
+        assert_eq!(causes.len(), 1);
+        assert_eq!(causes[0].0, ObjectId(1));
+    }
+}

@@ -1,0 +1,264 @@
+//! CP under the continuous pdf model (Section 3.2).
+//!
+//! Three things change relative to the discrete algorithm:
+//!
+//! 1. **Filtering** — the `RecList` cannot enumerate samples. Instead,
+//!    for every sub-quadrant of `q` that the non-answer's region
+//!    overlaps, one window is formed from the *farthest point* of the
+//!    clipped region (its dominance rectangle w.r.t. `q` contains the
+//!    dominance rectangle of every point of the region in that quadrant,
+//!    so the union of windows is a sound filter).
+//! 2. **Forced members** — dominance probabilities against candidates
+//!    are exact closed-form box integrals; a candidate whose integral is
+//!    1 for every integration cell of `an` is forced (the pdf analogue of
+//!    Lemma 4's nearest-corner rectangle).
+//! 3. **`Pr(an)`** — the sum over samples becomes an integral over the
+//!    region, evaluated by midpoint-rule discretisation of `an` (the
+//!    candidates are *not* discretised; their dominance probabilities per
+//!    cell are exact).
+
+use crate::config::CpConfig;
+use crate::error::CrpError;
+use crate::matrix::DominanceMatrix;
+use crate::refine::refine;
+use crate::types::{Cause, CrpOutcome, RunStats};
+use crp_geom::{dominance_rect, quadrant_corners, HyperRect, Point, PROB_EPSILON};
+use crp_rtree::{RTree, RTreeParams};
+use crp_uncertain::{ObjectId, PdfDataset};
+
+/// Builds an R-tree over the uncertain regions of a pdf dataset.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn build_pdf_rtree(ds: &PdfDataset, params: RTreeParams) -> RTree<ObjectId> {
+    let dim = ds.dim().expect("cannot index an empty dataset");
+    let items: Vec<(HyperRect, ObjectId)> =
+        ds.iter().map(|o| (o.region().clone(), o.id())).collect();
+    RTree::bulk_load(dim, params, items)
+}
+
+/// The pdf-model filter windows of a non-answer region: one dominance
+/// rectangle per overlapped sub-quadrant, centred at the farthest point
+/// of the clipped region from `q`.
+fn pdf_windows(q: &Point, region: &HyperRect) -> Vec<HyperRect> {
+    quadrant_corners(q, region)
+        .into_iter()
+        .map(|(_, sub)| dominance_rect(&sub.farthest_corner(q), q))
+        .collect()
+}
+
+/// CP for the continuous pdf model.
+///
+/// `resolution` controls the midpoint-rule discretisation of the
+/// non-answer's region (`resolution^D` cells); candidates are integrated
+/// in closed form. `tree` must index the regions (see
+/// [`build_pdf_rtree`]).
+///
+/// # Errors
+///
+/// Same contract as [`crate::cp`].
+pub fn cp_pdf(
+    ds: &PdfDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    an_id: ObjectId,
+    alpha: f64,
+    resolution: usize,
+    config: &CpConfig,
+) -> Result<CrpOutcome, CrpError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(CrpError::InvalidAlpha(alpha));
+    }
+    if ds.is_empty() {
+        return Err(CrpError::EmptyDataset);
+    }
+    let an = ds.get(an_id).ok_or(CrpError::UnknownObject(an_id))?;
+    let mut stats = RunStats::default();
+
+    // Filter: multi-window traversal over the per-quadrant windows.
+    let windows = pdf_windows(q, an.region());
+    let mut hits: Vec<ObjectId> = Vec::new();
+    tree.range_intersect_any(&windows, &mut stats.query, |_, &id| {
+        if id != an_id {
+            hits.push(id);
+        }
+    });
+    hits.sort_unstable();
+    hits.dedup();
+
+    // Integration cells of the non-answer.
+    let cells = an.pdf().discretize(resolution);
+    let weights: Vec<f64> = cells.iter().map(|(_, w)| *w).collect();
+
+    // Exact dominance probability of each hit per cell; drop hits with no
+    // dominating mass anywhere (the exact counterpart of Lemma 2).
+    let mut candidates: Vec<ObjectId> = Vec::new();
+    let mut dp: Vec<f64> = Vec::new();
+    for id in hits {
+        let cand = ds.get(id).expect("hit ids come from the dataset");
+        let row: Vec<f64> = cells
+            .iter()
+            .map(|(center, _)| cand.pdf().box_probability(&dominance_rect(center, q)))
+            .collect();
+        if row.iter().any(|p| *p > 0.0) {
+            candidates.push(id);
+            dp.extend(row);
+        }
+    }
+    let matrix = DominanceMatrix::from_parts(dp, weights, candidates.len());
+
+    let pr_an = matrix.pr_full();
+    if pr_an >= alpha - PROB_EPSILON {
+        return Err(CrpError::NotANonAnswer { prob: pr_an });
+    }
+    let recs = refine(&matrix, alpha, config, &mut stats)?;
+    let causes = recs
+        .into_iter()
+        .map(|r| {
+            let gamma_len = r.gamma.len();
+            Cause {
+                id: candidates[r.cand],
+                responsibility: 1.0 / (1.0 + gamma_len as f64),
+                min_contingency: r.gamma.into_iter().map(|g| candidates[g]).collect(),
+                counterfactual: r.counterfactual,
+            }
+        })
+        .collect();
+    Ok(CrpOutcome { causes, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_uncertain::PdfObject;
+
+    fn rect(lo: [f64; 2], hi: [f64; 2]) -> HyperRect {
+        HyperRect::new(Point::from(lo), Point::from(hi))
+    }
+
+    /// an's region sits well inside one quadrant; candidates are boxes
+    /// with known dominance integrals.
+    fn fixture() -> PdfDataset {
+        PdfDataset::from_objects(vec![
+            // an: region around (10, 10).
+            PdfObject::uniform(ObjectId(0), rect([9.5, 9.5], [10.5, 10.5])),
+            // full dominator: tight box at (7, 7) — between q and an.
+            PdfObject::uniform(ObjectId(1), rect([6.9, 6.9], [7.1, 7.1])),
+            // half dominator: box straddling the window boundary.
+            PdfObject::uniform(ObjectId(2), rect([7.0, 2.0], [8.0, 6.0])),
+            // non-dominator for an: far away (but itself blocked by all).
+            PdfObject::uniform(ObjectId(3), rect([40.0, 40.0], [41.0, 41.0])),
+            // a genuine answer: close to q, nothing between them.
+            PdfObject::uniform(ObjectId(4), rect([1.5, 1.5], [2.5, 2.5])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_cover_single_quadrant_region() {
+        let q = Point::from([5.0, 5.0]);
+        let region = rect([9.0, 9.0], [11.0, 11.0]);
+        let w = pdf_windows(&q, &region);
+        assert_eq!(w.len(), 1, "single quadrant -> single window");
+        // Window = dominance rect of the farthest corner (11, 11):
+        // centred there with extent |q − corner| = 6, i.e. [5, 17]².
+        assert_eq!(w[0].lo(), &Point::from([5.0, 5.0]));
+        assert_eq!(w[0].hi(), &Point::from([17.0, 17.0]));
+        // It contains the dominance rect of every point of the region.
+        for x in [[9.0, 9.0], [11.0, 11.0], [9.3, 10.7]] {
+            let sub = dominance_rect(&Point::from(x), &q);
+            assert!(w[0].contains_rect(&sub), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn windows_split_across_quadrants() {
+        let q = Point::from([5.0, 5.0]);
+        let region = rect([4.0, 6.0], [6.0, 7.0]); // straddles x-split
+        let w = pdf_windows(&q, &region);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn cp_pdf_finds_the_blocker() {
+        let ds = fixture();
+        let tree = build_pdf_rtree(&ds, RTreeParams::with_fanout(4));
+        let q = Point::from([5.0, 5.0]);
+        let out = cp_pdf(&ds, &tree, &q, ObjectId(0), 0.5, 3, &CpConfig::default()).unwrap();
+        // Object 1 dominates every cell with probability 1 -> removing it
+        // restores Pr(an) to ~1 (object 2 does not dominate: its box lies
+        // below the window in y for... check: it has partial mass).
+        let c1 = out.cause(ObjectId(1)).expect("object 1 causes the absence");
+        assert!(c1.responsibility > 0.0);
+        assert!(out.cause(ObjectId(3)).is_none());
+    }
+
+    #[test]
+    fn cp_pdf_matches_discretised_cp() {
+        // The pdf algorithm and the discrete algorithm on the discretised
+        // dataset must agree on causes and responsibilities when the same
+        // resolution drives both.
+        let ds = fixture();
+        let q = Point::from([5.0, 5.0]);
+        let resolution = 4;
+        let tree = build_pdf_rtree(&ds, RTreeParams::with_fanout(4));
+
+        let disc = ds.discretize(resolution);
+        let dtree = crp_skyline::build_object_rtree(&disc, RTreeParams::with_fanout(4));
+
+        for alpha in [0.3, 0.5, 0.8] {
+            let a = cp_pdf(&ds, &tree, &q, ObjectId(0), alpha, resolution, &CpConfig::default());
+            let b = crate::cp(&disc, &dtree, &q, ObjectId(0), alpha, &CpConfig::default());
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    let xs: Vec<(ObjectId, usize)> = x
+                        .causes
+                        .iter()
+                        .map(|c| (c.id, c.min_contingency.len()))
+                        .collect();
+                    let ys: Vec<(ObjectId, usize)> = y
+                        .causes
+                        .iter()
+                        .map(|c| (c.id, c.min_contingency.len()))
+                        .collect();
+                    // The discrete run discretises the *candidates* too,
+                    // so dominance probabilities differ slightly; causes
+                    // and contingency sizes must still match here because
+                    // the fixture's probabilities are far from α.
+                    assert_eq!(xs, ys, "alpha {alpha}");
+                }
+                (Err(x), Err(y)) => assert_eq!(
+                    std::mem::discriminant(&x),
+                    std::mem::discriminant(&y),
+                    "alpha {alpha}"
+                ),
+                (x, y) => panic!("divergence at alpha {alpha}: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cp_pdf_rejects_answers_and_bad_input() {
+        let ds = fixture();
+        let tree = build_pdf_rtree(&ds, RTreeParams::with_fanout(4));
+        let q = Point::from([5.0, 5.0]);
+        assert!(matches!(
+            cp_pdf(&ds, &tree, &q, ObjectId(4), 0.5, 3, &CpConfig::default()),
+            Err(CrpError::NotANonAnswer { .. })
+        ));
+        assert!(matches!(
+            cp_pdf(&ds, &tree, &q, ObjectId(9), 0.5, 3, &CpConfig::default()),
+            Err(CrpError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            cp_pdf(&ds, &tree, &q, ObjectId(0), 0.0, 3, &CpConfig::default()),
+            Err(CrpError::InvalidAlpha(_))
+        ));
+        let empty = PdfDataset::new();
+        assert!(matches!(
+            cp_pdf(&empty, &tree, &q, ObjectId(0), 0.5, 3, &CpConfig::default()),
+            Err(CrpError::EmptyDataset)
+        ));
+    }
+}

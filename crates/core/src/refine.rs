@@ -1,0 +1,474 @@
+//! The refinement phase shared by CP (discrete), CP (pdf) and Naive-I.
+//!
+//! Input: the dominance matrix of a non-answer against its candidate
+//! causes. Output: every actual cause with a *minimal* contingency set.
+//!
+//! The search follows Algorithms 1–2 of the paper:
+//!
+//! 1. `α = 1` fast path — every candidate is a cause with
+//!    responsibility `1/|Cc|` (lines 9–11),
+//! 2. Lemma 4 — candidates dominating with probability 1 w.r.t. every
+//!    sample (`Ca`) are forced into every contingency set,
+//! 3. Lemma 5 — counterfactual causes (`Cb`) are reported immediately
+//!    and excluded from the other candidates' search spaces,
+//! 4. FMCS — for each remaining candidate, enumerate candidate
+//!    contingency sets in ascending cardinality (so the first valid set
+//!    is minimal); a set `Γ` is valid when `Pr(an | P−Γ) < α` (still a
+//!    non-answer) and `Pr(an | P−Γ−{cc}) ≥ α` (becomes an answer),
+//! 5. Lemma 6 — a found minimal set `Γ` of cause `cc` yields, for each
+//!    unprocessed `o ∈ Γ` (when `Pr(an | P−(Γ−{o})−{cc}) < α`), the
+//!    witness contingency set `(Γ−{o}) ∪ {cc}` of the same size; the
+//!    later FMCS run for `o` then only searches *strictly smaller*
+//!    cardinalities and falls back to the witness (Algorithm 1,
+//!    lines 23–24).
+//!
+//! One deliberate deviation from the printed pseudo-code: Algorithm 2
+//! starts the subset loop at cardinality 1 above the forced set `G1`,
+//! which misses the case where `G1` itself is already a valid contingency
+//! set. We start at cardinality 0 (i.e. `Γ = G1`), which matches
+//! Definitions 1–2 and the brute-force oracle (pinned by a unit test).
+
+use crate::combinations::for_each_combination;
+use crate::config::CpConfig;
+use crate::error::CrpError;
+use crate::matrix::{DominanceMatrix, PrEvaluator};
+use crate::types::RunStats;
+use crp_geom::PROB_EPSILON;
+
+/// A cause expressed in candidate indices (mapped to object ids by the
+/// caller).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CauseRec {
+    /// Candidate index of the cause.
+    pub cand: usize,
+    /// Minimal contingency set (candidate indices, ascending).
+    pub gamma: Vec<usize>,
+    /// True when `gamma` is empty.
+    pub counterfactual: bool,
+}
+
+#[inline]
+fn is_answer(pr: f64, alpha: f64) -> bool {
+    pr >= alpha - PROB_EPSILON
+}
+
+/// Candidate counts from which the incremental log-space evaluator beats
+/// the direct `O(|Cc|·L)` product (see [`PrEvaluator`]).
+const INCREMENTAL_THRESHOLD: usize = 64;
+
+/// Uniform contingency-condition checker over removal *lists*: direct
+/// evaluation for small candidate sets, incremental (guard-banded) for
+/// large ones. Classifications are identical either way.
+struct Checker<'m> {
+    matrix: &'m DominanceMatrix,
+    evaluator: Option<PrEvaluator<'m>>,
+    mask: Vec<bool>,
+}
+
+impl<'m> Checker<'m> {
+    fn new(matrix: &'m DominanceMatrix) -> Self {
+        let n = matrix.candidates();
+        Self {
+            matrix,
+            evaluator: (n >= INCREMENTAL_THRESHOLD).then(|| matrix.evaluator()),
+            mask: vec![false; n],
+        }
+    }
+
+    /// Is `an` an answer on `P − removed`?
+    fn is_answer(&mut self, removed: &[usize], alpha: f64) -> bool {
+        match &self.evaluator {
+            Some(ev) => ev.is_answer_with_removed(removed, alpha),
+            None => {
+                self.mask.fill(false);
+                for &c in removed {
+                    self.mask[c] = true;
+                }
+                is_answer(self.matrix.pr_with_removed(&self.mask), alpha)
+            }
+        }
+    }
+}
+
+/// Runs the refinement. `matrix` must contain only genuine candidates
+/// (positive dominance mass; Lemma 1 filtering is the caller's job).
+pub(crate) fn refine(
+    matrix: &DominanceMatrix,
+    alpha: f64,
+    config: &CpConfig,
+    stats: &mut RunStats,
+) -> Result<Vec<CauseRec>, CrpError> {
+    let n = matrix.candidates();
+    stats.candidates = n;
+    let mut results: Vec<CauseRec> = Vec::new();
+    if n == 0 {
+        return Ok(results);
+    }
+
+    // --- α = 1 fast path (Algorithm 1, lines 9–11). -------------------
+    if config.alpha_one_fast_path && alpha >= 1.0 - PROB_EPSILON {
+        for cand in 0..n {
+            let gamma: Vec<usize> = (0..n).filter(|&c| c != cand).collect();
+            results.push(CauseRec {
+                cand,
+                counterfactual: gamma.is_empty(),
+                gamma,
+            });
+        }
+        return Ok(results);
+    }
+
+    let mut checker = Checker::new(matrix);
+    let mut removal_list: Vec<usize> = Vec::with_capacity(n);
+    let mut budget_hit: Option<u64> = None;
+
+    // --- Lemma 4: forced contingency members (Ca). ---------------------
+    let forced_mask: Vec<bool> = if config.use_lemma4 {
+        (0..n).map(|c| matrix.forces_zero(c)).collect()
+    } else {
+        vec![false; n]
+    };
+    stats.forced = forced_mask.iter().filter(|f| **f).count();
+
+    // --- Lemma 5: counterfactual causes (Cb). --------------------------
+    // `excluded[c]` removes c from every later search space.
+    let mut excluded = vec![false; n];
+    let mut done = vec![false; n];
+    if config.use_lemma5 {
+        for c in 0..n {
+            stats.subsets_examined += 1;
+            stats.prsq_evaluations += 1;
+            if checker.is_answer(&[c], alpha) {
+                excluded[c] = true;
+                done[c] = true;
+                results.push(CauseRec {
+                    cand: c,
+                    gamma: Vec::new(),
+                    counterfactual: true,
+                });
+            }
+        }
+        stats.counterfactuals = results.len();
+    }
+
+    // --- FMCS per remaining candidate, with Lemma 6 propagation. -------
+    let mut witness: Vec<Option<Vec<usize>>> = vec![None; n];
+    for cc in 0..n {
+        if done[cc] {
+            continue;
+        }
+        let forced: Vec<usize> = (0..n).filter(|&c| c != cc && forced_mask[c]).collect();
+        let mut search: Vec<usize> = (0..n)
+            .filter(|&c| c != cc && !forced_mask[c] && !excluded[c])
+            .collect();
+        // High-impact candidates first: the first combination of each
+        // cardinality is then the greedy removal set, which on deep
+        // non-answers is very likely already a valid contingency set.
+        search.sort_by(|&a, &b| {
+            matrix
+                .impact(b)
+                .partial_cmp(&matrix.impact(a))
+                .expect("finite impacts")
+        });
+        // Search strictly below the witness size (Lemma 6 already proves
+        // a set of that size exists); otherwise everything up to the
+        // whole search space.
+        let upper_exclusive = witness[cc]
+            .as_ref()
+            .map(|w| w.len())
+            .unwrap_or(forced.len() + search.len() + 1);
+
+        let mut found: Option<Vec<usize>> = None;
+        'sizes: for total in forced.len()..upper_exclusive {
+            let k = total - forced.len();
+            if k > search.len() {
+                break;
+            }
+            // Probability-based pruning (extension): if even the most
+            // damaging total+1 removals cannot reach α, no Γ of this size
+            // can satisfy condition (ii).
+            if config.use_probability_bound
+                && !is_answer(matrix.max_pr_after_removing(total + 1), alpha)
+            {
+                continue;
+            }
+            let budget = config.max_subsets;
+            for_each_combination(search.len(), k, |combo| {
+                stats.subsets_examined += 1;
+                if let Some(max) = budget {
+                    if stats.subsets_examined > max {
+                        budget_hit = Some(stats.subsets_examined);
+                        return true;
+                    }
+                }
+                removal_list.clear();
+                removal_list.extend_from_slice(&forced);
+                removal_list.extend(combo.iter().map(|&s| search[s]));
+                stats.prsq_evaluations += 1;
+                // Condition (i): P − Γ still a non-answer.
+                if !checker.is_answer(&removal_list, alpha) {
+                    removal_list.push(cc);
+                    stats.prsq_evaluations += 1;
+                    // Condition (ii): P − Γ − {cc} becomes an answer.
+                    let becomes = checker.is_answer(&removal_list, alpha);
+                    removal_list.pop();
+                    if becomes {
+                        let mut gamma = removal_list.clone();
+                        gamma.sort_unstable();
+                        found = Some(gamma);
+                        return true;
+                    }
+                }
+                false
+            });
+            if let Some(examined) = budget_hit {
+                return Err(CrpError::BudgetExhausted { examined });
+            }
+            if found.is_some() {
+                break 'sizes;
+            }
+        }
+
+        let gamma = match found {
+            Some(g) => Some(g),
+            // Nothing strictly smaller than the witness: the witness set
+            // is minimal (Algorithm 1, lines 23–24).
+            None => witness[cc].take(),
+        };
+        done[cc] = true;
+        let Some(gamma) = gamma else {
+            continue; // not an actual cause
+        };
+
+        // Lemma 6: seed witnesses for the unprocessed members of Γ.
+        if config.use_lemma6 {
+            for &o in &gamma {
+                if done[o] {
+                    continue;
+                }
+                let better = witness[o].as_ref().is_none_or(|w| w.len() > gamma.len());
+                if !better {
+                    continue;
+                }
+                removal_list.clear();
+                removal_list.extend(gamma.iter().copied().filter(|&g| g != o));
+                removal_list.push(cc);
+                stats.prsq_evaluations += 1;
+                if !checker.is_answer(&removal_list, alpha) {
+                    // (Γ−{o}) ∪ {cc} is a contingency set for o: condition
+                    // (ii) holds because P−Γ−{cc} is an answer already.
+                    let mut w: Vec<usize> =
+                        gamma.iter().copied().filter(|&g| g != o).collect();
+                    w.push(cc);
+                    w.sort_unstable();
+                    witness[o] = Some(w);
+                }
+            }
+        }
+
+        results.push(CauseRec {
+            cand: cc,
+            counterfactual: gamma.is_empty(),
+            gamma,
+        });
+    }
+
+    results.sort_by_key(|r| r.cand);
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RunStats;
+
+    /// Matrix helper: `dp[c][i]` rows, equal sample weights.
+    fn matrix(rows: &[&[f64]]) -> DominanceMatrix {
+        let samples = rows[0].len();
+        let weights = vec![1.0 / samples as f64; samples];
+        let dp: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        DominanceMatrix::from_parts(dp, weights, rows.len())
+    }
+
+    fn run(m: &DominanceMatrix, alpha: f64, config: &CpConfig) -> Vec<CauseRec> {
+        let mut stats = RunStats::default();
+        refine(m, alpha, config, &mut stats).expect("no budget configured")
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        let m = DominanceMatrix::from_parts(Vec::new(), vec![1.0], 0);
+        assert!(run(&m, 0.5, &CpConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_counterfactual_cause() {
+        // One candidate dominating with prob 0.6: Pr(an) = 0.4 < 0.5;
+        // removing it gives 1.0 -> counterfactual.
+        let m = matrix(&[&[0.6]]);
+        let causes = run(&m, 0.5, &CpConfig::default());
+        assert_eq!(causes.len(), 1);
+        assert!(causes[0].counterfactual);
+        assert!(causes[0].gamma.is_empty());
+    }
+
+    #[test]
+    fn alpha_one_fast_path_marks_all() {
+        let m = matrix(&[&[0.1], &[0.2], &[0.3]]);
+        let causes = run(&m, 1.0, &CpConfig::default());
+        assert_eq!(causes.len(), 3);
+        for c in &causes {
+            assert_eq!(c.gamma.len(), 2, "Γ = the other two candidates");
+        }
+    }
+
+    #[test]
+    fn alpha_one_without_fast_path_same_answer() {
+        let m = matrix(&[&[0.1], &[0.2], &[0.3]]);
+        let cfg = CpConfig {
+            alpha_one_fast_path: false,
+            ..CpConfig::default()
+        };
+        let fast = run(&m, 1.0, &CpConfig::default());
+        let slow = run(&m, 1.0, &cfg);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn forced_member_in_every_gamma() {
+        // c0 dominates with prob 1 (forced); c1 with 0.6; α = 0.5.
+        // Pr(an) = 0. For c1: Γ must contain c0; Γ = {c0} gives
+        // Pr = 0.4 < α (still non-answer) and removing c1 -> 1.0 ≥ α.
+        let m = matrix(&[&[1.0], &[0.6]]);
+        let causes = run(&m, 0.5, &CpConfig::default());
+        let c1 = causes.iter().find(|c| c.cand == 1).expect("c1 is a cause");
+        assert_eq!(c1.gamma, vec![0]);
+        // c0 itself: Γ = ∅? removing c0 alone gives 0.4 < α -> not
+        // counterfactual; Γ = {c1}: still 0 < α, removing c0 -> 1.0 ≥ α.
+        let c0 = causes.iter().find(|c| c.cand == 0).expect("c0 is a cause");
+        assert_eq!(c0.gamma, vec![1]);
+    }
+
+    #[test]
+    fn gamma_equal_to_forced_set_found() {
+        // Pins the FMCS i=0 fix: the forced set alone is the minimal
+        // contingency set. c0 forced (dp 1); c1 and c2 with dp 0.5 each;
+        // α = 0.45. Pr = 0. Γ = {c0} leaves 0.25 < α; removing c1 gives
+        // 0.5 ≥ α -> Γ_min(c1) = {c0} = G1 exactly.
+        let m = matrix(&[&[1.0], &[0.5], &[0.5]]);
+        let causes = run(&m, 0.45, &CpConfig::default());
+        let c1 = causes.iter().find(|c| c.cand == 1).expect("c1 is a cause");
+        assert_eq!(c1.gamma, vec![0]);
+        assert_eq!(c1.gamma.len(), 1);
+    }
+
+    #[test]
+    fn non_cause_candidate_detected() {
+        // c0 dominates 0.9; c1 dominates 0.05. α = 0.5.
+        // Pr(an) = 0.1·0.95 = 0.095 < α.
+        // Removing c1 alone: 0.1 -> still non-answer, not counterfactual.
+        // For c1: Γ = {c0}? Then P−Γ has Pr = 0.95 ≥ α -> violates (i).
+        // No Γ works for c1 -> c1 is NOT a cause even though it is a
+        // candidate. c0: Γ = ∅, removing c0 -> 0.95 ≥ α: counterfactual.
+        let m = matrix(&[&[0.9], &[0.05]]);
+        let causes = run(&m, 0.5, &CpConfig::default());
+        assert_eq!(causes.len(), 1);
+        assert_eq!(causes[0].cand, 0);
+        assert!(causes[0].counterfactual);
+    }
+
+    #[test]
+    fn all_configs_agree_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        let configs = [
+            CpConfig::default(),
+            CpConfig::naive(),
+            CpConfig {
+                use_lemma4: false,
+                ..CpConfig::default()
+            },
+            CpConfig {
+                use_lemma5: false,
+                ..CpConfig::default()
+            },
+            CpConfig {
+                use_lemma6: false,
+                ..CpConfig::default()
+            },
+            CpConfig {
+                use_probability_bound: true,
+                ..CpConfig::default()
+            },
+        ];
+        for round in 0..60 {
+            let n = rng.random_range(1..=6);
+            let samples = rng.random_range(1..=3);
+            let weights = vec![1.0 / samples as f64; samples];
+            let dp: Vec<f64> = (0..n * samples)
+                .map(|_| {
+                    // Mix exact 0/1 values with fractions to exercise the
+                    // forced/counterfactual paths.
+                    match rng.random_range(0..4) {
+                        0 => 0.0,
+                        1 => 1.0,
+                        _ => (rng.random_range(1..=9) as f64) / 10.0,
+                    }
+                })
+                .collect();
+            let m = DominanceMatrix::from_parts(dp, weights, n);
+            // Ensure an is a genuine non-answer for a valid comparison.
+            let alpha = 0.5;
+            if m.pr_full() >= alpha {
+                continue;
+            }
+            let baseline: Vec<(usize, usize)> = run(&m, alpha, &configs[0])
+                .into_iter()
+                .map(|c| (c.cand, c.gamma.len()))
+                .collect();
+            for (ci, cfg) in configs.iter().enumerate().skip(1) {
+                let got: Vec<(usize, usize)> = run(&m, alpha, cfg)
+                    .into_iter()
+                    .map(|c| (c.cand, c.gamma.len()))
+                    .collect();
+                assert_eq!(baseline, got, "round {round}, config {ci}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_errors() {
+        let m = matrix(&[&[0.3], &[0.3], &[0.3], &[0.3], &[0.3]]);
+        let cfg = CpConfig::with_budget(3);
+        let mut stats = RunStats::default();
+        let err = refine(&m, 0.9, &cfg, &mut stats).unwrap_err();
+        assert!(matches!(err, CrpError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let m = matrix(&[&[1.0], &[0.6], &[0.05]]);
+        let mut stats = RunStats::default();
+        let _ = refine(&m, 0.5, &CpConfig::default(), &mut stats).unwrap();
+        assert_eq!(stats.candidates, 3);
+        assert_eq!(stats.forced, 1);
+        assert!(stats.subsets_examined > 0);
+        assert!(stats.prsq_evaluations > 0);
+    }
+
+    #[test]
+    fn lemma6_witness_is_used_and_minimal() {
+        // Three symmetric candidates each dominating 0.5, α = 0.6:
+        // Pr(an) = 0.125. Removing one: 0.25; two: 0.5; all: 1.0.
+        // Only Γ of size 2 reaches α when the cause is removed -> every
+        // candidate is a cause with |Γ| = 2 (the other two).
+        let m = matrix(&[&[0.5], &[0.5], &[0.5]]);
+        let causes = run(&m, 0.6, &CpConfig::default());
+        assert_eq!(causes.len(), 3);
+        for c in &causes {
+            assert_eq!(c.gamma.len(), 2, "cand {}", c.cand);
+            assert!((1.0 / (1.0 + c.gamma.len() as f64) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+}

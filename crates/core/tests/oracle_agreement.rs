@@ -1,0 +1,234 @@
+//! The load-bearing correctness tests: CP, Naive-I, CR and Naive-II must
+//! agree with the definition-level brute-force oracle on randomized small
+//! instances. The oracle enumerates subsets of the whole dataset straight
+//! from Definitions 1–2, encoding none of the paper's lemmas — so
+//! agreement here validates every lemma implementation at once.
+
+use crp_core::{cp, cp_unindexed, cr, naive_i, naive_ii, oracle_cp, oracle_cr, CpConfig, CrpError};
+use crp_geom::Point;
+use crp_rtree::RTreeParams;
+use crp_skyline::{build_object_rtree, build_point_rtree};
+use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
+use proptest::prelude::*;
+
+/// Small uncertain dataset strategy: 2–7 objects, 1–3 samples each, on a
+/// coarse integer grid (to generate plenty of dominance ties).
+fn uncertain_dataset(dim: usize) -> impl Strategy<Value = UncertainDataset> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(0.0..12.0f64, dim).prop_map(|v| {
+                Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>())
+            }),
+            1..=3,
+        ),
+        2..=7,
+    )
+    .prop_map(|objs| {
+        UncertainDataset::from_objects(
+            objs.into_iter()
+                .enumerate()
+                .map(|(i, pts)| {
+                    UncertainObject::with_equal_probs(ObjectId(i as u32), pts).unwrap()
+                }),
+        )
+        .unwrap()
+    })
+}
+
+fn certain_dataset(dim: usize) -> impl Strategy<Value = UncertainDataset> {
+    prop::collection::vec(
+        prop::collection::vec(0.0..12.0f64, dim)
+            .prop_map(|v| Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>())),
+        2..=10,
+    )
+    .prop_map(|pts| UncertainDataset::from_points(pts).unwrap())
+}
+
+fn query(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(0.0..12.0f64, dim)
+        .prop_map(|v| Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>()))
+}
+
+/// Signature of a CRP outcome for equality checks: (id, |Γ_min|,
+/// counterfactual). Witness sets may legitimately differ between
+/// implementations; sizes and flags may not.
+fn cp_signature(out: &crp_core::CrpOutcome) -> Vec<(ObjectId, usize, bool)> {
+    out.causes
+        .iter()
+        .map(|c| (c.id, c.min_contingency.len(), c.counterfactual))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cp_agrees_with_oracle_2d(ds in uncertain_dataset(2), q in query(2), alpha in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0])) {
+        cp_vs_oracle(&ds, &q, alpha)?;
+    }
+
+    #[test]
+    fn cp_agrees_with_oracle_3d(ds in uncertain_dataset(3), q in query(3), alpha in prop::sample::select(vec![0.4, 0.6])) {
+        cp_vs_oracle(&ds, &q, alpha)?;
+    }
+
+    #[test]
+    fn cr_agrees_with_oracle_2d(ds in certain_dataset(2), q in query(2)) {
+        cr_vs_oracle(&ds, &q)?;
+    }
+
+    #[test]
+    fn cr_agrees_with_oracle_3d(ds in certain_dataset(3), q in query(3)) {
+        cr_vs_oracle(&ds, &q)?;
+    }
+
+    #[test]
+    fn cp_ablations_agree_with_default(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.3, 0.6, 0.9]),
+    ) {
+        let tree = build_object_rtree(&ds, RTreeParams::with_fanout(4));
+        let configs = [
+            CpConfig::default(),
+            CpConfig { use_lemma4: false, ..CpConfig::default() },
+            CpConfig { use_lemma5: false, ..CpConfig::default() },
+            CpConfig { use_lemma6: false, ..CpConfig::default() },
+            CpConfig { use_probability_bound: true, ..CpConfig::default() },
+            CpConfig::naive(),
+        ];
+        for an in ds.iter().map(|o| o.id()) {
+            let base = cp(&ds, &tree, &q, an, alpha, &configs[0]);
+            for cfg in &configs[1..] {
+                let got = cp(&ds, &tree, &q, an, alpha, cfg);
+                match (&base, &got) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(cp_signature(x), cp_signature(y)),
+                    (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                    _ => prop_assert!(false, "result kind diverged for {:?}", cfg),
+                }
+            }
+        }
+    }
+}
+
+fn cp_vs_oracle(ds: &UncertainDataset, q: &Point, alpha: f64) -> Result<(), TestCaseError> {
+    let tree = build_object_rtree(ds, RTreeParams::with_fanout(4));
+    for an in ds.iter().map(|o| o.id()) {
+        let got = cp(ds, &tree, q, an, alpha, &CpConfig::default());
+        let expected = oracle_cp(ds, q, an, alpha);
+        match (got, expected) {
+            (Ok(out), Ok(oracle)) => {
+                let got_sig = cp_signature(&out);
+                let want_sig: Vec<(ObjectId, usize, bool)> = oracle
+                    .iter()
+                    .map(|(id, c)| (*id, c.min_gamma.len(), c.min_gamma.is_empty()))
+                    .collect();
+                prop_assert_eq!(got_sig, want_sig, "an = {}", an);
+                // The unindexed variant must match too.
+                let un = cp_unindexed(ds, q, an, alpha, &CpConfig::default())
+                    .expect("same classification");
+                prop_assert_eq!(cp_signature(&out), cp_signature(&un));
+                // Witness sets must actually be valid minimal contingency
+                // sets: removing Γ keeps an a non-answer, removing Γ ∪ {c}
+                // flips it.
+                for cause in &out.causes {
+                    let gamma_pos: Vec<usize> = cause
+                        .min_contingency
+                        .iter()
+                        .map(|id| ds.index_of(*id).unwrap())
+                        .collect();
+                    let an_pos = ds.index_of(an).unwrap();
+                    let pr_g = crp_skyline::pr_reverse_skyline(ds, an_pos, q, |j| {
+                        gamma_pos.contains(&j)
+                    });
+                    prop_assert!(pr_g < alpha, "Γ must keep an a non-answer");
+                    let c_pos = ds.index_of(cause.id).unwrap();
+                    let pr_gc = crp_skyline::pr_reverse_skyline(ds, an_pos, q, |j| {
+                        j == c_pos || gamma_pos.contains(&j)
+                    });
+                    prop_assert!(
+                        pr_gc >= alpha - 1e-9,
+                        "Γ ∪ {{cause}} must make an an answer"
+                    );
+                }
+            }
+            (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
+            (g, e) => prop_assert!(false, "divergence for an = {}: {:?} vs {:?}", an, g, e),
+        }
+    }
+    Ok(())
+}
+
+fn cr_vs_oracle(ds: &UncertainDataset, q: &Point) -> Result<(), TestCaseError> {
+    let tree = build_point_rtree(ds, RTreeParams::with_fanout(4));
+    for an in ds.iter().map(|o| o.id()) {
+        let got = cr(ds, &tree, q, an);
+        let expected = oracle_cr(ds, q, an);
+        match (got, expected) {
+            (Ok(out), Ok(oracle)) => {
+                let got_sig = cp_signature(&out);
+                let want_sig: Vec<(ObjectId, usize, bool)> = oracle
+                    .iter()
+                    .map(|(id, c)| (*id, c.min_gamma.len(), c.min_gamma.is_empty()))
+                    .collect();
+                prop_assert_eq!(got_sig, want_sig, "an = {}", an);
+                // Naive-II must agree as well (bounded: |Cc| can make it
+                // exponential, but oracle already bounded the dataset).
+                let nv = naive_ii(ds, &tree, q, an, Some(5_000_000)).expect("same classification");
+                prop_assert_eq!(cp_signature(&out), cp_signature(&nv));
+            }
+            (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
+            (g, e) => prop_assert!(false, "divergence for an = {}: {:?} vs {:?}", an, g, e),
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic regression companion to the proptest runs: a fixed set
+/// of seeds exercising Naive-I against the oracle (Naive-I is too slow to
+/// run inside every proptest case).
+#[test]
+fn naive_i_agrees_with_oracle_fixed_seeds() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut compared = 0;
+    for seed in [1u64, 7, 42, 99, 1234] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = UncertainDataset::from_objects((0..6).map(|i| {
+            let l = rng.random_range(1..=3);
+            UncertainObject::with_equal_probs(
+                ObjectId(i),
+                (0..l)
+                    .map(|_| {
+                        Point::from([
+                            rng.random_range(0.0..12.0f64).round(),
+                            rng.random_range(0.0..12.0f64).round(),
+                        ])
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+        }))
+        .unwrap();
+        let tree = build_object_rtree(&ds, RTreeParams::with_fanout(4));
+        let q = Point::from([6.0, 6.0]);
+        for an in 0..6u32 {
+            let nv = naive_i(&ds, &tree, &q, ObjectId(an), 0.5, None);
+            let oc = oracle_cp(&ds, &q, ObjectId(an), 0.5);
+            match (nv, oc) {
+                (Ok(out), Ok(oracle)) => {
+                    let got = cp_signature(&out);
+                    let want: Vec<(ObjectId, usize, bool)> = oracle
+                        .iter()
+                        .map(|(id, c)| (*id, c.min_gamma.len(), c.min_gamma.is_empty()))
+                        .collect();
+                    assert_eq!(got, want, "seed {seed} an {an}");
+                    compared += 1;
+                }
+                (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
+                (g, e) => panic!("divergence seed {seed} an {an}: {g:?} vs {e:?}"),
+            }
+        }
+    }
+    assert!(compared >= 5, "exercised {compared} non-answers");
+}

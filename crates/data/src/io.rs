@@ -1,0 +1,306 @@
+//! CSV import/export, so the generators' stand-ins can be swapped for
+//! the real datasets when available.
+//!
+//! Two schemas, matching the paper's sources:
+//!
+//! * **Season-record schema** (NBA-style): `player_id,label,a1,a2,…,aD`
+//!   — one row per season; rows sharing a `player_id` become the samples
+//!   of one uncertain object with equal appearance probabilities (the
+//!   paper's convention for the NBA file).
+//! * **Point schema** (CarDB-style): `label,a1,a2,…,aD` — one certain
+//!   object per row, ids assigned by position.
+//!
+//! Parsing is strict: malformed rows produce errors with line numbers,
+//! not silent skips.
+
+use crp_geom::Point;
+use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Errors raised by the CSV codecs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CsvError {
+    /// I/O failure (message only, to keep the error comparable).
+    Io(String),
+    /// A data row could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The file contained no data rows.
+    Empty,
+    /// Rows disagree on the number of attributes.
+    InconsistentArity {
+        /// 1-based line number.
+        line: usize,
+        /// Expected attribute count (from the first data row).
+        expected: usize,
+        /// Found attribute count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(m) => write!(f, "io error: {m}"),
+            CsvError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::InconsistentArity {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} attributes, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn parse_coords(fields: &[&str], line: usize) -> Result<Vec<f64>, CsvError> {
+    fields
+        .iter()
+        .map(|f| {
+            f.trim().parse::<f64>().map_err(|e| CsvError::Malformed {
+                line,
+                reason: format!("bad number {f:?}: {e}"),
+            })
+        })
+        .collect()
+}
+
+/// Parses season-record CSV text (`player_id,label,a1..aD`; `#` comments
+/// and blank lines ignored) into an uncertain dataset with equal sample
+/// probabilities per player.
+pub fn parse_season_records(text: &str) -> Result<UncertainDataset, CsvError> {
+    let mut players: BTreeMap<u32, (String, Vec<Point>)> = BTreeMap::new();
+    let mut arity: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let row = raw.trim();
+        if row.is_empty() || row.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() < 3 {
+            return Err(CsvError::Malformed {
+                line,
+                reason: "need player_id,label,attr1[,…]".into(),
+            });
+        }
+        let id: u32 = fields[0].trim().parse().map_err(|e| CsvError::Malformed {
+            line,
+            reason: format!("bad player id {:?}: {e}", fields[0]),
+        })?;
+        let label = fields[1].trim().to_string();
+        let coords = parse_coords(&fields[2..], line)?;
+        match arity {
+            None => arity = Some(coords.len()),
+            Some(a) if a != coords.len() => {
+                return Err(CsvError::InconsistentArity {
+                    line,
+                    expected: a,
+                    got: coords.len(),
+                })
+            }
+            _ => {}
+        }
+        players
+            .entry(id)
+            .or_insert_with(|| (label, Vec::new()))
+            .1
+            .push(Point::new(coords));
+    }
+    if players.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    UncertainDataset::from_objects(players.into_iter().map(|(id, (label, pts))| {
+        UncertainObject::with_equal_probs(ObjectId(id), pts)
+            .expect("parser yields non-empty sample lists")
+            .with_label(label)
+    }))
+    .map_err(|e| CsvError::Malformed {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Parses point CSV text (`label,a1..aD`) into a certain dataset.
+pub fn parse_points(text: &str) -> Result<UncertainDataset, CsvError> {
+    let mut objects = Vec::new();
+    let mut arity: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let row = raw.trim();
+        if row.is_empty() || row.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() < 2 {
+            return Err(CsvError::Malformed {
+                line,
+                reason: "need label,attr1[,…]".into(),
+            });
+        }
+        let label = fields[0].trim().to_string();
+        let coords = parse_coords(&fields[1..], line)?;
+        match arity {
+            None => arity = Some(coords.len()),
+            Some(a) if a != coords.len() => {
+                return Err(CsvError::InconsistentArity {
+                    line,
+                    expected: a,
+                    got: coords.len(),
+                })
+            }
+            _ => {}
+        }
+        objects.push(
+            UncertainObject::certain(ObjectId(objects.len() as u32), Point::new(coords))
+                .with_label(label),
+        );
+    }
+    if objects.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    UncertainDataset::from_objects(objects).map_err(|e| CsvError::Malformed {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Loads a season-record CSV file.
+pub fn load_season_records(path: impl AsRef<Path>) -> Result<UncertainDataset, CsvError> {
+    let text = fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    parse_season_records(&text)
+}
+
+/// Loads a point CSV file.
+pub fn load_points(path: impl AsRef<Path>) -> Result<UncertainDataset, CsvError> {
+    let text = fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    parse_points(&text)
+}
+
+/// Writes a dataset back out in season-record format (round-trips both
+/// certain and uncertain datasets; sample probabilities are assumed
+/// equal per object, as the schema prescribes).
+pub fn write_season_records(
+    ds: &UncertainDataset,
+    path: impl AsRef<Path>,
+) -> Result<(), CsvError> {
+    let mut out = String::new();
+    out.push_str("# player_id,label,attributes…\n");
+    for o in ds.iter() {
+        // Labels are a free-text field in a comma-separated format:
+        // commas inside them are replaced to keep rows parseable.
+        let label = o.label().unwrap_or("").replace(',', ";");
+        for s in o.samples() {
+            let coords: Vec<String> = s.point().iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!("{},{},{}\n", o.id().0, label, coords.join(",")));
+        }
+    }
+    let mut f = fs::File::create(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    f.write_all(out.as_bytes())
+        .map_err(|e| CsvError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEASONS: &str = "\
+# a comment
+23,Michael Jordan,3041,1098,652,650
+23,Michael Jordan,2868,1034,586,485
+
+33,Scottie Pippen,1866,687,630,452
+";
+
+    #[test]
+    fn season_records_roundtrip() {
+        let ds = parse_season_records(SEASONS).unwrap();
+        assert_eq!(ds.len(), 2);
+        let mj = ds.get(ObjectId(23)).unwrap();
+        assert_eq!(mj.label(), Some("Michael Jordan"));
+        assert_eq!(mj.sample_count(), 2);
+        assert!((mj.samples()[0].prob() - 0.5).abs() < 1e-12);
+        assert_eq!(ds.get(ObjectId(33)).unwrap().sample_count(), 1);
+        assert_eq!(ds.dim(), Some(4));
+
+        // Write + re-read = same data.
+        let path = std::env::temp_dir().join("crp_io_roundtrip.csv");
+        write_season_records(&ds, &path).unwrap();
+        let back = load_season_records(&path).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(
+            back.get(ObjectId(23)).unwrap().samples()[0].point(),
+            mj.samples()[0].point()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn points_schema() {
+        let ds = parse_points("car a,10995,34493\ncar b,8950,38449\n").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(ds.is_certain());
+        assert_eq!(ds.object_at(0).label(), Some("car a"));
+        assert_eq!(ds.object_at(1).certain_point(), &Point::from([8950.0, 38449.0]));
+    }
+
+    #[test]
+    fn malformed_rows_rejected_with_line_numbers() {
+        let err = parse_season_records("1,ok,1,2\nnot-a-number,x,3,4\n").unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 2, .. }), "{err}");
+
+        let err = parse_season_records("1,ok\n").unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 1, .. }));
+
+        let err = parse_points("a,1,2\nb,1\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::InconsistentArity {
+                line: 2,
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse_points("# only comments\n").unwrap_err(), CsvError::Empty);
+        assert_eq!(parse_season_records("").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn error_display() {
+        for (e, needle) in [
+            (CsvError::Io("boom".into()), "boom"),
+            (
+                CsvError::Malformed {
+                    line: 3,
+                    reason: "bad".into(),
+                },
+                "line 3",
+            ),
+            (CsvError::Empty, "no data"),
+            (
+                CsvError::InconsistentArity {
+                    line: 2,
+                    expected: 4,
+                    got: 3,
+                },
+                "expected 4",
+            ),
+        ] {
+            assert!(e.to_string().contains(needle));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! NBA-like career dataset (stand-in for www.databasebasketball.com).
+//!
+//! The paper's Table 3 case study models each player as an uncertain
+//! object whose samples are his season records — four attributes: total
+//! points (PTS), field goals made (FGM), rebounds (REB), assists (AST) —
+//! with equal appearance probabilities, then asks for the causes of a
+//! player's absence from the probabilistic reverse skyline of a "new
+//! position" query profile.
+//!
+//! The original file is not redistributable, so this module synthesises a
+//! league with the same statistical skeleton: 3,542 players with 1–17
+//! seasons each (≈15k records), position archetypes (guards pass,
+//! centres rebound), a skill distribution with a heavy star tail, and a
+//! career arc (rise, peak, decline). The case study's *shape* — a couple
+//! of dozen star players as causes with responsibilities `1/k` — is what
+//! matters, and it survives the substitution.
+
+use crate::rng::gaussian;
+use crp_geom::Point;
+use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic league.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NbaConfig {
+    /// Number of players (real dataset: 3,542).
+    pub players: usize,
+    /// Maximum seasons per player (real dataset: 17).
+    pub max_seasons: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NbaConfig {
+    fn default() -> Self {
+        Self {
+            players: 3_542,
+            max_seasons: 17,
+            seed: 0xBA11,
+        }
+    }
+}
+
+const FIRST_NAMES: [&str; 20] = [
+    "Marcus", "Deshawn", "Tyrell", "Jalen", "Andre", "Kendall", "Darius", "Malik", "Trevon",
+    "Isaiah", "Jamal", "Corey", "Devin", "Xavier", "Rashad", "Elgin", "Dominic", "Terrence",
+    "Quincy", "Langston",
+];
+
+const LAST_NAMES: [&str; 20] = [
+    "Walker", "Hayes", "Brooks", "Carter", "Ellison", "Fontaine", "Graves", "Holloway", "Irving",
+    "Jefferson", "Kendrick", "Lawson", "Maddox", "Norwood", "Okafor", "Pemberton", "Ramsey",
+    "Sterling", "Thibodeaux", "Underwood",
+];
+
+/// Position archetypes with (PTS, FGM, REB, AST) emphasis multipliers.
+const ARCHETYPES: [(&str, [f64; 4]); 3] = [
+    ("guard", [1.0, 1.0, 0.45, 1.8]),
+    ("forward", [1.05, 1.05, 1.1, 0.8]),
+    ("center", [0.9, 0.95, 1.9, 0.35]),
+];
+
+/// Generates the synthetic league. Attributes are season totals:
+/// PTS ∈ [0, ~3200], FGM ∈ [0, ~1300], REB ∈ [0, ~1500], AST ∈ [0, ~1100]
+/// (the ranges of the historical league).
+pub fn nba_dataset(config: &NbaConfig) -> UncertainDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let objects = (0..config.players).map(|i| {
+        let first = FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())];
+        let last = LAST_NAMES[rng.random_range(0..LAST_NAMES.len())];
+        let name = format!("{first} {last} ({i})");
+        let (_, emphasis) = ARCHETYPES[rng.random_range(0..ARCHETYPES.len())];
+        // Skill with a scarce star tail: most players are role players
+        // (skill near 0), a few are stars (skill close to 1).
+        let skill: f64 = rng.random::<f64>().powf(2.5);
+        let seasons = rng.random_range(1..=config.max_seasons);
+        let samples: Vec<Point> = (0..seasons)
+            .map(|s| {
+                // Career arc: ramp up to a mid-career peak, then decline.
+                // Stars are consistent (smaller arc swing, more games) —
+                // the property that keeps an elite subject's dominance
+                // windows small in every season, as in the real league.
+                let t = (s as f64 + 0.5) / config.max_seasons as f64;
+                let swing = 0.28 * (1.0 - 0.8 * skill);
+                let arc = 1.0 - swing * (1.0 - (std::f64::consts::PI * t.min(0.95)).sin());
+                // Games played scales the season totals.
+                let games = rng.random_range((58.0 + 20.0 * skill)..82.0);
+                let minutes_share = 0.35 + 0.65 * skill;
+                let base = games * minutes_share * arc;
+                let pts = (base * emphasis[0] * 36.0 + gaussian(&mut rng, 0.0, 40.0)).max(0.0);
+                let fgm = (pts * 0.43 + gaussian(&mut rng, 0.0, 15.0)).max(0.0);
+                let reb = (base * emphasis[2] * 9.5 + gaussian(&mut rng, 0.0, 25.0)).max(0.0);
+                let ast = (base * emphasis[3] * 5.5 + gaussian(&mut rng, 0.0, 20.0)).max(0.0);
+                Point::new(vec![pts.round(), fgm.round(), reb.round(), ast.round()])
+            })
+            .collect();
+        UncertainObject::with_equal_probs(ObjectId(i as u32), samples)
+            .expect("season records are valid samples")
+            .with_label(name)
+    });
+    UncertainDataset::from_objects(objects).expect("player ids are unique")
+}
+
+/// The query profile of the paper's case study: a "new position" asking
+/// for roughly 3,500 points, 1,500 field goals, 600 rebounds and 800
+/// assists — an aspirational stat line only stars approach.
+pub fn nba_position_query() -> Point {
+    Point::new(vec![3_500.0, 1_500.0, 600.0, 800.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> UncertainDataset {
+        nba_dataset(&NbaConfig {
+            players: 400,
+            seed: 42,
+            ..NbaConfig::default()
+        })
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let ds = small();
+        assert_eq!(ds.len(), 400);
+        assert_eq!(ds.dim(), Some(4));
+        for o in ds.iter() {
+            assert!((1..=17).contains(&o.sample_count()));
+            assert!(o.label().is_some());
+            for s in o.samples() {
+                for d in 0..4 {
+                    assert!(s.point()[d] >= 0.0, "non-negative season totals");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_magnitudes() {
+        let ds = small();
+        let max_pts = ds
+            .iter()
+            .flat_map(|o| o.samples())
+            .map(|s| s.point()[0])
+            .fold(0.0, f64::max);
+        assert!(max_pts > 1_500.0, "stars exist: max PTS {max_pts}");
+        assert!(max_pts < 5_000.0, "nobody superhuman: max PTS {max_pts}");
+        // Full default-size league has ~15k records like the real file.
+        let full = nba_dataset(&NbaConfig::default());
+        let records = full.total_samples();
+        assert!(
+            (10_000..=40_000).contains(&records),
+            "season records: {records}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(
+            a.object_at(13).samples()[0].point(),
+            b.object_at(13).samples()[0].point()
+        );
+        assert_eq!(a.object_at(13).label(), b.object_at(13).label());
+    }
+
+    #[test]
+    fn archetypes_differentiate_stats() {
+        // Across a reasonably large league, some players are assist-heavy
+        // and others rebound-heavy — the archetype signal must survive
+        // the noise.
+        let ds = nba_dataset(&NbaConfig {
+            players: 600,
+            seed: 5,
+            ..NbaConfig::default()
+        });
+        let mut ast_heavy = 0;
+        let mut reb_heavy = 0;
+        for o in ds.iter() {
+            let e = o.expectation();
+            if e[3] > 2.0 * e[2] {
+                ast_heavy += 1;
+            }
+            if e[2] > 2.0 * e[3] {
+                reb_heavy += 1;
+            }
+        }
+        assert!(ast_heavy > 50, "guards: {ast_heavy}");
+        assert!(reb_heavy > 50, "centers: {reb_heavy}");
+    }
+
+    #[test]
+    fn query_profile_is_4d() {
+        assert_eq!(nba_position_query().dim(), 4);
+    }
+}

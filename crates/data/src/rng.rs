@@ -1,0 +1,80 @@
+//! Sampling helpers on top of the `rand` crate.
+//!
+//! `rand_distr` is not among the sanctioned dependencies, so the Gaussian
+//! sampler is a hand-rolled Box–Muller transform (plenty for workload
+//! generation).
+
+use rand::Rng;
+
+/// One draw from `N(mean, sd²)` via the Box–Muller transform.
+pub fn gaussian(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    // Avoid ln(0) by sampling the half-open unit interval from the top.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + sd * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gaussian draw clamped into `[lo, hi]`.
+pub fn gaussian_clamped(rng: &mut impl Rng, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    gaussian(rng, mean, sd).clamp(lo, hi)
+}
+
+/// A skewed draw over `[0, scale]`: `scale · u^power` concentrates the
+/// mass near 0 for `power > 1` (the paper's "Skew" centre distribution).
+pub fn skewed(rng: &mut impl Rng, scale: f64, power: f64) -> f64 {
+    scale * rng.random::<f64>().powf(power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 5.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_clamped_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = gaussian_clamped(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn skewed_is_bounded_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..10_000).map(|_| skewed(&mut rng, 100.0, 3.0)).collect();
+        assert!(draws.iter().all(|x| (0.0..=100.0).contains(x)));
+        // P(100·u³ < 50) = 0.5^(1/3) ≈ 0.794.
+        let below_half = draws.iter().filter(|x| **x < 50.0).count();
+        assert!(
+            (7_600..8_200).contains(&below_half),
+            "power-3 skew should concentrate low: {below_half}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| gaussian(&mut rng, 0.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| gaussian(&mut rng, 0.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,298 @@
+//! Synthetic uncertain datasets (the paper's lUrU / lUrG / lSrU / lSrG).
+
+use crate::rng::{gaussian_clamped, skewed};
+use crp_geom::{HyperRect, Point};
+use crp_uncertain::{ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainObject};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution of object centres over the domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CenterDistribution {
+    /// Uniform per dimension (`lU`).
+    Uniform,
+    /// Skewed toward the origin, `domain · u³` per dimension (`lS`).
+    Skewed,
+}
+
+/// Distribution of uncertain-region radii.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RadiusDistribution {
+    /// Uniform over `[r_min, r_max]` (`rU`).
+    Uniform,
+    /// Gaussian with mean `(r_min+r_max)/2`, sd `(r_max−r_min)/6`,
+    /// clamped into `[r_min, r_max]` (`rG`).
+    Gaussian,
+}
+
+/// Parameters of the synthetic uncertain generator (Table 2 of the paper
+/// gives the ranges; these defaults are its default column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UncertainConfig {
+    /// Dimensionality `d` (paper: 2–5, default 3).
+    pub dim: usize,
+    /// Number of objects (paper: 10K–1000K, default 100K).
+    pub cardinality: usize,
+    /// Centre distribution (`lU` / `lS`).
+    pub centers: CenterDistribution,
+    /// Radius distribution (`rU` / `rG`).
+    pub radii: RadiusDistribution,
+    /// Radius range `[r_min, r_max]` (paper default `[0, 5]`).
+    pub radius_range: (f64, f64),
+    /// Samples per object, inclusive range (the paper notes CP's cost is
+    /// independent of the instance count; default 2–4).
+    pub samples_per_object: (usize, usize),
+    /// Domain upper bound per dimension (paper: 10,000).
+    pub domain: f64,
+    /// RNG seed — the generator is a pure function of this config.
+    pub seed: u64,
+}
+
+impl Default for UncertainConfig {
+    fn default() -> Self {
+        Self {
+            dim: 3,
+            cardinality: 100_000,
+            centers: CenterDistribution::Uniform,
+            radii: RadiusDistribution::Uniform,
+            radius_range: (0.0, 5.0),
+            samples_per_object: (2, 4),
+            domain: 10_000.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl UncertainConfig {
+    /// The four named dataset families of Section 5.1.
+    pub fn family(
+        centers: CenterDistribution,
+        radii: RadiusDistribution,
+    ) -> Self {
+        Self {
+            centers,
+            radii,
+            ..Self::default()
+        }
+    }
+
+    /// The family's conventional name (`lUrU`, `lUrG`, `lSrU`, `lSrG`).
+    pub fn family_name(&self) -> &'static str {
+        match (self.centers, self.radii) {
+            (CenterDistribution::Uniform, RadiusDistribution::Uniform) => "lUrU",
+            (CenterDistribution::Uniform, RadiusDistribution::Gaussian) => "lUrG",
+            (CenterDistribution::Skewed, RadiusDistribution::Uniform) => "lSrU",
+            (CenterDistribution::Skewed, RadiusDistribution::Gaussian) => "lSrG",
+        }
+    }
+
+    fn center(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.dim)
+            .map(|_| match self.centers {
+                CenterDistribution::Uniform => rng.random_range(0.0..self.domain),
+                CenterDistribution::Skewed => skewed(rng, self.domain, 3.0),
+            })
+            .collect()
+    }
+
+    fn radius(&self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = self.radius_range;
+        if hi <= lo {
+            return lo;
+        }
+        match self.radii {
+            RadiusDistribution::Uniform => rng.random_range(lo..hi),
+            RadiusDistribution::Gaussian => {
+                gaussian_clamped(rng, 0.5 * (lo + hi), (hi - lo) / 6.0, lo, hi)
+            }
+        }
+    }
+
+    /// The uncertain region: a random hyper-rectangle tightly bounded by
+    /// the sphere of radius `r` around the centre — per-axis half-extents
+    /// drawn in `[r/2, r]/√d` so the rectangle's corners stay within the
+    /// sphere, clipped to the domain.
+    fn region(&self, rng: &mut StdRng, center: &[f64], r: f64) -> HyperRect {
+        let scale = 1.0 / (self.dim as f64).sqrt();
+        let lo: Vec<f64> = Vec::with_capacity(self.dim);
+        let mut lo = lo;
+        let mut hi = Vec::with_capacity(self.dim);
+        for c in center {
+            let ext = if r > 0.0 {
+                rng.random_range(0.5 * r..=r) * scale
+            } else {
+                0.0
+            };
+            lo.push((c - ext).clamp(0.0, self.domain));
+            hi.push((c + ext).clamp(0.0, self.domain));
+        }
+        HyperRect::new(Point::new(lo), Point::new(hi))
+    }
+}
+
+/// Generates a discrete-sample uncertain dataset per the config: regions
+/// as above, samples uniform within the region with equal appearance
+/// probabilities.
+pub fn uncertain_dataset(config: &UncertainConfig) -> UncertainDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let objects = (0..config.cardinality).map(|i| {
+        let center = config.center(&mut rng);
+        let r = config.radius(&mut rng);
+        let region = config.region(&mut rng, &center, r);
+        let (smin, smax) = config.samples_per_object;
+        let l = if smax > smin {
+            rng.random_range(smin..=smax)
+        } else {
+            smin
+        };
+        let samples: Vec<Point> = (0..l.max(1))
+            .map(|_| {
+                Point::new(
+                    (0..config.dim)
+                        .map(|d| {
+                            let (lo, hi) = (region.lo()[d], region.hi()[d]);
+                            if hi > lo {
+                                rng.random_range(lo..=hi)
+                            } else {
+                                lo
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        UncertainObject::with_equal_probs(ObjectId(i as u32), samples)
+            .expect("generator produces valid objects")
+    });
+    UncertainDataset::from_objects(objects).expect("generator produces unique ids")
+}
+
+/// Generates the continuous-model twin of [`uncertain_dataset`]: the same
+/// regions carrying uniform pdfs instead of discrete samples.
+pub fn pdf_dataset(config: &UncertainConfig) -> PdfDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let objects = (0..config.cardinality).map(|i| {
+        let center = config.center(&mut rng);
+        let r = config.radius(&mut rng);
+        let region = config.region(&mut rng, &center, r);
+        PdfObject::uniform(ObjectId(i as u32), region)
+    });
+    PdfDataset::from_objects(objects).expect("generator produces unique ids")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(centers: CenterDistribution, radii: RadiusDistribution) -> UncertainConfig {
+        UncertainConfig {
+            cardinality: 500,
+            centers,
+            radii,
+            seed: 7,
+            ..UncertainConfig::default()
+        }
+    }
+
+    #[test]
+    fn respects_cardinality_dim_and_sample_range() {
+        let cfg = small(CenterDistribution::Uniform, RadiusDistribution::Uniform);
+        let ds = uncertain_dataset(&cfg);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dim(), Some(3));
+        for o in ds.iter() {
+            assert!((2..=4).contains(&o.sample_count()));
+            for s in o.samples() {
+                for d in 0..3 {
+                    assert!((0.0..=10_000.0).contains(&s.point()[d]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regions_bounded_by_radius() {
+        let cfg = small(CenterDistribution::Uniform, RadiusDistribution::Uniform);
+        let ds = uncertain_dataset(&cfg);
+        let (_, rmax) = cfg.radius_range;
+        for o in ds.iter() {
+            let mbr = o.mbr();
+            for d in 0..3 {
+                assert!(
+                    mbr.extent(d) <= 2.0 * rmax / (3.0f64).sqrt() + 1e-9,
+                    "extent {} exceeds radius bound",
+                    mbr.extent(d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let cfg = small(CenterDistribution::Uniform, RadiusDistribution::Gaussian);
+        let a = uncertain_dataset(&cfg);
+        let b = uncertain_dataset(&cfg);
+        assert_eq!(
+            a.object_at(7).samples()[0].point(),
+            b.object_at(7).samples()[0].point()
+        );
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 8;
+        let c = uncertain_dataset(&cfg2);
+        assert_ne!(
+            a.object_at(7).samples()[0].point(),
+            c.object_at(7).samples()[0].point()
+        );
+    }
+
+    #[test]
+    fn skewed_centers_concentrate_low() {
+        let skew = uncertain_dataset(&small(
+            CenterDistribution::Skewed,
+            RadiusDistribution::Uniform,
+        ));
+        let below: usize = skew
+            .iter()
+            .filter(|o| o.expectation()[0] < 5_000.0)
+            .count();
+        assert!(below > 350, "skewed: {below}/500 below mid-domain");
+    }
+
+    #[test]
+    fn family_names() {
+        for (c, r, name) in [
+            (CenterDistribution::Uniform, RadiusDistribution::Uniform, "lUrU"),
+            (CenterDistribution::Uniform, RadiusDistribution::Gaussian, "lUrG"),
+            (CenterDistribution::Skewed, RadiusDistribution::Uniform, "lSrU"),
+            (CenterDistribution::Skewed, RadiusDistribution::Gaussian, "lSrG"),
+        ] {
+            assert_eq!(UncertainConfig::family(c, r).family_name(), name);
+        }
+    }
+
+    #[test]
+    fn zero_radius_degenerates_to_certain_points() {
+        let cfg = UncertainConfig {
+            cardinality: 50,
+            radius_range: (0.0, 0.0),
+            samples_per_object: (1, 1),
+            seed: 3,
+            ..UncertainConfig::default()
+        };
+        let ds = uncertain_dataset(&cfg);
+        assert!(ds.is_certain());
+    }
+
+    #[test]
+    fn pdf_dataset_mirrors_config() {
+        let cfg = small(CenterDistribution::Uniform, RadiusDistribution::Uniform);
+        let pds = pdf_dataset(&cfg);
+        assert_eq!(pds.len(), 500);
+        assert_eq!(pds.dim(), Some(3));
+        for o in pds.iter() {
+            for d in 0..3 {
+                assert!(o.region().lo()[d] >= 0.0 && o.region().hi()[d] <= 10_000.0);
+            }
+        }
+    }
+}

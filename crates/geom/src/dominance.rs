@@ -1,0 +1,200 @@
+//! Dominance predicates.
+//!
+//! Two relations matter in this workspace:
+//!
+//! * **Classic (min) dominance** used by skyline queries: `a` dominates `b`
+//!   iff `a[i] ≤ b[i]` for all `i` and `a[j] < b[j]` for some `j`
+//!   (smaller-is-better convention, as in the paper).
+//! * **Dynamic dominance** `p1 ≺_{p3} p2` (Papadias et al., used by
+//!   Definition 3 of Gao et al.): `|p1[i]−p3[i]| ≤ |p2[i]−p3[i]|` for all
+//!   `i`, strict for some `j`. Reverse skylines, and every lemma in the
+//!   paper, are stated in terms of this relation with `p2 = q`.
+
+use crate::{Coord, HyperRect, Point};
+
+/// Result of a three-way dominance comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DominanceOrdering {
+    /// First point dominates the second.
+    Dominates,
+    /// Second point dominates the first.
+    DominatedBy,
+    /// Neither dominates (incomparable or equal).
+    Incomparable,
+}
+
+/// Classic skyline dominance (smaller-is-better): `a ≺ b`.
+///
+/// ```
+/// use crp_geom::{dominates_min, Point};
+/// let a = Point::from([1.0, 2.0]);
+/// let b = Point::from([1.0, 3.0]);
+/// assert!(dominates_min(&a, &b));
+/// assert!(!dominates_min(&b, &a));
+/// assert!(!dominates_min(&a, &a)); // dominance is irreflexive
+/// ```
+pub fn dominates_min(a: &Point, b: &Point) -> bool {
+    debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    let mut strict = false;
+    for i in 0..a.dim() {
+        if a[i] > b[i] {
+            return false;
+        }
+        if a[i] < b[i] {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Dynamic dominance `p1 ≺_{center} p2`: is `p1` closer to `center` than
+/// `p2` coordinate-wise (strictly in at least one dimension)?
+///
+/// This is the relation written `p1 ≺_{p3} p2` in the paper; reverse
+/// skyline membership of `p` w.r.t. query `q` fails exactly when some
+/// other object dominates `q` w.r.t. `p`.
+///
+/// ```
+/// use crp_geom::{dominates, Point};
+/// let center = Point::from([5.0, 5.0]);
+/// let p1 = Point::from([4.0, 6.0]);  // distances (1, 1)
+/// let q = Point::from([2.0, 8.0]);   // distances (3, 3)
+/// assert!(dominates(&p1, &center, &q));
+/// assert!(!dominates(&q, &center, &p1));
+/// ```
+pub fn dominates(p1: &Point, center: &Point, p2: &Point) -> bool {
+    debug_assert_eq!(p1.dim(), center.dim(), "dimension mismatch");
+    debug_assert_eq!(p2.dim(), center.dim(), "dimension mismatch");
+    let mut strict = false;
+    for i in 0..center.dim() {
+        let d1 = (p1[i] - center[i]).abs();
+        let d2 = (p2[i] - center[i]).abs();
+        if d1 > d2 {
+            return false;
+        }
+        if d1 < d2 {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// The hyper-rectangle of Lemma 2: centred at `center` with the
+/// coordinate-wise distance to `q` as its half-extent.
+///
+/// Every point that dynamically dominates `q` w.r.t. `center` lies inside
+/// this (closed) rectangle; the converse does not hold only for boundary
+/// points that tie in every dimension, which the exact [`dominates`] check
+/// resolves. This is the filter window used by both CP and CR.
+pub fn dominance_rect(center: &Point, q: &Point) -> HyperRect {
+    debug_assert_eq!(center.dim(), q.dim(), "dimension mismatch");
+    let ext: Vec<Coord> = (0..center.dim()).map(|i| (q[i] - center[i]).abs()).collect();
+    HyperRect::centered(center, &ext)
+}
+
+/// Whether `p` lies *strictly* inside the extent of the dominance
+/// rectangle of (`center`, `q`) in at least one dimension while being
+/// within it in all dimensions — i.e. exactly `p ≺_center q`.
+///
+/// Provided as a named alias so call sites can express intent when working
+/// with filter windows.
+#[inline]
+pub fn strictly_inside_extent(p: &Point, center: &Point, q: &Point) -> bool {
+    dominates(p, center, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_dominance() {
+        let a = Point::from([1.0, 1.0]);
+        let b = Point::from([2.0, 2.0]);
+        let c = Point::from([0.0, 3.0]);
+        assert!(dominates_min(&a, &b));
+        assert!(!dominates_min(&b, &a));
+        assert!(!dominates_min(&a, &c));
+        assert!(!dominates_min(&c, &a));
+        assert!(!dominates_min(&a, &a));
+    }
+
+    #[test]
+    fn dynamic_dominance_requires_strictness() {
+        let center = Point::from([0.0, 0.0]);
+        let p = Point::from([1.0, 1.0]);
+        let mirrored = Point::from([-1.0, -1.0]); // same abs distances
+        assert!(!dominates(&p, &center, &mirrored));
+        assert!(!dominates(&mirrored, &center, &p));
+    }
+
+    #[test]
+    fn dynamic_dominance_example_from_paper_figure() {
+        // q is dominated by p1 w.r.t. center when p1 is coordinate-wise
+        // closer to center than q.
+        let center = Point::from([6.0, 6.0]);
+        let q = Point::from([3.0, 3.0]);
+        let closer = Point::from([5.0, 4.0]);
+        let farther = Point::from([1.0, 5.0]);
+        assert!(dominates(&closer, &center, &q));
+        assert!(!dominates(&farther, &center, &q));
+    }
+
+    #[test]
+    fn dynamic_dominance_uses_absolute_distances() {
+        // A point on the *other side* of center can still dominate.
+        let center = Point::from([10.0, 10.0]);
+        let q = Point::from([4.0, 4.0]); // distance (6, 6)
+        let opposite = Point::from([14.0, 15.0]); // distance (4, 5)
+        assert!(dominates(&opposite, &center, &q));
+    }
+
+    #[test]
+    fn dominance_rect_contains_exactly_the_window() {
+        let center = Point::from([5.0, 5.0]);
+        let q = Point::from([8.0, 3.0]); // distances (3, 2)
+        let rect = dominance_rect(&center, &q);
+        assert_eq!(rect.lo(), &Point::from([2.0, 3.0]));
+        assert_eq!(rect.hi(), &Point::from([8.0, 7.0]));
+        // q itself sits on the boundary of the rect.
+        assert!(rect.contains_point(&q));
+        // Everything that dominates q w.r.t. center is inside the rect.
+        let inside = Point::from([4.0, 5.5]);
+        assert!(dominates(&inside, &center, &q));
+        assert!(rect.contains_point(&inside));
+    }
+
+    #[test]
+    fn boundary_point_in_rect_but_not_dominating() {
+        // Corner of the window ties in every dimension: inside the closed
+        // rect, but NOT dominating (no strict dimension).
+        let center = Point::from([5.0, 5.0]);
+        let q = Point::from([8.0, 3.0]);
+        let corner = Point::from([2.0, 7.0]); // distances (3, 2) == q's
+        let rect = dominance_rect(&center, &q);
+        assert!(rect.contains_point(&corner));
+        assert!(!dominates(&corner, &center, &q));
+    }
+
+    #[test]
+    fn degenerate_center_equals_q() {
+        // When center == q the window collapses to the point itself and
+        // nothing can dominate q w.r.t. center.
+        let center = Point::from([1.0, 2.0]);
+        let rect = dominance_rect(&center, &center);
+        assert_eq!(rect.volume(), 0.0);
+        let p = Point::from([1.0, 2.0]);
+        assert!(!dominates(&p, &center, &center));
+    }
+
+    #[test]
+    fn dynamic_dominance_is_transitive_when_composable() {
+        let center = Point::from([0.0, 0.0]);
+        let a = Point::from([1.0, 1.0]);
+        let b = Point::from([2.0, 2.0]);
+        let c = Point::from([3.0, 3.0]);
+        assert!(dominates(&a, &center, &b));
+        assert!(dominates(&b, &center, &c));
+        assert!(dominates(&a, &center, &c));
+    }
+}

@@ -1,0 +1,57 @@
+//! Geometric primitives for the probabilistic reverse skyline causality
+//! library.
+//!
+//! This crate provides the `D`-dimensional building blocks used throughout
+//! the workspace:
+//!
+//! * [`Point`] — an owned `D`-dimensional coordinate vector,
+//! * [`HyperRect`] — an axis-aligned hyper-rectangle (closed on all faces),
+//! * dominance predicates — classic skyline dominance and the *dynamic*
+//!   dominance relation `p1 ≺_{p3} p2` of Papadias et al. that reverse
+//!   skyline queries are defined over,
+//! * [`dominance_rect`] — the hyper-rectangle of Lemma 2 in Gao et al.
+//!   (TKDE 2016): centred at a sample with the coordinate-wise distance to
+//!   the query object as its extent,
+//! * sub-quadrant (orthant) helpers used by the continuous-pdf model.
+//!
+//! Everything here is deliberately dependency-free and allocation-light;
+//! the hot paths of the CP/CR algorithms lean on these predicates.
+
+mod dominance;
+mod point;
+mod quadrant;
+mod rect;
+
+pub use dominance::{
+    dominance_rect, dominates, dominates_min, strictly_inside_extent, DominanceOrdering,
+};
+pub use point::Point;
+pub use quadrant::{
+    farthest_axis_distances, quadrant_corners, quadrant_of, quadrant_rect, single_quadrant,
+    QuadrantMask,
+};
+pub use rect::HyperRect;
+
+/// Floating-point coordinate type used across the workspace.
+pub type Coord = f64;
+
+/// Absolute tolerance used when comparing probabilities and coordinates
+/// that are derived from sums/products of sample probabilities.
+///
+/// The CP algorithm compares accumulated probabilities against thresholds
+/// (`Pr(u) ≥ α`, `Pr{u' ≺ q} = 1`, …). Those values are produced by short
+/// chains of IEEE-754 multiplications, so a tolerance a few orders of
+/// magnitude above machine epsilon is both safe and necessary.
+pub const PROB_EPSILON: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prob_epsilon_is_tiny_but_not_machine_eps() {
+        let eps = PROB_EPSILON;
+        assert!(eps > f64::EPSILON);
+        assert!(eps < 1e-6);
+    }
+}

@@ -1,0 +1,230 @@
+//! Owned `D`-dimensional points.
+
+use crate::Coord;
+use std::fmt;
+use std::ops::Index;
+
+/// An owned point in `D`-dimensional space.
+///
+/// The dimensionality is dynamic (the paper evaluates `d ∈ [2, 5]`), so the
+/// coordinates are stored in a boxed slice: two machine words on the stack,
+/// one allocation, no excess capacity.
+///
+/// ```
+/// use crp_geom::Point;
+/// let p = Point::new(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(p.dim(), 3);
+/// assert_eq!(p[1], 2.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Box<[Coord]>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` is empty or contains a non-finite value; the
+    /// algorithms in this workspace are only defined over finite
+    /// coordinates.
+    pub fn new(coords: impl Into<Vec<Coord>>) -> Self {
+        let coords: Vec<Coord> = coords.into();
+        assert!(!coords.is_empty(), "a point must have at least 1 dimension");
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite"
+        );
+        Self {
+            coords: coords.into_boxed_slice(),
+        }
+    }
+
+    /// A point at the origin of `dim`-dimensional space.
+    pub fn origin(dim: usize) -> Self {
+        Self::new(vec![0.0; dim])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate slice.
+    #[inline]
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// Iterator over the coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.coords.iter().copied()
+    }
+
+    /// Euclidean distance to another point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn distance(&self, other: &Point) -> Coord {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper when only comparing).
+    pub fn distance_sq(&self, other: &Point) -> Coord {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// L∞ (Chebyshev) distance to another point.
+    pub fn linf_distance(&self, other: &Point) -> Coord {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, Coord::max)
+    }
+
+    /// Coordinate-wise absolute difference `|self - other|`, the transform
+    /// that maps dynamic dominance w.r.t. `other` onto classic dominance.
+    pub fn abs_diff(&self, other: &Point) -> Point {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        Point::new(
+            self.coords
+                .iter()
+                .zip(other.coords.iter())
+                .map(|(a, b)| (a - b).abs())
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = Coord;
+
+    #[inline]
+    fn index(&self, i: usize) -> &Coord {
+        &self.coords[i]
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<Coord>> for Point {
+    fn from(v: Vec<Coord>) -> Self {
+        Point::new(v)
+    }
+}
+
+impl From<&[Coord]> for Point {
+    fn from(v: &[Coord]) -> Self {
+        Point::new(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[Coord; N]> for Point {
+    fn from(v: [Coord; N]) -> Self {
+        Point::new(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let p = Point::new(vec![1.0, -2.5, 4.0]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[2], 4.0);
+        assert_eq!(p.coords(), &[1.0, -2.5, 4.0]);
+    }
+
+    #[test]
+    fn from_array_and_slice() {
+        let a: Point = [1.0, 2.0].into();
+        let s: Point = (&[1.0, 2.0][..]).into();
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 dimension")]
+    fn empty_point_rejected() {
+        let _ = Point::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Point::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        let _ = Point::new(vec![f64::INFINITY, 0.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(vec![0.0, 0.0]);
+        let b = Point::new(vec![3.0, 4.0]);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.linf_distance(&b), 4.0);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Point::new(vec![1.0, 5.0]);
+        let b = Point::new(vec![4.0, 2.0]);
+        assert_eq!(a.abs_diff(&b), b.abs_diff(&a));
+        assert_eq!(a.abs_diff(&b), Point::new(vec![3.0, 3.0]));
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        let o = Point::origin(4);
+        assert_eq!(o.dim(), 4);
+        assert!(o.iter().all(|c| c == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn distance_dimension_mismatch_panics() {
+        let a = Point::new(vec![0.0]);
+        let b = Point::new(vec![0.0, 1.0]);
+        let _ = a.distance(&b);
+    }
+
+    #[test]
+    fn debug_format() {
+        let p = Point::new(vec![1.0, 2.0]);
+        assert_eq!(format!("{p:?}"), "(1, 2)");
+    }
+}

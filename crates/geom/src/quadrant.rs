@@ -1,0 +1,167 @@
+//! Sub-quadrant (orthant) decomposition around a query object.
+//!
+//! The continuous-pdf variant of the CP algorithm (Section 3.2 of the
+//! paper) splits the space around the query object `q` into `2^D`
+//! sub-quadrants. An uncertain region that straddles several quadrants
+//! contributes one filter rectangle *per quadrant* (formed from the
+//! farthest point of the region inside that quadrant), and only objects
+//! whose region lies in a single quadrant can generate the "must be in
+//! every contingency set" rectangle.
+
+use crate::{Coord, HyperRect, Point};
+
+/// Bitmask identifying one of the `2^D` orthants around a query point:
+/// bit `i` is set when the coordinate is `≥ q[i]`.
+pub type QuadrantMask = u32;
+
+/// The quadrant of `x` relative to `q`.
+///
+/// Points exactly on a splitting hyperplane are assigned to the `≥` side;
+/// quadrant membership is only used to build conservative filter windows,
+/// so the tie direction is irrelevant for correctness.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on dimension mismatch, or if `D > 32`.
+pub fn quadrant_of(q: &Point, x: &Point) -> QuadrantMask {
+    debug_assert_eq!(q.dim(), x.dim(), "dimension mismatch");
+    assert!(q.dim() <= 32, "quadrant masks support at most 32 dimensions");
+    let mut mask = 0u32;
+    for i in 0..q.dim() {
+        if x[i] >= q[i] {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Clips `rect` to the quadrant `mask` around `q`, returning the part of
+/// the rectangle lying in that quadrant (if any).
+pub fn quadrant_rect(q: &Point, rect: &HyperRect, mask: QuadrantMask) -> Option<HyperRect> {
+    let dim = q.dim();
+    debug_assert_eq!(dim, rect.dim(), "dimension mismatch");
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    for i in 0..dim {
+        let (l, h) = if mask & (1 << i) != 0 {
+            (rect.lo()[i].max(q[i]), rect.hi()[i])
+        } else {
+            (rect.lo()[i], rect.hi()[i].min(q[i]))
+        };
+        if l > h {
+            return None;
+        }
+        lo.push(l);
+        hi.push(h);
+    }
+    Some(HyperRect::new(Point::new(lo), Point::new(hi)))
+}
+
+/// Enumerates, for every quadrant that `rect` overlaps, the clipped
+/// sub-rectangle together with its quadrant mask.
+pub fn quadrant_corners(q: &Point, rect: &HyperRect) -> Vec<(QuadrantMask, HyperRect)> {
+    let dim = q.dim();
+    let mut out = Vec::new();
+    for mask in 0..(1u32 << dim) {
+        if let Some(sub) = quadrant_rect(q, rect, mask) {
+            // Skip degenerate slivers produced when the rect only touches
+            // the splitting hyperplane: they carry no probability mass,
+            // except when the rect itself is degenerate in that axis.
+            let genuinely_overlaps = (0..dim).all(|i| {
+                let on_plane_only = sub.lo()[i] == sub.hi()[i] && rect.lo()[i] != rect.hi()[i];
+                !on_plane_only
+            });
+            if genuinely_overlaps {
+                out.push((mask, sub));
+            }
+        }
+    }
+    out
+}
+
+/// True when `rect` lies entirely within one quadrant of `q` (it may touch
+/// the splitting hyperplanes on its boundary).
+pub fn single_quadrant(q: &Point, rect: &HyperRect) -> bool {
+    (0..q.dim()).all(|i| rect.hi()[i] <= q[i] || rect.lo()[i] >= q[i])
+}
+
+/// Per-axis farthest absolute distance from `q` to any point of `rect`.
+pub fn farthest_axis_distances(q: &Point, rect: &HyperRect) -> Vec<Coord> {
+    (0..q.dim())
+        .map(|i| (q[i] - rect.lo()[i]).abs().max((q[i] - rect.hi()[i]).abs()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_masks_2d() {
+        let q = Point::from([5.0, 5.0]);
+        assert_eq!(quadrant_of(&q, &Point::from([6.0, 6.0])), 0b11);
+        assert_eq!(quadrant_of(&q, &Point::from([4.0, 6.0])), 0b10);
+        assert_eq!(quadrant_of(&q, &Point::from([6.0, 4.0])), 0b01);
+        assert_eq!(quadrant_of(&q, &Point::from([4.0, 4.0])), 0b00);
+        // Ties go to the >= side.
+        assert_eq!(quadrant_of(&q, &q), 0b11);
+    }
+
+    #[test]
+    fn clip_to_quadrant() {
+        let q = Point::from([5.0, 5.0]);
+        let rect = HyperRect::new(Point::from([4.0, 4.0]), Point::from([6.0, 6.0]));
+        let ne = quadrant_rect(&q, &rect, 0b11).unwrap();
+        assert_eq!(ne.lo(), &Point::from([5.0, 5.0]));
+        assert_eq!(ne.hi(), &Point::from([6.0, 6.0]));
+        let sw = quadrant_rect(&q, &rect, 0b00).unwrap();
+        assert_eq!(sw.lo(), &Point::from([4.0, 4.0]));
+        assert_eq!(sw.hi(), &Point::from([5.0, 5.0]));
+    }
+
+    #[test]
+    fn clip_misses_far_quadrant() {
+        let q = Point::from([5.0, 5.0]);
+        let rect = HyperRect::new(Point::from([6.0, 6.0]), Point::from([7.0, 7.0]));
+        assert!(quadrant_rect(&q, &rect, 0b00).is_none());
+        assert!(quadrant_rect(&q, &rect, 0b11).is_some());
+    }
+
+    #[test]
+    fn corners_enumerates_only_overlapping_quadrants() {
+        let q = Point::from([5.0, 5.0]);
+        // Straddles the vertical split only -> two quadrants.
+        let rect = HyperRect::new(Point::from([4.0, 6.0]), Point::from([6.0, 7.0]));
+        let parts = quadrant_corners(&q, &rect);
+        assert_eq!(parts.len(), 2);
+        let masks: Vec<_> = parts.iter().map(|(m, _)| *m).collect();
+        assert!(masks.contains(&0b10));
+        assert!(masks.contains(&0b11));
+    }
+
+    #[test]
+    fn corners_full_straddle() {
+        let q = Point::from([5.0, 5.0]);
+        let rect = HyperRect::new(Point::from([3.0, 3.0]), Point::from([7.0, 7.0]));
+        assert_eq!(quadrant_corners(&q, &rect).len(), 4);
+    }
+
+    #[test]
+    fn single_quadrant_detection() {
+        let q = Point::from([5.0, 5.0]);
+        let inside = HyperRect::new(Point::from([6.0, 6.0]), Point::from([8.0, 7.0]));
+        let straddle = HyperRect::new(Point::from([4.0, 6.0]), Point::from([6.0, 7.0]));
+        let touching = HyperRect::new(Point::from([5.0, 6.0]), Point::from([7.0, 8.0]));
+        assert!(single_quadrant(&q, &inside));
+        assert!(!single_quadrant(&q, &straddle));
+        assert!(single_quadrant(&q, &touching));
+    }
+
+    #[test]
+    fn farthest_axis_distances_outside_and_spanning() {
+        let q = Point::from([5.0, 5.0]);
+        let rect = HyperRect::new(Point::from([6.0, 2.0]), Point::from([8.0, 6.0]));
+        let d = farthest_axis_distances(&q, &rect);
+        assert_eq!(d, vec![3.0, 3.0]);
+    }
+}

@@ -1,0 +1,408 @@
+//! Axis-aligned hyper-rectangles.
+
+use crate::{Coord, Point};
+use std::fmt;
+
+/// A closed, axis-aligned hyper-rectangle `[lo, hi]` in `D` dimensions.
+///
+/// Used both as R-tree bounding boxes and as the dominance windows of
+/// Lemma 2 (`Rec_i`) / Lemma 4 in the paper. Degenerate rectangles
+/// (`lo[i] == hi[i]` in some or all dimensions) are allowed: a point is a
+/// valid rectangle.
+#[derive(Clone, PartialEq)]
+pub struct HyperRect {
+    lo: Point,
+    hi: Point,
+}
+
+impl HyperRect {
+    /// Creates a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ or `lo[i] > hi[i]` for some `i`.
+    pub fn new(lo: Point, hi: Point) -> Self {
+        assert_eq!(lo.dim(), hi.dim(), "dimension mismatch");
+        for i in 0..lo.dim() {
+            assert!(
+                lo[i] <= hi[i],
+                "invalid rectangle: lo[{i}]={} > hi[{i}]={}",
+                lo[i],
+                hi[i]
+            );
+        }
+        Self { lo, hi }
+    }
+
+    /// The degenerate rectangle containing exactly one point.
+    pub fn from_point(p: &Point) -> Self {
+        Self {
+            lo: p.clone(),
+            hi: p.clone(),
+        }
+    }
+
+    /// Rectangle centred at `center` with half-extent `ext[i] ≥ 0` per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or negative extents.
+    pub fn centered(center: &Point, ext: &[Coord]) -> Self {
+        assert_eq!(center.dim(), ext.len(), "dimension mismatch");
+        assert!(ext.iter().all(|e| *e >= 0.0), "extents must be >= 0");
+        let lo = Point::new(
+            center
+                .iter()
+                .zip(ext.iter())
+                .map(|(c, e)| c - e)
+                .collect::<Vec<_>>(),
+        );
+        let hi = Point::new(
+            center
+                .iter()
+                .zip(ext.iter())
+                .map(|(c, e)| c + e)
+                .collect::<Vec<_>>(),
+        );
+        Self { lo, hi }
+    }
+
+    /// The minimum bounding rectangle of a non-empty point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn mbr_of_points<'a>(points: impl IntoIterator<Item = &'a Point>) -> Self {
+        let mut it = points.into_iter();
+        let first = it.next().expect("mbr of empty point set");
+        let mut rect = Self::from_point(first);
+        for p in it {
+            rect.expand_to_point(p);
+        }
+        rect
+    }
+
+    /// The minimum bounding rectangle of a non-empty rectangle set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rects` is empty.
+    pub fn mbr_of_rects<'a>(rects: impl IntoIterator<Item = &'a HyperRect>) -> Self {
+        let mut it = rects.into_iter();
+        let mut acc = it.next().expect("mbr of empty rect set").clone();
+        for r in it {
+            acc.expand_to_rect(r);
+        }
+        acc
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &Point {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &Point {
+        &self.hi
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (0..self.dim())
+                .map(|i| 0.5 * (self.lo[i] + self.hi[i]))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Side length along axis `i`.
+    #[inline]
+    pub fn extent(&self, i: usize) -> Coord {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// Hyper-volume (product of side lengths). Zero for degenerate rects.
+    pub fn volume(&self) -> Coord {
+        (0..self.dim()).map(|i| self.extent(i)).product()
+    }
+
+    /// Sum of side lengths; the "margin" used by the R*-tree split
+    /// heuristic (half the perimeter in 2-D).
+    pub fn margin(&self) -> Coord {
+        (0..self.dim()).map(|i| self.extent(i)).sum()
+    }
+
+    /// Whether `p` lies inside the closed rectangle (boundary included).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        debug_assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        (0..self.dim()).all(|i| self.lo[i] <= p[i] && p[i] <= self.hi[i])
+    }
+
+    /// Whether `other` lies entirely inside `self` (closed containment).
+    pub fn contains_rect(&self, other: &HyperRect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        (0..self.dim()).all(|i| self.lo[i] <= other.lo[i] && other.hi[i] <= self.hi[i])
+    }
+
+    /// Whether the two closed rectangles share at least one point.
+    pub fn intersects(&self, other: &HyperRect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        (0..self.dim()).all(|i| self.lo[i] <= other.hi[i] && other.lo[i] <= self.hi[i])
+    }
+
+    /// The intersection of two rectangles, if non-empty.
+    pub fn intersection(&self, other: &HyperRect) -> Option<HyperRect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let lo = Point::new(
+            (0..self.dim())
+                .map(|i| self.lo[i].max(other.lo[i]))
+                .collect::<Vec<_>>(),
+        );
+        let hi = Point::new(
+            (0..self.dim())
+                .map(|i| self.hi[i].min(other.hi[i]))
+                .collect::<Vec<_>>(),
+        );
+        Some(HyperRect::new(lo, hi))
+    }
+
+    /// Volume of the intersection with `other` (0 if disjoint).
+    pub fn overlap_volume(&self, other: &HyperRect) -> Coord {
+        self.intersection(other).map_or(0.0, |r| r.volume())
+    }
+
+    /// Grows `self` minimally so that it contains `p`.
+    pub fn expand_to_point(&mut self, p: &Point) {
+        debug_assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        let lo = Point::new(
+            (0..self.dim())
+                .map(|i| self.lo[i].min(p[i]))
+                .collect::<Vec<_>>(),
+        );
+        let hi = Point::new(
+            (0..self.dim())
+                .map(|i| self.hi[i].max(p[i]))
+                .collect::<Vec<_>>(),
+        );
+        self.lo = lo;
+        self.hi = hi;
+    }
+
+    /// Grows `self` minimally so that it contains `other`.
+    pub fn expand_to_rect(&mut self, other: &HyperRect) {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let lo = Point::new(
+            (0..self.dim())
+                .map(|i| self.lo[i].min(other.lo[i]))
+                .collect::<Vec<_>>(),
+        );
+        let hi = Point::new(
+            (0..self.dim())
+                .map(|i| self.hi[i].max(other.hi[i]))
+                .collect::<Vec<_>>(),
+        );
+        self.lo = lo;
+        self.hi = hi;
+    }
+
+    /// The union (MBR) of two rectangles without mutating either.
+    pub fn union(&self, other: &HyperRect) -> HyperRect {
+        let mut r = self.clone();
+        r.expand_to_rect(other);
+        r
+    }
+
+    /// Volume increase caused by enlarging `self` to cover `other`
+    /// (the R-tree "least enlargement" criterion).
+    pub fn enlargement(&self, other: &HyperRect) -> Coord {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// Minimum squared Euclidean distance from `p` to the rectangle
+    /// (0 when `p` is inside).
+    pub fn min_distance_sq(&self, p: &Point) -> Coord {
+        debug_assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        (0..self.dim())
+            .map(|i| {
+                let d = if p[i] < self.lo[i] {
+                    self.lo[i] - p[i]
+                } else if p[i] > self.hi[i] {
+                    p[i] - self.hi[i]
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+
+    /// The corner of the rectangle farthest from `p` (ties broken toward
+    /// `hi`). Used by the pdf-model filter: the farthest point of an
+    /// uncertain region from the query object.
+    pub fn farthest_corner(&self, p: &Point) -> Point {
+        debug_assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        Point::new(
+            (0..self.dim())
+                .map(|i| {
+                    if (p[i] - self.lo[i]).abs() > (p[i] - self.hi[i]).abs() {
+                        self.lo[i]
+                    } else {
+                        self.hi[i]
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The corner of the rectangle nearest to `p` per axis, i.e. the point
+    /// of the rectangle minimising each `|x[i] - p[i]|` independently.
+    /// For a point outside the region this is the classic nearest corner;
+    /// used by the pdf-model "must-be-in-Γ" test.
+    pub fn nearest_point(&self, p: &Point) -> Point {
+        debug_assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        Point::new(
+            (0..self.dim())
+                .map(|i| p[i].clamp(self.lo[i], self.hi[i]))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl fmt::Debug for HyperRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?} .. {:?}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [Coord; 2], hi: [Coord; 2]) -> HyperRect {
+        HyperRect::new(Point::from(lo), Point::from(hi))
+    }
+
+    #[test]
+    fn basic_properties() {
+        let rect = r([0.0, 0.0], [2.0, 4.0]);
+        assert_eq!(rect.dim(), 2);
+        assert_eq!(rect.volume(), 8.0);
+        assert_eq!(rect.margin(), 6.0);
+        assert_eq!(rect.center(), Point::from([1.0, 2.0]));
+        assert_eq!(rect.extent(1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn inverted_rect_rejected() {
+        let _ = r([1.0, 0.0], [0.0, 1.0]);
+    }
+
+    #[test]
+    fn degenerate_rect_is_a_point() {
+        let p = Point::from([3.0, 3.0]);
+        let rect = HyperRect::from_point(&p);
+        assert_eq!(rect.volume(), 0.0);
+        assert!(rect.contains_point(&p));
+    }
+
+    #[test]
+    fn centered_rect() {
+        let c = Point::from([5.0, 5.0]);
+        let rect = HyperRect::centered(&c, &[1.0, 2.0]);
+        assert_eq!(rect.lo(), &Point::from([4.0, 3.0]));
+        assert_eq!(rect.hi(), &Point::from([6.0, 7.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn centered_negative_extent_rejected() {
+        let _ = HyperRect::centered(&Point::from([0.0]), &[-1.0]);
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let rect = r([0.0, 0.0], [1.0, 1.0]);
+        assert!(rect.contains_point(&Point::from([0.0, 1.0]))); // boundary
+        assert!(rect.contains_point(&Point::from([0.5, 0.5])));
+        assert!(!rect.contains_point(&Point::from([1.0001, 0.5])));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([1.0, 1.0], [3.0, 3.0]);
+        let c = r([2.0, 2.0], [4.0, 4.0]); // touches `a` at one corner
+        let d = r([5.0, 5.0], [6.0, 6.0]);
+        assert!(a.intersects(&b));
+        assert!(a.intersects(&c), "closed rects touching at a corner intersect");
+        assert!(!a.intersects(&d));
+        assert_eq!(a.intersection(&b).unwrap(), r([1.0, 1.0], [2.0, 2.0]));
+        assert_eq!(a.overlap_volume(&b), 1.0);
+        assert_eq!(a.overlap_volume(&c), 0.0); // degenerate intersection
+        assert!(a.intersection(&d).is_none());
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([2.0, 2.0], [3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u, r([0.0, 0.0], [3.0, 3.0]));
+        assert_eq!(a.enlargement(&b), 9.0 - 1.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn mbr_builders() {
+        let pts = [
+            Point::from([1.0, 5.0]),
+            Point::from([3.0, 2.0]),
+            Point::from([2.0, 8.0]),
+        ];
+        let m = HyperRect::mbr_of_points(pts.iter());
+        assert_eq!(m, r([1.0, 2.0], [3.0, 8.0]));
+
+        let rects = [r([0.0, 0.0], [1.0, 1.0]), r([4.0, -1.0], [5.0, 0.5])];
+        let m2 = HyperRect::mbr_of_rects(rects.iter());
+        assert_eq!(m2, r([0.0, -1.0], [5.0, 1.0]));
+    }
+
+    #[test]
+    fn min_distance() {
+        let rect = r([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(rect.min_distance_sq(&Point::from([0.5, 0.5])), 0.0);
+        assert_eq!(rect.min_distance_sq(&Point::from([2.0, 0.5])), 1.0);
+        assert_eq!(rect.min_distance_sq(&Point::from([2.0, 2.0])), 2.0);
+    }
+
+    #[test]
+    fn farthest_and_nearest_corner() {
+        let rect = r([0.0, 0.0], [2.0, 2.0]);
+        let q = Point::from([-1.0, 1.2]);
+        assert_eq!(rect.farthest_corner(&q), Point::from([2.0, 0.0]));
+        assert_eq!(rect.nearest_point(&q), Point::from([0.0, 1.2]));
+        // A point inside maps to itself under nearest_point.
+        let inside = Point::from([0.5, 1.0]);
+        assert_eq!(rect.nearest_point(&inside), inside);
+    }
+
+    #[test]
+    fn contains_rect_closed() {
+        let outer = r([0.0, 0.0], [4.0, 4.0]);
+        let inner = r([0.0, 1.0], [4.0, 2.0]); // shares a face
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+    }
+}

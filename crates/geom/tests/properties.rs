@@ -1,0 +1,139 @@
+//! Property-based tests for the geometric primitives.
+
+use crp_geom::{dominance_rect, dominates, dominates_min, HyperRect, Point};
+use proptest::prelude::*;
+
+fn point_strategy(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(-1000.0..1000.0f64, dim).prop_map(Point::new)
+}
+
+fn rect_strategy(dim: usize) -> impl Strategy<Value = HyperRect> {
+    (point_strategy(dim), prop::collection::vec(0.0..500.0f64, dim))
+        .prop_map(|(c, ext)| HyperRect::centered(&c, &ext))
+}
+
+proptest! {
+    #[test]
+    fn classic_dominance_is_irreflexive(p in point_strategy(3)) {
+        prop_assert!(!dominates_min(&p, &p));
+    }
+
+    #[test]
+    fn classic_dominance_is_antisymmetric(a in point_strategy(3), b in point_strategy(3)) {
+        prop_assert!(!(dominates_min(&a, &b) && dominates_min(&b, &a)));
+    }
+
+    #[test]
+    fn classic_dominance_is_transitive(
+        a in point_strategy(2), b in point_strategy(2), c in point_strategy(2)
+    ) {
+        if dominates_min(&a, &b) && dominates_min(&b, &c) {
+            prop_assert!(dominates_min(&a, &c));
+        }
+    }
+
+    #[test]
+    fn dynamic_dominance_is_irreflexive(
+        p in point_strategy(3), center in point_strategy(3)
+    ) {
+        prop_assert!(!dominates(&p, &center, &p));
+    }
+
+    #[test]
+    fn dynamic_dominance_is_antisymmetric(
+        a in point_strategy(3), center in point_strategy(3), b in point_strategy(3)
+    ) {
+        prop_assert!(!(dominates(&a, &center, &b) && dominates(&b, &center, &a)));
+    }
+
+    #[test]
+    fn dynamic_dominance_reduces_to_classic_on_abs_transform(
+        a in point_strategy(3), center in point_strategy(3), b in point_strategy(3)
+    ) {
+        // |a - center| classically dominates |b - center| iff a ≺_center b.
+        let ta = a.abs_diff(&center);
+        let tb = b.abs_diff(&center);
+        prop_assert_eq!(dominates(&a, &center, &b), dominates_min(&ta, &tb));
+    }
+
+    #[test]
+    fn dominators_lie_inside_the_dominance_rect(
+        p in point_strategy(3), center in point_strategy(3), q in point_strategy(3)
+    ) {
+        // Lemma 2 direction: dominance implies rectangle containment.
+        if dominates(&p, &center, &q) {
+            prop_assert!(dominance_rect(&center, &q).contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn strictly_interior_points_dominate(
+        center in point_strategy(2), q in point_strategy(2), t in 0.01..0.99f64
+    ) {
+        // A point strictly between center and q (per axis) dominates q,
+        // unless q == center per axis (degenerate window).
+        if (0..2).all(|i| (q[i] - center[i]).abs() > 1e-9) {
+            let p = Point::new(
+                (0..2).map(|i| center[i] + t * (q[i] - center[i]) * 0.5).collect::<Vec<_>>(),
+            );
+            prop_assert!(dominates(&p, &center, &q));
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in rect_strategy(3), b in rect_strategy(3)) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn rect_intersection_contained_in_both(a in rect_strategy(3), b in rect_strategy(3)) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn enlargement_is_nonnegative(a in rect_strategy(3), b in rect_strategy(3)) {
+        prop_assert!(a.enlargement(&b) >= -1e-6);
+    }
+
+    #[test]
+    fn volume_of_union_at_least_max(a in rect_strategy(2), b in rect_strategy(2)) {
+        let u = a.union(&b).volume();
+        prop_assert!(u + 1e-9 >= a.volume().max(b.volume()));
+    }
+
+    #[test]
+    fn mbr_of_points_contains_all(
+        pts in prop::collection::vec(point_strategy(3), 1..20)
+    ) {
+        let m = HyperRect::mbr_of_points(pts.iter());
+        for p in &pts {
+            prop_assert!(m.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn nearest_point_is_inside_and_no_farther(
+        r in rect_strategy(3), p in point_strategy(3)
+    ) {
+        let n = r.nearest_point(&p);
+        prop_assert!(r.contains_point(&n));
+        prop_assert!(p.distance_sq(&n) <= r.min_distance_sq(&p) + 1e-6);
+    }
+
+    #[test]
+    fn farthest_corner_is_a_corner_and_maximal_per_axis(
+        r in rect_strategy(2), p in point_strategy(2)
+    ) {
+        let fc = r.farthest_corner(&p);
+        for i in 0..2 {
+            prop_assert!(fc[i] == r.lo()[i] || fc[i] == r.hi()[i]);
+            let alt = if fc[i] == r.lo()[i] { r.hi()[i] } else { r.lo()[i] };
+            prop_assert!((p[i] - fc[i]).abs() >= (p[i] - alt).abs());
+        }
+    }
+}

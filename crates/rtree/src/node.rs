@@ -1,0 +1,148 @@
+//! Arena-allocated tree nodes.
+
+use crp_geom::HyperRect;
+
+/// Index of a node in the tree arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One entry of an internal node: a child subtree and its bounding box.
+#[derive(Clone, Debug)]
+pub(crate) struct BranchEntry {
+    pub rect: HyperRect,
+    pub child: NodeId,
+}
+
+/// One entry of a leaf node: a data rectangle and its payload.
+#[derive(Clone, Debug)]
+pub(crate) struct LeafEntry<T> {
+    pub rect: HyperRect,
+    pub data: T,
+}
+
+/// Node payload: either child pointers or data records.
+#[derive(Clone, Debug)]
+pub(crate) enum NodeEntries<T> {
+    Branch(Vec<BranchEntry>),
+    Leaf(Vec<LeafEntry<T>>),
+}
+
+/// A tree node. `level == 0` for leaves; the root sits at the highest
+/// level. Freed nodes (after splits/merges) are recycled through a free
+/// list owned by the tree.
+#[derive(Clone, Debug)]
+pub(crate) struct Node<T> {
+    pub level: u32,
+    pub entries: NodeEntries<T>,
+}
+
+impl<T> Node<T> {
+    pub fn new_leaf() -> Self {
+        Node {
+            level: 0,
+            entries: NodeEntries::Leaf(Vec::new()),
+        }
+    }
+
+    pub fn new_branch(level: u32) -> Self {
+        Node {
+            level,
+            entries: NodeEntries::Branch(Vec::new()),
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.entries, NodeEntries::Leaf(_))
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.entries {
+            NodeEntries::Branch(v) => v.len(),
+            NodeEntries::Leaf(v) => v.len(),
+        }
+    }
+
+    /// MBR of all entries. `None` for an empty node.
+    pub fn mbr(&self) -> Option<HyperRect> {
+        match &self.entries {
+            NodeEntries::Branch(v) => {
+                let mut it = v.iter();
+                let mut acc = it.next()?.rect.clone();
+                for e in it {
+                    acc.expand_to_rect(&e.rect);
+                }
+                Some(acc)
+            }
+            NodeEntries::Leaf(v) => {
+                let mut it = v.iter();
+                let mut acc = it.next()?.rect.clone();
+                for e in it {
+                    acc.expand_to_rect(&e.rect);
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    pub fn branch_entries(&self) -> &[BranchEntry] {
+        match &self.entries {
+            NodeEntries::Branch(v) => v,
+            NodeEntries::Leaf(_) => panic!("expected branch node"),
+        }
+    }
+
+    pub fn branch_entries_mut(&mut self) -> &mut Vec<BranchEntry> {
+        match &mut self.entries {
+            NodeEntries::Branch(v) => v,
+            NodeEntries::Leaf(_) => panic!("expected branch node"),
+        }
+    }
+
+    pub fn leaf_entries_mut(&mut self) -> &mut Vec<LeafEntry<T>> {
+        match &mut self.entries {
+            NodeEntries::Leaf(v) => v,
+            NodeEntries::Branch(_) => panic!("expected leaf node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+
+    fn rect(lo: f64, hi: f64) -> HyperRect {
+        HyperRect::new(Point::from([lo, lo]), Point::from([hi, hi]))
+    }
+
+    #[test]
+    fn leaf_mbr() {
+        let mut n: Node<u32> = Node::new_leaf();
+        assert!(n.mbr().is_none());
+        n.leaf_entries_mut().push(LeafEntry {
+            rect: rect(0.0, 1.0),
+            data: 1,
+        });
+        n.leaf_entries_mut().push(LeafEntry {
+            rect: rect(2.0, 3.0),
+            data: 2,
+        });
+        assert_eq!(n.mbr().unwrap(), rect(0.0, 3.0));
+        assert_eq!(n.len(), 2);
+        assert!(n.is_leaf());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected branch")]
+    fn wrong_accessor_panics() {
+        let n: Node<u32> = Node::new_leaf();
+        let _ = n.branch_entries();
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: the R*-tree must behave exactly like a brute-force
+//! list of `(rect, payload)` pairs under arbitrary operation sequences,
+//! while keeping its structural invariants.
+
+use crp_geom::{HyperRect, Point};
+use crp_rtree::{QueryStats, RTree, RTreeParams};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { x: f64, y: f64, id: u32 },
+    Remove { index: usize },
+    Query { cx: f64, cy: f64, hw: f64, hh: f64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..100.0f64, 0.0..100.0f64, any::<u32>())
+            .prop_map(|(x, y, id)| Op::Insert { x: x.round(), y: y.round(), id }),
+        1 => any::<prop::sample::Index>().prop_map(|i| Op::Remove { index: i.index(1_000) }),
+        2 => (0.0..100.0f64, 0.0..100.0f64, 0.0..40.0f64, 0.0..40.0f64)
+            .prop_map(|(cx, cy, hw, hh)| Op::Query { cx, cy, hw, hh }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_mirrors_bruteforce_under_op_sequences(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        fanout in 4usize..12,
+    ) {
+        let mut tree: RTree<u32> = RTree::new(2, RTreeParams::with_fanout(fanout));
+        let mut mirror: Vec<(Point, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert { x, y, id } => {
+                    let p = Point::from([x, y]);
+                    tree.insert_point(p.clone(), id);
+                    mirror.push((p, id));
+                }
+                Op::Remove { index } => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let (p, id) = mirror.swap_remove(index % mirror.len());
+                    prop_assert!(tree.remove(&HyperRect::from_point(&p), &id));
+                }
+                Op::Query { cx, cy, hw, hh } => {
+                    let window = HyperRect::centered(&Point::from([cx, cy]), &[hw, hh]);
+                    let mut stats = QueryStats::default();
+                    let mut got = tree.collect_intersecting(&window, &mut stats);
+                    got.sort_unstable();
+                    let mut want: Vec<u32> = mirror
+                        .iter()
+                        .filter(|(p, _)| window.contains_point(p))
+                        .map(|(_, id)| *id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), mirror.len());
+        }
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_results(
+        pts in prop::collection::vec((0.0..1_000.0f64, 0.0..1_000.0f64), 1..300),
+        fanout in 4usize..16,
+    ) {
+        let items: Vec<(Point, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| (Point::from([*x, *y]), i as u32))
+            .collect();
+        let bulk: RTree<u32> =
+            RTree::bulk_load_points(2, RTreeParams::with_fanout(fanout), items.clone());
+        let mut incr: RTree<u32> = RTree::new(2, RTreeParams::with_fanout(fanout));
+        for (p, id) in &items {
+            incr.insert_point(p.clone(), *id);
+        }
+        bulk.assert_packed_invariants();
+        incr.check_invariants();
+        // Same answers to the same queries.
+        for window in [
+            HyperRect::centered(&Point::from([250.0, 250.0]), &[250.0, 250.0]),
+            HyperRect::centered(&Point::from([900.0, 100.0]), &[150.0, 400.0]),
+        ] {
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let mut a = bulk.collect_intersecting(&window, &mut s1);
+            let mut b = incr.collect_intersecting(&window, &mut s2);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn multi_window_equals_union_of_single_windows(
+        pts in prop::collection::vec((0.0..200.0f64, 0.0..200.0f64), 1..150),
+        windows in prop::collection::vec(
+            (0.0..200.0f64, 0.0..200.0f64, 1.0..60.0f64, 1.0..60.0f64),
+            1..5
+        ),
+    ) {
+        let items: Vec<(Point, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| (Point::from([*x, *y]), i as u32))
+            .collect();
+        let tree: RTree<u32> =
+            RTree::bulk_load_points(2, RTreeParams::with_fanout(8), items);
+        let rects: Vec<HyperRect> = windows
+            .iter()
+            .map(|(cx, cy, hw, hh)| HyperRect::centered(&Point::from([*cx, *cy]), &[*hw, *hh]))
+            .collect();
+        let mut multi_stats = QueryStats::default();
+        let mut multi: Vec<u32> = Vec::new();
+        tree.range_intersect_any(&rects, &mut multi_stats, |_, &id| multi.push(id));
+        multi.sort_unstable();
+        multi.dedup();
+        let mut union: Vec<u32> = Vec::new();
+        for r in &rects {
+            let mut s = QueryStats::default();
+            tree.range_intersect(r, &mut s, |_, &id| union.push(id));
+        }
+        union.sort_unstable();
+        union.dedup();
+        prop_assert_eq!(multi, union);
+    }
+}

@@ -1,0 +1,83 @@
+//! R-tree construction helpers.
+
+use crp_geom::HyperRect;
+use crp_rtree::{RTree, RTreeParams};
+use crp_uncertain::{ObjectId, UncertainDataset};
+
+/// Builds an R-tree over the objects' MBRs (one entry per uncertain
+/// object, as in Lian & Chen and the paper). Uses STR bulk loading.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn build_object_rtree(ds: &UncertainDataset, params: RTreeParams) -> RTree<ObjectId> {
+    let dim = ds.dim().expect("cannot index an empty dataset");
+    let items: Vec<(HyperRect, ObjectId)> = ds.iter().map(|o| (o.mbr(), o.id())).collect();
+    RTree::bulk_load(dim, params, items)
+}
+
+/// Builds an R-tree over certain points (each object contributes its
+/// single location).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or contains non-certain objects.
+pub fn build_point_rtree(ds: &UncertainDataset, params: RTreeParams) -> RTree<ObjectId> {
+    let dim = ds.dim().expect("cannot index an empty dataset");
+    let items: Vec<(HyperRect, ObjectId)> = ds
+        .iter()
+        .map(|o| (HyperRect::from_point(o.certain_point()), o.id()))
+        .collect();
+    RTree::bulk_load(dim, params, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+    use crp_rtree::QueryStats;
+    use crp_uncertain::UncertainObject;
+
+    #[test]
+    fn object_rtree_indexes_mbrs() {
+        let ds = UncertainDataset::from_objects(vec![
+            UncertainObject::with_equal_probs(
+                ObjectId(0),
+                vec![Point::from([0.0, 0.0]), Point::from([2.0, 2.0])],
+            )
+            .unwrap(),
+            UncertainObject::certain(ObjectId(1), Point::from([10.0, 10.0])),
+        ])
+        .unwrap();
+        let tree = build_object_rtree(&ds, RTreeParams::with_fanout(4));
+        assert_eq!(tree.len(), 2);
+        let mut stats = QueryStats::default();
+        let window = HyperRect::new(Point::from([1.0, 1.0]), Point::from([3.0, 3.0]));
+        let hits = tree.collect_intersecting(&window, &mut stats);
+        assert_eq!(hits, vec![ObjectId(0)]);
+    }
+
+    #[test]
+    fn point_rtree_for_certain_data() {
+        let ds = UncertainDataset::from_points(vec![
+            Point::from([0.0, 0.0]),
+            Point::from([5.0, 5.0]),
+            Point::from([9.0, 1.0]),
+        ])
+        .unwrap();
+        let tree = build_point_rtree(&ds, RTreeParams::with_fanout(4));
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not certain")]
+    fn point_rtree_rejects_uncertain_objects() {
+        let ds = UncertainDataset::from_objects(vec![UncertainObject::with_equal_probs(
+            ObjectId(0),
+            vec![Point::from([0.0, 0.0]), Point::from([1.0, 1.0])],
+        )
+        .unwrap()])
+        .unwrap();
+        let _ = build_point_rtree(&ds, RTreeParams::with_fanout(4));
+    }
+}

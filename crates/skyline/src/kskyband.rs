@@ -1,0 +1,148 @@
+//! Reverse k-skyband queries — the generalisation the paper's authors
+//! study in "On processing reverse k-skyband and ranked reverse skyline
+//! queries" (Inf. Sci. 2015) and name as future CRP targets.
+//!
+//! An object `p` is in the **reverse k-skyband** of `q` when `q` is
+//! dynamically dominated w.r.t. `p` by at most `k` other objects;
+//! `k = 0` recovers the reverse skyline.
+
+use crp_geom::{dominance_rect, dominates, Point};
+use crp_rtree::{QueryStats, RTree};
+use crp_uncertain::{ObjectId, UncertainDataset};
+
+/// Number of objects dominating `q` w.r.t. the certain object at
+/// `index` (its *dominator count*).
+pub fn dominator_count(ds: &UncertainDataset, index: usize, q: &Point) -> usize {
+    let p = ds.object_at(index).certain_point();
+    ds.iter()
+        .enumerate()
+        .filter(|(j, o)| *j != index && dominates(o.certain_point(), p, q))
+        .count()
+}
+
+/// The reverse k-skyband of `q` by exhaustive counting, `O(n²)`.
+pub fn reverse_k_skyband_naive(ds: &UncertainDataset, q: &Point, k: usize) -> Vec<ObjectId> {
+    (0..ds.len())
+        .filter(|&i| dominator_count(ds, i, q) <= k)
+        .map(|i| ds.object_at(i).id())
+        .collect()
+}
+
+/// The reverse k-skyband of `q` using one window counting-query per
+/// object over the point R-tree. Node accesses accumulate into `stats`.
+pub fn reverse_k_skyband_rtree(
+    ds: &UncertainDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    k: usize,
+    stats: &mut QueryStats,
+) -> Vec<ObjectId> {
+    let mut result = Vec::new();
+    for o in ds.iter() {
+        let p = o.certain_point();
+        let window = dominance_rect(p, q);
+        let mut dominators = 0usize;
+        tree.range_intersect(&window, stats, |rect, &id| {
+            if id != o.id() && dominates(rect.lo(), p, q) {
+                dominators += 1;
+            }
+        });
+        if dominators <= k {
+            result.push(o.id());
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::build_point_rtree;
+    use crp_rtree::RTreeParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(points: &[[f64; 2]]) -> UncertainDataset {
+        UncertainDataset::from_points(points.iter().map(|c| Point::from(*c))).unwrap()
+    }
+
+    #[test]
+    fn zero_band_is_reverse_skyline() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<[f64; 2]> = (0..60)
+            .map(|_| {
+                [
+                    rng.random_range(0.0..50.0f64).round(),
+                    rng.random_range(0.0..50.0f64).round(),
+                ]
+            })
+            .collect();
+        let ds = dataset(&pts);
+        let q = Point::from([25.0, 25.0]);
+        let mut band = reverse_k_skyband_naive(&ds, &q, 0);
+        let mut rs = crate::reverse::reverse_skyline_naive(&ds, &q);
+        band.sort_unstable();
+        rs.sort_unstable();
+        assert_eq!(band, rs);
+    }
+
+    #[test]
+    fn band_grows_with_k() {
+        let ds = dataset(&[
+            [10.0, 10.0],
+            [7.0, 7.0],
+            [6.0, 6.0],
+            [8.0, 8.0],
+            [2.0, 2.0],
+        ]);
+        let q = Point::from([5.0, 5.0]);
+        let mut previous = 0;
+        for k in 0..4 {
+            let band = reverse_k_skyband_naive(&ds, &q, k);
+            assert!(band.len() >= previous, "k-skyband is monotone in k");
+            previous = band.len();
+        }
+        // With k >= n-1 everything qualifies.
+        assert_eq!(reverse_k_skyband_naive(&ds, &q, 4).len(), 5);
+    }
+
+    #[test]
+    fn dominator_count_example() {
+        // an at (10,10): dominators of q=(5,5) w.r.t. it are (7,7), (6,6),
+        // (8,8) -> 3 dominators.
+        let ds = dataset(&[
+            [10.0, 10.0],
+            [7.0, 7.0],
+            [6.0, 6.0],
+            [8.0, 8.0],
+            [2.0, 2.0],
+        ]);
+        let q = Point::from([5.0, 5.0]);
+        assert_eq!(dominator_count(&ds, 0, &q), 3);
+        assert_eq!(dominator_count(&ds, 4, &q), 0);
+    }
+
+    #[test]
+    fn rtree_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let pts: Vec<[f64; 2]> = (0..80)
+            .map(|_| {
+                [
+                    rng.random_range(0.0..60.0f64).round(),
+                    rng.random_range(0.0..60.0f64).round(),
+                ]
+            })
+            .collect();
+        let ds = dataset(&pts);
+        let tree = build_point_rtree(&ds, RTreeParams::with_fanout(8));
+        let q = Point::from([30.0, 30.0]);
+        for k in [0usize, 1, 3, 7] {
+            let mut stats = QueryStats::default();
+            let mut fast = reverse_k_skyband_rtree(&ds, &tree, &q, k, &mut stats);
+            let mut naive = reverse_k_skyband_naive(&ds, &q, k);
+            fast.sort_unstable();
+            naive.sort_unstable();
+            assert_eq!(fast, naive, "k = {k}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Classic and dynamic skylines.
+
+use crp_geom::{dominates_min, Point};
+
+/// Indices of the skyline of `points` under smaller-is-better dominance.
+///
+/// Block-nested-loop with a monotone presort: points are processed in
+/// ascending coordinate-sum order, so no later point can dominate an
+/// accepted one and a single pass suffices.
+pub fn skyline_min(points: &[Point]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = points[a].iter().sum();
+        let sb: f64 = points[b].iter().sum();
+        sa.partial_cmp(&sb).expect("finite coordinates")
+    });
+    let mut result: Vec<usize> = Vec::new();
+    'outer: for &i in &order {
+        for &s in &result {
+            if dominates_min(&points[s], &points[i]) {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Indices of the *dynamic skyline* of `points` with respect to `center`:
+/// the skyline after the transform `x ↦ |x − center|` (Papadias et al.).
+///
+/// `q` belongs to the dynamic skyline of `p` exactly when `p` is a
+/// reverse skyline object of `q` — the identity Definition 3 builds on.
+pub fn dynamic_skyline(points: &[Point], center: &Point) -> Vec<usize> {
+    let transformed: Vec<Point> = points.iter().map(|p| p.abs_diff(center)).collect();
+    skyline_min(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[[f64; 2]]) -> Vec<Point> {
+        v.iter().map(|c| Point::from(*c)).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(skyline_min(&[]).is_empty());
+        assert_eq!(skyline_min(&pts(&[[1.0, 2.0]])), vec![0]);
+    }
+
+    #[test]
+    fn simple_skyline() {
+        // (1,4), (2,2), (4,1) mutually incomparable; (3,3) dominated by (2,2).
+        let p = pts(&[[1.0, 4.0], [2.0, 2.0], [4.0, 1.0], [3.0, 3.0]]);
+        assert_eq!(skyline_min(&p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_all_kept() {
+        // Equal points do not dominate each other (no strict dimension).
+        let p = pts(&[[1.0, 1.0], [1.0, 1.0]]);
+        assert_eq!(skyline_min(&p), vec![0, 1]);
+    }
+
+    #[test]
+    fn total_order_chain() {
+        let p = pts(&[[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]]);
+        assert_eq!(skyline_min(&p), vec![2]);
+    }
+
+    #[test]
+    fn skyline_matches_bruteforce_on_random_input() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let points: Vec<Point> = (0..60)
+                .map(|_| {
+                    Point::from([
+                        rng.random_range(0.0..10.0f64).round(),
+                        rng.random_range(0.0..10.0f64).round(),
+                        rng.random_range(0.0..10.0f64).round(),
+                    ])
+                })
+                .collect();
+            let fast = skyline_min(&points);
+            let brute: Vec<usize> = (0..points.len())
+                .filter(|&i| {
+                    !points
+                        .iter()
+                        .enumerate()
+                        .any(|(j, p)| j != i && dominates_min(p, &points[i]))
+                })
+                .collect();
+            assert_eq!(fast, brute);
+        }
+    }
+
+    #[test]
+    fn dynamic_skyline_recentring() {
+        let center = Point::from([5.0, 5.0]);
+        // Transformed distances: a=(1,1), b=(2,2) -> a dominates b;
+        // c=(0,3) incomparable with a.
+        let p = pts(&[[4.0, 6.0], [7.0, 3.0], [5.0, 8.0]]);
+        assert_eq!(dynamic_skyline(&p, &center), vec![0, 2]);
+    }
+
+    #[test]
+    fn dynamic_skyline_is_classic_at_origin_for_positive_points() {
+        let p = pts(&[[1.0, 4.0], [2.0, 2.0], [3.0, 3.0]]);
+        assert_eq!(
+            dynamic_skyline(&p, &Point::from([0.0, 0.0])),
+            skyline_min(&p)
+        );
+    }
+}

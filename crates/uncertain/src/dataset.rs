@@ -1,0 +1,197 @@
+//! Datasets of uncertain objects.
+
+use crate::error::UncertainError;
+use crate::object::{ObjectId, UncertainObject};
+use crp_geom::Point;
+use std::collections::HashMap;
+
+/// A validated collection of independent uncertain objects sharing one
+/// dimensionality (the paper's `𝒫`).
+#[derive(Clone, Debug, Default)]
+pub struct UncertainDataset {
+    objects: Vec<UncertainObject>,
+    by_id: HashMap<ObjectId, usize>,
+}
+
+impl UncertainDataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dataset from objects, validating id uniqueness and
+    /// dimensional consistency.
+    pub fn from_objects(
+        objects: impl IntoIterator<Item = UncertainObject>,
+    ) -> Result<Self, UncertainError> {
+        let mut ds = Self::new();
+        for o in objects {
+            ds.push(o)?;
+        }
+        Ok(ds)
+    }
+
+    /// Convenience constructor for certain datasets: one point per object,
+    /// ids assigned by position.
+    pub fn from_points(points: impl IntoIterator<Item = Point>) -> Result<Self, UncertainError> {
+        Self::from_objects(
+            points
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| UncertainObject::certain(ObjectId(i as u32), p)),
+        )
+    }
+
+    /// Appends an object.
+    pub fn push(&mut self, object: UncertainObject) -> Result<(), UncertainError> {
+        if let Some(first) = self.objects.first() {
+            if first.dim() != object.dim() {
+                return Err(UncertainError::DimensionMismatch {
+                    expected: first.dim(),
+                    got: object.dim(),
+                });
+            }
+        }
+        if self.by_id.contains_key(&object.id()) {
+            return Err(UncertainError::DuplicateId(object.id().0));
+        }
+        self.by_id.insert(object.id(), self.objects.len());
+        self.objects.push(object);
+        Ok(())
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the dataset holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Dimensionality (`None` for an empty dataset).
+    pub fn dim(&self) -> Option<usize> {
+        self.objects.first().map(|o| o.dim())
+    }
+
+    /// Object lookup by id.
+    pub fn get(&self, id: ObjectId) -> Option<&UncertainObject> {
+        self.by_id.get(&id).map(|&i| &self.objects[i])
+    }
+
+    /// Positional access.
+    pub fn object_at(&self, index: usize) -> &UncertainObject {
+        &self.objects[index]
+    }
+
+    /// Position of an object id within [`UncertainDataset::objects`].
+    pub fn index_of(&self, id: ObjectId) -> Option<usize> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// All objects, in insertion order.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// Iterator over the objects.
+    pub fn iter(&self) -> impl Iterator<Item = &UncertainObject> {
+        self.objects.iter()
+    }
+
+    /// True when every object is certain (single sample, probability 1) —
+    /// i.e. the dataset is a plain point set and the CR algorithm applies.
+    pub fn is_certain(&self) -> bool {
+        self.objects.iter().all(|o| o.is_certain())
+    }
+
+    /// Total number of samples across all objects.
+    pub fn total_samples(&self) -> usize {
+        self.objects.iter().map(|o| o.sample_count()).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a UncertainDataset {
+    type Item = &'a UncertainObject;
+    type IntoIter = std::slice::Iter<'a, UncertainObject>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.objects.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    fn obj(id: u32, pts: Vec<Point>) -> UncertainObject {
+        UncertainObject::with_equal_probs(ObjectId(id), pts).unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let ds = UncertainDataset::from_objects(vec![
+            obj(0, vec![pt(0.0, 0.0), pt(1.0, 1.0)]),
+            obj(1, vec![pt(5.0, 5.0)]),
+        ])
+        .unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), Some(2));
+        assert!(ds.get(ObjectId(1)).is_some());
+        assert!(ds.get(ObjectId(7)).is_none());
+        assert_eq!(ds.index_of(ObjectId(1)), Some(1));
+        assert_eq!(ds.total_samples(), 3);
+        assert!(!ds.is_certain());
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let err = UncertainDataset::from_objects(vec![
+            obj(0, vec![pt(0.0, 0.0)]),
+            obj(0, vec![pt(1.0, 1.0)]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, UncertainError::DuplicateId(0));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = UncertainObject::certain(ObjectId(0), Point::from([0.0, 0.0]));
+        let b = UncertainObject::certain(ObjectId(1), Point::from([0.0, 0.0, 0.0]));
+        let err = UncertainDataset::from_objects(vec![a, b]).unwrap_err();
+        assert!(matches!(err, UncertainError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_points_is_certain() {
+        let ds = UncertainDataset::from_points(vec![pt(0.0, 0.0), pt(1.0, 1.0)]).unwrap();
+        assert!(ds.is_certain());
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.object_at(1).certain_point(), &pt(1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = UncertainDataset::new();
+        assert!(ds.is_empty());
+        assert_eq!(ds.dim(), None);
+        assert!(ds.is_certain()); // vacuously
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let ds = UncertainDataset::from_objects(vec![
+            obj(3, vec![pt(0.0, 0.0)]),
+            obj(1, vec![pt(1.0, 1.0)]),
+            obj(2, vec![pt(2.0, 2.0)]),
+        ])
+        .unwrap();
+        let ids: Vec<u32> = ds.iter().map(|o| o.id().0).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Validation errors for uncertain data.
+
+use std::fmt;
+
+/// Errors raised when constructing uncertain objects or datasets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UncertainError {
+    /// An object was given no samples.
+    NoSamples,
+    /// A sample probability was outside `(0, 1]` or not finite.
+    InvalidProbability(f64),
+    /// Sample probabilities do not sum to 1 (within tolerance).
+    ProbabilitiesDoNotSumToOne(f64),
+    /// Samples (or objects) disagree on dimensionality.
+    DimensionMismatch { expected: usize, got: usize },
+    /// An object id occurs twice in a dataset.
+    DuplicateId(u32),
+}
+
+impl fmt::Display for UncertainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UncertainError::NoSamples => write!(f, "uncertain object has no samples"),
+            UncertainError::InvalidProbability(p) => {
+                write!(f, "sample probability {p} is not in (0, 1]")
+            }
+            UncertainError::ProbabilitiesDoNotSumToOne(s) => {
+                write!(f, "sample probabilities sum to {s}, expected 1")
+            }
+            UncertainError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            UncertainError::DuplicateId(id) => write!(f, "duplicate object id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for UncertainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(UncertainError::NoSamples.to_string().contains("no samples"));
+        assert!(UncertainError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(UncertainError::ProbabilitiesDoNotSumToOne(0.7)
+            .to_string()
+            .contains("0.7"));
+        assert!(UncertainError::DimensionMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+        assert!(UncertainError::DuplicateId(4).to_string().contains('4'));
+    }
+}

@@ -1,0 +1,31 @@
+//! Uncertain data models for probabilistic reverse skyline queries.
+//!
+//! The paper (Section 2.2) models every uncertain object `u` by an
+//! uncertain region `UR(u)` with a probability distribution described
+//! either by **discrete samples** (`l_u` mutually exclusive instances with
+//! appearance probabilities summing to 1) or by a **continuous pdf**.
+//! Objects are mutually independent, as are coordinates.
+//!
+//! This crate provides:
+//!
+//! * [`UncertainObject`] / [`UncertainDataset`] — the discrete-sample
+//!   model, validated at construction,
+//! * [`possible_worlds`] — exhaustive possible-world enumeration, the
+//!   ground truth used by the test suites to validate the closed-form
+//!   probability computations (Eq. 2–3),
+//! * [`ContinuousPdf`] / [`PdfObject`] / [`PdfDataset`] — the continuous
+//!   model (Section 3.2) with uniform-box and piecewise-constant grid
+//!   densities, closed-form box integrals, and midpoint-grid
+//!   discretisation.
+
+mod dataset;
+mod error;
+mod object;
+mod pdf;
+mod worlds;
+
+pub use dataset::UncertainDataset;
+pub use error::UncertainError;
+pub use object::{ObjectId, Sample, UncertainObject};
+pub use pdf::{BoxUniform, ContinuousPdf, GridDensity, PdfDataset, PdfObject};
+pub use worlds::{possible_worlds, world_count, PossibleWorld, WorldIter};

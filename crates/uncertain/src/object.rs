@@ -1,0 +1,301 @@
+//! Discrete-sample uncertain objects.
+
+use crate::error::UncertainError;
+use crp_geom::{HyperRect, Point, PROB_EPSILON};
+use std::fmt;
+
+/// Identifier of an (uncertain or certain) object within a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One instance of an uncertain object: a location and its appearance
+/// probability (`0 < p ≤ 1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    point: Point,
+    prob: f64,
+}
+
+impl Sample {
+    /// The sample's location.
+    #[inline]
+    pub fn point(&self) -> &Point {
+        &self.point
+    }
+
+    /// The sample's appearance probability.
+    #[inline]
+    pub fn prob(&self) -> f64 {
+        self.prob
+    }
+}
+
+/// An uncertain object under the discrete-sample model: `l_u` mutually
+/// exclusive samples whose probabilities sum to 1 (Kriegel et al. /
+/// Pei et al., as adopted by the paper).
+///
+/// A *certain* object is the special case of a single sample with
+/// probability 1 ([`UncertainObject::certain`]); the CR algorithm for
+/// plain reverse skylines operates on datasets of such objects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UncertainObject {
+    id: ObjectId,
+    samples: Vec<Sample>,
+    label: Option<String>,
+}
+
+impl UncertainObject {
+    /// Builds a validated uncertain object from `(location, probability)`
+    /// pairs.
+    pub fn new(
+        id: ObjectId,
+        samples: impl IntoIterator<Item = (Point, f64)>,
+    ) -> Result<Self, UncertainError> {
+        let samples: Vec<Sample> = samples
+            .into_iter()
+            .map(|(point, prob)| Sample { point, prob })
+            .collect();
+        if samples.is_empty() {
+            return Err(UncertainError::NoSamples);
+        }
+        let dim = samples[0].point.dim();
+        let mut sum = 0.0;
+        for s in &samples {
+            if s.point.dim() != dim {
+                return Err(UncertainError::DimensionMismatch {
+                    expected: dim,
+                    got: s.point.dim(),
+                });
+            }
+            if !s.prob.is_finite() || s.prob <= 0.0 || s.prob > 1.0 + PROB_EPSILON {
+                return Err(UncertainError::InvalidProbability(s.prob));
+            }
+            sum += s.prob;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(UncertainError::ProbabilitiesDoNotSumToOne(sum));
+        }
+        Ok(Self {
+            id,
+            samples,
+            label: None,
+        })
+    }
+
+    /// Builds an object whose samples share equal probability `1/l`, the
+    /// convention used for the NBA dataset and the running examples.
+    pub fn with_equal_probs(
+        id: ObjectId,
+        points: impl IntoIterator<Item = Point>,
+    ) -> Result<Self, UncertainError> {
+        let pts: Vec<Point> = points.into_iter().collect();
+        if pts.is_empty() {
+            return Err(UncertainError::NoSamples);
+        }
+        let p = 1.0 / pts.len() as f64;
+        Self::new(id, pts.into_iter().map(|pt| (pt, p)))
+    }
+
+    /// A certain object: one sample with probability 1.
+    pub fn certain(id: ObjectId, point: Point) -> Self {
+        Self {
+            id,
+            samples: vec![Sample { point, prob: 1.0 }],
+            label: None,
+        }
+    }
+
+    /// Attaches a human-readable label (player name, car description, …).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The object's identifier.
+    #[inline]
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Optional human-readable label.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// The object's samples.
+    #[inline]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples (`l_u`).
+    #[inline]
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Dimensionality of the object's samples.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.samples[0].point.dim()
+    }
+
+    /// True when the object degenerates to certain data (one sample with
+    /// probability 1).
+    pub fn is_certain(&self) -> bool {
+        self.samples.len() == 1
+    }
+
+    /// The single location of a certain object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object has more than one sample.
+    pub fn certain_point(&self) -> &Point {
+        assert!(self.is_certain(), "object {} is not certain", self.id);
+        &self.samples[0].point
+    }
+
+    /// Minimum bounding rectangle of the uncertain region (the MBR of the
+    /// samples) — what the dataset R-tree indexes.
+    pub fn mbr(&self) -> HyperRect {
+        HyperRect::mbr_of_points(self.samples.iter().map(|s| s.point()))
+    }
+
+    /// Expected location (probability-weighted centroid).
+    pub fn expectation(&self) -> Point {
+        let dim = self.dim();
+        let mut acc = vec![0.0; dim];
+        for s in &self.samples {
+            for (i, item) in acc.iter_mut().enumerate() {
+                *item += s.prob * s.point[i];
+            }
+        }
+        Point::new(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    #[test]
+    fn valid_object() {
+        let o = UncertainObject::new(
+            ObjectId(1),
+            vec![(pt(0.0, 0.0), 0.25), (pt(1.0, 1.0), 0.75)],
+        )
+        .unwrap();
+        assert_eq!(o.sample_count(), 2);
+        assert_eq!(o.dim(), 2);
+        assert!(!o.is_certain());
+        assert_eq!(o.id(), ObjectId(1));
+    }
+
+    #[test]
+    fn equal_probs() {
+        let o =
+            UncertainObject::with_equal_probs(ObjectId(2), vec![pt(0.0, 0.0), pt(2.0, 2.0)])
+                .unwrap();
+        assert!(o.samples().iter().all(|s| (s.prob() - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn no_samples_rejected() {
+        assert_eq!(
+            UncertainObject::new(ObjectId(0), Vec::new()).unwrap_err(),
+            UncertainError::NoSamples
+        );
+        assert_eq!(
+            UncertainObject::with_equal_probs(ObjectId(0), Vec::new()).unwrap_err(),
+            UncertainError::NoSamples
+        );
+    }
+
+    #[test]
+    fn bad_probabilities_rejected() {
+        let err = UncertainObject::new(ObjectId(0), vec![(pt(0.0, 0.0), 0.0), (pt(1.0, 1.0), 1.0)])
+            .unwrap_err();
+        assert_eq!(err, UncertainError::InvalidProbability(0.0));
+
+        let err =
+            UncertainObject::new(ObjectId(0), vec![(pt(0.0, 0.0), 0.5), (pt(1.0, 1.0), 0.2)])
+                .unwrap_err();
+        assert!(matches!(err, UncertainError::ProbabilitiesDoNotSumToOne(_)));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = UncertainObject::new(
+            ObjectId(0),
+            vec![
+                (Point::from([0.0, 0.0]), 0.5),
+                (Point::from([1.0, 1.0, 1.0]), 0.5),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            UncertainError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn certain_object() {
+        let o = UncertainObject::certain(ObjectId(9), pt(3.0, 4.0));
+        assert!(o.is_certain());
+        assert_eq!(o.certain_point(), &pt(3.0, 4.0));
+        assert_eq!(o.mbr().volume(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not certain")]
+    fn certain_point_on_uncertain_panics() {
+        let o =
+            UncertainObject::with_equal_probs(ObjectId(1), vec![pt(0.0, 0.0), pt(1.0, 1.0)])
+                .unwrap();
+        let _ = o.certain_point();
+    }
+
+    #[test]
+    fn mbr_covers_all_samples() {
+        let o = UncertainObject::with_equal_probs(
+            ObjectId(1),
+            vec![pt(0.0, 5.0), pt(2.0, 1.0), pt(1.0, 3.0)],
+        )
+        .unwrap();
+        let mbr = o.mbr();
+        for s in o.samples() {
+            assert!(mbr.contains_point(s.point()));
+        }
+    }
+
+    #[test]
+    fn expectation_weighted() {
+        let o = UncertainObject::new(
+            ObjectId(1),
+            vec![(pt(0.0, 0.0), 0.25), (pt(4.0, 8.0), 0.75)],
+        )
+        .unwrap();
+        assert_eq!(o.expectation(), pt(3.0, 6.0));
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let o = UncertainObject::certain(ObjectId(1), pt(0.0, 0.0)).with_label("Ervin Jackson");
+        assert_eq!(o.label(), Some("Ervin Jackson"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Possible-world semantics.
+//!
+//! A possible world `pw(𝒫)` instantiates every uncertain object at one of
+//! its samples; its probability is the product of the chosen samples'
+//! probabilities (objects are independent). The paper defines `Pr(u)` —
+//! the probability that `u` is a reverse skyline object — as a sum over
+//! possible worlds; Eq. 2 is the closed form. This module provides the
+//! exhaustive enumeration so tests can check the closed form against the
+//! definition.
+
+use crate::object::{Sample, UncertainObject};
+
+/// One possible world: for each object (by position in the input slice),
+/// the index of the instantiated sample, plus the world's probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PossibleWorld {
+    /// `choice[i]` = index of the sample instantiating object `i`.
+    pub choice: Vec<usize>,
+    /// Product of the chosen samples' probabilities.
+    pub prob: f64,
+}
+
+impl PossibleWorld {
+    /// The sample instantiating object `i` in this world.
+    pub fn sample_of<'a>(&self, objects: &'a [UncertainObject], i: usize) -> &'a Sample {
+        &objects[i].samples()[self.choice[i]]
+    }
+}
+
+/// Number of possible worlds (`Π l_u`), saturating at `u128::MAX`.
+pub fn world_count(objects: &[UncertainObject]) -> u128 {
+    objects
+        .iter()
+        .map(|o| o.sample_count() as u128)
+        .try_fold(1u128, |acc, l| acc.checked_mul(l))
+        .unwrap_or(u128::MAX)
+}
+
+/// Iterator over all possible worlds of `objects`.
+///
+/// Enumeration is exponential; intended for validation on small inputs.
+/// The iterator is lazy, so callers may also stream over moderately large
+/// spaces and stop early.
+pub fn possible_worlds(objects: &[UncertainObject]) -> WorldIter<'_> {
+    WorldIter {
+        objects,
+        next_choice: if objects.is_empty() {
+            None
+        } else {
+            Some(vec![0; objects.len()])
+        },
+        emitted_empty: false,
+    }
+}
+
+/// Lazy possible-world enumerator (odometer order).
+pub struct WorldIter<'a> {
+    objects: &'a [UncertainObject],
+    next_choice: Option<Vec<usize>>,
+    emitted_empty: bool,
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = PossibleWorld;
+
+    fn next(&mut self) -> Option<PossibleWorld> {
+        if self.objects.is_empty() {
+            // The empty dataset has exactly one (empty) world.
+            if self.emitted_empty {
+                return None;
+            }
+            self.emitted_empty = true;
+            return Some(PossibleWorld {
+                choice: Vec::new(),
+                prob: 1.0,
+            });
+        }
+        let choice = self.next_choice.take()?;
+        let prob = choice
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| self.objects[i].samples()[s].prob())
+            .product();
+        // Advance the odometer.
+        let mut next = choice.clone();
+        let mut pos = next.len();
+        loop {
+            if pos == 0 {
+                break; // overflow: enumeration done
+            }
+            pos -= 1;
+            next[pos] += 1;
+            if next[pos] < self.objects[pos].sample_count() {
+                self.next_choice = Some(next);
+                break;
+            }
+            next[pos] = 0;
+        }
+        Some(PossibleWorld { choice, prob })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+    use crp_geom::Point;
+
+    fn obj(id: u32, probs: &[f64]) -> UncertainObject {
+        UncertainObject::new(
+            ObjectId(id),
+            probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (Point::from([i as f64, id as f64]), p)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn world_count_products() {
+        let objs = [obj(0, &[0.5, 0.5]), obj(1, &[0.2, 0.3, 0.5])];
+        assert_eq!(world_count(&objs), 6);
+        assert_eq!(world_count(&[]), 1);
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_probabilities_sum_to_one() {
+        let objs = [
+            obj(0, &[0.5, 0.5]),
+            obj(1, &[0.2, 0.3, 0.5]),
+            obj(2, &[1.0]),
+        ];
+        let worlds: Vec<PossibleWorld> = possible_worlds(&objs).collect();
+        assert_eq!(worlds.len(), 6);
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // All choices distinct.
+        let mut choices: Vec<Vec<usize>> = worlds.iter().map(|w| w.choice.clone()).collect();
+        choices.sort();
+        choices.dedup();
+        assert_eq!(choices.len(), 6);
+    }
+
+    #[test]
+    fn world_probability_is_product_of_choices() {
+        let objs = [obj(0, &[0.25, 0.75]), obj(1, &[0.4, 0.6])];
+        let worlds: Vec<PossibleWorld> = possible_worlds(&objs).collect();
+        let w = worlds
+            .iter()
+            .find(|w| w.choice == vec![1, 0])
+            .expect("world (1,0) enumerated");
+        assert!((w.prob - 0.75 * 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_has_one_world() {
+        let worlds: Vec<PossibleWorld> = possible_worlds(&[]).collect();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(worlds[0].prob, 1.0);
+        assert!(worlds[0].choice.is_empty());
+    }
+
+    #[test]
+    fn sample_of_resolves_choice() {
+        let objs = [obj(0, &[0.5, 0.5])];
+        let worlds: Vec<PossibleWorld> = possible_worlds(&objs).collect();
+        assert_eq!(worlds[0].sample_of(&objs, 0).point(), &Point::from([0.0, 0.0]));
+        assert_eq!(worlds[1].sample_of(&objs, 0).point(), &Point::from([1.0, 0.0]));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the uncertain data model.
+
+use crp_geom::{HyperRect, Point};
+use crp_uncertain::{
+    possible_worlds, world_count, BoxUniform, ContinuousPdf, ObjectId, UncertainDataset,
+    UncertainObject,
+};
+use proptest::prelude::*;
+
+fn point(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(-50.0..50.0f64, dim).prop_map(Point::new)
+}
+
+fn object(id: u32) -> impl Strategy<Value = UncertainObject> {
+    prop::collection::vec((point(2), 1..=10u32), 1..=4).prop_map(move |samples| {
+        let total: u32 = samples.iter().map(|(_, w)| *w).sum();
+        UncertainObject::new(
+            ObjectId(id),
+            samples
+                .into_iter()
+                .map(|(p, w)| (p, w as f64 / total as f64)),
+        )
+        .expect("weights normalised")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sample_probabilities_sum_to_one(o in object(0)) {
+        let total: f64 = o.samples().iter().map(|s| s.prob()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(o.samples().iter().all(|s| s.prob() > 0.0));
+    }
+
+    #[test]
+    fn mbr_contains_all_samples_and_expectation(o in object(0)) {
+        let mbr = o.mbr();
+        for s in o.samples() {
+            prop_assert!(mbr.contains_point(s.point()));
+        }
+        prop_assert!(mbr.contains_point(&o.expectation()));
+    }
+
+    #[test]
+    fn possible_worlds_form_a_distribution(
+        objs in prop::collection::vec(prop::collection::vec(point(2), 1..=3), 1..=4)
+    ) {
+        let objects: Vec<UncertainObject> = objs
+            .into_iter()
+            .enumerate()
+            .map(|(i, pts)| {
+                UncertainObject::with_equal_probs(ObjectId(i as u32), pts).unwrap()
+            })
+            .collect();
+        let worlds: Vec<_> = possible_worlds(&objects).collect();
+        prop_assert_eq!(worlds.len() as u128, world_count(&objects));
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(worlds.iter().all(|w| w.prob > 0.0));
+    }
+
+    #[test]
+    fn box_uniform_probability_is_a_measure(
+        c in point(2),
+        ext in prop::collection::vec(0.1..30.0f64, 2),
+        probe_c in point(2),
+        probe_ext in prop::collection::vec(0.0..40.0f64, 2),
+    ) {
+        let region = HyperRect::centered(&c, &ext);
+        let pdf = BoxUniform::new(region.clone());
+        // Total mass 1 on the region; monotone under inclusion; in [0,1].
+        prop_assert!((pdf.box_probability(&region) - 1.0).abs() < 1e-9);
+        let probe = HyperRect::centered(&probe_c, &probe_ext);
+        let p = pdf.box_probability(&probe);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        let bigger = HyperRect::centered(
+            &probe_c,
+            &probe_ext.iter().map(|e| e + 5.0).collect::<Vec<_>>(),
+        );
+        prop_assert!(pdf.box_probability(&bigger) + 1e-9 >= p);
+    }
+
+    #[test]
+    fn discretisation_mass_matches_box_probability(
+        c in point(2),
+        ext in prop::collection::vec(0.5..20.0f64, 2),
+        resolution in 1usize..6,
+    ) {
+        let region = HyperRect::centered(&c, &ext);
+        let pdf = ContinuousPdf::uniform(region);
+        let cells = pdf.discretize(resolution);
+        prop_assert_eq!(cells.len(), resolution * resolution);
+        let total: f64 = cells.iter().map(|(_, m)| *m).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Uniform pdf: equal cell masses.
+        for (_, m) in &cells {
+            prop_assert!((m - 1.0 / cells.len() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dataset_lookup_is_consistent(
+        objs in prop::collection::vec(prop::collection::vec(point(2), 1..=2), 1..=10)
+    ) {
+        let ds = UncertainDataset::from_objects(objs.into_iter().enumerate().map(
+            |(i, pts)| UncertainObject::with_equal_probs(ObjectId(i as u32 * 3), pts).unwrap(),
+        ))
+        .unwrap();
+        for (pos, o) in ds.iter().enumerate() {
+            prop_assert_eq!(ds.index_of(o.id()), Some(pos));
+            prop_assert_eq!(ds.get(o.id()).unwrap().id(), o.id());
+            prop_assert_eq!(ds.object_at(pos).id(), o.id());
+        }
+        prop_assert!(ds.get(ObjectId(1)).is_none()); // ids are multiples of 3
+    }
+}

@@ -1,0 +1,216 @@
+//! `crp` — command-line front end for the library.
+//!
+//! ```text
+//! # Who is in the (probabilistic) reverse skyline?
+//! crp query   --data cars.csv --schema points  --query 11580,49000
+//! crp query   --data nba.csv  --schema seasons --query 3500,1500,600,800 --alpha 0.5
+//!
+//! # Why is an object missing? (CR for point data, CP for season data.)
+//! crp explain --data cars.csv --schema points  --query 11580,49000 --object 42
+//! crp explain --data nba.csv  --schema seasons --query 3500,1500,600,800 \
+//!             --alpha 0.5 --object 23 [--budget 2000000]
+//!
+//! # Emit a synthetic stand-in dataset as CSV.
+//! crp generate --kind nba   --out league.csv
+//! crp generate --kind cardb --out cars.csv
+//! ```
+//!
+//! Schemas are documented in `crp_data::io`: `points` = `label,a1..aD`
+//! (certain data), `seasons` = `player_id,label,a1..aD` (uncertain data,
+//! equal sample probabilities per id).
+
+use prsq_crp::data::{
+    cardb_dataset, load_points, load_season_records, nba_dataset, write_season_records,
+    CarDbConfig, NbaConfig,
+};
+use prsq_crp::prelude::*;
+use std::process::ExitCode;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_query_point(raw: &str) -> Result<Point, String> {
+    let coords: Result<Vec<f64>, _> = raw.split(',').map(|c| c.trim().parse::<f64>()).collect();
+    match coords {
+        Ok(v) if !v.is_empty() => Ok(Point::new(v)),
+        Ok(_) => Err("query point needs at least one coordinate".into()),
+        Err(e) => Err(format!("bad query point {raw:?}: {e}")),
+    }
+}
+
+fn load(schema: &str, path: &str) -> Result<UncertainDataset, String> {
+    match schema {
+        "points" => load_points(path).map_err(|e| e.to_string()),
+        "seasons" => load_season_records(path).map_err(|e| e.to_string()),
+        other => Err(format!("unknown schema {other:?} (use points|seasons)")),
+    }
+}
+
+fn label_of(ds: &UncertainDataset, id: ObjectId) -> String {
+    ds.get(id)
+        .and_then(|o| o.label())
+        .map(str::to_string)
+        .unwrap_or_else(|| id.to_string())
+}
+
+fn cmd_query(ds: &UncertainDataset, q: &Point, alpha: f64) -> Result<(), String> {
+    if ds.is_certain() {
+        let tree = build_point_rtree(ds, RTreeParams::paper_default(q.dim()));
+        let mut stats = QueryStats::default();
+        let rs = reverse_skyline_rtree(ds, &tree, q, &mut stats);
+        println!("reverse skyline of {q} — {} object(s):", rs.len());
+        for id in rs {
+            println!("  {}", label_of(ds, id));
+        }
+        println!("({} node accesses)", stats.node_accesses);
+    } else {
+        let answers = probabilistic_reverse_skyline(ds, q, alpha);
+        println!(
+            "probabilistic reverse skyline of {q} at α = {alpha} — {} object(s):",
+            answers.len()
+        );
+        for (id, prob) in answers {
+            println!("  {} (Pr = {prob:.3})", label_of(ds, id));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explain(
+    ds: &UncertainDataset,
+    q: &Point,
+    alpha: f64,
+    object: ObjectId,
+    budget: Option<u64>,
+) -> Result<(), String> {
+    let outcome = if ds.is_certain() {
+        let tree = build_point_rtree(ds, RTreeParams::paper_default(q.dim()));
+        cr(ds, &tree, q, object)
+    } else {
+        let tree = build_object_rtree(ds, RTreeParams::paper_default(q.dim()));
+        let config = CpConfig {
+            use_probability_bound: true,
+            max_subsets: budget,
+            ..CpConfig::default()
+        };
+        cp(ds, &tree, q, object, alpha, &config)
+    };
+    match outcome {
+        Ok(out) => {
+            println!(
+                "{} is a NON-ANSWER; {} actual cause(s):",
+                label_of(ds, object),
+                out.causes.len()
+            );
+            for cause in out.by_responsibility() {
+                println!(
+                    "  {:<32} responsibility 1/{}{}",
+                    label_of(ds, cause.id),
+                    cause.min_contingency.len() + 1,
+                    if cause.counterfactual {
+                        "  (counterfactual)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Ok(())
+        }
+        Err(CrpError::NotANonAnswer { prob }) => {
+            println!(
+                "{} is an ANSWER (Pr = {prob:.3}) — answers have no causes \
+                 (deletion monotonicity)",
+                label_of(ds, object)
+            );
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_generate(kind: &str, out: &str) -> Result<(), String> {
+    let ds = match kind {
+        "nba" => nba_dataset(&NbaConfig::default()),
+        "cardb" => cardb_dataset(&CarDbConfig::default()),
+        other => return Err(format!("unknown kind {other:?} (use nba|cardb)")),
+    };
+    write_season_records(&ds, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} objects ({} records) to {out}",
+        ds.len(),
+        ds.total_samples()
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let command = std::env::args().nth(1).unwrap_or_default();
+    match command.as_str() {
+        "generate" => {
+            let kind = arg("--kind").ok_or("--kind nba|cardb required")?;
+            let out = arg("--out").ok_or("--out FILE required")?;
+            cmd_generate(&kind, &out)
+        }
+        "query" | "explain" => {
+            let data = arg("--data").ok_or("--data FILE required")?;
+            let schema = arg("--schema").unwrap_or_else(|| "points".into());
+            let q = parse_query_point(&arg("--query").ok_or("--query a1,a2,… required")?)?;
+            let alpha: f64 = arg("--alpha")
+                .map(|a| a.parse().map_err(|e| format!("bad --alpha: {e}")))
+                .transpose()?
+                .unwrap_or(0.5);
+            let ds = load(&schema, &data)?;
+            if ds.dim() != Some(q.dim()) {
+                return Err(format!(
+                    "query has {} attributes but the data has {:?}",
+                    q.dim(),
+                    ds.dim()
+                ));
+            }
+            if command == "query" {
+                cmd_query(&ds, &q, alpha)
+            } else {
+                let raw = arg("--object").ok_or("--object ID required")?;
+                let id = ObjectId(raw.parse().map_err(|e| format!("bad --object: {e}"))?);
+                let budget = arg("--budget")
+                    .map(|b| b.parse().map_err(|e| format!("bad --budget: {e}")))
+                    .transpose()?;
+                cmd_explain(&ds, &q, alpha, id, budget.or(Some(5_000_000)))
+            }
+        }
+        _ => Err(
+            "usage: crp <query|explain|generate> [--data FILE --schema points|seasons \
+             --query a1,a2,… --alpha A --object ID --budget N | --kind nba|cardb --out FILE]"
+                .into(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_query_point;
+
+    #[test]
+    fn query_point_parsing() {
+        assert_eq!(
+            parse_query_point("1, 2.5,3").unwrap().coords(),
+            &[1.0, 2.5, 3.0]
+        );
+        assert!(parse_query_point("").is_err());
+        assert!(parse_query_point("1,x").is_err());
+    }
+}
