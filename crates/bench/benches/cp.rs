@@ -5,10 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use crp_bench::exp::centroid_query;
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::{cp, naive_i, CpConfig};
+use crp_core::{CpConfig, EngineConfig, ExplainEngine, ExplainStrategy};
 use crp_data::{uncertain_dataset, UncertainConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 use std::hint::black_box;
 
 fn bench_cp(c: &mut Criterion) {
@@ -19,12 +17,12 @@ fn bench_cp(c: &mut Criterion) {
         seed: 0xBE,
         ..UncertainConfig::default()
     });
-    let tree = build_object_rtree(&ds, RTreeParams::paper_default(3));
-    let q = centroid_query(&ds);
     let alpha = 0.6;
+    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+    let q = centroid_query(engine.dataset());
     let ids = select_prsq_non_answers(
-        &ds,
-        &tree,
+        engine.dataset(),
+        engine.object_tree(),
         &q,
         &PrsqSelectionConfig {
             count: 8,
@@ -42,7 +40,11 @@ fn bench_cp(c: &mut Criterion) {
     group.bench_function("cp_default", |b| {
         b.iter(|| {
             for &id in &ids {
-                black_box(cp(&ds, &tree, &q, id, alpha, &CpConfig::default()).unwrap());
+                black_box(
+                    engine
+                        .explain_as(ExplainStrategy::Cp, &q, alpha, id)
+                        .unwrap(),
+                );
             }
         })
     });
@@ -79,7 +81,11 @@ fn bench_cp(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 for &id in &ids {
-                    black_box(cp(&ds, &tree, &q, id, alpha, &cfg).unwrap());
+                    black_box(
+                        engine
+                            .explain_configured(ExplainStrategy::Cp, &q, alpha, id, &cfg)
+                            .unwrap(),
+                    );
                 }
             })
         });
@@ -88,7 +94,11 @@ fn bench_cp(c: &mut Criterion) {
     group.bench_function("naive_i", |b| {
         b.iter(|| {
             for &id in &ids {
-                black_box(naive_i(&ds, &tree, &q, id, alpha, None).unwrap());
+                black_box(
+                    engine
+                        .explain_as(ExplainStrategy::NaiveI { max_subsets: None }, &q, alpha, id)
+                        .unwrap(),
+                );
             }
         })
     });

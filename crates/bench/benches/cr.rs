@@ -4,10 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use crp_bench::exp::centroid_query;
 use crp_bench::selection::select_rsq_non_answers;
-use crp_core::{cr, naive_ii};
+use crp_core::{EngineConfig, ExplainEngine, ExplainStrategy};
 use crp_data::{certain_dataset, CertainConfig, CertainKind};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_point_rtree;
 use std::hint::black_box;
 
 fn bench_cr(c: &mut Criterion) {
@@ -18,16 +16,16 @@ fn bench_cr(c: &mut Criterion) {
         seed: 0xBC,
         ..CertainConfig::default()
     });
-    let tree = build_point_rtree(&ds, RTreeParams::paper_default(3));
-    let q = centroid_query(&ds);
-    let ids = select_rsq_non_answers(&ds, &tree, &q, 8, 8, Some(16), 4);
+    let engine = ExplainEngine::new(ds, EngineConfig::default());
+    let q = centroid_query(engine.dataset());
+    let ids = select_rsq_non_answers(engine.dataset(), engine.point_tree(), &q, 8, 8, Some(16), 4);
     assert!(!ids.is_empty());
 
     let mut group = c.benchmark_group("cr/verification");
     group.bench_function("cr_lemma7", |b| {
         b.iter(|| {
             for &id in &ids {
-                black_box(cr(&ds, &tree, &q, id).unwrap());
+                black_box(engine.explain_as(ExplainStrategy::Cr, &q, 0.5, id).unwrap());
             }
         })
     });
@@ -35,7 +33,11 @@ fn bench_cr(c: &mut Criterion) {
     group.bench_function("naive_ii", |b| {
         b.iter(|| {
             for &id in &ids {
-                black_box(naive_ii(&ds, &tree, &q, id, None).unwrap());
+                black_box(
+                    engine
+                        .explain_as(ExplainStrategy::NaiveII { max_subsets: None }, &q, 0.5, id)
+                        .unwrap(),
+                );
             }
         })
     });

@@ -1,0 +1,90 @@
+//! Benchmarks of the `ExplainEngine` batch mode: one rayon-parallel
+//! `explain_batch` call against the per-call serial loop over the same
+//! non-answers — the speedup the engine refactor exists to deliver.
+//!
+//! Before timing anything, the harness asserts the parallel batch is
+//! **bit-identical** to the serial path (the engine's contract).
+
+#![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::exp::centroid_query;
+use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
+use crp_core::{EngineConfig, ExplainEngine, ExplainStrategy};
+use crp_data::{uncertain_dataset, UncertainConfig};
+use crp_uncertain::ObjectId;
+use std::hint::black_box;
+
+fn batch_fixture(alpha: f64) -> (ExplainEngine, crp_geom::Point, Vec<ObjectId>) {
+    let ds = uncertain_dataset(&UncertainConfig {
+        cardinality: 20_000,
+        dim: 3,
+        radius_range: (0.0, 5.0),
+        seed: 0xBA7C4,
+        ..UncertainConfig::default()
+    });
+    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+    let q = centroid_query(engine.dataset());
+    let ids = select_prsq_non_answers(
+        engine.dataset(),
+        engine.object_tree(),
+        &q,
+        &PrsqSelectionConfig {
+            count: 64,
+            alpha_classify: alpha,
+            alpha_tractability: alpha,
+            min_candidates: 4,
+            max_candidates: 18,
+            max_free_candidates: 12,
+            seed: 0x5EED_BA7,
+        },
+    );
+    assert!(
+        ids.len() >= 32,
+        "batch benchmark needs >= 32 non-answers, selected {}",
+        ids.len()
+    );
+    (engine, q, ids)
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let alpha = 0.6;
+    let (engine, q, ids) = batch_fixture(alpha);
+    eprintln!(
+        "[engine bench] {} non-answers, {} rayon threads",
+        ids.len(),
+        rayon::current_num_threads()
+    );
+
+    // Contract check: the parallel batch must be bit-identical to the
+    // serial path before its speedup means anything.
+    let parallel = engine.explain_batch_as(ExplainStrategy::Cp, &q, alpha, &ids);
+    let serial = engine.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
+    assert_eq!(parallel, serial, "parallel batch diverged from serial");
+
+    let mut group = c.benchmark_group("engine/batch");
+    group.bench_with_input(
+        BenchmarkId::new("per_call_cp", ids.len()),
+        &ids,
+        |b, ids| {
+            b.iter(|| {
+                for &id in ids.iter() {
+                    black_box(
+                        engine
+                            .explain_as(ExplainStrategy::Cp, &q, alpha, id)
+                            .unwrap(),
+                    );
+                }
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("explain_batch_rayon", ids.len()),
+        &ids,
+        |b, ids| b.iter(|| black_box(engine.explain_batch_as(ExplainStrategy::Cp, &q, alpha, ids))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch);
+criterion_main!(benches);

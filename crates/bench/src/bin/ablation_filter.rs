@@ -10,10 +10,8 @@ use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
 use crp_bench::AggregateStats;
-use crp_core::{cp, cp_unindexed, CpConfig};
+use crp_core::{EngineConfig, ExplainEngine, ExplainStrategy};
 use crp_data::{uncertain_dataset, UncertainConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 use std::time::Instant;
 
 fn main() {
@@ -42,12 +40,11 @@ fn main() {
             ..UncertainConfig::default()
         };
         eprintln!("[ablation-filter] |P| = {cardinality}…");
-        let ds = uncertain_dataset(&cfg);
-        let tree = build_object_rtree(&ds, RTreeParams::paper_default(3));
-        let q = centroid_query(&ds);
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::with_alpha(alpha));
+        let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
-            &ds,
-            &tree,
+            engine.dataset(),
+            engine.object_tree(),
             &q,
             &PrsqSelectionConfig {
                 count: trials,
@@ -65,12 +62,14 @@ fn main() {
         let mut scan_ms = AggregateStats::new();
         for &id in &ids {
             let t0 = Instant::now();
-            let a = cp(&ds, &tree, &q, id, alpha, &CpConfig::default())
+            let a = engine
+                .explain_as(ExplainStrategy::Cp, &q, alpha, id)
                 .expect("selected non-answers are tractable");
             idx_ms.push(t0.elapsed().as_secs_f64() * 1e3);
             idx_io.push(a.stats.query.node_accesses as f64);
             let t1 = Instant::now();
-            let b = cp_unindexed(&ds, &q, id, alpha, &CpConfig::default())
+            let b = engine
+                .explain_as(ExplainStrategy::CpUnindexed, &q, alpha, id)
                 .expect("same classification");
             scan_ms.push(t1.elapsed().as_secs_f64() * 1e3);
             assert_eq!(a.causes, b.causes, "filter must not change the causes");

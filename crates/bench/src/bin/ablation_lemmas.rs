@@ -9,10 +9,8 @@
 use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir, run_cp_over};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::CpConfig;
+use crp_core::{CpConfig, EngineConfig, ExplainEngine};
 use crp_data::{uncertain_dataset, UncertainConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -32,12 +30,11 @@ fn main() {
         ..UncertainConfig::default()
     };
     eprintln!("[ablation] generating dataset…");
-    let ds = uncertain_dataset(&cfg);
-    let tree = build_object_rtree(&ds, RTreeParams::paper_default(3));
-    let q = centroid_query(&ds);
+    let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+    let q = centroid_query(engine.dataset());
     let ids = select_prsq_non_answers(
-        &ds,
-        &tree,
+        engine.dataset(),
+        engine.object_tree(),
         &q,
         &PrsqSelectionConfig {
             count: trials,
@@ -90,7 +87,7 @@ fn main() {
     );
     let mut baseline_causes = None;
     for (name, config) in &variants {
-        let m = run_cp_over(&ds, &tree, &q, &ids, alpha, config);
+        let m = run_cp_over(&engine, &q, &ids, alpha, config);
         match baseline_causes {
             None => baseline_causes = Some(m.causes.mean()),
             Some(b) => assert!(

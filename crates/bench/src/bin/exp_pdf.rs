@@ -8,11 +8,9 @@
 use crp_bench::exp::{arg_flag, arg_value, out_dir};
 use crp_bench::report::{fnum, Table};
 use crp_bench::AggregateStats;
-use crp_core::{cp, cp_pdf, build_pdf_rtree, CpConfig};
+use crp_core::{CpConfig, EngineConfig, ExplainEngine, ExplainStrategy};
 use crp_data::{pdf_dataset, UncertainConfig};
 use crp_geom::Point;
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 use crp_uncertain::ObjectId;
 use std::time::Instant;
 
@@ -31,8 +29,10 @@ fn main() {
         ..UncertainConfig::default()
     };
     let ds = pdf_dataset(&cfg);
-    let tree = build_pdf_rtree(&ds, RTreeParams::paper_default(2));
     let q = Point::from([5_000.0, 5_000.0]);
+    // One pdf session per integration resolution (the resolution is a
+    // session parameter); the coarse session doubles as the selector.
+    let coarse = ExplainEngine::for_pdf(ds.clone(), 2, EngineConfig::with_alpha(alpha));
 
     // Subjects: pdf objects that cp_pdf classifies as tractable
     // non-answers at a coarse resolution.
@@ -44,7 +44,13 @@ fn main() {
             break;
         }
         let id = ds.objects()[i].id();
-        if let Ok(out) = cp_pdf(&ds, &tree, &q, id, alpha, 2, &CpConfig::with_budget(200_000)) {
+        if let Ok(out) = coarse.explain_configured(
+            ExplainStrategy::Cp,
+            &q,
+            alpha,
+            id,
+            &CpConfig::with_budget(200_000),
+        ) {
             if !out.causes.is_empty() && out.stats.candidates <= 16 {
                 subjects.push(id);
             }
@@ -54,12 +60,20 @@ fn main() {
 
     let mut table = Table::new(
         format!("Extension — pdf-model CP vs discretised CP (|P| = {cardinality}, α = {alpha})"),
-        &["resolution", "pdf CPU (ms)", "discrete CPU (ms)", "agreement", "pdf causes"],
+        &[
+            "resolution",
+            "pdf CPU (ms)",
+            "discrete CPU (ms)",
+            "agreement",
+            "pdf causes",
+        ],
     );
 
     for resolution in [2usize, 3, 4, 6] {
-        let disc = ds.discretize(resolution);
-        let dtree = build_object_rtree(&disc, RTreeParams::paper_default(2));
+        let pdf_engine =
+            ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha));
+        let disc_engine =
+            ExplainEngine::new(ds.discretize(resolution), EngineConfig::with_alpha(alpha));
         let mut pdf_ms = AggregateStats::new();
         let mut disc_ms = AggregateStats::new();
         let mut causes = AggregateStats::new();
@@ -67,10 +81,10 @@ fn main() {
         let mut total = 0usize;
         for &id in &subjects {
             let t0 = Instant::now();
-            let a = cp_pdf(&ds, &tree, &q, id, alpha, resolution, &CpConfig::default());
+            let a = pdf_engine.explain(&q, id);
             pdf_ms.push(t0.elapsed().as_secs_f64() * 1e3);
             let t1 = Instant::now();
-            let b = cp(&disc, &dtree, &q, id, alpha, &CpConfig::default());
+            let b = disc_engine.explain_as(ExplainStrategy::Cp, &q, alpha, id);
             disc_ms.push(t1.elapsed().as_secs_f64() * 1e3);
             total += 1;
             match (a, b) {

@@ -6,12 +6,13 @@
 
 #![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
 
-use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir, run_cr_over, run_naive_ii_over};
+use crp_bench::exp::{
+    arg_flag, arg_value, centroid_query, out_dir, run_cr_over, run_naive_ii_over,
+};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::select_rsq_non_answers;
+use crp_core::{EngineConfig, ExplainEngine};
 use crp_data::{cardb_dataset, certain_dataset, CarDbConfig, CertainConfig, CertainKind};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_point_rtree;
 use crp_uncertain::UncertainDataset;
 
 fn main() {
@@ -25,7 +26,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 11 — CR vs Naive-II (|P| = {cardinality}, d = 3; CarDB d = 2)"),
-        &["dataset", "algo", "node accesses", "CPU (ms)", "subsets", "causes", "skipped"],
+        &[
+            "dataset",
+            "algo",
+            "node accesses",
+            "CPU (ms)",
+            "subsets",
+            "causes",
+            "skipped",
+        ],
     );
 
     let mut datasets: Vec<(String, UncertainDataset)> = Vec::new();
@@ -51,15 +60,22 @@ fn main() {
     });
     datasets.push(("CarDB".into(), cardb));
 
-    for (name, ds) in &datasets {
-        let dim = ds.dim().expect("non-empty");
-        let tree = build_point_rtree(ds, RTreeParams::paper_default(dim));
-        let q = centroid_query(ds);
-        let ids = select_rsq_non_answers(ds, &tree, &q, trials, 8, Some(18), 0x5EED_11);
+    for (name, ds) in datasets {
+        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        let q = centroid_query(engine.dataset());
+        let ids = select_rsq_non_answers(
+            engine.dataset(),
+            engine.point_tree(),
+            &q,
+            trials,
+            8,
+            Some(18),
+            0x5EED_11,
+        );
         eprintln!("[fig11] {name}: {} non-answers selected", ids.len());
 
-        let cr_run = run_cr_over(ds, &tree, &q, &ids);
-        let nv_run = run_naive_ii_over(ds, &tree, &q, &ids, Some(20_000_000));
+        let cr_run = run_cr_over(&engine, &q, &ids);
+        let nv_run = run_naive_ii_over(&engine, &q, &ids, Some(20_000_000));
         for (algo, m) in [("CR", &cr_run), ("Naive-II", &nv_run)] {
             table.row(vec![
                 name.clone(),

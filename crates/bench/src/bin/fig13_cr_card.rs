@@ -7,9 +7,8 @@
 use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir, run_cr_over};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::select_rsq_non_answers;
+use crp_core::{EngineConfig, ExplainEngine};
 use crp_data::{certain_dataset, CertainConfig, CertainKind};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_point_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -24,7 +23,14 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 13 — CR cost vs cardinality (d = 3)".to_string(),
-        &["dataset", "|P|", "node accesses", "CPU (ms)", "causes", "skipped"],
+        &[
+            "dataset",
+            "|P|",
+            "node accesses",
+            "CPU (ms)",
+            "causes",
+            "skipped",
+        ],
     );
 
     for kind in [
@@ -42,11 +48,18 @@ fn main() {
                 ..CertainConfig::default()
             };
             eprintln!("[fig13] {} |P| = {cardinality}…", kind.short_name());
-            let ds = certain_dataset(&cfg);
-            let tree = build_point_rtree(&ds, RTreeParams::paper_default(3));
-            let q = centroid_query(&ds);
-            let ids = select_rsq_non_answers(&ds, &tree, &q, trials, 1, None, 0x5EED_13);
-            let m = run_cr_over(&ds, &tree, &q, &ids);
+            let engine = ExplainEngine::new(certain_dataset(&cfg), EngineConfig::default());
+            let q = centroid_query(engine.dataset());
+            let ids = select_rsq_non_answers(
+                engine.dataset(),
+                engine.point_tree(),
+                &q,
+                trials,
+                1,
+                None,
+                0x5EED_13,
+            );
+            let m = run_cr_over(&engine, &q, &ids);
             table.row(vec![
                 kind.short_name().into(),
                 cardinality.to_string(),
@@ -58,5 +71,7 @@ fn main() {
         }
     }
     table.print();
-    table.write_csv(out_dir(), "fig13_cr_card").expect("CSV written");
+    table
+        .write_csv(out_dir(), "fig13_cr_card")
+        .expect("CSV written");
 }

@@ -8,10 +8,8 @@
 use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir, run_cp_over, run_naive_i_over};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::CpConfig;
+use crp_core::{CpConfig, EngineConfig, ExplainEngine};
 use crp_data::{uncertain_dataset, CenterDistribution, RadiusDistribution, UncertainConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -33,7 +31,13 @@ fn main() {
     let mut table = Table::new(
         format!("Fig. 6 — CP vs Naive-I (|P| = {cardinality}, d = 3, α = {alpha})"),
         &[
-            "dataset", "algo", "node accesses", "CPU (ms)", "subsets", "causes", "skipped",
+            "dataset",
+            "algo",
+            "node accesses",
+            "CPU (ms)",
+            "subsets",
+            "causes",
+            "skipped",
         ],
     );
 
@@ -49,12 +53,11 @@ fn main() {
         };
         let name = cfg.family_name();
         eprintln!("[fig6] generating {name} ({cardinality} objects)…");
-        let ds = uncertain_dataset(&cfg);
-        let tree = build_object_rtree(&ds, RTreeParams::paper_default(3));
-        let q = centroid_query(&ds);
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+        let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
-            &ds,
-            &tree,
+            engine.dataset(),
+            engine.object_tree(),
             &q,
             &PrsqSelectionConfig {
                 count: trials,
@@ -68,8 +71,8 @@ fn main() {
         );
         eprintln!("[fig6] {name}: {} non-answers selected", ids.len());
 
-        let cp_run = run_cp_over(&ds, &tree, &q, &ids, alpha, &CpConfig::default());
-        let nv_run = run_naive_i_over(&ds, &tree, &q, &ids, alpha, Some(20_000_000));
+        let cp_run = run_cp_over(&engine, &q, &ids, alpha, &CpConfig::default());
+        let nv_run = run_naive_i_over(&engine, &q, &ids, alpha, Some(20_000_000));
         for (algo, m) in [("CP", &cp_run), ("Naive-I", &nv_run)] {
             table.row(vec![
                 name.into(),

@@ -12,10 +12,8 @@
 use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir, run_cp_over};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::CpConfig;
+use crp_core::{CpConfig, EngineConfig, ExplainEngine};
 use crp_data::{uncertain_dataset, UncertainConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -34,14 +32,13 @@ fn main() {
         ..UncertainConfig::default()
     };
     eprintln!("[fig7] generating lUrU ({cardinality} objects)…");
-    let ds = uncertain_dataset(&cfg);
-    let tree = build_object_rtree(&ds, RTreeParams::paper_default(3));
-    let q = centroid_query(&ds);
+    let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+    let q = centroid_query(engine.dataset());
 
     let sweep = [0.2, 0.4, 0.6, 0.8, 1.0];
     let ids = select_prsq_non_answers(
-        &ds,
-        &tree,
+        engine.dataset(),
+        engine.object_tree(),
         &q,
         &PrsqSelectionConfig {
             count: trials,
@@ -57,10 +54,17 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 7 — CP cost vs α (|P| = {cardinality}, d = 3, radius [0,5])"),
-        &["alpha", "node accesses", "CPU (ms)", "subsets", "causes", "skipped"],
+        &[
+            "alpha",
+            "node accesses",
+            "CPU (ms)",
+            "subsets",
+            "causes",
+            "skipped",
+        ],
     );
     for &alpha in &sweep {
-        let m = run_cp_over(&ds, &tree, &q, &ids, alpha, &CpConfig::default());
+        let m = run_cp_over(&engine, &q, &ids, alpha, &CpConfig::default());
         table.row(vec![
             format!("{alpha}"),
             fnum(m.io.mean()),
@@ -71,5 +75,7 @@ fn main() {
         ]);
     }
     table.print();
-    table.write_csv(out_dir(), "fig7_cp_alpha").expect("CSV written");
+    table
+        .write_csv(out_dir(), "fig7_cp_alpha")
+        .expect("CSV written");
 }

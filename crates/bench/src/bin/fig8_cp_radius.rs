@@ -8,10 +8,8 @@
 use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir, run_cp_over};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::CpConfig;
+use crp_core::{CpConfig, EngineConfig, ExplainEngine};
 use crp_data::{uncertain_dataset, UncertainConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -25,7 +23,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 8 — CP cost vs radius range (|P| = {cardinality}, d = 3, α = {alpha})"),
-        &["radius", "node accesses", "CPU (ms)", "candidates", "subsets", "skipped"],
+        &[
+            "radius",
+            "node accesses",
+            "CPU (ms)",
+            "candidates",
+            "subsets",
+            "skipped",
+        ],
     );
 
     for rmax in [2.0, 3.0, 5.0, 8.0, 10.0] {
@@ -37,12 +42,11 @@ fn main() {
             ..UncertainConfig::default()
         };
         eprintln!("[fig8] radius [0,{rmax}]…");
-        let ds = uncertain_dataset(&cfg);
-        let tree = build_object_rtree(&ds, RTreeParams::paper_default(3));
-        let q = centroid_query(&ds);
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+        let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
-            &ds,
-            &tree,
+            engine.dataset(),
+            engine.object_tree(),
             &q,
             &PrsqSelectionConfig {
                 count: trials,
@@ -54,7 +58,7 @@ fn main() {
                 seed: 0x5EED_8,
             },
         );
-        let m = run_cp_over(&ds, &tree, &q, &ids, alpha, &CpConfig::default());
+        let m = run_cp_over(&engine, &q, &ids, alpha, &CpConfig::default());
         table.row(vec![
             format!("[0,{rmax}]"),
             fnum(m.io.mean()),
@@ -65,5 +69,7 @@ fn main() {
         ]);
     }
     table.print();
-    table.write_csv(out_dir(), "fig8_cp_radius").expect("CSV written");
+    table
+        .write_csv(out_dir(), "fig8_cp_radius")
+        .expect("CSV written");
 }

@@ -8,10 +8,8 @@
 use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir, run_cp_over};
 use crp_bench::report::{fnum, Table};
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::CpConfig;
+use crp_core::{CpConfig, EngineConfig, ExplainEngine};
 use crp_data::{uncertain_dataset, UncertainConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -24,8 +22,17 @@ fn main() {
     let alpha = 0.6;
 
     let mut table = Table::new(
-        format!("Fig. 9 — CP cost vs dimensionality (|P| = {cardinality}, α = {alpha}, radius [0,5])"),
-        &["d", "node accesses", "CPU (ms)", "candidates", "causes", "skipped"],
+        format!(
+            "Fig. 9 — CP cost vs dimensionality (|P| = {cardinality}, α = {alpha}, radius [0,5])"
+        ),
+        &[
+            "d",
+            "node accesses",
+            "CPU (ms)",
+            "candidates",
+            "causes",
+            "skipped",
+        ],
     );
 
     for dim in [2usize, 3, 4, 5] {
@@ -37,12 +44,11 @@ fn main() {
             ..UncertainConfig::default()
         };
         eprintln!("[fig9] d = {dim}…");
-        let ds = uncertain_dataset(&cfg);
-        let tree = build_object_rtree(&ds, RTreeParams::paper_default(dim));
-        let q = centroid_query(&ds);
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+        let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
-            &ds,
-            &tree,
+            engine.dataset(),
+            engine.object_tree(),
             &q,
             &PrsqSelectionConfig {
                 count: trials,
@@ -54,7 +60,7 @@ fn main() {
                 seed: 0x5EED_9,
             },
         );
-        let m = run_cp_over(&ds, &tree, &q, &ids, alpha, &CpConfig::default());
+        let m = run_cp_over(&engine, &q, &ids, alpha, &CpConfig::default());
         table.row(vec![
             dim.to_string(),
             fnum(m.io.mean()),
@@ -65,5 +71,7 @@ fn main() {
         ]);
     }
     table.print();
-    table.write_csv(out_dir(), "fig9_cp_dim").expect("CSV written");
+    table
+        .write_csv(out_dir(), "fig9_cp_dim")
+        .expect("CSV written");
 }

@@ -15,10 +15,8 @@
 use crp_bench::exp::{arg_flag, out_dir};
 use crp_bench::report::Table;
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::{cp, CpConfig};
+use crp_core::{CpConfig, EngineConfig, ExplainEngine, ExplainStrategy};
 use crp_data::{nba_dataset, nba_position_query, NbaConfig};
-use crp_rtree::RTreeParams;
-use crp_skyline::build_object_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -33,16 +31,16 @@ fn main() {
         ..NbaConfig::default()
     };
     eprintln!("[table3] generating league ({} players)…", config.players);
-    let ds = nba_dataset(&config);
-    let tree = build_object_rtree(&ds, RTreeParams::paper_default(4));
-    let q = nba_position_query();
     let alpha = 0.5;
+    let engine = ExplainEngine::new(nba_dataset(&config), EngineConfig::with_alpha(alpha));
+    let ds = engine.dataset();
+    let q = nba_position_query();
 
     // Find subjects: non-answers with a tractable, Table-3-sized cause
     // structure (tens of candidates, small free residue).
     let subjects = select_prsq_non_answers(
-        &ds,
-        &tree,
+        ds,
+        engine.object_tree(),
         &q,
         &PrsqSelectionConfig {
             count: 20,
@@ -64,7 +62,7 @@ fn main() {
             use_probability_bound: true,
             ..CpConfig::with_budget(20_000_000)
         };
-        let out = match cp(&ds, &tree, &q, id, alpha, &config) {
+        let out = match engine.explain_configured(ExplainStrategy::Cp, &q, alpha, id, &config) {
             Ok(o) => o,
             Err(_) => continue,
         };
@@ -105,5 +103,7 @@ fn main() {
         ]);
     }
     table.print();
-    table.write_csv(out_dir(), "table3_nba").expect("CSV written");
+    table
+        .write_csv(out_dir(), "table3_nba")
+        .expect("CSV written");
 }

@@ -10,33 +10,34 @@
 use crp_bench::exp::{arg_flag, out_dir};
 use crp_bench::report::Table;
 use crp_bench::selection::select_rsq_non_answers;
-use crp_core::cr;
+use crp_core::{EngineConfig, ExplainEngine};
 use crp_data::{cardb_dataset, CarDbConfig};
 use crp_geom::Point;
-use crp_rtree::RTreeParams;
-use crp_skyline::build_point_rtree;
 
 fn main() {
     let quick = arg_flag("--quick");
-    let ds = cardb_dataset(&CarDbConfig {
-        listings: if quick { 10_000 } else { 45_311 },
-        seed: 0xCA7,
-    });
+    let engine = ExplainEngine::new(
+        cardb_dataset(&CarDbConfig {
+            listings: if quick { 10_000 } else { 45_311 },
+            seed: 0xCA7,
+        }),
+        EngineConfig::default(),
+    );
+    let ds = engine.dataset();
     eprintln!("[table4] {} listings generated", ds.len());
-    let tree = build_point_rtree(&ds, RTreeParams::paper_default(2));
     let q = Point::from([11_580.0, 49_000.0]);
 
     // A subject like the paper's an(7510, 10180): a non-answer with a
     // handful of causes.
-    let subjects = select_rsq_non_answers(&ds, &tree, &q, 20, 4, Some(15), 0x7AB1E_4);
+    let subjects = select_rsq_non_answers(ds, engine.point_tree(), &q, 20, 4, Some(15), 0x7AB1E_4);
     let mut best = None;
     for id in subjects {
-        let out = cr(&ds, &tree, &q, id).expect("selected subjects are non-answers");
+        let out = engine
+            .explain(&q, id)
+            .expect("selected subjects are non-answers");
         let better = best
             .as_ref()
-            .is_none_or(|(_, b): &(_, crp_core::CrpOutcome)| {
-                out.causes.len() > b.causes.len()
-            });
+            .is_none_or(|(_, b): &(_, crp_core::CrpOutcome)| out.causes.len() > b.causes.len());
         if better {
             best = Some((id, out));
         }
@@ -55,7 +56,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 4 — causes for the non-reverse-skyline listing",
-        &["cause", "price ($)", "mileage (mi)", "responsibility", "closer than q? (price/mileage)"],
+        &[
+            "cause",
+            "price ($)",
+            "mileage (mi)",
+            "responsibility",
+            "closer than q? (price/mileage)",
+        ],
     );
     for cause in &outcome.causes {
         let c = ds.get(cause.id).expect("cause is in the dataset");
@@ -71,7 +78,9 @@ fn main() {
         ]);
     }
     table.print();
-    table.write_csv(out_dir(), "table4_cardb").expect("CSV written");
+    table
+        .write_csv(out_dir(), "table4_cardb")
+        .expect("CSV written");
 
     // Sanity note mirroring the paper's check of its first cause: every
     // cause must be coordinate-wise at least as close to an as q is.

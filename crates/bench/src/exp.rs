@@ -1,11 +1,15 @@
 //! Shared experiment execution: run an algorithm over a set of selected
 //! non-answers, averaging the paper's two metrics (node accesses and CPU
 //! time) plus refinement counters.
+//!
+//! Every runner drives the shared [`ExplainEngine`] so the R-tree is
+//! built once per dataset and its cost stays out of the per-non-answer
+//! measurements (the index build can be measured separately with
+//! [`time`](crate::measure::time) around [`ExplainEngine::object_tree`]).
 
 use crate::measure::AggregateStats;
-use crp_core::{cp, cr, naive_i, naive_ii, CpConfig, CrpError, CrpOutcome};
+use crp_core::{CpConfig, CrpError, CrpOutcome, ExplainEngine, ExplainStrategy};
 use crp_geom::Point;
-use crp_rtree::RTree;
 use crp_uncertain::{ObjectId, UncertainDataset};
 use std::time::Instant;
 
@@ -55,10 +59,28 @@ fn record(
     }
 }
 
-/// Runs CP over each non-answer, averaging metrics.
+/// Runs one strategy over each non-answer serially (per-call timing),
+/// averaging metrics.
+pub fn run_strategy_over(
+    engine: &ExplainEngine,
+    strategy: ExplainStrategy,
+    q: &Point,
+    ids: &[ObjectId],
+    alpha: f64,
+) -> MeasuredAlgo {
+    let mut agg = MeasuredAlgo::default();
+    for &id in ids {
+        let start = Instant::now();
+        let result = engine.explain_as(strategy, q, alpha, id);
+        record(&mut agg, result, start, id);
+    }
+    agg
+}
+
+/// Runs CP over each non-answer with an explicit [`CpConfig`] (the
+/// lemma-ablation sweeps vary it over one session).
 pub fn run_cp_over(
-    ds: &UncertainDataset,
-    tree: &RTree<ObjectId>,
+    engine: &ExplainEngine,
     q: &Point,
     ids: &[ObjectId],
     alpha: f64,
@@ -67,7 +89,7 @@ pub fn run_cp_over(
     let mut agg = MeasuredAlgo::default();
     for &id in ids {
         let start = Instant::now();
-        let result = cp(ds, tree, q, id, alpha, config);
+        let result = engine.explain_configured(ExplainStrategy::Cp, q, alpha, id, config);
         record(&mut agg, result, start, id);
     }
     agg
@@ -75,53 +97,66 @@ pub fn run_cp_over(
 
 /// Runs Naive-I over each non-answer.
 pub fn run_naive_i_over(
-    ds: &UncertainDataset,
-    tree: &RTree<ObjectId>,
+    engine: &ExplainEngine,
     q: &Point,
     ids: &[ObjectId],
     alpha: f64,
     max_subsets: Option<u64>,
 ) -> MeasuredAlgo {
-    let mut agg = MeasuredAlgo::default();
-    for &id in ids {
-        let start = Instant::now();
-        let result = naive_i(ds, tree, q, id, alpha, max_subsets);
-        record(&mut agg, result, start, id);
-    }
-    agg
+    run_strategy_over(
+        engine,
+        ExplainStrategy::NaiveI { max_subsets },
+        q,
+        ids,
+        alpha,
+    )
 }
 
 /// Runs CR over each non-answer.
-pub fn run_cr_over(
-    ds: &UncertainDataset,
-    tree: &RTree<ObjectId>,
-    q: &Point,
-    ids: &[ObjectId],
-) -> MeasuredAlgo {
-    let mut agg = MeasuredAlgo::default();
-    for &id in ids {
-        let start = Instant::now();
-        let result = cr(ds, tree, q, id);
-        record(&mut agg, result, start, id);
-    }
-    agg
+pub fn run_cr_over(engine: &ExplainEngine, q: &Point, ids: &[ObjectId]) -> MeasuredAlgo {
+    run_strategy_over(engine, ExplainStrategy::Cr, q, ids, 0.5)
 }
 
 /// Runs Naive-II over each non-answer.
 pub fn run_naive_ii_over(
-    ds: &UncertainDataset,
-    tree: &RTree<ObjectId>,
+    engine: &ExplainEngine,
     q: &Point,
     ids: &[ObjectId],
     max_subsets: Option<u64>,
 ) -> MeasuredAlgo {
-    let mut agg = MeasuredAlgo::default();
-    for &id in ids {
-        let start = Instant::now();
-        let result = naive_ii(ds, tree, q, id, max_subsets);
-        record(&mut agg, result, start, id);
+    run_strategy_over(
+        engine,
+        ExplainStrategy::NaiveII { max_subsets },
+        q,
+        ids,
+        0.5,
+    )
+}
+
+/// One timed [`ExplainEngine::explain_batch_as`] call: total wall-clock
+/// milliseconds and the per-call outcomes (order matches `ids`).
+pub struct BatchRun {
+    /// Total wall-clock milliseconds for the whole batch.
+    pub wall_ms: f64,
+    /// Per-non-answer outcomes.
+    pub outcomes: Vec<Result<CrpOutcome, CrpError>>,
+}
+
+/// Times one batch call — the engine parallelises internally when its
+/// `parallel` flag is set.
+pub fn run_batch_over(
+    engine: &ExplainEngine,
+    strategy: ExplainStrategy,
+    q: &Point,
+    ids: &[ObjectId],
+    alpha: f64,
+) -> BatchRun {
+    let start = Instant::now();
+    let outcomes = engine.explain_batch_as(strategy, q, alpha, ids);
+    BatchRun {
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        outcomes,
     }
-    agg
 }
 
 /// A query object at the coordinate-wise centroid of the dataset — a
@@ -164,9 +199,8 @@ pub fn out_dir() -> std::path::PathBuf {
 mod tests {
     use super::*;
     use crate::selection::{select_prsq_non_answers, PrsqSelectionConfig};
+    use crp_core::EngineConfig;
     use crp_data::{uncertain_dataset, UncertainConfig};
-    use crp_rtree::RTreeParams;
-    use crp_skyline::build_object_rtree;
 
     #[test]
     fn cp_and_naive_agree_and_aggregate() {
@@ -177,16 +211,17 @@ mod tests {
             seed: 77,
             ..UncertainConfig::default()
         });
-        let tree = build_object_rtree(&ds, RTreeParams::paper_default(2));
+        let alpha = 0.5;
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
         let q = Point::from([5_000.0, 5_000.0]);
         let ids = select_prsq_non_answers(
-            &ds,
-            &tree,
+            engine.dataset(),
+            engine.object_tree(),
             &q,
             &PrsqSelectionConfig {
                 count: 6,
-                alpha_classify: 0.5,
-                alpha_tractability: 0.5,
+                alpha_classify: alpha,
+                alpha_tractability: alpha,
                 min_candidates: 1,
                 max_candidates: 12,
                 max_free_candidates: 10,
@@ -194,13 +229,47 @@ mod tests {
             },
         );
         assert!(!ids.is_empty());
-        let a = run_cp_over(&ds, &tree, &q, &ids, 0.5, &CpConfig::default());
-        let b = run_naive_i_over(&ds, &tree, &q, &ids, 0.5, Some(5_000_000));
+        let a = run_cp_over(&engine, &q, &ids, alpha, &CpConfig::default());
+        let b = run_naive_i_over(&engine, &q, &ids, alpha, Some(5_000_000));
         assert_eq!(a.io.count(), b.io.count());
         // Same filter -> identical average node accesses (Fig. 6's claim).
         assert!((a.io.mean() - b.io.mean()).abs() < 1e-9);
         // Naive refinement examines at least as many subsets.
         assert!(b.subsets.mean() >= a.subsets.mean());
         assert_eq!(a.causes.mean(), b.causes.mean());
+        // The engine accumulated I/O across both runs.
+        assert!(engine.accumulated_io().node_accesses > 0);
+    }
+
+    #[test]
+    fn batch_runner_matches_serial_runner() {
+        let ds = uncertain_dataset(&UncertainConfig {
+            cardinality: 800,
+            dim: 2,
+            radius_range: (0.0, 100.0),
+            seed: 99,
+            ..UncertainConfig::default()
+        });
+        let alpha = 0.5;
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+        let q = Point::from([5_000.0, 5_000.0]);
+        let ids = select_prsq_non_answers(
+            engine.dataset(),
+            engine.object_tree(),
+            &q,
+            &PrsqSelectionConfig {
+                count: 8,
+                alpha_classify: alpha,
+                alpha_tractability: alpha,
+                min_candidates: 1,
+                max_candidates: 12,
+                max_free_candidates: 10,
+                seed: 3,
+            },
+        );
+        assert!(!ids.is_empty());
+        let batch = run_batch_over(&engine, ExplainStrategy::Cp, &q, &ids, alpha);
+        let serial = engine.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
+        assert_eq!(batch.outcomes, serial);
     }
 }

@@ -16,8 +16,8 @@ pub mod report;
 pub mod selection;
 
 pub use exp::{
-    arg_flag, arg_value, out_dir, run_cp_over, run_cr_over, run_naive_i_over, run_naive_ii_over,
-    MeasuredAlgo,
+    arg_flag, arg_value, out_dir, run_batch_over, run_cp_over, run_cr_over, run_naive_i_over,
+    run_naive_ii_over, run_strategy_over, BatchRun, MeasuredAlgo,
 };
 pub use measure::{time, AggregateStats};
 pub use report::{fnum, Table};

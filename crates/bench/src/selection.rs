@@ -91,9 +91,7 @@ pub fn select_prsq_non_answers(
         }
         let mut stats = RunStats::default();
         let candidates = collect_candidates(ds, tree, q, pos, &mut stats);
-        if candidates.len() < cfg.min_candidates.max(1)
-            || candidates.len() > cfg.max_candidates
-        {
+        if candidates.len() < cfg.min_candidates.max(1) || candidates.len() > cfg.max_candidates {
             continue;
         }
         let matrix = DominanceMatrix::build(ds, pos, q, &candidates);
@@ -226,9 +224,14 @@ mod tests {
         let picked = select_rsq_non_answers(&ds, &tree, &q, 12, 1, Some(10), 3);
         assert!(!picked.is_empty());
         for id in &picked {
+            #[allow(deprecated)]
             let out = crp_core::cr(&ds, &tree, &q, *id).expect("selected = non-answer");
             assert!(!out.causes.is_empty());
-            assert!(out.causes.len() <= 10, "cap respected: {}", out.causes.len());
+            assert!(
+                out.causes.len() <= 10,
+                "cap respected: {}",
+                out.causes.len()
+            );
         }
     }
 }

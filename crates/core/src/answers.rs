@@ -123,10 +123,7 @@ mod tests {
                     // look for is answer -> non-answer.
                     pr_reverse_skyline(&ds, target, &q, |j| mask[j]) < alpha
                 });
-                assert!(
-                    causes.is_empty(),
-                    "an answer acquired a cause: {causes:?}"
-                );
+                assert!(causes.is_empty(), "an answer acquired a cause: {causes:?}");
                 checked += 1;
             }
         }

@@ -104,11 +104,7 @@ mod tests {
     fn counts_match_binomial() {
         for n in 0..=10 {
             for k in 0..=n {
-                assert_eq!(
-                    collect(n, k).len() as u128,
-                    binomial(n, k),
-                    "C({n}, {k})"
-                );
+                assert_eq!(collect(n, k).len() as u128, binomial(n, k), "C({n}, {k})");
             }
         }
     }

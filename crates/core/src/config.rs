@@ -30,6 +30,12 @@ pub struct CpConfig {
     /// Abort with [`crate::CrpError::BudgetExhausted`] after examining
     /// this many candidate contingency sets (`None` = unlimited).
     pub max_subsets: Option<u64>,
+    /// Candidate-level FMCS parallelism (rayon). Only takes effect when
+    /// candidates are independent — Lemma 6 off (witnesses couple
+    /// candidates) and no `max_subsets` budget (the counter is global);
+    /// the search silently stays serial otherwise. Results are
+    /// bit-identical to the serial search either way.
+    pub parallel_fmcs: bool,
 }
 
 impl Default for CpConfig {
@@ -41,6 +47,7 @@ impl Default for CpConfig {
             alpha_one_fast_path: true,
             use_probability_bound: false,
             max_subsets: None,
+            parallel_fmcs: false,
         }
     }
 }
@@ -55,6 +62,7 @@ impl CpConfig {
             alpha_one_fast_path: false,
             use_probability_bound: false,
             max_subsets: None,
+            parallel_fmcs: false,
         }
     }
 

@@ -1,14 +1,18 @@
 //! Algorithm 1 (*CP*): causality & responsibility for a non-answer to a
 //! probabilistic reverse skyline query, discrete-sample model.
+//!
+//! Since the `ExplainEngine` refactor these free functions are thin
+//! wrappers over the shared `filter → refine → fmcs` pipeline in
+//! [`crate::engine`]; prefer [`crate::ExplainEngine`], which owns the
+//! R-tree and amortises it across calls.
 
 use crate::config::CpConfig;
+use crate::engine::filter::{FilterStage, SampleWindowFilter, ScanFilter};
+use crate::engine::pipeline;
 use crate::error::CrpError;
-use crate::matrix::DominanceMatrix;
-use crate::refine::refine;
-use crate::types::{Cause, CrpOutcome, RunStats};
-use crp_geom::{dominance_rect, HyperRect, Point, PROB_EPSILON};
+use crate::types::{CrpOutcome, RunStats};
+use crp_geom::Point;
 use crp_rtree::RTree;
-use crp_skyline::dominance_probability;
 use crp_uncertain::{ObjectId, UncertainDataset};
 
 /// Filtering step of CP (Lemma 2): the dataset positions of all objects
@@ -17,6 +21,10 @@ use crp_uncertain::{ObjectId, UncertainDataset};
 /// the `RecList` of `an`'s samples followed by exact dominance checks.
 ///
 /// The result is sorted and deduplicated; `an` itself is excluded.
+///
+/// This is pipeline stage 1
+/// ([`SampleWindowFilter`](crate::engine::filter::SampleWindowFilter))
+/// exposed as a free function for the experiment harness.
 pub fn collect_candidates(
     ds: &UncertainDataset,
     tree: &RTree<ObjectId>,
@@ -24,31 +32,7 @@ pub fn collect_candidates(
     an_pos: usize,
     stats: &mut RunStats,
 ) -> Vec<usize> {
-    let an = ds.object_at(an_pos);
-    let windows: Vec<HyperRect> = an
-        .samples()
-        .iter()
-        .map(|s| dominance_rect(s.point(), q))
-        .collect();
-    let mut hits: Vec<usize> = Vec::new();
-    tree.range_intersect_any(&windows, &mut stats.query, |_, &id| {
-        if id != an.id() {
-            if let Some(pos) = ds.index_of(id) {
-                hits.push(pos);
-            }
-        }
-    });
-    hits.sort_unstable();
-    hits.dedup();
-    // Exact refinement of the window filter: rectangles are a superset of
-    // the dominance relation (boundary ties do not dominate).
-    hits.retain(|&pos| {
-        let obj = ds.object_at(pos);
-        an.samples()
-            .iter()
-            .any(|s| dominance_probability(obj, s.point(), q) > 0.0)
-    });
-    hits
+    SampleWindowFilter::new(tree).candidates(ds, q, an_pos, stats)
 }
 
 /// The *CP* algorithm: all actual causes, with responsibilities and
@@ -58,12 +42,21 @@ pub fn collect_candidates(
 /// `tree` must index the objects' MBRs (see
 /// [`crp_skyline::build_object_rtree`]).
 ///
+/// Prefer [`crate::ExplainEngine`] with
+/// [`crate::ExplainStrategy::Cp`], which owns `tree` and shares it
+/// across calls; this wrapper remains for callers that manage their own
+/// index.
+///
 /// # Errors
 ///
 /// * [`CrpError::InvalidAlpha`] unless `0 < α ≤ 1`,
 /// * [`CrpError::EmptyDataset`] / [`CrpError::UnknownObject`],
 /// * [`CrpError::NotANonAnswer`] when `Pr(an) ≥ α`,
 /// * [`CrpError::BudgetExhausted`] when `config.max_subsets` trips.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an ExplainEngine and use ExplainStrategy::Cp; the engine owns and reuses the R-tree"
+)]
 pub fn cp(
     ds: &UncertainDataset,
     tree: &RTree<ObjectId>,
@@ -72,15 +65,24 @@ pub fn cp(
     alpha: f64,
     config: &CpConfig,
 ) -> Result<CrpOutcome, CrpError> {
-    let mut stats = RunStats::default();
-    let an_pos = validate(ds, q, an_id, alpha)?;
-    let candidates = collect_candidates(ds, tree, q, an_pos, &mut stats);
-    finish(ds, q, an_pos, alpha, config, candidates, stats)
+    pipeline::run_probabilistic(
+        ds,
+        q,
+        an_id,
+        alpha,
+        config,
+        &SampleWindowFilter::new(tree),
+        None,
+    )
 }
 
 /// CP without the R-tree filter: candidates are found by a full scan
 /// (every object is tested against Lemma 2 exactly). Used by the filter
 /// ablation and as a test cross-check; produces identical causes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ExplainEngine with ExplainStrategy::CpUnindexed"
+)]
 pub fn cp_unindexed(
     ds: &UncertainDataset,
     q: &Point,
@@ -88,76 +90,11 @@ pub fn cp_unindexed(
     alpha: f64,
     config: &CpConfig,
 ) -> Result<CrpOutcome, CrpError> {
-    let stats = RunStats::default();
-    let an_pos = validate(ds, q, an_id, alpha)?;
-    let an = ds.object_at(an_pos);
-    let candidates: Vec<usize> = (0..ds.len())
-        .filter(|&pos| {
-            pos != an_pos
-                && an.samples().iter().any(|s| {
-                    dominance_probability(ds.object_at(pos), s.point(), q) > 0.0
-                })
-        })
-        .collect();
-    finish(ds, q, an_pos, alpha, config, candidates, stats)
-}
-
-fn validate(
-    ds: &UncertainDataset,
-    q: &Point,
-    an_id: ObjectId,
-    alpha: f64,
-) -> Result<usize, CrpError> {
-    if !(alpha > 0.0 && alpha <= 1.0) {
-        return Err(CrpError::InvalidAlpha(alpha));
-    }
-    if ds.is_empty() {
-        return Err(CrpError::EmptyDataset);
-    }
-    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
-    debug_assert_eq!(
-        ds.dim().expect("non-empty dataset"),
-        q.dim(),
-        "query dimensionality mismatch"
-    );
-    Ok(an_pos)
-}
-
-fn finish(
-    ds: &UncertainDataset,
-    q: &Point,
-    an_pos: usize,
-    alpha: f64,
-    config: &CpConfig,
-    candidates: Vec<usize>,
-    mut stats: RunStats,
-) -> Result<CrpOutcome, CrpError> {
-    let matrix = DominanceMatrix::build(ds, an_pos, q, &candidates);
-    let pr_an = matrix.pr_full();
-    if pr_an >= alpha - PROB_EPSILON {
-        return Err(CrpError::NotANonAnswer { prob: pr_an });
-    }
-    let recs = refine(&matrix, alpha, config, &mut stats)?;
-    let causes = recs
-        .into_iter()
-        .map(|r| {
-            let gamma_len = r.gamma.len();
-            Cause {
-                id: ds.object_at(candidates[r.cand]).id(),
-                responsibility: 1.0 / (1.0 + gamma_len as f64),
-                min_contingency: r
-                    .gamma
-                    .into_iter()
-                    .map(|g| ds.object_at(candidates[g]).id())
-                    .collect(),
-                counterfactual: r.counterfactual,
-            }
-        })
-        .collect();
-    Ok(CrpOutcome { causes, stats })
+    pipeline::run_probabilistic(ds, q, an_id, alpha, config, &ScanFilter, None)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crp_rtree::RTreeParams;
@@ -177,7 +114,7 @@ mod tests {
             UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)])
                 .unwrap(), // dp = 0.5
             UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)), // dp = 0
-            UncertainObject::certain(ObjectId(4), pt(2.0, 2.0)),   // an answer: nothing blocks it
+            UncertainObject::certain(ObjectId(4), pt(2.0, 2.0)), // an answer: nothing blocks it
         ])
         .unwrap();
         (ds, pt(5.0, 5.0))

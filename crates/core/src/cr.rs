@@ -5,10 +5,17 @@
 //! (every object dominating `q` w.r.t. `an`) are *all* actual causes, each
 //! with minimal contingency set `Cc − {c}` and responsibility `1/|Cc|`
 //! (Eq. 4). CR therefore issues a single window query and returns.
+//!
+//! Since the `ExplainEngine` refactor this is a thin wrapper over the
+//! certain-data pipeline ([`crate::engine::certain`]) with the
+//! [`Lemma7ClosedForm`](crate::engine::certain::Lemma7ClosedForm)
+//! verification stage; prefer [`crate::ExplainEngine`] with
+//! [`crate::ExplainStrategy::Cr`].
 
+use crate::engine::certain::{run_certain, Lemma7ClosedForm};
 use crate::error::CrpError;
-use crate::types::{Cause, CrpOutcome, RunStats};
-use crp_geom::{dominance_rect, dominates, Point};
+use crate::types::CrpOutcome;
+use crp_geom::Point;
 use crp_rtree::RTree;
 use crp_uncertain::{ObjectId, UncertainDataset};
 
@@ -24,60 +31,21 @@ use crp_uncertain::{ObjectId, UncertainDataset};
 /// * [`CrpError::EmptyDataset`] / [`CrpError::UnknownObject`],
 /// * [`CrpError::NotANonAnswer`] when `an` *is* a reverse skyline object
 ///   (no candidate dominates `q` w.r.t. it).
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an ExplainEngine and use ExplainStrategy::Cr; the engine owns and reuses the R-tree"
+)]
 pub fn cr(
     ds: &UncertainDataset,
     tree: &RTree<ObjectId>,
     q: &Point,
     an_id: ObjectId,
 ) -> Result<CrpOutcome, CrpError> {
-    let mut stats = RunStats::default();
-    if ds.is_empty() {
-        return Err(CrpError::EmptyDataset);
-    }
-    if !ds.is_certain() {
-        return Err(CrpError::NotCertainData);
-    }
-    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
-    let an = ds.object_at(an_pos).certain_point();
-
-    // One window query: everything inside the dominance rectangle of
-    // (an, q), refined by the exact strictness check.
-    let window = dominance_rect(an, q);
-    let mut causes_ids: Vec<ObjectId> = Vec::new();
-    tree.range_intersect(&window, &mut stats.query, |rect, &id| {
-        if id != an_id && dominates(rect.lo(), an, q) {
-            causes_ids.push(id);
-        }
-    });
-    causes_ids.sort_unstable();
-    causes_ids.dedup();
-    stats.candidates = causes_ids.len();
-
-    if causes_ids.is_empty() {
-        // Nothing dominates q w.r.t. an: an is a reverse skyline object.
-        return Err(CrpError::NotANonAnswer { prob: 1.0 });
-    }
-
-    // Lemma 7: every candidate is an actual cause; minimal contingency
-    // set = the other candidates; responsibility = 1/|Cc| (Eq. 4).
-    let k = causes_ids.len();
-    let responsibility = 1.0 / k as f64;
-    let causes = causes_ids
-        .iter()
-        .map(|&id| Cause {
-            id,
-            responsibility,
-            min_contingency: causes_ids.iter().copied().filter(|&o| o != id).collect(),
-            counterfactual: k == 1,
-        })
-        .collect();
-    if k == 1 {
-        stats.counterfactuals = 1;
-    }
-    Ok(CrpOutcome { causes, stats })
+    run_certain(ds, tree, q, an_id, &Lemma7ClosedForm { k: 0 }, None)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crp_rtree::RTreeParams;
@@ -125,7 +93,10 @@ mod tests {
         let (ds, q) = fixture();
         let tree = build_point_rtree(&ds, RTreeParams::with_fanout(4));
         let out = cr(&ds, &tree, &q, ObjectId(0)).unwrap();
-        assert!(out.cause(ObjectId(5)).is_none(), "mirror point ties, no strict dim");
+        assert!(
+            out.cause(ObjectId(5)).is_none(),
+            "mirror point ties, no strict dim"
+        );
     }
 
     #[test]
@@ -151,10 +122,11 @@ mod tests {
 
     #[test]
     fn uncertain_data_rejected() {
-        let ds = UncertainDataset::from_objects(vec![
-            UncertainObject::with_equal_probs(ObjectId(0), vec![pt(0.0, 0.0), pt(1.0, 1.0)])
-                .unwrap(),
-        ])
+        let ds = UncertainDataset::from_objects(vec![UncertainObject::with_equal_probs(
+            ObjectId(0),
+            vec![pt(0.0, 0.0), pt(1.0, 1.0)],
+        )
+        .unwrap()])
         .unwrap();
         let tree = crp_skyline::build_object_rtree(&ds, RTreeParams::with_fanout(4));
         assert_eq!(

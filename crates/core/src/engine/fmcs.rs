@@ -1,0 +1,379 @@
+//! Pipeline stage 3 — **FMCS**, the ascending-cardinality minimal
+//! contingency search (Algorithm 2), plus the Lemma 6 witness
+//! propagation of Algorithm 1.
+//!
+//! The stage consumes a [`RefinePlan`](super::refine::RefinePlan)
+//! produced by stage 2 and emits every actual cause with a minimal
+//! contingency set. Two drivers exist:
+//!
+//! * [`search`] — the serial driver, byte-for-byte the behaviour of the
+//!   seed implementation (global subset budget, Lemma 6 witnesses),
+//! * a candidate-parallel driver used automatically when
+//!   [`CpConfig::parallel_fmcs`] is set *and* the configuration makes
+//!   candidates independent (Lemma 6 off — witnesses couple candidates —
+//!   and no global budget). Results and counters are bit-identical to
+//!   the serial driver because each candidate's search is a pure
+//!   function of the shared [`RefinePlan`] and per-candidate counters
+//!   are folded in candidate order.
+
+use super::refine::RefinePlan;
+use crate::combinations::for_each_combination;
+use crate::config::CpConfig;
+use crate::error::CrpError;
+use crate::matrix::{DominanceMatrix, PrEvaluator};
+use crate::types::RunStats;
+use crp_geom::PROB_EPSILON;
+use rayon::prelude::*;
+
+/// A cause expressed in candidate indices (mapped to object ids by the
+/// pipeline driver).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CauseRec {
+    /// Candidate index of the cause.
+    pub cand: usize,
+    /// Minimal contingency set (candidate indices, ascending).
+    pub gamma: Vec<usize>,
+    /// True when `gamma` is empty.
+    pub counterfactual: bool,
+}
+
+#[inline]
+pub(crate) fn is_answer(pr: f64, alpha: f64) -> bool {
+    pr >= alpha - PROB_EPSILON
+}
+
+/// Candidate counts from which the incremental log-space evaluator beats
+/// the direct `O(|Cc|·L)` product (see [`PrEvaluator`]).
+const INCREMENTAL_THRESHOLD: usize = 64;
+
+/// The evaluator a [`Checker`] consults: owned by the serial driver,
+/// borrowed from a shared instance by the parallel workers (building
+/// [`PrEvaluator`] is `O(|Cc|·L)`, too much to repeat per candidate).
+enum Evaluator<'m> {
+    /// Small candidate sets: direct `O(|Cc|·L)` product evaluation.
+    Direct,
+    Owned(PrEvaluator<'m>),
+    Shared(&'m PrEvaluator<'m>),
+}
+
+/// Uniform contingency-condition checker over removal *lists*: direct
+/// evaluation for small candidate sets, incremental (guard-banded) for
+/// large ones. Classifications are identical either way.
+pub(crate) struct Checker<'m> {
+    matrix: &'m DominanceMatrix,
+    evaluator: Evaluator<'m>,
+    mask: Vec<bool>,
+}
+
+impl<'m> Checker<'m> {
+    pub(crate) fn new(matrix: &'m DominanceMatrix) -> Self {
+        let n = matrix.candidates();
+        let evaluator = if n >= INCREMENTAL_THRESHOLD {
+            Evaluator::Owned(matrix.evaluator())
+        } else {
+            Evaluator::Direct
+        };
+        Self {
+            matrix,
+            evaluator,
+            mask: vec![false; n],
+        }
+    }
+
+    /// A checker borrowing an already-built evaluator (`None` = direct
+    /// evaluation) — the parallel driver builds the evaluator once and
+    /// hands every worker a reference.
+    fn with_shared(matrix: &'m DominanceMatrix, evaluator: Option<&'m PrEvaluator<'m>>) -> Self {
+        Self {
+            matrix,
+            evaluator: match evaluator {
+                Some(ev) => Evaluator::Shared(ev),
+                None => Evaluator::Direct,
+            },
+            mask: vec![false; matrix.candidates()],
+        }
+    }
+
+    /// Is `an` an answer on `P − removed`?
+    pub(crate) fn is_answer(&mut self, removed: &[usize], alpha: f64) -> bool {
+        let ev = match &self.evaluator {
+            Evaluator::Owned(ev) => ev,
+            Evaluator::Shared(ev) => ev,
+            Evaluator::Direct => {
+                self.mask.fill(false);
+                for &c in removed {
+                    self.mask[c] = true;
+                }
+                return is_answer(self.matrix.pr_with_removed(&self.mask), alpha);
+            }
+        };
+        ev.is_answer_with_removed(removed, alpha)
+    }
+}
+
+/// Outcome of one candidate's FMCS run.
+struct CandidateSearch {
+    /// The minimal contingency set found strictly below the witness
+    /// bound, if any.
+    found: Option<Vec<usize>>,
+}
+
+/// FMCS for a single candidate `cc`: enumerate candidate contingency
+/// sets in ascending cardinality over `search_space` (on top of the
+/// forced set), strictly below `upper_exclusive`.
+///
+/// Pure with respect to the other candidates: given the same plan
+/// inputs it always produces the same result and the same counter
+/// increments, which is what makes the parallel driver exact.
+#[allow(clippy::too_many_arguments)]
+fn search_candidate(
+    matrix: &DominanceMatrix,
+    alpha: f64,
+    config: &CpConfig,
+    cc: usize,
+    forced_mask: &[bool],
+    excluded: &[bool],
+    impacts: &[f64],
+    witness_len: Option<usize>,
+    checker: &mut Checker<'_>,
+    removal_list: &mut Vec<usize>,
+    stats: &mut RunStats,
+) -> Result<CandidateSearch, CrpError> {
+    let n = matrix.candidates();
+    let forced: Vec<usize> = (0..n).filter(|&c| c != cc && forced_mask[c]).collect();
+    let mut search: Vec<usize> = (0..n)
+        .filter(|&c| c != cc && !forced_mask[c] && !excluded[c])
+        .collect();
+    // High-impact candidates first: the first combination of each
+    // cardinality is then the greedy removal set, which on deep
+    // non-answers is very likely already a valid contingency set.
+    // (`impacts` is precomputed once per matrix by the drivers — the
+    // weighted sum is O(L) and this sort runs per candidate.)
+    search.sort_by(|&a, &b| impacts[b].partial_cmp(&impacts[a]).expect("finite impacts"));
+    // Search strictly below the witness size (Lemma 6 already proves a
+    // set of that size exists); otherwise everything up to the whole
+    // search space.
+    let upper_exclusive = witness_len.unwrap_or(forced.len() + search.len() + 1);
+
+    let mut budget_hit: Option<u64> = None;
+    let mut found: Option<Vec<usize>> = None;
+    'sizes: for total in forced.len()..upper_exclusive {
+        let k = total - forced.len();
+        if k > search.len() {
+            break;
+        }
+        // Probability-based pruning (extension): if even the most
+        // damaging total+1 removals cannot reach α, no Γ of this size
+        // can satisfy condition (ii).
+        if config.use_probability_bound
+            && !is_answer(matrix.max_pr_after_removing(total + 1), alpha)
+        {
+            continue;
+        }
+        let budget = config.max_subsets;
+        for_each_combination(search.len(), k, |combo| {
+            stats.subsets_examined += 1;
+            if let Some(max) = budget {
+                if stats.subsets_examined > max {
+                    budget_hit = Some(stats.subsets_examined);
+                    return true;
+                }
+            }
+            removal_list.clear();
+            removal_list.extend_from_slice(&forced);
+            removal_list.extend(combo.iter().map(|&s| search[s]));
+            stats.prsq_evaluations += 1;
+            // Condition (i): P − Γ still a non-answer.
+            if !checker.is_answer(removal_list, alpha) {
+                removal_list.push(cc);
+                stats.prsq_evaluations += 1;
+                // Condition (ii): P − Γ − {cc} becomes an answer.
+                let becomes = checker.is_answer(removal_list, alpha);
+                removal_list.pop();
+                if becomes {
+                    let mut gamma = removal_list.clone();
+                    gamma.sort_unstable();
+                    found = Some(gamma);
+                    return true;
+                }
+            }
+            false
+        });
+        if let Some(examined) = budget_hit {
+            return Err(CrpError::BudgetExhausted { examined });
+        }
+        if found.is_some() {
+            break 'sizes;
+        }
+    }
+    Ok(CandidateSearch { found })
+}
+
+/// The serial FMCS driver with Lemma 6 witness propagation — stage 3 of
+/// the pipeline. Dispatches to the candidate-parallel driver when the
+/// configuration allows it (see module docs).
+pub(crate) fn search(
+    matrix: &DominanceMatrix,
+    alpha: f64,
+    config: &CpConfig,
+    plan: RefinePlan<'_>,
+    stats: &mut RunStats,
+) -> Result<Vec<CauseRec>, CrpError> {
+    let RefinePlan {
+        forced_mask,
+        excluded,
+        mut done,
+        mut results,
+        complete,
+        mut checker,
+    } = plan;
+    if complete {
+        results.sort_by_key(|r| r.cand);
+        return Ok(results);
+    }
+
+    // Candidate-level parallelism is exact only when candidates are
+    // independent: Lemma 6 couples them through witnesses, and a global
+    // subset budget couples them through the shared counter.
+    if config.parallel_fmcs && !config.use_lemma6 && config.max_subsets.is_none() {
+        return search_parallel(
+            matrix,
+            alpha,
+            config,
+            &forced_mask,
+            &excluded,
+            &done,
+            results,
+            stats,
+        );
+    }
+
+    let n = matrix.candidates();
+    let impacts: Vec<f64> = (0..n).map(|c| matrix.impact(c)).collect();
+    let mut removal_list: Vec<usize> = Vec::with_capacity(n);
+    let mut witness: Vec<Option<Vec<usize>>> = vec![None; n];
+    for cc in 0..n {
+        if done[cc] {
+            continue;
+        }
+        let outcome = search_candidate(
+            matrix,
+            alpha,
+            config,
+            cc,
+            &forced_mask,
+            &excluded,
+            &impacts,
+            witness[cc].as_ref().map(|w| w.len()),
+            &mut checker,
+            &mut removal_list,
+            stats,
+        )?;
+
+        let gamma = match outcome.found {
+            Some(g) => Some(g),
+            // Nothing strictly smaller than the witness: the witness set
+            // is minimal (Algorithm 1, lines 23–24).
+            None => witness[cc].take(),
+        };
+        done[cc] = true;
+        let Some(gamma) = gamma else {
+            continue; // not an actual cause
+        };
+
+        // Lemma 6: seed witnesses for the unprocessed members of Γ.
+        if config.use_lemma6 {
+            for &o in &gamma {
+                if done[o] {
+                    continue;
+                }
+                let better = witness[o].as_ref().is_none_or(|w| w.len() > gamma.len());
+                if !better {
+                    continue;
+                }
+                removal_list.clear();
+                removal_list.extend(gamma.iter().copied().filter(|&g| g != o));
+                removal_list.push(cc);
+                stats.prsq_evaluations += 1;
+                if !checker.is_answer(&removal_list, alpha) {
+                    // (Γ−{o}) ∪ {cc} is a contingency set for o: condition
+                    // (ii) holds because P−Γ−{cc} is an answer already.
+                    let mut w: Vec<usize> = gamma.iter().copied().filter(|&g| g != o).collect();
+                    w.push(cc);
+                    w.sort_unstable();
+                    witness[o] = Some(w);
+                }
+            }
+        }
+
+        results.push(CauseRec {
+            cand: cc,
+            counterfactual: gamma.is_empty(),
+            gamma,
+        });
+    }
+
+    results.sort_by_key(|r| r.cand);
+    Ok(results)
+}
+
+/// Candidate-parallel FMCS: every open candidate searched concurrently.
+///
+/// Preconditions (checked by [`search`]): Lemma 6 off, no subset budget.
+/// Per-candidate counters are folded in ascending candidate order, so
+/// the aggregate [`RunStats`] equals the serial driver's exactly.
+#[allow(clippy::too_many_arguments)]
+fn search_parallel(
+    matrix: &DominanceMatrix,
+    alpha: f64,
+    config: &CpConfig,
+    forced_mask: &[bool],
+    excluded: &[bool],
+    done: &[bool],
+    mut results: Vec<CauseRec>,
+    stats: &mut RunStats,
+) -> Result<Vec<CauseRec>, CrpError> {
+    let n = matrix.candidates();
+    let impacts: Vec<f64> = (0..n).map(|c| matrix.impact(c)).collect();
+    // One evaluator for every worker: its O(|Cc|·L) precompute must not
+    // be repeated per candidate (workers only read it).
+    let shared_evaluator = (n >= INCREMENTAL_THRESHOLD).then(|| matrix.evaluator());
+    let open: Vec<usize> = (0..n).filter(|&cc| !done[cc]).collect();
+    let per_candidate: Vec<(usize, Option<Vec<usize>>, RunStats)> = open
+        .par_iter()
+        .map(|&cc| {
+            let mut local_stats = RunStats::default();
+            let mut checker = Checker::with_shared(matrix, shared_evaluator.as_ref());
+            let mut removal_list: Vec<usize> = Vec::with_capacity(n);
+            let outcome = search_candidate(
+                matrix,
+                alpha,
+                config,
+                cc,
+                forced_mask,
+                excluded,
+                &impacts,
+                None,
+                &mut checker,
+                &mut removal_list,
+                &mut local_stats,
+            )
+            .expect("parallel FMCS runs without a budget");
+            (cc, outcome.found, local_stats)
+        })
+        .collect();
+
+    for (cc, found, local_stats) in per_candidate {
+        stats.subsets_examined += local_stats.subsets_examined;
+        stats.prsq_evaluations += local_stats.prsq_evaluations;
+        if let Some(gamma) = found {
+            results.push(CauseRec {
+                cand: cc,
+                counterfactual: gamma.is_empty(),
+                gamma,
+            });
+        }
+    }
+    results.sort_by_key(|r| r.cand);
+    Ok(results)
+}

@@ -1,0 +1,686 @@
+//! The **ExplainEngine**: a per-dataset session that answers "why is
+//! this object not in the (probabilistic) reverse skyline?" through one
+//! explicit three-stage pipeline — `filter → refine → fmcs` — with
+//! pluggable stage implementations.
+//!
+//! The seed implementation exposed the paper's algorithms as free
+//! functions (`cp`, `cp_unindexed`, `cr`, `naive_i`, `naive_ii`,
+//! `oracle_*`) that each required the caller to build and thread the
+//! right R-tree. The engine owns that state instead:
+//!
+//! * the dataset (discrete-sample or continuous-pdf workload),
+//! * lazily built R-trees (object MBRs for CP, points for CR), shared
+//!   by every explain call,
+//! * an [`AtomicQueryStats`] accumulator so total node accesses can be
+//!   reported across a rayon-parallel batch.
+//!
+//! Every algorithm of the paper is a [`ExplainStrategy`] selection over
+//! the same pipeline:
+//!
+//! | strategy | stage 1 (filter) | stage 2 (refine) | stage 3 (search) |
+//! |---|---|---|---|
+//! | [`Cp`](ExplainStrategy::Cp) | Lemma 2 R-tree windows | Lemmas 4–5 | FMCS + Lemma 6 |
+//! | [`CpUnindexed`](ExplainStrategy::CpUnindexed) | Lemma 2 full scan | Lemmas 4–5 | FMCS + Lemma 6 |
+//! | [`NaiveI`](ExplainStrategy::NaiveI) | Lemma 2 R-tree windows | (disabled) | exhaustive FMCS |
+//! | [`Cr`](ExplainStrategy::Cr) | dominance window | — | Lemma 7 closed form |
+//! | [`CrKskyband`](ExplainStrategy::CrKskyband) | dominance window | — | k-skyband closed form |
+//! | [`NaiveII`](ExplainStrategy::NaiveII) | dominance window | — | subset verification |
+//! | [`OracleCp`](ExplainStrategy::OracleCp)/[`OracleCr`](ExplainStrategy::OracleCr) | whole dataset | — | Definitions 1–2 brute force |
+//!
+//! [`ExplainEngine::explain_batch`] answers many non-answers in one
+//! call, data-parallel over the batch with `rayon` (order-preserving,
+//! so results are **bit-identical** to the serial path — a property the
+//! test suite pins). Within one non-answer, candidate-level FMCS
+//! parallelism is available through [`CpConfig::parallel_fmcs`]
+//! whenever the lemma configuration keeps candidates independent.
+//!
+//! ```
+//! use crp_core::{EngineConfig, ExplainEngine};
+//! use crp_geom::Point;
+//! use crp_uncertain::{ObjectId, UncertainDataset};
+//!
+//! let ds = UncertainDataset::from_points(vec![
+//!     Point::from([10.0, 10.0]),
+//!     Point::from([7.0, 7.0]),
+//! ])
+//! .unwrap();
+//! let engine = ExplainEngine::new(ds, EngineConfig::default());
+//! let out = engine
+//!     .explain(&Point::from([5.0, 5.0]), ObjectId(0))
+//!     .unwrap();
+//! assert!(out.causes[0].counterfactual);
+//! ```
+
+pub mod certain;
+pub mod filter;
+pub(crate) mod fmcs;
+pub(crate) mod pipeline;
+pub(crate) mod refine;
+
+use crate::config::CpConfig;
+use crate::error::CrpError;
+use crate::oracle::{oracle_cp, oracle_cr, OracleCause};
+use crate::types::{Cause, CrpOutcome};
+use certain::{run_certain, Lemma7ClosedForm, SubsetVerify};
+use crp_geom::Point;
+use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
+use crp_skyline::{build_object_rtree, build_point_rtree};
+use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
+use filter::{SampleWindowFilter, ScanFilter};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Algorithm selection over the shared pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExplainStrategy {
+    /// CR for certain data, CP otherwise — what a client that just
+    /// wants an explanation should use.
+    Auto,
+    /// Algorithm 1 (*CP*): R-tree filter + lemma refinement + FMCS.
+    Cp,
+    /// CP with the filter ablated to a full scan (no index I/O).
+    CpUnindexed,
+    /// The Naive-I baseline: CP's filter, exhaustive refinement.
+    NaiveI {
+        /// Subset-examination budget (`None` = unlimited).
+        max_subsets: Option<u64>,
+    },
+    /// The certain-data algorithm *CR* (Lemma 7, verification-free).
+    Cr,
+    /// CRP for reverse k-skyband non-answers (closed form; `k = 0` is
+    /// [`Cr`](ExplainStrategy::Cr)).
+    CrKskyband { k: usize },
+    /// The Naive-II baseline: CR's filter, subset verification.
+    NaiveII {
+        /// Subset-examination budget (`None` = unlimited).
+        max_subsets: Option<u64>,
+    },
+    /// Definition-level brute force for probabilistic queries (ground
+    /// truth; exponential in the dataset size).
+    OracleCp,
+    /// Definition-level brute force for certain data.
+    OracleCr,
+}
+
+impl ExplainStrategy {
+    fn name(self) -> &'static str {
+        match self {
+            ExplainStrategy::Auto => "auto",
+            ExplainStrategy::Cp => "cp",
+            ExplainStrategy::CpUnindexed => "cp-unindexed",
+            ExplainStrategy::NaiveI { .. } => "naive-i",
+            ExplainStrategy::Cr => "cr",
+            ExplainStrategy::CrKskyband { .. } => "cr-kskyband",
+            ExplainStrategy::NaiveII { .. } => "naive-ii",
+            ExplainStrategy::OracleCp => "oracle-cp",
+            ExplainStrategy::OracleCr => "oracle-cr",
+        }
+    }
+}
+
+/// Session configuration of an [`ExplainEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Probability threshold `α` of the query (ignored by the
+    /// certain-data strategies).
+    pub alpha: f64,
+    /// Strategy used by [`ExplainEngine::explain`] /
+    /// [`ExplainEngine::explain_batch`].
+    pub strategy: ExplainStrategy,
+    /// Lemma switches and budgets for the refinement stages.
+    pub cp: CpConfig,
+    /// R-tree shape; `None` uses the paper's 4 KiB-page default for the
+    /// dataset's dimensionality.
+    pub rtree: Option<RTreeParams>,
+    /// Run [`ExplainEngine::explain_batch`] data-parallel with rayon.
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            strategy: ExplainStrategy::Auto,
+            cp: CpConfig::default(),
+            rtree: None,
+            parallel: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default configuration at a given `α`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        Self {
+            alpha,
+            ..Self::default()
+        }
+    }
+}
+
+enum Workload {
+    Discrete(UncertainDataset),
+    Pdf { ds: PdfDataset, resolution: usize },
+}
+
+/// A per-dataset explain session: owns the dataset, the R-trees and the
+/// cross-call accounting. See the [module docs](self) for the pipeline
+/// it dispatches.
+pub struct ExplainEngine {
+    data: Workload,
+    config: EngineConfig,
+    /// Object-MBR tree (CP filtering) — for pdf workloads, the region
+    /// tree.
+    object_tree: OnceLock<RTree<ObjectId>>,
+    /// Point tree (CR filtering; certain data only).
+    point_tree: OnceLock<RTree<ObjectId>>,
+    /// Node accesses accumulated across every explain call (including
+    /// parallel batches).
+    io: AtomicQueryStats,
+}
+
+impl ExplainEngine {
+    /// Creates a session over a discrete-sample (or certain) dataset.
+    pub fn new(ds: UncertainDataset, config: EngineConfig) -> Self {
+        Self {
+            data: Workload::Discrete(ds),
+            config,
+            object_tree: OnceLock::new(),
+            point_tree: OnceLock::new(),
+            io: AtomicQueryStats::new(),
+        }
+    }
+
+    /// Creates a session over a continuous-pdf dataset (Section 3.2).
+    /// `resolution` controls the midpoint-rule discretisation of
+    /// non-answer regions (`resolution^D` cells).
+    pub fn for_pdf(ds: PdfDataset, resolution: usize, config: EngineConfig) -> Self {
+        Self {
+            data: Workload::Pdf { ds, resolution },
+            config,
+            object_tree: OnceLock::new(),
+            point_tree: OnceLock::new(),
+            io: AtomicQueryStats::new(),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The discrete dataset of this session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session was built with [`ExplainEngine::for_pdf`].
+    pub fn dataset(&self) -> &UncertainDataset {
+        match &self.data {
+            Workload::Discrete(ds) => ds,
+            Workload::Pdf { .. } => panic!("pdf engine has no discrete dataset"),
+        }
+    }
+
+    /// The pdf dataset and resolution, when this is a pdf session.
+    pub fn pdf_dataset(&self) -> Option<(&PdfDataset, usize)> {
+        match &self.data {
+            Workload::Discrete(_) => None,
+            Workload::Pdf { ds, resolution } => Some((ds, *resolution)),
+        }
+    }
+
+    fn rtree_params(&self, dim: usize) -> RTreeParams {
+        self.config
+            .rtree
+            .unwrap_or_else(|| RTreeParams::paper_default(dim))
+    }
+
+    /// The object-MBR R-tree (regions, for pdf sessions), built on
+    /// first use and shared by all subsequent calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset (nothing to index).
+    pub fn object_tree(&self) -> &RTree<ObjectId> {
+        self.object_tree.get_or_init(|| match &self.data {
+            Workload::Discrete(ds) => {
+                let dim = ds.dim().expect("cannot index an empty dataset");
+                build_object_rtree(ds, self.rtree_params(dim))
+            }
+            Workload::Pdf { ds, .. } => {
+                let dim = ds.dim().expect("cannot index an empty dataset");
+                crate::pdf::build_pdf_rtree(ds, self.rtree_params(dim))
+            }
+        })
+    }
+
+    /// The point R-tree used by the certain-data strategies, built on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty, pdf, or genuinely uncertain dataset.
+    pub fn point_tree(&self) -> &RTree<ObjectId> {
+        self.point_tree.get_or_init(|| {
+            let ds = self.dataset();
+            assert!(ds.is_certain(), "point tree requires certain data");
+            let dim = ds.dim().expect("cannot index an empty dataset");
+            build_point_rtree(ds, self.rtree_params(dim))
+        })
+    }
+
+    /// Total node accesses across every explain call so far (including
+    /// parallel batches), thread-safe.
+    pub fn accumulated_io(&self) -> QueryStats {
+        self.io.snapshot()
+    }
+
+    /// Resets the I/O accumulator, returning the totals so far.
+    pub fn reset_io(&self) -> QueryStats {
+        self.io.take()
+    }
+
+    /// Explains one non-answer with the configured strategy and `α`.
+    pub fn explain(&self, q: &Point, an: ObjectId) -> Result<CrpOutcome, CrpError> {
+        self.explain_as(self.config.strategy, q, self.config.alpha, an)
+    }
+
+    /// Explains one non-answer with an explicit strategy and `α`.
+    pub fn explain_as(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+    ) -> Result<CrpOutcome, CrpError> {
+        let cp = self.config.cp;
+        self.explain_configured(strategy, q, alpha, an, &cp)
+    }
+
+    /// [`ExplainEngine::explain_as`] with a per-call [`CpConfig`]
+    /// override — the ablation experiments sweep lemma switches over
+    /// one session this way, so the index is built once per dataset
+    /// instead of once per variant.
+    pub fn explain_configured(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+    ) -> Result<CrpOutcome, CrpError> {
+        // The pipelines fold their node accesses into `self.io`
+        // themselves (passed as the `io` sink below), so error outcomes
+        // — which already paid their tree traversal — are counted too.
+        self.dispatch(strategy, q, alpha, an, cp)
+    }
+
+    /// Explains a batch of non-answers with the configured strategy,
+    /// data-parallel over the batch when the session's `parallel` flag
+    /// is set. Result order matches `ans`, and each element is
+    /// bit-identical to what [`ExplainEngine::explain`] returns.
+    pub fn explain_batch(&self, q: &Point, ans: &[ObjectId]) -> Vec<Result<CrpOutcome, CrpError>> {
+        self.explain_batch_as(self.config.strategy, q, self.config.alpha, ans)
+    }
+
+    /// [`ExplainEngine::explain_batch`] with an explicit strategy and
+    /// `α`.
+    pub fn explain_batch_as(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        ans: &[ObjectId],
+    ) -> Vec<Result<CrpOutcome, CrpError>> {
+        if self.config.parallel && ans.len() > 1 {
+            self.prepare(strategy);
+            ans.par_iter()
+                .map(|&an| self.explain_as(strategy, q, alpha, an))
+                .collect()
+        } else {
+            self.explain_batch_serial_as(strategy, q, alpha, ans)
+        }
+    }
+
+    /// The serial batch path (regardless of the `parallel` flag) — the
+    /// reference the parallel path is tested against.
+    pub fn explain_batch_serial_as(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        ans: &[ObjectId],
+    ) -> Vec<Result<CrpOutcome, CrpError>> {
+        ans.iter()
+            .map(|&an| self.explain_as(strategy, q, alpha, an))
+            .collect()
+    }
+
+    /// Builds the index a strategy needs *before* a parallel batch, so
+    /// tree construction happens once up front instead of inside the
+    /// first worker that wins the `OnceLock` race.
+    fn prepare(&self, strategy: ExplainStrategy) {
+        let strategy = self.resolve(strategy);
+        match strategy {
+            ExplainStrategy::Cp | ExplainStrategy::NaiveI { .. } if !self.is_empty_data() => {
+                self.object_tree();
+            }
+            ExplainStrategy::Cr
+            | ExplainStrategy::CrKskyband { .. }
+            | ExplainStrategy::NaiveII { .. } => {
+                if let Workload::Discrete(ds) = &self.data {
+                    if !ds.is_empty() && ds.is_certain() {
+                        self.point_tree();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn is_empty_data(&self) -> bool {
+        match &self.data {
+            Workload::Discrete(ds) => ds.is_empty(),
+            Workload::Pdf { ds, .. } => ds.is_empty(),
+        }
+    }
+
+    /// Resolves [`ExplainStrategy::Auto`] against the workload.
+    fn resolve(&self, strategy: ExplainStrategy) -> ExplainStrategy {
+        match (strategy, &self.data) {
+            (ExplainStrategy::Auto, Workload::Discrete(ds))
+                if ds.is_certain() && !ds.is_empty() =>
+            {
+                ExplainStrategy::Cr
+            }
+            (ExplainStrategy::Auto, _) => ExplainStrategy::Cp,
+            (s, _) => s,
+        }
+    }
+
+    fn dispatch(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+    ) -> Result<CrpOutcome, CrpError> {
+        let strategy = self.resolve(strategy);
+        match &self.data {
+            Workload::Discrete(ds) => match strategy {
+                ExplainStrategy::Cp => pipeline::run_probabilistic(
+                    ds,
+                    q,
+                    an,
+                    alpha,
+                    cp,
+                    &SampleWindowFilter::new(self.guarded_object_tree(ds)?),
+                    Some(&self.io),
+                ),
+                ExplainStrategy::CpUnindexed => {
+                    pipeline::run_probabilistic(ds, q, an, alpha, cp, &ScanFilter, Some(&self.io))
+                }
+                ExplainStrategy::NaiveI { max_subsets } => {
+                    let config = CpConfig {
+                        max_subsets,
+                        ..CpConfig::naive()
+                    };
+                    pipeline::run_probabilistic(
+                        ds,
+                        q,
+                        an,
+                        alpha,
+                        &config,
+                        &SampleWindowFilter::new(self.guarded_object_tree(ds)?),
+                        Some(&self.io),
+                    )
+                }
+                ExplainStrategy::Cr => run_certain(
+                    ds,
+                    self.guarded_point_tree(ds)?,
+                    q,
+                    an,
+                    &Lemma7ClosedForm { k: 0 },
+                    Some(&self.io),
+                ),
+                ExplainStrategy::CrKskyband { k } => run_certain(
+                    ds,
+                    self.guarded_point_tree(ds)?,
+                    q,
+                    an,
+                    &Lemma7ClosedForm { k },
+                    Some(&self.io),
+                ),
+                ExplainStrategy::NaiveII { max_subsets } => run_certain(
+                    ds,
+                    self.guarded_point_tree(ds)?,
+                    q,
+                    an,
+                    &SubsetVerify { max_subsets },
+                    Some(&self.io),
+                ),
+                ExplainStrategy::OracleCp => {
+                    oracle_cp(ds, q, an, alpha).map(|causes| oracle_outcome(ds, causes))
+                }
+                ExplainStrategy::OracleCr => {
+                    oracle_cr(ds, q, an).map(|causes| oracle_outcome(ds, causes))
+                }
+                ExplainStrategy::Auto => unreachable!("resolved above"),
+            },
+            Workload::Pdf { ds, resolution } => match strategy {
+                ExplainStrategy::Cp => pipeline::run_pdf(
+                    ds,
+                    self.guarded_pdf_tree(ds)?,
+                    q,
+                    an,
+                    alpha,
+                    *resolution,
+                    cp,
+                    Some(&self.io),
+                ),
+                ExplainStrategy::NaiveI { max_subsets } => {
+                    let config = CpConfig {
+                        max_subsets,
+                        ..CpConfig::naive()
+                    };
+                    pipeline::run_pdf(
+                        ds,
+                        self.guarded_pdf_tree(ds)?,
+                        q,
+                        an,
+                        alpha,
+                        *resolution,
+                        &config,
+                        Some(&self.io),
+                    )
+                }
+                other => Err(CrpError::UnsupportedStrategy {
+                    strategy: other.name(),
+                    workload: "pdf",
+                }),
+            },
+        }
+    }
+
+    /// The pdf region tree, with empty datasets surfaced as the
+    /// pipeline's `EmptyDataset` error instead of an index-build panic.
+    fn guarded_pdf_tree(&self, ds: &PdfDataset) -> Result<&RTree<ObjectId>, CrpError> {
+        if ds.is_empty() {
+            return Err(CrpError::EmptyDataset);
+        }
+        Ok(self.object_tree())
+    }
+
+    /// The object tree, with empty datasets surfaced as the pipeline's
+    /// `EmptyDataset` error instead of an index-build panic.
+    fn guarded_object_tree(&self, ds: &UncertainDataset) -> Result<&RTree<ObjectId>, CrpError> {
+        if ds.is_empty() {
+            return Err(CrpError::EmptyDataset);
+        }
+        Ok(self.object_tree())
+    }
+
+    /// The point tree, with the certain-data preconditions surfaced as
+    /// pipeline errors instead of index-build panics.
+    fn guarded_point_tree(&self, ds: &UncertainDataset) -> Result<&RTree<ObjectId>, CrpError> {
+        if ds.is_empty() {
+            return Err(CrpError::EmptyDataset);
+        }
+        if !ds.is_certain() {
+            return Err(CrpError::NotCertainData);
+        }
+        Ok(self.point_tree())
+    }
+}
+
+/// Converts the oracle's position-level causes into the engine's
+/// id-level [`CrpOutcome`].
+fn oracle_outcome(ds: &UncertainDataset, causes: Vec<(ObjectId, OracleCause)>) -> CrpOutcome {
+    let causes = causes
+        .into_iter()
+        .map(|(id, c)| Cause {
+            id,
+            responsibility: c.responsibility(),
+            counterfactual: c.min_gamma.is_empty(),
+            min_contingency: c
+                .min_gamma
+                .into_iter()
+                .map(|pos| ds.object_at(pos).id())
+                .collect(),
+        })
+        .collect();
+    CrpOutcome {
+        causes,
+        stats: Default::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_uncertain::UncertainObject;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    fn uncertain_fixture() -> UncertainDataset {
+        UncertainDataset::from_objects(vec![
+            UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+            UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+            UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)])
+                .unwrap(),
+            UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn engine_matches_free_cp() {
+        let ds = uncertain_fixture();
+        let engine = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75));
+        let tree = build_object_rtree(&ds, RTreeParams::paper_default(2));
+        let q = pt(5.0, 5.0);
+        let a = engine.explain(&q, ObjectId(0)).unwrap();
+        let b = crate::cp(&ds, &tree, &q, ObjectId(0), 0.75, &CpConfig::default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            engine.accumulated_io().node_accesses,
+            a.stats.query.node_accesses
+        );
+    }
+
+    #[test]
+    fn auto_resolves_by_workload() {
+        let certain = UncertainDataset::from_points(vec![pt(10.0, 10.0), pt(7.0, 7.0)]).unwrap();
+        let engine = ExplainEngine::new(certain, EngineConfig::default());
+        // Auto on certain data runs CR: no α involved, single
+        // counterfactual cause.
+        let out = engine.explain(&pt(5.0, 5.0), ObjectId(0)).unwrap();
+        assert!(out.causes[0].counterfactual);
+
+        let uncertain = uncertain_fixture();
+        let engine = ExplainEngine::new(uncertain, EngineConfig::with_alpha(0.75));
+        let out = engine.explain(&pt(5.0, 5.0), ObjectId(0)).unwrap();
+        assert_eq!(out.causes.len(), 2, "CP path found both causes");
+    }
+
+    #[test]
+    fn batch_parallel_matches_serial_exactly() {
+        let ds = uncertain_fixture();
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(0.75));
+        let q = pt(5.0, 5.0);
+        let ids: Vec<ObjectId> = (0..4).map(ObjectId).collect();
+        let par = engine.explain_batch(&q, &ids);
+        let ser = engine.explain_batch_serial_as(ExplainStrategy::Auto, &q, 0.75, &ids);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn strategies_share_the_session() {
+        let ds = UncertainDataset::from_points(vec![
+            pt(10.0, 10.0),
+            pt(7.0, 7.0),
+            pt(6.0, 8.0),
+            pt(8.0, 6.0),
+        ])
+        .unwrap();
+        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        let q = pt(5.0, 5.0);
+        let cr = engine
+            .explain_as(ExplainStrategy::Cr, &q, 0.5, ObjectId(0))
+            .unwrap();
+        let naive = engine
+            .explain_as(
+                ExplainStrategy::NaiveII { max_subsets: None },
+                &q,
+                0.5,
+                ObjectId(0),
+            )
+            .unwrap();
+        let oracle = engine
+            .explain_as(ExplainStrategy::OracleCr, &q, 0.5, ObjectId(0))
+            .unwrap();
+        assert_eq!(cr.causes.len(), naive.causes.len());
+        assert_eq!(cr.causes.len(), oracle.causes.len());
+        for ((a, b), c) in cr.causes.iter().zip(&naive.causes).zip(&oracle.causes) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.id, c.id);
+            assert_eq!(a.min_contingency.len(), b.min_contingency.len());
+            assert_eq!(a.min_contingency.len(), c.min_contingency.len());
+        }
+        // The kskyband generalisation at k = 0 agrees with CR.
+        let ksky = engine
+            .explain_as(ExplainStrategy::CrKskyband { k: 0 }, &q, 0.5, ObjectId(0))
+            .unwrap();
+        assert_eq!(cr, ksky);
+    }
+
+    #[test]
+    fn pdf_workload_supports_cp_only() {
+        use crp_geom::HyperRect;
+        use crp_uncertain::PdfObject;
+        let ds = PdfDataset::from_objects(vec![
+            PdfObject::uniform(ObjectId(0), HyperRect::new(pt(9.5, 9.5), pt(10.5, 10.5))),
+            PdfObject::uniform(ObjectId(1), HyperRect::new(pt(6.9, 6.9), pt(7.1, 7.1))),
+        ])
+        .unwrap();
+        let engine = ExplainEngine::for_pdf(ds, 3, EngineConfig::with_alpha(0.5));
+        let q = pt(5.0, 5.0);
+        let out = engine.explain(&q, ObjectId(0)).unwrap();
+        assert!(out.cause(ObjectId(1)).is_some());
+        assert!(matches!(
+            engine.explain_as(ExplainStrategy::Cr, &q, 0.5, ObjectId(0)),
+            Err(CrpError::UnsupportedStrategy { .. })
+        ));
+        // An empty pdf session errors like the discrete path instead of
+        // panicking in the index build.
+        let empty = ExplainEngine::for_pdf(PdfDataset::new(), 3, EngineConfig::default());
+        assert_eq!(
+            empty.explain(&q, ObjectId(0)).unwrap_err(),
+            CrpError::EmptyDataset
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The shared explain pipeline: `filter → refine → fmcs`.
+//!
+//! Every probabilistic strategy (CP with either filter, Naive-I, and
+//! the pdf variant) runs through [`run_probabilistic`] /
+//! [`run_pdf`]; only the stage implementations and the [`CpConfig`]
+//! switches differ. The certain-data strategies run through
+//! [`super::certain::run_certain`], which shares the same
+//! validate-filter-finish shape but replaces refinement with Lemma 7's
+//! closed form (or Naive-II's subset verification).
+
+use super::filter::FilterStage;
+use crate::config::CpConfig;
+use crate::error::CrpError;
+use crate::matrix::DominanceMatrix;
+use crate::types::{Cause, CrpOutcome, RunStats};
+use crp_geom::{dominance_rect, Point, PROB_EPSILON};
+use crp_rtree::{AtomicQueryStats, RTree};
+use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
+
+/// Folds the node accesses of one (possibly failed) explain into the
+/// engine's session accumulator. Error outcomes (`NotANonAnswer`,
+/// `BudgetExhausted`) have already paid their tree traversal, so the
+/// session I/O total must include them.
+fn absorb_io(io: Option<&AtomicQueryStats>, stats: &RunStats) {
+    if let Some(io) = io {
+        io.absorb(stats.query);
+    }
+}
+
+/// Input validation shared by the probabilistic strategies.
+pub(crate) fn validate(
+    ds: &UncertainDataset,
+    q: &Point,
+    an_id: ObjectId,
+    alpha: f64,
+) -> Result<usize, CrpError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(CrpError::InvalidAlpha(alpha));
+    }
+    if ds.is_empty() {
+        return Err(CrpError::EmptyDataset);
+    }
+    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
+    debug_assert_eq!(
+        ds.dim().expect("non-empty dataset"),
+        q.dim(),
+        "query dimensionality mismatch"
+    );
+    Ok(an_pos)
+}
+
+/// Runs the full pipeline for one non-answer of a probabilistic reverse
+/// skyline query over discrete-sample data. `io`, when given, receives
+/// the call's node accesses whether it succeeds or errors.
+pub(crate) fn run_probabilistic(
+    ds: &UncertainDataset,
+    q: &Point,
+    an_id: ObjectId,
+    alpha: f64,
+    config: &CpConfig,
+    filter: &dyn FilterStage,
+    io: Option<&AtomicQueryStats>,
+) -> Result<CrpOutcome, CrpError> {
+    let mut stats = RunStats::default();
+    let result = (|| {
+        let an_pos = validate(ds, q, an_id, alpha)?;
+        // Stage 1: filter.
+        let candidates = filter.candidates(ds, q, an_pos, &mut stats);
+        let matrix = DominanceMatrix::build(ds, an_pos, q, &candidates);
+        finish(&matrix, alpha, config, &mut stats, |cand| {
+            ds.object_at(candidates[cand]).id()
+        })
+    })();
+    absorb_io(io, &stats);
+    result.map(|causes| CrpOutcome { causes, stats })
+}
+
+/// Stages 2 + 3 over an already-built dominance matrix, mapping
+/// candidate indices back to object ids through `id_of`. Shared by the
+/// discrete and pdf variants.
+pub(crate) fn finish(
+    matrix: &DominanceMatrix,
+    alpha: f64,
+    config: &CpConfig,
+    stats: &mut RunStats,
+    id_of: impl Fn(usize) -> ObjectId,
+) -> Result<Vec<Cause>, CrpError> {
+    let pr_an = matrix.pr_full();
+    if pr_an >= alpha - PROB_EPSILON {
+        return Err(CrpError::NotANonAnswer { prob: pr_an });
+    }
+    // Stage 2: refine (lemma classification), then stage 3: FMCS.
+    let recs = crate::refine::refine(matrix, alpha, config, stats)?;
+    let causes = recs
+        .into_iter()
+        .map(|r| {
+            let gamma_len = r.gamma.len();
+            Cause {
+                id: id_of(r.cand),
+                responsibility: 1.0 / (1.0 + gamma_len as f64),
+                min_contingency: r.gamma.into_iter().map(&id_of).collect(),
+                counterfactual: r.counterfactual,
+            }
+        })
+        .collect();
+    Ok(causes)
+}
+
+/// The pdf-model pipeline (Section 3.2): per-quadrant farthest-corner
+/// windows for stage 1, closed-form box integrals for the matrix, then
+/// the shared stages 2–3.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pdf(
+    ds: &PdfDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    an_id: ObjectId,
+    alpha: f64,
+    resolution: usize,
+    config: &CpConfig,
+    io: Option<&AtomicQueryStats>,
+) -> Result<CrpOutcome, CrpError> {
+    let mut stats = RunStats::default();
+    let result = run_pdf_inner(ds, tree, q, an_id, alpha, resolution, config, &mut stats);
+    absorb_io(io, &stats);
+    result.map(|causes| CrpOutcome { causes, stats })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pdf_inner(
+    ds: &PdfDataset,
+    tree: &RTree<ObjectId>,
+    q: &Point,
+    an_id: ObjectId,
+    alpha: f64,
+    resolution: usize,
+    config: &CpConfig,
+    stats: &mut RunStats,
+) -> Result<Vec<Cause>, CrpError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(CrpError::InvalidAlpha(alpha));
+    }
+    if ds.is_empty() {
+        return Err(CrpError::EmptyDataset);
+    }
+    let an = ds.get(an_id).ok_or(CrpError::UnknownObject(an_id))?;
+
+    // Stage 1: multi-window traversal over the per-quadrant windows.
+    let windows = crate::pdf::pdf_windows(q, an.region());
+    let mut hits: Vec<ObjectId> = Vec::new();
+    tree.range_intersect_any(&windows, &mut stats.query, |_, &id| {
+        if id != an_id {
+            hits.push(id);
+        }
+    });
+    hits.sort_unstable();
+    hits.dedup();
+
+    // Integration cells of the non-answer.
+    let cells = an.pdf().discretize(resolution);
+    let weights: Vec<f64> = cells.iter().map(|(_, w)| *w).collect();
+
+    // Exact dominance probability of each hit per cell; drop hits with
+    // no dominating mass anywhere (the exact counterpart of Lemma 2).
+    let mut candidates: Vec<ObjectId> = Vec::new();
+    let mut dp: Vec<f64> = Vec::new();
+    for id in hits {
+        let cand = ds.get(id).expect("hit ids come from the dataset");
+        let row: Vec<f64> = cells
+            .iter()
+            .map(|(center, _)| cand.pdf().box_probability(&dominance_rect(center, q)))
+            .collect();
+        if row.iter().any(|p| *p > 0.0) {
+            candidates.push(id);
+            dp.extend(row);
+        }
+    }
+    let matrix = DominanceMatrix::from_parts(dp, weights, candidates.len());
+    finish(&matrix, alpha, config, stats, |cand| candidates[cand])
+}

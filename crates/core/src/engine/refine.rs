@@ -1,0 +1,114 @@
+//! Pipeline stage 2 — **refine**: lemma-driven classification of the
+//! candidate causes before the contingency search.
+//!
+//! Consumes the dominance matrix built from stage 1's candidates and
+//! produces a [`RefinePlan`] for stage 3 ([`super::fmcs`]):
+//!
+//! 1. `α = 1` fast path (Algorithm 1, lines 9–11) — every candidate is
+//!    a cause with responsibility `1/|Cc|`; the plan is already
+//!    complete and stage 3 only sorts it,
+//! 2. Lemma 4 — candidates dominating with probability 1 w.r.t. every
+//!    sample (`Ca`) are forced into every contingency set,
+//! 3. Lemma 5 — counterfactual causes (`Cb`) are reported immediately
+//!    and excluded from the other candidates' search spaces.
+//!
+//! Every switch honours [`CpConfig`], which is what turns the same
+//! stage into the CP refinement or the Naive-I non-refinement.
+
+use super::fmcs::{CauseRec, Checker};
+use crate::config::CpConfig;
+use crate::matrix::DominanceMatrix;
+use crate::types::RunStats;
+use crp_geom::PROB_EPSILON;
+
+/// The classification stage's output, consumed by the FMCS stage.
+pub(crate) struct RefinePlan<'m> {
+    /// `forced_mask[c]`: candidate `c` is in `Ca` (Lemma 4).
+    pub forced_mask: Vec<bool>,
+    /// `excluded[c]`: candidate `c` is removed from every later search
+    /// space (Lemma 5 counterfactuals).
+    pub excluded: Vec<bool>,
+    /// `done[c]`: candidate `c` needs no FMCS run.
+    pub done: Vec<bool>,
+    /// Causes already established during classification.
+    pub results: Vec<CauseRec>,
+    /// True when the plan is final and FMCS has nothing left to search
+    /// (the `α = 1` fast path).
+    pub complete: bool,
+    /// The contingency-condition checker, shared with stage 3 so the
+    /// incremental evaluator is built at most once per non-answer.
+    pub checker: Checker<'m>,
+}
+
+/// Runs the classification. `matrix` must contain only genuine
+/// candidates (positive dominance mass; Lemma 1 filtering is stage 1's
+/// job).
+pub(crate) fn classify<'m>(
+    matrix: &'m DominanceMatrix,
+    alpha: f64,
+    config: &CpConfig,
+    stats: &mut RunStats,
+) -> RefinePlan<'m> {
+    let n = matrix.candidates();
+    stats.candidates = n;
+    let mut checker = Checker::new(matrix);
+    let mut results: Vec<CauseRec> = Vec::new();
+
+    // --- α = 1 fast path (Algorithm 1, lines 9–11). -------------------
+    if n > 0 && config.alpha_one_fast_path && alpha >= 1.0 - PROB_EPSILON {
+        for cand in 0..n {
+            let gamma: Vec<usize> = (0..n).filter(|&c| c != cand).collect();
+            results.push(CauseRec {
+                cand,
+                counterfactual: gamma.is_empty(),
+                gamma,
+            });
+        }
+        return RefinePlan {
+            forced_mask: vec![false; n],
+            excluded: vec![false; n],
+            done: vec![true; n],
+            results,
+            complete: true,
+            checker,
+        };
+    }
+
+    // --- Lemma 4: forced contingency members (Ca). ---------------------
+    let forced_mask: Vec<bool> = if config.use_lemma4 {
+        (0..n).map(|c| matrix.forces_zero(c)).collect()
+    } else {
+        vec![false; n]
+    };
+    stats.forced = forced_mask.iter().filter(|f| **f).count();
+
+    // --- Lemma 5: counterfactual causes (Cb). --------------------------
+    // `excluded[c]` removes c from every later search space.
+    let mut excluded = vec![false; n];
+    let mut done = vec![false; n];
+    if config.use_lemma5 {
+        for c in 0..n {
+            stats.subsets_examined += 1;
+            stats.prsq_evaluations += 1;
+            if checker.is_answer(&[c], alpha) {
+                excluded[c] = true;
+                done[c] = true;
+                results.push(CauseRec {
+                    cand: c,
+                    gamma: Vec::new(),
+                    counterfactual: true,
+                });
+            }
+        }
+        stats.counterfactuals = results.len();
+    }
+
+    RefinePlan {
+        forced_mask,
+        excluded,
+        done,
+        results,
+        complete: n == 0,
+        checker,
+    }
+}

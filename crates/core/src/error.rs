@@ -27,13 +27,25 @@ pub enum CrpError {
     },
     /// CR/Naive-II require certain data (single-sample objects).
     NotCertainData,
+    /// The selected [`crate::ExplainStrategy`] cannot serve the
+    /// engine's workload (e.g. a certain-data algorithm on a pdf
+    /// session).
+    UnsupportedStrategy {
+        /// Name of the rejected strategy.
+        strategy: &'static str,
+        /// The engine workload that rejected it.
+        workload: &'static str,
+    },
 }
 
 impl fmt::Display for CrpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CrpError::NotANonAnswer { prob } => {
-                write!(f, "object is an answer (Pr = {prob}); CRP targets non-answers")
+                write!(
+                    f,
+                    "object is an answer (Pr = {prob}); CRP targets non-answers"
+                )
             }
             CrpError::UnknownObject(id) => write!(f, "object {id} not in the dataset"),
             CrpError::InvalidAlpha(a) => write!(f, "probability threshold α = {a} not in (0, 1]"),
@@ -43,6 +55,12 @@ impl fmt::Display for CrpError {
             }
             CrpError::NotCertainData => {
                 write!(f, "algorithm requires certain data (single-sample objects)")
+            }
+            CrpError::UnsupportedStrategy { strategy, workload } => {
+                write!(
+                    f,
+                    "strategy {strategy} is not available on a {workload} workload"
+                )
             }
         }
     }
@@ -63,6 +81,13 @@ mod tests {
             (CrpError::EmptyDataset, "empty"),
             (CrpError::BudgetExhausted { examined: 10 }, "10"),
             (CrpError::NotCertainData, "certain"),
+            (
+                CrpError::UnsupportedStrategy {
+                    strategy: "cr",
+                    workload: "pdf",
+                },
+                "cr",
+            ),
         ] {
             assert!(e.to_string().contains(needle), "{e}");
         }

@@ -15,19 +15,25 @@
 //! `1/(|D| − k)`**, and `k = 0` recovers the paper's Lemma 7 / Eq. 4
 //! exactly. Like CR, the algorithm is a single window query.
 
+use crate::engine::certain::{run_certain, Lemma7ClosedForm};
 use crate::error::CrpError;
-use crate::types::{Cause, CrpOutcome, RunStats};
-use crp_geom::{dominance_rect, dominates, Point};
+use crate::types::CrpOutcome;
+use crp_geom::Point;
 use crp_rtree::RTree;
 use crp_uncertain::{ObjectId, UncertainDataset};
 
 /// Causality & responsibility for the non-answer `an_id` to the reverse
-/// k-skyband query `(q, k)` over certain data.
+/// k-skyband query `(q, k)` over certain data — the certain-data
+/// pipeline with the closed-form verification stage at level `k`.
 ///
 /// # Errors
 ///
 /// Mirrors [`crate::cr`]; additionally `an` must have *more than* `k`
 /// dominators, otherwise it is an answer.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ExplainEngine with ExplainStrategy::CrKskyband"
+)]
 pub fn cr_kskyband(
     ds: &UncertainDataset,
     tree: &RTree<ObjectId>,
@@ -35,59 +41,16 @@ pub fn cr_kskyband(
     an_id: ObjectId,
     k: usize,
 ) -> Result<CrpOutcome, CrpError> {
-    let mut stats = RunStats::default();
-    if ds.is_empty() {
-        return Err(CrpError::EmptyDataset);
-    }
-    if !ds.is_certain() {
-        return Err(CrpError::NotCertainData);
-    }
-    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
-    let an = ds.object_at(an_pos).certain_point();
-
-    let window = dominance_rect(an, q);
-    let mut dominators: Vec<ObjectId> = Vec::new();
-    tree.range_intersect(&window, &mut stats.query, |rect, &id| {
-        if id != an_id && dominates(rect.lo(), an, q) {
-            dominators.push(id);
-        }
-    });
-    dominators.sort_unstable();
-    dominators.dedup();
-    stats.candidates = dominators.len();
-
-    if dominators.len() <= k {
-        return Err(CrpError::NotANonAnswer { prob: 1.0 });
-    }
-
-    let gamma_size = dominators.len() - k - 1;
-    let responsibility = 1.0 / (dominators.len() - k) as f64;
-    let causes = dominators
-        .iter()
-        .map(|&id| Cause {
-            id,
-            responsibility,
-            // Witness minimal set: the first |D|−k−1 other dominators.
-            min_contingency: dominators
-                .iter()
-                .copied()
-                .filter(|&o| o != id)
-                .take(gamma_size)
-                .collect(),
-            counterfactual: gamma_size == 0,
-        })
-        .collect();
-    if gamma_size == 0 {
-        stats.counterfactuals = dominators.len();
-    }
-    Ok(CrpOutcome { causes, stats })
+    run_certain(ds, tree, q, an_id, &Lemma7ClosedForm { k }, None)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::cr;
     use crate::oracle::oracle_crp;
+    use crp_geom::dominates;
     use crp_rtree::RTreeParams;
     use crp_skyline::build_point_rtree;
     use rand::rngs::StdRng;
@@ -172,7 +135,9 @@ mod tests {
                 let is_answer = |mask: &[bool]| {
                     (0..ds.len())
                         .filter(|&j| {
-                            j != an && !mask[j] && dominates(ds.object_at(j).certain_point(), &an_pt, &q)
+                            j != an
+                                && !mask[j]
+                                && dominates(ds.object_at(j).certain_point(), &an_pt, &q)
                         })
                         .count()
                         <= k

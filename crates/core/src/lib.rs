@@ -10,27 +10,40 @@
 //! * its **responsibility** is `r(p, an) = 1 / (1 + min_Γ |Γ|)`
 //!   (Definition 2).
 //!
-//! Entry points:
+//! Entry point: the [`ExplainEngine`] — a per-dataset session that owns
+//! the R-trees and dispatches every algorithm of the paper through one
+//! `filter → refine → fmcs` pipeline (see [`engine`]):
 //!
-//! * [`cp`] — Algorithm 1 (*CP*) for probabilistic reverse skyline
-//!   queries under the discrete-sample model: an R-tree filter over the
-//!   dominance windows of `an`'s samples (Lemma 2), then refinement via
-//!   Lemmas 3–6 with the ascending-cardinality minimal-contingency search
-//!   *FMCS* (Algorithm 2),
-//! * [`cp_pdf`] — the continuous-pdf variant (Section 3.2),
-//! * [`cr`] — the certain-data algorithm *CR* for plain reverse skyline
-//!   queries, which needs no verification at all (Lemma 7),
-//! * [`naive_i`] / [`naive_ii`] — the baselines of Figures 6 and 11,
-//! * [`oracle_cp`] / [`oracle_cr`] — definition-level brute force used by
-//!   the test suites as ground truth,
-//! * [`CpConfig`] — lemma on/off switches and work budgets for the
-//!   ablation experiments.
+//! * [`ExplainStrategy::Cp`] — Algorithm 1 (*CP*) for probabilistic
+//!   reverse skyline queries under the discrete-sample model: an R-tree
+//!   filter over the dominance windows of `an`'s samples (Lemma 2),
+//!   then refinement via Lemmas 3–6 with the ascending-cardinality
+//!   minimal-contingency search *FMCS* (Algorithm 2),
+//! * [`ExplainEngine::for_pdf`] — the continuous-pdf variant
+//!   (Section 3.2),
+//! * [`ExplainStrategy::Cr`] — the certain-data algorithm *CR* for
+//!   plain reverse skyline queries, which needs no verification at all
+//!   (Lemma 7),
+//! * [`ExplainStrategy::NaiveI`] / [`ExplainStrategy::NaiveII`] — the
+//!   baselines of Figures 6 and 11,
+//! * [`ExplainStrategy::OracleCp`] / [`ExplainStrategy::OracleCr`] —
+//!   definition-level brute force used by the test suites as ground
+//!   truth (also callable directly as [`oracle_cp`] / [`oracle_cr`]),
+//! * [`CpConfig`] — lemma on/off switches, work budgets and FMCS
+//!   parallelism for the ablation experiments,
+//! * [`ExplainEngine::explain_batch`] — many non-answers in one call,
+//!   data-parallel with rayon and bit-identical to the serial path.
+//!
+//! The pre-engine free functions ([`cp`], [`cr`], [`naive_i`],
+//! [`naive_ii`], [`cp_pdf`], [`cr_kskyband`]) remain as deprecated thin
+//! wrappers over the same pipeline.
 
 mod answers;
 mod combinations;
 mod config;
 mod cp;
 mod cr;
+pub mod engine;
 mod error;
 mod kskyband;
 mod matrix;
@@ -43,12 +56,24 @@ mod types;
 pub use answers::answer_causes;
 pub use combinations::{binomial, for_each_combination};
 pub use config::CpConfig;
-pub use cp::{collect_candidates, cp, cp_unindexed};
-pub use cr::cr;
+pub use cp::collect_candidates;
+pub use engine::{EngineConfig, ExplainEngine, ExplainStrategy};
 pub use error::CrpError;
-pub use kskyband::cr_kskyband;
 pub use matrix::{DominanceMatrix, PrEvaluator};
-pub use naive::{naive_i, naive_ii};
 pub use oracle::{oracle_cp, oracle_cr, oracle_crp, OracleCause};
-pub use pdf::{build_pdf_rtree, cp_pdf};
+pub use pdf::build_pdf_rtree;
 pub use types::{Cause, CrpOutcome, RunStats};
+
+// Deprecated free-function wrappers, kept for callers that manage
+// their own R-trees; each routes through the same pipeline the engine
+// dispatches.
+#[allow(deprecated)]
+pub use cp::{cp, cp_unindexed};
+#[allow(deprecated)]
+pub use cr::cr;
+#[allow(deprecated)]
+pub use kskyband::cr_kskyband;
+#[allow(deprecated)]
+pub use naive::{naive_i, naive_ii};
+#[allow(deprecated)]
+pub use pdf::cp_pdf;

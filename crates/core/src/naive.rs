@@ -7,15 +7,22 @@
 //! * **Naive-II** (Fig. 11 comparator): finds the candidates of a
 //!   non-reverse-skyline object with the CR window query, then *verifies*
 //!   each candidate by subset enumeration instead of applying Lemma 7.
+//!
+//! Both are strategy selections over the shared pipeline: Naive-I is
+//! the probabilistic pipeline with every [`CpConfig`] switch off, and
+//! Naive-II is the certain pipeline with the
+//! [`SubsetVerify`](crate::engine::certain::SubsetVerify) stage. Prefer
+//! [`crate::ExplainEngine`] with
+//! [`crate::ExplainStrategy::NaiveI`] /
+//! [`crate::ExplainStrategy::NaiveII`].
 
-use crate::combinations::for_each_combination;
 use crate::config::CpConfig;
-use crate::cp::collect_candidates;
+use crate::engine::certain::{run_certain, SubsetVerify};
+use crate::engine::filter::SampleWindowFilter;
+use crate::engine::pipeline;
 use crate::error::CrpError;
-use crate::matrix::DominanceMatrix;
-use crate::refine::refine;
-use crate::types::{Cause, CrpOutcome, RunStats};
-use crp_geom::{dominance_rect, dominates, Point, PROB_EPSILON};
+use crate::types::CrpOutcome;
+use crp_geom::Point;
 use crp_rtree::RTree;
 use crp_uncertain::{ObjectId, UncertainDataset};
 
@@ -23,6 +30,10 @@ use crp_uncertain::{ObjectId, UncertainDataset};
 ///
 /// Accepts the same inputs as [`crate::cp`]; `max_subsets` bounds the
 /// exponential refinement (`None` = unlimited).
+#[deprecated(
+    since = "0.2.0",
+    note = "use ExplainEngine with ExplainStrategy::NaiveI"
+)]
 pub fn naive_i(
     ds: &UncertainDataset,
     tree: &RTree<ObjectId>,
@@ -31,42 +42,19 @@ pub fn naive_i(
     alpha: f64,
     max_subsets: Option<u64>,
 ) -> Result<CrpOutcome, CrpError> {
-    if !(alpha > 0.0 && alpha <= 1.0) {
-        return Err(CrpError::InvalidAlpha(alpha));
-    }
-    if ds.is_empty() {
-        return Err(CrpError::EmptyDataset);
-    }
-    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
-    let mut stats = RunStats::default();
-    let candidates = collect_candidates(ds, tree, q, an_pos, &mut stats);
-    let matrix = DominanceMatrix::build(ds, an_pos, q, &candidates);
-    let pr_an = matrix.pr_full();
-    if pr_an >= alpha - PROB_EPSILON {
-        return Err(CrpError::NotANonAnswer { prob: pr_an });
-    }
     let config = CpConfig {
         max_subsets,
         ..CpConfig::naive()
     };
-    let recs = refine(&matrix, alpha, &config, &mut stats)?;
-    let causes = recs
-        .into_iter()
-        .map(|r| {
-            let gamma_len = r.gamma.len();
-            Cause {
-                id: ds.object_at(candidates[r.cand]).id(),
-                responsibility: 1.0 / (1.0 + gamma_len as f64),
-                min_contingency: r
-                    .gamma
-                    .into_iter()
-                    .map(|g| ds.object_at(candidates[g]).id())
-                    .collect(),
-                counterfactual: r.counterfactual,
-            }
-        })
-        .collect();
-    Ok(CrpOutcome { causes, stats })
+    pipeline::run_probabilistic(
+        ds,
+        q,
+        an_id,
+        alpha,
+        &config,
+        &SampleWindowFilter::new(tree),
+        None,
+    )
 }
 
 /// Naive-II: CR's window filter + per-candidate subset verification.
@@ -74,6 +62,10 @@ pub fn naive_i(
 /// Produces the same causes as [`crate::cr`] (Lemma 7 guarantees it) at a
 /// cost exponential in the candidate count; `max_subsets` bounds the
 /// verification (`None` = unlimited).
+#[deprecated(
+    since = "0.2.0",
+    note = "use ExplainEngine with ExplainStrategy::NaiveII"
+)]
 pub fn naive_ii(
     ds: &UncertainDataset,
     tree: &RTree<ObjectId>,
@@ -81,89 +73,11 @@ pub fn naive_ii(
     an_id: ObjectId,
     max_subsets: Option<u64>,
 ) -> Result<CrpOutcome, CrpError> {
-    if ds.is_empty() {
-        return Err(CrpError::EmptyDataset);
-    }
-    if !ds.is_certain() {
-        return Err(CrpError::NotCertainData);
-    }
-    let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
-    let an = ds.object_at(an_pos).certain_point();
-    let mut stats = RunStats::default();
-
-    let window = dominance_rect(an, q);
-    let mut cand_ids: Vec<ObjectId> = Vec::new();
-    tree.range_intersect(&window, &mut stats.query, |rect, &id| {
-        if id != an_id && dominates(rect.lo(), an, q) {
-            cand_ids.push(id);
-        }
-    });
-    cand_ids.sort_unstable();
-    cand_ids.dedup();
-    stats.candidates = cand_ids.len();
-    if cand_ids.is_empty() {
-        return Err(CrpError::NotANonAnswer { prob: 1.0 });
-    }
-
-    // Verification: for certain data, `an` is an answer on P − X exactly
-    // when X covers all candidates. The naive algorithm does not exploit
-    // this (that insight IS Lemma 7); it enumerates subsets in ascending
-    // cardinality and tests both contingency conditions per subset, which
-    // is what makes it slow.
-    let k_total = cand_ids.len();
-    let mut budget_hit = None;
-    let mut causes: Vec<Cause> = Vec::new();
-    for cc in 0..k_total {
-        let others: Vec<ObjectId> = cand_ids
-            .iter()
-            .copied()
-            .filter(|&id| id != cand_ids[cc])
-            .collect();
-        let mut found: Option<Vec<ObjectId>> = None;
-        'sizes: for k in 0..=others.len() {
-            let stop = for_each_combination(others.len(), k, |combo| {
-                stats.subsets_examined += 1;
-                if let Some(max) = max_subsets {
-                    if stats.subsets_examined > max {
-                        budget_hit = Some(stats.subsets_examined);
-                        return true;
-                    }
-                }
-                stats.prsq_evaluations += 2;
-                // Condition (i): a dominator survives in P − Γ (cc does,
-                // always). Condition (ii): no dominator in P − Γ − {cc},
-                // i.e. the combination covers every other candidate.
-                let covers_all = combo.len() == others.len();
-                if covers_all {
-                    found = Some(combo.iter().map(|&i| others[i]).collect());
-                    return true;
-                }
-                false
-            });
-            if budget_hit.is_some() {
-                return Err(CrpError::BudgetExhausted {
-                    examined: stats.subsets_examined,
-                });
-            }
-            if stop && found.is_some() {
-                break 'sizes;
-            }
-        }
-        let gamma = found.expect("the full candidate set always verifies");
-        causes.push(Cause {
-            id: cand_ids[cc],
-            responsibility: 1.0 / (1.0 + gamma.len() as f64),
-            counterfactual: gamma.is_empty(),
-            min_contingency: gamma,
-        });
-    }
-    if k_total == 1 {
-        stats.counterfactuals = 1;
-    }
-    Ok(CrpOutcome { causes, stats })
+    run_certain(ds, tree, q, an_id, &SubsetVerify { max_subsets }, None)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{cp, cr};
@@ -200,22 +114,25 @@ mod tests {
             .unwrap();
             let tree = build_object_rtree(&ds, RTreeParams::with_fanout(4));
             let q = pt(10.0, 10.0);
-            let alpha = [0.3, 0.5, 0.8][rng.random_range(0..3)];
+            let alpha = [0.3, 0.5, 0.8][rng.random_range(0..3usize)];
             for id in 0..8u32 {
                 let a = cp(&ds, &tree, &q, ObjectId(id), alpha, &CpConfig::default());
                 let b = naive_i(&ds, &tree, &q, ObjectId(id), alpha, None);
                 match (a, b) {
                     (Ok(x), Ok(y)) => {
-                        let xs: Vec<(ObjectId, usize)> =
-                            x.causes.iter().map(|c| (c.id, c.min_contingency.len())).collect();
-                        let ys: Vec<(ObjectId, usize)> =
-                            y.causes.iter().map(|c| (c.id, c.min_contingency.len())).collect();
+                        let xs: Vec<(ObjectId, usize)> = x
+                            .causes
+                            .iter()
+                            .map(|c| (c.id, c.min_contingency.len()))
+                            .collect();
+                        let ys: Vec<(ObjectId, usize)> = y
+                            .causes
+                            .iter()
+                            .map(|c| (c.id, c.min_contingency.len()))
+                            .collect();
                         assert_eq!(xs, ys);
                         // Identical filter -> identical I/O.
-                        assert_eq!(
-                            x.stats.query.node_accesses,
-                            y.stats.query.node_accesses
-                        );
+                        assert_eq!(x.stats.query.node_accesses, y.stats.query.node_accesses);
                         compared += 1;
                     }
                     (Err(x), Err(y)) => assert_eq!(x, y),
@@ -249,10 +166,7 @@ mod tests {
                         for (cx, cy) in x.causes.iter().zip(y.causes.iter()) {
                             assert_eq!(cx.id, cy.id);
                             assert!((cx.responsibility - cy.responsibility).abs() < 1e-12);
-                            assert_eq!(
-                                cx.min_contingency.len(),
-                                cy.min_contingency.len()
-                            );
+                            assert_eq!(cx.min_contingency.len(), cy.min_contingency.len());
                         }
                         assert_eq!(x.stats.query.node_accesses, y.stats.query.node_accesses);
                         assert!(y.stats.subsets_examined >= x.stats.subsets_examined);

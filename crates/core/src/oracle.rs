@@ -45,10 +45,7 @@ pub fn oracle_crp(
 ) -> Vec<OracleCause> {
     assert!(n <= 20, "oracle is exponential; refusing n = {n}");
     let mut mask = vec![false; n];
-    assert!(
-        !is_answer(&mask),
-        "oracle requires a genuine non-answer"
-    );
+    assert!(!is_answer(&mask), "oracle requires a genuine non-answer");
     let others: Vec<usize> = (0..n).filter(|&i| i != an_pos).collect();
     let mut causes = Vec::new();
     for &p in &others {
@@ -126,9 +123,8 @@ pub fn oracle_cr(
     let an_pos = ds.index_of(an_id).ok_or(CrpError::UnknownObject(an_id))?;
     let an = ds.object_at(an_pos).certain_point().clone();
     let is_answer = |mask: &[bool]| {
-        !(0..ds.len()).any(|j| {
-            j != an_pos && !mask[j] && dominates(ds.object_at(j).certain_point(), &an, q)
-        })
+        !(0..ds.len())
+            .any(|j| j != an_pos && !mask[j] && dominates(ds.object_at(j).certain_point(), &an, q))
     };
     if is_answer(&vec![false; ds.len()]) {
         return Err(CrpError::NotANonAnswer { prob: 1.0 });

@@ -16,13 +16,17 @@
 //!    region, evaluated by midpoint-rule discretisation of `an` (the
 //!    candidates are *not* discretised; their dominance probabilities per
 //!    cell are exact).
+//!
+//! The pipeline driver lives in [`crate::engine`]
+//! (`pipeline::run_pdf`); this module keeps the pdf-specific filter
+//! geometry, the index builder and the public wrapper. Prefer
+//! [`crate::ExplainEngine::for_pdf`].
 
 use crate::config::CpConfig;
+use crate::engine::pipeline;
 use crate::error::CrpError;
-use crate::matrix::DominanceMatrix;
-use crate::refine::refine;
-use crate::types::{Cause, CrpOutcome, RunStats};
-use crp_geom::{dominance_rect, quadrant_corners, HyperRect, Point, PROB_EPSILON};
+use crate::types::CrpOutcome;
+use crp_geom::{dominance_rect, quadrant_corners, HyperRect, Point};
 use crp_rtree::{RTree, RTreeParams};
 use crp_uncertain::{ObjectId, PdfDataset};
 
@@ -40,8 +44,9 @@ pub fn build_pdf_rtree(ds: &PdfDataset, params: RTreeParams) -> RTree<ObjectId> 
 
 /// The pdf-model filter windows of a non-answer region: one dominance
 /// rectangle per overlapped sub-quadrant, centred at the farthest point
-/// of the clipped region from `q`.
-fn pdf_windows(q: &Point, region: &HyperRect) -> Vec<HyperRect> {
+/// of the clipped region from `q` — pipeline stage 1 of the pdf
+/// variant.
+pub(crate) fn pdf_windows(q: &Point, region: &HyperRect) -> Vec<HyperRect> {
     quadrant_corners(q, region)
         .into_iter()
         .map(|(_, sub)| dominance_rect(&sub.farthest_corner(q), q))
@@ -58,6 +63,7 @@ fn pdf_windows(q: &Point, region: &HyperRect) -> Vec<HyperRect> {
 /// # Errors
 ///
 /// Same contract as [`crate::cp`].
+#[deprecated(since = "0.2.0", note = "use ExplainEngine::for_pdf")]
 pub fn cp_pdf(
     ds: &PdfDataset,
     tree: &RTree<ObjectId>,
@@ -67,68 +73,11 @@ pub fn cp_pdf(
     resolution: usize,
     config: &CpConfig,
 ) -> Result<CrpOutcome, CrpError> {
-    if !(alpha > 0.0 && alpha <= 1.0) {
-        return Err(CrpError::InvalidAlpha(alpha));
-    }
-    if ds.is_empty() {
-        return Err(CrpError::EmptyDataset);
-    }
-    let an = ds.get(an_id).ok_or(CrpError::UnknownObject(an_id))?;
-    let mut stats = RunStats::default();
-
-    // Filter: multi-window traversal over the per-quadrant windows.
-    let windows = pdf_windows(q, an.region());
-    let mut hits: Vec<ObjectId> = Vec::new();
-    tree.range_intersect_any(&windows, &mut stats.query, |_, &id| {
-        if id != an_id {
-            hits.push(id);
-        }
-    });
-    hits.sort_unstable();
-    hits.dedup();
-
-    // Integration cells of the non-answer.
-    let cells = an.pdf().discretize(resolution);
-    let weights: Vec<f64> = cells.iter().map(|(_, w)| *w).collect();
-
-    // Exact dominance probability of each hit per cell; drop hits with no
-    // dominating mass anywhere (the exact counterpart of Lemma 2).
-    let mut candidates: Vec<ObjectId> = Vec::new();
-    let mut dp: Vec<f64> = Vec::new();
-    for id in hits {
-        let cand = ds.get(id).expect("hit ids come from the dataset");
-        let row: Vec<f64> = cells
-            .iter()
-            .map(|(center, _)| cand.pdf().box_probability(&dominance_rect(center, q)))
-            .collect();
-        if row.iter().any(|p| *p > 0.0) {
-            candidates.push(id);
-            dp.extend(row);
-        }
-    }
-    let matrix = DominanceMatrix::from_parts(dp, weights, candidates.len());
-
-    let pr_an = matrix.pr_full();
-    if pr_an >= alpha - PROB_EPSILON {
-        return Err(CrpError::NotANonAnswer { prob: pr_an });
-    }
-    let recs = refine(&matrix, alpha, config, &mut stats)?;
-    let causes = recs
-        .into_iter()
-        .map(|r| {
-            let gamma_len = r.gamma.len();
-            Cause {
-                id: candidates[r.cand],
-                responsibility: 1.0 / (1.0 + gamma_len as f64),
-                min_contingency: r.gamma.into_iter().map(|g| candidates[g]).collect(),
-                counterfactual: r.counterfactual,
-            }
-        })
-        .collect();
-    Ok(CrpOutcome { causes, stats })
+    pipeline::run_pdf(ds, tree, q, an_id, alpha, resolution, config, None)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crp_uncertain::PdfObject;
@@ -208,7 +157,15 @@ mod tests {
         let dtree = crp_skyline::build_object_rtree(&disc, RTreeParams::with_fanout(4));
 
         for alpha in [0.3, 0.5, 0.8] {
-            let a = cp_pdf(&ds, &tree, &q, ObjectId(0), alpha, resolution, &CpConfig::default());
+            let a = cp_pdf(
+                &ds,
+                &tree,
+                &q,
+                ObjectId(0),
+                alpha,
+                resolution,
+                &CpConfig::default(),
+            );
             let b = crate::cp(&disc, &dtree, &q, ObjectId(0), alpha, &CpConfig::default());
             match (a, b) {
                 (Ok(x), Ok(y)) => {

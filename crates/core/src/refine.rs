@@ -1,4 +1,8 @@
-//! The refinement phase shared by CP (discrete), CP (pdf) and Naive-I.
+//! The refinement phase shared by CP (discrete), CP (pdf) and Naive-I —
+//! pipeline stages 2 (`refine`) and 3 (`fmcs`) of [`crate::engine`] run
+//! back to back. The stage implementations live under
+//! `engine/{refine,fmcs}.rs`; this module keeps the single-call entry
+//! point and the behavioural test suite pinning it.
 //!
 //! Input: the dominance matrix of a non-answer against its candidate
 //! causes. Output: every actual cause with a *minimal* contingency set.
@@ -28,253 +32,27 @@
 //! set. We start at cardinality 0 (i.e. `Γ = G1`), which matches
 //! Definitions 1–2 and the brute-force oracle (pinned by a unit test).
 
-use crate::combinations::for_each_combination;
 use crate::config::CpConfig;
+use crate::engine::{fmcs, refine as classify_stage};
 use crate::error::CrpError;
-use crate::matrix::{DominanceMatrix, PrEvaluator};
+use crate::matrix::DominanceMatrix;
 use crate::types::RunStats;
-use crp_geom::PROB_EPSILON;
 
-/// A cause expressed in candidate indices (mapped to object ids by the
-/// caller).
-#[derive(Clone, Debug, PartialEq)]
-pub(crate) struct CauseRec {
-    /// Candidate index of the cause.
-    pub cand: usize,
-    /// Minimal contingency set (candidate indices, ascending).
-    pub gamma: Vec<usize>,
-    /// True when `gamma` is empty.
-    pub counterfactual: bool,
-}
+pub(crate) use crate::engine::fmcs::CauseRec;
 
-#[inline]
-fn is_answer(pr: f64, alpha: f64) -> bool {
-    pr >= alpha - PROB_EPSILON
-}
-
-/// Candidate counts from which the incremental log-space evaluator beats
-/// the direct `O(|Cc|·L)` product (see [`PrEvaluator`]).
-const INCREMENTAL_THRESHOLD: usize = 64;
-
-/// Uniform contingency-condition checker over removal *lists*: direct
-/// evaluation for small candidate sets, incremental (guard-banded) for
-/// large ones. Classifications are identical either way.
-struct Checker<'m> {
-    matrix: &'m DominanceMatrix,
-    evaluator: Option<PrEvaluator<'m>>,
-    mask: Vec<bool>,
-}
-
-impl<'m> Checker<'m> {
-    fn new(matrix: &'m DominanceMatrix) -> Self {
-        let n = matrix.candidates();
-        Self {
-            matrix,
-            evaluator: (n >= INCREMENTAL_THRESHOLD).then(|| matrix.evaluator()),
-            mask: vec![false; n],
-        }
-    }
-
-    /// Is `an` an answer on `P − removed`?
-    fn is_answer(&mut self, removed: &[usize], alpha: f64) -> bool {
-        match &self.evaluator {
-            Some(ev) => ev.is_answer_with_removed(removed, alpha),
-            None => {
-                self.mask.fill(false);
-                for &c in removed {
-                    self.mask[c] = true;
-                }
-                is_answer(self.matrix.pr_with_removed(&self.mask), alpha)
-            }
-        }
-    }
-}
-
-/// Runs the refinement. `matrix` must contain only genuine candidates
-/// (positive dominance mass; Lemma 1 filtering is the caller's job).
+/// Runs the refinement — pipeline stages 2 and 3
+/// ([`crate::engine`]'s `refine` classification followed by the FMCS
+/// search) over one dominance matrix. `matrix` must contain only
+/// genuine candidates (positive dominance mass; Lemma 1 filtering is
+/// the caller's job).
 pub(crate) fn refine(
     matrix: &DominanceMatrix,
     alpha: f64,
     config: &CpConfig,
     stats: &mut RunStats,
 ) -> Result<Vec<CauseRec>, CrpError> {
-    let n = matrix.candidates();
-    stats.candidates = n;
-    let mut results: Vec<CauseRec> = Vec::new();
-    if n == 0 {
-        return Ok(results);
-    }
-
-    // --- α = 1 fast path (Algorithm 1, lines 9–11). -------------------
-    if config.alpha_one_fast_path && alpha >= 1.0 - PROB_EPSILON {
-        for cand in 0..n {
-            let gamma: Vec<usize> = (0..n).filter(|&c| c != cand).collect();
-            results.push(CauseRec {
-                cand,
-                counterfactual: gamma.is_empty(),
-                gamma,
-            });
-        }
-        return Ok(results);
-    }
-
-    let mut checker = Checker::new(matrix);
-    let mut removal_list: Vec<usize> = Vec::with_capacity(n);
-    let mut budget_hit: Option<u64> = None;
-
-    // --- Lemma 4: forced contingency members (Ca). ---------------------
-    let forced_mask: Vec<bool> = if config.use_lemma4 {
-        (0..n).map(|c| matrix.forces_zero(c)).collect()
-    } else {
-        vec![false; n]
-    };
-    stats.forced = forced_mask.iter().filter(|f| **f).count();
-
-    // --- Lemma 5: counterfactual causes (Cb). --------------------------
-    // `excluded[c]` removes c from every later search space.
-    let mut excluded = vec![false; n];
-    let mut done = vec![false; n];
-    if config.use_lemma5 {
-        for c in 0..n {
-            stats.subsets_examined += 1;
-            stats.prsq_evaluations += 1;
-            if checker.is_answer(&[c], alpha) {
-                excluded[c] = true;
-                done[c] = true;
-                results.push(CauseRec {
-                    cand: c,
-                    gamma: Vec::new(),
-                    counterfactual: true,
-                });
-            }
-        }
-        stats.counterfactuals = results.len();
-    }
-
-    // --- FMCS per remaining candidate, with Lemma 6 propagation. -------
-    let mut witness: Vec<Option<Vec<usize>>> = vec![None; n];
-    for cc in 0..n {
-        if done[cc] {
-            continue;
-        }
-        let forced: Vec<usize> = (0..n).filter(|&c| c != cc && forced_mask[c]).collect();
-        let mut search: Vec<usize> = (0..n)
-            .filter(|&c| c != cc && !forced_mask[c] && !excluded[c])
-            .collect();
-        // High-impact candidates first: the first combination of each
-        // cardinality is then the greedy removal set, which on deep
-        // non-answers is very likely already a valid contingency set.
-        search.sort_by(|&a, &b| {
-            matrix
-                .impact(b)
-                .partial_cmp(&matrix.impact(a))
-                .expect("finite impacts")
-        });
-        // Search strictly below the witness size (Lemma 6 already proves
-        // a set of that size exists); otherwise everything up to the
-        // whole search space.
-        let upper_exclusive = witness[cc]
-            .as_ref()
-            .map(|w| w.len())
-            .unwrap_or(forced.len() + search.len() + 1);
-
-        let mut found: Option<Vec<usize>> = None;
-        'sizes: for total in forced.len()..upper_exclusive {
-            let k = total - forced.len();
-            if k > search.len() {
-                break;
-            }
-            // Probability-based pruning (extension): if even the most
-            // damaging total+1 removals cannot reach α, no Γ of this size
-            // can satisfy condition (ii).
-            if config.use_probability_bound
-                && !is_answer(matrix.max_pr_after_removing(total + 1), alpha)
-            {
-                continue;
-            }
-            let budget = config.max_subsets;
-            for_each_combination(search.len(), k, |combo| {
-                stats.subsets_examined += 1;
-                if let Some(max) = budget {
-                    if stats.subsets_examined > max {
-                        budget_hit = Some(stats.subsets_examined);
-                        return true;
-                    }
-                }
-                removal_list.clear();
-                removal_list.extend_from_slice(&forced);
-                removal_list.extend(combo.iter().map(|&s| search[s]));
-                stats.prsq_evaluations += 1;
-                // Condition (i): P − Γ still a non-answer.
-                if !checker.is_answer(&removal_list, alpha) {
-                    removal_list.push(cc);
-                    stats.prsq_evaluations += 1;
-                    // Condition (ii): P − Γ − {cc} becomes an answer.
-                    let becomes = checker.is_answer(&removal_list, alpha);
-                    removal_list.pop();
-                    if becomes {
-                        let mut gamma = removal_list.clone();
-                        gamma.sort_unstable();
-                        found = Some(gamma);
-                        return true;
-                    }
-                }
-                false
-            });
-            if let Some(examined) = budget_hit {
-                return Err(CrpError::BudgetExhausted { examined });
-            }
-            if found.is_some() {
-                break 'sizes;
-            }
-        }
-
-        let gamma = match found {
-            Some(g) => Some(g),
-            // Nothing strictly smaller than the witness: the witness set
-            // is minimal (Algorithm 1, lines 23–24).
-            None => witness[cc].take(),
-        };
-        done[cc] = true;
-        let Some(gamma) = gamma else {
-            continue; // not an actual cause
-        };
-
-        // Lemma 6: seed witnesses for the unprocessed members of Γ.
-        if config.use_lemma6 {
-            for &o in &gamma {
-                if done[o] {
-                    continue;
-                }
-                let better = witness[o].as_ref().is_none_or(|w| w.len() > gamma.len());
-                if !better {
-                    continue;
-                }
-                removal_list.clear();
-                removal_list.extend(gamma.iter().copied().filter(|&g| g != o));
-                removal_list.push(cc);
-                stats.prsq_evaluations += 1;
-                if !checker.is_answer(&removal_list, alpha) {
-                    // (Γ−{o}) ∪ {cc} is a contingency set for o: condition
-                    // (ii) holds because P−Γ−{cc} is an answer already.
-                    let mut w: Vec<usize> =
-                        gamma.iter().copied().filter(|&g| g != o).collect();
-                    w.push(cc);
-                    w.sort_unstable();
-                    witness[o] = Some(w);
-                }
-            }
-        }
-
-        results.push(CauseRec {
-            cand: cc,
-            counterfactual: gamma.is_empty(),
-            gamma,
-        });
-    }
-
-    results.sort_by_key(|r| r.cand);
-    Ok(results)
+    let plan = classify_stage::classify(matrix, alpha, config, stats);
+    fmcs::search(matrix, alpha, config, plan, stats)
 }
 
 #[cfg(test)]
@@ -299,6 +77,42 @@ mod tests {
     fn empty_candidate_set() {
         let m = DominanceMatrix::from_parts(Vec::new(), vec![1.0], 0);
         assert!(run(&m, 0.5, &CpConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn parallel_fmcs_matches_serial_above_incremental_threshold() {
+        // ≥ 64 candidates puts the Checker in incremental-evaluator
+        // mode, so this exercises the parallel driver's *shared*
+        // evaluator (one O(|Cc|·L) build for all workers) against the
+        // serial driver's owned one. Results and counters must match
+        // exactly.
+        //
+        // The fixture is constructed to stay tractable with Lemma 6
+        // off: 72 identical candidates at dp = 0.01 and α between
+        // 0.99^71 and 0.99^70, so every candidate's minimal Γ has size
+        // exactly 1 and FMCS finds it at the first cardinality-1
+        // combination (a symmetric-candidate search never enumerates a
+        // large subset space).
+        let n = 72;
+        let m = DominanceMatrix::from_parts(vec![0.01; n], vec![1.0], n);
+        let alpha = 0.492; // 0.99^71 ≈ 0.4899 < α ≤ 0.99^70 ≈ 0.4948
+        assert!(m.pr_full() < alpha, "fixture must be a non-answer");
+        let serial_cfg = CpConfig {
+            use_lemma6: false,
+            ..CpConfig::default()
+        };
+        let parallel_cfg = CpConfig {
+            parallel_fmcs: true,
+            ..serial_cfg
+        };
+        let mut serial_stats = RunStats::default();
+        let serial = refine(&m, alpha, &serial_cfg, &mut serial_stats).unwrap();
+        let mut parallel_stats = RunStats::default();
+        let parallel = refine(&m, alpha, &parallel_cfg, &mut parallel_stats).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_stats, parallel_stats);
+        assert_eq!(serial.len(), n, "every symmetric candidate is a cause");
+        assert!(serial.iter().all(|r| r.gamma.len() == 1));
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Property tests of the `ExplainEngine`: the session object must agree
+//! **exactly** with the definition-level oracles on small random
+//! datasets, through every dispatch path — per-call `explain_as`,
+//! serial batch, rayon-parallel batch, and the candidate-parallel FMCS
+//! mode. The batch paths must additionally be bit-identical to each
+//! other (the engine's ordering contract), and the combinatorics
+//! primitives FMCS leans on must behave at their boundary sizes.
+
+use crp_core::{
+    binomial, for_each_combination, oracle_cp, oracle_cr, CpConfig, CrpError, CrpOutcome,
+    EngineConfig, ExplainEngine, ExplainStrategy,
+};
+use crp_geom::Point;
+use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
+use proptest::prelude::*;
+
+/// Small uncertain dataset strategy: 2–7 objects, 1–3 samples each, on a
+/// coarse integer grid (to generate plenty of dominance ties).
+fn uncertain_dataset(dim: usize) -> impl Strategy<Value = UncertainDataset> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(0.0..12.0f64, dim)
+                .prop_map(|v| Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>())),
+            1..=3,
+        ),
+        2..=7,
+    )
+    .prop_map(|objs| {
+        UncertainDataset::from_objects(
+            objs.into_iter().enumerate().map(|(i, pts)| {
+                UncertainObject::with_equal_probs(ObjectId(i as u32), pts).unwrap()
+            }),
+        )
+        .unwrap()
+    })
+}
+
+fn certain_dataset(dim: usize) -> impl Strategy<Value = UncertainDataset> {
+    prop::collection::vec(
+        prop::collection::vec(0.0..12.0f64, dim)
+            .prop_map(|v| Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>())),
+        2..=10,
+    )
+    .prop_map(|pts| UncertainDataset::from_points(pts).unwrap())
+}
+
+fn query(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(0.0..12.0f64, dim)
+        .prop_map(|v| Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>()))
+}
+
+/// Signature for oracle comparisons: (id, |Γ_min|, counterfactual).
+fn signature(out: &CrpOutcome) -> Vec<(ObjectId, usize, bool)> {
+    out.causes
+        .iter()
+        .map(|c| (c.id, c.min_contingency.len(), c.counterfactual))
+        .collect()
+}
+
+fn oracle_signature(oracle: &[(ObjectId, crp_core::OracleCause)]) -> Vec<(ObjectId, usize, bool)> {
+    oracle
+        .iter()
+        .map(|(id, c)| (*id, c.min_gamma.len(), c.min_gamma.is_empty()))
+        .collect()
+}
+
+fn engine_vs_oracle(
+    engine: &ExplainEngine,
+    strategy: ExplainStrategy,
+    q: &Point,
+    alpha: f64,
+) -> Result<(), TestCaseError> {
+    let ids: Vec<ObjectId> = engine.dataset().iter().map(|o| o.id()).collect();
+    // Parallel and serial batches must be bit-identical (the engine's
+    // ordering contract), and each element must equal the per-call path.
+    let parallel = engine.explain_batch_as(strategy, q, alpha, &ids);
+    let serial = engine.explain_batch_serial_as(strategy, q, alpha, &ids);
+    prop_assert_eq!(&parallel, &serial, "parallel batch diverged from serial");
+    for (&an, got) in ids.iter().zip(&parallel) {
+        let single = engine.explain_as(strategy, q, alpha, an);
+        prop_assert_eq!(got, &single, "batch element diverged from explain_as");
+        let expected = match strategy {
+            ExplainStrategy::Cr => oracle_cr(engine.dataset(), q, an),
+            _ => oracle_cp(engine.dataset(), q, an, alpha),
+        };
+        match (got, expected) {
+            (Ok(out), Ok(oracle)) => {
+                prop_assert_eq!(signature(out), oracle_signature(&oracle), "an = {}", an);
+            }
+            (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
+            (g, e) => prop_assert!(false, "divergence for an = {}: {:?} vs {:?}", an, g, e),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_cp_serial_and_parallel_agree_with_oracle(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0]),
+    ) {
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+        engine_vs_oracle(&engine, ExplainStrategy::Cp, &q, alpha)?;
+    }
+
+    #[test]
+    fn engine_cr_serial_and_parallel_agree_with_oracle(
+        ds in certain_dataset(2),
+        q in query(2),
+    ) {
+        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        engine_vs_oracle(&engine, ExplainStrategy::Cr, &q, 0.5)?;
+    }
+
+    #[test]
+    fn engine_oracle_strategies_match_free_oracles(
+        ds in certain_dataset(2),
+        q in query(2),
+    ) {
+        // The oracle strategies are the same brute force behind the
+        // engine dispatch; OracleCr and Cr must coincide on certain data.
+        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
+            let via_engine = engine.explain_as(ExplainStrategy::OracleCr, &q, 0.5, an);
+            let direct = oracle_cr(engine.dataset(), &q, an);
+            match (via_engine, direct) {
+                (Ok(out), Ok(oracle)) => {
+                    prop_assert_eq!(signature(&out), oracle_signature(&oracle));
+                    let cr = engine.explain_as(ExplainStrategy::Cr, &q, 0.5, an).unwrap();
+                    prop_assert_eq!(signature(&cr), signature(&out));
+                }
+                (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
+                (g, e) => prop_assert!(false, "divergence: {:?} vs {:?}", g, e),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fmcs_is_bit_identical_to_serial(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.3, 0.6, 0.9]),
+    ) {
+        // Candidate-level FMCS parallelism requires Lemma 6 off; with it,
+        // results (causes AND counters) must be bit-identical to the
+        // serial search under the same configuration.
+        let serial_cfg = CpConfig { use_lemma6: false, ..CpConfig::default() };
+        let parallel_cfg = CpConfig { parallel_fmcs: true, ..serial_cfg };
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+        for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
+            let a = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &serial_cfg);
+            let b = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &parallel_cfg);
+            prop_assert_eq!(a, b, "an = {}", an);
+        }
+    }
+
+    #[test]
+    fn naive_strategies_agree_with_lemma_strategies(
+        ds in certain_dataset(2),
+        q in query(2),
+    ) {
+        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
+            let cr = engine.explain_as(ExplainStrategy::Cr, &q, 0.5, an);
+            let nv = engine.explain_as(
+                ExplainStrategy::NaiveII { max_subsets: Some(5_000_000) },
+                &q,
+                0.5,
+                an,
+            );
+            match (cr, nv) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(signature(&x), signature(&y));
+                    // Identical filter -> identical I/O.
+                    prop_assert_eq!(
+                        x.stats.query.node_accesses,
+                        y.stats.query.node_accesses
+                    );
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                (x, y) => prop_assert!(false, "divergence: {:?} vs {:?}", x, y),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combinatorics boundary behaviour FMCS relies on.
+// ---------------------------------------------------------------------
+
+/// FMCS enumerates `C(n, k)` for `n` up to the free-candidate cap; the
+/// saturating `binomial` must stay exact at every size the search can
+/// reach and saturate (not wrap) beyond u128.
+#[test]
+fn binomial_is_exact_at_fmcs_boundary_sizes() {
+    // Pascal's rule over the whole range FMCS can touch (tractability
+    // caps keep the free candidate count ≤ ~40; check well past it).
+    for n in 0..=64usize {
+        assert_eq!(binomial(n, 0), 1);
+        assert_eq!(binomial(n, n), 1);
+        for k in 1..=n {
+            assert_eq!(
+                binomial(n, k),
+                binomial(n - 1, k - 1) + binomial(n - 1, k),
+                "Pascal fails at C({n}, {k})"
+            );
+        }
+    }
+    // Symmetry and known values at the widest row used in practice.
+    assert_eq!(binomial(40, 20), 137_846_528_820);
+    assert_eq!(binomial(64, 32), 1_832_624_140_942_590_534);
+    // Saturation instead of overflow: C(200,100) > u128::MAX.
+    assert_eq!(binomial(200, 100), u128::MAX);
+    assert_eq!(binomial(1_000, 500), u128::MAX);
+    // Degenerate inputs.
+    assert_eq!(binomial(0, 0), 1);
+    assert_eq!(binomial(3, 7), 0);
+}
+
+/// The lexicographic enumerator at its boundaries: k = 0, k = n, k > n,
+/// n = 0, and early exit at the first/last combination.
+#[test]
+fn for_each_combination_boundary_sizes() {
+    // k = 0 yields exactly the empty combination, even for n = 0.
+    for n in [0usize, 1, 5, 31] {
+        let mut seen = 0;
+        let stopped = for_each_combination(n, 0, |c| {
+            assert!(c.is_empty());
+            seen += 1;
+            false
+        });
+        assert!(!stopped);
+        assert_eq!(seen, 1, "n = {n}");
+    }
+    // k > n yields nothing.
+    let mut called = false;
+    assert!(!for_each_combination(4, 5, |_| {
+        called = true;
+        false
+    }));
+    assert!(!called);
+    // k = n yields the identity combination only.
+    let mut combos = Vec::new();
+    for_each_combination(6, 6, |c| {
+        combos.push(c.to_vec());
+        false
+    });
+    assert_eq!(combos, vec![(0..6).collect::<Vec<_>>()]);
+    // Counts match binomial over a boundary-heavy grid, and every
+    // combination is strictly increasing (sorted, no duplicates).
+    for n in 0..=12usize {
+        for k in 0..=n {
+            let mut count: u128 = 0;
+            for_each_combination(n, k, |c| {
+                assert!(c.windows(2).all(|w| w[0] < w[1]));
+                count += 1;
+                false
+            });
+            assert_eq!(count, binomial(n, k), "C({n}, {k})");
+        }
+    }
+    // Early exit on the very first combination.
+    let mut seen = 0;
+    assert!(for_each_combination(8, 3, |_| {
+        seen += 1;
+        true
+    }));
+    assert_eq!(seen, 1);
+    // Early exit on the very last combination.
+    let total = binomial(8, 3);
+    let mut seen = 0u128;
+    assert!(for_each_combination(8, 3, |_| {
+        seen += 1;
+        seen == total
+    }));
+    assert_eq!(seen, total);
+}

@@ -4,6 +4,8 @@
 //! from Definitions 1–2, encoding none of the paper's lemmas — so
 //! agreement here validates every lemma implementation at once.
 
+#![allow(deprecated)] // pins the legacy free-function wrappers
+
 use crp_core::{cp, cp_unindexed, cr, naive_i, naive_ii, oracle_cp, oracle_cr, CpConfig, CrpError};
 use crp_geom::Point;
 use crp_rtree::RTreeParams;
@@ -16,20 +18,17 @@ use proptest::prelude::*;
 fn uncertain_dataset(dim: usize) -> impl Strategy<Value = UncertainDataset> {
     prop::collection::vec(
         prop::collection::vec(
-            prop::collection::vec(0.0..12.0f64, dim).prop_map(|v| {
-                Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>())
-            }),
+            prop::collection::vec(0.0..12.0f64, dim)
+                .prop_map(|v| Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>())),
             1..=3,
         ),
         2..=7,
     )
     .prop_map(|objs| {
         UncertainDataset::from_objects(
-            objs.into_iter()
-                .enumerate()
-                .map(|(i, pts)| {
-                    UncertainObject::with_equal_probs(ObjectId(i as u32), pts).unwrap()
-                }),
+            objs.into_iter().enumerate().map(|(i, pts)| {
+                UncertainObject::with_equal_probs(ObjectId(i as u32), pts).unwrap()
+            }),
         )
         .unwrap()
     })
@@ -138,9 +137,8 @@ fn cp_vs_oracle(ds: &UncertainDataset, q: &Point, alpha: f64) -> Result<(), Test
                         .map(|id| ds.index_of(*id).unwrap())
                         .collect();
                     let an_pos = ds.index_of(an).unwrap();
-                    let pr_g = crp_skyline::pr_reverse_skyline(ds, an_pos, q, |j| {
-                        gamma_pos.contains(&j)
-                    });
+                    let pr_g =
+                        crp_skyline::pr_reverse_skyline(ds, an_pos, q, |j| gamma_pos.contains(&j));
                     prop_assert!(pr_g < alpha, "Γ must keep an a non-answer");
                     let c_pos = ds.index_of(cause.id).unwrap();
                     let pr_gc = crp_skyline::pr_reverse_skyline(ds, an_pos, q, |j| {

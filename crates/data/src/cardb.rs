@@ -33,8 +33,8 @@ impl Default for CarDbConfig {
 
 /// Market segments: (share weight, MSRP mean, MSRP sd).
 const SEGMENTS: [(f64, f64, f64); 3] = [
-    (0.5, 21_000.0, 4_000.0),  // economy
-    (0.35, 35_000.0, 6_000.0), // mid-range
+    (0.5, 21_000.0, 4_000.0),   // economy
+    (0.35, 35_000.0, 6_000.0),  // mid-range
     (0.15, 62_000.0, 12_000.0), // luxury
 ];
 
@@ -119,7 +119,10 @@ mod tests {
     fn deterministic() {
         let a = small();
         let b = small();
-        assert_eq!(a.object_at(77).certain_point(), b.object_at(77).certain_point());
+        assert_eq!(
+            a.object_at(77).certain_point(),
+            b.object_at(77).certain_point()
+        );
     }
 
     #[test]

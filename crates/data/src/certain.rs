@@ -102,9 +102,7 @@ pub fn certain_dataset(config: &CertainConfig) -> UncertainDataset {
                     *x *= target / sum;
                 }
                 v.into_iter()
-                    .map(|x| {
-                        gaussian_clamped(&mut rng, x * dom, dom * 0.02, 0.0, dom)
-                    })
+                    .map(|x| gaussian_clamped(&mut rng, x * dom, dom * 0.02, 0.0, dom))
                     .collect()
             }
             CertainKind::Clustered => {
@@ -209,7 +207,10 @@ mod tests {
     fn seeds_are_deterministic() {
         let a = certain_dataset(&cfg(CertainKind::Anticorrelated));
         let b = certain_dataset(&cfg(CertainKind::Anticorrelated));
-        assert_eq!(a.object_at(99).certain_point(), b.object_at(99).certain_point());
+        assert_eq!(
+            a.object_at(99).certain_point(),
+            b.object_at(99).certain_point()
+        );
     }
 
     #[test]

@@ -190,10 +190,7 @@ pub fn load_points(path: impl AsRef<Path>) -> Result<UncertainDataset, CsvError>
 /// Writes a dataset back out in season-record format (round-trips both
 /// certain and uncertain datasets; sample probabilities are assumed
 /// equal per object, as the schema prescribes).
-pub fn write_season_records(
-    ds: &UncertainDataset,
-    path: impl AsRef<Path>,
-) -> Result<(), CsvError> {
+pub fn write_season_records(ds: &UncertainDataset, path: impl AsRef<Path>) -> Result<(), CsvError> {
     let mut out = String::new();
     out.push_str("# player_id,label,attributes…\n");
     for o in ds.iter() {
@@ -251,7 +248,10 @@ mod tests {
         assert_eq!(ds.len(), 2);
         assert!(ds.is_certain());
         assert_eq!(ds.object_at(0).label(), Some("car a"));
-        assert_eq!(ds.object_at(1).certain_point(), &Point::from([8950.0, 38449.0]));
+        assert_eq!(
+            ds.object_at(1).certain_point(),
+            &Point::from([8950.0, 38449.0])
+        );
     }
 
     #[test]
@@ -275,7 +275,10 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert_eq!(parse_points("# only comments\n").unwrap_err(), CsvError::Empty);
+        assert_eq!(
+            parse_points("# only comments\n").unwrap_err(),
+            CsvError::Empty
+        );
         assert_eq!(parse_season_records("").unwrap_err(), CsvError::Empty);
     }
 

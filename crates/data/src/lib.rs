@@ -26,11 +26,11 @@ pub mod rng;
 pub mod synthetic;
 
 pub use cardb::{cardb_dataset, CarDbConfig};
+pub use certain::{certain_dataset, CertainConfig, CertainKind};
 pub use io::{
     load_points, load_season_records, parse_points, parse_season_records, write_season_records,
     CsvError,
 };
-pub use certain::{certain_dataset, CertainConfig, CertainKind};
 pub use nba::{nba_dataset, nba_position_query, NbaConfig};
 pub use synthetic::{
     pdf_dataset, uncertain_dataset, CenterDistribution, RadiusDistribution, UncertainConfig,

@@ -49,9 +49,26 @@ const FIRST_NAMES: [&str; 20] = [
 ];
 
 const LAST_NAMES: [&str; 20] = [
-    "Walker", "Hayes", "Brooks", "Carter", "Ellison", "Fontaine", "Graves", "Holloway", "Irving",
-    "Jefferson", "Kendrick", "Lawson", "Maddox", "Norwood", "Okafor", "Pemberton", "Ramsey",
-    "Sterling", "Thibodeaux", "Underwood",
+    "Walker",
+    "Hayes",
+    "Brooks",
+    "Carter",
+    "Ellison",
+    "Fontaine",
+    "Graves",
+    "Holloway",
+    "Irving",
+    "Jefferson",
+    "Kendrick",
+    "Lawson",
+    "Maddox",
+    "Norwood",
+    "Okafor",
+    "Pemberton",
+    "Ramsey",
+    "Sterling",
+    "Thibodeaux",
+    "Underwood",
 ];
 
 /// Position archetypes with (PTS, FGM, REB, AST) emphasis multipliers.

@@ -65,10 +65,7 @@ impl Default for UncertainConfig {
 
 impl UncertainConfig {
     /// The four named dataset families of Section 5.1.
-    pub fn family(
-        centers: CenterDistribution,
-        radii: RadiusDistribution,
-    ) -> Self {
+    pub fn family(centers: CenterDistribution, radii: RadiusDistribution) -> Self {
         Self {
             centers,
             radii,
@@ -251,20 +248,33 @@ mod tests {
             CenterDistribution::Skewed,
             RadiusDistribution::Uniform,
         ));
-        let below: usize = skew
-            .iter()
-            .filter(|o| o.expectation()[0] < 5_000.0)
-            .count();
+        let below: usize = skew.iter().filter(|o| o.expectation()[0] < 5_000.0).count();
         assert!(below > 350, "skewed: {below}/500 below mid-domain");
     }
 
     #[test]
     fn family_names() {
         for (c, r, name) in [
-            (CenterDistribution::Uniform, RadiusDistribution::Uniform, "lUrU"),
-            (CenterDistribution::Uniform, RadiusDistribution::Gaussian, "lUrG"),
-            (CenterDistribution::Skewed, RadiusDistribution::Uniform, "lSrU"),
-            (CenterDistribution::Skewed, RadiusDistribution::Gaussian, "lSrG"),
+            (
+                CenterDistribution::Uniform,
+                RadiusDistribution::Uniform,
+                "lUrU",
+            ),
+            (
+                CenterDistribution::Uniform,
+                RadiusDistribution::Gaussian,
+                "lUrG",
+            ),
+            (
+                CenterDistribution::Skewed,
+                RadiusDistribution::Uniform,
+                "lSrU",
+            ),
+            (
+                CenterDistribution::Skewed,
+                RadiusDistribution::Gaussian,
+                "lSrG",
+            ),
         ] {
             assert_eq!(UncertainConfig::family(c, r).family_name(), name);
         }

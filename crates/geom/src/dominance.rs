@@ -88,7 +88,9 @@ pub fn dominates(p1: &Point, center: &Point, p2: &Point) -> bool {
 /// resolves. This is the filter window used by both CP and CR.
 pub fn dominance_rect(center: &Point, q: &Point) -> HyperRect {
     debug_assert_eq!(center.dim(), q.dim(), "dimension mismatch");
-    let ext: Vec<Coord> = (0..center.dim()).map(|i| (q[i] - center[i]).abs()).collect();
+    let ext: Vec<Coord> = (0..center.dim())
+        .map(|i| (q[i] - center[i]).abs())
+        .collect();
     HyperRect::centered(center, &ext)
 }
 

@@ -25,7 +25,10 @@ pub type QuadrantMask = u32;
 /// Panics (in debug builds) on dimension mismatch, or if `D > 32`.
 pub fn quadrant_of(q: &Point, x: &Point) -> QuadrantMask {
     debug_assert_eq!(q.dim(), x.dim(), "dimension mismatch");
-    assert!(q.dim() <= 32, "quadrant masks support at most 32 dimensions");
+    assert!(
+        q.dim() <= 32,
+        "quadrant masks support at most 32 dimensions"
+    );
     let mut mask = 0u32;
     for i in 0..q.dim() {
         if x[i] >= q[i] {

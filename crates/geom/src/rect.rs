@@ -345,7 +345,10 @@ mod tests {
         let c = r([2.0, 2.0], [4.0, 4.0]); // touches `a` at one corner
         let d = r([5.0, 5.0], [6.0, 6.0]);
         assert!(a.intersects(&b));
-        assert!(a.intersects(&c), "closed rects touching at a corner intersect");
+        assert!(
+            a.intersects(&c),
+            "closed rects touching at a corner intersect"
+        );
         assert!(!a.intersects(&d));
         assert_eq!(a.intersection(&b).unwrap(), r([1.0, 1.0], [2.0, 2.0]));
         assert_eq!(a.overlap_volume(&b), 1.0);

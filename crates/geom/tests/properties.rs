@@ -8,7 +8,10 @@ fn point_strategy(dim: usize) -> impl Strategy<Value = Point> {
 }
 
 fn rect_strategy(dim: usize) -> impl Strategy<Value = HyperRect> {
-    (point_strategy(dim), prop::collection::vec(0.0..500.0f64, dim))
+    (
+        point_strategy(dim),
+        prop::collection::vec(0.0..500.0f64, dim),
+    )
         .prop_map(|(c, ext)| HyperRect::centered(&c, &ext))
 }
 

@@ -97,7 +97,6 @@ impl<T> RTree<T> {
                 .collect(),
         )
     }
-
 }
 
 /// Recursively tiles `entries` into groups of at most `capacity`,

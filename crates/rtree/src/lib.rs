@@ -21,11 +21,13 @@ mod bulk;
 mod node;
 mod params;
 mod query;
+mod stats;
 mod tree;
 
 pub use node::NodeId;
 pub use params::RTreeParams;
 pub use query::QueryStats;
+pub use stats::AtomicQueryStats;
 pub use tree::RTree;
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Thread-safe node-access accounting.
+//!
+//! Queries themselves stay single-threaded and keep taking a plain
+//! `&mut QueryStats` (no atomics on the hot traversal path). When many
+//! queries run concurrently — the `ExplainEngine`'s rayon batch mode —
+//! each worker accumulates into its own [`QueryStats`] and folds the
+//! result into a shared [`AtomicQueryStats`], so a long-lived engine can
+//! report total I/O across a parallel batch without locks.
+
+use crate::query::QueryStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared node-access counters, safe to fold into from many threads.
+#[derive(Debug, Default)]
+pub struct AtomicQueryStats {
+    node_accesses: AtomicU64,
+    leaf_accesses: AtomicU64,
+}
+
+impl AtomicQueryStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one query's counters in (relaxed; only totals matter).
+    pub fn absorb(&self, stats: QueryStats) {
+        self.node_accesses
+            .fetch_add(stats.node_accesses, Ordering::Relaxed);
+        self.leaf_accesses
+            .fetch_add(stats.leaf_accesses, Ordering::Relaxed);
+    }
+
+    /// Current totals as a plain [`QueryStats`].
+    pub fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            node_accesses: self.node_accesses.load(Ordering::Relaxed),
+            leaf_accesses: self.leaf_accesses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the counters to zero, returning the totals accumulated so
+    /// far.
+    pub fn take(&self) -> QueryStats {
+        QueryStats {
+            node_accesses: self.node_accesses.swap(0, Ordering::Relaxed),
+            leaf_accesses: self.leaf_accesses.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for AtomicQueryStats {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        Self {
+            node_accesses: AtomicU64::new(snap.node_accesses),
+            leaf_accesses: AtomicU64::new(snap.leaf_accesses),
+        }
+    }
+}
+
+impl From<QueryStats> for AtomicQueryStats {
+    fn from(stats: QueryStats) -> Self {
+        Self {
+            node_accesses: AtomicU64::new(stats.node_accesses),
+            leaf_accesses: AtomicU64::new(stats.leaf_accesses),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_snapshot_take_roundtrip() {
+        let shared = AtomicQueryStats::new();
+        shared.absorb(QueryStats {
+            node_accesses: 3,
+            leaf_accesses: 1,
+        });
+        shared.absorb(QueryStats {
+            node_accesses: 4,
+            leaf_accesses: 2,
+        });
+        assert_eq!(
+            shared.snapshot(),
+            QueryStats {
+                node_accesses: 7,
+                leaf_accesses: 3
+            }
+        );
+        let taken = shared.take();
+        assert_eq!(taken.node_accesses, 7);
+        assert_eq!(shared.snapshot(), QueryStats::default());
+    }
+
+    #[test]
+    fn concurrent_absorbs_sum_exactly() {
+        let shared = AtomicQueryStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1_000 {
+                        shared.absorb(QueryStats {
+                            node_accesses: 2,
+                            leaf_accesses: 1,
+                        });
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.node_accesses, 16_000);
+        assert_eq!(snap.leaf_accesses, 8_000);
+    }
+
+    #[test]
+    fn clone_and_from() {
+        let shared: AtomicQueryStats = QueryStats {
+            node_accesses: 5,
+            leaf_accesses: 4,
+        }
+        .into();
+        let cloned = shared.clone();
+        assert_eq!(cloned.snapshot(), shared.snapshot());
+    }
+}

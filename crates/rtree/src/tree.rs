@@ -557,8 +557,9 @@ impl<T: PartialEq> RTree<T> {
                 let node = std::mem::replace(self.node_mut(node_id), Node::new_leaf());
                 let level = node.level;
                 match node.entries {
-                    NodeEntries::Leaf(v) => orphans
-                        .extend(v.into_iter().map(|e| (0, e.rect, Item::Data(e.data)))),
+                    NodeEntries::Leaf(v) => {
+                        orphans.extend(v.into_iter().map(|e| (0, e.rect, Item::Data(e.data))))
+                    }
                     NodeEntries::Branch(v) => orphans.extend(
                         v.into_iter()
                             .map(|e| (level, e.rect, Item::Subtree(e.child))),
@@ -617,7 +618,12 @@ impl<T: PartialEq> RTree<T> {
                     debug_assert_eq!(self.node(child).level, child_level);
                     if self.node(self.root).level > child_level {
                         let mut reinserted = vec![false; self.height()];
-                        self.insert_item(rect, Item::Subtree(child), child_level + 1, &mut reinserted);
+                        self.insert_item(
+                            rect,
+                            Item::Subtree(child),
+                            child_level + 1,
+                            &mut reinserted,
+                        );
                     } else {
                         self.dissolve_into_records(child);
                     }
@@ -852,8 +858,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for i in 0..100u32 {
             let c = pt(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0));
-            let r =
-                HyperRect::centered(&c, &[rng.random_range(0.0..5.0), rng.random_range(0.0..5.0)]);
+            let r = HyperRect::centered(
+                &c,
+                &[rng.random_range(0.0..5.0), rng.random_range(0.0..5.0)],
+            );
             tree.insert(r, i);
         }
         tree.check_invariants();

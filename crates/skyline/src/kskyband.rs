@@ -88,13 +88,7 @@ mod tests {
 
     #[test]
     fn band_grows_with_k() {
-        let ds = dataset(&[
-            [10.0, 10.0],
-            [7.0, 7.0],
-            [6.0, 6.0],
-            [8.0, 8.0],
-            [2.0, 2.0],
-        ]);
+        let ds = dataset(&[[10.0, 10.0], [7.0, 7.0], [6.0, 6.0], [8.0, 8.0], [2.0, 2.0]]);
         let q = Point::from([5.0, 5.0]);
         let mut previous = 0;
         for k in 0..4 {
@@ -110,13 +104,7 @@ mod tests {
     fn dominator_count_example() {
         // an at (10,10): dominators of q=(5,5) w.r.t. it are (7,7), (6,6),
         // (8,8) -> 3 dominators.
-        let ds = dataset(&[
-            [10.0, 10.0],
-            [7.0, 7.0],
-            [6.0, 6.0],
-            [8.0, 8.0],
-            [2.0, 2.0],
-        ]);
+        let ds = dataset(&[[10.0, 10.0], [7.0, 7.0], [6.0, 6.0], [8.0, 8.0], [2.0, 2.0]]);
         let q = Point::from([5.0, 5.0]);
         assert_eq!(dominator_count(&ds, 0, &q), 3);
         assert_eq!(dominator_count(&ds, 4, &q), 0);

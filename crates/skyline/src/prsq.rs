@@ -69,8 +69,7 @@ pub fn pr_reverse_skyline_worlds(
     for world in possible_worlds(&objs) {
         let u_sample = world.sample_of(&objs, target_pos);
         let dominated = objs.iter().enumerate().any(|(i, _)| {
-            i != target_pos
-                && dominates(world.sample_of(&objs, i).point(), u_sample.point(), q)
+            i != target_pos && dominates(world.sample_of(&objs, i).point(), u_sample.point(), q)
         });
         if !dominated {
             total += world.prob;
@@ -220,7 +219,8 @@ mod tests {
 
     #[test]
     fn single_object_probability_is_one() {
-        let ds = UncertainDataset::from_objects(vec![obj(0, vec![[1.0, 1.0], [2.0, 2.0]])]).unwrap();
+        let ds =
+            UncertainDataset::from_objects(vec![obj(0, vec![[1.0, 1.0], [2.0, 2.0]])]).unwrap();
         let q = Point::from([5.0, 5.0]);
         assert!((pr_reverse_skyline(&ds, 0, &q, |_| false) - 1.0).abs() < 1e-12);
     }

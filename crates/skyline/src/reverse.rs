@@ -9,9 +9,9 @@ use crp_uncertain::{ObjectId, UncertainDataset};
 /// True iff no *other* object dominates `q` w.r.t. it (Definition 3).
 pub fn is_reverse_skyline_object(ds: &UncertainDataset, index: usize, q: &Point) -> bool {
     let p = ds.object_at(index).certain_point();
-    !ds.iter().enumerate().any(|(j, o)| {
-        j != index && dominates(o.certain_point(), p, q)
-    })
+    !ds.iter()
+        .enumerate()
+        .any(|(j, o)| j != index && dominates(o.certain_point(), p, q))
 }
 
 /// Reverse skyline of `q` by exhaustive pairwise checks, `O(n²)`.

@@ -204,9 +204,8 @@ mod tests {
 
     #[test]
     fn equal_probs() {
-        let o =
-            UncertainObject::with_equal_probs(ObjectId(2), vec![pt(0.0, 0.0), pt(2.0, 2.0)])
-                .unwrap();
+        let o = UncertainObject::with_equal_probs(ObjectId(2), vec![pt(0.0, 0.0), pt(2.0, 2.0)])
+            .unwrap();
         assert!(o.samples().iter().all(|s| (s.prob() - 0.5).abs() < 1e-12));
     }
 
@@ -228,9 +227,8 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, UncertainError::InvalidProbability(0.0));
 
-        let err =
-            UncertainObject::new(ObjectId(0), vec![(pt(0.0, 0.0), 0.5), (pt(1.0, 1.0), 0.2)])
-                .unwrap_err();
+        let err = UncertainObject::new(ObjectId(0), vec![(pt(0.0, 0.0), 0.5), (pt(1.0, 1.0), 0.2)])
+            .unwrap_err();
         assert!(matches!(err, UncertainError::ProbabilitiesDoNotSumToOne(_)));
     }
 
@@ -264,9 +262,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "not certain")]
     fn certain_point_on_uncertain_panics() {
-        let o =
-            UncertainObject::with_equal_probs(ObjectId(1), vec![pt(0.0, 0.0), pt(1.0, 1.0)])
-                .unwrap();
+        let o = UncertainObject::with_equal_probs(ObjectId(1), vec![pt(0.0, 0.0), pt(1.0, 1.0)])
+            .unwrap();
         let _ = o.certain_point();
     }
 

@@ -207,11 +207,7 @@ impl ContinuousPdf {
                     region.lo()[i] + region.extent(i) * (coords[i] + 1) as f64 / resolution as f64
                 })
                 .collect();
-            let center = Point::new(
-                (0..dim)
-                    .map(|i| 0.5 * (lo[i] + hi[i]))
-                    .collect::<Vec<_>>(),
-            );
+            let center = Point::new((0..dim).map(|i| 0.5 * (lo[i] + hi[i])).collect::<Vec<_>>());
             let cell = HyperRect::new(Point::new(lo), Point::new(hi));
             let mass = self.box_probability(&cell);
             if mass > 0.0 {
@@ -406,8 +402,14 @@ mod tests {
         assert_eq!(pdf.box_probability(&rect([2.0, 0.0], [3.0, 2.0])), 0.0);
         // Fully degenerate region: a certain point.
         let point_pdf = BoxUniform::new(rect([1.0, 1.0], [1.0, 1.0]));
-        assert_eq!(point_pdf.box_probability(&rect([0.0, 0.0], [2.0, 2.0])), 1.0);
-        assert_eq!(point_pdf.box_probability(&rect([2.0, 2.0], [3.0, 3.0])), 0.0);
+        assert_eq!(
+            point_pdf.box_probability(&rect([0.0, 0.0], [2.0, 2.0])),
+            1.0
+        );
+        assert_eq!(
+            point_pdf.box_probability(&rect([2.0, 2.0], [3.0, 3.0])),
+            0.0
+        );
     }
 
     #[test]
@@ -415,10 +417,12 @@ mod tests {
         assert!(GridDensity::new(rect([0.0, 0.0], [1.0, 1.0]), vec![2, 2], vec![1.0; 4]).is_ok());
         assert!(GridDensity::new(rect([0.0, 0.0], [1.0, 1.0]), vec![2], vec![1.0; 2]).is_err());
         assert!(GridDensity::new(rect([0.0, 0.0], [1.0, 1.0]), vec![2, 2], vec![1.0; 3]).is_err());
-        assert!(
-            GridDensity::new(rect([0.0, 0.0], [1.0, 1.0]), vec![2, 2], vec![-1.0, 1.0, 1.0, 1.0])
-                .is_err()
-        );
+        assert!(GridDensity::new(
+            rect([0.0, 0.0], [1.0, 1.0]),
+            vec![2, 2],
+            vec![-1.0, 1.0, 1.0, 1.0]
+        )
+        .is_err());
         // Degenerate region rejected for grids.
         assert!(GridDensity::new(rect([0.0, 0.0], [0.0, 1.0]), vec![1, 1], vec![1.0]).is_err());
     }
@@ -482,10 +486,16 @@ mod tests {
     #[test]
     fn pdf_dataset_push_and_validate() {
         let mut ds = PdfDataset::new();
-        ds.push(PdfObject::uniform(ObjectId(0), rect([0.0, 0.0], [1.0, 1.0])))
-            .unwrap();
+        ds.push(PdfObject::uniform(
+            ObjectId(0),
+            rect([0.0, 0.0], [1.0, 1.0]),
+        ))
+        .unwrap();
         assert!(ds
-            .push(PdfObject::uniform(ObjectId(0), rect([0.0, 0.0], [1.0, 1.0])))
+            .push(PdfObject::uniform(
+                ObjectId(0),
+                rect([0.0, 0.0], [1.0, 1.0])
+            ))
             .is_err());
         let tall = PdfObject::new(
             ObjectId(1),

@@ -165,7 +165,13 @@ mod tests {
     fn sample_of_resolves_choice() {
         let objs = [obj(0, &[0.5, 0.5])];
         let worlds: Vec<PossibleWorld> = possible_worlds(&objs).collect();
-        assert_eq!(worlds[0].sample_of(&objs, 0).point(), &Point::from([0.0, 0.0]));
-        assert_eq!(worlds[1].sample_of(&objs, 0).point(), &Point::from([1.0, 0.0]));
+        assert_eq!(
+            worlds[0].sample_of(&objs, 0).point(),
+            &Point::from([0.0, 0.0])
+        );
+        assert_eq!(
+            worlds[1].sample_of(&objs, 0).point(),
+            &Point::from([1.0, 0.0])
+        );
     }
 }

@@ -13,10 +13,14 @@ use prsq_crp::prelude::*;
 
 fn main() {
     // A synthetic league standing in for the NBA dataset (see DESIGN.md).
-    let ds = nba_dataset(&NbaConfig {
-        players: 800,
-        ..NbaConfig::default()
-    });
+    let engine = ExplainEngine::new(
+        nba_dataset(&NbaConfig {
+            players: 800,
+            ..NbaConfig::default()
+        }),
+        EngineConfig::default(),
+    );
+    let ds = engine.dataset();
     let q = nba_position_query();
     let alpha = 0.5;
     println!(
@@ -24,8 +28,6 @@ fn main() {
         ds.len(),
         ds.total_samples()
     );
-
-    let tree = build_object_rtree(&ds, RTreeParams::paper_default(4));
 
     // Scan near-elite players first (small dominance windows, the
     // tractable "why am I just outside the candidate list?" cases) and
@@ -41,10 +43,11 @@ fn main() {
         if explained >= 2 {
             break;
         }
-        let outcome = match cp(&ds, &tree, &q, obj.id(), alpha, &config) {
-            Ok(o) if (3..=60).contains(&o.causes.len()) => o,
-            _ => continue,
-        };
+        let outcome =
+            match engine.explain_configured(ExplainStrategy::Cp, &q, alpha, obj.id(), &config) {
+                Ok(o) if (3..=60).contains(&o.causes.len()) => o,
+                _ => continue,
+            };
         explained += 1;
         println!(
             "\n=== {} is NOT a candidate (α = {alpha}) — the competition: ===",

@@ -13,10 +13,14 @@ use prsq_crp::data::{cardb_dataset, CarDbConfig};
 use prsq_crp::prelude::*;
 
 fn main() {
-    let ds = cardb_dataset(&CarDbConfig {
-        listings: 8_000,
-        seed: 0xCA7,
-    });
+    let engine = ExplainEngine::new(
+        cardb_dataset(&CarDbConfig {
+            listings: 8_000,
+            seed: 0xCA7,
+        }),
+        EngineConfig::default(),
+    );
+    let ds = engine.dataset();
     let q = Point::from([11_580.0, 49_000.0]); // the paper's reference car
     println!(
         "{} listings; buyer reference q = (${}, {} mi)",
@@ -24,11 +28,11 @@ fn main() {
         q[0],
         q[1]
     );
-    let tree = build_point_rtree(&ds, RTreeParams::paper_default(2));
 
-    // First: which listings ARE in the reverse skyline of q?
+    // First: which listings ARE in the reverse skyline of q? (The
+    // engine's point tree serves the membership query too.)
     let mut stats = QueryStats::default();
-    let rs = reverse_skyline_rtree(&ds, &tree, &q, &mut stats);
+    let rs = reverse_skyline_rtree(ds, engine.point_tree(), &q, &mut stats);
     println!(
         "reverse skyline size: {} ({} node accesses)",
         rs.len(),
@@ -41,7 +45,7 @@ fn main() {
         if explained >= 3 {
             break;
         }
-        let outcome = match cr(&ds, &tree, &q, obj.id()) {
+        let outcome = match engine.explain(&q, obj.id()) {
             Ok(o) if (2..=8).contains(&o.causes.len()) => o,
             _ => continue,
         };

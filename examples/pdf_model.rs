@@ -1,23 +1,20 @@
 //! The continuous-pdf model (Section 3.2): uncertain objects are regions
 //! with densities instead of sample lists. This example builds a small
-//! pdf dataset, explains a non-answer with `cp_pdf` (candidates are
-//! integrated in closed form), and shows convergence to the discrete
-//! algorithm as the integration resolution grows.
+//! pdf dataset, explains a non-answer through a pdf engine session
+//! (candidates are integrated in closed form), and shows convergence to
+//! the discrete algorithm as the integration resolution grows.
 //!
 //! ```text
 //! cargo run --release --example pdf_model
 //! ```
 
-use prsq_crp::core::{build_pdf_rtree, cp_pdf};
 use prsq_crp::prelude::*;
 use prsq_crp::uncertain::ContinuousPdf;
 
 fn main() {
     // A 2-D market of uncertain "offers": each offer is a price/latency
     // region the vendor guarantees, uniform within the region.
-    let rect = |lo: [f64; 2], hi: [f64; 2]| {
-        HyperRect::new(Point::from(lo), Point::from(hi))
-    };
+    let rect = |lo: [f64; 2], hi: [f64; 2]| HyperRect::new(Point::from(lo), Point::from(hi));
     let ds = PdfDataset::from_objects(vec![
         PdfObject::uniform(ObjectId(0), rect([9.0, 9.0], [11.0, 11.0])).with_label("our offer"),
         PdfObject::uniform(ObjectId(1), rect([6.5, 6.5], [7.5, 7.5])).with_label("sharp rival"),
@@ -31,13 +28,19 @@ fn main() {
     .unwrap();
     let q = Point::from([5.0, 5.0]);
     let alpha = 0.5;
-    let tree = build_pdf_rtree(&ds, RTreeParams::paper_default(2));
 
     println!("explaining the absence of 'our offer' from the probabilistic reverse skyline…");
+    // The integration resolution is a session parameter: one pdf engine
+    // per resolution (each owns its region R-tree).
     for resolution in [2usize, 4, 8] {
-        match cp_pdf(&ds, &tree, &q, ObjectId(0), alpha, resolution, &CpConfig::default()) {
+        let engine =
+            ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha));
+        match engine.explain(&q, ObjectId(0)) {
             Ok(out) => {
-                println!("\nresolution {resolution} ({} integration cells):", resolution * resolution);
+                println!(
+                    "\nresolution {resolution} ({} integration cells):",
+                    resolution * resolution
+                );
                 for cause in out.by_responsibility() {
                     println!(
                         "  {:<14} responsibility 1/{}",
@@ -51,11 +54,15 @@ fn main() {
     }
 
     // Cross-check: the discrete algorithm on the discretised dataset.
-    let disc = ds.discretize(8);
-    let dtree = build_object_rtree(&disc, RTreeParams::paper_default(2));
-    let out = cp(&disc, &dtree, &q, ObjectId(0), alpha, &CpConfig::default())
+    let disc_engine = ExplainEngine::new(ds.discretize(8), EngineConfig::with_alpha(alpha));
+    let disc = disc_engine.dataset();
+    let out = disc_engine
+        .explain_as(ExplainStrategy::Cp, &q, alpha, ObjectId(0))
         .expect("still a non-answer after discretisation");
-    println!("\ndiscretised check (resolution 8): {} causes", out.causes.len());
+    println!(
+        "\ndiscretised check (resolution 8): {} causes",
+        out.causes.len()
+    );
     for cause in out.by_responsibility() {
         println!(
             "  {:<14} responsibility 1/{}",

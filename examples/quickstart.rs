@@ -41,10 +41,12 @@ fn main() {
         println!("  {label}: Pr = {prob:.3}");
     }
 
-    // Our product is absent. Why?
-    let tree = build_object_rtree(&ds, RTreeParams::paper_default(2));
+    // Our product is absent. Why? One engine session owns the R-tree
+    // and dispatches CP through the filter → refine → fmcs pipeline.
+    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+    let ds = engine.dataset();
     let an = ObjectId(0);
-    match cp(&ds, &tree, &q, an, alpha, &CpConfig::default()) {
+    match engine.explain(&q, an) {
         Ok(outcome) => {
             println!("\ncauses for the absence of 'our product':");
             for cause in outcome.by_responsibility() {
@@ -52,7 +54,12 @@ fn main() {
                 let gamma: Vec<String> = cause
                     .min_contingency
                     .iter()
-                    .map(|g| ds.get(*g).and_then(|o| o.label()).unwrap_or("?").to_string())
+                    .map(|g| {
+                        ds.get(*g)
+                            .and_then(|o| o.label())
+                            .unwrap_or("?")
+                            .to_string()
+                    })
                     .collect();
                 println!(
                     "  {label}: responsibility 1/{} (min contingency set: {{{}}}){}",

@@ -23,7 +23,8 @@ fn main() {
     });
     let q = Point::from([5_000.0, 5_000.0]);
     let alpha = 0.6;
-    let tree = build_object_rtree(&ds, RTreeParams::paper_default(2));
+    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+    let ds = engine.dataset();
 
     // Subject: from argv, or scan for an interesting non-answer.
     let subject: ObjectId = match std::env::args().nth(1).and_then(|s| s.parse().ok()) {
@@ -31,12 +32,11 @@ fn main() {
         None => {
             let mut pick = None;
             for obj in ds.iter() {
-                if let Ok(out) = cp(
-                    &ds,
-                    &tree,
+                if let Ok(out) = engine.explain_configured(
+                    ExplainStrategy::Cp,
                     &q,
-                    obj.id(),
                     alpha,
+                    obj.id(),
                     &CpConfig::with_budget(500_000),
                 ) {
                     if out.causes.len() >= 3 {
@@ -50,10 +50,10 @@ fn main() {
     };
 
     let pos = ds.index_of(subject).expect("subject exists");
-    let prob = pr_reverse_skyline(&ds, pos, &q, |_| false);
+    let prob = pr_reverse_skyline(ds, pos, &q, |_| false);
     println!("subject {subject}: Pr(reverse-skyline) = {prob:.4}, threshold α = {alpha}");
 
-    match cp(&ds, &tree, &q, subject, alpha, &CpConfig::default()) {
+    match engine.explain(&q, subject) {
         Ok(outcome) => {
             println!(
                 "NON-ANSWER — {} actual cause(s) of the absence:",

@@ -10,6 +10,11 @@
 //! crp explain --data nba.csv  --schema seasons --query 3500,1500,600,800 \
 //!             --alpha 0.5 --object 23 [--budget 2000000]
 //!
+//! # Explain many non-answers in one engine session (rayon-parallel;
+//! # --objects takes comma-separated ids, or "all" for every object).
+//! crp explain-batch --data cars.csv --schema points --query 11580,49000 \
+//!                   --objects 42,57,93 [--serial]
+//!
 //! # Emit a synthetic stand-in dataset as CSV.
 //! crp generate --kind nba   --out league.csv
 //! crp generate --kind cardb --out cars.csv
@@ -25,6 +30,10 @@ use prsq_crp::data::{
 };
 use prsq_crp::prelude::*;
 use std::process::ExitCode;
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -80,44 +89,53 @@ fn cmd_query(ds: &UncertainDataset, q: &Point, alpha: f64) -> Result<(), String>
     Ok(())
 }
 
-fn cmd_explain(
-    ds: &UncertainDataset,
-    q: &Point,
+/// Builds the engine session the `explain` / `explain-batch` commands
+/// share: auto strategy (CR for certain data, CP otherwise) with the
+/// probability-bound extension and the CLI's subset budget.
+fn build_engine(
+    ds: UncertainDataset,
     alpha: f64,
-    object: ObjectId,
     budget: Option<u64>,
-) -> Result<(), String> {
-    let outcome = if ds.is_certain() {
-        let tree = build_point_rtree(ds, RTreeParams::paper_default(q.dim()));
-        cr(ds, &tree, q, object)
-    } else {
-        let tree = build_object_rtree(ds, RTreeParams::paper_default(q.dim()));
-        let config = CpConfig {
+    parallel: bool,
+) -> ExplainEngine {
+    let config = EngineConfig {
+        alpha,
+        cp: CpConfig {
             use_probability_bound: true,
             max_subsets: budget,
             ..CpConfig::default()
-        };
-        cp(ds, &tree, q, object, alpha, &config)
+        },
+        parallel,
+        ..EngineConfig::default()
     };
-    match outcome {
-        Ok(out) => {
-            println!(
-                "{} is a NON-ANSWER; {} actual cause(s):",
-                label_of(ds, object),
-                out.causes.len()
-            );
-            for cause in out.by_responsibility() {
-                println!(
-                    "  {:<32} responsibility 1/{}{}",
-                    label_of(ds, cause.id),
-                    cause.min_contingency.len() + 1,
-                    if cause.counterfactual {
-                        "  (counterfactual)"
-                    } else {
-                        ""
-                    }
-                );
+    ExplainEngine::new(ds, config)
+}
+
+fn print_outcome(ds: &UncertainDataset, object: ObjectId, outcome: &CrpOutcome) {
+    println!(
+        "{} is a NON-ANSWER; {} actual cause(s):",
+        label_of(ds, object),
+        outcome.causes.len()
+    );
+    for cause in outcome.by_responsibility() {
+        println!(
+            "  {:<32} responsibility 1/{}{}",
+            label_of(ds, cause.id),
+            cause.min_contingency.len() + 1,
+            if cause.counterfactual {
+                "  (counterfactual)"
+            } else {
+                ""
             }
+        );
+    }
+}
+
+fn cmd_explain(engine: &ExplainEngine, q: &Point, object: ObjectId) -> Result<(), String> {
+    let ds = engine.dataset();
+    match engine.explain(q, object) {
+        Ok(out) => {
+            print_outcome(ds, object, &out);
             Ok(())
         }
         Err(CrpError::NotANonAnswer { prob }) => {
@@ -130,6 +148,67 @@ fn cmd_explain(
         }
         Err(e) => Err(e.to_string()),
     }
+}
+
+/// `explain-batch`: one engine session, many non-answers, one
+/// rayon-parallel `explain_batch` call.
+fn cmd_explain_batch(
+    engine: &ExplainEngine,
+    q: &Point,
+    objects: &[ObjectId],
+) -> Result<(), String> {
+    let ds = engine.dataset();
+    let started = std::time::Instant::now();
+    let outcomes = engine.explain_batch(q, objects);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut non_answers = 0usize;
+    let mut answers = 0usize;
+    let mut failures = 0usize;
+    for (&object, outcome) in objects.iter().zip(&outcomes) {
+        match outcome {
+            Ok(out) => {
+                non_answers += 1;
+                print_outcome(ds, object, out);
+            }
+            Err(CrpError::NotANonAnswer { prob }) => {
+                answers += 1;
+                println!("{} is an ANSWER (Pr = {prob:.3})", label_of(ds, object));
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{}: {e}", label_of(ds, object));
+            }
+        }
+    }
+    let io = engine.accumulated_io();
+    println!(
+        "batch of {}: {non_answers} non-answer(s) explained, {answers} answer(s), \
+         {failures} failure(s) in {elapsed_ms:.1} ms ({} node accesses)",
+        objects.len(),
+        io.node_accesses
+    );
+    // Mirror the single-object command's contract: anything that was
+    // neither explained nor classified as an answer is an error, and
+    // scripts must be able to see it in the exit code.
+    if failures > 0 {
+        return Err(format!("{failures} of {} object(s) failed", objects.len()));
+    }
+    Ok(())
+}
+
+fn parse_objects(raw: &str, ds: &UncertainDataset) -> Result<Vec<ObjectId>, String> {
+    if raw == "all" {
+        return Ok(ds.iter().map(|o| o.id()).collect());
+    }
+    raw.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map(ObjectId)
+                .map_err(|e| format!("bad object id {tok:?}: {e}"))
+        })
+        .collect()
 }
 
 fn cmd_generate(kind: &str, out: &str) -> Result<(), String> {
@@ -155,7 +234,7 @@ fn run() -> Result<(), String> {
             let out = arg("--out").ok_or("--out FILE required")?;
             cmd_generate(&kind, &out)
         }
-        "query" | "explain" => {
+        "query" | "explain" | "explain-batch" => {
             let data = arg("--data").ok_or("--data FILE required")?;
             let schema = arg("--schema").unwrap_or_else(|| "points".into());
             let q = parse_query_point(&arg("--query").ok_or("--query a1,a2,… required")?)?;
@@ -172,19 +251,28 @@ fn run() -> Result<(), String> {
                 ));
             }
             if command == "query" {
-                cmd_query(&ds, &q, alpha)
-            } else {
+                return cmd_query(&ds, &q, alpha);
+            }
+            let budget = arg("--budget")
+                .map(|b| b.parse().map_err(|e| format!("bad --budget: {e}")))
+                .transpose()?
+                .or(Some(5_000_000));
+            if command == "explain" {
                 let raw = arg("--object").ok_or("--object ID required")?;
                 let id = ObjectId(raw.parse().map_err(|e| format!("bad --object: {e}"))?);
-                let budget = arg("--budget")
-                    .map(|b| b.parse().map_err(|e| format!("bad --budget: {e}")))
-                    .transpose()?;
-                cmd_explain(&ds, &q, alpha, id, budget.or(Some(5_000_000)))
+                let engine = build_engine(ds, alpha, budget, true);
+                cmd_explain(&engine, &q, id)
+            } else {
+                let raw = arg("--objects").ok_or("--objects ID,ID,… (or 'all') required")?;
+                let ids = parse_objects(&raw, &ds)?;
+                let engine = build_engine(ds, alpha, budget, !arg_flag("--serial"));
+                cmd_explain_batch(&engine, &q, &ids)
             }
         }
         _ => Err(
-            "usage: crp <query|explain|generate> [--data FILE --schema points|seasons \
-             --query a1,a2,… --alpha A --object ID --budget N | --kind nba|cardb --out FILE]"
+            "usage: crp <query|explain|explain-batch|generate> [--data FILE \
+             --schema points|seasons --query a1,a2,… --alpha A --object ID \
+             --objects ID,ID,…|all --budget N --serial | --kind nba|cardb --out FILE]"
                 .into(),
         ),
     }

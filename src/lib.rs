@@ -32,13 +32,20 @@
 //! .unwrap();
 //! let q = Point::from([5.0, 5.0]);
 //!
+//! // A session per dataset: the engine owns the R-trees and dispatches
+//! // every algorithm through the shared filter → refine → fmcs pipeline.
+//! let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(0.75));
+//!
 //! // Object 0 is absent from the probabilistic reverse skyline at α = 0.75.
-//! let tree = build_object_rtree(&ds, RTreeParams::paper_default(2));
-//! let outcome = cp(&ds, &tree, &q, ObjectId(0), 0.75, &CpConfig::default()).unwrap();
+//! let outcome = engine.explain(&q, ObjectId(0)).unwrap();
 //! for cause in &outcome.causes {
 //!     println!("{cause}");
 //! }
 //! assert!(!outcome.causes.is_empty());
+//!
+//! // Many non-answers in one call, data-parallel with rayon.
+//! let batch = engine.explain_batch(&q, &[ObjectId(0), ObjectId(1)]);
+//! assert_eq!(batch.len(), 2);
 //! ```
 //!
 //! ## Crate map
@@ -66,9 +73,11 @@ pub use crp_uncertain as uncertain;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crp_core::{
-        answer_causes, cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii, oracle_cp,
-        oracle_cr, Cause, CpConfig, CrpError, CrpOutcome, RunStats,
+        answer_causes, oracle_cp, oracle_cr, Cause, CpConfig, CrpError, CrpOutcome, EngineConfig,
+        ExplainEngine, ExplainStrategy, RunStats,
     };
+    #[allow(deprecated)]
+    pub use crp_core::{cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii};
     pub use crp_geom::{dominance_rect, dominates, dominates_min, HyperRect, Point};
     pub use crp_rtree::{QueryStats, RTree, RTreeParams};
     pub use crp_skyline::{
@@ -86,12 +95,11 @@ mod tests {
     use super::prelude::*;
 
     #[test]
+    #[allow(deprecated)]
     fn facade_reexports_are_usable() {
-        let ds = UncertainDataset::from_points(vec![
-            Point::from([10.0, 10.0]),
-            Point::from([7.0, 7.0]),
-        ])
-        .unwrap();
+        let ds =
+            UncertainDataset::from_points(vec![Point::from([10.0, 10.0]), Point::from([7.0, 7.0])])
+                .unwrap();
         let tree = build_point_rtree(&ds, RTreeParams::paper_default(2));
         let out = cr(&ds, &tree, &Point::from([5.0, 5.0]), ObjectId(0)).unwrap();
         assert_eq!(out.causes.len(), 1);

@@ -1,6 +1,8 @@
 //! End-to-end flows over generated workloads: generate → index → query →
 //! explain → verify the explanation against the query semantics.
 
+#![allow(deprecated)] // pins the legacy free-function wrappers
+
 use prsq_crp::data::{
     cardb_dataset, certain_dataset, nba_dataset, nba_position_query, uncertain_dataset,
     CarDbConfig, CertainConfig, CertainKind, NbaConfig, UncertainConfig,
@@ -61,7 +63,10 @@ fn synthetic_uncertain_pipeline() {
             );
         }
     }
-    assert!(explained >= 2, "found only {explained} explainable non-answers");
+    assert!(
+        explained >= 2,
+        "found only {explained} explainable non-answers"
+    );
 }
 
 #[test]
@@ -196,8 +201,7 @@ fn query_results_consistent_between_engines() {
     let answers = prsq_crp::skyline::probabilistic_reverse_skyline(&ds, &q, alpha);
     for (i, obj) in ds.iter().enumerate() {
         let mut stats = QueryStats::default();
-        let pr =
-            prsq_crp::skyline::pr_reverse_skyline_indexed(&ds, &tree, i, &q, &mut stats);
+        let pr = prsq_crp::skyline::pr_reverse_skyline_indexed(&ds, &tree, i, &q, &mut stats);
         let in_answers = answers.iter().any(|(id, _)| *id == obj.id());
         assert_eq!(
             PrsqMembership::from_prob(pr, alpha).is_answer(),

@@ -7,6 +7,8 @@
 //! arithmetic), and the CR example of Fig. 5 (three causes, each with
 //! responsibility 1/3).
 
+#![allow(deprecated)] // pins the legacy free-function wrappers
+
 use prsq_crp::prelude::*;
 use prsq_crp::skyline::{pr_reverse_skyline, pr_reverse_skyline_worlds};
 
@@ -23,7 +25,7 @@ fn fig1c_style_fixture() -> (UncertainDataset, Point) {
     let ds = UncertainDataset::from_objects(vec![
         UncertainObject::certain(ObjectId(0), diag(10.0)), // A = an
         UncertainObject::with_equal_probs(ObjectId(1), vec![diag(7.0), diag(25.0)]).unwrap(), // B
-        UncertainObject::certain(ObjectId(2), diag(5.0)), // C
+        UncertainObject::certain(ObjectId(2), diag(5.0)),  // C
         UncertainObject::with_equal_probs(ObjectId(3), vec![diag(15.0), diag(30.0)]).unwrap(), // D
     ])
     .unwrap();

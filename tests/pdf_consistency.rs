@@ -2,6 +2,8 @@
 //! converge to the discrete-sample CP as resolution grows, and its
 //! filter windows must be sound.
 
+#![allow(deprecated)] // pins the legacy free-function wrappers
+
 use prsq_crp::core::{build_pdf_rtree, cp_pdf};
 use prsq_crp::data::{pdf_dataset, UncertainConfig};
 use prsq_crp::prelude::*;
@@ -33,8 +35,23 @@ fn pdf_cp_agrees_with_discretised_cp_at_matching_resolution() {
     let mut compared = 0;
     let mut agreements = 0;
     for obj in ds.iter().take(80) {
-        let a = cp_pdf(&ds, &tree, &q, obj.id(), alpha, resolution, &CpConfig::with_budget(200_000));
-        let b = cp(&disc, &dtree, &q, obj.id(), alpha, &CpConfig::with_budget(200_000));
+        let a = cp_pdf(
+            &ds,
+            &tree,
+            &q,
+            obj.id(),
+            alpha,
+            resolution,
+            &CpConfig::with_budget(200_000),
+        );
+        let b = cp(
+            &disc,
+            &dtree,
+            &q,
+            obj.id(),
+            alpha,
+            &CpConfig::with_budget(200_000),
+        );
         match (a, b) {
             (Ok(x), Ok(y)) => {
                 compared += 1;
@@ -83,9 +100,7 @@ fn pdf_causes_satisfy_contingency_conditions_under_pdf_semantics() {
                     if other.id() == an.id() || removed.contains(&other.id()) {
                         continue;
                     }
-                    let p = other
-                        .pdf()
-                        .box_probability(&dominance_rect(center, &q));
+                    let p = other.pdf().box_probability(&dominance_rect(center, &q));
                     survive *= 1.0 - p;
                 }
                 survive
@@ -95,8 +110,15 @@ fn pdf_causes_satisfy_contingency_conditions_under_pdf_semantics() {
 
     let mut verified = 0;
     for obj in ds.iter().take(80) {
-        let Ok(out) = cp_pdf(&ds, &tree, &q, obj.id(), alpha, resolution, &CpConfig::with_budget(200_000))
-        else {
+        let Ok(out) = cp_pdf(
+            &ds,
+            &tree,
+            &q,
+            obj.id(),
+            alpha,
+            resolution,
+            &CpConfig::with_budget(200_000),
+        ) else {
             continue;
         };
         for cause in out.causes.iter().take(3) {

@@ -1,0 +1,238 @@
+//! Vendored, offline API-subset of `criterion`.
+//!
+//! Provides the macros and types the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`) with a
+//! simple mean-of-wall-clock measurement loop instead of criterion's
+//! statistical machinery. Measurement time is tunable via the
+//! `CRITERION_MEASURE_MS` environment variable (default 300 ms per
+//! benchmark after a short warm-up).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterised benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line options. This subset accepts and ignores
+    /// them (notably the `--bench` flag cargo passes).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let measure = self.measure;
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measure,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let measure = self.measure;
+        run_benchmark(&id.to_string(), measure, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    measure: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness is time-budgeted,
+    /// not sample-count-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrinks/extends the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.measure, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.measure, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    measure: Duration,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until ~10% of the budget is spent (at least once).
+        let warmup_budget = self.measure / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters as u32;
+        // Measure in batches sized to roughly 1/20 of the budget each.
+        let batch = (self.measure.as_nanos() / 20 / per_iter.as_nanos().max(1)).max(1) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.measure {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn run_benchmark(id: &str, measure: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        measure,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((total, iters)) => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            eprintln!("  {id:<48} {:>14} / iter  ({iters} iters)", human(per_iter));
+        }
+        None => eprintln!("  {id:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn human(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,593 @@
+//! Vendored, offline API-subset of `proptest`.
+//!
+//! The build environment has no network access, so this crate provides
+//! the slice of the proptest API the workspace's property suites use:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_oneof!`] macros, [`strategy::Strategy`] with `prop_map`,
+//! range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::Index`, [`arbitrary::any`] and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * inputs are generated from a **fixed deterministic seed** (plus the
+//!   case index), so CI runs are reproducible by construction;
+//! * there is **no shrinking** — a failing case reports the case index
+//!   and the assertion message only;
+//! * strategies are plain generator objects (`generate(&mut runner)`),
+//!   not value trees.
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// A generator of test-case inputs (subset of proptest's trait of
+    /// the same name; no shrinking).
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).generate(runner)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).generate(runner)
+        }
+    }
+
+    /// Boxes a strategy for heterogeneous collections ([`Union`] arms).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// The [`Strategy::prop_map`] adaptor.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            (self.f)(self.source.generate(runner))
+        }
+    }
+
+    /// A constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of strategies over a common value type — the
+    /// engine behind [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Self { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let mut pick = runner.rng().random_range(0..self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.generate(runner);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// The whole-domain strategy of `T` (proptest's `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.rng().next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().random_range(-1.0e9..1.0e9)
+        }
+    }
+
+    impl Arbitrary for crate::prop::sample::Index {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            crate::prop::sample::Index::new(runner.rng().random::<f64>())
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`,
+/// `prop::sample::Index`).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRunner;
+        use rand::Rng;
+
+        /// Element-count specification for [`vec`]: a fixed size, `a..b`
+        /// or `a..=b`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self {
+                    lo: n,
+                    hi_inclusive: n,
+                }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    lo: r.start,
+                    hi_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                Self {
+                    lo: *r.start(),
+                    hi_inclusive: *r.end(),
+                }
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let len = runner
+                    .rng()
+                    .random_range(self.size.lo..=self.size.hi_inclusive);
+                (0..len).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+
+        /// `Vec` strategy with element strategy and size specification.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRunner;
+        use rand::Rng;
+
+        /// The strategy returned by [`select`].
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, runner: &mut TestRunner) -> T {
+                let i = runner.rng().random_range(0..self.options.len());
+                self.options[i].clone()
+            }
+        }
+
+        /// Uniform choice from a fixed option list.
+        ///
+        /// # Panics
+        ///
+        /// Panics (at generation time) when `options` is empty.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+
+        /// A position into a collection of runtime-determined length
+        /// (proptest's `sample::Index`).
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(f64);
+
+        impl Index {
+            pub(crate) fn new(unit: f64) -> Self {
+                Self(unit.clamp(0.0, 1.0 - f64::EPSILON))
+            }
+
+            /// Projects onto `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics when `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                ((self.0 * len as f64) as usize).min(len - 1)
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic base seed for every proptest run (differs by case
+    /// index and test name hash).
+    const BASE_SEED: u64 = 0x50524F_50544553; // "PROPTES"
+
+    /// Run configuration (subset: case count only).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 128 }
+        }
+    }
+
+    /// A failed test case (carried as `Err` out of the case body by the
+    /// `prop_assert*` macros).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    /// Holds the RNG a strategy draws from.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Drives `case` for `config.cases` deterministic inputs, panicking
+    /// on the first failure (no shrinking).
+    pub fn run(
+        config: ProptestConfig,
+        name: &str,
+        mut case: impl FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+    ) {
+        let name_hash = fnv1a(name);
+        for i in 0..config.cases {
+            let mut runner = TestRunner {
+                rng: StdRng::seed_from_u64(
+                    BASE_SEED
+                        ^ name_hash
+                            .wrapping_add(i as u64)
+                            .wrapping_mul(0x9E3779B97F4A7C15),
+                ),
+            };
+            if let Err(e) = case(&mut runner) {
+                panic!(
+                    "proptest '{name}' failed at case {i}/{}: {}",
+                    config.cases, e.message
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] case body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] case body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                format!($($fmt)+),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] case body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, …)`
+/// runs its body against `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::test_runner::run($cfg, stringify!($name), |__runner| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __runner);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0..10usize, (a, b) in (0.0..1.0f64, 5..=6u32)) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!(b == 5 || b == 6, "b = {}", b);
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec((0..100u32).prop_map(|n| n * 2), 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|n| n % 2 == 0));
+        }
+
+        #[test]
+        fn oneof_and_index(
+            n in prop_oneof![3 => 0..5i32, 1 => 100..105i32],
+            i in any::<prop::sample::Index>()
+        ) {
+            prop_assert!((0..5).contains(&n) || (100..105).contains(&n));
+            prop_assert!(i.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        crate::test_runner::run(ProptestConfig::with_cases(3), "always_fails", |_runner| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::test_runner::run(ProptestConfig::with_cases(5), "det", |r| {
+            first.push(Strategy::generate(&(0..1_000_000u64), r));
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::test_runner::run(ProptestConfig::with_cases(5), "det", |r| {
+            second.push(Strategy::generate(&(0..1_000_000u64), r));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,168 @@
+//! Vendored, offline API-subset of `rayon`.
+//!
+//! The build environment has no network access, so this crate provides
+//! the slice-parallelism subset the workspace uses: `par_iter()` on
+//! slices/`Vec`s, `map`, `collect`, plus [`current_num_threads`] and
+//! [`join`]. Work is distributed over contiguous chunks with
+//! `std::thread::scope`; results preserve input order, so a
+//! `par_iter().map(f).collect()` is **element-for-element identical** to
+//! the serial `iter().map(f).collect()` whenever `f` is deterministic —
+//! the property the `ExplainEngine` batch tests pin.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+///
+/// Honors `RAYON_NUM_THREADS` when set (like real rayon), otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+pub mod iter {
+    /// A parallel iterator over `&[T]`.
+    pub struct ParIter<'a, T> {
+        pub(crate) slice: &'a [T],
+    }
+
+    /// `par_iter().map(f)` — the only adaptor of this subset.
+    pub struct ParMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    /// Types offering `par_iter()` (subset of rayon's
+    /// `IntoParallelRefIterator`).
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            F: Fn(&T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.slice.is_empty()
+        }
+    }
+
+    impl<'a, T: Sync, R: Send, F: Fn(&T) -> R + Sync> ParMap<'a, T, F> {
+        /// Runs the map in parallel and collects results **in input
+        /// order**.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            run_ordered(self.slice, &self.f).into_iter().collect()
+        }
+    }
+
+    /// Maps `f` over `slice` on up to [`super::current_num_threads`]
+    /// scoped threads, one contiguous chunk each, and concatenates the
+    /// chunk outputs in order.
+    fn run_ordered<T: Sync, R: Send>(slice: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Vec<R> {
+        let n = slice.len();
+        let threads = super::current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return slice.iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = slice
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("rayon worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_map_matches_serial() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let par: Vec<u64> = data.par_iter().map(|x| x * x).collect();
+        let ser: Vec<u64> = data.iter().map(|x| x * x).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn short_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let got: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(got.is_empty());
+        let one = [7u32];
+        let got: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(got, vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}
