@@ -1,55 +1,87 @@
 //! Benchmarks of the `ExplainEngine` batch mode: one rayon-parallel
 //! `explain_batch` call against the per-call serial loop over the same
-//! non-answers — the speedup the engine refactor exists to deliver.
+//! non-answers — the speedup the engine refactor exists to deliver —
+//! plus the `ShardedExplainEngine` over the same workload (partition
+//! fan-out per call instead of data-parallelism across calls).
 //!
-//! Before timing anything, the harness asserts the parallel batch is
-//! **bit-identical** to the serial path (the engine's contract).
+//! Before timing anything, the harness asserts the parallel batch and
+//! every sharded configuration are **bit-identical** to the serial
+//! unsharded path (the engine's contract), so `cargo bench -p
+//! crp-bench --bench engine -- --test` doubles as a smoke check of the
+//! sharding contract in CI.
 
 #![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_bench::exp::centroid_query;
 use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
-use crp_core::{EngineConfig, ExplainEngine, ExplainStrategy};
+use crp_core::{EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy, ShardedExplainEngine};
 use crp_data::{uncertain_dataset, UncertainConfig};
 use crp_uncertain::ObjectId;
 use std::hint::black_box;
 
-fn batch_fixture(alpha: f64) -> (ExplainEngine, crp_geom::Point, Vec<ObjectId>) {
-    let ds = uncertain_dataset(&UncertainConfig {
-        cardinality: 20_000,
-        dim: 3,
-        radius_range: (0.0, 5.0),
-        seed: 0xBA7C4,
-        ..UncertainConfig::default()
-    });
-    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
-    let q = centroid_query(engine.dataset());
-    let ids = select_prsq_non_answers(
-        engine.dataset(),
-        engine.object_tree(),
-        &q,
-        &PrsqSelectionConfig {
-            count: 64,
-            alpha_classify: alpha,
-            alpha_tractability: alpha,
-            min_candidates: 4,
-            max_candidates: 18,
-            max_free_candidates: 12,
-            seed: 0x5EED_BA7,
-        },
-    );
-    assert!(
-        ids.len() >= 32,
-        "batch benchmark needs >= 32 non-answers, selected {}",
-        ids.len()
-    );
-    (engine, q, ids)
+const ALPHA: f64 = 0.6;
+
+struct Fixture {
+    engine: ExplainEngine,
+    q: crp_geom::Point,
+    ids: Vec<ObjectId>,
+    /// Serial reference causes per non-answer (`None` = error case) —
+    /// the bit-identity target every other configuration is checked
+    /// against.
+    serial_causes: Vec<Option<Vec<crp_core::Cause>>>,
+}
+
+/// The 20k-object fixture and its serial reference, built once and
+/// shared by every bench group (dataset generation + PRSQ selection is
+/// the dominant setup cost, especially in CI's `--test` smoke mode).
+fn fixture() -> &'static Fixture {
+    static FIXTURE: std::sync::OnceLock<Fixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = uncertain_dataset(&UncertainConfig {
+            cardinality: 20_000,
+            dim: 3,
+            radius_range: (0.0, 5.0),
+            seed: 0xBA7C4,
+            ..UncertainConfig::default()
+        });
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(ALPHA));
+        let q = centroid_query(engine.dataset());
+        let ids = select_prsq_non_answers(
+            engine.dataset(),
+            engine.object_tree(),
+            &q,
+            &PrsqSelectionConfig {
+                count: 64,
+                alpha_classify: ALPHA,
+                alpha_tractability: ALPHA,
+                min_candidates: 4,
+                max_candidates: 18,
+                max_free_candidates: 12,
+                seed: 0x5EED_BA7,
+            },
+        );
+        assert!(
+            ids.len() >= 32,
+            "batch benchmark needs >= 32 non-answers, selected {}",
+            ids.len()
+        );
+        let serial_causes = engine
+            .explain_batch_serial_as(ExplainStrategy::Cp, &q, ALPHA, &ids)
+            .into_iter()
+            .map(|r| r.ok().map(|o| o.causes))
+            .collect();
+        Fixture {
+            engine,
+            q,
+            ids,
+            serial_causes,
+        }
+    })
 }
 
 fn bench_engine_batch(c: &mut Criterion) {
-    let alpha = 0.6;
-    let (engine, q, ids) = batch_fixture(alpha);
+    let Fixture { engine, q, ids, .. } = fixture();
     eprintln!(
         "[engine bench] {} non-answers, {} rayon threads",
         ids.len(),
@@ -58,33 +90,91 @@ fn bench_engine_batch(c: &mut Criterion) {
 
     // Contract check: the parallel batch must be bit-identical to the
     // serial path before its speedup means anything.
-    let parallel = engine.explain_batch_as(ExplainStrategy::Cp, &q, alpha, &ids);
-    let serial = engine.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
+    let parallel = engine.explain_batch_as(ExplainStrategy::Cp, q, ALPHA, ids);
+    let serial = engine.explain_batch_serial_as(ExplainStrategy::Cp, q, ALPHA, ids);
     assert_eq!(parallel, serial, "parallel batch diverged from serial");
 
     let mut group = c.benchmark_group("engine/batch");
-    group.bench_with_input(
-        BenchmarkId::new("per_call_cp", ids.len()),
-        &ids,
-        |b, ids| {
-            b.iter(|| {
-                for &id in ids.iter() {
-                    black_box(
-                        engine
-                            .explain_as(ExplainStrategy::Cp, &q, alpha, id)
-                            .unwrap(),
-                    );
-                }
-            })
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("per_call_cp", ids.len()), ids, |b, ids| {
+        b.iter(|| {
+            for &id in ids.iter() {
+                black_box(
+                    engine
+                        .explain_as(ExplainStrategy::Cp, q, ALPHA, id)
+                        .unwrap(),
+                );
+            }
+        })
+    });
     group.bench_with_input(
         BenchmarkId::new("explain_batch_rayon", ids.len()),
-        &ids,
-        |b, ids| b.iter(|| black_box(engine.explain_batch_as(ExplainStrategy::Cp, &q, alpha, ids))),
+        ids,
+        |b, ids| b.iter(|| black_box(engine.explain_batch_as(ExplainStrategy::Cp, q, ALPHA, ids))),
     );
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_batch);
+/// Sharded sessions over the batch fixture: candidate generation fans
+/// out across shard trees; outcomes must stay bit-identical to the
+/// unsharded engine.
+fn bench_engine_sharded(c: &mut Criterion) {
+    let Fixture {
+        engine,
+        q,
+        ids,
+        serial_causes,
+    } = fixture();
+
+    let mut group = c.benchmark_group("engine/sharded");
+    for shards in [2usize, 4] {
+        let sharded = ShardedExplainEngine::new(
+            engine.dataset().clone(),
+            EngineConfig::with_alpha(ALPHA),
+            shards,
+            ShardPolicy::RoundRobin,
+        );
+        // Contract check before timing: bit-identical causes and error
+        // cases on every non-answer.
+        let outcomes = sharded.explain_batch_as(ExplainStrategy::Cp, q, ALPHA, ids);
+        for ((r, expected), &an) in outcomes.iter().zip(serial_causes).zip(ids) {
+            let got = r.as_ref().ok().map(|o| o.causes.clone());
+            assert_eq!(
+                &got, expected,
+                "sharded divergence at {shards} shards, an {an}"
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("explain_batch_{shards}shards"), ids.len()),
+            ids,
+            |b, ids| {
+                b.iter(|| black_box(sharded.explain_batch_as(ExplainStrategy::Cp, q, ALPHA, ids)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("candgen_{shards}shards"), ids.len()),
+            ids,
+            |b, ids| {
+                b.iter(|| {
+                    for &an in ids.iter() {
+                        black_box(sharded.candidate_ids(q, an).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.bench_with_input(
+        BenchmarkId::new("candgen_unsharded", ids.len()),
+        ids,
+        |b, ids| {
+            b.iter(|| {
+                for &an in ids.iter() {
+                    black_box(engine.candidate_ids(q, an).unwrap());
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch, bench_engine_sharded);
 criterion_main!(benches);

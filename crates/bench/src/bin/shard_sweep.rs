@@ -1,0 +1,383 @@
+//! Shard-count sweep of the `ShardedExplainEngine`: measures candidate
+//! generation (pipeline stage 1, the part sharding parallelises) across
+//! shard counts and policies on the Fig. 6 synthetic workload, asserts
+//! the sharded candidate sets and explain outcomes are **bit-identical**
+//! to the unsharded engine, and writes the series to
+//! `bench_out/BENCH_shards.json`.
+//!
+//! Three timings are reported per (policy, shard count):
+//!
+//! * `candgen_serial_ms` — every shard queried one after another on one
+//!   thread: the total work the partition layout costs,
+//! * `candgen_critical_path_ms` — per non-answer, the *slowest* shard
+//!   plus the merge: the latency a deployment with one worker per shard
+//!   (rayon on a many-core box, or one node per shard) observes. The
+//!   `speedup_model` column divides the 1-shard serial time by this —
+//!   on a single-CPU runner it is the honest measure of what the
+//!   fan-out buys, because actual thread wall-clock is bounded by the
+//!   hardware, not the architecture,
+//! * `candgen_wall_ms` — the engine's own (rayon) fan-out as wall
+//!   clock; equals serial on one CPU, approaches the critical path as
+//!   cores are added.
+//!
+//! ```text
+//! cargo run -p crp-bench --release --bin shard_sweep -- --quick
+//! ```
+
+#![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
+
+use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir};
+use crp_bench::report::fnum;
+use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
+use crp_core::{
+    merge_candidate_ids, EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy,
+    ShardedExplainEngine,
+};
+use crp_data::{uncertain_dataset, UncertainConfig};
+use crp_geom::Point;
+use crp_uncertain::{ObjectId, UncertainDataset};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ALPHA: f64 = 0.6;
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// One (policy, shard count) measurement row.
+struct SweepRow {
+    policy: ShardPolicy,
+    shards: usize,
+    candgen_serial_ms: f64,
+    candgen_critical_path_ms: f64,
+    candgen_wall_ms: f64,
+    merge_ms: f64,
+    node_accesses: u64,
+    explain_batch_ms: f64,
+    bit_identical: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_one(
+    ds: &UncertainDataset,
+    q: &Point,
+    ids: &[ObjectId],
+    policy: ShardPolicy,
+    shards: usize,
+    reps: usize,
+    expected_candidates: &[Vec<ObjectId>],
+    expected_causes: &[Option<Vec<crp_core::Cause>>],
+) -> SweepRow {
+    let engine =
+        ShardedExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA), shards, policy);
+    // Warm-up: a small batch goes through `prepare`, which builds
+    // *every* shard tree up front (per-call warm-up would skip shards
+    // the first windows happen to prune), so the timed passes measure
+    // traversal, not construction.
+    let warm: Vec<ObjectId> = ids.iter().take(2).copied().collect();
+    let _ = engine.explain_batch_as(ExplainStrategy::Cp, q, ALPHA, &warm);
+    for &an in &warm {
+        let _ = engine.candidate_ids(q, an);
+    }
+    engine.reset_io();
+
+    // Pass 1 — shard-serial candidate generation with per-shard
+    // timings: total = sum over shards, critical path = max + merge.
+    // Each (non-answer, shard) call is microseconds, so every timing
+    // is the minimum over `reps` repetitions — the standard guard
+    // against scheduler noise on a shared box.
+    let mut serial_ms = 0.0;
+    let mut critical_ms = 0.0;
+    let mut merge_ms_total = 0.0;
+    let mut bit_identical = true;
+    for (i, &an) in ids.iter().enumerate() {
+        let mut parts: Vec<Vec<ObjectId>> = Vec::with_capacity(shards);
+        let mut slowest = 0.0f64;
+        for shard in 0..shards {
+            let mut best = f64::INFINITY;
+            let mut part = Vec::new();
+            for _ in 0..reps {
+                let t = Instant::now();
+                part = engine
+                    .shard_candidates(shard, q, an)
+                    .expect("selected non-answers are valid");
+                best = best.min(ms(t));
+            }
+            serial_ms += best;
+            slowest = slowest.max(best);
+            parts.push(part);
+        }
+        let mut best_merge = f64::INFINITY;
+        let mut merged = Vec::new();
+        for _ in 0..reps {
+            let parts_copy = parts.clone();
+            let t = Instant::now();
+            merged = merge_candidate_ids(parts_copy);
+            best_merge = best_merge.min(ms(t));
+        }
+        merge_ms_total += best_merge;
+        critical_ms += slowest + best_merge;
+        serial_ms += best_merge;
+        if merged != expected_candidates[i] {
+            bit_identical = false;
+        }
+    }
+    let node_accesses = engine.reset_io().node_accesses / reps as u64;
+
+    // Pass 2 — the engine's own fan-out (rayon across shards within
+    // each call), as plain wall clock (best of `reps` sweeps).
+    let mut candgen_wall_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for &an in ids {
+            let _ = engine.candidate_ids(q, an);
+        }
+        candgen_wall_ms = candgen_wall_ms.min(ms(t));
+    }
+
+    // Pass 3 — the full pipeline: one batch, outcomes must match the
+    // unsharded engine cause-for-cause.
+    let t = Instant::now();
+    let outcomes = engine.explain_batch_as(ExplainStrategy::Cp, q, ALPHA, ids);
+    let explain_batch_ms = ms(t);
+    for (outcome, expected) in outcomes.iter().zip(expected_causes) {
+        let got = outcome.as_ref().ok().map(|o| o.causes.clone());
+        if &got != expected {
+            bit_identical = false;
+        }
+    }
+
+    SweepRow {
+        policy,
+        shards,
+        candgen_serial_ms: serial_ms,
+        candgen_critical_path_ms: critical_ms,
+        candgen_wall_ms,
+        merge_ms: merge_ms_total,
+        node_accesses,
+        explain_batch_ms,
+        bit_identical,
+    }
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let cardinality: usize = arg_value("--cardinality")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 20_000 } else { 100_000 });
+    let trials: usize = arg_value("--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 20 } else { 50 });
+    let reps: usize = arg_value("--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let mut shard_counts: Vec<usize> = arg_value("--shards")
+        .map(|raw| {
+            raw.split(',')
+                .map(|t| t.trim().parse().expect("bad --shards list"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    // 1 is the speedup baseline and 4 the acceptance point — a custom
+    // list always gets both, so the report below can't index into a
+    // missing row.
+    shard_counts.extend([1, 4]);
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    assert!(
+        shard_counts.iter().all(|&s| s >= 1),
+        "--shards entries must be ≥ 1"
+    );
+
+    let cfg = UncertainConfig {
+        cardinality,
+        dim: 3,
+        radius_range: (0.0, 5.0),
+        seed: 0xF16_6, // the Fig. 6 workload seed
+        ..UncertainConfig::default()
+    };
+    eprintln!("[shard_sweep] generating lUrU ({cardinality} objects)…");
+    let ds = uncertain_dataset(&cfg);
+    let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA));
+    let q = centroid_query(single.dataset());
+    let ids = select_prsq_non_answers(
+        single.dataset(),
+        single.object_tree(),
+        &q,
+        &PrsqSelectionConfig {
+            count: trials,
+            alpha_classify: ALPHA,
+            alpha_tractability: ALPHA,
+            min_candidates: 4,
+            max_candidates: 18,
+            max_free_candidates: 12,
+            seed: 0x5EED_6,
+        },
+    );
+    assert!(
+        ids.len() >= trials.min(8),
+        "selection produced too few non-answers ({})",
+        ids.len()
+    );
+    eprintln!("[shard_sweep] {} non-answers selected", ids.len());
+
+    // Ground truth from the unsharded engine: candidate sets and causes.
+    let expected_candidates: Vec<Vec<ObjectId>> = ids
+        .iter()
+        .map(|&an| single.candidate_ids(&q, an).expect("valid non-answer"))
+        .collect();
+    let expected_causes: Vec<Option<Vec<crp_core::Cause>>> = single
+        .explain_batch_as(ExplainStrategy::Cp, &q, ALPHA, &ids)
+        .into_iter()
+        .map(|r| r.ok().map(|o| o.causes))
+        .collect();
+    single.reset_io();
+    let mut unsharded_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for &an in &ids {
+            let _ = single.candidate_ids(&q, an);
+        }
+        unsharded_ms = unsharded_ms.min(ms(t));
+    }
+    let unsharded_io = single.reset_io().node_accesses / reps as u64;
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for policy in ShardPolicy::ALL {
+        for &shards in &shard_counts {
+            eprintln!("[shard_sweep] {policy} × {shards}…");
+            rows.push(sweep_one(
+                &ds,
+                &q,
+                &ids,
+                policy,
+                shards,
+                reps,
+                &expected_candidates,
+                &expected_causes,
+            ));
+        }
+    }
+
+    // Speedups are measured against the 1-shard serial time of the same
+    // policy (identical code path, single tree).
+    let base_ms = |policy: ShardPolicy| {
+        rows.iter()
+            .find(|r| r.policy == policy && r.shards == 1)
+            .map(|r| r.candgen_serial_ms)
+            .expect("shard count 1 is part of the sweep")
+    };
+
+    println!(
+        "\nShard sweep — candidate generation, lUrU |P| = {cardinality}, d = 3, α = {ALPHA}, \
+         {} non-answers (unsharded: {} ms, {} node accesses)",
+        ids.len(),
+        fnum(unsharded_ms),
+        unsharded_io
+    );
+    println!(
+        "{:<12} {:>6} {:>12} {:>14} {:>10} {:>10} {:>12} {:>9} {:>13} {:>9}",
+        "policy",
+        "shards",
+        "serial(ms)",
+        "critical(ms)",
+        "wall(ms)",
+        "merge(ms)",
+        "node acc",
+        "speedup",
+        "speedup-model",
+        "bit-id"
+    );
+    for r in &rows {
+        let base = base_ms(r.policy);
+        println!(
+            "{:<12} {:>6} {:>12} {:>14} {:>10} {:>10} {:>12} {:>9.2} {:>13.2} {:>9}",
+            r.policy.name(),
+            r.shards,
+            fnum(r.candgen_serial_ms),
+            fnum(r.candgen_critical_path_ms),
+            fnum(r.candgen_wall_ms),
+            fnum(r.merge_ms),
+            r.node_accesses,
+            base / r.candgen_wall_ms,
+            base / r.candgen_critical_path_ms,
+            r.bit_identical
+        );
+    }
+
+    // --- JSON series -------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"family\": \"lUrU\", \"cardinality\": {cardinality}, \"dim\": 3, \
+         \"alpha\": {ALPHA}, \"trials\": {}, \"query\": \"centroid\"}},",
+        ids.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"unsharded\": {{\"candgen_ms\": {unsharded_ms:.3}, \"node_accesses\": {unsharded_io}}},"
+    );
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let base = base_ms(r.policy);
+        let _ = writeln!(
+            json,
+            "    {{\"policy\": \"{}\", \"shards\": {}, \"candgen_serial_ms\": {:.3}, \
+             \"candgen_critical_path_ms\": {:.3}, \"candgen_wall_ms\": {:.3}, \
+             \"merge_ms\": {:.3}, \"node_accesses\": {}, \"explain_batch_ms\": {:.3}, \
+             \"speedup_wall\": {:.3}, \"speedup_model\": {:.3}, \"bit_identical\": {}}}{}",
+            r.policy.name(),
+            r.shards,
+            r.candgen_serial_ms,
+            r.candgen_critical_path_ms,
+            r.candgen_wall_ms,
+            r.merge_ms,
+            r.node_accesses,
+            r.explain_batch_ms,
+            base / r.candgen_wall_ms,
+            base / r.candgen_critical_path_ms,
+            r.bit_identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // Acceptance: ≥ 1.5× candidate-generation speedup at 4 shards
+    // (balanced policy, per-shard-worker latency model).
+    let acceptance = rows
+        .iter()
+        .find(|r| r.policy == ShardPolicy::RoundRobin && r.shards == 4)
+        .map(|r| base_ms(ShardPolicy::RoundRobin) / r.candgen_critical_path_ms)
+        .unwrap_or(0.0);
+    let all_identical = rows.iter().all(|r| r.bit_identical);
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"policy\": \"round-robin\", \"shards\": 4, \
+         \"metric\": \"speedup_model\", \"threshold\": 1.5, \"speedup\": {acceptance:.3}, \
+         \"met\": {}, \"bit_identical\": {all_identical}}}",
+        acceptance >= 1.5
+    );
+    let _ = writeln!(json, "}}");
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench_out directory");
+    let path = dir.join("BENCH_shards.json");
+    std::fs::write(&path, &json).expect("BENCH_shards.json written");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        all_identical,
+        "sharded results diverged from the unsharded engine"
+    );
+    if acceptance < 1.5 {
+        eprintln!("[shard_sweep] WARNING: model speedup at 4 shards = {acceptance:.2}× (< 1.5×)");
+        std::process::exit(2);
+    }
+    println!(
+        "candidate-generation speedup at 4 shards (round-robin, per-shard-worker model): \
+         {acceptance:.2}×"
+    );
+}

@@ -18,9 +18,9 @@
 
 use crate::types::RunStats;
 use crp_geom::{dominance_rect, HyperRect, Point};
-use crp_rtree::RTree;
+use crp_rtree::{QueryStats, RTree};
 use crp_skyline::dominance_probability;
-use crp_uncertain::{ObjectId, UncertainDataset};
+use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
 
 /// Stage 1 of the probabilistic pipeline: produces the dataset
 /// positions of every candidate cause of `an` (sorted, deduplicated,
@@ -60,28 +60,44 @@ impl FilterStage for SampleWindowFilter<'_> {
             .iter()
             .map(|s| dominance_rect(s.point(), q))
             .collect();
-        let mut hits: Vec<usize> = Vec::new();
-        self.tree
-            .range_intersect_any(&windows, &mut stats.query, |_, &id| {
-                if id != an.id() {
-                    if let Some(pos) = ds.index_of(id) {
-                        hits.push(pos);
-                    }
-                }
-            });
-        hits.sort_unstable();
-        hits.dedup();
-        // Exact refinement of the window filter: rectangles are a
-        // superset of the dominance relation (boundary ties do not
-        // dominate).
-        hits.retain(|&pos| {
-            let obj = ds.object_at(pos);
-            an.samples()
-                .iter()
-                .any(|s| dominance_probability(obj, s.point(), q) > 0.0)
-        });
-        hits
+        window_candidate_positions(self.tree, ds, an, q, &windows, &mut stats.query)
     }
+}
+
+/// The Lemma 2 window filter over one tree/dataset pair: multi-window
+/// traversal, then exact dominance refinement (rectangles are a
+/// superset of the dominance relation — boundary ties do not dominate).
+/// Returns sorted, deduplicated positions in `ds`, excluding `an`.
+///
+/// The single implementation behind both [`SampleWindowFilter`] (the
+/// global tree) and each shard of the sharded engine (`ds` and `tree`
+/// then describe one partition, while `an` may live elsewhere) — one
+/// body, so the sharded/unsharded bit-identity contract cannot drift.
+pub(crate) fn window_candidate_positions(
+    tree: &RTree<ObjectId>,
+    ds: &UncertainDataset,
+    an: &UncertainObject,
+    q: &Point,
+    windows: &[HyperRect],
+    query: &mut QueryStats,
+) -> Vec<usize> {
+    let mut hits: Vec<usize> = Vec::new();
+    tree.range_intersect_any(windows, query, |_, &id| {
+        if id != an.id() {
+            if let Some(pos) = ds.index_of(id) {
+                hits.push(pos);
+            }
+        }
+    });
+    hits.sort_unstable();
+    hits.dedup();
+    hits.retain(|&pos| {
+        let obj = ds.object_at(pos);
+        an.samples()
+            .iter()
+            .any(|s| dominance_probability(obj, s.point(), q) > 0.0)
+    });
+    hits
 }
 
 /// Lemma 2 by full scan (no index, no node accesses) — the filter

@@ -144,12 +144,10 @@ fn search_candidate(
     let mut search: Vec<usize> = (0..n)
         .filter(|&c| c != cc && !forced_mask[c] && !excluded[c])
         .collect();
-    // High-impact candidates first: the first combination of each
-    // cardinality is then the greedy removal set, which on deep
-    // non-answers is very likely already a valid contingency set.
-    // (`impacts` is precomputed once per matrix by the drivers — the
-    // weighted sum is O(L) and this sort runs per candidate.)
-    search.sort_by(|&a, &b| impacts[b].partial_cmp(&impacts[a]).expect("finite impacts"));
+    // Global impact ordering (see `super::merge`): `impacts` is
+    // precomputed once per matrix by the drivers — the weighted sum is
+    // O(L) and this sort runs per candidate.
+    super::merge::order_by_impact(&mut search, impacts);
     // Search strictly below the witness size (Lemma 6 already proves a
     // set of that size exists); otherwise everything up to the whole
     // search space.
@@ -249,7 +247,7 @@ pub(crate) fn search(
     }
 
     let n = matrix.candidates();
-    let impacts: Vec<f64> = (0..n).map(|c| matrix.impact(c)).collect();
+    let impacts = super::merge::impacts(matrix);
     let mut removal_list: Vec<usize> = Vec::with_capacity(n);
     let mut witness: Vec<Option<Vec<usize>>> = vec![None; n];
     for cc in 0..n {
@@ -334,7 +332,7 @@ fn search_parallel(
     stats: &mut RunStats,
 ) -> Result<Vec<CauseRec>, CrpError> {
     let n = matrix.candidates();
-    let impacts: Vec<f64> = (0..n).map(|c| matrix.impact(c)).collect();
+    let impacts = super::merge::impacts(matrix);
     // One evaluator for every worker: its O(|Cc|·L) precompute must not
     // be repeated per candidate (workers only read it).
     let shared_evaluator = (n >= INCREMENTAL_THRESHOLD).then(|| matrix.evaluator());

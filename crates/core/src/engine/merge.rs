@@ -1,0 +1,115 @@
+//! The **merge** stage of the sharded pipeline: combines per-shard
+//! stage-1 outputs into the single global view the refinement and FMCS
+//! stages consume.
+//!
+//! Sharding only parallelises candidate *generation* — each shard runs
+//! the window filter against its own R-tree. Everything after stage 1
+//! (dominance matrix, lemma classification, FMCS) is partition-agnostic
+//! and must see exactly the candidate set an unsharded session would
+//! have produced. This module owns that contract:
+//!
+//! * [`merge_candidate_ids`] — deduplicated id-ordered union of
+//!   per-shard candidate sets (shards partition the dataset, so the
+//!   union is exact, not approximate),
+//! * [`global_positions`] — maps merged ids back to positions in the
+//!   global dataset, restoring the unsharded pipeline's candidate
+//!   order (ascending dataset position) bit-for-bit,
+//! * [`impacts`] / [`order_by_impact`] — the global impact ordering of
+//!   the FMCS search space. Ordering lives here (not per driver) so the
+//!   serial and candidate-parallel FMCS drivers, and any sharded
+//!   session, rank candidates through one code path.
+
+use crate::matrix::DominanceMatrix;
+use crp_uncertain::{ObjectId, UncertainDataset};
+
+/// Merges per-shard candidate (or dominator / region-hit) id sets into
+/// one deduplicated, ascending-id list.
+///
+/// Shards hold disjoint objects, so concatenation alone would already
+/// be duplicate-free; the sort + dedup also makes the merge safe for
+/// overlapping sources (e.g. re-merging an already-merged list) and
+/// pins the order the certain-data pipeline relies on.
+pub fn merge_candidate_ids(parts: impl IntoIterator<Item = Vec<ObjectId>>) -> Vec<ObjectId> {
+    let mut merged: Vec<ObjectId> = parts.into_iter().flatten().collect();
+    merged.sort_unstable();
+    merged.dedup();
+    merged
+}
+
+/// Maps merged candidate ids to their positions in the global dataset,
+/// sorted ascending — exactly the candidate list the unsharded filter
+/// produces, which is what makes sharded outcomes bit-identical.
+///
+/// Ids unknown to `ds` are ignored (they cannot occur for shards built
+/// by partitioning `ds`, but the merge stage must not panic on foreign
+/// input).
+pub(crate) fn global_positions(ds: &UncertainDataset, ids: &[ObjectId]) -> Vec<usize> {
+    let mut positions: Vec<usize> = ids.iter().filter_map(|&id| ds.index_of(id)).collect();
+    positions.sort_unstable();
+    positions.dedup();
+    positions
+}
+
+/// The per-candidate impact scores of a dominance matrix (how much
+/// removing each candidate can lift `Pr(an)`), precomputed once per
+/// non-answer and shared by every FMCS driver.
+pub(crate) fn impacts(matrix: &DominanceMatrix) -> Vec<f64> {
+    (0..matrix.candidates()).map(|c| matrix.impact(c)).collect()
+}
+
+/// Orders an FMCS search space high-impact-first: the first combination
+/// of each cardinality is then the greedy removal set, which on deep
+/// non-answers is very likely already a valid contingency set. Any
+/// order is correct; this one converges fastest, and keeping it here
+/// guarantees every driver (serial, candidate-parallel, sharded) ranks
+/// identically.
+pub(crate) fn order_by_impact(search: &mut [usize], impacts: &[f64]) {
+    search.sort_by(|&a, &b| impacts[b].partial_cmp(&impacts[a]).expect("finite impacts"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_geom::Point;
+
+    #[test]
+    fn merge_unions_sorts_and_dedups() {
+        let parts = vec![
+            vec![ObjectId(7), ObjectId(2)],
+            vec![],
+            vec![ObjectId(4), ObjectId(2)],
+        ];
+        assert_eq!(
+            merge_candidate_ids(parts),
+            vec![ObjectId(2), ObjectId(4), ObjectId(7)]
+        );
+        assert!(merge_candidate_ids(Vec::<Vec<ObjectId>>::new()).is_empty());
+    }
+
+    #[test]
+    fn positions_restore_global_order() {
+        // Dataset positions follow insertion order, not id order.
+        let ds = UncertainDataset::from_objects(vec![
+            crp_uncertain::UncertainObject::certain(ObjectId(9), Point::from([0.0, 0.0])),
+            crp_uncertain::UncertainObject::certain(ObjectId(1), Point::from([1.0, 1.0])),
+            crp_uncertain::UncertainObject::certain(ObjectId(5), Point::from([2.0, 2.0])),
+        ])
+        .unwrap();
+        let ids = merge_candidate_ids(vec![vec![ObjectId(5)], vec![ObjectId(9)]]);
+        assert_eq!(ids, vec![ObjectId(5), ObjectId(9)]);
+        // Position order: 9 is at 0, 5 is at 2.
+        assert_eq!(global_positions(&ds, &ids), vec![0, 2]);
+        // Foreign ids are ignored, not a panic.
+        assert_eq!(global_positions(&ds, &[ObjectId(42)]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn impact_order_is_descending() {
+        // dp rows: candidate 0 weak, candidate 1 strong, candidate 2 mid.
+        let m = DominanceMatrix::from_parts(vec![0.1, 0.9, 0.5], vec![1.0], 3);
+        let scores = impacts(&m);
+        let mut search = vec![0, 1, 2];
+        order_by_impact(&mut search, &scores);
+        assert_eq!(search, vec![1, 2, 0]);
+    }
+}

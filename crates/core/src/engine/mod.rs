@@ -34,6 +34,13 @@
 //! parallelism is available through [`CpConfig::parallel_fmcs`]
 //! whenever the lemma configuration keeps candidates independent.
 //!
+//! Every stage-1 implementation is **partition-generic**: the same
+//! pipelines drive this single-tree session and the
+//! [`ShardedExplainEngine`](shard::ShardedExplainEngine), which splits
+//! the dataset across per-shard R-trees (see [`shard`]) and merges
+//! per-shard candidate sets (see [`merge`]) into bit-identical
+//! outcomes.
+//!
 //! ```
 //! use crp_core::{EngineConfig, ExplainEngine};
 //! use crp_geom::Point;
@@ -54,19 +61,24 @@
 pub mod certain;
 pub mod filter;
 pub(crate) mod fmcs;
+pub mod merge;
 pub(crate) mod pipeline;
 pub(crate) mod refine;
+pub mod shard;
+
+pub use shard::{ShardPolicy, ShardedExplainEngine};
 
 use crate::config::CpConfig;
 use crate::error::CrpError;
 use crate::oracle::{oracle_cp, oracle_cr, OracleCause};
-use crate::types::{Cause, CrpOutcome};
-use certain::{run_certain, Lemma7ClosedForm, SubsetVerify};
+use crate::types::{Cause, CrpOutcome, RunStats};
+use certain::{run_certain, Lemma7ClosedForm, PointTreeDominators, SubsetVerify};
 use crp_geom::Point;
 use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
 use crp_skyline::{build_object_rtree, build_point_rtree};
 use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
-use filter::{SampleWindowFilter, ScanFilter};
+use filter::{FilterStage, SampleWindowFilter, ScanFilter};
+use pipeline::RegionHitSource;
 use rayon::prelude::*;
 use std::sync::OnceLock;
 
@@ -158,7 +170,10 @@ impl EngineConfig {
     }
 }
 
-enum Workload {
+/// The data a session explains over — shared with the sharded engine,
+/// which keeps a global `Workload` for validation and matrix building
+/// while all index I/O happens in the shards.
+pub(crate) enum Workload {
     Discrete(UncertainDataset),
     Pdf { ds: PdfDataset, resolution: usize },
 }
@@ -356,6 +371,45 @@ impl ExplainEngine {
             .collect()
     }
 
+    /// The stage-1 output for one non-answer: every candidate cause id
+    /// (ascending) — the set the refinement stage consumes, before any
+    /// matrix or FMCS work. For pdf sessions these are the region hits
+    /// of the per-quadrant windows.
+    ///
+    /// A [`ShardedExplainEngine`] over the same dataset merges its
+    /// per-shard stage-1 outputs to exactly this list (the sharding
+    /// contract); the shard-sweep bench pins that and measures the
+    /// fan-out's speedup.
+    pub fn candidate_ids(&self, q: &Point, an: ObjectId) -> Result<Vec<ObjectId>, CrpError> {
+        match &self.data {
+            Workload::Discrete(ds) => {
+                if ds.is_empty() {
+                    return Err(CrpError::EmptyDataset);
+                }
+                let an_pos = ds.index_of(an).ok_or(CrpError::UnknownObject(an))?;
+                let mut stats = RunStats::default();
+                let filter = SampleWindowFilter::new(self.object_tree());
+                let positions = filter.candidates(ds, q, an_pos, &mut stats);
+                self.io.absorb(stats.query);
+                let mut ids: Vec<ObjectId> = positions
+                    .into_iter()
+                    .map(|pos| ds.object_at(pos).id())
+                    .collect();
+                ids.sort_unstable();
+                Ok(ids)
+            }
+            Workload::Pdf { ds, .. } => {
+                let tree = self.guarded_pdf_tree(ds)?;
+                let an_obj = ds.get(an).ok_or(CrpError::UnknownObject(an))?;
+                let windows = crate::pdf::pdf_windows(q, an_obj.region());
+                let mut stats = RunStats::default();
+                let hits = tree.region_hits(&windows, an, &mut stats);
+                self.io.absorb(stats.query);
+                Ok(hits)
+            }
+        }
+    }
+
     /// Builds the index a strategy needs *before* a parallel batch, so
     /// tree construction happens once up front instead of inside the
     /// first worker that wins the `OnceLock` race.
@@ -438,7 +492,9 @@ impl ExplainEngine {
                 }
                 ExplainStrategy::Cr => run_certain(
                     ds,
-                    self.guarded_point_tree(ds)?,
+                    &PointTreeDominators {
+                        tree: self.guarded_point_tree(ds)?,
+                    },
                     q,
                     an,
                     &Lemma7ClosedForm { k: 0 },
@@ -446,7 +502,9 @@ impl ExplainEngine {
                 ),
                 ExplainStrategy::CrKskyband { k } => run_certain(
                     ds,
-                    self.guarded_point_tree(ds)?,
+                    &PointTreeDominators {
+                        tree: self.guarded_point_tree(ds)?,
+                    },
                     q,
                     an,
                     &Lemma7ClosedForm { k },
@@ -454,7 +512,9 @@ impl ExplainEngine {
                 ),
                 ExplainStrategy::NaiveII { max_subsets } => run_certain(
                     ds,
-                    self.guarded_point_tree(ds)?,
+                    &PointTreeDominators {
+                        tree: self.guarded_point_tree(ds)?,
+                    },
                     q,
                     an,
                     &SubsetVerify { max_subsets },
@@ -535,8 +595,12 @@ impl ExplainEngine {
 }
 
 /// Converts the oracle's position-level causes into the engine's
-/// id-level [`CrpOutcome`].
-fn oracle_outcome(ds: &UncertainDataset, causes: Vec<(ObjectId, OracleCause)>) -> CrpOutcome {
+/// id-level [`CrpOutcome`] — shared with the sharded engine's oracle
+/// dispatch.
+pub(crate) fn oracle_outcome(
+    ds: &UncertainDataset,
+    causes: Vec<(ObjectId, OracleCause)>,
+) -> CrpOutcome {
     let causes = causes
         .into_iter()
         .map(|(id, c)| Cause {

@@ -13,9 +13,58 @@ use crate::config::CpConfig;
 use crate::error::CrpError;
 use crate::matrix::DominanceMatrix;
 use crate::types::{Cause, CrpOutcome, RunStats};
-use crp_geom::{dominance_rect, Point, PROB_EPSILON};
+use crp_geom::{dominance_rect, HyperRect, Point, PROB_EPSILON};
 use crp_rtree::{AtomicQueryStats, RTree};
 use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
+
+/// Stage 1 of the pdf pipeline, abstracted over the partition layout:
+/// the ids of every indexed region intersecting any of the per-quadrant
+/// filter windows (sorted, deduplicated, `exclude` removed).
+///
+/// Implemented by the single global region tree and by the shard
+/// fan-out of [`super::shard::ShardedExplainEngine`]; both produce the
+/// identical hit list, so the integration stages below are
+/// partition-agnostic.
+pub(crate) trait RegionHitSource: Sync {
+    fn region_hits(
+        &self,
+        windows: &[HyperRect],
+        exclude: ObjectId,
+        stats: &mut RunStats,
+    ) -> Vec<ObjectId>;
+}
+
+impl RegionHitSource for RTree<ObjectId> {
+    fn region_hits(
+        &self,
+        windows: &[HyperRect],
+        exclude: ObjectId,
+        stats: &mut RunStats,
+    ) -> Vec<ObjectId> {
+        tree_region_hits(self, windows, exclude, &mut stats.query)
+    }
+}
+
+/// The pdf window traversal over one region tree: ids intersecting any
+/// window, `exclude` removed, sorted and deduplicated. The single
+/// implementation behind the global tree and each shard of the sharded
+/// engine.
+pub(crate) fn tree_region_hits(
+    tree: &RTree<ObjectId>,
+    windows: &[HyperRect],
+    exclude: ObjectId,
+    query: &mut crp_rtree::QueryStats,
+) -> Vec<ObjectId> {
+    let mut hits: Vec<ObjectId> = Vec::new();
+    tree.range_intersect_any(windows, query, |_, &id| {
+        if id != exclude {
+            hits.push(id);
+        }
+    });
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
 
 /// Folds the node accesses of one (possibly failed) explain into the
 /// engine's session accumulator. Error outcomes (`NotANonAnswer`,
@@ -107,12 +156,13 @@ pub(crate) fn finish(
 }
 
 /// The pdf-model pipeline (Section 3.2): per-quadrant farthest-corner
-/// windows for stage 1, closed-form box integrals for the matrix, then
-/// the shared stages 2–3.
+/// windows for stage 1 (partition-generic through [`RegionHitSource`]),
+/// closed-form box integrals for the matrix, then the shared
+/// stages 2–3.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_pdf(
     ds: &PdfDataset,
-    tree: &RTree<ObjectId>,
+    source: &dyn RegionHitSource,
     q: &Point,
     an_id: ObjectId,
     alpha: f64,
@@ -121,7 +171,7 @@ pub(crate) fn run_pdf(
     io: Option<&AtomicQueryStats>,
 ) -> Result<CrpOutcome, CrpError> {
     let mut stats = RunStats::default();
-    let result = run_pdf_inner(ds, tree, q, an_id, alpha, resolution, config, &mut stats);
+    let result = run_pdf_inner(ds, source, q, an_id, alpha, resolution, config, &mut stats);
     absorb_io(io, &stats);
     result.map(|causes| CrpOutcome { causes, stats })
 }
@@ -129,7 +179,7 @@ pub(crate) fn run_pdf(
 #[allow(clippy::too_many_arguments)]
 fn run_pdf_inner(
     ds: &PdfDataset,
-    tree: &RTree<ObjectId>,
+    source: &dyn RegionHitSource,
     q: &Point,
     an_id: ObjectId,
     alpha: f64,
@@ -147,14 +197,7 @@ fn run_pdf_inner(
 
     // Stage 1: multi-window traversal over the per-quadrant windows.
     let windows = crate::pdf::pdf_windows(q, an.region());
-    let mut hits: Vec<ObjectId> = Vec::new();
-    tree.range_intersect_any(&windows, &mut stats.query, |_, &id| {
-        if id != an_id {
-            hits.push(id);
-        }
-    });
-    hits.sort_unstable();
-    hits.dedup();
+    let hits = source.region_hits(&windows, an_id, stats);
 
     // Integration cells of the non-answer.
     let cells = an.pdf().discretize(resolution);

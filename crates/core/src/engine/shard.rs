@@ -1,0 +1,1157 @@
+//! **Partition-parallel explain**: the [`ShardedExplainEngine`].
+//!
+//! The paper's CP/CR algorithms bound every explanation to a candidate
+//! set found by R-tree filtering (Lemmas 1–2, 7), which makes the
+//! candidate space naturally partitionable: causes found in disjoint
+//! data partitions can be merged without re-running refinement. This
+//! module exploits that:
+//!
+//! * a pluggable [`ShardPolicy`] splits the dataset into disjoint
+//!   shards ([`ShardPolicy::RoundRobin`], [`ShardPolicy::HashById`],
+//!   or STR-style [`ShardPolicy::Spatial`] slabs),
+//! * each [`Shard`] owns its own R-trees and its own
+//!   [`AtomicQueryStats`] accumulator (rolled up engine-wide with
+//!   `Sum`),
+//! * `explain` / `explain_batch` fan **candidate generation** (pipeline
+//!   stage 1) out across the shards — in parallel with rayon for a
+//!   single call, shard-serial inside an already query-parallel batch —
+//! * the [merge stage](super::merge) recombines the per-shard candidate
+//!   sets into the exact global candidate list, and one FMCS pass runs
+//!   over it.
+//!
+//! Because the merged candidate set is *identical* to what the single
+//! global tree produces, a sharded session's outcomes (causes,
+//! responsibilities, contingency sets, and error cases) are
+//! **bit-identical** to [`ExplainEngine`](super::ExplainEngine)'s — the
+//! engine-agreement property tests pin this for every policy × shard
+//! count. Only the node-access counters differ (several small trees
+//! instead of one big one).
+//!
+//! This is the step from rayon-on-one-box toward multi-node scale: the
+//! per-shard stage-1 API ([`ShardedExplainEngine::shard_candidates`])
+//! is exactly the request a remote partition server would answer, and
+//! [`merge_candidate_ids`](super::merge::merge_candidate_ids) is the
+//! router's recombine step.
+
+use super::certain::{
+    collect_dominators, run_certain, DominatorSource, Lemma7ClosedForm, SubsetVerify,
+};
+use super::filter::{self, FilterStage, ScanFilter};
+use super::pipeline::{self, RegionHitSource};
+use super::{oracle_outcome, EngineConfig, ExplainStrategy, Workload};
+use crate::config::CpConfig;
+use crate::error::CrpError;
+use crate::oracle::{oracle_cp, oracle_cr};
+use crate::types::{CrpOutcome, RunStats};
+use crp_geom::{dominance_rect, HyperRect, Point};
+use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
+use crp_skyline::{build_object_rtree, build_point_rtree};
+use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset, UncertainObject};
+use rayon::prelude::*;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// How a dataset is split across shards. All policies are
+/// deterministic: the same dataset and shard count always produce the
+/// same partition, so sharded sessions are reproducible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Object `i` (by dataset position) goes to shard `i mod n` —
+    /// perfectly balanced, spatially blind. The best default for
+    /// latency: every shard does a near-equal share of each query's
+    /// filtering work.
+    #[default]
+    RoundRobin,
+    /// Shard by a (splitmix64) hash of the object id — balanced in
+    /// expectation and stable under reordering of the input, the
+    /// classic key-routing policy of a distributed store.
+    HashById,
+    /// STR-style spatial slabs: objects are sorted by MBR center along
+    /// the dimension of widest spread and cut into `n` contiguous runs.
+    /// Queries whose filter windows are local touch few shards (the
+    /// others are pruned by their shard MBR without any node access).
+    Spatial,
+}
+
+impl ShardPolicy {
+    /// Every policy, for sweeps and tests.
+    pub const ALL: [ShardPolicy; 3] = [
+        ShardPolicy::RoundRobin,
+        ShardPolicy::HashById,
+        ShardPolicy::Spatial,
+    ];
+
+    /// Canonical CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardPolicy::RoundRobin => "round-robin",
+            ShardPolicy::HashById => "hash-by-id",
+            ShardPolicy::Spatial => "spatial",
+        }
+    }
+
+    /// Assigns each object (described by its id and a representative
+    /// point) to a shard in `0..n`. `n` must be ≥ 1.
+    fn assign(self, ids: &[ObjectId], centers: &[Point], n: usize) -> Vec<usize> {
+        debug_assert!(n >= 1);
+        debug_assert_eq!(ids.len(), centers.len());
+        match self {
+            ShardPolicy::RoundRobin => (0..ids.len()).map(|pos| pos % n).collect(),
+            ShardPolicy::HashById => ids
+                .iter()
+                .map(|id| (splitmix64(id.0 as u64) % n as u64) as usize)
+                .collect(),
+            ShardPolicy::Spatial => spatial_slabs(centers, n),
+        }
+    }
+}
+
+impl fmt::Display for ShardPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ShardPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "round-robin" | "roundrobin" | "rr" => Ok(ShardPolicy::RoundRobin),
+            "hash-by-id" | "hash" | "hashbyid" => Ok(ShardPolicy::HashById),
+            "spatial" | "str" => Ok(ShardPolicy::Spatial),
+            other => Err(format!(
+                "unknown shard policy {other:?} (use round-robin|hash-by-id|spatial)"
+            )),
+        }
+    }
+}
+
+/// Finalizer of splitmix64 — a deterministic, well-mixed 64-bit hash
+/// (no `std` `RandomState`, whose per-process seed would make shard
+/// layouts irreproducible).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// STR-style slab assignment: sort by center along the widest-spread
+/// dimension, cut into `n` balanced contiguous runs.
+fn spatial_slabs(centers: &[Point], n: usize) -> Vec<usize> {
+    let len = centers.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let dim = centers[0].dim();
+    // Widest spread of centers picks the split dimension.
+    let split_dim = (0..dim)
+        .map(|d| {
+            let (lo, hi) = centers
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), c| {
+                    (lo.min(c.coords()[d]), hi.max(c.coords()[d]))
+                });
+            (d, hi - lo)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite extents"))
+        .map(|(d, _)| d)
+        .unwrap_or(0);
+    let mut order: Vec<usize> = (0..len).collect();
+    order.sort_by(|&a, &b| {
+        centers[a].coords()[split_dim]
+            .partial_cmp(&centers[b].coords()[split_dim])
+            .expect("finite coordinates")
+            .then(a.cmp(&b))
+    });
+    // Balanced run lengths: the first `len % n` slabs get one extra.
+    let base = len / n;
+    let extra = len % n;
+    let mut assignment = vec![0usize; len];
+    let mut cursor = 0usize;
+    for (slab_idx, chunk_len) in (0..n).map(|s| (s, base + usize::from(s < extra))) {
+        for &pos in order.iter().skip(cursor).take(chunk_len) {
+            assignment[pos] = slab_idx;
+        }
+        cursor += chunk_len;
+    }
+    assignment
+}
+
+/// One shard's data: a disjoint slice of the dataset. Shards may be
+/// empty (more shards than objects); empty shards answer every stage-1
+/// request with an empty hit list at zero node accesses.
+enum ShardData {
+    Discrete(UncertainDataset),
+    Pdf(PdfDataset),
+}
+
+/// One partition of a sharded session: its slice of the dataset, its
+/// own lazily built R-trees, and its own I/O accumulator.
+pub(crate) struct Shard {
+    data: ShardData,
+    rtree: Option<RTreeParams>,
+    /// Object-MBR tree (regions for pdf shards).
+    object_tree: OnceLock<RTree<ObjectId>>,
+    /// Point tree (certain data only).
+    point_tree: OnceLock<RTree<ObjectId>>,
+    /// The shard's bounding box (`None` for empty shards) — the
+    /// routing-table entry window pruning consults without any node
+    /// access.
+    mbr_cache: OnceLock<Option<HyperRect>>,
+    /// Node accesses of every query this shard served.
+    io: AtomicQueryStats,
+}
+
+impl Shard {
+    fn new(data: ShardData, rtree: Option<RTreeParams>) -> Self {
+        Self {
+            data,
+            rtree,
+            object_tree: OnceLock::new(),
+            point_tree: OnceLock::new(),
+            mbr_cache: OnceLock::new(),
+            io: AtomicQueryStats::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.data {
+            ShardData::Discrete(ds) => ds.len(),
+            ShardData::Pdf(ds) => ds.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn params(&self, dim: usize) -> RTreeParams {
+        self.rtree
+            .unwrap_or_else(|| RTreeParams::paper_default(dim))
+    }
+
+    /// The shard's MBR over object MBRs / regions — the router-level
+    /// pruning key: a query window that misses it cannot hit the shard.
+    fn mbr(&self) -> Option<HyperRect> {
+        match &self.data {
+            ShardData::Discrete(ds) => {
+                let mut rects = ds.iter().map(|o| o.mbr());
+                let first = rects.next()?;
+                Some(rects.fold(first, |acc, r| acc.union(&r)))
+            }
+            ShardData::Pdf(ds) => {
+                let mut rects = ds.iter().map(|o| o.region().clone());
+                let first = rects.next()?;
+                Some(rects.fold(first, |acc, r| acc.union(&r)))
+            }
+        }
+    }
+
+    fn object_tree(&self) -> &RTree<ObjectId> {
+        self.object_tree.get_or_init(|| match &self.data {
+            ShardData::Discrete(ds) => {
+                let dim = ds.dim().expect("empty shards are guarded by callers");
+                build_object_rtree(ds, self.params(dim))
+            }
+            ShardData::Pdf(ds) => {
+                let dim = ds.dim().expect("empty shards are guarded by callers");
+                crate::pdf::build_pdf_rtree(ds, self.params(dim))
+            }
+        })
+    }
+
+    fn point_tree(&self) -> &RTree<ObjectId> {
+        self.point_tree.get_or_init(|| match &self.data {
+            ShardData::Discrete(ds) => {
+                let dim = ds.dim().expect("empty shards are guarded by callers");
+                build_point_rtree(ds, self.params(dim))
+            }
+            ShardData::Pdf(_) => unreachable!("point trees only exist for certain shards"),
+        })
+    }
+
+    /// Stage 1 (probabilistic) for this shard: the shard-local
+    /// candidate causes of `an` — Lemma 2 window hits refined to exact
+    /// dominance, as ascending ids. Returns the traversal's node
+    /// accesses and also folds them into the shard accumulator.
+    fn sample_candidates(
+        &self,
+        an: &UncertainObject,
+        q: &Point,
+        windows: &[HyperRect],
+    ) -> (Vec<ObjectId>, QueryStats) {
+        let ShardData::Discrete(ds) = &self.data else {
+            unreachable!("probabilistic stage 1 runs on discrete shards");
+        };
+        if ds.is_empty() || !self.intersects_any(windows) {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut qs = QueryStats::default();
+        // The unsharded filter's exact body over this shard's tree and
+        // dataset — the union over (disjoint) shards is therefore the
+        // exact global candidate set.
+        let hits =
+            filter::window_candidate_positions(self.object_tree(), ds, an, q, windows, &mut qs);
+        let mut ids: Vec<ObjectId> = hits.into_iter().map(|pos| ds.object_at(pos).id()).collect();
+        ids.sort_unstable();
+        self.io.merge(&qs);
+        (ids, qs)
+    }
+
+    /// Stage 1 (certain) for this shard: the shard-local dominators of
+    /// `q` w.r.t. `an`, as ascending ids.
+    fn point_dominators(
+        &self,
+        q: &Point,
+        an: &Point,
+        an_id: ObjectId,
+    ) -> (Vec<ObjectId>, QueryStats) {
+        let ShardData::Discrete(ds) = &self.data else {
+            unreachable!("certain stage 1 runs on discrete shards");
+        };
+        let window = dominance_rect(an, q);
+        if ds.is_empty() || !self.intersects_any(std::slice::from_ref(&window)) {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut qs = QueryStats::default();
+        let mut ids = collect_dominators(self.point_tree(), q, an, an_id, &mut qs);
+        ids.sort_unstable();
+        ids.dedup();
+        self.io.merge(&qs);
+        (ids, qs)
+    }
+
+    /// Stage 1 (pdf) for this shard: the shard-local region hits of the
+    /// per-quadrant windows, as ascending ids.
+    fn region_hits(&self, windows: &[HyperRect], exclude: ObjectId) -> (Vec<ObjectId>, QueryStats) {
+        let ShardData::Pdf(_) = &self.data else {
+            unreachable!("pdf stage 1 runs on pdf shards");
+        };
+        if self.is_empty() || !self.intersects_any(windows) {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut qs = QueryStats::default();
+        let ids = pipeline::tree_region_hits(self.object_tree(), windows, exclude, &mut qs);
+        self.io.merge(&qs);
+        (ids, qs)
+    }
+
+    /// Router-level shard pruning: does any window intersect this
+    /// shard's MBR? Costs no node access (the MBR is cached outside the
+    /// tree) — the sharded counterpart of a distributed routing table.
+    fn intersects_any(&self, windows: &[HyperRect]) -> bool {
+        match self.cached_mbr() {
+            Some(mbr) => windows.iter().any(|w| w.intersects(mbr)),
+            None => false,
+        }
+    }
+
+    fn cached_mbr(&self) -> Option<&HyperRect> {
+        self.mbr_cache.get_or_init(|| self.mbr()).as_ref()
+    }
+}
+
+/// A partition-parallel explain session: the same public surface as
+/// [`ExplainEngine`](super::ExplainEngine), answered by fanning
+/// pipeline stage 1 out over disjoint shards and merging. See the
+/// [module docs](self) for the guarantees.
+pub struct ShardedExplainEngine {
+    /// The global workload — validation, dominance matrices and the
+    /// oracle strategies run against it (never indexed; all index I/O
+    /// happens in the shards).
+    data: Workload,
+    shards: Vec<Shard>,
+    policy: ShardPolicy,
+    config: EngineConfig,
+}
+
+impl ShardedExplainEngine {
+    /// Creates a sharded session over a discrete-sample (or certain)
+    /// dataset, split into `shards` partitions by `policy`
+    /// (`shards = 0` is clamped to 1; a 1-shard session is the
+    /// unsharded engine with extra steps, useful as a baseline).
+    pub fn new(
+        ds: UncertainDataset,
+        config: EngineConfig,
+        shards: usize,
+        policy: ShardPolicy,
+    ) -> Self {
+        let shards = shards.max(1);
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        let centers: Vec<Point> = ds.iter().map(|o| o.mbr().center()).collect();
+        let assignment = policy.assign(&ids, &centers, shards);
+        let mut parts: Vec<UncertainDataset> =
+            (0..shards).map(|_| UncertainDataset::new()).collect();
+        for (pos, &shard) in assignment.iter().enumerate() {
+            parts[shard]
+                .push(ds.object_at(pos).clone())
+                .expect("shard objects inherit the dataset's validity");
+        }
+        Self {
+            data: Workload::Discrete(ds),
+            shards: parts
+                .into_iter()
+                .map(|p| Shard::new(ShardData::Discrete(p), config.rtree))
+                .collect(),
+            policy,
+            config,
+        }
+    }
+
+    /// Creates a sharded session over a continuous-pdf dataset
+    /// (Section 3.2); `resolution` as in
+    /// [`ExplainEngine::for_pdf`](super::ExplainEngine::for_pdf).
+    pub fn for_pdf(
+        ds: PdfDataset,
+        resolution: usize,
+        config: EngineConfig,
+        shards: usize,
+        policy: ShardPolicy,
+    ) -> Self {
+        let shards = shards.max(1);
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        let centers: Vec<Point> = ds.iter().map(|o| o.region().center()).collect();
+        let assignment = policy.assign(&ids, &centers, shards);
+        let mut parts: Vec<PdfDataset> = (0..shards).map(|_| PdfDataset::new()).collect();
+        for (pos, &shard) in assignment.iter().enumerate() {
+            parts[shard]
+                .push(ds.objects()[pos].clone())
+                .expect("shard objects inherit the dataset's validity");
+        }
+        Self {
+            data: Workload::Pdf { ds, resolution },
+            shards: parts
+                .into_iter()
+                .map(|p| Shard::new(ShardData::Pdf(p), config.rtree))
+                .collect(),
+            policy,
+            config,
+        }
+    }
+
+    /// Number of shards (≥ 1; some may be empty).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Objects per shard, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// The partitioning policy of this session.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The global discrete dataset of this session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session was built with
+    /// [`ShardedExplainEngine::for_pdf`].
+    pub fn dataset(&self) -> &UncertainDataset {
+        match &self.data {
+            Workload::Discrete(ds) => ds,
+            Workload::Pdf { .. } => panic!("pdf engine has no discrete dataset"),
+        }
+    }
+
+    /// The global pdf dataset and resolution, when this is a pdf
+    /// session.
+    pub fn pdf_dataset(&self) -> Option<(&PdfDataset, usize)> {
+        match &self.data {
+            Workload::Discrete(_) => None,
+            Workload::Pdf { ds, resolution } => Some((ds, *resolution)),
+        }
+    }
+
+    /// Total node accesses across every shard and every explain call so
+    /// far — the per-shard accumulators rolled up with `Sum`.
+    pub fn accumulated_io(&self) -> QueryStats {
+        self.shards.iter().map(|s| s.io.snapshot()).sum()
+    }
+
+    /// Per-shard node-access totals, in shard order.
+    pub fn shard_io(&self) -> Vec<QueryStats> {
+        self.shards.iter().map(|s| s.io.snapshot()).collect()
+    }
+
+    /// Resets every shard accumulator, returning the rolled-up totals.
+    pub fn reset_io(&self) -> QueryStats {
+        self.shards.iter().map(|s| s.io.take()).sum()
+    }
+
+    /// Explains one non-answer with the configured strategy and `α`.
+    pub fn explain(&self, q: &Point, an: ObjectId) -> Result<CrpOutcome, CrpError> {
+        self.explain_as(self.config.strategy, q, self.config.alpha, an)
+    }
+
+    /// Explains one non-answer with an explicit strategy and `α`.
+    pub fn explain_as(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+    ) -> Result<CrpOutcome, CrpError> {
+        let cp = self.config.cp;
+        self.explain_configured(strategy, q, alpha, an, &cp)
+    }
+
+    /// [`ShardedExplainEngine::explain_as`] with a per-call
+    /// [`CpConfig`] override.
+    pub fn explain_configured(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+    ) -> Result<CrpOutcome, CrpError> {
+        self.dispatch(strategy, q, alpha, an, cp, self.config.parallel)
+    }
+
+    /// Explains a batch of non-answers, data-parallel over the batch
+    /// when the session's `parallel` flag is set (the per-call shard
+    /// fan-out then runs shard-serial to avoid nested thread pools).
+    /// Result order matches `ans`; each element is bit-identical to
+    /// [`ShardedExplainEngine::explain`].
+    pub fn explain_batch(&self, q: &Point, ans: &[ObjectId]) -> Vec<Result<CrpOutcome, CrpError>> {
+        self.explain_batch_as(self.config.strategy, q, self.config.alpha, ans)
+    }
+
+    /// [`ShardedExplainEngine::explain_batch`] with an explicit
+    /// strategy and `α`.
+    pub fn explain_batch_as(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        ans: &[ObjectId],
+    ) -> Vec<Result<CrpOutcome, CrpError>> {
+        if self.config.parallel && ans.len() > 1 {
+            self.prepare(strategy);
+            let cp = self.config.cp;
+            ans.par_iter()
+                .map(|&an| self.dispatch(strategy, q, alpha, an, &cp, false))
+                .collect()
+        } else {
+            self.explain_batch_serial_as(strategy, q, alpha, ans)
+        }
+    }
+
+    /// The serial batch path (regardless of the `parallel` flag) — the
+    /// reference the parallel path is tested against.
+    pub fn explain_batch_serial_as(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        ans: &[ObjectId],
+    ) -> Vec<Result<CrpOutcome, CrpError>> {
+        let cp = self.config.cp;
+        ans.iter()
+            .map(|&an| self.dispatch(strategy, q, alpha, an, &cp, false))
+            .collect()
+    }
+
+    /// The merged stage-1 output for one non-answer: every candidate
+    /// cause id (ascending), exactly the set the refinement stage would
+    /// consume — and exactly what
+    /// [`ExplainEngine::candidate_ids`](super::ExplainEngine::candidate_ids)
+    /// returns for the same dataset. For pdf sessions these are the
+    /// region hits of the per-quadrant windows.
+    pub fn candidate_ids(&self, q: &Point, an: ObjectId) -> Result<Vec<ObjectId>, CrpError> {
+        // The same rayon fan-out `explain` uses, so the wall clock of
+        // this call reflects the partition parallelism the shard-sweep
+        // bench measures (serial when the session disables parallelism).
+        let shard_indices: Vec<usize> = (0..self.shards.len()).collect();
+        let parts: Vec<Result<Vec<ObjectId>, CrpError>> =
+            if self.config.parallel && self.shards.len() > 1 {
+                shard_indices
+                    .par_iter()
+                    .map(|&idx| self.shard_candidates(idx, q, an))
+                    .collect()
+            } else {
+                shard_indices
+                    .iter()
+                    .map(|&idx| self.shard_candidates(idx, q, an))
+                    .collect()
+            };
+        let parts: Vec<Vec<ObjectId>> = parts.into_iter().collect::<Result<_, _>>()?;
+        Ok(super::merge::merge_candidate_ids(parts))
+    }
+
+    /// The stage-1 output of one shard for one non-answer (ascending
+    /// ids) — the request a remote partition server would answer in a
+    /// multi-node deployment; merge the per-shard results with
+    /// [`merge_candidate_ids`](super::merge::merge_candidate_ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shard_count()`.
+    pub fn shard_candidates(
+        &self,
+        shard: usize,
+        q: &Point,
+        an: ObjectId,
+    ) -> Result<Vec<ObjectId>, CrpError> {
+        match &self.data {
+            Workload::Discrete(ds) => {
+                if ds.is_empty() {
+                    return Err(CrpError::EmptyDataset);
+                }
+                let an_pos = ds.index_of(an).ok_or(CrpError::UnknownObject(an))?;
+                let an_obj = ds.object_at(an_pos);
+                let windows = sample_windows(an_obj, q);
+                Ok(self.shards[shard].sample_candidates(an_obj, q, &windows).0)
+            }
+            Workload::Pdf { ds, .. } => {
+                if ds.is_empty() {
+                    return Err(CrpError::EmptyDataset);
+                }
+                let an_obj = ds.get(an).ok_or(CrpError::UnknownObject(an))?;
+                let windows = crate::pdf::pdf_windows(q, an_obj.region());
+                Ok(self.shards[shard].region_hits(&windows, an).0)
+            }
+        }
+    }
+
+    /// Builds every shard index the strategy needs up front (in
+    /// parallel when the session allows), so tree construction happens
+    /// once instead of inside the first query that wins each
+    /// `OnceLock` race.
+    fn prepare(&self, strategy: ExplainStrategy) {
+        let strategy = self.resolve(strategy);
+        let build: Option<fn(&Shard)> = match (strategy, &self.data) {
+            (ExplainStrategy::Cp | ExplainStrategy::NaiveI { .. }, _) => Some(|s: &Shard| {
+                if !s.is_empty() {
+                    s.object_tree();
+                }
+            }),
+            (
+                ExplainStrategy::Cr
+                | ExplainStrategy::CrKskyband { .. }
+                | ExplainStrategy::NaiveII { .. },
+                Workload::Discrete(ds),
+            ) if !ds.is_empty() && ds.is_certain() => Some(|s: &Shard| {
+                if !s.is_empty() {
+                    s.point_tree();
+                }
+            }),
+            _ => None,
+        };
+        let Some(build) = build else { return };
+        if self.config.parallel && self.shards.len() > 1 {
+            let _: Vec<()> = self.shards.par_iter().map(build).collect();
+        } else {
+            self.shards.iter().for_each(build);
+        }
+    }
+
+    /// Resolves [`ExplainStrategy::Auto`] against the workload —
+    /// identical to the unsharded engine's rule.
+    fn resolve(&self, strategy: ExplainStrategy) -> ExplainStrategy {
+        match (strategy, &self.data) {
+            (ExplainStrategy::Auto, Workload::Discrete(ds))
+                if ds.is_certain() && !ds.is_empty() =>
+            {
+                ExplainStrategy::Cr
+            }
+            (ExplainStrategy::Auto, _) => ExplainStrategy::Cp,
+            (s, _) => s,
+        }
+    }
+
+    fn dispatch(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+        parallel_shards: bool,
+    ) -> Result<CrpOutcome, CrpError> {
+        let strategy = self.resolve(strategy);
+        let fan = ShardFanOut {
+            shards: &self.shards,
+            parallel: parallel_shards && self.shards.len() > 1,
+        };
+        match &self.data {
+            Workload::Discrete(ds) => match strategy {
+                ExplainStrategy::Cp => {
+                    // Mirror the unsharded engine's guard order: an
+                    // empty dataset errors before α validation.
+                    if ds.is_empty() {
+                        return Err(CrpError::EmptyDataset);
+                    }
+                    pipeline::run_probabilistic(ds, q, an, alpha, cp, &fan, None)
+                }
+                ExplainStrategy::CpUnindexed => {
+                    pipeline::run_probabilistic(ds, q, an, alpha, cp, &ScanFilter, None)
+                }
+                ExplainStrategy::NaiveI { max_subsets } => {
+                    if ds.is_empty() {
+                        return Err(CrpError::EmptyDataset);
+                    }
+                    let config = CpConfig {
+                        max_subsets,
+                        ..CpConfig::naive()
+                    };
+                    pipeline::run_probabilistic(ds, q, an, alpha, &config, &fan, None)
+                }
+                ExplainStrategy::Cr => {
+                    self.guard_certain(ds)?;
+                    run_certain(ds, &fan, q, an, &Lemma7ClosedForm { k: 0 }, None)
+                }
+                ExplainStrategy::CrKskyband { k } => {
+                    self.guard_certain(ds)?;
+                    run_certain(ds, &fan, q, an, &Lemma7ClosedForm { k }, None)
+                }
+                ExplainStrategy::NaiveII { max_subsets } => {
+                    self.guard_certain(ds)?;
+                    run_certain(ds, &fan, q, an, &SubsetVerify { max_subsets }, None)
+                }
+                ExplainStrategy::OracleCp => {
+                    oracle_cp(ds, q, an, alpha).map(|causes| oracle_outcome(ds, causes))
+                }
+                ExplainStrategy::OracleCr => {
+                    oracle_cr(ds, q, an).map(|causes| oracle_outcome(ds, causes))
+                }
+                ExplainStrategy::Auto => unreachable!("resolved above"),
+            },
+            Workload::Pdf { ds, resolution } => match strategy {
+                ExplainStrategy::Cp => {
+                    if ds.is_empty() {
+                        return Err(CrpError::EmptyDataset);
+                    }
+                    pipeline::run_pdf(ds, &fan, q, an, alpha, *resolution, cp, None)
+                }
+                ExplainStrategy::NaiveI { max_subsets } => {
+                    if ds.is_empty() {
+                        return Err(CrpError::EmptyDataset);
+                    }
+                    let config = CpConfig {
+                        max_subsets,
+                        ..CpConfig::naive()
+                    };
+                    pipeline::run_pdf(ds, &fan, q, an, alpha, *resolution, &config, None)
+                }
+                other => Err(CrpError::UnsupportedStrategy {
+                    strategy: other.name(),
+                    workload: "pdf",
+                }),
+            },
+        }
+    }
+
+    /// The certain-strategy preconditions, in the unsharded engine's
+    /// guard order (so error cases are bit-identical).
+    fn guard_certain(&self, ds: &UncertainDataset) -> Result<(), CrpError> {
+        if ds.is_empty() {
+            return Err(CrpError::EmptyDataset);
+        }
+        if !ds.is_certain() {
+            return Err(CrpError::NotCertainData);
+        }
+        Ok(())
+    }
+}
+
+/// The Lemma 2 sample windows of a non-answer — stage 1's `RecList`,
+/// built once per call and shared by every shard.
+fn sample_windows(an: &UncertainObject, q: &Point) -> Vec<HyperRect> {
+    an.samples()
+        .iter()
+        .map(|s| dominance_rect(s.point(), q))
+        .collect()
+}
+
+/// The shard fan-out: one value implementing every partition-generic
+/// stage-1 seam, so the shared pipelines drive a sharded session
+/// through exactly the code path of the unsharded one.
+struct ShardFanOut<'e> {
+    shards: &'e [Shard],
+    parallel: bool,
+}
+
+impl ShardFanOut<'_> {
+    /// Runs `f` over every shard — rayon-parallel when enabled —
+    /// returning per-shard results in shard order (deterministic either
+    /// way, which keeps the merged stats fold reproducible).
+    fn fan<R: Send>(&self, f: impl Fn(&Shard) -> R + Sync) -> Vec<R> {
+        if self.parallel {
+            self.shards.par_iter().map(|s| f(s)).collect()
+        } else {
+            self.shards.iter().map(f).collect()
+        }
+    }
+
+    fn fold_parts(
+        parts: Vec<(Vec<ObjectId>, QueryStats)>,
+        stats: &mut RunStats,
+    ) -> Vec<Vec<ObjectId>> {
+        let mut ids = Vec::with_capacity(parts.len());
+        for (part, qs) in parts {
+            stats.query.absorb(qs);
+            ids.push(part);
+        }
+        ids
+    }
+}
+
+impl FilterStage for ShardFanOut<'_> {
+    fn candidates(
+        &self,
+        ds: &UncertainDataset,
+        q: &Point,
+        an_pos: usize,
+        stats: &mut RunStats,
+    ) -> Vec<usize> {
+        let an = ds.object_at(an_pos);
+        let windows = sample_windows(an, q);
+        let parts = self.fan(|shard| shard.sample_candidates(an, q, &windows));
+        let ids = super::merge::merge_candidate_ids(Self::fold_parts(parts, stats));
+        super::merge::global_positions(ds, &ids)
+    }
+}
+
+impl DominatorSource for ShardFanOut<'_> {
+    fn dominators(
+        &self,
+        q: &Point,
+        an: &Point,
+        an_id: ObjectId,
+        stats: &mut RunStats,
+    ) -> Vec<ObjectId> {
+        let parts = self.fan(|shard| shard.point_dominators(q, an, an_id));
+        super::merge::merge_candidate_ids(Self::fold_parts(parts, stats))
+    }
+}
+
+impl RegionHitSource for ShardFanOut<'_> {
+    fn region_hits(
+        &self,
+        windows: &[HyperRect],
+        exclude: ObjectId,
+        stats: &mut RunStats,
+    ) -> Vec<ObjectId> {
+        let parts = self.fan(|shard| shard.region_hits(windows, exclude));
+        super::merge::merge_candidate_ids(Self::fold_parts(parts, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExplainEngine;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    fn uncertain_fixture() -> UncertainDataset {
+        UncertainDataset::from_objects(vec![
+            UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+            UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+            UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)])
+                .unwrap(),
+            UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)),
+            UncertainObject::certain(ObjectId(4), pt(6.0, 8.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn policies_partition_every_object_exactly_once() {
+        let ds = uncertain_fixture();
+        for policy in ShardPolicy::ALL {
+            for shards in [1usize, 2, 3, 7] {
+                let engine =
+                    ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), shards, policy);
+                assert_eq!(engine.shard_count(), shards);
+                let sizes = engine.shard_sizes();
+                assert_eq!(sizes.iter().sum::<usize>(), ds.len(), "{policy} × {shards}");
+                // Round-robin and spatial are balanced to within one.
+                if policy != ShardPolicy::HashById {
+                    let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                    assert!(hi - lo <= 1, "{policy} × {shards}: sizes {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic() {
+        let ds = uncertain_fixture();
+        for policy in ShardPolicy::ALL {
+            let a = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 3, policy);
+            let b = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 3, policy);
+            assert_eq!(a.shard_sizes(), b.shard_sizes());
+            for (sa, sb) in a.shards.iter().zip(&b.shards) {
+                let (ids_a, ids_b): (Vec<ObjectId>, Vec<ObjectId>) = match (&sa.data, &sb.data) {
+                    (ShardData::Discrete(da), ShardData::Discrete(db)) => (
+                        da.iter().map(|o| o.id()).collect(),
+                        db.iter().map(|o| o.id()).collect(),
+                    ),
+                    _ => unreachable!(),
+                };
+                assert_eq!(ids_a, ids_b, "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_slabs_are_contiguous_along_split_dim() {
+        // Centers on a line: slabs must be contiguous runs of x.
+        let centers: Vec<Point> = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+            .iter()
+            .map(|&x| pt(x, 0.0))
+            .collect();
+        let assignment = spatial_slabs(&centers, 3);
+        // Sorted by x: 1,2 | 3,5 | 7,9 -> positions (1,5)(3,0)(4,2).
+        assert_eq!(assignment, vec![1, 0, 2, 1, 2, 0]);
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for policy in ShardPolicy::ALL {
+            assert_eq!(policy.name().parse::<ShardPolicy>().unwrap(), policy);
+        }
+        assert_eq!(
+            "rr".parse::<ShardPolicy>().unwrap(),
+            ShardPolicy::RoundRobin
+        );
+        assert_eq!("STR".parse::<ShardPolicy>().unwrap(), ShardPolicy::Spatial);
+        assert!("gibberish".parse::<ShardPolicy>().is_err());
+    }
+
+    #[test]
+    fn sharded_cp_is_bit_identical_to_unsharded() {
+        let ds = uncertain_fixture();
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75));
+        let q = pt(5.0, 5.0);
+        for policy in ShardPolicy::ALL {
+            for shards in [1usize, 2, 4, 7] {
+                let sharded = ShardedExplainEngine::new(
+                    ds.clone(),
+                    EngineConfig::with_alpha(0.75),
+                    shards,
+                    policy,
+                );
+                for id in 0..5u32 {
+                    let a = single.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(id));
+                    let b = sharded.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(id));
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            assert_eq!(x.causes, y.causes, "{policy} × {shards}, an {id}");
+                            // Search-stage counters are partition-independent.
+                            assert_eq!(x.stats.candidates, y.stats.candidates);
+                            assert_eq!(x.stats.subsets_examined, y.stats.subsets_examined);
+                            assert_eq!(x.stats.prsq_evaluations, y.stats.prsq_evaluations);
+                        }
+                        (Err(x), Err(y)) => assert_eq!(x, y, "{policy} × {shards}, an {id}"),
+                        (x, y) => panic!("divergence {policy} × {shards}, an {id}: {x:?} vs {y:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_candidate_ids_merge_to_unsharded() {
+        let ds = uncertain_fixture();
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75));
+        let q = pt(5.0, 5.0);
+        let expected = single.candidate_ids(&q, ObjectId(0)).unwrap();
+        assert_eq!(expected, vec![ObjectId(1), ObjectId(2), ObjectId(4)]);
+        for policy in ShardPolicy::ALL {
+            let sharded =
+                ShardedExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75), 3, policy);
+            assert_eq!(
+                sharded.candidate_ids(&q, ObjectId(0)).unwrap(),
+                expected,
+                "{policy}"
+            );
+            // The per-shard API merges to the same list.
+            let parts: Vec<Vec<ObjectId>> = (0..sharded.shard_count())
+                .map(|i| sharded.shard_candidates(i, &q, ObjectId(0)).unwrap())
+                .collect();
+            assert_eq!(super::super::merge::merge_candidate_ids(parts), expected);
+        }
+    }
+
+    #[test]
+    fn sharded_io_rolls_up_across_shards() {
+        let ds = uncertain_fixture();
+        let sharded = ShardedExplainEngine::new(
+            ds,
+            EngineConfig::with_alpha(0.75),
+            2,
+            ShardPolicy::RoundRobin,
+        );
+        let q = pt(5.0, 5.0);
+        let out = sharded.explain(&q, ObjectId(0)).unwrap();
+        assert!(out.stats.query.node_accesses > 0);
+        // Engine-level totals = per-shard accumulators rolled up = the
+        // per-call stats (one call so far).
+        assert_eq!(sharded.accumulated_io(), out.stats.query);
+        assert_eq!(
+            sharded.shard_io().into_iter().sum::<QueryStats>(),
+            out.stats.query
+        );
+        let taken = sharded.reset_io();
+        assert_eq!(taken, out.stats.query);
+        assert_eq!(sharded.accumulated_io(), QueryStats::default());
+    }
+
+    #[test]
+    fn sharded_batch_parallel_matches_serial() {
+        let ds = uncertain_fixture();
+        let sharded =
+            ShardedExplainEngine::new(ds, EngineConfig::with_alpha(0.75), 3, ShardPolicy::Spatial);
+        let q = pt(5.0, 5.0);
+        let ids: Vec<ObjectId> = (0..5).map(ObjectId).collect();
+        let par = sharded.explain_batch(&q, &ids);
+        let ser = sharded.explain_batch_serial_as(ExplainStrategy::Auto, &q, 0.75, &ids);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn sharded_certain_strategies_match_unsharded() {
+        let ds = UncertainDataset::from_points(vec![
+            pt(10.0, 10.0),
+            pt(7.0, 7.0),
+            pt(6.0, 8.0),
+            pt(8.0, 6.0),
+            pt(2.0, 2.0),
+        ])
+        .unwrap();
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::default());
+        let q = pt(5.0, 5.0);
+        for policy in ShardPolicy::ALL {
+            let sharded = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 4, policy);
+            for strategy in [
+                ExplainStrategy::Cr,
+                ExplainStrategy::CrKskyband { k: 1 },
+                ExplainStrategy::NaiveII { max_subsets: None },
+                ExplainStrategy::OracleCr,
+            ] {
+                for id in 0..5u32 {
+                    let a = single.explain_as(strategy, &q, 0.5, ObjectId(id));
+                    let b = sharded.explain_as(strategy, &q, 0.5, ObjectId(id));
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => assert_eq!(x.causes, y.causes, "{policy}, an {id}"),
+                        (Err(x), Err(y)) => assert_eq!(x, y),
+                        (x, y) => panic!("divergence {policy}, an {id}: {x:?} vs {y:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pdf_matches_unsharded() {
+        use crp_uncertain::PdfObject;
+        let ds = PdfDataset::from_objects(vec![
+            PdfObject::uniform(
+                ObjectId(0),
+                crp_geom::HyperRect::new(pt(9.5, 9.5), pt(10.5, 10.5)),
+            ),
+            PdfObject::uniform(
+                ObjectId(1),
+                crp_geom::HyperRect::new(pt(6.9, 6.9), pt(7.1, 7.1)),
+            ),
+            PdfObject::uniform(
+                ObjectId(2),
+                crp_geom::HyperRect::new(pt(7.0, 2.0), pt(8.0, 6.0)),
+            ),
+            PdfObject::uniform(
+                ObjectId(3),
+                crp_geom::HyperRect::new(pt(40.0, 40.0), pt(41.0, 41.0)),
+            ),
+        ])
+        .unwrap();
+        let single = ExplainEngine::for_pdf(ds.clone(), 3, EngineConfig::with_alpha(0.5));
+        let q = pt(5.0, 5.0);
+        for policy in ShardPolicy::ALL {
+            for shards in [2usize, 3] {
+                let sharded = ShardedExplainEngine::for_pdf(
+                    ds.clone(),
+                    3,
+                    EngineConfig::with_alpha(0.5),
+                    shards,
+                    policy,
+                );
+                for id in 0..4u32 {
+                    let a = single.explain(&q, ObjectId(id));
+                    let b = sharded.explain(&q, ObjectId(id));
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            assert_eq!(x.causes, y.causes, "{policy} × {shards}, an {id}")
+                        }
+                        (Err(x), Err(y)) => assert_eq!(x, y),
+                        (x, y) => panic!("divergence: {x:?} vs {y:?}"),
+                    }
+                }
+                // Certain-data strategies stay unsupported, like the
+                // unsharded pdf session.
+                assert!(matches!(
+                    sharded.explain_as(ExplainStrategy::Cr, &q, 0.5, ObjectId(0)),
+                    Err(CrpError::UnsupportedStrategy { .. })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_error_cases_match_unsharded() {
+        let q = pt(5.0, 5.0);
+        // Empty dataset: same error as the unsharded engine, on every path.
+        let empty = ShardedExplainEngine::new(
+            UncertainDataset::new(),
+            EngineConfig::default(),
+            4,
+            ShardPolicy::RoundRobin,
+        );
+        assert_eq!(
+            empty.explain(&q, ObjectId(0)).unwrap_err(),
+            CrpError::EmptyDataset
+        );
+        assert_eq!(
+            empty.candidate_ids(&q, ObjectId(0)).unwrap_err(),
+            CrpError::EmptyDataset
+        );
+        // Unknown object.
+        let ds = uncertain_fixture();
+        let sharded =
+            ShardedExplainEngine::new(ds, EngineConfig::default(), 2, ShardPolicy::HashById);
+        assert_eq!(
+            sharded.explain(&q, ObjectId(99)).unwrap_err(),
+            CrpError::UnknownObject(ObjectId(99))
+        );
+        // More shards than objects: empty shards answer with nothing.
+        let tiny = UncertainDataset::from_points(vec![pt(10.0, 10.0), pt(7.0, 7.0)]).unwrap();
+        let sharded =
+            ShardedExplainEngine::new(tiny, EngineConfig::default(), 7, ShardPolicy::Spatial);
+        let out = sharded.explain(&q, ObjectId(0)).unwrap();
+        assert!(out.causes[0].counterfactual);
+        // Zero shards clamps to one.
+        let one = ShardedExplainEngine::new(
+            uncertain_fixture(),
+            EngineConfig::default(),
+            0,
+            ShardPolicy::RoundRobin,
+        );
+        assert_eq!(one.shard_count(), 1);
+    }
+}

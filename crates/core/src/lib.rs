@@ -32,7 +32,11 @@
 //! * [`CpConfig`] — lemma on/off switches, work budgets and FMCS
 //!   parallelism for the ablation experiments,
 //! * [`ExplainEngine::explain_batch`] — many non-answers in one call,
-//!   data-parallel with rayon and bit-identical to the serial path.
+//!   data-parallel with rayon and bit-identical to the serial path,
+//! * [`ShardedExplainEngine`] — the same sessions over a dataset split
+//!   into per-shard R-trees by a [`ShardPolicy`]; candidate generation
+//!   fans out across shards and the merged results are bit-identical
+//!   to the unsharded engine (see [`engine::shard`]).
 //!
 //! The pre-engine free functions ([`cp`], [`cr`], [`naive_i`],
 //! [`naive_ii`], [`cp_pdf`], [`cr_kskyband`]) remain as deprecated thin
@@ -57,7 +61,8 @@ pub use answers::answer_causes;
 pub use combinations::{binomial, for_each_combination};
 pub use config::CpConfig;
 pub use cp::collect_candidates;
-pub use engine::{EngineConfig, ExplainEngine, ExplainStrategy};
+pub use engine::merge::merge_candidate_ids;
+pub use engine::{EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy, ShardedExplainEngine};
 pub use error::CrpError;
 pub use matrix::{DominanceMatrix, PrEvaluator};
 pub use oracle::{oracle_cp, oracle_cr, oracle_crp, OracleCause};

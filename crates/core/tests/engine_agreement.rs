@@ -1,17 +1,20 @@
 //! Property tests of the `ExplainEngine`: the session object must agree
 //! **exactly** with the definition-level oracles on small random
 //! datasets, through every dispatch path — per-call `explain_as`,
-//! serial batch, rayon-parallel batch, and the candidate-parallel FMCS
-//! mode. The batch paths must additionally be bit-identical to each
-//! other (the engine's ordering contract), and the combinatorics
-//! primitives FMCS leans on must behave at their boundary sizes.
+//! serial batch, rayon-parallel batch, the candidate-parallel FMCS
+//! mode, and the partition-parallel `ShardedExplainEngine` (every
+//! `ShardPolicy` × 1/2/4/7 shards must be bit-identical to the
+//! unsharded session on both discrete and pdf workloads). The batch
+//! paths must additionally be bit-identical to each other (the engine's
+//! ordering contract), and the combinatorics primitives FMCS leans on
+//! must behave at their boundary sizes.
 
 use crp_core::{
     binomial, for_each_combination, oracle_cp, oracle_cr, CpConfig, CrpError, CrpOutcome,
-    EngineConfig, ExplainEngine, ExplainStrategy,
+    EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy, ShardedExplainEngine,
 };
-use crp_geom::Point;
-use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
+use crp_geom::{HyperRect, Point};
+use crp_uncertain::{ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainObject};
 use proptest::prelude::*;
 
 /// Small uncertain dataset strategy: 2–7 objects, 1–3 samples each, on a
@@ -90,6 +93,70 @@ fn engine_vs_oracle(
             (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
             (g, e) => prop_assert!(false, "divergence for an = {}: {:?} vs {:?}", an, g, e),
         }
+    }
+    Ok(())
+}
+
+/// Small pdf dataset strategy: 2–6 uniform-box objects on a coarse
+/// grid.
+fn pdf_dataset(dim: usize) -> impl Strategy<Value = PdfDataset> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0.0..12.0f64, dim),
+            prop::collection::vec(0.5..3.0f64, dim),
+        ),
+        2..=6,
+    )
+    .prop_map(|boxes| {
+        PdfDataset::from_objects(boxes.into_iter().enumerate().map(|(i, (lo, ext))| {
+            let lo: Vec<f64> = lo.into_iter().map(|c| c.round()).collect();
+            let hi: Vec<f64> = lo
+                .iter()
+                .zip(&ext)
+                .map(|(l, e)| l + e.round().max(1.0))
+                .collect();
+            PdfObject::uniform(
+                ObjectId(i as u32),
+                HyperRect::new(Point::new(lo), Point::new(hi)),
+            )
+        }))
+        .unwrap()
+    })
+}
+
+/// Shard counts the sharding satellite pins: the degenerate 1, even
+/// splits, and a count exceeding the object count (empty shards).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Asserts one sharded outcome equals the unsharded reference:
+/// bit-identical causes and error cases, and partition-independent
+/// search counters (node accesses legitimately differ — several small
+/// trees instead of one big one).
+fn assert_sharded_matches(
+    reference: &Result<CrpOutcome, CrpError>,
+    sharded: Result<CrpOutcome, CrpError>,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    match (reference, sharded) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(&a.causes, &b.causes, "causes diverged: {}", context);
+            prop_assert_eq!(a.stats.candidates, b.stats.candidates, "{}", context);
+            prop_assert_eq!(a.stats.forced, b.stats.forced, "{}", context);
+            prop_assert_eq!(
+                a.stats.subsets_examined,
+                b.stats.subsets_examined,
+                "{}",
+                context
+            );
+            prop_assert_eq!(
+                a.stats.prsq_evaluations,
+                b.stats.prsq_evaluations,
+                "{}",
+                context
+            );
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a, &b, "errors diverged: {}", context),
+        (a, b) => prop_assert!(false, "divergence ({}): {:?} vs {:?}", context, a, b),
     }
     Ok(())
 }
@@ -183,6 +250,162 @@ proptest! {
                 }
                 (Err(x), Err(y)) => prop_assert_eq!(x, y),
                 (x, y) => prop_assert!(false, "divergence: {:?} vs {:?}", x, y),
+            }
+        }
+    }
+}
+
+proptest! {
+    // The sharded sweeps run 3 policies × 4 shard counts × every object
+    // per case; fewer cases keep the suite fast without losing the
+    // space (the datasets are freshly random each case).
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_engine_is_bit_identical_on_discrete_cp(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0]),
+    ) {
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha));
+        let ids: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
+        let reference = single.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
+        // Pin the shared reference against the (exponential) oracle
+        // once per object — it is invariant across the policy × shard
+        // sweep below, which then only needs reference equality to be
+        // oracle-correct transitively.
+        for (&an, reference) in ids.iter().zip(&reference) {
+            match (reference, oracle_cp(single.dataset(), &q, an, alpha)) {
+                (Ok(out), Ok(oracle)) => prop_assert_eq!(
+                    signature(out),
+                    oracle_signature(&oracle),
+                    "reference vs oracle: an = {}, α = {}",
+                    an,
+                    alpha
+                ),
+                (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
+                (g, e) => prop_assert!(false, "oracle divergence an = {}: {:?} vs {:?}", an, g, e),
+            }
+        }
+        for policy in ShardPolicy::ALL {
+            for shards in SHARD_COUNTS {
+                let sharded = ShardedExplainEngine::new(
+                    ds.clone(),
+                    EngineConfig::with_alpha(alpha),
+                    shards,
+                    policy,
+                );
+                // Per-call, serial batch and parallel batch all agree.
+                let par = sharded.explain_batch_as(ExplainStrategy::Cp, &q, alpha, &ids);
+                let ser = sharded.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
+                prop_assert_eq!(&par, &ser, "sharded parallel batch diverged from serial");
+                for ((&an, reference), sharded_out) in ids.iter().zip(&reference).zip(par) {
+                    let context = format!("{policy} × {shards}, an = {an}, α = {alpha}");
+                    assert_sharded_matches(reference, sharded_out, &context)?;
+                    let single_call = sharded.explain_as(ExplainStrategy::Cp, &q, alpha, an);
+                    assert_sharded_matches(reference, single_call, &context)?;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_on_certain_cr(
+        ds in certain_dataset(2),
+        q in query(2),
+    ) {
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::default());
+        let ids: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
+        // The oracle comparison is invariant across policies and shard
+        // counts — run it once per object against the shared reference.
+        let reference: Vec<_> = ids
+            .iter()
+            .map(|&an| single.explain_as(ExplainStrategy::Cr, &q, 0.5, an))
+            .collect();
+        for (&an, reference) in ids.iter().zip(&reference) {
+            match (reference, oracle_cr(single.dataset(), &q, an)) {
+                (Ok(out), Ok(oracle)) => prop_assert_eq!(
+                    signature(out),
+                    oracle_signature(&oracle),
+                    "reference vs oracle: an = {}",
+                    an
+                ),
+                (Err(CrpError::NotANonAnswer { .. }), Err(CrpError::NotANonAnswer { .. })) => {}
+                (g, e) => prop_assert!(false, "oracle divergence an = {}: {:?} vs {:?}", an, g, e),
+            }
+        }
+        for policy in ShardPolicy::ALL {
+            for shards in SHARD_COUNTS {
+                let sharded = ShardedExplainEngine::new(
+                    ds.clone(),
+                    EngineConfig::default(),
+                    shards,
+                    policy,
+                );
+                for (&an, reference) in ids.iter().zip(&reference) {
+                    let context = format!("{policy} × {shards}, an = {an}");
+                    let got = sharded.explain_as(ExplainStrategy::Cr, &q, 0.5, an);
+                    assert_sharded_matches(reference, got, &context)?;
+                    // Auto resolves identically on both engines.
+                    let auto_single = single.explain(&q, an);
+                    let auto_sharded = sharded.explain(&q, an);
+                    assert_sharded_matches(&auto_single, auto_sharded, &context)?;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_on_pdf(
+        ds in pdf_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.3, 0.6]),
+    ) {
+        let resolution = 3;
+        let single = ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha));
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        for policy in ShardPolicy::ALL {
+            for shards in SHARD_COUNTS {
+                let sharded = ShardedExplainEngine::for_pdf(
+                    ds.clone(),
+                    resolution,
+                    EngineConfig::with_alpha(alpha),
+                    shards,
+                    policy,
+                );
+                for &an in &ids {
+                    let context = format!("pdf {policy} × {shards}, an = {an}, α = {alpha}");
+                    let reference = single.explain(&q, an);
+                    let got = sharded.explain(&q, an);
+                    assert_sharded_matches(&reference, got, &context)?;
+                    // Stage-1 outputs merge to the unsharded hit list.
+                    let merged = sharded.candidate_ids(&q, an).unwrap();
+                    let direct = single.candidate_ids(&q, an).unwrap();
+                    prop_assert_eq!(merged, direct, "candidate merge diverged: {}", context);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_candidate_merge_equals_unsharded_filter(
+        ds in uncertain_dataset(2),
+        q in query(2),
+    ) {
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::default());
+        let ids: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
+        for policy in ShardPolicy::ALL {
+            let sharded = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 4, policy);
+            for &an in &ids {
+                let direct = single.candidate_ids(&q, an).unwrap();
+                // The engine-level merge and a hand-rolled per-shard
+                // merge (the distributed router's recombine) both
+                // reproduce the unsharded filter output.
+                prop_assert_eq!(&sharded.candidate_ids(&q, an).unwrap(), &direct);
+                let parts: Vec<Vec<ObjectId>> = (0..sharded.shard_count())
+                    .map(|i| sharded.shard_candidates(i, &q, an).unwrap())
+                    .collect();
+                prop_assert_eq!(crp_core::merge_candidate_ids(parts), direct);
             }
         }
     }

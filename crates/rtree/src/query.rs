@@ -22,6 +22,29 @@ impl QueryStats {
     }
 }
 
+impl std::ops::Add for QueryStats {
+    type Output = QueryStats;
+
+    fn add(mut self, rhs: QueryStats) -> QueryStats {
+        self.absorb(rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        self.absorb(rhs);
+    }
+}
+
+/// Rolls per-shard (or per-query) counters up into one total —
+/// `shards.iter().map(|s| s.io.snapshot()).sum()`.
+impl std::iter::Sum for QueryStats {
+    fn sum<I: Iterator<Item = QueryStats>>(iter: I) -> QueryStats {
+        iter.fold(QueryStats::default(), |acc, s| acc + s)
+    }
+}
+
 impl<T> RTree<T> {
     /// Visits every data entry whose rectangle intersects `window`
     /// (closed-boundary semantics).

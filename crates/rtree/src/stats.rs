@@ -30,6 +30,13 @@ impl AtomicQueryStats {
             .fetch_add(stats.leaf_accesses, Ordering::Relaxed);
     }
 
+    /// [`AtomicQueryStats::absorb`] by reference — the engine-level
+    /// rollup a sharded session uses to fold per-shard totals into one
+    /// accumulator without consuming the shard snapshots.
+    pub fn merge(&self, other: &QueryStats) {
+        self.absorb(*other);
+    }
+
     /// Current totals as a plain [`QueryStats`].
     pub fn snapshot(&self) -> QueryStats {
         QueryStats {
@@ -112,6 +119,43 @@ mod tests {
         let snap = shared.snapshot();
         assert_eq!(snap.node_accesses, 16_000);
         assert_eq!(snap.leaf_accesses, 8_000);
+    }
+
+    #[test]
+    fn merge_and_sum_roll_shard_counters_up() {
+        // Three "shards", each with its own accumulator.
+        let shards = [
+            AtomicQueryStats::new(),
+            AtomicQueryStats::new(),
+            AtomicQueryStats::new(),
+        ];
+        for (i, shard) in shards.iter().enumerate() {
+            shard.merge(&QueryStats {
+                node_accesses: (i + 1) as u64,
+                leaf_accesses: i as u64,
+            });
+        }
+        // Sum of shard snapshots = engine-level total.
+        let total: QueryStats = shards.iter().map(|s| s.snapshot()).sum();
+        assert_eq!(
+            total,
+            QueryStats {
+                node_accesses: 6,
+                leaf_accesses: 3
+            }
+        );
+        // The same rollup through an engine-level accumulator.
+        let engine = AtomicQueryStats::new();
+        for shard in &shards {
+            engine.merge(&shard.snapshot());
+        }
+        assert_eq!(engine.snapshot(), total);
+        // Add / AddAssign agree with Sum.
+        let mut acc = QueryStats::default();
+        for shard in &shards {
+            acc += shard.snapshot();
+        }
+        assert_eq!(acc, total);
     }
 
     #[test]

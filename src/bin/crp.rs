@@ -15,6 +15,12 @@
 //! crp explain-batch --data cars.csv --schema points --query 11580,49000 \
 //!                   --objects 42,57,93 [--serial]
 //!
+//! # Partition-parallel: shard the dataset across engines (one R-tree
+//! # pair per shard) and merge per-shard candidate sets. Results are
+//! # bit-identical to the unsharded session.
+//! crp explain --data cars.csv --schema points --query 11580,49000 \
+//!             --object 42 --shards 4 --shard-policy spatial
+//!
 //! # Emit a synthetic stand-in dataset as CSV.
 //! crp generate --kind nba   --out league.csv
 //! crp generate --kind cardb --out cars.csv
@@ -23,23 +29,138 @@
 //! Schemas are documented in `crp_data::io`: `points` = `label,a1..aD`
 //! (certain data), `seasons` = `player_id,label,a1..aD` (uncertain data,
 //! equal sample probabilities per id).
+//!
+//! Unknown flags are rejected with a usage error and a nonzero exit —
+//! a typo like `--aplha` fails loudly instead of silently running with
+//! the default.
 
 use prsq_crp::data::{
     cardb_dataset, load_points, load_season_records, nba_dataset, write_season_records,
     CarDbConfig, NbaConfig,
 };
 use prsq_crp::prelude::*;
+use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
+const USAGE: &str = "usage: crp <query|explain|explain-batch|generate> [--data FILE \
+     --schema points|seasons --query a1,a2,… --alpha A --object ID \
+     --objects ID,ID,…|all --budget N --serial \
+     --shards N --shard-policy round-robin|hash-by-id|spatial \
+     | --kind nba|cardb --out FILE]";
+
+/// Parsed command line: every token accounted for, or an error.
+#[derive(Debug)]
+struct Cli {
+    command: String,
+    values: HashMap<&'static str, String>,
 }
 
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+/// The flags each subcommand accepts. `(name, takes_value)`.
+fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
+    const QUERY: &[(&str, bool)] = &[
+        ("--data", true),
+        ("--schema", true),
+        ("--query", true),
+        ("--alpha", true),
+    ];
+    const EXPLAIN: &[(&str, bool)] = &[
+        ("--data", true),
+        ("--schema", true),
+        ("--query", true),
+        ("--alpha", true),
+        ("--budget", true),
+        ("--object", true),
+        ("--shards", true),
+        ("--shard-policy", true),
+    ];
+    const EXPLAIN_BATCH: &[(&str, bool)] = &[
+        ("--data", true),
+        ("--schema", true),
+        ("--query", true),
+        ("--alpha", true),
+        ("--budget", true),
+        ("--objects", true),
+        ("--serial", false),
+        ("--shards", true),
+        ("--shard-policy", true),
+    ];
+    const GENERATE: &[(&str, bool)] = &[("--kind", true), ("--out", true)];
+    match command {
+        "query" => Some(QUERY),
+        "explain" => Some(EXPLAIN),
+        "explain-batch" => Some(EXPLAIN_BATCH),
+        "generate" => Some(GENERATE),
+        _ => None,
+    }
+}
+
+/// Strict parser: the first token is the subcommand, everything after
+/// must be a flag the subcommand accepts (with its value when the flag
+/// takes one). Anything unrecognized is an error, not a silent no-op.
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let command = args.first().cloned().unwrap_or_default();
+    let spec =
+        accepted_flags(&command).ok_or_else(|| format!("unknown command {command:?}\n{USAGE}"))?;
+    let mut values: HashMap<&'static str, String> = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let tok = &args[i];
+        let Some(&(name, takes_value)) = spec.iter().find(|(name, _)| name == tok) else {
+            return Err(format!(
+                "unrecognized argument {tok:?} for `crp {command}`\n{USAGE}"
+            ));
+        };
+        if values.contains_key(name) {
+            return Err(format!("duplicate flag {name}"));
+        }
+        if takes_value {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("flag {name} requires a value"))?;
+            values.insert(name, value.clone());
+            i += 2;
+        } else {
+            values.insert(name, String::new());
+            i += 1;
+        }
+    }
+    Ok(Cli { command, values })
+}
+
+impl Cli {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str, hint: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("{name} {hint} required"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(name)
+            .map(|raw| raw.parse().map_err(|e| format!("bad {name}: {e}")))
+            .transpose()
+    }
+}
+
+/// Sharding options of the explain commands: `--shards N` (default 1 =
+/// unsharded) and `--shard-policy P` (default round-robin).
+fn parse_sharding(cli: &Cli) -> Result<(usize, ShardPolicy), String> {
+    let shards: usize = cli.parse("--shards")?.unwrap_or(1);
+    if shards == 0 {
+        return Err("bad --shards: must be at least 1".into());
+    }
+    let policy = cli.parse("--shard-policy")?.unwrap_or_default();
+    Ok((shards, policy))
 }
 
 fn parse_query_point(raw: &str) -> Result<Point, String> {
@@ -89,15 +210,56 @@ fn cmd_query(ds: &UncertainDataset, q: &Point, alpha: f64) -> Result<(), String>
     Ok(())
 }
 
+/// The engine behind `explain` / `explain-batch`: unsharded for
+/// `--shards 1`, partition-parallel otherwise. Both expose the same
+/// calls and produce bit-identical outcomes.
+enum AnyEngine {
+    Single(ExplainEngine),
+    Sharded(ShardedExplainEngine),
+}
+
+impl AnyEngine {
+    fn dataset(&self) -> &UncertainDataset {
+        match self {
+            AnyEngine::Single(e) => e.dataset(),
+            AnyEngine::Sharded(e) => e.dataset(),
+        }
+    }
+
+    fn explain(&self, q: &Point, an: ObjectId) -> Result<CrpOutcome, CrpError> {
+        match self {
+            AnyEngine::Single(e) => e.explain(q, an),
+            AnyEngine::Sharded(e) => e.explain(q, an),
+        }
+    }
+
+    fn explain_batch(&self, q: &Point, ans: &[ObjectId]) -> Vec<Result<CrpOutcome, CrpError>> {
+        match self {
+            AnyEngine::Single(e) => e.explain_batch(q, ans),
+            AnyEngine::Sharded(e) => e.explain_batch(q, ans),
+        }
+    }
+
+    fn accumulated_io(&self) -> QueryStats {
+        match self {
+            AnyEngine::Single(e) => e.accumulated_io(),
+            AnyEngine::Sharded(e) => e.accumulated_io(),
+        }
+    }
+}
+
 /// Builds the engine session the `explain` / `explain-batch` commands
 /// share: auto strategy (CR for certain data, CP otherwise) with the
-/// probability-bound extension and the CLI's subset budget.
+/// probability-bound extension and the CLI's subset budget; sharded
+/// when `--shards` exceeds 1.
 fn build_engine(
     ds: UncertainDataset,
     alpha: f64,
     budget: Option<u64>,
     parallel: bool,
-) -> ExplainEngine {
+    shards: usize,
+    policy: ShardPolicy,
+) -> AnyEngine {
     let config = EngineConfig {
         alpha,
         cp: CpConfig {
@@ -108,7 +270,11 @@ fn build_engine(
         parallel,
         ..EngineConfig::default()
     };
-    ExplainEngine::new(ds, config)
+    if shards > 1 {
+        AnyEngine::Sharded(ShardedExplainEngine::new(ds, config, shards, policy))
+    } else {
+        AnyEngine::Single(ExplainEngine::new(ds, config))
+    }
 }
 
 fn print_outcome(ds: &UncertainDataset, object: ObjectId, outcome: &CrpOutcome) {
@@ -131,7 +297,7 @@ fn print_outcome(ds: &UncertainDataset, object: ObjectId, outcome: &CrpOutcome) 
     }
 }
 
-fn cmd_explain(engine: &ExplainEngine, q: &Point, object: ObjectId) -> Result<(), String> {
+fn cmd_explain(engine: &AnyEngine, q: &Point, object: ObjectId) -> Result<(), String> {
     let ds = engine.dataset();
     match engine.explain(q, object) {
         Ok(out) => {
@@ -152,11 +318,7 @@ fn cmd_explain(engine: &ExplainEngine, q: &Point, object: ObjectId) -> Result<()
 
 /// `explain-batch`: one engine session, many non-answers, one
 /// rayon-parallel `explain_batch` call.
-fn cmd_explain_batch(
-    engine: &ExplainEngine,
-    q: &Point,
-    objects: &[ObjectId],
-) -> Result<(), String> {
+fn cmd_explain_batch(engine: &AnyEngine, q: &Point, objects: &[ObjectId]) -> Result<(), String> {
     let ds = engine.dataset();
     let started = std::time::Instant::now();
     let outcomes = engine.explain_batch(q, objects);
@@ -227,22 +389,20 @@ fn cmd_generate(kind: &str, out: &str) -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
-    let command = std::env::args().nth(1).unwrap_or_default();
-    match command.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args)?;
+    match cli.command.as_str() {
         "generate" => {
-            let kind = arg("--kind").ok_or("--kind nba|cardb required")?;
-            let out = arg("--out").ok_or("--out FILE required")?;
-            cmd_generate(&kind, &out)
+            let kind = cli.require("--kind", "nba|cardb")?;
+            let out = cli.require("--out", "FILE")?;
+            cmd_generate(kind, out)
         }
         "query" | "explain" | "explain-batch" => {
-            let data = arg("--data").ok_or("--data FILE required")?;
-            let schema = arg("--schema").unwrap_or_else(|| "points".into());
-            let q = parse_query_point(&arg("--query").ok_or("--query a1,a2,… required")?)?;
-            let alpha: f64 = arg("--alpha")
-                .map(|a| a.parse().map_err(|e| format!("bad --alpha: {e}")))
-                .transpose()?
-                .unwrap_or(0.5);
-            let ds = load(&schema, &data)?;
+            let data = cli.require("--data", "FILE")?;
+            let schema = cli.get("--schema").unwrap_or("points");
+            let q = parse_query_point(cli.require("--query", "a1,a2,…")?)?;
+            let alpha: f64 = cli.parse("--alpha")?.unwrap_or(0.5);
+            let ds = load(schema, data)?;
             if ds.dim() != Some(q.dim()) {
                 return Err(format!(
                     "query has {} attributes but the data has {:?}",
@@ -250,31 +410,27 @@ fn run() -> Result<(), String> {
                     ds.dim()
                 ));
             }
-            if command == "query" {
+            if cli.command == "query" {
                 return cmd_query(&ds, &q, alpha);
             }
-            let budget = arg("--budget")
-                .map(|b| b.parse().map_err(|e| format!("bad --budget: {e}")))
-                .transpose()?
-                .or(Some(5_000_000));
-            if command == "explain" {
-                let raw = arg("--object").ok_or("--object ID required")?;
-                let id = ObjectId(raw.parse().map_err(|e| format!("bad --object: {e}"))?);
-                let engine = build_engine(ds, alpha, budget, true);
+            let budget = cli.parse("--budget")?.or(Some(5_000_000));
+            let (shards, policy) = parse_sharding(&cli)?;
+            if cli.command == "explain" {
+                let id = ObjectId(
+                    cli.require("--object", "ID")?
+                        .parse()
+                        .map_err(|e| format!("bad --object: {e}"))?,
+                );
+                let engine = build_engine(ds, alpha, budget, true, shards, policy);
                 cmd_explain(&engine, &q, id)
             } else {
-                let raw = arg("--objects").ok_or("--objects ID,ID,… (or 'all') required")?;
-                let ids = parse_objects(&raw, &ds)?;
-                let engine = build_engine(ds, alpha, budget, !arg_flag("--serial"));
+                let raw = cli.require("--objects", "ID,ID,… (or 'all')")?;
+                let ids = parse_objects(raw, &ds)?;
+                let engine = build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy);
                 cmd_explain_batch(&engine, &q, &ids)
             }
         }
-        _ => Err(
-            "usage: crp <query|explain|explain-batch|generate> [--data FILE \
-             --schema points|seasons --query a1,a2,… --alpha A --object ID \
-             --objects ID,ID,…|all --budget N --serial | --kind nba|cardb --out FILE]"
-                .into(),
-        ),
+        _ => unreachable!("parse_cli rejects unknown commands"),
     }
 }
 
@@ -290,7 +446,12 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_query_point;
+    use super::{parse_cli, parse_query_point, parse_sharding};
+    use prsq_crp::prelude::ShardPolicy;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
 
     #[test]
     fn query_point_parsing() {
@@ -300,5 +461,57 @@ mod tests {
         );
         assert!(parse_query_point("").is_err());
         assert!(parse_query_point("1,x").is_err());
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        // A typo'd flag is an error, not a silent no-op.
+        let err = parse_cli(&args(&[
+            "explain", "--data", "x.csv", "--query", "1,2", "--aplha", "0.5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--aplha"), "{err}");
+        // A flag from another subcommand is rejected too.
+        let err = parse_cli(&args(&["query", "--data", "x.csv", "--object", "3"])).unwrap_err();
+        assert!(err.contains("--object"), "{err}");
+        // Unknown subcommands are rejected with usage.
+        let err = parse_cli(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("usage"), "{err}");
+        // Missing values are rejected.
+        let err = parse_cli(&args(&["explain", "--data"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        // Duplicate flags are rejected.
+        let err = parse_cli(&args(&["explain", "--data", "a.csv", "--data", "b.csv"])).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn shards_flag_parsing() {
+        // Default: one shard, round-robin.
+        let cli = parse_cli(&args(&["explain", "--data", "x.csv"])).unwrap();
+        assert_eq!(parse_sharding(&cli).unwrap(), (1, ShardPolicy::RoundRobin));
+        // Explicit count and policy.
+        let cli = parse_cli(&args(&[
+            "explain-batch",
+            "--shards",
+            "4",
+            "--shard-policy",
+            "spatial",
+        ]))
+        .unwrap();
+        assert_eq!(parse_sharding(&cli).unwrap(), (4, ShardPolicy::Spatial));
+        // Aliases go through ShardPolicy::from_str.
+        let cli = parse_cli(&args(&["explain", "--shard-policy", "hash"])).unwrap();
+        assert_eq!(parse_sharding(&cli).unwrap().1, ShardPolicy::HashById);
+        // Invalid values are errors.
+        let cli = parse_cli(&args(&["explain", "--shards", "0"])).unwrap();
+        assert!(parse_sharding(&cli).unwrap_err().contains("--shards"));
+        let cli = parse_cli(&args(&["explain", "--shards", "four"])).unwrap();
+        assert!(parse_sharding(&cli).unwrap_err().contains("--shards"));
+        let cli = parse_cli(&args(&["explain", "--shard-policy", "mystery"])).unwrap();
+        assert!(parse_sharding(&cli).unwrap_err().contains("--shard-policy"));
+        // --shards is rejected where sharding makes no sense.
+        assert!(parse_cli(&args(&["query", "--shards", "4"])).is_err());
+        assert!(parse_cli(&args(&["generate", "--shards", "4"])).is_err());
     }
 }

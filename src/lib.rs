@@ -73,8 +73,9 @@ pub use crp_uncertain as uncertain;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crp_core::{
-        answer_causes, oracle_cp, oracle_cr, Cause, CpConfig, CrpError, CrpOutcome, EngineConfig,
-        ExplainEngine, ExplainStrategy, RunStats,
+        answer_causes, merge_candidate_ids, oracle_cp, oracle_cr, Cause, CpConfig, CrpError,
+        CrpOutcome, EngineConfig, ExplainEngine, ExplainStrategy, RunStats, ShardPolicy,
+        ShardedExplainEngine,
     };
     #[allow(deprecated)]
     pub use crp_core::{cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii};

@@ -41,6 +41,7 @@ impl fmt::Display for BenchmarkId {
 /// Top-level harness handle.
 pub struct Criterion {
     measure: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -51,31 +52,40 @@ impl Default for Criterion {
             .unwrap_or(300);
         Self {
             measure: Duration::from_millis(ms),
+            test_mode: false,
         }
     }
 }
 
 impl Criterion {
-    /// Parses command-line options. This subset accepts and ignores
-    /// them (notably the `--bench` flag cargo passes).
-    pub fn configure_from_args(self) -> Self {
+    /// Parses command-line options. This subset honours `--test` (run
+    /// every benchmark routine exactly once, no timing — what real
+    /// criterion does for `cargo bench -- --test`, and what CI's smoke
+    /// job relies on) and accepts-and-ignores the rest (notably the
+    /// `--bench` flag cargo passes).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         let measure = self.measure;
+        let test_mode = self.test_mode;
         eprintln!("\nbench group: {name}");
         BenchmarkGroup {
             _criterion: self,
             name,
             measure,
+            test_mode,
         }
     }
 
     pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
         let measure = self.measure;
-        run_benchmark(&id.to_string(), measure, f);
+        run_benchmark(&id.to_string(), measure, self.test_mode, f);
     }
 }
 
@@ -84,6 +94,7 @@ pub struct BenchmarkGroup<'c> {
     _criterion: &'c mut Criterion,
     name: String,
     measure: Duration,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -104,7 +115,12 @@ impl BenchmarkGroup<'_> {
         id: impl fmt::Display,
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id), self.measure, f);
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.measure,
+            self.test_mode,
+            f,
+        );
         self
     }
 
@@ -114,9 +130,12 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id), self.measure, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.measure,
+            self.test_mode,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -127,12 +146,21 @@ impl BenchmarkGroup<'_> {
 /// routine to measure.
 pub struct Bencher {
     measure: Duration,
+    test_mode: bool,
     /// (total elapsed, iterations) accumulated by `iter`.
     result: Option<(Duration, u64)>,
 }
 
 impl Bencher {
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Smoke mode (`--test`): one iteration, no timing loop — the
+        // routine's own assertions still run.
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.result = Some((start.elapsed(), 1));
+            return;
+        }
         // Warm-up: run until ~10% of the budget is spent (at least once).
         let warmup_budget = self.measure / 10;
         let warm_start = Instant::now();
@@ -161,13 +189,15 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(id: &str, measure: Duration, mut f: impl FnMut(&mut Bencher)) {
+fn run_benchmark(id: &str, measure: Duration, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         measure,
+        test_mode,
         result: None,
     };
     f(&mut bencher);
     match bencher.result {
+        Some(_) if test_mode => eprintln!("  {id:<48} ok (test mode, 1 iter)"),
         Some((total, iters)) => {
             let per_iter = total.as_secs_f64() / iters as f64;
             eprintln!("  {id:<48} {:>14} / iter  ({iters} iters)", human(per_iter));
@@ -228,6 +258,24 @@ mod tests {
         });
         group.finish();
         assert!(count > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_routine_exactly_once() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(60_000), // would hang if timed
+            test_mode: true,
+        };
+        let mut count = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.finish();
+        assert_eq!(count, 1);
     }
 
     #[test]
