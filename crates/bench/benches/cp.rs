@@ -18,7 +18,8 @@ fn bench_cp(c: &mut Criterion) {
         ..UncertainConfig::default()
     });
     let alpha = 0.6;
-    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+    let engine =
+        ExplainEngine::new(ds, EngineConfig::with_alpha(alpha)).expect("valid engine config");
     let q = centroid_query(engine.dataset());
     let ids = select_prsq_non_answers(
         engine.dataset(),

@@ -16,7 +16,7 @@ fn bench_cr(c: &mut Criterion) {
         seed: 0xBC,
         ..CertainConfig::default()
     });
-    let engine = ExplainEngine::new(ds, EngineConfig::default());
+    let engine = ExplainEngine::new(ds, EngineConfig::default()).expect("valid engine config");
     let q = centroid_query(engine.dataset());
     let ids = select_rsq_non_answers(engine.dataset(), engine.point_tree(), &q, 8, 8, Some(16), 4);
     assert!(!ids.is_empty());

@@ -45,7 +45,8 @@ fn fixture() -> &'static Fixture {
             seed: 0xBA7C4,
             ..UncertainConfig::default()
         });
-        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(ALPHA));
+        let engine =
+            ExplainEngine::new(ds, EngineConfig::with_alpha(ALPHA)).expect("valid engine config");
         let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
             engine.dataset(),
@@ -132,7 +133,8 @@ fn bench_engine_sharded(c: &mut Criterion) {
             EngineConfig::with_alpha(ALPHA),
             shards,
             ShardPolicy::RoundRobin,
-        );
+        )
+        .expect("valid engine config");
         // Contract check before timing: bit-identical causes and error
         // cases on every non-answer.
         let outcomes = sharded.explain_batch_as(ExplainStrategy::Cp, q, ALPHA, ids);

@@ -40,7 +40,8 @@ fn main() {
             ..UncertainConfig::default()
         };
         eprintln!("[ablation-filter] |P| = {cardinality}…");
-        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::with_alpha(alpha));
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::with_alpha(alpha))
+            .expect("valid engine config");
         let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
             engine.dataset(),

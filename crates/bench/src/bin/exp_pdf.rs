@@ -32,7 +32,8 @@ fn main() {
     let q = Point::from([5_000.0, 5_000.0]);
     // One pdf session per integration resolution (the resolution is a
     // session parameter); the coarse session doubles as the selector.
-    let coarse = ExplainEngine::for_pdf(ds.clone(), 2, EngineConfig::with_alpha(alpha));
+    let coarse = ExplainEngine::for_pdf(ds.clone(), 2, EngineConfig::with_alpha(alpha))
+        .expect("valid engine config");
 
     // Subjects: pdf objects that cp_pdf classifies as tractable
     // non-answers at a coarse resolution.
@@ -71,9 +72,11 @@ fn main() {
 
     for resolution in [2usize, 3, 4, 6] {
         let pdf_engine =
-            ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha));
+            ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha))
+                .expect("valid engine config");
         let disc_engine =
-            ExplainEngine::new(ds.discretize(resolution), EngineConfig::with_alpha(alpha));
+            ExplainEngine::new(ds.discretize(resolution), EngineConfig::with_alpha(alpha))
+                .expect("valid engine config");
         let mut pdf_ms = AggregateStats::new();
         let mut disc_ms = AggregateStats::new();
         let mut causes = AggregateStats::new();

@@ -44,7 +44,8 @@ fn main() {
             ..UncertainConfig::default()
         };
         eprintln!("[fig10] |P| = {cardinality}…");
-        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default())
+            .expect("valid engine config");
         let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
             engine.dataset(),

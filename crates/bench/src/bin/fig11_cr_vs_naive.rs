@@ -61,7 +61,7 @@ fn main() {
     datasets.push(("CarDB".into(), cardb));
 
     for (name, ds) in datasets {
-        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        let engine = ExplainEngine::new(ds, EngineConfig::default()).expect("valid engine config");
         let q = centroid_query(engine.dataset());
         let ids = select_rsq_non_answers(
             engine.dataset(),

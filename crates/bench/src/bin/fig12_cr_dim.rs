@@ -46,7 +46,8 @@ fn main() {
                 ..CertainConfig::default()
             };
             eprintln!("[fig12] {} d = {dim}…", kind.short_name());
-            let engine = ExplainEngine::new(certain_dataset(&cfg), EngineConfig::default());
+            let engine = ExplainEngine::new(certain_dataset(&cfg), EngineConfig::default())
+                .expect("valid engine config");
             let q = centroid_query(engine.dataset());
             let ids = select_rsq_non_answers(
                 engine.dataset(),

@@ -53,7 +53,8 @@ fn main() {
         };
         let name = cfg.family_name();
         eprintln!("[fig6] generating {name} ({cardinality} objects)…");
-        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default())
+            .expect("valid engine config");
         let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
             engine.dataset(),

@@ -32,7 +32,8 @@ fn main() {
         ..UncertainConfig::default()
     };
     eprintln!("[fig7] generating lUrU ({cardinality} objects)…");
-    let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+    let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default())
+        .expect("valid engine config");
     let q = centroid_query(engine.dataset());
 
     let sweep = [0.2, 0.4, 0.6, 0.8, 1.0];

@@ -42,7 +42,8 @@ fn main() {
             ..UncertainConfig::default()
         };
         eprintln!("[fig8] radius [0,{rmax}]…");
-        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default());
+        let engine = ExplainEngine::new(uncertain_dataset(&cfg), EngineConfig::default())
+            .expect("valid engine config");
         let q = centroid_query(engine.dataset());
         let ids = select_prsq_non_answers(
             engine.dataset(),

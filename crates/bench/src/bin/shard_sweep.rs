@@ -70,7 +70,8 @@ fn sweep_one(
     expected_causes: &[Option<Vec<crp_core::Cause>>],
 ) -> SweepRow {
     let engine =
-        ShardedExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA), shards, policy);
+        ShardedExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA), shards, policy)
+            .expect("valid engine config");
     // Warm-up: a small batch goes through `prepare`, which builds
     // *every* shard tree up front (per-call warm-up would skip shards
     // the first windows happen to prune), so the timed passes measure
@@ -200,7 +201,8 @@ fn main() {
     };
     eprintln!("[shard_sweep] generating lUrU ({cardinality} objects)…");
     let ds = uncertain_dataset(&cfg);
-    let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA));
+    let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA))
+        .expect("valid engine config");
     let q = centroid_query(single.dataset());
     let ids = select_prsq_non_answers(
         single.dataset(),

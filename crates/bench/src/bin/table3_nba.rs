@@ -32,7 +32,8 @@ fn main() {
     };
     eprintln!("[table3] generating league ({} players)…", config.players);
     let alpha = 0.5;
-    let engine = ExplainEngine::new(nba_dataset(&config), EngineConfig::with_alpha(alpha));
+    let engine = ExplainEngine::new(nba_dataset(&config), EngineConfig::with_alpha(alpha))
+        .expect("valid engine config");
     let ds = engine.dataset();
     let q = nba_position_query();
 

@@ -22,7 +22,8 @@ fn main() {
             seed: 0xCA7,
         }),
         EngineConfig::default(),
-    );
+    )
+    .expect("valid engine config");
     let ds = engine.dataset();
     eprintln!("[table4] {} listings generated", ds.len());
     let q = Point::from([11_580.0, 49_000.0]);

@@ -1,0 +1,459 @@
+//! Live-dataset maintenance sweep: measures a mutable
+//! [`ExplainEngine`] session absorbing small mutation batches (≤ 1 % of
+//! the dataset per batch) through **incremental index maintenance**
+//! (`apply`: condense + reinsert on the R*-tree, geometric cache
+//! invalidation) against the pre-update alternative — rebuilding the
+//! index from scratch after every batch — and writes the series to
+//! `bench_out/BENCH_updates.json`.
+//!
+//! Also reported:
+//!
+//! * a spatial 4-shard session absorbing the same stream (one shard's
+//!   tree patched per update, stale/overflow self-maintenance),
+//! * the explanation-cache payoff of an α-sweep over one non-answer
+//!   (first α pays the traversal; the rest are served from the row
+//!   cache),
+//! * a correctness pin: after every batch, explains from the mutated
+//!   session match a fresh engine built on the current dataset.
+//!
+//! ```text
+//! cargo run -p crp-bench --release --bin update_sweep -- --quick
+//! ```
+
+#![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
+
+use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir};
+use crp_bench::report::fnum;
+use crp_core::{
+    Cause, CpConfig, CrpError, EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy,
+    ShardedExplainEngine, Update,
+};
+use crp_data::{uncertain_dataset, UncertainConfig};
+use crp_geom::Point;
+use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ALPHA: f64 = 0.6;
+
+/// The session configuration of every engine in the sweep: like the
+/// CLI, a subset budget + the probability bound keep adversarial
+/// non-answers (centroid queries over large cardinalities can have
+/// thousands of candidates) from hijacking the measurement — a
+/// `BudgetExhausted` outcome is deterministic and compared like any
+/// other result.
+fn sweep_config() -> EngineConfig {
+    EngineConfig {
+        alpha: ALPHA,
+        cp: CpConfig {
+            use_probability_bound: true,
+            max_subsets: Some(2_000_000),
+            ..CpConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// A fresh uncertain object near a random domain position — the
+/// insert/replace payload of the synthetic update stream.
+fn random_object(rng: &mut StdRng, id: ObjectId, dim: usize, domain: f64) -> UncertainObject {
+    let center: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..domain)).collect();
+    let radius: f64 = rng.random_range(0.5..5.0);
+    let samples = rng.random_range(2..=4);
+    let points: Vec<Point> = (0..samples)
+        .map(|_| {
+            Point::new(
+                center
+                    .iter()
+                    .map(|c| c + rng.random_range(-radius..radius))
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect();
+    UncertainObject::with_equal_probs(id, points).expect("non-empty samples")
+}
+
+/// One mutation batch: ~45 % inserts, ~45 % deletes, ~10 % replaces,
+/// resolved against the live id set so the cardinality stays stable.
+fn make_batch(
+    rng: &mut StdRng,
+    live: &mut Vec<ObjectId>,
+    next_id: &mut u32,
+    size: usize,
+    dim: usize,
+    domain: f64,
+) -> Vec<Update<UncertainObject>> {
+    let mut batch = Vec::with_capacity(size);
+    for _ in 0..size {
+        let roll = rng.random_range(0.0..1.0f64);
+        if roll < 0.45 || live.is_empty() {
+            let id = ObjectId(*next_id);
+            *next_id += 1;
+            live.push(id);
+            batch.push(Update::Insert(random_object(rng, id, dim, domain)));
+        } else if roll < 0.9 {
+            let victim = rng.random_range(0..live.len());
+            batch.push(Update::Delete(live.swap_remove(victim)));
+        } else {
+            let id = live[rng.random_range(0..live.len())];
+            batch.push(Update::Replace(random_object(rng, id, dim, domain)));
+        }
+    }
+    batch
+}
+
+/// Causes (or error) of one explain — the comparison signature that
+/// ignores node-access counters, which legitimately differ between an
+/// incrementally maintained tree and a bulk-loaded one.
+fn signature(result: Result<crp_core::CrpOutcome, CrpError>) -> Result<Vec<Cause>, CrpError> {
+    result.map(|o| o.causes)
+}
+
+struct BatchRow {
+    batch: usize,
+    updates: usize,
+    incremental_ms: f64,
+    sharded_ms: f64,
+    rebuild_ms: f64,
+    reinserts: u64,
+    cache_evictions: u64,
+    identical: bool,
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let cardinality: usize = arg_value("--cardinality")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 10_000 } else { 50_000 });
+    let batches: usize = arg_value("--batches")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 5 } else { 10 });
+    // ≤ 1 % of the dataset per batch — the live-service regime where
+    // rebuild-from-scratch is pure waste.
+    let batch_size: usize = arg_value("--batch-size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or((cardinality / 100).max(1));
+    assert!(
+        batch_size * 100 <= cardinality.max(100),
+        "mutation batches must stay ≤ 1 % of the dataset"
+    );
+
+    let cfg = UncertainConfig {
+        cardinality,
+        dim: 3,
+        radius_range: (0.0, 5.0),
+        seed: 0x11FE_0, // the live-dataset workload seed
+        ..UncertainConfig::default()
+    };
+    eprintln!("[update_sweep] generating lUrU ({cardinality} objects)…");
+    let ds = uncertain_dataset(&cfg);
+    let dim = ds.dim().expect("non-empty dataset");
+    let q = centroid_query(&ds);
+
+    // The mutable session under test (incremental maintenance)…
+    let mut incremental = ExplainEngine::new(ds.clone(), sweep_config()).expect("valid config");
+    let t = Instant::now();
+    incremental.object_tree();
+    let initial_build_ms = ms(t);
+    // …a spatial 4-shard mutable session absorbing the same stream…
+    let mut sharded =
+        ShardedExplainEngine::new(ds.clone(), sweep_config(), 4, ShardPolicy::Spatial)
+            .expect("valid config");
+    let warm: Vec<ObjectId> = ds.iter().take(1).map(|o| o.id()).collect();
+    let _ = sharded.explain_batch_as(ExplainStrategy::Cp, &q, ALPHA, &warm);
+    // …and the baseline: the dataset is kept current, but every batch
+    // ends in a full index rebuild (what the engine did before updates
+    // existed).
+    let mut rebuild_ds = ds.clone();
+
+    let mut rng = StdRng::seed_from_u64(0x5EED_11FE);
+    let mut live: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+    let mut next_id = live.iter().map(|id| id.0).max().unwrap_or(0) + 1;
+
+    let mut rows: Vec<BatchRow> = Vec::new();
+    for batch_idx in 0..batches {
+        let batch = make_batch(
+            &mut rng,
+            &mut live,
+            &mut next_id,
+            batch_size,
+            dim,
+            cfg.domain,
+        );
+
+        // Pick cheap explain targets once per batch: stage-1 candidate
+        // counts are one traversal each, and small candidate sets keep
+        // the (quadratic-in-candidates) refinement out of the
+        // maintenance measurement — centroid-adjacent objects can carry
+        // thousands of candidates and cost seconds per explain.
+        let scan: Vec<ObjectId> = live.iter().take(16).copied().collect();
+        let mut by_cost: Vec<(usize, ObjectId)> = scan
+            .iter()
+            .map(|&an| {
+                let n = incremental
+                    .candidate_ids(&q, an)
+                    .map(|c| c.len())
+                    .unwrap_or(usize::MAX);
+                (n, an)
+            })
+            .collect();
+        by_cost.sort_unstable();
+        let probe: Vec<ObjectId> = by_cost.iter().take(4).map(|&(_, an)| an).collect();
+
+        // Warm the cache with a few explains so the batch also measures
+        // invalidation work (a live session is never idle).
+        let _ = incremental.explain_batch_as(ExplainStrategy::Cp, &q, ALPHA, &probe);
+        let before = incremental.accumulated_io();
+
+        // Incremental: apply the deltas; both trees stay live.
+        let t = Instant::now();
+        for update in &batch {
+            incremental
+                .apply(update.clone())
+                .expect("synthetic updates are valid");
+        }
+        let incremental_ms = ms(t);
+        let after = incremental.accumulated_io();
+
+        // Sharded spatial: the same deltas, one shard touched per update.
+        let t = Instant::now();
+        for update in &batch {
+            sharded
+                .apply(update.clone())
+                .expect("synthetic updates are valid");
+        }
+        let sharded_ms = ms(t);
+
+        // Rebuild baseline: mutate the dataset, then build a fresh
+        // index over the full cardinality.
+        let t = Instant::now();
+        for update in &batch {
+            rebuild_ds
+                .apply(update.clone())
+                .expect("synthetic updates are valid");
+        }
+        let rebuilt = ExplainEngine::new(rebuild_ds.clone(), sweep_config()).expect("valid config");
+        rebuilt.object_tree();
+        let rebuild_ms = ms(t);
+
+        // Correctness pin: the mutated sessions answer like the freshly
+        // rebuilt engine — full pipeline on the cheap probe targets,
+        // stage-1 candidate sets on a wider sample spread across the
+        // dataset (traversal-only, so the pin stays cheap at any
+        // cardinality; full bit-identity is the property-test suite's
+        // job).
+        let mut identical = true;
+        for &an in &probe {
+            let reference = signature(rebuilt.explain_as(ExplainStrategy::Cp, &q, ALPHA, an));
+            if signature(incremental.explain_as(ExplainStrategy::Cp, &q, ALPHA, an)) != reference
+                || signature(sharded.explain_as(ExplainStrategy::Cp, &q, ALPHA, an)) != reference
+            {
+                identical = false;
+            }
+        }
+        for &an in live.iter().step_by(live.len() / 32 + 1) {
+            let reference = rebuilt.candidate_ids(&q, an).ok();
+            if incremental.candidate_ids(&q, an).ok() != reference
+                || sharded.candidate_ids(&q, an).ok() != reference
+            {
+                identical = false;
+            }
+        }
+
+        rows.push(BatchRow {
+            batch: batch_idx,
+            updates: batch.len(),
+            incremental_ms,
+            sharded_ms,
+            rebuild_ms,
+            reinserts: after.reinserts - before.reinserts,
+            cache_evictions: after.cache_evictions - before.cache_evictions,
+            identical,
+        });
+        eprintln!(
+            "[update_sweep] batch {batch_idx}: incr {} ms, sharded {} ms, rebuild {} ms",
+            fnum(incremental_ms),
+            fnum(sharded_ms),
+            fnum(rebuild_ms)
+        );
+    }
+
+    // --- α-sweep cache payoff over one non-answer -------------------
+    // Smallest non-empty candidate set among a sample of live ids: the
+    // sweep should measure the cache, not an adversarial refinement.
+    let mut sweep_candidates: Vec<(usize, ObjectId)> = live
+        .iter()
+        .take(16)
+        .map(|&an| {
+            let n = incremental
+                .candidate_ids(&q, an)
+                .map(|c| c.len())
+                .unwrap_or(usize::MAX);
+            (n, an)
+        })
+        .filter(|&(n, _)| n > 0)
+        .collect();
+    sweep_candidates.sort_unstable();
+    let sweep_target = sweep_candidates
+        .iter()
+        .map(|&(_, an)| an)
+        .find(|&an| {
+            incremental
+                .explain_as(ExplainStrategy::Cp, &q, ALPHA, an)
+                .is_ok()
+        })
+        .unwrap_or(live[0]);
+    let sweep_engine = ExplainEngine::new(
+        UncertainDataset::from_objects(incremental.dataset().iter().cloned())
+            .expect("live dataset stays valid"),
+        sweep_config(),
+    )
+    .expect("valid config");
+    sweep_engine.object_tree();
+    let alphas: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let t = Instant::now();
+    let _ = sweep_engine.explain_as(ExplainStrategy::Cp, &q, alphas[0], sweep_target);
+    let first_alpha_ms = ms(t);
+    let first_io = sweep_engine.accumulated_io().node_accesses;
+    let t = Instant::now();
+    for &a in &alphas[1..] {
+        let _ = sweep_engine.explain_as(ExplainStrategy::Cp, &q, a, sweep_target);
+    }
+    let rest_alpha_ms = ms(t);
+    let sweep_io = sweep_engine.accumulated_io();
+    // The row cache serves stage 1 for every α after the first: the
+    // remaining 8 explains pay zero node accesses.
+    let rest_io = sweep_io.node_accesses - first_io;
+
+    // --- report ------------------------------------------------------
+    let total_incremental: f64 = rows.iter().map(|r| r.incremental_ms).sum();
+    let total_sharded: f64 = rows.iter().map(|r| r.sharded_ms).sum();
+    let total_rebuild: f64 = rows.iter().map(|r| r.rebuild_ms).sum();
+    let all_identical = rows.iter().all(|r| r.identical);
+    let speedup = total_rebuild / total_incremental.max(1e-9);
+
+    println!(
+        "\nUpdate sweep — lUrU |P| = {cardinality}, d = 3, α = {ALPHA}, {batches} batches × \
+         {batch_size} updates (≤1 %), initial build {} ms",
+        fnum(initial_build_ms)
+    );
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10} {:>7}",
+        "batch",
+        "updates",
+        "incr(ms)",
+        "sharded(ms)",
+        "rebuild(ms)",
+        "reinserts",
+        "evictions",
+        "ok"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10} {:>7}",
+            r.batch,
+            r.updates,
+            fnum(r.incremental_ms),
+            fnum(r.sharded_ms),
+            fnum(r.rebuild_ms),
+            r.reinserts,
+            r.cache_evictions,
+            r.identical
+        );
+    }
+    println!(
+        "totals: incremental {} ms, sharded {} ms, rebuild {} ms → {speedup:.1}× | α-sweep: \
+         first α {} node accesses, 8 more α {} node accesses ({} row-cache hit(s))",
+        fnum(total_incremental),
+        fnum(total_sharded),
+        fnum(total_rebuild),
+        first_io,
+        rest_io,
+        sweep_io.cache_hits
+    );
+    println!(
+        "sharded: sizes {:?}, rebuilds {:?}, {} repartition(s)",
+        sharded.shard_sizes(),
+        sharded.shard_rebuilds(),
+        sharded.repartitions()
+    );
+
+    // --- JSON series -------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"family\": \"lUrU\", \"cardinality\": {cardinality}, \"dim\": 3, \
+         \"alpha\": {ALPHA}, \"batches\": {batches}, \"batch_size\": {batch_size}, \
+         \"mutation_fraction\": {:.4}, \"initial_build_ms\": {initial_build_ms:.3}}},",
+        batch_size as f64 / cardinality as f64
+    );
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"batch\": {}, \"updates\": {}, \"incremental_ms\": {:.3}, \
+             \"sharded_spatial_ms\": {:.3}, \"rebuild_ms\": {:.3}, \"reinserts\": {}, \
+             \"cache_evictions\": {}, \"identical\": {}}}{}",
+            r.batch,
+            r.updates,
+            r.incremental_ms,
+            r.sharded_ms,
+            r.rebuild_ms,
+            r.reinserts,
+            r.cache_evictions,
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"alpha_sweep\": {{\"target\": {}, \"alphas\": {}, \"first_alpha_ms\": \
+         {first_alpha_ms:.3}, \"rest_alpha_ms\": {rest_alpha_ms:.3}, \"cache_hits\": {}, \
+         \"first_alpha_node_accesses\": {first_io}, \"rest_node_accesses\": {rest_io}}},",
+        sweep_target.0,
+        alphas.len(),
+        sweep_io.cache_hits
+    );
+    let _ = writeln!(
+        json,
+        "  \"sharded\": {{\"policy\": \"spatial\", \"shards\": 4, \"total_ms\": \
+         {total_sharded:.3}, \"rebuilds\": {:?}, \"repartitions\": {}}},",
+        sharded.shard_rebuilds(),
+        sharded.repartitions()
+    );
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"metric\": \"incremental maintenance vs rebuild-from-scratch\", \
+         \"incremental_ms\": {total_incremental:.3}, \"rebuild_ms\": {total_rebuild:.3}, \
+         \"speedup\": {speedup:.3}, \"met\": {}, \"identical\": {all_identical}}}",
+        total_incremental < total_rebuild && all_identical
+    );
+    let _ = writeln!(json, "}}");
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench_out directory");
+    let path = dir.join("BENCH_updates.json");
+    std::fs::write(&path, &json).expect("BENCH_updates.json written");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        all_identical,
+        "mutated sessions diverged from a fresh engine on the final dataset"
+    );
+    if total_incremental >= total_rebuild {
+        eprintln!(
+            "[update_sweep] WARNING: incremental maintenance ({total_incremental:.1} ms) did \
+             not beat rebuild ({total_rebuild:.1} ms)"
+        );
+        std::process::exit(2);
+    }
+    println!("incremental maintenance beats rebuild-from-scratch by {speedup:.1}× on ≤1 % batches");
+}

@@ -212,7 +212,8 @@ mod tests {
             ..UncertainConfig::default()
         });
         let alpha = 0.5;
-        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+        let engine =
+            ExplainEngine::new(ds, EngineConfig::with_alpha(alpha)).expect("valid engine config");
         let q = Point::from([5_000.0, 5_000.0]);
         let ids = select_prsq_non_answers(
             engine.dataset(),
@@ -251,7 +252,8 @@ mod tests {
             ..UncertainConfig::default()
         });
         let alpha = 0.5;
-        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+        let engine =
+            ExplainEngine::new(ds, EngineConfig::with_alpha(alpha)).expect("valid engine config");
         let q = Point::from([5_000.0, 5_000.0]);
         let ids = select_prsq_non_answers(
             engine.dataset(),

@@ -8,7 +8,7 @@
 /// sweeps from adversarial non-answers whose exact minimal-contingency
 /// search would be astronomically large (the search is NP-hard in
 /// general; the paper's Theorem 1 gives `O(|Cc|·2^|Cc−Ca∪Cb|)`).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CpConfig {
     /// Lemma 4: objects dominating `q` w.r.t. *every* sample of `an` with
     /// probability 1 are forced into every contingency set.

@@ -100,6 +100,28 @@ pub(crate) fn window_candidate_positions(
     hits
 }
 
+/// The bounding box of the stage-1 filter windows of one non-answer —
+/// the **candidate region** the explanation cache keys its geometric
+/// invalidation on: an object whose MBR misses this box has zero
+/// dominance probability w.r.t. every sample of `an` (the windows are a
+/// superset of the dominance relation), so it cannot enter the
+/// candidate set, the dominance matrix, or the outcome. Updates outside
+/// the region therefore leave cached entries for `(an, q)` valid.
+pub(crate) fn candidate_region(an: &UncertainObject, q: &Point) -> HyperRect {
+    an.samples()
+        .iter()
+        .map(|s| dominance_rect(s.point(), q))
+        .reduce(|acc, r| acc.union(&r))
+        .expect("uncertain objects always have at least one sample")
+}
+
+/// The candidate region of a window list that was already computed
+/// (the pdf pipeline's per-quadrant windows, or the certain pipeline's
+/// single dominance window).
+pub(crate) fn windows_region(windows: &[HyperRect]) -> Option<HyperRect> {
+    windows.iter().cloned().reduce(|acc, r| acc.union(&r))
+}
+
 /// Lemma 2 by full scan (no index, no node accesses) — the filter
 /// ablation and test cross-check; produces identical candidates.
 pub struct ScanFilter;

@@ -11,10 +11,10 @@
 //! * [`merge_candidate_ids`] — deduplicated id-ordered union of
 //!   per-shard candidate sets (shards partition the dataset, so the
 //!   union is exact, not approximate),
-//! * [`global_positions`] — maps merged ids back to positions in the
+//! * `global_positions` — maps merged ids back to positions in the
 //!   global dataset, restoring the unsharded pipeline's candidate
 //!   order (ascending dataset position) bit-for-bit,
-//! * [`impacts`] / [`order_by_impact`] — the global impact ordering of
+//! * `impacts` / `order_by_impact` — the global impact ordering of
 //!   the FMCS search space. Ordering lives here (not per driver) so the
 //!   serial and candidate-parallel FMCS drivers, and any sharded
 //!   session, rank candidates through one code path.

@@ -36,7 +36,7 @@
 //!
 //! Every stage-1 implementation is **partition-generic**: the same
 //! pipelines drive this single-tree session and the
-//! [`ShardedExplainEngine`](shard::ShardedExplainEngine), which splits
+//! [`ShardedExplainEngine`], which splits
 //! the dataset across per-shard R-trees (see [`shard`]) and merges
 //! per-shard candidate sets (see [`merge`]) into bit-identical
 //! outcomes.
@@ -51,13 +51,14 @@
 //!     Point::from([7.0, 7.0]),
 //! ])
 //! .unwrap();
-//! let engine = ExplainEngine::new(ds, EngineConfig::default());
+//! let engine = ExplainEngine::new(ds, EngineConfig::default()).unwrap();
 //! let out = engine
 //!     .explain(&Point::from([5.0, 5.0]), ObjectId(0))
 //!     .unwrap();
 //! assert!(out.causes[0].counterfactual);
 //! ```
 
+pub(crate) mod cache;
 pub mod certain;
 pub mod filter;
 pub(crate) mod fmcs;
@@ -72,18 +73,22 @@ use crate::config::CpConfig;
 use crate::error::CrpError;
 use crate::oracle::{oracle_cp, oracle_cr, OracleCause};
 use crate::types::{Cause, CrpOutcome, RunStats};
+use cache::{CachedRows, ExplanationCache};
 use certain::{run_certain, Lemma7ClosedForm, PointTreeDominators, SubsetVerify};
-use crp_geom::Point;
+use crp_geom::{HyperRect, Point};
 use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
 use crp_skyline::{build_object_rtree, build_point_rtree};
-use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
+use crp_uncertain::{
+    Epoch, ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainError, UncertainObject,
+    Update,
+};
 use filter::{FilterStage, SampleWindowFilter, ScanFilter};
 use pipeline::RegionHitSource;
 use rayon::prelude::*;
 use std::sync::OnceLock;
 
 /// Algorithm selection over the shared pipeline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExplainStrategy {
     /// CR for certain data, CP otherwise — what a client that just
     /// wants an explanation should use.
@@ -168,6 +173,64 @@ impl EngineConfig {
             ..Self::default()
         }
     }
+
+    /// Validates the configuration — every engine constructor calls
+    /// this, so misconfigured sessions fail with a typed
+    /// [`CrpError::InvalidConfig`] at construction instead of
+    /// panicking (degenerate R-tree shapes) or producing garbage
+    /// (α outside `(0, 1]`, a zero subset budget) at query time.
+    pub fn validate(&self) -> Result<(), CrpError> {
+        if !(self.alpha.is_finite() && self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(CrpError::InvalidConfig {
+                field: "alpha",
+                reason: format!("must be in (0, 1], got {}", self.alpha),
+            });
+        }
+        if let Some(params) = self.rtree {
+            if params.min_entries < 1 {
+                return Err(CrpError::InvalidConfig {
+                    field: "rtree.min_entries",
+                    reason: format!("must be ≥ 1, got {}", params.min_entries),
+                });
+            }
+            if params.max_entries < 2 * params.min_entries {
+                return Err(CrpError::InvalidConfig {
+                    field: "rtree.max_entries",
+                    reason: format!(
+                        "must be ≥ 2 × min_entries ({} < {})",
+                        params.max_entries,
+                        2 * params.min_entries
+                    ),
+                });
+            }
+        }
+        if self.cp.max_subsets == Some(0) {
+            return Err(CrpError::InvalidConfig {
+                field: "cp.max_subsets",
+                reason: "a zero subset budget can never complete a search".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Checks the pdf session's discretisation resolution (`resolution^D`
+/// integration cells; zero would integrate over nothing).
+fn validate_resolution(resolution: usize) -> Result<(), CrpError> {
+    if resolution == 0 {
+        return Err(CrpError::InvalidConfig {
+            field: "resolution",
+            reason: "must be ≥ 1".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Maps a dataset-mutation failure into the engine's typed error.
+fn update_error(e: UncertainError) -> CrpError {
+    CrpError::InvalidUpdate {
+        reason: e.to_string(),
+    }
 }
 
 /// The data a session explains over — shared with the sharded engine,
@@ -185,38 +248,52 @@ pub struct ExplainEngine {
     data: Workload,
     config: EngineConfig,
     /// Object-MBR tree (CP filtering) — for pdf workloads, the region
-    /// tree.
+    /// tree. Incrementally patched by [`ExplainEngine::apply`].
     object_tree: OnceLock<RTree<ObjectId>>,
     /// Point tree (CR filtering; certain data only).
     point_tree: OnceLock<RTree<ObjectId>>,
-    /// Node accesses accumulated across every explain call (including
-    /// parallel batches).
+    /// Node accesses, update-path work and cache events accumulated
+    /// across every explain/apply call (including parallel batches).
     io: AtomicQueryStats,
+    /// Memoised stage-1 rows and outcomes, invalidated geometrically by
+    /// [`ExplainEngine::apply`]. See [`cache`].
+    cache: ExplanationCache,
 }
 
 impl ExplainEngine {
     /// Creates a session over a discrete-sample (or certain) dataset.
-    pub fn new(ds: UncertainDataset, config: EngineConfig) -> Self {
-        Self {
+    /// Fails with [`CrpError::InvalidConfig`] on an invalid
+    /// configuration (see [`EngineConfig::validate`]).
+    pub fn new(ds: UncertainDataset, config: EngineConfig) -> Result<Self, CrpError> {
+        config.validate()?;
+        Ok(Self {
             data: Workload::Discrete(ds),
             config,
             object_tree: OnceLock::new(),
             point_tree: OnceLock::new(),
             io: AtomicQueryStats::new(),
-        }
+            cache: ExplanationCache::new(),
+        })
     }
 
     /// Creates a session over a continuous-pdf dataset (Section 3.2).
     /// `resolution` controls the midpoint-rule discretisation of
-    /// non-answer regions (`resolution^D` cells).
-    pub fn for_pdf(ds: PdfDataset, resolution: usize, config: EngineConfig) -> Self {
-        Self {
+    /// non-answer regions (`resolution^D` cells) and must be ≥ 1.
+    pub fn for_pdf(
+        ds: PdfDataset,
+        resolution: usize,
+        config: EngineConfig,
+    ) -> Result<Self, CrpError> {
+        config.validate()?;
+        validate_resolution(resolution)?;
+        Ok(Self {
             data: Workload::Pdf { ds, resolution },
             config,
             object_tree: OnceLock::new(),
             point_tree: OnceLock::new(),
             io: AtomicQueryStats::new(),
-        }
+            cache: ExplanationCache::new(),
+        })
     }
 
     /// The session configuration.
@@ -284,15 +361,221 @@ impl ExplainEngine {
         })
     }
 
-    /// Total node accesses across every explain call so far (including
-    /// parallel batches), thread-safe.
+    /// Total node accesses, update-path work and cache events across
+    /// every explain/apply call so far (including parallel batches),
+    /// thread-safe.
     pub fn accumulated_io(&self) -> QueryStats {
-        self.io.snapshot()
+        let mut stats = self.io.snapshot();
+        stats.absorb(self.cache.stats());
+        stats
     }
 
     /// Resets the I/O accumulator, returning the totals so far.
     pub fn reset_io(&self) -> QueryStats {
-        self.io.take()
+        let mut stats = self.io.take();
+        stats.absorb(self.cache.take_stats());
+        stats
+    }
+
+    /// The dataset version this session currently serves: advanced by
+    /// every applied update.
+    pub fn epoch(&self) -> Epoch {
+        match &self.data {
+            Workload::Discrete(ds) => ds.epoch(),
+            Workload::Pdf { ds, .. } => ds.epoch(),
+        }
+    }
+
+    /// Live (row, outcome) entry counts of the explanation cache.
+    pub fn cache_len(&self) -> (usize, usize) {
+        self.cache.len()
+    }
+
+    /// Applies one update to a discrete-sample session: mutates the
+    /// dataset, **incrementally patches** both R-trees (condense +
+    /// reinsert; never a bulk rebuild), and evicts exactly the cached
+    /// explanations the change could affect (entries whose candidate
+    /// region intersects the object's old/new MBR, entries for the
+    /// object itself, and — when the dataset's certainty may have
+    /// changed — every certain-strategy outcome).
+    ///
+    /// Returns the new dataset [`Epoch`]. After any sequence of
+    /// updates, `explain`/`explain_batch` results are identical to a
+    /// fresh engine built on the final dataset (pinned by the
+    /// engine-agreement property tests).
+    pub fn apply(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError> {
+        let Workload::Discrete(_) = &self.data else {
+            return Err(CrpError::InvalidUpdate {
+                reason: "discrete update applied to a pdf session".into(),
+            });
+        };
+        let was_certain = self.discrete().is_certain();
+        let touched = update.id();
+        let mut regions: Vec<HyperRect> = Vec::with_capacity(2);
+        match update {
+            Update::Insert(obj) => {
+                let mbr = obj.mbr();
+                let certain_point = obj.is_certain().then(|| obj.certain_point().clone());
+                self.discrete_mut().push(obj).map_err(update_error)?;
+                self.patch_object_tree(None, Some((mbr.clone(), touched)));
+                self.patch_point_tree(None, certain_point.map(|p| (p, touched)));
+                self.io.absorb(QueryStats {
+                    inserts: 1,
+                    ..Default::default()
+                });
+                regions.push(mbr);
+            }
+            Update::Delete(id) => {
+                let old = self
+                    .discrete_mut()
+                    .remove(id)
+                    .ok_or(CrpError::UnknownObject(id))?;
+                let old_mbr = old.mbr();
+                let old_point = old.is_certain().then(|| old.certain_point().clone());
+                self.patch_object_tree(Some((old_mbr.clone(), id)), None);
+                self.patch_point_tree(old_point.map(|p| (p, id)), None);
+                self.io.absorb(QueryStats {
+                    removes: 1,
+                    ..Default::default()
+                });
+                regions.push(old_mbr);
+            }
+            Update::Replace(obj) => {
+                let new_mbr = obj.mbr();
+                let new_point = obj.is_certain().then(|| obj.certain_point().clone());
+                let old = self.discrete_mut().replace(obj).map_err(update_error)?;
+                let old_mbr = old.mbr();
+                let old_point = old.is_certain().then(|| old.certain_point().clone());
+                self.patch_object_tree(
+                    Some((old_mbr.clone(), touched)),
+                    Some((new_mbr.clone(), touched)),
+                );
+                self.patch_point_tree(
+                    old_point.map(|p| (p, touched)),
+                    new_point.map(|p| (p, touched)),
+                );
+                self.io.absorb(QueryStats {
+                    inserts: 1,
+                    removes: 1,
+                    ..Default::default()
+                });
+                regions.push(old_mbr);
+                regions.push(new_mbr);
+            }
+        }
+        let flush_certain = !(was_certain && self.discrete().is_certain());
+        self.cache.invalidate(touched, &regions, flush_certain);
+        Ok(self.discrete().epoch())
+    }
+
+    /// [`ExplainEngine::apply`] for continuous-pdf sessions.
+    pub fn apply_pdf(&mut self, update: Update<PdfObject>) -> Result<Epoch, CrpError> {
+        let Workload::Pdf { .. } = &self.data else {
+            return Err(CrpError::InvalidUpdate {
+                reason: "pdf update applied to a discrete session".into(),
+            });
+        };
+        let touched = update.id();
+        let mut regions: Vec<HyperRect> = Vec::with_capacity(2);
+        match update {
+            Update::Insert(obj) => {
+                let region = obj.region().clone();
+                self.pdf_mut().push(obj).map_err(update_error)?;
+                self.patch_object_tree(None, Some((region.clone(), touched)));
+                self.io.absorb(QueryStats {
+                    inserts: 1,
+                    ..Default::default()
+                });
+                regions.push(region);
+            }
+            Update::Delete(id) => {
+                let old = self
+                    .pdf_mut()
+                    .remove(id)
+                    .ok_or(CrpError::UnknownObject(id))?;
+                let old_region = old.region().clone();
+                self.patch_object_tree(Some((old_region.clone(), id)), None);
+                self.io.absorb(QueryStats {
+                    removes: 1,
+                    ..Default::default()
+                });
+                regions.push(old_region);
+            }
+            Update::Replace(obj) => {
+                let new_region = obj.region().clone();
+                let old = self.pdf_mut().replace(obj).map_err(update_error)?;
+                let old_region = old.region().clone();
+                self.patch_object_tree(
+                    Some((old_region.clone(), touched)),
+                    Some((new_region.clone(), touched)),
+                );
+                self.io.absorb(QueryStats {
+                    inserts: 1,
+                    removes: 1,
+                    ..Default::default()
+                });
+                regions.push(old_region);
+                regions.push(new_region);
+            }
+        }
+        self.cache.invalidate(touched, &regions, false);
+        Ok(self.pdf().epoch())
+    }
+
+    fn discrete(&self) -> &UncertainDataset {
+        match &self.data {
+            Workload::Discrete(ds) => ds,
+            Workload::Pdf { .. } => unreachable!("guarded by apply"),
+        }
+    }
+
+    fn discrete_mut(&mut self) -> &mut UncertainDataset {
+        match &mut self.data {
+            Workload::Discrete(ds) => ds,
+            Workload::Pdf { .. } => unreachable!("guarded by apply"),
+        }
+    }
+
+    fn pdf(&self) -> &PdfDataset {
+        match &self.data {
+            Workload::Pdf { ds, .. } => ds,
+            Workload::Discrete(_) => unreachable!("guarded by apply_pdf"),
+        }
+    }
+
+    fn pdf_mut(&mut self) -> &mut PdfDataset {
+        match &mut self.data {
+            Workload::Pdf { ds, .. } => ds,
+            Workload::Discrete(_) => unreachable!("guarded by apply_pdf"),
+        }
+    }
+
+    fn patch_object_tree(
+        &mut self,
+        remove: Option<(HyperRect, ObjectId)>,
+        insert: Option<(HyperRect, ObjectId)>,
+    ) {
+        patch_rect_tree(&mut self.object_tree, remove, insert, &self.io);
+    }
+
+    fn patch_point_tree(
+        &mut self,
+        remove: Option<(Point, ObjectId)>,
+        insert: Option<(Point, ObjectId)>,
+    ) {
+        let still_certain = match &self.data {
+            // The update already landed in the dataset: a now-uncertain
+            // dataset invalidates the point tree outright.
+            Workload::Discrete(ds) => ds.is_certain(),
+            Workload::Pdf { .. } => false,
+        };
+        patch_point_tree_slot(
+            &mut self.point_tree,
+            still_certain,
+            remove,
+            insert,
+            &self.io,
+        );
     }
 
     /// Explains one non-answer with the configured strategy and `α`.
@@ -463,15 +746,7 @@ impl ExplainEngine {
         let strategy = self.resolve(strategy);
         match &self.data {
             Workload::Discrete(ds) => match strategy {
-                ExplainStrategy::Cp => pipeline::run_probabilistic(
-                    ds,
-                    q,
-                    an,
-                    alpha,
-                    cp,
-                    &SampleWindowFilter::new(self.guarded_object_tree(ds)?),
-                    Some(&self.io),
-                ),
+                ExplainStrategy::Cp => self.cached_cp_discrete(ds, q, an, alpha, cp),
                 ExplainStrategy::CpUnindexed => {
                     pipeline::run_probabilistic(ds, q, an, alpha, cp, &ScanFilter, Some(&self.io))
                 }
@@ -490,35 +765,20 @@ impl ExplainEngine {
                         Some(&self.io),
                     )
                 }
-                ExplainStrategy::Cr => run_certain(
+                ExplainStrategy::Cr => {
+                    self.cached_certain(ds, strategy, q, alpha, an, cp, &Lemma7ClosedForm { k: 0 })
+                }
+                ExplainStrategy::CrKskyband { k } => {
+                    self.cached_certain(ds, strategy, q, alpha, an, cp, &Lemma7ClosedForm { k })
+                }
+                ExplainStrategy::NaiveII { max_subsets } => self.cached_certain(
                     ds,
-                    &PointTreeDominators {
-                        tree: self.guarded_point_tree(ds)?,
-                    },
+                    strategy,
                     q,
+                    alpha,
                     an,
-                    &Lemma7ClosedForm { k: 0 },
-                    Some(&self.io),
-                ),
-                ExplainStrategy::CrKskyband { k } => run_certain(
-                    ds,
-                    &PointTreeDominators {
-                        tree: self.guarded_point_tree(ds)?,
-                    },
-                    q,
-                    an,
-                    &Lemma7ClosedForm { k },
-                    Some(&self.io),
-                ),
-                ExplainStrategy::NaiveII { max_subsets } => run_certain(
-                    ds,
-                    &PointTreeDominators {
-                        tree: self.guarded_point_tree(ds)?,
-                    },
-                    q,
-                    an,
+                    cp,
                     &SubsetVerify { max_subsets },
-                    Some(&self.io),
                 ),
                 ExplainStrategy::OracleCp => {
                     oracle_cp(ds, q, an, alpha).map(|causes| oracle_outcome(ds, causes))
@@ -529,16 +789,7 @@ impl ExplainEngine {
                 ExplainStrategy::Auto => unreachable!("resolved above"),
             },
             Workload::Pdf { ds, resolution } => match strategy {
-                ExplainStrategy::Cp => pipeline::run_pdf(
-                    ds,
-                    self.guarded_pdf_tree(ds)?,
-                    q,
-                    an,
-                    alpha,
-                    *resolution,
-                    cp,
-                    Some(&self.io),
-                ),
+                ExplainStrategy::Cp => self.cached_cp_pdf(ds, q, an, alpha, *resolution, cp),
                 ExplainStrategy::NaiveI { max_subsets } => {
                     let config = CpConfig {
                         max_subsets,
@@ -561,6 +812,168 @@ impl ExplainEngine {
                 }),
             },
         }
+    }
+
+    /// The indexed CP path with the explanation cache in front of it:
+    /// outcome hit → return; row hit → re-run only the α-dependent
+    /// refinement over the memoised matrix; miss → full pipeline, then
+    /// populate both layers. Served results are identical to a fresh
+    /// computation (the cached rows carry their original traversal
+    /// stats, and refinement is deterministic).
+    fn cached_cp_discrete(
+        &self,
+        ds: &UncertainDataset,
+        q: &Point,
+        an: ObjectId,
+        alpha: f64,
+        cp: &CpConfig,
+    ) -> Result<CrpOutcome, CrpError> {
+        if let Some(hit) = self
+            .cache
+            .lookup_outcome(an, q, alpha, ExplainStrategy::Cp, cp)
+        {
+            return hit;
+        }
+        let an_pos = pipeline::validate(ds, q, an, alpha)?;
+        let region = filter::candidate_region(ds.object_at(an_pos), q);
+        self.cached_cp_finish(q, an, alpha, cp, region, |stats| {
+            let tree = self.guarded_object_tree(ds)?;
+            Ok(pipeline::stage1_probabilistic(
+                ds,
+                q,
+                an_pos,
+                &SampleWindowFilter::new(tree),
+                stats,
+            ))
+        })
+    }
+
+    /// The pdf CP path with the same two-layer cache as
+    /// [`ExplainEngine::cached_cp_discrete`].
+    fn cached_cp_pdf(
+        &self,
+        ds: &PdfDataset,
+        q: &Point,
+        an: ObjectId,
+        alpha: f64,
+        resolution: usize,
+        cp: &CpConfig,
+    ) -> Result<CrpOutcome, CrpError> {
+        if let Some(hit) = self
+            .cache
+            .lookup_outcome(an, q, alpha, ExplainStrategy::Cp, cp)
+        {
+            return hit;
+        }
+        pipeline::validate_pdf(ds, an, alpha)?;
+        let an_obj = ds.get(an).expect("validated above");
+        let windows = crate::pdf::pdf_windows(q, an_obj.region());
+        let region = filter::windows_region(&windows).expect("pdf windows are non-empty");
+        self.cached_cp_finish(q, an, alpha, cp, region, |stats| {
+            let tree = self.guarded_pdf_tree(ds)?;
+            Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
+        })
+    }
+
+    /// The shared tail of both cached CP paths: row-cache lookup (or a
+    /// fresh stage-1 via `fresh`, whose traversal cost is the only part
+    /// that enters the session totals), α-dependent refinement, and
+    /// population of both cache layers. One body, so the caching
+    /// protocol — stats replay on hits, cacheability of outcomes —
+    /// cannot drift between the discrete and pdf workloads.
+    fn cached_cp_finish(
+        &self,
+        q: &Point,
+        an: ObjectId,
+        alpha: f64,
+        cp: &CpConfig,
+        region: HyperRect,
+        fresh: impl FnOnce(&mut RunStats) -> Result<pipeline::StageOne, CrpError>,
+    ) -> Result<CrpOutcome, CrpError> {
+        let mut stats = RunStats::default();
+        let stage1 = match self.cache.lookup_rows(an, q) {
+            Some(rows) => {
+                stats.query = rows.query;
+                rows.stage1
+            }
+            None => {
+                let stage1 = fresh(&mut stats)?;
+                // Only freshly paid traversal enters the session totals.
+                self.io.absorb(stats.query);
+                self.cache.store_rows(
+                    an,
+                    q,
+                    CachedRows {
+                        region: region.clone(),
+                        stage1: stage1.clone(),
+                        query: stats.query,
+                    },
+                );
+                stage1
+            }
+        };
+        let result = pipeline::finish(&stage1.matrix, alpha, cp, &mut stats, |c| stage1.ids[c])
+            .map(|causes| CrpOutcome { causes, stats });
+        self.cache.store_outcome(
+            an,
+            q,
+            alpha,
+            ExplainStrategy::Cp,
+            cp,
+            region,
+            false,
+            &result,
+        );
+        result
+    }
+
+    /// The certain-data strategies behind the outcome cache. Entries
+    /// are flagged `certain` so updates that may change the dataset's
+    /// global certainty flush them; within a certain dataset the
+    /// dominance window of `(an, q)` is the full dependence region.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_certain(
+        &self,
+        ds: &UncertainDataset,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+        search: &dyn certain::CertainSearch,
+    ) -> Result<CrpOutcome, CrpError> {
+        // Preconditions first: failing calls stay uncached (and must
+        // not consult the cache, whose entries assume they hold).
+        if ds.is_empty() || !ds.is_certain() || ds.index_of(an).is_none() {
+            return run_certain(
+                ds,
+                &PointTreeDominators {
+                    tree: self.guarded_point_tree(ds)?,
+                },
+                q,
+                an,
+                search,
+                Some(&self.io),
+            );
+        }
+        if let Some(hit) = self.cache.lookup_outcome(an, q, alpha, strategy, cp) {
+            return hit;
+        }
+        let an_point = ds.get(an).expect("checked above").certain_point();
+        let region = crp_geom::dominance_rect(an_point, q);
+        let result = run_certain(
+            ds,
+            &PointTreeDominators {
+                tree: self.guarded_point_tree(ds)?,
+            },
+            q,
+            an,
+            search,
+            Some(&self.io),
+        );
+        self.cache
+            .store_outcome(an, q, alpha, strategy, cp, region, true, &result);
+        result
     }
 
     /// The pdf region tree, with empty datasets surfaced as the
@@ -592,6 +1005,76 @@ impl ExplainEngine {
         }
         Ok(self.point_tree())
     }
+}
+
+/// Incrementally patches a lazily built object/region tree for one
+/// update — `remove` then `insert`, folding the maintenance counters
+/// (reinserts; the logical insert/remove is counted by the caller's
+/// `apply`) into `io`. An unbuilt tree needs no patch: it will be
+/// built lazily from the current dataset. The rare dimension-switch
+/// case (the dataset was emptied and restarted with different
+/// dimensionality) drops the tree for a lazy rebuild instead.
+///
+/// The single implementation behind both the unsharded engine and
+/// every shard — one body, so the incremental-maintenance invariants
+/// cannot drift between them.
+pub(crate) fn patch_rect_tree(
+    slot: &mut OnceLock<RTree<ObjectId>>,
+    remove: Option<(HyperRect, ObjectId)>,
+    insert: Option<(HyperRect, ObjectId)>,
+    io: &AtomicQueryStats,
+) {
+    let dim = insert.as_ref().or(remove.as_ref()).map(|(r, _)| r.dim());
+    match (slot.get().map(|t| t.dim()), dim) {
+        (Some(td), Some(d)) if td != d => {
+            *slot = OnceLock::new();
+            return;
+        }
+        (None, _) => return,
+        _ => {}
+    }
+    let tree = slot.get_mut().expect("checked above");
+    if let Some((rect, id)) = remove {
+        let removed = tree.remove(&rect, &id);
+        debug_assert!(removed, "indexed object {id} missing from the tree");
+    }
+    if let Some((rect, id)) = insert {
+        tree.insert(rect, id);
+    }
+    let mut upkeep = tree.take_upkeep();
+    upkeep.inserts = 0;
+    upkeep.removes = 0;
+    io.absorb(upkeep);
+}
+
+/// [`patch_rect_tree`] for the certain-data point tree. Non-certain
+/// objects cannot be indexed as points: when the dataset (or shard) is
+/// no longer certain, or the touched object had no indexable point on
+/// either side, the tree is dropped and rebuilt lazily if/when the
+/// data is certain again.
+pub(crate) fn patch_point_tree_slot(
+    slot: &mut OnceLock<RTree<ObjectId>>,
+    still_certain: bool,
+    remove: Option<(Point, ObjectId)>,
+    insert: Option<(Point, ObjectId)>,
+    io: &AtomicQueryStats,
+) {
+    if slot.get().is_none() {
+        return;
+    }
+    if !still_certain || (remove.is_none() && insert.is_none()) {
+        // `remove`/`insert` are both `None` exactly when the update
+        // touched a non-certain object, whose point was never indexed —
+        // but an earlier certain version of it may be. Dropping the
+        // tree is the conservative correct move.
+        *slot = OnceLock::new();
+        return;
+    }
+    let (remove, insert) = (
+        remove.map(|(p, id)| (HyperRect::from_point(&p), id)),
+        insert.map(|(p, id)| (HyperRect::from_point(&p), id)),
+    );
+    patch_rect_tree(slot, remove, insert, io);
 }
 
 /// Converts the oracle's position-level causes into the engine's
@@ -644,7 +1127,8 @@ mod tests {
     #[allow(deprecated)]
     fn engine_matches_free_cp() {
         let ds = uncertain_fixture();
-        let engine = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75));
+        let engine = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75))
+            .expect("valid engine config");
         let tree = build_object_rtree(&ds, RTreeParams::paper_default(2));
         let q = pt(5.0, 5.0);
         let a = engine.explain(&q, ObjectId(0)).unwrap();
@@ -659,14 +1143,16 @@ mod tests {
     #[test]
     fn auto_resolves_by_workload() {
         let certain = UncertainDataset::from_points(vec![pt(10.0, 10.0), pt(7.0, 7.0)]).unwrap();
-        let engine = ExplainEngine::new(certain, EngineConfig::default());
+        let engine =
+            ExplainEngine::new(certain, EngineConfig::default()).expect("valid engine config");
         // Auto on certain data runs CR: no α involved, single
         // counterfactual cause.
         let out = engine.explain(&pt(5.0, 5.0), ObjectId(0)).unwrap();
         assert!(out.causes[0].counterfactual);
 
         let uncertain = uncertain_fixture();
-        let engine = ExplainEngine::new(uncertain, EngineConfig::with_alpha(0.75));
+        let engine = ExplainEngine::new(uncertain, EngineConfig::with_alpha(0.75))
+            .expect("valid engine config");
         let out = engine.explain(&pt(5.0, 5.0), ObjectId(0)).unwrap();
         assert_eq!(out.causes.len(), 2, "CP path found both causes");
     }
@@ -674,7 +1160,8 @@ mod tests {
     #[test]
     fn batch_parallel_matches_serial_exactly() {
         let ds = uncertain_fixture();
-        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(0.75));
+        let engine =
+            ExplainEngine::new(ds, EngineConfig::with_alpha(0.75)).expect("valid engine config");
         let q = pt(5.0, 5.0);
         let ids: Vec<ObjectId> = (0..4).map(ObjectId).collect();
         let par = engine.explain_batch(&q, &ids);
@@ -691,7 +1178,7 @@ mod tests {
             pt(8.0, 6.0),
         ])
         .unwrap();
-        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        let engine = ExplainEngine::new(ds, EngineConfig::default()).expect("valid engine config");
         let q = pt(5.0, 5.0);
         let cr = engine
             .explain_as(ExplainStrategy::Cr, &q, 0.5, ObjectId(0))
@@ -723,6 +1210,199 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configs_are_rejected_at_construction() {
+        let ds = uncertain_fixture();
+        for alpha in [0.0, -0.25, 1.5, f64::NAN, f64::INFINITY] {
+            let err = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha))
+                .err()
+                .expect("construction must fail");
+            assert!(
+                matches!(err, CrpError::InvalidConfig { field: "alpha", .. }),
+                "alpha = {alpha}: {err:?}"
+            );
+        }
+        let bad_tree = EngineConfig {
+            rtree: Some(RTreeParams {
+                min_entries: 0,
+                ..RTreeParams::with_fanout(8)
+            }),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            ExplainEngine::new(ds.clone(), bad_tree)
+                .err()
+                .expect("construction must fail"),
+            CrpError::InvalidConfig {
+                field: "rtree.min_entries",
+                ..
+            }
+        ));
+        let lopsided = EngineConfig {
+            rtree: Some(RTreeParams {
+                min_entries: 5,
+                max_entries: 8,
+                ..RTreeParams::with_fanout(8)
+            }),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            ExplainEngine::new(ds.clone(), lopsided)
+                .err()
+                .expect("construction must fail"),
+            CrpError::InvalidConfig {
+                field: "rtree.max_entries",
+                ..
+            }
+        ));
+        let zero_budget = EngineConfig {
+            cp: CpConfig {
+                max_subsets: Some(0),
+                ..CpConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            ExplainEngine::new(ds.clone(), zero_budget)
+                .err()
+                .expect("construction must fail"),
+            CrpError::InvalidConfig {
+                field: "cp.max_subsets",
+                ..
+            }
+        ));
+        // The pdf constructor additionally validates the resolution.
+        assert!(matches!(
+            ExplainEngine::for_pdf(PdfDataset::new(), 0, EngineConfig::default())
+                .err()
+                .expect("construction must fail"),
+            CrpError::InvalidConfig {
+                field: "resolution",
+                ..
+            }
+        ));
+        // The sharded constructors run the same validation.
+        assert!(matches!(
+            ShardedExplainEngine::new(ds, EngineConfig::with_alpha(7.0), 2, ShardPolicy::Spatial)
+                .err()
+                .expect("construction must fail"),
+            CrpError::InvalidConfig { field: "alpha", .. }
+        ));
+        assert!(matches!(
+            ShardedExplainEngine::for_pdf(
+                PdfDataset::new(),
+                0,
+                EngineConfig::default(),
+                2,
+                ShardPolicy::RoundRobin
+            )
+            .err()
+            .expect("construction must fail"),
+            CrpError::InvalidConfig {
+                field: "resolution",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn apply_patches_trees_and_advances_epochs() {
+        use crp_uncertain::Epoch;
+        let mut engine = ExplainEngine::new(uncertain_fixture(), EngineConfig::with_alpha(0.75))
+            .expect("valid engine config");
+        let q = pt(5.0, 5.0);
+        // Build the tree and a baseline explanation.
+        let before = engine.explain(&q, ObjectId(0)).unwrap();
+        assert!(!before.causes.is_empty());
+        let epoch0 = engine.epoch();
+        assert_eq!(epoch0, Epoch(4), "construction pushed four objects");
+
+        // Insert a new dominator between the non-answer and the query.
+        let e1 = engine
+            .apply(Update::Insert(UncertainObject::certain(
+                ObjectId(9),
+                pt(6.5, 6.5),
+            )))
+            .unwrap();
+        assert_eq!(e1, epoch0.next());
+        let after_insert = engine.explain(&q, ObjectId(0)).unwrap();
+        assert!(
+            after_insert.cause(ObjectId(9)).is_some(),
+            "inserted object must become a cause"
+        );
+
+        // Delete it again: back to the original causes.
+        let e2 = engine.apply(Update::Delete(ObjectId(9))).unwrap();
+        assert!(e2 > e1);
+        let after_delete = engine.explain(&q, ObjectId(0)).unwrap();
+        assert_eq!(after_delete.causes, before.causes);
+
+        // Replace moves an object out of the window: cause disappears.
+        engine
+            .apply(Update::Replace(UncertainObject::certain(
+                ObjectId(1),
+                pt(90.0, 90.0),
+            )))
+            .unwrap();
+        let after_replace = engine.explain(&q, ObjectId(0)).unwrap();
+        assert!(after_replace.cause(ObjectId(1)).is_none());
+
+        // The update-path counters surfaced in the session totals.
+        let io = engine.accumulated_io();
+        assert_eq!(io.inserts, 2, "insert + replace");
+        assert_eq!(io.removes, 2, "delete + replace");
+        assert!(io.cache_evictions > 0, "updates evicted cached entries");
+
+        // Error paths: unknown delete, duplicate insert, wrong workload.
+        assert_eq!(
+            engine.apply(Update::Delete(ObjectId(42))).unwrap_err(),
+            CrpError::UnknownObject(ObjectId(42))
+        );
+        assert!(matches!(
+            engine
+                .apply(Update::Insert(UncertainObject::certain(
+                    ObjectId(0),
+                    pt(1.0, 1.0)
+                )))
+                .unwrap_err(),
+            CrpError::InvalidUpdate { .. }
+        ));
+        assert!(matches!(
+            engine.apply_pdf(Update::Delete(ObjectId(0))).unwrap_err(),
+            CrpError::InvalidUpdate { .. }
+        ));
+    }
+
+    #[test]
+    fn alpha_sweep_hits_the_row_cache() {
+        let engine = ExplainEngine::new(uncertain_fixture(), EngineConfig::with_alpha(0.75))
+            .expect("valid engine config");
+        let q = pt(5.0, 5.0);
+        let first = engine
+            .explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(0))
+            .unwrap();
+        let paid = engine.accumulated_io().node_accesses;
+        assert!(paid > 0);
+        // Different α over the same non-answer: stage 1 is served from
+        // the row cache — no further node accesses — and the outcome
+        // stats still replay the original traversal cost.
+        let swept = engine
+            .explain_as(ExplainStrategy::Cp, &q, 0.25, ObjectId(0))
+            .unwrap();
+        assert_eq!(engine.accumulated_io().node_accesses, paid);
+        assert_eq!(swept.stats.query, first.stats.query);
+        // Identical request: outcome cache, bit-identical result.
+        let repeat = engine
+            .explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(0))
+            .unwrap();
+        assert_eq!(repeat, first);
+        let io = engine.accumulated_io();
+        assert!(io.cache_hits >= 2, "row hit + outcome hit, got {io:?}");
+        let (rows, outcomes) = engine.cache_len();
+        assert_eq!(rows, 1);
+        assert_eq!(outcomes, 2);
+    }
+
+    #[test]
     fn pdf_workload_supports_cp_only() {
         use crp_geom::HyperRect;
         use crp_uncertain::PdfObject;
@@ -731,7 +1411,8 @@ mod tests {
             PdfObject::uniform(ObjectId(1), HyperRect::new(pt(6.9, 6.9), pt(7.1, 7.1))),
         ])
         .unwrap();
-        let engine = ExplainEngine::for_pdf(ds, 3, EngineConfig::with_alpha(0.5));
+        let engine = ExplainEngine::for_pdf(ds, 3, EngineConfig::with_alpha(0.5))
+            .expect("valid engine config");
         let q = pt(5.0, 5.0);
         let out = engine.explain(&q, ObjectId(0)).unwrap();
         assert!(out.cause(ObjectId(1)).is_some());
@@ -741,7 +1422,8 @@ mod tests {
         ));
         // An empty pdf session errors like the discrete path instead of
         // panicking in the index build.
-        let empty = ExplainEngine::for_pdf(PdfDataset::new(), 3, EngineConfig::default());
+        let empty = ExplainEngine::for_pdf(PdfDataset::new(), 3, EngineConfig::default())
+            .expect("valid engine config");
         assert_eq!(
             empty.explain(&q, ObjectId(0)).unwrap_err(),
             CrpError::EmptyDataset

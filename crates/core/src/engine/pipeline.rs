@@ -98,6 +98,36 @@ pub(crate) fn validate(
     Ok(an_pos)
 }
 
+/// The output of pipeline stage 1 for one non-answer: the candidate
+/// cause **ids** (in the pipeline's canonical order — ascending dataset
+/// position at computation time) and the dominance matrix whose rows
+/// follow that order. Everything the α-dependent stages 2–3 consume;
+/// what the engine's explanation cache stores per `(an, q)` so an
+/// α-sweep re-runs only refinement.
+#[derive(Clone, Debug)]
+pub(crate) struct StageOne {
+    pub ids: Vec<ObjectId>,
+    pub matrix: DominanceMatrix,
+}
+
+/// Stage 1 of the discrete pipeline: filter + matrix build. Fills only
+/// the query-side counters of `stats`.
+pub(crate) fn stage1_probabilistic(
+    ds: &UncertainDataset,
+    q: &Point,
+    an_pos: usize,
+    filter: &dyn FilterStage,
+    stats: &mut RunStats,
+) -> StageOne {
+    let candidates = filter.candidates(ds, q, an_pos, stats);
+    let matrix = DominanceMatrix::build(ds, an_pos, q, &candidates);
+    let ids = candidates
+        .into_iter()
+        .map(|pos| ds.object_at(pos).id())
+        .collect();
+    StageOne { ids, matrix }
+}
+
 /// Runs the full pipeline for one non-answer of a probabilistic reverse
 /// skyline query over discrete-sample data. `io`, when given, receives
 /// the call's node accesses whether it succeeds or errors.
@@ -113,11 +143,9 @@ pub(crate) fn run_probabilistic(
     let mut stats = RunStats::default();
     let result = (|| {
         let an_pos = validate(ds, q, an_id, alpha)?;
-        // Stage 1: filter.
-        let candidates = filter.candidates(ds, q, an_pos, &mut stats);
-        let matrix = DominanceMatrix::build(ds, an_pos, q, &candidates);
-        finish(&matrix, alpha, config, &mut stats, |cand| {
-            ds.object_at(candidates[cand]).id()
+        let stage1 = stage1_probabilistic(ds, q, an_pos, filter, &mut stats);
+        finish(&stage1.matrix, alpha, config, &mut stats, |cand| {
+            stage1.ids[cand]
         })
     })();
     absorb_io(io, &stats);
@@ -176,24 +204,33 @@ pub(crate) fn run_pdf(
     result.map(|causes| CrpOutcome { causes, stats })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_pdf_inner(
-    ds: &PdfDataset,
-    source: &dyn RegionHitSource,
-    q: &Point,
-    an_id: ObjectId,
-    alpha: f64,
-    resolution: usize,
-    config: &CpConfig,
-    stats: &mut RunStats,
-) -> Result<Vec<Cause>, CrpError> {
+/// Validation shared by the pdf strategies, mirroring
+/// [`validate`]'s guard order.
+pub(crate) fn validate_pdf(ds: &PdfDataset, an_id: ObjectId, alpha: f64) -> Result<(), CrpError> {
     if !(alpha > 0.0 && alpha <= 1.0) {
         return Err(CrpError::InvalidAlpha(alpha));
     }
     if ds.is_empty() {
         return Err(CrpError::EmptyDataset);
     }
-    let an = ds.get(an_id).ok_or(CrpError::UnknownObject(an_id))?;
+    if ds.get(an_id).is_none() {
+        return Err(CrpError::UnknownObject(an_id));
+    }
+    Ok(())
+}
+
+/// Stage 1 of the pdf pipeline: per-quadrant window traversal, then the
+/// closed-form dominance matrix over the non-answer's integration
+/// cells. The caller has already validated `an_id`.
+pub(crate) fn stage1_pdf(
+    ds: &PdfDataset,
+    source: &dyn RegionHitSource,
+    q: &Point,
+    an_id: ObjectId,
+    resolution: usize,
+    stats: &mut RunStats,
+) -> StageOne {
+    let an = ds.get(an_id).expect("caller validated the id");
 
     // Stage 1: multi-window traversal over the per-quadrant windows.
     let windows = crate::pdf::pdf_windows(q, an.region());
@@ -219,5 +256,26 @@ fn run_pdf_inner(
         }
     }
     let matrix = DominanceMatrix::from_parts(dp, weights, candidates.len());
-    finish(&matrix, alpha, config, stats, |cand| candidates[cand])
+    StageOne {
+        ids: candidates,
+        matrix,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pdf_inner(
+    ds: &PdfDataset,
+    source: &dyn RegionHitSource,
+    q: &Point,
+    an_id: ObjectId,
+    alpha: f64,
+    resolution: usize,
+    config: &CpConfig,
+    stats: &mut RunStats,
+) -> Result<Vec<Cause>, CrpError> {
+    validate_pdf(ds, an_id, alpha)?;
+    let stage1 = stage1_pdf(ds, source, q, an_id, resolution, stats);
+    finish(&stage1.matrix, alpha, config, stats, |cand| {
+        stage1.ids[cand]
+    })
 }

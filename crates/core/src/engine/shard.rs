@@ -9,7 +9,7 @@
 //! * a pluggable [`ShardPolicy`] splits the dataset into disjoint
 //!   shards ([`ShardPolicy::RoundRobin`], [`ShardPolicy::HashById`],
 //!   or STR-style [`ShardPolicy::Spatial`] slabs),
-//! * each [`Shard`] owns its own R-trees and its own
+//! * each `Shard` owns its own R-trees and its own
 //!   [`AtomicQueryStats`] accumulator (rolled up engine-wide with
 //!   `Sum`),
 //! * `explain` / `explain_batch` fan **candidate generation** (pipeline
@@ -38,7 +38,9 @@ use super::certain::{
 };
 use super::filter::{self, FilterStage, ScanFilter};
 use super::pipeline::{self, RegionHitSource};
-use super::{oracle_outcome, EngineConfig, ExplainStrategy, Workload};
+use super::{
+    oracle_outcome, update_error, validate_resolution, EngineConfig, ExplainStrategy, Workload,
+};
 use crate::config::CpConfig;
 use crate::error::CrpError;
 use crate::oracle::{oracle_cp, oracle_cr};
@@ -46,8 +48,11 @@ use crate::types::{CrpOutcome, RunStats};
 use crp_geom::{dominance_rect, HyperRect, Point};
 use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
 use crp_skyline::{build_object_rtree, build_point_rtree};
-use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset, UncertainObject};
+use crp_uncertain::{
+    Epoch, ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainObject, Update,
+};
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::OnceLock;
@@ -138,16 +143,11 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// STR-style slab assignment: sort by center along the widest-spread
-/// dimension, cut into `n` balanced contiguous runs.
-fn spatial_slabs(centers: &[Point], n: usize) -> Vec<usize> {
-    let len = centers.len();
-    if len == 0 {
-        return Vec::new();
-    }
-    let dim = centers[0].dim();
-    // Widest spread of centers picks the split dimension.
-    let split_dim = (0..dim)
+/// Picks the split dimension of the spatial policy: widest spread of
+/// the object centers.
+fn spatial_split_dim(centers: &[Point]) -> usize {
+    let dim = centers.first().map(|c| c.dim()).unwrap_or(0);
+    (0..dim)
         .map(|d| {
             let (lo, hi) = centers
                 .iter()
@@ -158,20 +158,42 @@ fn spatial_slabs(centers: &[Point], n: usize) -> Vec<usize> {
         })
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite extents"))
         .map(|(d, _)| d)
-        .unwrap_or(0);
-    let mut order: Vec<usize> = (0..len).collect();
+        .unwrap_or(0)
+}
+
+/// Center order along one dimension (ties by index) — shared by slab
+/// assignment and the routing-table construction so they agree.
+fn spatial_order(centers: &[Point], split_dim: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..centers.len()).collect();
     order.sort_by(|&a, &b| {
         centers[a].coords()[split_dim]
             .partial_cmp(&centers[b].coords()[split_dim])
             .expect("finite coordinates")
             .then(a.cmp(&b))
     });
-    // Balanced run lengths: the first `len % n` slabs get one extra.
+    order
+}
+
+/// Balanced run lengths of `n` slabs over `len` items: the first
+/// `len % n` slabs get one extra.
+fn slab_lengths(len: usize, n: usize) -> impl Iterator<Item = usize> {
     let base = len / n;
     let extra = len % n;
+    (0..n).map(move |s| base + usize::from(s < extra))
+}
+
+/// STR-style slab assignment: sort by center along the widest-spread
+/// dimension, cut into `n` balanced contiguous runs.
+fn spatial_slabs(centers: &[Point], n: usize) -> Vec<usize> {
+    let len = centers.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let split_dim = spatial_split_dim(centers);
+    let order = spatial_order(centers, split_dim);
     let mut assignment = vec![0usize; len];
     let mut cursor = 0usize;
-    for (slab_idx, chunk_len) in (0..n).map(|s| (s, base + usize::from(s < extra))) {
+    for (slab_idx, chunk_len) in slab_lengths(len, n).enumerate() {
         for &pos in order.iter().skip(cursor).take(chunk_len) {
             assignment[pos] = slab_idx;
         }
@@ -180,12 +202,79 @@ fn spatial_slabs(centers: &[Point], n: usize) -> Vec<usize> {
     assignment
 }
 
+/// The routing table of a spatial session: `cuts[s-1]` is the lower
+/// boundary (center coordinate along `split_dim`) of slab `s`; an
+/// insert routes to the number of cuts ≤ its coordinate. Slabs that
+/// were empty at (re)partition time get an `∞` cut, so nothing routes
+/// past them until the next repartition.
+#[derive(Clone, Debug)]
+struct SpatialLayout {
+    split_dim: usize,
+    cuts: Vec<f64>,
+}
+
+impl SpatialLayout {
+    fn build(centers: &[Point], n: usize) -> Option<Self> {
+        if centers.is_empty() {
+            return None;
+        }
+        let split_dim = spatial_split_dim(centers);
+        let order = spatial_order(centers, split_dim);
+        let mut cuts = Vec::with_capacity(n.saturating_sub(1));
+        let mut cursor = 0usize;
+        for (slab, chunk_len) in slab_lengths(centers.len(), n).enumerate() {
+            if slab > 0 {
+                cuts.push(
+                    order
+                        .get(cursor)
+                        .map(|&pos| centers[pos].coords()[split_dim])
+                        .unwrap_or(f64::INFINITY),
+                );
+            }
+            cursor += chunk_len;
+        }
+        Some(Self { split_dim, cuts })
+    }
+
+    fn route(&self, center: &Point) -> usize {
+        let coord = center.coords()[self.split_dim];
+        self.cuts.partition_point(|&cut| cut <= coord)
+    }
+}
+
 /// One shard's data: a disjoint slice of the dataset. Shards may be
 /// empty (more shards than objects); empty shards answer every stage-1
 /// request with an empty hit list at zero node accesses.
 enum ShardData {
     Discrete(UncertainDataset),
     Pdf(PdfDataset),
+}
+
+/// Splits a discrete dataset into per-shard datasets by assignment —
+/// shared by construction and the spatial repartition path.
+fn partition_discrete(
+    ds: &UncertainDataset,
+    assignment: &[usize],
+    shards: usize,
+) -> Vec<UncertainDataset> {
+    let mut parts: Vec<UncertainDataset> = (0..shards).map(|_| UncertainDataset::new()).collect();
+    for (pos, &shard) in assignment.iter().enumerate() {
+        parts[shard]
+            .push(ds.object_at(pos).clone())
+            .expect("shard objects inherit the dataset's validity");
+    }
+    parts
+}
+
+/// [`partition_discrete`] for pdf datasets.
+fn partition_pdf(ds: &PdfDataset, assignment: &[usize], shards: usize) -> Vec<PdfDataset> {
+    let mut parts: Vec<PdfDataset> = (0..shards).map(|_| PdfDataset::new()).collect();
+    for (pos, &shard) in assignment.iter().enumerate() {
+        parts[shard]
+            .push(ds.objects()[pos].clone())
+            .expect("shard objects inherit the dataset's validity");
+    }
+    parts
 }
 
 /// One partition of a sharded session: its slice of the dataset, its
@@ -199,10 +288,17 @@ pub(crate) struct Shard {
     point_tree: OnceLock<RTree<ObjectId>>,
     /// The shard's bounding box (`None` for empty shards) — the
     /// routing-table entry window pruning consults without any node
-    /// access.
+    /// access. Invalidated by every mutation.
     mbr_cache: OnceLock<Option<HyperRect>>,
-    /// Node accesses of every query this shard served.
+    /// Node accesses and update-path work of every query/update this
+    /// shard served.
     io: AtomicQueryStats,
+    /// Times this shard's trees/dataset were rebuilt (stale-tree drops
+    /// and repartitions).
+    rebuilds: u64,
+    /// Mutations applied since the shard's trees were last (re)built —
+    /// the staleness heuristic of the spatial policy.
+    mutations: usize,
 }
 
 impl Shard {
@@ -214,6 +310,8 @@ impl Shard {
             point_tree: OnceLock::new(),
             mbr_cache: OnceLock::new(),
             io: AtomicQueryStats::new(),
+            rebuilds: 0,
+            mutations: 0,
         }
     }
 
@@ -352,6 +450,152 @@ impl Shard {
     fn cached_mbr(&self) -> Option<&HyperRect> {
         self.mbr_cache.get_or_init(|| self.mbr()).as_ref()
     }
+
+    // --- the incremental update path ---------------------------------
+
+    fn discrete_mut(&mut self) -> &mut UncertainDataset {
+        match &mut self.data {
+            ShardData::Discrete(ds) => ds,
+            ShardData::Pdf(_) => unreachable!("discrete updates route to discrete shards"),
+        }
+    }
+
+    fn pdf_mut(&mut self) -> &mut PdfDataset {
+        match &mut self.data {
+            ShardData::Pdf(ds) => ds,
+            ShardData::Discrete(_) => unreachable!("pdf updates route to pdf shards"),
+        }
+    }
+
+    /// Books one logical mutation: invalidates the routing MBR, bumps
+    /// the staleness counter (only while a tree exists to go stale) and
+    /// the update counters.
+    fn note_mutation(&mut self, inserts: u64, removes: u64) {
+        self.mbr_cache = OnceLock::new();
+        if self.object_tree.get().is_some() || self.point_tree.get().is_some() {
+            self.mutations += 1;
+        }
+        self.io.merge(&QueryStats {
+            inserts,
+            removes,
+            ..Default::default()
+        });
+    }
+
+    /// Incrementally patches this shard's object tree — the shared
+    /// [`super::patch_rect_tree`] body, so the maintenance invariants
+    /// cannot drift from the unsharded engine's.
+    fn patch_object_tree(
+        &mut self,
+        remove: Option<(HyperRect, ObjectId)>,
+        insert: Option<(HyperRect, ObjectId)>,
+    ) {
+        super::patch_rect_tree(&mut self.object_tree, remove, insert, &self.io);
+    }
+
+    /// Incrementally patches this shard's point tree, dropping it when
+    /// the shard stops being certain (non-certain objects cannot be
+    /// indexed as points).
+    fn patch_point_tree(
+        &mut self,
+        remove: Option<(Point, ObjectId)>,
+        insert: Option<(Point, ObjectId)>,
+    ) {
+        let still_certain = match &self.data {
+            ShardData::Discrete(ds) => ds.is_certain(),
+            ShardData::Pdf(_) => false,
+        };
+        super::patch_point_tree_slot(
+            &mut self.point_tree,
+            still_certain,
+            remove,
+            insert,
+            &self.io,
+        );
+    }
+
+    fn insert_discrete(&mut self, obj: UncertainObject) {
+        let id = obj.id();
+        let mbr = obj.mbr();
+        let point = obj.is_certain().then(|| obj.certain_point().clone());
+        self.discrete_mut()
+            .push(obj)
+            .expect("globally validated update");
+        self.patch_object_tree(None, Some((mbr, id)));
+        self.patch_point_tree(None, point.map(|p| (p, id)));
+        self.note_mutation(1, 0);
+    }
+
+    fn remove_discrete(&mut self, id: ObjectId) {
+        let old = self
+            .discrete_mut()
+            .remove(id)
+            .expect("owner table routed to the owning shard");
+        let point = old.is_certain().then(|| old.certain_point().clone());
+        self.patch_object_tree(Some((old.mbr(), id)), None);
+        self.patch_point_tree(point.map(|p| (p, id)), None);
+        self.note_mutation(0, 1);
+    }
+
+    fn replace_discrete(&mut self, obj: UncertainObject) {
+        let id = obj.id();
+        let new_mbr = obj.mbr();
+        let new_point = obj.is_certain().then(|| obj.certain_point().clone());
+        let old = self
+            .discrete_mut()
+            .replace(obj)
+            .expect("globally validated update");
+        let old_point = old.is_certain().then(|| old.certain_point().clone());
+        self.patch_object_tree(Some((old.mbr(), id)), Some((new_mbr, id)));
+        self.patch_point_tree(old_point.map(|p| (p, id)), new_point.map(|p| (p, id)));
+        self.note_mutation(1, 1);
+    }
+
+    fn insert_pdf(&mut self, obj: PdfObject) {
+        let id = obj.id();
+        let region = obj.region().clone();
+        self.pdf_mut().push(obj).expect("globally validated update");
+        self.patch_object_tree(None, Some((region, id)));
+        self.note_mutation(1, 0);
+    }
+
+    fn remove_pdf(&mut self, id: ObjectId) {
+        let old = self
+            .pdf_mut()
+            .remove(id)
+            .expect("owner table routed to the owning shard");
+        self.patch_object_tree(Some((old.region().clone(), id)), None);
+        self.note_mutation(0, 1);
+    }
+
+    fn replace_pdf(&mut self, obj: PdfObject) {
+        let id = obj.id();
+        let new_region = obj.region().clone();
+        let old = self
+            .pdf_mut()
+            .replace(obj)
+            .expect("globally validated update");
+        self.patch_object_tree(Some((old.region().clone(), id)), Some((new_region, id)));
+        self.note_mutation(1, 1);
+    }
+
+    /// Drops the shard's indexes for a lazy rebuild from its current
+    /// data — the stale-shard path: only this shard pays the rebuild,
+    /// every other shard keeps serving untouched.
+    fn drop_trees(&mut self) {
+        self.object_tree = OnceLock::new();
+        self.point_tree = OnceLock::new();
+        self.mbr_cache = OnceLock::new();
+        self.mutations = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Swaps in a freshly partitioned dataset (the repartition path),
+    /// keeping the shard's I/O accumulator.
+    fn reset_data(&mut self, data: ShardData) {
+        self.data = data;
+        self.drop_trees();
+    }
 }
 
 /// A partition-parallel explain session: the same public surface as
@@ -366,6 +610,17 @@ pub struct ShardedExplainEngine {
     shards: Vec<Shard>,
     policy: ShardPolicy,
     config: EngineConfig,
+    /// Which shard holds each object — the routing table deletes and
+    /// replaces consult so a mutation touches exactly one shard.
+    owner: HashMap<ObjectId, usize>,
+    /// Round-robin insert cursor (continues the construction pattern).
+    rr_cursor: usize,
+    /// Spatial routing table (`None` for non-spatial policies or a
+    /// session built over an empty dataset).
+    spatial: Option<SpatialLayout>,
+    /// Times the whole spatial layout was recut because a slab
+    /// overflowed.
+    repartitions: u64,
 }
 
 impl ShardedExplainEngine {
@@ -373,24 +628,24 @@ impl ShardedExplainEngine {
     /// dataset, split into `shards` partitions by `policy`
     /// (`shards = 0` is clamped to 1; a 1-shard session is the
     /// unsharded engine with extra steps, useful as a baseline).
+    /// Fails with [`CrpError::InvalidConfig`] on an invalid
+    /// configuration.
     pub fn new(
         ds: UncertainDataset,
         config: EngineConfig,
         shards: usize,
         policy: ShardPolicy,
-    ) -> Self {
+    ) -> Result<Self, CrpError> {
+        config.validate()?;
         let shards = shards.max(1);
         let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
         let centers: Vec<Point> = ds.iter().map(|o| o.mbr().center()).collect();
         let assignment = policy.assign(&ids, &centers, shards);
-        let mut parts: Vec<UncertainDataset> =
-            (0..shards).map(|_| UncertainDataset::new()).collect();
-        for (pos, &shard) in assignment.iter().enumerate() {
-            parts[shard]
-                .push(ds.object_at(pos).clone())
-                .expect("shard objects inherit the dataset's validity");
-        }
-        Self {
+        let parts = partition_discrete(&ds, &assignment, shards);
+        let spatial = (policy == ShardPolicy::Spatial)
+            .then(|| SpatialLayout::build(&centers, shards))
+            .flatten();
+        Ok(Self {
             data: Workload::Discrete(ds),
             shards: parts
                 .into_iter()
@@ -398,7 +653,11 @@ impl ShardedExplainEngine {
                 .collect(),
             policy,
             config,
-        }
+            owner: ids.iter().copied().zip(assignment).collect(),
+            rr_cursor: ids.len(),
+            spatial,
+            repartitions: 0,
+        })
     }
 
     /// Creates a sharded session over a continuous-pdf dataset
@@ -410,18 +669,18 @@ impl ShardedExplainEngine {
         config: EngineConfig,
         shards: usize,
         policy: ShardPolicy,
-    ) -> Self {
+    ) -> Result<Self, CrpError> {
+        config.validate()?;
+        validate_resolution(resolution)?;
         let shards = shards.max(1);
         let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
         let centers: Vec<Point> = ds.iter().map(|o| o.region().center()).collect();
         let assignment = policy.assign(&ids, &centers, shards);
-        let mut parts: Vec<PdfDataset> = (0..shards).map(|_| PdfDataset::new()).collect();
-        for (pos, &shard) in assignment.iter().enumerate() {
-            parts[shard]
-                .push(ds.objects()[pos].clone())
-                .expect("shard objects inherit the dataset's validity");
-        }
-        Self {
+        let parts = partition_pdf(&ds, &assignment, shards);
+        let spatial = (policy == ShardPolicy::Spatial)
+            .then(|| SpatialLayout::build(&centers, shards))
+            .flatten();
+        Ok(Self {
             data: Workload::Pdf { ds, resolution },
             shards: parts
                 .into_iter()
@@ -429,7 +688,11 @@ impl ShardedExplainEngine {
                 .collect(),
             policy,
             config,
-        }
+            owner: ids.iter().copied().zip(assignment).collect(),
+            rr_cursor: ids.len(),
+            spatial,
+            repartitions: 0,
+        })
     }
 
     /// Number of shards (≥ 1; some may be empty).
@@ -488,6 +751,235 @@ impl ShardedExplainEngine {
     /// Resets every shard accumulator, returning the rolled-up totals.
     pub fn reset_io(&self) -> QueryStats {
         self.shards.iter().map(|s| s.io.take()).sum()
+    }
+
+    /// The dataset version this session currently serves.
+    pub fn epoch(&self) -> Epoch {
+        match &self.data {
+            Workload::Discrete(ds) => ds.epoch(),
+            Workload::Pdf { ds, .. } => ds.epoch(),
+        }
+    }
+
+    /// Per-shard rebuild counts (stale-tree drops + repartitions), in
+    /// shard order.
+    pub fn shard_rebuilds(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.rebuilds).collect()
+    }
+
+    /// Times the whole spatial layout was recut because a slab
+    /// overflowed (always 0 for non-spatial policies).
+    pub fn repartitions(&self) -> u64 {
+        self.repartitions
+    }
+
+    /// Applies one update to a discrete sharded session: the global
+    /// dataset is mutated (validation, matrix building and the oracles
+    /// read it), then the delta is **routed to its owning shard** —
+    /// round-robin inserts continue the construction rotation, hashed
+    /// inserts follow the id hash, spatial inserts consult the slab
+    /// routing table — and only that shard's trees are incrementally
+    /// patched while the others keep serving. The spatial policy
+    /// additionally self-maintains: a shard whose tree went stale under
+    /// churn drops it for a local lazy rebuild, and a slab that
+    /// overflowed to twice its fair share triggers a repartition of the
+    /// layout (counted in [`ShardedExplainEngine::repartitions`]).
+    ///
+    /// Returns the new dataset [`Epoch`]. Post-update explains are
+    /// identical to a fresh (sharded or unsharded) engine on the final
+    /// dataset.
+    pub fn apply(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError> {
+        if !matches!(self.data, Workload::Discrete(_)) {
+            return Err(CrpError::InvalidUpdate {
+                reason: "discrete update applied to a pdf session".into(),
+            });
+        }
+        let touched = update.id();
+        match update {
+            Update::Insert(obj) => {
+                {
+                    let Workload::Discrete(ds) = &mut self.data else {
+                        unreachable!("checked above");
+                    };
+                    ds.push(obj.clone()).map_err(update_error)?;
+                }
+                let center = obj.mbr().center();
+                let shard = self.route_insert(touched, &center);
+                self.shards[shard].insert_discrete(obj);
+                self.owner.insert(touched, shard);
+                self.maintain_after_update(shard);
+            }
+            Update::Delete(id) => {
+                {
+                    let Workload::Discrete(ds) = &mut self.data else {
+                        unreachable!("checked above");
+                    };
+                    ds.remove(id).ok_or(CrpError::UnknownObject(id))?;
+                }
+                let shard = self
+                    .owner
+                    .remove(&id)
+                    .expect("owner table tracks every object");
+                self.shards[shard].remove_discrete(id);
+                self.maintain_after_update(shard);
+            }
+            Update::Replace(obj) => {
+                {
+                    let Workload::Discrete(ds) = &mut self.data else {
+                        unreachable!("checked above");
+                    };
+                    ds.replace(obj.clone()).map_err(update_error)?;
+                }
+                let shard = *self
+                    .owner
+                    .get(&touched)
+                    .expect("owner table tracks every object");
+                self.shards[shard].replace_discrete(obj);
+                self.maintain_after_update(shard);
+            }
+        }
+        Ok(self.epoch())
+    }
+
+    /// [`ShardedExplainEngine::apply`] for continuous-pdf sessions.
+    pub fn apply_pdf(&mut self, update: Update<PdfObject>) -> Result<Epoch, CrpError> {
+        if !matches!(self.data, Workload::Pdf { .. }) {
+            return Err(CrpError::InvalidUpdate {
+                reason: "pdf update applied to a discrete session".into(),
+            });
+        }
+        let touched = update.id();
+        match update {
+            Update::Insert(obj) => {
+                {
+                    let Workload::Pdf { ds, .. } = &mut self.data else {
+                        unreachable!("checked above");
+                    };
+                    ds.push(obj.clone()).map_err(update_error)?;
+                }
+                let center = obj.region().center();
+                let shard = self.route_insert(touched, &center);
+                self.shards[shard].insert_pdf(obj);
+                self.owner.insert(touched, shard);
+                self.maintain_after_update(shard);
+            }
+            Update::Delete(id) => {
+                {
+                    let Workload::Pdf { ds, .. } = &mut self.data else {
+                        unreachable!("checked above");
+                    };
+                    ds.remove(id).ok_or(CrpError::UnknownObject(id))?;
+                }
+                let shard = self
+                    .owner
+                    .remove(&id)
+                    .expect("owner table tracks every object");
+                self.shards[shard].remove_pdf(id);
+                self.maintain_after_update(shard);
+            }
+            Update::Replace(obj) => {
+                {
+                    let Workload::Pdf { ds, .. } = &mut self.data else {
+                        unreachable!("checked above");
+                    };
+                    ds.replace(obj.clone()).map_err(update_error)?;
+                }
+                let shard = *self
+                    .owner
+                    .get(&touched)
+                    .expect("owner table tracks every object");
+                self.shards[shard].replace_pdf(obj);
+                self.maintain_after_update(shard);
+            }
+        }
+        Ok(self.epoch())
+    }
+
+    /// Picks the shard a new object lands in. Deterministic for every
+    /// policy, so replayed update streams reproduce the same layout.
+    fn route_insert(&mut self, id: ObjectId, center: &Point) -> usize {
+        let n = self.shards.len();
+        match self.policy {
+            ShardPolicy::RoundRobin => {
+                let shard = self.rr_cursor % n;
+                self.rr_cursor += 1;
+                shard
+            }
+            ShardPolicy::HashById => (splitmix64(id.0 as u64) % n as u64) as usize,
+            ShardPolicy::Spatial => match &self.spatial {
+                Some(layout) => layout.route(center),
+                // No layout yet (session built empty): everything lands
+                // in shard 0 until the first repartition cuts one.
+                None => 0,
+            },
+        }
+    }
+
+    /// Post-update self-maintenance of the spatial policy: stale-tree
+    /// drop (local to the mutated shard) and slab-overflow repartition.
+    fn maintain_after_update(&mut self, shard: usize) {
+        if self.policy != ShardPolicy::Spatial {
+            return;
+        }
+        let s = &mut self.shards[shard];
+        if (s.object_tree.get().is_some() || s.point_tree.get().is_some())
+            && s.mutations >= (s.len() / 2).max(64)
+        {
+            s.drop_trees();
+        }
+        let n = self.shards.len();
+        if n < 2 {
+            // One shard IS the dataset: there is no layout to recut.
+            return;
+        }
+        let total = match &self.data {
+            Workload::Discrete(ds) => ds.len(),
+            Workload::Pdf { ds, .. } => ds.len(),
+        };
+        let ideal = total.div_ceil(n).max(1);
+        // Twice the fair share — capped below ¾ of the dataset so the
+        // trigger stays reachable at n = 2, where 2 × ideal ≈ total
+        // could never fire and a hot slab would grow unchecked.
+        let threshold = (2 * ideal).min(3 * total / 4).max(1) + 8;
+        if self.shards[shard].len() > threshold {
+            self.repartition();
+        }
+    }
+
+    /// Recuts the whole layout from the current dataset: fresh slab
+    /// assignment, per-shard datasets and routing table; every shard's
+    /// trees are dropped for lazy rebuilds. I/O accumulators survive.
+    fn repartition(&mut self) {
+        let n = self.shards.len();
+        match &self.data {
+            Workload::Discrete(ds) => {
+                let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+                let centers: Vec<Point> = ds.iter().map(|o| o.mbr().center()).collect();
+                let assignment = self.policy.assign(&ids, &centers, n);
+                let parts = partition_discrete(ds, &assignment, n);
+                for (shard, part) in self.shards.iter_mut().zip(parts) {
+                    shard.reset_data(ShardData::Discrete(part));
+                }
+                self.owner = ids.iter().copied().zip(assignment).collect();
+                self.spatial = (self.policy == ShardPolicy::Spatial)
+                    .then(|| SpatialLayout::build(&centers, n))
+                    .flatten();
+            }
+            Workload::Pdf { ds, .. } => {
+                let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+                let centers: Vec<Point> = ds.iter().map(|o| o.region().center()).collect();
+                let assignment = self.policy.assign(&ids, &centers, n);
+                let parts = partition_pdf(ds, &assignment, n);
+                for (shard, part) in self.shards.iter_mut().zip(parts) {
+                    shard.reset_data(ShardData::Pdf(part));
+                }
+                self.owner = ids.iter().copied().zip(assignment).collect();
+                self.spatial = (self.policy == ShardPolicy::Spatial)
+                    .then(|| SpatialLayout::build(&centers, n))
+                    .flatten();
+            }
+        }
+        self.repartitions += 1;
     }
 
     /// Explains one non-answer with the configured strategy and `α`.
@@ -877,7 +1369,8 @@ mod tests {
         for policy in ShardPolicy::ALL {
             for shards in [1usize, 2, 3, 7] {
                 let engine =
-                    ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), shards, policy);
+                    ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), shards, policy)
+                        .expect("valid engine config");
                 assert_eq!(engine.shard_count(), shards);
                 let sizes = engine.shard_sizes();
                 assert_eq!(sizes.iter().sum::<usize>(), ds.len(), "{policy} × {shards}");
@@ -894,8 +1387,10 @@ mod tests {
     fn shard_assignment_is_deterministic() {
         let ds = uncertain_fixture();
         for policy in ShardPolicy::ALL {
-            let a = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 3, policy);
-            let b = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 3, policy);
+            let a = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 3, policy)
+                .expect("valid engine config");
+            let b = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 3, policy)
+                .expect("valid engine config");
             assert_eq!(a.shard_sizes(), b.shard_sizes());
             for (sa, sb) in a.shards.iter().zip(&b.shards) {
                 let (ids_a, ids_b): (Vec<ObjectId>, Vec<ObjectId>) = match (&sa.data, &sb.data) {
@@ -938,7 +1433,8 @@ mod tests {
     #[test]
     fn sharded_cp_is_bit_identical_to_unsharded() {
         let ds = uncertain_fixture();
-        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75));
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75))
+            .expect("valid engine config");
         let q = pt(5.0, 5.0);
         for policy in ShardPolicy::ALL {
             for shards in [1usize, 2, 4, 7] {
@@ -947,7 +1443,8 @@ mod tests {
                     EngineConfig::with_alpha(0.75),
                     shards,
                     policy,
-                );
+                )
+                .expect("valid engine config");
                 for id in 0..5u32 {
                     let a = single.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(id));
                     let b = sharded.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(id));
@@ -970,13 +1467,15 @@ mod tests {
     #[test]
     fn sharded_candidate_ids_merge_to_unsharded() {
         let ds = uncertain_fixture();
-        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75));
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75))
+            .expect("valid engine config");
         let q = pt(5.0, 5.0);
         let expected = single.candidate_ids(&q, ObjectId(0)).unwrap();
         assert_eq!(expected, vec![ObjectId(1), ObjectId(2), ObjectId(4)]);
         for policy in ShardPolicy::ALL {
             let sharded =
-                ShardedExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75), 3, policy);
+                ShardedExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75), 3, policy)
+                    .expect("valid engine config");
             assert_eq!(
                 sharded.candidate_ids(&q, ObjectId(0)).unwrap(),
                 expected,
@@ -998,7 +1497,8 @@ mod tests {
             EngineConfig::with_alpha(0.75),
             2,
             ShardPolicy::RoundRobin,
-        );
+        )
+        .expect("valid engine config");
         let q = pt(5.0, 5.0);
         let out = sharded.explain(&q, ObjectId(0)).unwrap();
         assert!(out.stats.query.node_accesses > 0);
@@ -1018,7 +1518,8 @@ mod tests {
     fn sharded_batch_parallel_matches_serial() {
         let ds = uncertain_fixture();
         let sharded =
-            ShardedExplainEngine::new(ds, EngineConfig::with_alpha(0.75), 3, ShardPolicy::Spatial);
+            ShardedExplainEngine::new(ds, EngineConfig::with_alpha(0.75), 3, ShardPolicy::Spatial)
+                .expect("valid engine config");
         let q = pt(5.0, 5.0);
         let ids: Vec<ObjectId> = (0..5).map(ObjectId).collect();
         let par = sharded.explain_batch(&q, &ids);
@@ -1036,10 +1537,12 @@ mod tests {
             pt(2.0, 2.0),
         ])
         .unwrap();
-        let single = ExplainEngine::new(ds.clone(), EngineConfig::default());
+        let single =
+            ExplainEngine::new(ds.clone(), EngineConfig::default()).expect("valid engine config");
         let q = pt(5.0, 5.0);
         for policy in ShardPolicy::ALL {
-            let sharded = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 4, policy);
+            let sharded = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 4, policy)
+                .expect("valid engine config");
             for strategy in [
                 ExplainStrategy::Cr,
                 ExplainStrategy::CrKskyband { k: 1 },
@@ -1081,7 +1584,8 @@ mod tests {
             ),
         ])
         .unwrap();
-        let single = ExplainEngine::for_pdf(ds.clone(), 3, EngineConfig::with_alpha(0.5));
+        let single = ExplainEngine::for_pdf(ds.clone(), 3, EngineConfig::with_alpha(0.5))
+            .expect("valid engine config");
         let q = pt(5.0, 5.0);
         for policy in ShardPolicy::ALL {
             for shards in [2usize, 3] {
@@ -1091,7 +1595,8 @@ mod tests {
                     EngineConfig::with_alpha(0.5),
                     shards,
                     policy,
-                );
+                )
+                .expect("valid engine config");
                 for id in 0..4u32 {
                     let a = single.explain(&q, ObjectId(id));
                     let b = sharded.explain(&q, ObjectId(id));
@@ -1114,6 +1619,193 @@ mod tests {
     }
 
     #[test]
+    fn updates_route_to_owning_shards() {
+        let ds = uncertain_fixture();
+        let q = pt(5.0, 5.0);
+        for policy in ShardPolicy::ALL {
+            let mut sharded =
+                ShardedExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.75), 3, policy)
+                    .expect("valid config");
+            // Warm the trees so patches hit built indexes.
+            let _ = sharded.explain(&q, ObjectId(0));
+            let before_sizes: usize = sharded.shard_sizes().iter().sum();
+            let epoch = sharded
+                .apply(Update::Insert(UncertainObject::certain(
+                    ObjectId(9),
+                    pt(6.0, 6.0),
+                )))
+                .unwrap();
+            assert_eq!(
+                sharded.shard_sizes().iter().sum::<usize>(),
+                before_sizes + 1
+            );
+            assert!(epoch > Epoch(0));
+            // The new object is explainable and owned by exactly one shard.
+            let out = sharded.explain(&q, ObjectId(0)).unwrap();
+            assert!(out.cause(ObjectId(9)).is_some(), "{policy}");
+            // Replace and delete route through the owner table.
+            sharded
+                .apply(Update::Replace(UncertainObject::certain(
+                    ObjectId(9),
+                    pt(80.0, 80.0),
+                )))
+                .unwrap();
+            assert!(sharded
+                .explain(&q, ObjectId(0))
+                .unwrap()
+                .cause(ObjectId(9))
+                .is_none());
+            sharded.apply(Update::Delete(ObjectId(9))).unwrap();
+            assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), before_sizes);
+            // Update counters merged across shards.
+            let io = sharded.accumulated_io();
+            assert_eq!(io.inserts, 2, "{policy}: insert + replace");
+            assert_eq!(io.removes, 2, "{policy}: delete + replace");
+            // And the session still matches a fresh unsharded engine.
+            let fresh = crate::engine::ExplainEngine::new(
+                UncertainDataset::from_objects(sharded.dataset().iter().cloned()).unwrap(),
+                EngineConfig::with_alpha(0.75),
+            )
+            .expect("valid config");
+            for id in [0u32, 1, 2, 3, 4] {
+                let a = sharded.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(id));
+                let b = fresh.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(id));
+                match (a, b) {
+                    (Ok(x), Ok(y)) => assert_eq!(x.causes, y.causes, "{policy}, an {id}"),
+                    (Err(x), Err(y)) => assert_eq!(x, y),
+                    (x, y) => panic!("divergence {policy}, an {id}: {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_overflow_triggers_repartition() {
+        let ds = uncertain_fixture();
+        let mut sharded =
+            ShardedExplainEngine::new(ds, EngineConfig::with_alpha(0.75), 3, ShardPolicy::Spatial)
+                .expect("valid config");
+        let q = pt(5.0, 5.0);
+        let _ = sharded.explain(&q, ObjectId(0));
+        // Pile new objects onto one spot: they all route to the same
+        // slab until it exceeds twice its fair share and the layout is
+        // recut.
+        for i in 0..80u32 {
+            sharded
+                .apply(Update::Insert(UncertainObject::certain(
+                    ObjectId(100 + i),
+                    pt(6.0, 6.0 + f64::from(i) * 1e-3),
+                )))
+                .unwrap();
+        }
+        assert!(
+            sharded.repartitions() > 0,
+            "a hot slab must trigger a repartition: sizes {:?}",
+            sharded.shard_sizes()
+        );
+        assert!(sharded.shard_rebuilds().iter().all(|&r| r > 0));
+        // Post-repartition balance: within one of the balanced split.
+        let sizes = sharded.shard_sizes();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 85);
+        // Still correct after the recut.
+        let fresh = crate::engine::ExplainEngine::new(
+            UncertainDataset::from_objects(sharded.dataset().iter().cloned()).unwrap(),
+            EngineConfig::with_alpha(0.75),
+        )
+        .expect("valid config");
+        let a = sharded.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(0));
+        let b = fresh.explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(0));
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(x.causes, y.causes),
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            (x, y) => panic!("divergence after repartition: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn two_shard_spatial_overflow_recuts_the_layout() {
+        // Built over an empty dataset: no routing table exists, so
+        // every insert lands in shard 0 until the first repartition
+        // cuts one — and at n = 2 the trigger must still be reachable
+        // (2 × fair share ≈ the whole dataset there; the ¾ cap fires).
+        let mut sharded = ShardedExplainEngine::new(
+            UncertainDataset::new(),
+            EngineConfig::with_alpha(0.75),
+            2,
+            ShardPolicy::Spatial,
+        )
+        .expect("valid config");
+        for i in 0..60u32 {
+            sharded
+                .apply(Update::Insert(UncertainObject::certain(
+                    ObjectId(i),
+                    pt(f64::from(i), 0.0),
+                )))
+                .unwrap();
+        }
+        assert!(
+            sharded.repartitions() > 0,
+            "2-shard hot slab must recut: sizes {:?}",
+            sharded.shard_sizes()
+        );
+        let sizes = sharded.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 60);
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "post-recut both shards serve: {sizes:?}"
+        );
+        // Still correct after the churn.
+        let q = pt(5.0, 5.0);
+        let fresh = crate::engine::ExplainEngine::new(
+            UncertainDataset::from_objects(sharded.dataset().iter().cloned()).unwrap(),
+            EngineConfig::with_alpha(0.75),
+        )
+        .expect("valid config");
+        for id in [0u32, 30, 59] {
+            let a = sharded.explain(&q, ObjectId(id));
+            let b = fresh.explain(&q, ObjectId(id));
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x.causes, y.causes, "an {id}"),
+                (Err(x), Err(y)) => assert_eq!(x, y, "an {id}"),
+                (x, y) => panic!("divergence an {id}: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_staleness_rebuilds_one_shard() {
+        // A 1-shard spatial session can never overflow (the shard IS
+        // the dataset), so sustained churn exercises the stale-tree
+        // path instead: after enough mutations against a built tree,
+        // the shard drops it for a lazy local rebuild.
+        let ds = uncertain_fixture();
+        let mut sharded =
+            ShardedExplainEngine::new(ds, EngineConfig::with_alpha(0.75), 1, ShardPolicy::Spatial)
+                .expect("valid config");
+        let q = pt(5.0, 5.0);
+        let _ = sharded.explain(&q, ObjectId(0)); // build the tree
+        for round in 0..70u32 {
+            sharded
+                .apply(Update::Replace(UncertainObject::certain(
+                    ObjectId(3),
+                    pt(40.0 + f64::from(round % 7), 40.0),
+                )))
+                .unwrap();
+        }
+        assert_eq!(sharded.repartitions(), 0);
+        assert_eq!(sharded.shard_rebuilds(), vec![1], "stale tree dropped once");
+        // The rebuilt shard still answers like a fresh engine.
+        let fresh = crate::engine::ExplainEngine::new(
+            UncertainDataset::from_objects(sharded.dataset().iter().cloned()).unwrap(),
+            EngineConfig::with_alpha(0.75),
+        )
+        .expect("valid config");
+        let out = sharded.explain(&q, ObjectId(0)).unwrap();
+        assert_eq!(out.causes, fresh.explain(&q, ObjectId(0)).unwrap().causes);
+    }
+
+    #[test]
     fn empty_and_error_cases_match_unsharded() {
         let q = pt(5.0, 5.0);
         // Empty dataset: same error as the unsharded engine, on every path.
@@ -1122,7 +1814,8 @@ mod tests {
             EngineConfig::default(),
             4,
             ShardPolicy::RoundRobin,
-        );
+        )
+        .expect("valid engine config");
         assert_eq!(
             empty.explain(&q, ObjectId(0)).unwrap_err(),
             CrpError::EmptyDataset
@@ -1134,7 +1827,8 @@ mod tests {
         // Unknown object.
         let ds = uncertain_fixture();
         let sharded =
-            ShardedExplainEngine::new(ds, EngineConfig::default(), 2, ShardPolicy::HashById);
+            ShardedExplainEngine::new(ds, EngineConfig::default(), 2, ShardPolicy::HashById)
+                .expect("valid engine config");
         assert_eq!(
             sharded.explain(&q, ObjectId(99)).unwrap_err(),
             CrpError::UnknownObject(ObjectId(99))
@@ -1142,7 +1836,8 @@ mod tests {
         // More shards than objects: empty shards answer with nothing.
         let tiny = UncertainDataset::from_points(vec![pt(10.0, 10.0), pt(7.0, 7.0)]).unwrap();
         let sharded =
-            ShardedExplainEngine::new(tiny, EngineConfig::default(), 7, ShardPolicy::Spatial);
+            ShardedExplainEngine::new(tiny, EngineConfig::default(), 7, ShardPolicy::Spatial)
+                .expect("valid engine config");
         let out = sharded.explain(&q, ObjectId(0)).unwrap();
         assert!(out.causes[0].counterfactual);
         // Zero shards clamps to one.
@@ -1151,7 +1846,8 @@ mod tests {
             EngineConfig::default(),
             0,
             ShardPolicy::RoundRobin,
-        );
+        )
+        .expect("valid engine config");
         assert_eq!(one.shard_count(), 1);
     }
 }

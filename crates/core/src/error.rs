@@ -36,6 +36,21 @@ pub enum CrpError {
         /// The engine workload that rejected it.
         workload: &'static str,
     },
+    /// An [`crate::EngineConfig`] field failed validation at session
+    /// construction (instead of panicking or producing garbage later).
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A dataset update could not be applied (duplicate id on insert,
+    /// unknown id on delete/replace, dimension mismatch, or an update
+    /// model that does not match the engine's workload).
+    InvalidUpdate {
+        /// What was wrong with the update.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CrpError {
@@ -62,6 +77,10 @@ impl fmt::Display for CrpError {
                     "strategy {strategy} is not available on a {workload} workload"
                 )
             }
+            CrpError::InvalidConfig { field, reason } => {
+                write!(f, "invalid engine config: {field} {reason}")
+            }
+            CrpError::InvalidUpdate { reason } => write!(f, "invalid update: {reason}"),
         }
     }
 }
@@ -87,6 +106,19 @@ mod tests {
                     workload: "pdf",
                 },
                 "cr",
+            ),
+            (
+                CrpError::InvalidConfig {
+                    field: "alpha",
+                    reason: "must be in (0, 1], got 2".into(),
+                },
+                "alpha",
+            ),
+            (
+                CrpError::InvalidUpdate {
+                    reason: "duplicate object id 3".into(),
+                },
+                "duplicate",
             ),
         ] {
             assert!(e.to_string().contains(needle), "{e}");

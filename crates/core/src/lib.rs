@@ -65,6 +65,10 @@ pub use engine::merge::merge_candidate_ids;
 pub use engine::{EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy, ShardedExplainEngine};
 pub use error::CrpError;
 pub use matrix::{DominanceMatrix, PrEvaluator};
+// The live-session vocabulary: updates are applied through
+// `ExplainEngine::apply` / `ShardedExplainEngine::apply`, which return
+// the dataset epoch the session now serves.
+pub use crp_uncertain::{Epoch, Update};
 pub use oracle::{oracle_cp, oracle_cr, oracle_crp, OracleCause};
 pub use pdf::build_pdf_rtree;
 pub use types::{Cause, CrpOutcome, RunStats};

@@ -170,7 +170,7 @@ proptest! {
         q in query(2),
         alpha in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0]),
     ) {
-        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha)).expect("valid engine config");
         engine_vs_oracle(&engine, ExplainStrategy::Cp, &q, alpha)?;
     }
 
@@ -179,7 +179,7 @@ proptest! {
         ds in certain_dataset(2),
         q in query(2),
     ) {
-        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        let engine = ExplainEngine::new(ds, EngineConfig::default()).expect("valid engine config");
         engine_vs_oracle(&engine, ExplainStrategy::Cr, &q, 0.5)?;
     }
 
@@ -190,7 +190,7 @@ proptest! {
     ) {
         // The oracle strategies are the same brute force behind the
         // engine dispatch; OracleCr and Cr must coincide on certain data.
-        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        let engine = ExplainEngine::new(ds, EngineConfig::default()).expect("valid engine config");
         for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
             let via_engine = engine.explain_as(ExplainStrategy::OracleCr, &q, 0.5, an);
             let direct = oracle_cr(engine.dataset(), &q, an);
@@ -217,7 +217,7 @@ proptest! {
         // serial search under the same configuration.
         let serial_cfg = CpConfig { use_lemma6: false, ..CpConfig::default() };
         let parallel_cfg = CpConfig { parallel_fmcs: true, ..serial_cfg };
-        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+        let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha)).expect("valid engine config");
         for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
             let a = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &serial_cfg);
             let b = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &parallel_cfg);
@@ -230,7 +230,7 @@ proptest! {
         ds in certain_dataset(2),
         q in query(2),
     ) {
-        let engine = ExplainEngine::new(ds, EngineConfig::default());
+        let engine = ExplainEngine::new(ds, EngineConfig::default()).expect("valid engine config");
         for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
             let cr = engine.explain_as(ExplainStrategy::Cr, &q, 0.5, an);
             let nv = engine.explain_as(
@@ -267,7 +267,7 @@ proptest! {
         q in query(2),
         alpha in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0]),
     ) {
-        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha));
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha)).expect("valid engine config");
         let ids: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
         let reference = single.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
         // Pin the shared reference against the (exponential) oracle
@@ -294,7 +294,7 @@ proptest! {
                     EngineConfig::with_alpha(alpha),
                     shards,
                     policy,
-                );
+                ).expect("valid engine config");
                 // Per-call, serial batch and parallel batch all agree.
                 let par = sharded.explain_batch_as(ExplainStrategy::Cp, &q, alpha, &ids);
                 let ser = sharded.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
@@ -314,7 +314,7 @@ proptest! {
         ds in certain_dataset(2),
         q in query(2),
     ) {
-        let single = ExplainEngine::new(ds.clone(), EngineConfig::default());
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::default()).expect("valid engine config");
         let ids: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
         // The oracle comparison is invariant across policies and shard
         // counts — run it once per object against the shared reference.
@@ -341,7 +341,7 @@ proptest! {
                     EngineConfig::default(),
                     shards,
                     policy,
-                );
+                ).expect("valid engine config");
                 for (&an, reference) in ids.iter().zip(&reference) {
                     let context = format!("{policy} × {shards}, an = {an}");
                     let got = sharded.explain_as(ExplainStrategy::Cr, &q, 0.5, an);
@@ -362,7 +362,7 @@ proptest! {
         alpha in prop::sample::select(vec![0.3, 0.6]),
     ) {
         let resolution = 3;
-        let single = ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha));
+        let single = ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha)).expect("valid engine config");
         let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
         for policy in ShardPolicy::ALL {
             for shards in SHARD_COUNTS {
@@ -372,7 +372,7 @@ proptest! {
                     EngineConfig::with_alpha(alpha),
                     shards,
                     policy,
-                );
+                ).expect("valid engine config");
                 for &an in &ids {
                     let context = format!("pdf {policy} × {shards}, an = {an}, α = {alpha}");
                     let reference = single.explain(&q, an);
@@ -392,10 +392,10 @@ proptest! {
         ds in uncertain_dataset(2),
         q in query(2),
     ) {
-        let single = ExplainEngine::new(ds.clone(), EngineConfig::default());
+        let single = ExplainEngine::new(ds.clone(), EngineConfig::default()).expect("valid engine config");
         let ids: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
         for policy in ShardPolicy::ALL {
-            let sharded = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 4, policy);
+            let sharded = ShardedExplainEngine::new(ds.clone(), EngineConfig::default(), 4, policy).expect("valid engine config");
             for &an in &ids {
                 let direct = single.candidate_ids(&q, an).unwrap();
                 // The engine-level merge and a hand-rolled per-shard
@@ -408,6 +408,385 @@ proptest! {
                 prop_assert_eq!(crp_core::merge_candidate_ids(parts), direct);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live datasets: mutable engines vs a fresh engine on the final data.
+// ---------------------------------------------------------------------
+
+use crp_core::Update;
+use crp_uncertain::UncertainError;
+
+/// One step of a live-session workload: a dataset mutation or an
+/// explain request interleaved between mutations (which exercises the
+/// explanation cache's populate → invalidate → re-populate cycle).
+#[derive(Clone, Debug)]
+enum LiveOp {
+    /// Insert a fresh object with these samples.
+    Insert(Vec<Point>),
+    /// Delete the object selected by this index (mod live count).
+    Delete(usize),
+    /// Replace the object selected by this index with these samples.
+    Replace(usize, Vec<Point>),
+    /// Explain the object selected by this index right now.
+    Explain(usize),
+}
+
+fn live_points(dim: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(0.0..12.0f64, dim)
+            .prop_map(|v| Point::new(v.into_iter().map(|c| c.round()).collect::<Vec<_>>())),
+        1..=3,
+    )
+}
+
+fn live_op(dim: usize) -> impl Strategy<Value = LiveOp> {
+    prop_oneof![
+        3 => live_points(dim).prop_map(LiveOp::Insert),
+        2 => any::<prop::sample::Index>().prop_map(|i| LiveOp::Delete(i.index(1 << 16))),
+        2 => (any::<prop::sample::Index>(), live_points(dim))
+            .prop_map(|(i, pts)| LiveOp::Replace(i.index(1 << 16), pts)),
+        2 => any::<prop::sample::Index>().prop_map(|i| LiveOp::Explain(i.index(1 << 16))),
+    ]
+}
+
+/// Shard grid of the live-dataset satellite: 1/2/4 shards.
+const LIVE_SHARDS: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    // Each case replays the op sequence against the mutable unsharded
+    // engine AND 3 policies × 3 shard counts of mutable sharded
+    // engines, comparing everything to fresh engines mid-stream and at
+    // the end; few cases still cover a lot of ground.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mutable_discrete_engines_match_fresh_after_updates(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        ops in prop::collection::vec(live_op(2), 1..14),
+        alpha in prop::sample::select(vec![0.3, 0.6, 1.0]),
+    ) {
+        let config = EngineConfig::with_alpha(alpha);
+        let mut single = ExplainEngine::new(ds.clone(), config).expect("valid config");
+        let mut sharded: Vec<(ShardPolicy, usize, ShardedExplainEngine)> = Vec::new();
+        for policy in ShardPolicy::ALL {
+            for shards in LIVE_SHARDS {
+                sharded.push((
+                    policy,
+                    shards,
+                    ShardedExplainEngine::new(ds.clone(), config, shards, policy)
+                        .expect("valid config"),
+                ));
+            }
+        }
+        let mut next_id = ds.iter().map(|o| o.id().0).max().unwrap_or(0) + 1;
+        for op in ops {
+            let live: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
+            let update = match op {
+                LiveOp::Insert(points) => {
+                    let obj = UncertainObject::with_equal_probs(ObjectId(next_id), points)
+                        .expect("non-empty samples");
+                    next_id += 1;
+                    Some(Update::Insert(obj))
+                }
+                LiveOp::Delete(sel) if !live.is_empty() => {
+                    Some(Update::Delete(live[sel % live.len()]))
+                }
+                LiveOp::Replace(sel, points) if !live.is_empty() => {
+                    let id = live[sel % live.len()];
+                    Some(Update::Replace(
+                        UncertainObject::with_equal_probs(id, points).expect("non-empty samples"),
+                    ))
+                }
+                LiveOp::Explain(sel) if !live.is_empty() => {
+                    // Mid-stream explain: exercises the cache between
+                    // invalidations; answers must match a fresh engine
+                    // built on the current dataset.
+                    let an = live[sel % live.len()];
+                    let fresh = ExplainEngine::new(
+                        UncertainDataset::from_objects(single.dataset().iter().cloned())
+                            .expect("live dataset stays valid"),
+                        config,
+                    )
+                    .expect("valid config");
+                    let reference = fresh.explain_as(ExplainStrategy::Cp, &q, alpha, an);
+                    assert_sharded_matches(
+                        &reference,
+                        single.explain_as(ExplainStrategy::Cp, &q, alpha, an),
+                        "mutable unsharded, mid-stream",
+                    )?;
+                    for (policy, shards, engine) in &sharded {
+                        assert_sharded_matches(
+                            &reference,
+                            engine.explain_as(ExplainStrategy::Cp, &q, alpha, an),
+                            &format!("mid-stream {policy} × {shards}"),
+                        )?;
+                    }
+                    None
+                }
+                _ => None,
+            };
+            if let Some(update) = update {
+                let epoch_before = single.epoch();
+                let epoch = single.apply(update.clone()).expect("valid update");
+                prop_assert!(epoch > epoch_before, "epoch must advance");
+                for (_, _, engine) in &mut sharded {
+                    engine.apply(update.clone()).expect("valid update");
+                }
+            }
+        }
+
+        // Final: every engine answers every (object, α, sweep-α) like a
+        // fresh engine built on the final dataset.
+        let final_ds = UncertainDataset::from_objects(single.dataset().iter().cloned())
+            .expect("live dataset stays valid");
+        let fresh = ExplainEngine::new(final_ds, config).expect("valid config");
+        let ids: Vec<ObjectId> = fresh.dataset().iter().map(|o| o.id()).collect();
+        let sweep_alpha = (alpha * 0.5).max(0.25);
+        for &a in &[alpha, sweep_alpha] {
+            let reference = fresh.explain_batch_serial_as(ExplainStrategy::Cp, &q, a, &ids);
+            let got = single.explain_batch_as(ExplainStrategy::Cp, &q, a, &ids);
+            for ((&an, reference), got) in ids.iter().zip(&reference).zip(got) {
+                assert_sharded_matches(
+                    reference,
+                    got,
+                    &format!("mutable unsharded, final, an = {an}, α = {a}"),
+                )?;
+            }
+            for (policy, shards, engine) in &sharded {
+                let got = engine.explain_batch_serial_as(ExplainStrategy::Cp, &q, a, &ids);
+                for ((&an, reference), got) in ids.iter().zip(&reference).zip(got) {
+                    assert_sharded_matches(
+                        reference,
+                        got,
+                        &format!("final {policy} × {shards}, an = {an}, α = {a}"),
+                    )?;
+                }
+            }
+        }
+        // A second pass over the same questions is served from the
+        // cache and must stay identical.
+        let reference = fresh.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
+        let cached = single.explain_batch_serial_as(ExplainStrategy::Cp, &q, alpha, &ids);
+        for ((&an, reference), got) in ids.iter().zip(&reference).zip(cached) {
+            assert_sharded_matches(reference, got, &format!("cached repeat, an = {an}"))?;
+        }
+    }
+
+    #[test]
+    fn mutable_certain_engine_matches_fresh_with_point_updates(
+        ds in certain_dataset(2),
+        q in query(2),
+        ops in prop::collection::vec(live_op(2), 1..10),
+    ) {
+        // Auto strategy: resolves to CR while the dataset stays
+        // certain and flips to CP the moment a multi-sample object
+        // arrives — exactly the certainty transition the cache must
+        // flush on.
+        let config = EngineConfig::default();
+        let mut single = ExplainEngine::new(ds.clone(), config).expect("valid config");
+        let mut next_id = ds.iter().map(|o| o.id().0).max().unwrap_or(0) + 1;
+        for op in ops {
+            let live: Vec<ObjectId> = single.dataset().iter().map(|o| o.id()).collect();
+            match op {
+                LiveOp::Insert(points) => {
+                    let obj = UncertainObject::with_equal_probs(ObjectId(next_id), points)
+                        .expect("non-empty samples");
+                    next_id += 1;
+                    single.apply(Update::Insert(obj)).expect("valid update");
+                }
+                LiveOp::Delete(sel) if !live.is_empty() => {
+                    single
+                        .apply(Update::Delete(live[sel % live.len()]))
+                        .expect("valid update");
+                }
+                LiveOp::Replace(sel, points) if !live.is_empty() => {
+                    let id = live[sel % live.len()];
+                    single
+                        .apply(Update::Replace(
+                            UncertainObject::with_equal_probs(id, points)
+                                .expect("non-empty samples"),
+                        ))
+                        .expect("valid update");
+                }
+                LiveOp::Explain(sel) if !live.is_empty() => {
+                    let an = live[sel % live.len()];
+                    let fresh = ExplainEngine::new(
+                        UncertainDataset::from_objects(single.dataset().iter().cloned())
+                            .expect("live dataset stays valid"),
+                        config,
+                    )
+                    .expect("valid config");
+                    let reference = fresh.explain(&q, an);
+                    assert_sharded_matches(&reference, single.explain(&q, an), "auto mid-stream")?;
+                }
+                _ => {}
+            }
+        }
+        let fresh = ExplainEngine::new(
+            UncertainDataset::from_objects(single.dataset().iter().cloned())
+                .expect("live dataset stays valid"),
+            config,
+        )
+        .expect("valid config");
+        for an in fresh.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
+            let reference = fresh.explain(&q, an);
+            assert_sharded_matches(&reference, single.explain(&q, an), "auto final")?;
+            // Twice: the second answer comes from the outcome cache.
+            assert_sharded_matches(&reference, single.explain(&q, an), "auto final cached")?;
+        }
+    }
+
+    #[test]
+    fn mutable_pdf_engines_match_fresh_after_updates(
+        ds in pdf_dataset(2),
+        q in query(2),
+        ops in prop::collection::vec(live_op(2), 1..10),
+        alpha in prop::sample::select(vec![0.3, 0.6]),
+    ) {
+        let resolution = 3;
+        let config = EngineConfig::with_alpha(alpha);
+        let mut single =
+            ExplainEngine::for_pdf(ds.clone(), resolution, config).expect("valid config");
+        let mut sharded: Vec<(ShardPolicy, usize, ShardedExplainEngine)> = Vec::new();
+        for policy in ShardPolicy::ALL {
+            for shards in LIVE_SHARDS {
+                sharded.push((
+                    policy,
+                    shards,
+                    ShardedExplainEngine::for_pdf(ds.clone(), resolution, config, shards, policy)
+                        .expect("valid config"),
+                ));
+            }
+        }
+        let mut next_id = ds.iter().map(|o| o.id().0).max().unwrap_or(0) + 1;
+        let as_box = |points: &[Point]| {
+            // Reuse the sample generator as box corners: lo = floor of
+            // the first point, extent ≥ 1 on each axis.
+            let lo = points[0].clone();
+            let hi = Point::new(
+                lo.coords()
+                    .iter()
+                    .map(|c| c + 1.0 + points.len() as f64)
+                    .collect::<Vec<_>>(),
+            );
+            HyperRect::new(lo, hi)
+        };
+        for op in ops {
+            let live: Vec<ObjectId> = single.pdf_dataset().unwrap().0.iter().map(|o| o.id()).collect();
+            let update = match op {
+                LiveOp::Insert(points) => {
+                    let obj = PdfObject::uniform(ObjectId(next_id), as_box(&points));
+                    next_id += 1;
+                    Some(Update::Insert(obj))
+                }
+                LiveOp::Delete(sel) if !live.is_empty() => {
+                    Some(Update::Delete(live[sel % live.len()]))
+                }
+                LiveOp::Replace(sel, points) if !live.is_empty() => {
+                    let id = live[sel % live.len()];
+                    Some(Update::Replace(PdfObject::uniform(id, as_box(&points))))
+                }
+                LiveOp::Explain(sel) if !live.is_empty() => {
+                    let an = live[sel % live.len()];
+                    let fresh = ExplainEngine::for_pdf(
+                        PdfDataset::from_objects(
+                            single.pdf_dataset().unwrap().0.iter().cloned(),
+                        )
+                        .expect("live dataset stays valid"),
+                        resolution,
+                        config,
+                    )
+                    .expect("valid config");
+                    let reference = fresh.explain(&q, an);
+                    assert_sharded_matches(
+                        &reference,
+                        single.explain(&q, an),
+                        "pdf mid-stream unsharded",
+                    )?;
+                    for (policy, shards, engine) in &sharded {
+                        assert_sharded_matches(
+                            &reference,
+                            engine.explain(&q, an),
+                            &format!("pdf mid-stream {policy} × {shards}"),
+                        )?;
+                    }
+                    None
+                }
+                _ => None,
+            };
+            if let Some(update) = update {
+                single.apply_pdf(update.clone()).expect("valid update");
+                for (_, _, engine) in &mut sharded {
+                    engine.apply_pdf(update.clone()).expect("valid update");
+                }
+            }
+        }
+        let final_ds =
+            PdfDataset::from_objects(single.pdf_dataset().unwrap().0.iter().cloned())
+                .expect("live dataset stays valid");
+        let fresh =
+            ExplainEngine::for_pdf(final_ds, resolution, config).expect("valid config");
+        let ids: Vec<ObjectId> = fresh.pdf_dataset().unwrap().0.iter().map(|o| o.id()).collect();
+        for &an in &ids {
+            let reference = fresh.explain(&q, an);
+            assert_sharded_matches(&reference, single.explain(&q, an), "pdf final unsharded")?;
+            // Cached repeat.
+            assert_sharded_matches(&reference, single.explain(&q, an), "pdf final cached")?;
+            for (policy, shards, engine) in &sharded {
+                assert_sharded_matches(
+                    &reference,
+                    engine.explain(&q, an),
+                    &format!("pdf final {policy} × {shards}, an = {an}"),
+                )?;
+            }
+        }
+    }
+
+    #[test]
+    fn mutable_dataset_rejects_invalid_updates(
+        ds in uncertain_dataset(2),
+    ) {
+        let mut engine = ExplainEngine::new(ds.clone(), EngineConfig::default())
+            .expect("valid config");
+        let existing = ds.object_at(0).id();
+        // Duplicate insert.
+        let err = engine
+            .apply(Update::Insert(UncertainObject::certain(
+                existing,
+                Point::from([1.0, 1.0]),
+            )))
+            .unwrap_err();
+        prop_assert!(matches!(err, CrpError::InvalidUpdate { .. }));
+        // Unknown delete / replace.
+        let missing = ObjectId(u32::MAX);
+        prop_assert_eq!(
+            engine.apply(Update::Delete(missing)).unwrap_err(),
+            CrpError::UnknownObject(missing)
+        );
+        let err = engine
+            .apply(Update::Replace(UncertainObject::certain(
+                missing,
+                Point::from([1.0, 1.0]),
+            )))
+            .unwrap_err();
+        prop_assert!(matches!(err, CrpError::InvalidUpdate { .. }));
+        // Dimension mismatch.
+        let err = engine
+            .apply(Update::Insert(UncertainObject::certain(
+                ObjectId(u32::MAX - 1),
+                Point::from([1.0, 1.0, 1.0]),
+            )))
+            .unwrap_err();
+        prop_assert!(matches!(err, CrpError::InvalidUpdate { .. }));
+        // The underlying dataset apply surfaces the same classes.
+        let mut raw = ds.clone();
+        prop_assert_eq!(
+            raw.apply(Update::Delete(missing)).unwrap_err(),
+            UncertainError::UnknownId(missing.0)
+        );
     }
 }
 

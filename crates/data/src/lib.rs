@@ -24,6 +24,7 @@ pub mod io;
 pub mod nba;
 pub mod rng;
 pub mod synthetic;
+pub mod workload;
 
 pub use cardb::{cardb_dataset, CarDbConfig};
 pub use certain::{certain_dataset, CertainConfig, CertainKind};
@@ -35,3 +36,4 @@ pub use nba::{nba_dataset, nba_position_query, NbaConfig};
 pub use synthetic::{
     pdf_dataset, uncertain_dataset, CenterDistribution, RadiusDistribution, UncertainConfig,
 };
+pub use workload::{load_workload, parse_workload, WorkloadOp};

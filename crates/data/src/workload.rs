@@ -1,0 +1,191 @@
+//! Replay workloads: text files interleaving dataset updates with
+//! explain requests, driven by the CLI's `replay` subcommand against a
+//! live engine session.
+//!
+//! One operation per line; `#` comments and blank lines are ignored:
+//!
+//! ```text
+//! # insert a new uncertain object (samples get equal probabilities)
+//! insert 57 4200,1800 ; 3900,2100
+//! # swap an object's sample set, keeping its id and position
+//! replace 57 4100,1950
+//! # retire an object
+//! delete 13
+//! # explain non-answers against the current dataset version
+//! explain 42,57
+//! explain all
+//! ```
+//!
+//! Parsing is strict, like the CSV codecs: malformed lines produce
+//! [`CsvError::Malformed`] with a line number, never a silent skip.
+
+use crate::io::CsvError;
+use crp_geom::Point;
+use crp_uncertain::{ObjectId, UncertainObject, Update};
+
+/// One line of a replay workload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadOp {
+    /// Mutate the dataset (`insert` / `delete` / `replace` lines).
+    Update(Update<UncertainObject>),
+    /// Explain these non-answers against the current dataset.
+    Explain(Vec<ObjectId>),
+    /// Explain every object currently in the dataset.
+    ExplainAll,
+}
+
+/// Parses replay workload text. See the [module docs](self) for the
+/// line format.
+pub fn parse_workload(text: &str) -> Result<Vec<WorkloadOp>, CsvError> {
+    let mut ops = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (verb, rest) = match content.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (content, ""),
+        };
+        let op = match verb {
+            "insert" => WorkloadOp::Update(Update::Insert(parse_object(rest, line)?)),
+            "replace" => WorkloadOp::Update(Update::Replace(parse_object(rest, line)?)),
+            "delete" => WorkloadOp::Update(Update::Delete(parse_id(rest, line)?)),
+            "explain" => {
+                if rest == "all" {
+                    WorkloadOp::ExplainAll
+                } else if rest.is_empty() {
+                    return Err(CsvError::Malformed {
+                        line,
+                        reason: "explain needs ids (or 'all')".into(),
+                    });
+                } else {
+                    WorkloadOp::Explain(
+                        rest.split(',')
+                            .map(|tok| parse_id(tok, line))
+                            .collect::<Result<_, _>>()?,
+                    )
+                }
+            }
+            other => {
+                return Err(CsvError::Malformed {
+                    line,
+                    reason: format!("unknown op {other:?} (use insert|delete|replace|explain)"),
+                })
+            }
+        };
+        ops.push(op);
+    }
+    if ops.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(ops)
+}
+
+/// Loads a replay workload from a file.
+pub fn load_workload(path: impl AsRef<std::path::Path>) -> Result<Vec<WorkloadOp>, CsvError> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| CsvError::Io(e.to_string()))?;
+    parse_workload(&text)
+}
+
+fn parse_id(tok: &str, line: usize) -> Result<ObjectId, CsvError> {
+    tok.trim()
+        .parse::<u32>()
+        .map(ObjectId)
+        .map_err(|e| CsvError::Malformed {
+            line,
+            reason: format!("bad object id {tok:?}: {e}"),
+        })
+}
+
+/// `<id> x,y[;x,y…]` — samples get equal appearance probabilities, the
+/// same convention the season-record schema uses.
+fn parse_object(rest: &str, line: usize) -> Result<UncertainObject, CsvError> {
+    let (id_tok, samples_tok) =
+        rest.split_once(char::is_whitespace)
+            .ok_or_else(|| CsvError::Malformed {
+                line,
+                reason: "expected `<id> x,y[;x,y…]`".into(),
+            })?;
+    let id = parse_id(id_tok, line)?;
+    let mut points = Vec::new();
+    for sample in samples_tok.split(';') {
+        let coords: Vec<f64> = sample
+            .split(',')
+            .map(|c| {
+                c.trim().parse::<f64>().map_err(|e| CsvError::Malformed {
+                    line,
+                    reason: format!("bad coordinate {c:?}: {e}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if coords.is_empty() {
+            return Err(CsvError::Malformed {
+                line,
+                reason: "empty sample".into(),
+            });
+        }
+        points.push(Point::new(coords));
+    }
+    UncertainObject::with_equal_probs(id, points).map_err(|e| CsvError::Malformed {
+        line,
+        reason: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op_kind() {
+        let ops = parse_workload(
+            "# a comment\n\
+             insert 57 4200,1800 ; 3900,2100\n\
+             \n\
+             replace 57 4100,1950  # trailing comment\n\
+             delete 13\n\
+             explain 42, 57\n\
+             explain all\n",
+        )
+        .unwrap();
+        assert_eq!(ops.len(), 5);
+        match &ops[0] {
+            WorkloadOp::Update(Update::Insert(o)) => {
+                assert_eq!(o.id(), ObjectId(57));
+                assert_eq!(o.sample_count(), 2);
+                assert_eq!(o.samples()[1].point(), &Point::from([3900.0, 2100.0]));
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+        assert!(matches!(
+            ops[1],
+            WorkloadOp::Update(Update::Replace(ref o)) if o.is_certain()
+        ));
+        assert_eq!(ops[2], WorkloadOp::Update(Update::Delete(ObjectId(13))));
+        assert_eq!(
+            ops[3],
+            WorkloadOp::Explain(vec![ObjectId(42), ObjectId(57)])
+        );
+        assert_eq!(ops[4], WorkloadOp::ExplainAll);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_numbers() {
+        for (text, needle) in [
+            ("frobnicate 3", "unknown op"),
+            ("insert 7", "expected"),
+            ("insert x 1,2", "bad object id"),
+            ("insert 7 1,zebra", "bad coordinate"),
+            ("explain", "explain needs ids"),
+            ("", "no data"),
+        ] {
+            let err = parse_workload(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?}: {err}");
+        }
+        // The line number survives blank/comment lines above.
+        let err = parse_workload("# one\n\ndelete x\n").unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 3, .. }), "{err}");
+    }
+}

@@ -4,14 +4,32 @@ use crate::node::{NodeEntries, NodeId};
 use crate::tree::RTree;
 use crp_geom::HyperRect;
 
-/// Accumulates the I/O metric the paper reports: the number of tree nodes
-/// touched by queries. Reset (or use a fresh value) per measurement.
+/// Accumulates the I/O metric the paper reports — the number of tree
+/// nodes touched by queries — plus the maintenance and cache counters a
+/// long-lived mutable session reports alongside it. Reset (or use a
+/// fresh value) per measurement.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Total nodes read (internal + leaf).
     pub node_accesses: u64,
     /// Leaf nodes read (subset of `node_accesses`).
     pub leaf_accesses: u64,
+    /// Data entries inserted through the incremental update path.
+    pub inserts: u64,
+    /// Data entries removed through the incremental update path.
+    pub removes: u64,
+    /// Items moved by R*-tree maintenance — data records, or whole
+    /// subtrees relocated in one step — via forced reinsertion on
+    /// overflow and condense-tree orphan reinsertion on underflow.
+    /// Each moved item counts once (a dissolved subtree counts per
+    /// record, a block-moved subtree as one).
+    pub reinserts: u64,
+    /// Explanation-cache hits (row or outcome) of the engine session.
+    pub cache_hits: u64,
+    /// Explanation-cache misses of the engine session.
+    pub cache_misses: u64,
+    /// Explanation-cache entries evicted by update invalidation.
+    pub cache_evictions: u64,
 }
 
 impl QueryStats {
@@ -19,6 +37,12 @@ impl QueryStats {
     pub fn absorb(&mut self, other: QueryStats) {
         self.node_accesses += other.node_accesses;
         self.leaf_accesses += other.leaf_accesses;
+        self.inserts += other.inserts;
+        self.removes += other.removes;
+        self.reinserts += other.reinserts;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
     }
 }
 
@@ -310,13 +334,21 @@ mod tests {
         let mut a = QueryStats {
             node_accesses: 3,
             leaf_accesses: 1,
+            ..Default::default()
         };
         a.absorb(QueryStats {
             node_accesses: 4,
             leaf_accesses: 2,
+            inserts: 1,
+            reinserts: 2,
+            cache_hits: 3,
+            ..Default::default()
         });
         assert_eq!(a.node_accesses, 7);
         assert_eq!(a.leaf_accesses, 3);
+        assert_eq!(a.inserts, 1);
+        assert_eq!(a.reinserts, 2);
+        assert_eq!(a.cache_hits, 3);
     }
 
     #[test]

@@ -1,20 +1,30 @@
-//! Thread-safe node-access accounting.
+//! Thread-safe node-access and maintenance accounting.
 //!
 //! Queries themselves stay single-threaded and keep taking a plain
 //! `&mut QueryStats` (no atomics on the hot traversal path). When many
 //! queries run concurrently — the `ExplainEngine`'s rayon batch mode —
 //! each worker accumulates into its own [`QueryStats`] and folds the
 //! result into a shared [`AtomicQueryStats`], so a long-lived engine can
-//! report total I/O across a parallel batch without locks.
+//! report total I/O (and, for mutable sessions, update-path and
+//! explanation-cache counters) across a parallel batch without locks.
 
 use crate::query::QueryStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Shared node-access counters, safe to fold into from many threads.
+/// Shared counters, safe to fold into from many threads. Mirrors every
+/// field of [`QueryStats`]: node accesses, the incremental-maintenance
+/// counters (inserts / removes / reinserts) and the explanation-cache
+/// counters (hits / misses / evictions).
 #[derive(Debug, Default)]
 pub struct AtomicQueryStats {
     node_accesses: AtomicU64,
     leaf_accesses: AtomicU64,
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    reinserts: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl AtomicQueryStats {
@@ -28,6 +38,15 @@ impl AtomicQueryStats {
             .fetch_add(stats.node_accesses, Ordering::Relaxed);
         self.leaf_accesses
             .fetch_add(stats.leaf_accesses, Ordering::Relaxed);
+        self.inserts.fetch_add(stats.inserts, Ordering::Relaxed);
+        self.removes.fetch_add(stats.removes, Ordering::Relaxed);
+        self.reinserts.fetch_add(stats.reinserts, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(stats.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(stats.cache_misses, Ordering::Relaxed);
+        self.cache_evictions
+            .fetch_add(stats.cache_evictions, Ordering::Relaxed);
     }
 
     /// [`AtomicQueryStats::absorb`] by reference — the engine-level
@@ -42,6 +61,12 @@ impl AtomicQueryStats {
         QueryStats {
             node_accesses: self.node_accesses.load(Ordering::Relaxed),
             leaf_accesses: self.leaf_accesses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            reinserts: self.reinserts.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -51,26 +76,27 @@ impl AtomicQueryStats {
         QueryStats {
             node_accesses: self.node_accesses.swap(0, Ordering::Relaxed),
             leaf_accesses: self.leaf_accesses.swap(0, Ordering::Relaxed),
+            inserts: self.inserts.swap(0, Ordering::Relaxed),
+            removes: self.removes.swap(0, Ordering::Relaxed),
+            reinserts: self.reinserts.swap(0, Ordering::Relaxed),
+            cache_hits: self.cache_hits.swap(0, Ordering::Relaxed),
+            cache_misses: self.cache_misses.swap(0, Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.swap(0, Ordering::Relaxed),
         }
     }
 }
 
 impl Clone for AtomicQueryStats {
     fn clone(&self) -> Self {
-        let snap = self.snapshot();
-        Self {
-            node_accesses: AtomicU64::new(snap.node_accesses),
-            leaf_accesses: AtomicU64::new(snap.leaf_accesses),
-        }
+        self.snapshot().into()
     }
 }
 
 impl From<QueryStats> for AtomicQueryStats {
     fn from(stats: QueryStats) -> Self {
-        Self {
-            node_accesses: AtomicU64::new(stats.node_accesses),
-            leaf_accesses: AtomicU64::new(stats.leaf_accesses),
-        }
+        let atomic = Self::new();
+        atomic.absorb(stats);
+        atomic
     }
 }
 
@@ -84,20 +110,35 @@ mod tests {
         shared.absorb(QueryStats {
             node_accesses: 3,
             leaf_accesses: 1,
+            inserts: 2,
+            cache_misses: 1,
+            ..Default::default()
         });
         shared.absorb(QueryStats {
             node_accesses: 4,
             leaf_accesses: 2,
+            removes: 1,
+            reinserts: 5,
+            cache_hits: 2,
+            cache_evictions: 3,
+            ..Default::default()
         });
         assert_eq!(
             shared.snapshot(),
             QueryStats {
                 node_accesses: 7,
-                leaf_accesses: 3
+                leaf_accesses: 3,
+                inserts: 2,
+                removes: 1,
+                reinserts: 5,
+                cache_hits: 2,
+                cache_misses: 1,
+                cache_evictions: 3,
             }
         );
         let taken = shared.take();
         assert_eq!(taken.node_accesses, 7);
+        assert_eq!(taken.reinserts, 5);
         assert_eq!(shared.snapshot(), QueryStats::default());
     }
 
@@ -111,6 +152,8 @@ mod tests {
                         shared.absorb(QueryStats {
                             node_accesses: 2,
                             leaf_accesses: 1,
+                            cache_hits: 1,
+                            ..Default::default()
                         });
                     }
                 });
@@ -119,6 +162,7 @@ mod tests {
         let snap = shared.snapshot();
         assert_eq!(snap.node_accesses, 16_000);
         assert_eq!(snap.leaf_accesses, 8_000);
+        assert_eq!(snap.cache_hits, 8_000);
     }
 
     #[test]
@@ -133,6 +177,8 @@ mod tests {
             shard.merge(&QueryStats {
                 node_accesses: (i + 1) as u64,
                 leaf_accesses: i as u64,
+                inserts: 1,
+                ..Default::default()
             });
         }
         // Sum of shard snapshots = engine-level total.
@@ -141,7 +187,9 @@ mod tests {
             total,
             QueryStats {
                 node_accesses: 6,
-                leaf_accesses: 3
+                leaf_accesses: 3,
+                inserts: 3,
+                ..Default::default()
             }
         );
         // The same rollup through an engine-level accumulator.
@@ -163,6 +211,8 @@ mod tests {
         let shared: AtomicQueryStats = QueryStats {
             node_accesses: 5,
             leaf_accesses: 4,
+            cache_evictions: 2,
+            ..Default::default()
         }
         .into();
         let cloned = shared.clone();

@@ -66,6 +66,78 @@ proptest! {
         tree.check_invariants();
     }
 
+    /// The incremental-maintenance contract behind the mutable engine
+    /// session: any interleaved insert/remove sequence leaves the tree
+    /// query-equivalent to a fresh `bulk_load` of the surviving items,
+    /// with the structural invariants (balance, min/max fill, consistent
+    /// MBRs) intact and the update-path counters accounted.
+    #[test]
+    fn interleaved_updates_equal_bulk_load_of_survivors(
+        initial in prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 0..80),
+        ops in prop::collection::vec(op_strategy(), 1..150),
+        fanout in 4usize..10,
+    ) {
+        let mut tree: RTree<u32> = RTree::new(2, RTreeParams::with_fanout(fanout));
+        let mut live: Vec<(Point, u32)> = Vec::new();
+        for (i, (x, y)) in initial.iter().enumerate() {
+            let p = Point::from([*x, *y]);
+            let id = 1_000_000u32 + i as u32;
+            tree.insert_point(p.clone(), id);
+            live.push((p, id));
+        }
+        let (mut inserts, mut removes) = (initial.len() as u64, 0u64);
+        for op in ops {
+            match op {
+                Op::Insert { x, y, id } => {
+                    let p = Point::from([x, y]);
+                    tree.insert_point(p.clone(), id);
+                    live.push((p, id));
+                    inserts += 1;
+                }
+                Op::Remove { index } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (p, id) = live.swap_remove(index % live.len());
+                    prop_assert!(tree.remove(&HyperRect::from_point(&p), &id));
+                    removes += 1;
+                }
+                Op::Query { .. } => {}
+            }
+        }
+        tree.check_invariants();
+        let upkeep = tree.upkeep();
+        prop_assert_eq!(upkeep.inserts, inserts);
+        prop_assert_eq!(upkeep.removes, removes);
+
+        // Query-equivalent to a bulk load of the survivors, over the
+        // full extent and a grid of local windows.
+        let packed: RTree<u32> =
+            RTree::bulk_load_points(2, RTreeParams::with_fanout(fanout), live.clone());
+        prop_assert_eq!(tree.len(), packed.len());
+        let mut windows = vec![HyperRect::centered(
+            &Point::from([250.0, 250.0]),
+            &[300.0, 300.0],
+        )];
+        for gx in 0..3 {
+            for gy in 0..3 {
+                windows.push(HyperRect::centered(
+                    &Point::from([100.0 + 150.0 * gx as f64, 100.0 + 150.0 * gy as f64]),
+                    &[80.0, 80.0],
+                ));
+            }
+        }
+        for window in &windows {
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let mut a = tree.collect_intersecting(window, &mut s1);
+            let mut b = packed.collect_intersecting(window, &mut s2);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
     #[test]
     fn bulk_load_equals_incremental_results(
         pts in prop::collection::vec((0.0..1_000.0f64, 0.0..1_000.0f64), 1..300),

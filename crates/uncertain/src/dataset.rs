@@ -2,15 +2,26 @@
 
 use crate::error::UncertainError;
 use crate::object::{ObjectId, UncertainObject};
+use crate::update::{Epoch, Update};
 use crp_geom::Point;
 use std::collections::HashMap;
 
 /// A validated collection of independent uncertain objects sharing one
 /// dimensionality (the paper's `𝒫`).
+///
+/// The dataset is **mutable**: [`push`](UncertainDataset::push),
+/// [`remove`](UncertainDataset::remove) and
+/// [`replace`](UncertainDataset::replace) (or [`apply`](Self::apply)
+/// over an [`Update`]) each advance a monotone [`Epoch`]. Removal is
+/// *order-preserving* — surviving objects keep their relative
+/// (insertion) order — which is what lets an incrementally maintained
+/// engine session produce the same candidate orderings as a fresh
+/// session built on the final object sequence.
 #[derive(Clone, Debug, Default)]
 pub struct UncertainDataset {
     objects: Vec<UncertainObject>,
     by_id: HashMap<ObjectId, usize>,
+    epoch: Epoch,
 }
 
 impl UncertainDataset {
@@ -57,7 +68,63 @@ impl UncertainDataset {
         }
         self.by_id.insert(object.id(), self.objects.len());
         self.objects.push(object);
+        self.epoch = self.epoch.next();
         Ok(())
+    }
+
+    /// Removes the object with this id, preserving the relative order
+    /// of the survivors. Returns the removed object, or `None` when the
+    /// id is unknown (the epoch then does not advance).
+    pub fn remove(&mut self, id: ObjectId) -> Option<UncertainObject> {
+        let pos = self.by_id.remove(&id)?;
+        let removed = self.objects.remove(pos);
+        for p in self.by_id.values_mut() {
+            if *p > pos {
+                *p -= 1;
+            }
+        }
+        self.epoch = self.epoch.next();
+        Some(removed)
+    }
+
+    /// Swaps the stored object with `object.id()` for `object`, keeping
+    /// its position. Returns the previous version.
+    pub fn replace(&mut self, object: UncertainObject) -> Result<UncertainObject, UncertainError> {
+        let pos = *self
+            .by_id
+            .get(&object.id())
+            .ok_or(UncertainError::UnknownId(object.id().0))?;
+        if self.objects.len() > 1 {
+            let expected = self.dim().expect("non-empty dataset");
+            if object.dim() != expected {
+                return Err(UncertainError::DimensionMismatch {
+                    expected,
+                    got: object.dim(),
+                });
+            }
+        }
+        let old = std::mem::replace(&mut self.objects[pos], object);
+        self.epoch = self.epoch.next();
+        Ok(old)
+    }
+
+    /// Applies one [`Update`], returning the epoch it produced.
+    pub fn apply(&mut self, update: Update<UncertainObject>) -> Result<Epoch, UncertainError> {
+        match update {
+            Update::Insert(obj) => self.push(obj)?,
+            Update::Delete(id) => {
+                self.remove(id).ok_or(UncertainError::UnknownId(id.0))?;
+            }
+            Update::Replace(obj) => {
+                self.replace(obj)?;
+            }
+        }
+        Ok(self.epoch)
+    }
+
+    /// The dataset version: advanced by every successful mutation.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
     }
 
     /// Number of objects.
@@ -181,6 +248,78 @@ mod tests {
         assert!(ds.is_empty());
         assert_eq!(ds.dim(), None);
         assert!(ds.is_certain()); // vacuously
+    }
+
+    #[test]
+    fn remove_preserves_order_and_positions() {
+        let mut ds = UncertainDataset::from_objects(vec![
+            obj(3, vec![pt(0.0, 0.0)]),
+            obj(1, vec![pt(1.0, 1.0)]),
+            obj(2, vec![pt(2.0, 2.0)]),
+            obj(7, vec![pt(3.0, 3.0)]),
+        ])
+        .unwrap();
+        let e0 = ds.epoch();
+        let removed = ds.remove(ObjectId(1)).unwrap();
+        assert_eq!(removed.id(), ObjectId(1));
+        assert_eq!(ds.epoch(), e0.next());
+        // Survivors keep their relative order, with positions shifted.
+        let ids: Vec<u32> = ds.iter().map(|o| o.id().0).collect();
+        assert_eq!(ids, vec![3, 2, 7]);
+        assert_eq!(ds.index_of(ObjectId(2)), Some(1));
+        assert_eq!(ds.index_of(ObjectId(7)), Some(2));
+        assert_eq!(ds.index_of(ObjectId(1)), None);
+        // Unknown ids are a no-op without an epoch bump.
+        assert!(ds.remove(ObjectId(99)).is_none());
+        assert_eq!(ds.epoch(), e0.next());
+    }
+
+    #[test]
+    fn replace_keeps_position_and_validates() {
+        let mut ds = UncertainDataset::from_objects(vec![
+            obj(0, vec![pt(0.0, 0.0)]),
+            obj(1, vec![pt(1.0, 1.0)]),
+        ])
+        .unwrap();
+        let old = ds
+            .replace(obj(1, vec![pt(5.0, 5.0), pt(6.0, 6.0)]))
+            .unwrap();
+        assert_eq!(old.certain_point(), &pt(1.0, 1.0));
+        assert_eq!(ds.index_of(ObjectId(1)), Some(1));
+        assert_eq!(ds.get(ObjectId(1)).unwrap().sample_count(), 2);
+        assert_eq!(
+            ds.replace(obj(9, vec![pt(0.0, 0.0)])).unwrap_err(),
+            UncertainError::UnknownId(9)
+        );
+        let wrong_dim = UncertainObject::certain(ObjectId(0), Point::from([0.0, 0.0, 0.0]));
+        assert!(matches!(
+            ds.replace(wrong_dim).unwrap_err(),
+            UncertainError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn apply_routes_updates_and_returns_epochs() {
+        use crate::update::Update;
+        let mut ds = UncertainDataset::from_points(vec![pt(0.0, 0.0)]).unwrap();
+        let e1 = ds
+            .apply(Update::Insert(obj(5, vec![pt(2.0, 2.0)])))
+            .unwrap();
+        let e2 = ds
+            .apply(Update::Replace(obj(5, vec![pt(3.0, 3.0)])))
+            .unwrap();
+        let e3 = ds.apply(Update::Delete(ObjectId(5))).unwrap();
+        assert!(e1 < e2 && e2 < e3);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            ds.apply(Update::Delete(ObjectId(5))).unwrap_err(),
+            UncertainError::UnknownId(5)
+        );
+        assert_eq!(
+            ds.apply(Update::Insert(obj(0, vec![pt(1.0, 1.0)])))
+                .unwrap_err(),
+            UncertainError::DuplicateId(0)
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub enum UncertainError {
     DimensionMismatch { expected: usize, got: usize },
     /// An object id occurs twice in a dataset.
     DuplicateId(u32),
+    /// A replace/remove named an id the dataset does not hold.
+    UnknownId(u32),
 }
 
 impl fmt::Display for UncertainError {
@@ -31,6 +33,7 @@ impl fmt::Display for UncertainError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             UncertainError::DuplicateId(id) => write!(f, "duplicate object id {id}"),
+            UncertainError::UnknownId(id) => write!(f, "unknown object id {id}"),
         }
     }
 }
@@ -57,5 +60,6 @@ mod tests {
         .to_string()
         .contains("expected 2"));
         assert!(UncertainError::DuplicateId(4).to_string().contains('4'));
+        assert!(UncertainError::UnknownId(9).to_string().contains("unknown"));
     }
 }

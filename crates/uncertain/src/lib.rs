@@ -22,10 +22,12 @@ mod dataset;
 mod error;
 mod object;
 mod pdf;
+mod update;
 mod worlds;
 
 pub use dataset::UncertainDataset;
 pub use error::UncertainError;
 pub use object::{ObjectId, Sample, UncertainObject};
 pub use pdf::{BoxUniform, ContinuousPdf, GridDensity, PdfDataset, PdfObject};
+pub use update::{Epoch, Identified, Update};
 pub use worlds::{possible_worlds, world_count, PossibleWorld, WorldIter};

@@ -296,11 +296,16 @@ impl PdfObject {
     }
 }
 
-/// A dataset of pdf-model objects.
+/// A dataset of pdf-model objects. Mutable like
+/// [`UncertainDataset`](crate::UncertainDataset): push/remove/replace
+/// (or [`apply`](PdfDataset::apply)) advance a monotone
+/// [`Epoch`](crate::Epoch), and removal preserves the survivors'
+/// relative order.
 #[derive(Clone, Debug, Default)]
 pub struct PdfDataset {
     objects: Vec<PdfObject>,
     by_id: HashMap<ObjectId, usize>,
+    epoch: crate::update::Epoch,
 }
 
 impl PdfDataset {
@@ -335,7 +340,70 @@ impl PdfDataset {
         }
         self.by_id.insert(object.id(), self.objects.len());
         self.objects.push(object);
+        self.epoch = self.epoch.next();
         Ok(())
+    }
+
+    /// Removes the object with this id, preserving the relative order
+    /// of the survivors. `None` (and no epoch bump) for unknown ids.
+    pub fn remove(&mut self, id: ObjectId) -> Option<PdfObject> {
+        let pos = self.by_id.remove(&id)?;
+        let removed = self.objects.remove(pos);
+        for p in self.by_id.values_mut() {
+            if *p > pos {
+                *p -= 1;
+            }
+        }
+        self.epoch = self.epoch.next();
+        Some(removed)
+    }
+
+    /// Swaps the stored object with `object.id()` for `object`, keeping
+    /// its position. Returns the previous version.
+    pub fn replace(&mut self, object: PdfObject) -> Result<PdfObject, UncertainError> {
+        let pos = *self
+            .by_id
+            .get(&object.id())
+            .ok_or(UncertainError::UnknownId(object.id().0))?;
+        if self.objects.len() > 1 {
+            let expected = self.dim().expect("non-empty dataset");
+            if object.region().dim() != expected {
+                return Err(UncertainError::DimensionMismatch {
+                    expected,
+                    got: object.region().dim(),
+                });
+            }
+        }
+        let old = std::mem::replace(&mut self.objects[pos], object);
+        self.epoch = self.epoch.next();
+        Ok(old)
+    }
+
+    /// Applies one [`crate::Update`], returning the epoch it produced.
+    pub fn apply(
+        &mut self,
+        update: crate::update::Update<PdfObject>,
+    ) -> Result<crate::update::Epoch, UncertainError> {
+        match update {
+            crate::update::Update::Insert(obj) => self.push(obj)?,
+            crate::update::Update::Delete(id) => {
+                self.remove(id).ok_or(UncertainError::UnknownId(id.0))?;
+            }
+            crate::update::Update::Replace(obj) => {
+                self.replace(obj)?;
+            }
+        }
+        Ok(self.epoch)
+    }
+
+    /// The dataset version: advanced by every successful mutation.
+    pub fn epoch(&self) -> crate::update::Epoch {
+        self.epoch
+    }
+
+    /// Position of an object id within [`PdfDataset::objects`].
+    pub fn index_of(&self, id: ObjectId) -> Option<usize> {
+        self.by_id.get(&id).copied()
     }
 
     /// Number of objects.

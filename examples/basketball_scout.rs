@@ -19,7 +19,8 @@ fn main() {
             ..NbaConfig::default()
         }),
         EngineConfig::default(),
-    );
+    )
+    .expect("valid engine config");
     let ds = engine.dataset();
     let q = nba_position_query();
     let alpha = 0.5;

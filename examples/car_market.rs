@@ -19,7 +19,8 @@ fn main() {
             seed: 0xCA7,
         }),
         EngineConfig::default(),
-    );
+    )
+    .expect("valid engine config");
     let ds = engine.dataset();
     let q = Point::from([11_580.0, 49_000.0]); // the paper's reference car
     println!(

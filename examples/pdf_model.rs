@@ -34,7 +34,8 @@ fn main() {
     // per resolution (each owns its region R-tree).
     for resolution in [2usize, 4, 8] {
         let engine =
-            ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha));
+            ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha))
+                .expect("valid engine config");
         match engine.explain(&q, ObjectId(0)) {
             Ok(out) => {
                 println!(
@@ -54,7 +55,8 @@ fn main() {
     }
 
     // Cross-check: the discrete algorithm on the discretised dataset.
-    let disc_engine = ExplainEngine::new(ds.discretize(8), EngineConfig::with_alpha(alpha));
+    let disc_engine = ExplainEngine::new(ds.discretize(8), EngineConfig::with_alpha(alpha))
+        .expect("valid engine config");
     let disc = disc_engine.dataset();
     let out = disc_engine
         .explain_as(ExplainStrategy::Cp, &q, alpha, ObjectId(0))

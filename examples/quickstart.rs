@@ -43,7 +43,8 @@ fn main() {
 
     // Our product is absent. Why? One engine session owns the R-tree
     // and dispatches CP through the filter → refine → fmcs pipeline.
-    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+    let engine =
+        ExplainEngine::new(ds, EngineConfig::with_alpha(alpha)).expect("valid engine config");
     let ds = engine.dataset();
     let an = ObjectId(0);
     match engine.explain(&q, an) {

@@ -26,9 +26,11 @@ fn main() {
 
     // One unsharded session and one 4-shard spatial session over the
     // same data.
-    let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha));
+    let single = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha))
+        .expect("valid engine config");
     let sharded =
-        ShardedExplainEngine::new(ds, EngineConfig::with_alpha(alpha), 4, ShardPolicy::Spatial);
+        ShardedExplainEngine::new(ds, EngineConfig::with_alpha(alpha), 4, ShardPolicy::Spatial)
+            .expect("valid engine config");
     println!(
         "sharded session: {} shards ({:?} objects each), policy {}",
         sharded.shard_count(),

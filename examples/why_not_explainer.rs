@@ -23,7 +23,8 @@ fn main() {
     });
     let q = Point::from([5_000.0, 5_000.0]);
     let alpha = 0.6;
-    let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(alpha));
+    let engine =
+        ExplainEngine::new(ds, EngineConfig::with_alpha(alpha)).expect("valid engine config");
     let ds = engine.dataset();
 
     // Subject: from argv, or scan for an interesting non-answer.

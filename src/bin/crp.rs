@@ -21,6 +21,14 @@
 //! crp explain --data cars.csv --schema points --query 11580,49000 \
 //!             --object 42 --shards 4 --shard-policy spatial
 //!
+//! # Replay a live-session workload: interleaved inserts/deletes/
+//! # replaces and explain calls against one mutable engine session
+//! # (incremental index maintenance + explanation cache; see
+//! # crp_data::workload for the file format). Ends with the session's
+//! # update/cache counters, merged across shards when sharded.
+//! crp replay --data cars.csv --schema points --query 11580,49000 \
+//!            --workload ops.txt [--shards 4 --shard-policy spatial]
+//!
 //! # Emit a synthetic stand-in dataset as CSV.
 //! crp generate --kind nba   --out league.csv
 //! crp generate --kind cardb --out cars.csv
@@ -35,16 +43,17 @@
 //! the default.
 
 use prsq_crp::data::{
-    cardb_dataset, load_points, load_season_records, nba_dataset, write_season_records,
-    CarDbConfig, NbaConfig,
+    cardb_dataset, load_points, load_season_records, load_workload, nba_dataset,
+    write_season_records, CarDbConfig, NbaConfig, WorkloadOp,
 };
 use prsq_crp::prelude::*;
+use prsq_crp::uncertain::Epoch;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: crp <query|explain|explain-batch|generate> [--data FILE \
+const USAGE: &str = "usage: crp <query|explain|explain-batch|replay|generate> [--data FILE \
      --schema points|seasons --query a1,a2,… --alpha A --object ID \
-     --objects ID,ID,…|all --budget N --serial \
+     --objects ID,ID,…|all --budget N --serial --workload FILE \
      --shards N --shard-policy round-robin|hash-by-id|spatial \
      | --kind nba|cardb --out FILE]";
 
@@ -84,11 +93,23 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--shards", true),
         ("--shard-policy", true),
     ];
+    const REPLAY: &[(&str, bool)] = &[
+        ("--data", true),
+        ("--schema", true),
+        ("--query", true),
+        ("--alpha", true),
+        ("--budget", true),
+        ("--workload", true),
+        ("--serial", false),
+        ("--shards", true),
+        ("--shard-policy", true),
+    ];
     const GENERATE: &[(&str, bool)] = &[("--kind", true), ("--out", true)];
     match command {
         "query" => Some(QUERY),
         "explain" => Some(EXPLAIN),
         "explain-batch" => Some(EXPLAIN_BATCH),
+        "replay" => Some(REPLAY),
         "generate" => Some(GENERATE),
         _ => None,
     }
@@ -213,6 +234,7 @@ fn cmd_query(ds: &UncertainDataset, q: &Point, alpha: f64) -> Result<(), String>
 /// The engine behind `explain` / `explain-batch`: unsharded for
 /// `--shards 1`, partition-parallel otherwise. Both expose the same
 /// calls and produce bit-identical outcomes.
+#[allow(clippy::large_enum_variant)] // one engine per process; size is irrelevant
 enum AnyEngine {
     Single(ExplainEngine),
     Sharded(ShardedExplainEngine),
@@ -246,6 +268,13 @@ impl AnyEngine {
             AnyEngine::Sharded(e) => e.accumulated_io(),
         }
     }
+
+    fn apply(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError> {
+        match self {
+            AnyEngine::Single(e) => e.apply(update),
+            AnyEngine::Sharded(e) => e.apply(update),
+        }
+    }
 }
 
 /// Builds the engine session the `explain` / `explain-batch` commands
@@ -259,7 +288,7 @@ fn build_engine(
     parallel: bool,
     shards: usize,
     policy: ShardPolicy,
-) -> AnyEngine {
+) -> Result<AnyEngine, String> {
     let config = EngineConfig {
         alpha,
         cp: CpConfig {
@@ -270,11 +299,13 @@ fn build_engine(
         parallel,
         ..EngineConfig::default()
     };
-    if shards > 1 {
-        AnyEngine::Sharded(ShardedExplainEngine::new(ds, config, shards, policy))
+    Ok(if shards > 1 {
+        AnyEngine::Sharded(
+            ShardedExplainEngine::new(ds, config, shards, policy).map_err(|e| e.to_string())?,
+        )
     } else {
-        AnyEngine::Single(ExplainEngine::new(ds, config))
-    }
+        AnyEngine::Single(ExplainEngine::new(ds, config).map_err(|e| e.to_string())?)
+    })
 }
 
 fn print_outcome(ds: &UncertainDataset, object: ObjectId, outcome: &CrpOutcome) {
@@ -359,6 +390,85 @@ fn cmd_explain_batch(engine: &AnyEngine, q: &Point, objects: &[ObjectId]) -> Res
     Ok(())
 }
 
+/// `replay`: one mutable engine session serving an interleaved stream
+/// of updates and explain calls. Updates are applied incrementally
+/// (condense + reinsert on the R-trees, geometric cache invalidation)
+/// — the dataset is never re-indexed from scratch — and the session's
+/// maintenance and cache counters are reported at the end, merged
+/// across shards for a sharded session.
+fn cmd_replay(engine: &mut AnyEngine, q: &Point, ops: &[WorkloadOp]) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let mut updates = 0usize;
+    let mut explains = 0usize;
+    let mut failures = 0usize;
+    for op in ops {
+        match op {
+            WorkloadOp::Update(update) => {
+                updates += 1;
+                let verb = update.verb();
+                let id = update.id();
+                match engine.apply(update.clone()) {
+                    Ok(epoch) => println!("{verb} {id} → {epoch}"),
+                    Err(e) => {
+                        failures += 1;
+                        println!("{verb} {id} FAILED: {e}");
+                    }
+                }
+            }
+            WorkloadOp::Explain(_) | WorkloadOp::ExplainAll => {
+                let ids: Vec<ObjectId> = match op {
+                    WorkloadOp::Explain(ids) => ids.clone(),
+                    _ => engine.dataset().iter().map(|o| o.id()).collect(),
+                };
+                explains += ids.len();
+                let ds = engine.dataset();
+                for (&object, outcome) in ids.iter().zip(engine.explain_batch(q, &ids)) {
+                    match outcome {
+                        Ok(out) => print_outcome(ds, object, &out),
+                        Err(CrpError::NotANonAnswer { prob }) => {
+                            println!("{} is an ANSWER (Pr = {prob:.3})", label_of(ds, object))
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            println!("{}: {e}", label_of(ds, object));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let io = engine.accumulated_io();
+    println!(
+        "replay of {updates} update(s) + {explains} explain call(s) in {elapsed_ms:.1} ms \
+         ({failures} failure(s))"
+    );
+    println!(
+        "session totals: {} node accesses | updates: {} inserted, {} removed, {} reinserted \
+         | cache: {} hit(s), {} miss(es), {} eviction(s)",
+        io.node_accesses,
+        io.inserts,
+        io.removes,
+        io.reinserts,
+        io.cache_hits,
+        io.cache_misses,
+        io.cache_evictions
+    );
+    if let AnyEngine::Sharded(sharded) = engine {
+        println!(
+            "shards: sizes {:?}, rebuilds {:?}, {} repartition(s), epoch {}",
+            sharded.shard_sizes(),
+            sharded.shard_rebuilds(),
+            sharded.repartitions(),
+            sharded.epoch()
+        );
+    }
+    if failures > 0 {
+        return Err(format!("{failures} operation(s) failed"));
+    }
+    Ok(())
+}
+
 fn parse_objects(raw: &str, ds: &UncertainDataset) -> Result<Vec<ObjectId>, String> {
     if raw == "all" {
         return Ok(ds.iter().map(|o| o.id()).collect());
@@ -397,7 +507,7 @@ fn run() -> Result<(), String> {
             let out = cli.require("--out", "FILE")?;
             cmd_generate(kind, out)
         }
-        "query" | "explain" | "explain-batch" => {
+        "query" | "explain" | "explain-batch" | "replay" => {
             let data = cli.require("--data", "FILE")?;
             let schema = cli.get("--schema").unwrap_or("points");
             let q = parse_query_point(cli.require("--query", "a1,a2,…")?)?;
@@ -415,18 +525,25 @@ fn run() -> Result<(), String> {
             }
             let budget = cli.parse("--budget")?.or(Some(5_000_000));
             let (shards, policy) = parse_sharding(&cli)?;
+            if cli.command == "replay" {
+                let ops =
+                    load_workload(cli.require("--workload", "FILE")?).map_err(|e| e.to_string())?;
+                let mut engine =
+                    build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy)?;
+                return cmd_replay(&mut engine, &q, &ops);
+            }
             if cli.command == "explain" {
                 let id = ObjectId(
                     cli.require("--object", "ID")?
                         .parse()
                         .map_err(|e| format!("bad --object: {e}"))?,
                 );
-                let engine = build_engine(ds, alpha, budget, true, shards, policy);
+                let engine = build_engine(ds, alpha, budget, true, shards, policy)?;
                 cmd_explain(&engine, &q, id)
             } else {
                 let raw = cli.require("--objects", "ID,ID,… (or 'all')")?;
                 let ids = parse_objects(raw, &ds)?;
-                let engine = build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy);
+                let engine = build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy)?;
                 cmd_explain_batch(&engine, &q, &ids)
             }
         }
@@ -513,5 +630,31 @@ mod tests {
         // --shards is rejected where sharding makes no sense.
         assert!(parse_cli(&args(&["query", "--shards", "4"])).is_err());
         assert!(parse_cli(&args(&["generate", "--shards", "4"])).is_err());
+    }
+
+    #[test]
+    fn replay_flag_parsing() {
+        // The replay subcommand accepts workload + sharding flags.
+        let cli = parse_cli(&args(&[
+            "replay",
+            "--data",
+            "x.csv",
+            "--workload",
+            "ops.txt",
+            "--shards",
+            "2",
+            "--shard-policy",
+            "spatial",
+            "--serial",
+        ]))
+        .unwrap();
+        assert_eq!(cli.get("--workload"), Some("ops.txt"));
+        assert!(cli.has("--serial"));
+        assert_eq!(parse_sharding(&cli).unwrap(), (2, ShardPolicy::Spatial));
+        // --workload belongs to replay only.
+        assert!(parse_cli(&args(&["explain", "--workload", "ops.txt"])).is_err());
+        assert!(parse_cli(&args(&["query", "--workload", "ops.txt"])).is_err());
+        // --object belongs to explain, not replay.
+        assert!(parse_cli(&args(&["replay", "--object", "3"])).is_err());
     }
 }

@@ -34,7 +34,7 @@
 //!
 //! // A session per dataset: the engine owns the R-trees and dispatches
 //! // every algorithm through the shared filter → refine → fmcs pipeline.
-//! let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(0.75));
+//! let engine = ExplainEngine::new(ds, EngineConfig::with_alpha(0.75)).unwrap();
 //!
 //! // Object 0 is absent from the probabilistic reverse skyline at α = 0.75.
 //! let outcome = engine.explain(&q, ObjectId(0)).unwrap();
@@ -87,7 +87,7 @@ pub mod prelude {
         PrsqMembership,
     };
     pub use crp_uncertain::{
-        ObjectId, PdfDataset, PdfObject, Sample, UncertainDataset, UncertainObject,
+        Epoch, ObjectId, PdfDataset, PdfObject, Sample, UncertainDataset, UncertainObject, Update,
     };
 }
 

@@ -213,7 +213,7 @@ pub mod prop {
         use crate::test_runner::TestRunner;
         use rand::Rng;
 
-        /// Element-count specification for [`vec`]: a fixed size, `a..b`
+        /// Element-count specification for [`vec()`]: a fixed size, `a..b`
         /// or `a..=b`.
         #[derive(Clone, Copy, Debug)]
         pub struct SizeRange {
@@ -250,7 +250,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,
