@@ -1,0 +1,406 @@
+//! Refine/FMCS hot-path throughput sweep — the baseline trajectory for
+//! the columnar-kernel rewrite, written to `bench_out/BENCH_hotpath.json`.
+//!
+//! Two measurements:
+//!
+//! * **Throughput** (matrix level, via the `crp_core::hotpath` bench
+//!   seam): subset-checks/second of the refine kernels on synthetic
+//!   dominance matrices, in **before/after mode** — the pre-rewrite
+//!   reference kernel (`CpConfig::use_columnar_kernel = false`, kept in
+//!   the tree exactly for this comparison) against the columnar/delta
+//!   kernel. The headline workload is the 10k-candidate deep
+//!   non-answer (a 64-strong Lemma 4 forced cohort, the regime of the
+//!   paper's NBA case study); a small direct-mode workload rides along.
+//! * **Bit-identity** (engine level): explain outcomes with the
+//!   columnar kernel on and off, across discrete + pdf workloads and
+//!   1/2/4 shards, must be identical to each other — and, on discrete
+//!   data, to the definition-level oracle.
+//!
+//! Acceptance: ≥ 2× subset-checks/sec on the 10k-candidate workload and
+//! every identity check green.
+//!
+//! ```text
+//! cargo run -p crp-bench --release --bin hotpath_sweep -- --quick
+//! ```
+
+#![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
+
+use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir};
+use crp_bench::report::fnum;
+use crp_core::hotpath::refine_matrix;
+use crp_core::{
+    CpConfig, CrpError, CrpOutcome, DominanceMatrix, EngineConfig, ExplainEngine, ExplainStrategy,
+    ShardPolicy, ShardedExplainEngine,
+};
+use crp_data::{pdf_dataset, uncertain_dataset, UncertainConfig};
+use crp_uncertain::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One synthetic refine workload: a dominance matrix plus the α and
+/// budget that shape the search.
+struct Workload {
+    name: &'static str,
+    matrix: DominanceMatrix,
+    alpha: f64,
+    budget: u64,
+}
+
+/// The 10k-candidate deep non-answer: `forced` candidates dominate with
+/// probability 1 w.r.t. every sample (Lemma 4's `Ca` — every Γ carries
+/// them, which is exactly where the per-subset removal-list walk of the
+/// reference kernel hurts), the rest carry small fractional mass so the
+/// ascending-cardinality search sweeps whole cardinalities under the
+/// subset budget.
+fn deep_workload(candidates: usize, forced: usize, samples: usize, budget: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x407_A7);
+    let mut dp = Vec::with_capacity(candidates * samples);
+    for c in 0..candidates {
+        for _ in 0..samples {
+            if c < forced {
+                dp.push(1.0);
+            } else {
+                dp.push(rng.random_range(0.001..0.01));
+            }
+        }
+    }
+    Workload {
+        name: "deep-10k",
+        matrix: DominanceMatrix::from_parts(dp, vec![1.0 / samples as f64; samples], candidates),
+        alpha: 0.5,
+        budget,
+    }
+}
+
+/// A small matrix below the incremental threshold: exercises the
+/// direct-mode kernels (chunked columnar masked product vs the branchy
+/// candidate-major walk).
+fn direct_workload(budget: u64) -> Workload {
+    let candidates = 48;
+    let samples = 2;
+    let mut rng = StdRng::seed_from_u64(0xD12EC7);
+    let dp: Vec<f64> = (0..candidates * samples)
+        .map(|_| rng.random_range(0.005..0.02))
+        .collect();
+    Workload {
+        name: "direct-48",
+        matrix: DominanceMatrix::from_parts(dp, vec![1.0 / samples as f64; samples], candidates),
+        alpha: 0.6,
+        budget,
+    }
+}
+
+struct KernelRun {
+    elapsed_s: f64,
+    subsets: u64,
+    evaluations: u64,
+    checks_per_sec: f64,
+}
+
+/// Runs one workload under one kernel, repeating until the measurement
+/// is long enough to trust, and returns aggregate throughput.
+fn measure(w: &Workload, columnar: bool, min_seconds: f64) -> KernelRun {
+    let config = CpConfig {
+        use_columnar_kernel: columnar,
+        max_subsets: Some(w.budget),
+        ..CpConfig::default()
+    };
+    let mut subsets = 0u64;
+    let mut evaluations = 0u64;
+    let start = Instant::now();
+    let mut reps = 0u32;
+    loop {
+        let (result, stats) = refine_matrix(&w.matrix, w.alpha, &config);
+        match result {
+            Ok(_) | Err(CrpError::BudgetExhausted { .. }) => {}
+            Err(e) => panic!("unexpected refine outcome on {}: {e:?}", w.name),
+        }
+        subsets += stats.subsets_examined;
+        evaluations += stats.prsq_evaluations;
+        reps += 1;
+        if start.elapsed().as_secs_f64() >= min_seconds && reps >= 2 {
+            break;
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    KernelRun {
+        elapsed_s,
+        subsets,
+        evaluations,
+        checks_per_sec: subsets as f64 / elapsed_s,
+    }
+}
+
+/// Causes (or error) of one explain — the comparison signature that
+/// ignores counters (evaluator taps legitimately differ between
+/// kernels).
+fn signature(result: Result<CrpOutcome, CrpError>) -> Result<Vec<crp_core::Cause>, CrpError> {
+    result.map(|o| o.causes)
+}
+
+/// Oracle signature: (id, |Γ|, counterfactual) — minimal contingency
+/// sets of the same size may differ in membership, the definition only
+/// pins the size.
+fn oracle_sig(result: &Result<Vec<crp_core::Cause>, CrpError>) -> Option<Vec<(u32, usize, bool)>> {
+    result.as_ref().ok().map(|causes| {
+        causes
+            .iter()
+            .map(|c| (c.id.0, c.min_contingency.len(), c.counterfactual))
+            .collect()
+    })
+}
+
+/// The engine-level bit-identity pin: columnar vs reference kernels,
+/// unsharded and 1/2/4 shards, discrete + pdf; discrete additionally
+/// against the definition-level oracle. Returns (discrete_ok, pdf_ok).
+fn identity_checks(shard_counts: &[usize]) -> (bool, bool) {
+    let columnar = CpConfig::default();
+    let reference = CpConfig {
+        use_columnar_kernel: false,
+        ..CpConfig::default()
+    };
+    let mut discrete_ok = true;
+    let mut pdf_ok = true;
+
+    // --- discrete, small enough for the oracle ----------------------
+    let cfg = UncertainConfig {
+        cardinality: 10,
+        dim: 2,
+        seed: 0x1D_B17,
+        ..UncertainConfig::default()
+    };
+    let ds = uncertain_dataset(&cfg);
+    let q = centroid_query(&ds);
+    let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+    for &alpha in &[0.3, 0.7, 1.0] {
+        let engine =
+            ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha)).expect("valid config");
+        for &an in &ids {
+            let base =
+                signature(engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &columnar));
+            let refk = signature(engine.explain_configured(
+                ExplainStrategy::Cp,
+                &q,
+                alpha,
+                an,
+                &reference,
+            ));
+            if base != refk {
+                eprintln!("[hotpath_sweep] kernel divergence (discrete, α={alpha}, an={an:?})");
+                discrete_ok = false;
+            }
+            // Oracle: sizes of minimal contingency sets must match.
+            let oracle = crp_core::oracle_cp(&ds, &q, an, alpha).map(|causes| {
+                causes
+                    .iter()
+                    .map(|(id, c)| (id.0, c.min_gamma.len(), c.min_gamma.is_empty()))
+                    .collect::<Vec<_>>()
+            });
+            match (oracle_sig(&base), oracle.ok()) {
+                (Some(got), Some(want)) if got != want => {
+                    eprintln!("[hotpath_sweep] oracle divergence (α={alpha}, an={an:?})");
+                    discrete_ok = false;
+                }
+                _ => {}
+            }
+            for &shards in shard_counts {
+                let sharded = ShardedExplainEngine::new(
+                    ds.clone(),
+                    EngineConfig::with_alpha(alpha),
+                    shards,
+                    ShardPolicy::Spatial,
+                )
+                .expect("valid config");
+                for cp in [&columnar, &reference] {
+                    let got = signature(sharded.explain_configured(
+                        ExplainStrategy::Cp,
+                        &q,
+                        alpha,
+                        an,
+                        cp,
+                    ));
+                    if got != base {
+                        eprintln!(
+                            "[hotpath_sweep] shard divergence (discrete, {shards} shards, α={alpha})"
+                        );
+                        discrete_ok = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- pdf (no oracle; pinned against the unsharded columnar run) --
+    let pdf_cfg = UncertainConfig {
+        cardinality: 8,
+        dim: 2,
+        seed: 0x1D_FDF,
+        ..UncertainConfig::default()
+    };
+    let pds = pdf_dataset(&pdf_cfg);
+    let pq = crp_geom::Point::from([pdf_cfg.domain / 2.0, pdf_cfg.domain / 2.0]);
+    let pids: Vec<ObjectId> = pds.iter().map(|o| o.id()).collect();
+    let alpha = 0.5;
+    let engine = ExplainEngine::for_pdf(pds.clone(), 3, EngineConfig::with_alpha(alpha))
+        .expect("valid config");
+    for &an in &pids {
+        let base =
+            signature(engine.explain_configured(ExplainStrategy::Cp, &pq, alpha, an, &columnar));
+        let refk =
+            signature(engine.explain_configured(ExplainStrategy::Cp, &pq, alpha, an, &reference));
+        if base != refk {
+            eprintln!("[hotpath_sweep] kernel divergence (pdf, an={an:?})");
+            pdf_ok = false;
+        }
+        for &shards in shard_counts {
+            let sharded = ShardedExplainEngine::for_pdf(
+                pds.clone(),
+                3,
+                EngineConfig::with_alpha(alpha),
+                shards,
+                ShardPolicy::RoundRobin,
+            )
+            .expect("valid config");
+            for cp in [&columnar, &reference] {
+                let got =
+                    signature(sharded.explain_configured(ExplainStrategy::Cp, &pq, alpha, an, cp));
+                if got != base {
+                    eprintln!("[hotpath_sweep] shard divergence (pdf, {shards} shards)");
+                    pdf_ok = false;
+                }
+            }
+        }
+    }
+    (discrete_ok, pdf_ok)
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let candidates: usize = arg_value("--candidates")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let budget: u64 = arg_value("--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 60_000 } else { 400_000 });
+    let min_seconds = if quick { 0.3 } else { 1.5 };
+
+    eprintln!("[hotpath_sweep] building workloads ({candidates} candidates, budget {budget})…");
+    let workloads = [
+        deep_workload(candidates, 64, 4, budget),
+        direct_workload(budget.min(120_000)),
+    ];
+
+    let mut rows: Vec<(String, KernelRun, KernelRun, f64)> = Vec::new();
+    for w in &workloads {
+        // Warm both kernels once (evaluator build, scratch pool, page-in).
+        let _ = measure(w, false, 0.0);
+        let _ = measure(w, true, 0.0);
+        let before = measure(w, false, min_seconds);
+        let after = measure(w, true, min_seconds);
+        let speedup = after.checks_per_sec / before.checks_per_sec;
+        eprintln!(
+            "[hotpath_sweep] {}: reference {} checks/s, columnar {} checks/s → {speedup:.2}×",
+            w.name,
+            fnum(before.checks_per_sec),
+            fnum(after.checks_per_sec)
+        );
+        rows.push((w.name.to_string(), before, after, speedup));
+    }
+
+    eprintln!("[hotpath_sweep] running engine-level bit-identity checks…");
+    let shard_counts = [1usize, 2, 4];
+    let (discrete_ok, pdf_ok) = identity_checks(&shard_counts);
+
+    // --- report ------------------------------------------------------
+    println!("\nHot-path sweep — refine subset-check throughput, reference vs columnar kernel");
+    println!(
+        "{:>10} {:>16} {:>16} {:>9} {:>12} {:>12}",
+        "workload", "ref checks/s", "col checks/s", "speedup", "ref evals", "col evals"
+    );
+    for (name, before, after, speedup) in &rows {
+        println!(
+            "{:>10} {:>16} {:>16} {:>8.2}x {:>12} {:>12}",
+            name,
+            fnum(before.checks_per_sec),
+            fnum(after.checks_per_sec),
+            speedup,
+            before.evaluations,
+            after.evaluations
+        );
+    }
+    println!(
+        "bit-identity: discrete {} (incl. oracle), pdf {} — shards {:?} × kernels on/off",
+        discrete_ok, pdf_ok, shard_counts
+    );
+
+    let headline = rows
+        .iter()
+        .find(|(name, ..)| name == "deep-10k")
+        .expect("headline workload present");
+    let identical = discrete_ok && pdf_ok;
+    let met = headline.3 >= 2.0 && identical;
+
+    // --- JSON series -------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"candidates\": {candidates}, \"forced\": 64, \"samples\": 4, \
+         \"budget\": {budget}, \"quick\": {quick}}},"
+    );
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, (name, before, after, speedup)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{name}\", \"reference_checks_per_sec\": {:.1}, \
+             \"columnar_checks_per_sec\": {:.1}, \"speedup\": {speedup:.3}, \
+             \"reference_elapsed_s\": {:.3}, \"columnar_elapsed_s\": {:.3}, \
+             \"reference_subsets\": {}, \"columnar_subsets\": {}, \
+             \"reference_evaluations\": {}, \"columnar_evaluations\": {}}}{}",
+            before.checks_per_sec,
+            after.checks_per_sec,
+            before.elapsed_s,
+            after.elapsed_s,
+            before.subsets,
+            after.subsets,
+            before.evaluations,
+            after.evaluations,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"identity\": {{\"discrete_vs_oracle_and_reference\": {discrete_ok}, \
+         \"pdf_vs_reference\": {pdf_ok}, \"shard_counts\": [1, 2, 4]}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"metric\": \"FMCS subset-checks/sec, 10k-candidate refine \
+         workload, columnar vs pre-PR kernel\", \"speedup\": {:.3}, \"threshold\": 2.0, \
+         \"identical\": {identical}, \"met\": {met}}}",
+        headline.3
+    );
+    let _ = writeln!(json, "}}");
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench_out directory");
+    let path = dir.join("BENCH_hotpath.json");
+    std::fs::write(&path, &json).expect("BENCH_hotpath.json written");
+    println!("\nwrote {}", path.display());
+
+    assert!(identical, "kernel/shard/oracle outcomes diverged");
+    if headline.3 < 2.0 {
+        eprintln!(
+            "[hotpath_sweep] WARNING: columnar kernel speedup {:.2}× below the 2× acceptance bar",
+            headline.3
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "columnar kernel beats the pre-PR kernel by {:.1}× on the 10k-candidate workload",
+        headline.3
+    );
+}

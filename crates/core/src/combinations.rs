@@ -40,6 +40,116 @@ pub fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize]) -> b
     }
 }
 
+/// One move of the delta enumeration: the element entering or leaving
+/// the current combination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// `x` joins the combination.
+    Add(usize),
+    /// `x` leaves the combination.
+    Remove(usize),
+}
+
+/// One event of the delta enumeration: a state move, or the signal
+/// that the maintained set now equals the next combination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaEvent<'a> {
+    /// Fold this move into the maintained state. The callback's return
+    /// value is ignored for moves.
+    Move(DeltaOp),
+    /// The maintained state is a complete combination (also passed as
+    /// the index list, for consumers that want it). Return `true` to
+    /// stop the enumeration.
+    Subset(&'a [usize]),
+}
+
+/// [`for_each_combination`] with each successive subset reported as
+/// **add/remove-one moves** instead of a fresh index list — the
+/// delta-driven FMCS enumeration: a consumer maintaining incremental
+/// state (e.g. `Pr(an | P − Γ)`) pays `O(moves)` per subset instead of
+/// re-reading the whole combination.
+///
+/// Protocol: a run of [`DeltaEvent::Move`]s transforms the previous
+/// subset into the current one (for the first subset: `k` adds), then
+/// one [`DeltaEvent::Subset`] asks for the verdict. Moves are minimal —
+/// an element shared by consecutive subsets is never removed and
+/// re-added. The enumeration order, early-exit semantics and return
+/// value match [`for_each_combination`] exactly. Moves are **not**
+/// rolled back after completion or early exit; the consumer resets its
+/// state per enumeration. A single callback (rather than one per event
+/// kind) lets the consumer thread one `&mut` workspace through both.
+pub fn for_each_combination_delta(
+    n: usize,
+    k: usize,
+    mut f: impl FnMut(DeltaEvent<'_>) -> bool,
+) -> bool {
+    if k > n {
+        return false;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    for &x in &idx {
+        f(DeltaEvent::Move(DeltaOp::Add(x)));
+    }
+    loop {
+        if f(DeltaEvent::Subset(&idx)) {
+            return true;
+        }
+        // Find the rightmost index that can advance (as in
+        // `for_each_combination`).
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return false;
+            }
+        }
+        // Positions i..k change: the old values are `idx[i]` followed by
+        // the maxed-out tail `j + n - k`, the new values the consecutive
+        // run starting at `idx[i] + 1`. Both runs ascend, so a merge
+        // walk emits exactly the symmetric difference as moves.
+        let pivot = idx[i];
+        let mut old = i;
+        let mut new = i;
+        let old_val = |j: usize| if j == i { pivot } else { j + n - k };
+        let new_val = |j: usize| pivot + 1 + (j - i);
+        while old < k && new < k {
+            let (o, w) = (old_val(old), new_val(new));
+            match o.cmp(&w) {
+                std::cmp::Ordering::Equal => {
+                    old += 1;
+                    new += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    f(DeltaEvent::Move(DeltaOp::Remove(o)));
+                    old += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    f(DeltaEvent::Move(DeltaOp::Add(w)));
+                    new += 1;
+                }
+            }
+        }
+        while old < k {
+            f(DeltaEvent::Move(DeltaOp::Remove(old_val(old))));
+            old += 1;
+        }
+        while new < k {
+            f(DeltaEvent::Move(DeltaOp::Add(new_val(new))));
+            new += 1;
+        }
+        idx[i] = pivot + 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
 /// Number of `k`-combinations of `n` items, saturating at `u128::MAX`.
 pub fn binomial(n: usize, k: usize) -> u128 {
     if k > n {
@@ -130,6 +240,85 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(all.len(), dedup.len());
+    }
+
+    /// Replays the delta protocol against the reference enumeration:
+    /// the maintained set must equal each visited combination, and
+    /// moves must be minimal (no remove-and-re-add of a kept element).
+    fn check_delta(n: usize, k: usize) {
+        use std::collections::BTreeSet;
+        let reference = collect(n, k);
+        let mut current: BTreeSet<usize> = BTreeSet::new();
+        let mut visited: Vec<Vec<usize>> = Vec::new();
+        let mut added: Vec<usize> = Vec::new();
+        let mut removed: Vec<usize> = Vec::new();
+        let stopped = for_each_combination_delta(n, k, |event| match event {
+            DeltaEvent::Move(DeltaOp::Add(x)) => {
+                assert!(current.insert(x), "double add of {x}");
+                added.push(x);
+                false
+            }
+            DeltaEvent::Move(DeltaOp::Remove(x)) => {
+                assert!(current.remove(&x), "remove of absent {x}");
+                removed.push(x);
+                false
+            }
+            DeltaEvent::Subset(idx) => {
+                let as_set: Vec<usize> = current.iter().copied().collect();
+                assert_eq!(as_set, idx, "maintained set diverged");
+                // Minimality: an element present before and after the
+                // transition must not appear in the moves at all.
+                assert!(added.iter().all(|x| !removed.contains(x)), "churned move");
+                added.clear();
+                removed.clear();
+                visited.push(idx.to_vec());
+                false
+            }
+        });
+        assert!(!stopped);
+        assert_eq!(visited, reference, "C({n}, {k})");
+    }
+
+    #[test]
+    fn delta_enumeration_matches_reference() {
+        for n in 0..=9 {
+            for k in 0..=n + 1 {
+                check_delta(n, k);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_early_exit_and_empty_cases() {
+        // k > n: no calls at all.
+        let mut touched = false;
+        assert!(!for_each_combination_delta(2, 3, |_| {
+            touched = true;
+            false
+        }));
+        assert!(!touched);
+        // k = 0: one empty visit, no moves.
+        let mut visits = 0;
+        assert!(!for_each_combination_delta(5, 0, |event| match event {
+            DeltaEvent::Move(_) => panic!("no moves for k = 0"),
+            DeltaEvent::Subset(idx) => {
+                assert!(idx.is_empty());
+                visits += 1;
+                false
+            }
+        }));
+        assert_eq!(visits, 1);
+        // Early exit stops mid-stream, like the reference.
+        let mut seen = 0;
+        let stopped = for_each_combination_delta(6, 2, |event| match event {
+            DeltaEvent::Move(_) => false,
+            DeltaEvent::Subset(_) => {
+                seen += 1;
+                seen == 3
+            }
+        });
+        assert!(stopped);
+        assert_eq!(seen, 3);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct CpConfig {
     /// the search silently stays serial otherwise. Results are
     /// bit-identical to the serial search either way.
     pub parallel_fmcs: bool,
+    /// The columnar hot path: delta-driven subset enumeration over the
+    /// sample-major complement layout, with guard-banded fast
+    /// classifications. `false` runs the pre-rewrite reference kernel
+    /// (per-subset removal lists over the candidate-major layout) —
+    /// kept for the before/after throughput sweep and the
+    /// kernel-agreement tests. Explanations and search counters are
+    /// identical either way.
+    pub use_columnar_kernel: bool,
 }
 
 impl Default for CpConfig {
@@ -48,6 +56,7 @@ impl Default for CpConfig {
             use_probability_bound: false,
             max_subsets: None,
             parallel_fmcs: false,
+            use_columnar_kernel: true,
         }
     }
 }
@@ -63,6 +72,7 @@ impl CpConfig {
             use_probability_bound: false,
             max_subsets: None,
             parallel_fmcs: false,
+            use_columnar_kernel: true,
         }
     }
 

@@ -6,8 +6,8 @@
 //! produced by stage 2 and emits every actual cause with a minimal
 //! contingency set. Two drivers exist:
 //!
-//! * [`search`] — the serial driver, byte-for-byte the behaviour of the
-//!   seed implementation (global subset budget, Lemma 6 witnesses),
+//! * [`search`] — the serial driver (global subset budget, Lemma 6
+//!   witnesses),
 //! * a candidate-parallel driver used automatically when
 //!   [`CpConfig::parallel_fmcs`] is set *and* the configuration makes
 //!   candidates independent (Lemma 6 off — witnesses couple candidates —
@@ -15,14 +15,31 @@
 //!   the serial driver because each candidate's search is a pure
 //!   function of the shared [`RefinePlan`] and per-candidate counters
 //!   are folded in candidate order.
+//!
+//! Two kernels drive the subset loop, selected by
+//! [`CpConfig::use_columnar_kernel`]:
+//!
+//! * **columnar/delta** (default) — the enumerator reports each subset
+//!   as add/remove-one moves ([`for_each_combination_delta`]), the
+//!   [`Checker`] maintains `Pr(an | P − Γ)` incrementally in the
+//!   per-thread [`Scratch`], and classifications come from the
+//!   sample-major fast kernels with a guard-banded exact fallback —
+//!   `O(L)` per subset, no allocation per candidate,
+//! * **reference** — the pre-rewrite path: a removal list rebuilt per
+//!   subset and evaluated over the candidate-major layout. Kept for
+//!   the before/after throughput sweep (`hotpath_sweep`) and the
+//!   kernel-agreement tests; explanations and the
+//!   `subsets_examined`/`prsq_evaluations` counters are identical to
+//!   the columnar kernel's.
 
 use super::refine::RefinePlan;
-use crate::combinations::for_each_combination;
+use crate::combinations::{for_each_combination, for_each_combination_delta, DeltaEvent, DeltaOp};
 use crate::config::CpConfig;
 use crate::error::CrpError;
-use crate::matrix::{DominanceMatrix, PrEvaluator};
+use crate::matrix::{with_scratch, DominanceMatrix, PrEvaluator, Scratch, SharedBounds, GUARD};
 use crate::types::RunStats;
 use crp_geom::PROB_EPSILON;
+use crp_rtree::QueryStats;
 use rayon::prelude::*;
 
 /// A cause expressed in candidate indices (mapped to object ids by the
@@ -56,58 +73,199 @@ enum Evaluator<'m> {
     Shared(&'m PrEvaluator<'m>),
 }
 
-/// Uniform contingency-condition checker over removal *lists*: direct
-/// evaluation for small candidate sets, incremental (guard-banded) for
-/// large ones. Classifications are identical either way.
+/// Uniform contingency-condition checker: direct evaluation for small
+/// candidate sets, incremental (guard-banded) for large ones.
+/// Classifications are identical either way, and identical between the
+/// columnar and reference kernels.
+///
+/// All mutable working state lives in the caller-supplied [`Scratch`]
+/// (one per rayon worker), so the checker itself is shared by `&` and
+/// every hot-path call allocates nothing.
 pub(crate) struct Checker<'m> {
     matrix: &'m DominanceMatrix,
     evaluator: Evaluator<'m>,
-    mask: Vec<bool>,
+    /// Columnar/delta kernels vs the pre-rewrite reference path.
+    columnar: bool,
 }
 
 impl<'m> Checker<'m> {
-    pub(crate) fn new(matrix: &'m DominanceMatrix) -> Self {
+    pub(crate) fn new(
+        matrix: &'m DominanceMatrix,
+        config: &CpConfig,
+        scratch: &mut Scratch,
+    ) -> Self {
         let n = matrix.candidates();
         let evaluator = if n >= INCREMENTAL_THRESHOLD {
             Evaluator::Owned(matrix.evaluator())
         } else {
             Evaluator::Direct
         };
+        scratch.reset_for(matrix);
         Self {
             matrix,
             evaluator,
-            mask: vec![false; n],
+            columnar: config.use_columnar_kernel,
         }
     }
 
     /// A checker borrowing an already-built evaluator (`None` = direct
     /// evaluation) — the parallel driver builds the evaluator once and
     /// hands every worker a reference.
-    fn with_shared(matrix: &'m DominanceMatrix, evaluator: Option<&'m PrEvaluator<'m>>) -> Self {
+    fn with_shared(
+        matrix: &'m DominanceMatrix,
+        evaluator: Option<&'m PrEvaluator<'m>>,
+        config: &CpConfig,
+        scratch: &mut Scratch,
+    ) -> Self {
+        scratch.reset_for(matrix);
         Self {
             matrix,
             evaluator: match evaluator {
                 Some(ev) => Evaluator::Shared(ev),
                 None => Evaluator::Direct,
             },
-            mask: vec![false; matrix.candidates()],
+            columnar: config.use_columnar_kernel,
         }
     }
 
-    /// Is `an` an answer on `P − removed`?
-    pub(crate) fn is_answer(&mut self, removed: &[usize], alpha: f64) -> bool {
-        let ev = match &self.evaluator {
-            Evaluator::Owned(ev) => ev,
-            Evaluator::Shared(ev) => ev,
-            Evaluator::Direct => {
-                self.mask.fill(false);
-                for &c in removed {
-                    self.mask[c] = true;
+    fn evaluator(&self) -> Option<&PrEvaluator<'_>> {
+        match &self.evaluator {
+            Evaluator::Owned(ev) => Some(ev),
+            Evaluator::Shared(ev) => Some(ev),
+            Evaluator::Direct => None,
+        }
+    }
+
+    /// Is `an` an answer on `P − removed`? The removal-*list* entry
+    /// point of the classification and Lemma 6 paths (the subset loop
+    /// uses the delta protocol below instead). Clobbers the scratch
+    /// mask.
+    pub(crate) fn is_answer(
+        &self,
+        removed: &[usize],
+        alpha: f64,
+        scratch: &mut Scratch,
+        query: &mut QueryStats,
+    ) -> bool {
+        let Some(ev) = self.evaluator() else {
+            // Small candidate set: exact masked product (reference), or
+            // its guard-banded columnar counterpart.
+            scratch.clear_mask();
+            for &c in removed {
+                scratch.mask[c] = true;
+            }
+            if !self.columnar {
+                return is_answer(self.matrix.pr_with_removed(&scratch.mask), alpha);
+            }
+            let fast = self.matrix.pr_with_removed_columnar(&scratch.mask);
+            return self.settle(fast, alpha, &scratch.mask, query);
+        };
+        if !self.columnar {
+            return ev.is_answer_with_removed(removed, alpha);
+        }
+        let fast = ev.pr_with_removed_list(removed);
+        if (fast - alpha).abs() <= GUARD {
+            query.eval_slow += 1;
+            scratch.clear_mask();
+            for &c in removed {
+                scratch.mask[c] = true;
+            }
+            return is_answer(self.matrix.pr_with_removed(&scratch.mask), alpha);
+        }
+        query.eval_fast += 1;
+        is_answer(fast, alpha)
+    }
+
+    /// Guard-banded verdict for a fast probability estimate: near the
+    /// decision threshold, re-verify with the exact reference product
+    /// over `mask`.
+    fn settle(&self, fast: f64, alpha: f64, mask: &[bool], query: &mut QueryStats) -> bool {
+        if (fast - alpha).abs() <= GUARD {
+            query.eval_slow += 1;
+            return is_answer(self.matrix.pr_with_removed(mask), alpha);
+        }
+        query.eval_fast += 1;
+        is_answer(fast, alpha)
+    }
+
+    // --- the delta protocol of the columnar subset loop ---------------
+
+    /// Resets the maintained removal set to exactly `forced` (start of
+    /// one cardinality's enumeration).
+    fn begin(&self, forced: &[usize], scratch: &mut Scratch) {
+        scratch.clear_mask();
+        if let Some(ev) = self.evaluator() {
+            ev.delta_begin(scratch);
+            for &c in forced {
+                scratch.mask[c] = true;
+                ev.delta_add(c, scratch);
+            }
+        } else {
+            for &c in forced {
+                scratch.mask[c] = true;
+            }
+        }
+    }
+
+    /// Folds one enumerator move (in search-space coordinates, mapped
+    /// through `search`) into the maintained state.
+    fn apply(&self, op: DeltaOp, search: &[usize], scratch: &mut Scratch) {
+        match op {
+            DeltaOp::Add(s) => {
+                let c = search[s];
+                scratch.mask[c] = true;
+                if let Some(ev) = self.evaluator() {
+                    ev.delta_add(c, scratch);
                 }
-                return is_answer(self.matrix.pr_with_removed(&self.mask), alpha);
+            }
+            DeltaOp::Remove(s) => {
+                let c = search[s];
+                scratch.mask[c] = false;
+                if let Some(ev) = self.evaluator() {
+                    ev.delta_remove(c, scratch);
+                }
+            }
+        }
+    }
+
+    /// FMCS condition (i): is `an` an answer on `P − Γ` for the
+    /// maintained `Γ`?
+    fn current_is_answer(&self, alpha: f64, scratch: &mut Scratch, query: &mut QueryStats) -> bool {
+        let fast = match self.evaluator() {
+            Some(ev) => ev.delta_pr(scratch),
+            None => self.matrix.pr_with_removed_columnar(&scratch.mask),
+        };
+        self.settle(fast, alpha, &scratch.mask, query)
+    }
+
+    /// FMCS condition (ii): is `an` an answer on `P − Γ − {cc}`? Leaves
+    /// the maintained state untouched.
+    fn extra_is_answer(
+        &self,
+        cc: usize,
+        alpha: f64,
+        scratch: &mut Scratch,
+        query: &mut QueryStats,
+    ) -> bool {
+        debug_assert!(!scratch.mask[cc]);
+        let fast = match self.evaluator() {
+            Some(ev) => ev.delta_pr_with_extra(cc, scratch),
+            None => {
+                scratch.mask[cc] = true;
+                let fast = self.matrix.pr_with_removed_columnar(&scratch.mask);
+                scratch.mask[cc] = false;
+                fast
             }
         };
-        ev.is_answer_with_removed(removed, alpha)
+        if (fast - alpha).abs() <= GUARD {
+            query.eval_slow += 1;
+            scratch.mask[cc] = true;
+            let verdict = is_answer(self.matrix.pr_with_removed(&scratch.mask), alpha);
+            scratch.mask[cc] = false;
+            return verdict;
+        }
+        query.eval_fast += 1;
+        is_answer(fast, alpha)
     }
 }
 
@@ -119,7 +277,7 @@ struct CandidateSearch {
 }
 
 /// FMCS for a single candidate `cc`: enumerate candidate contingency
-/// sets in ascending cardinality over `search_space` (on top of the
+/// sets in ascending cardinality over the search space (on top of the
 /// forced set), strictly below `upper_exclusive`.
 ///
 /// Pure with respect to the other candidates: given the same plan
@@ -135,15 +293,20 @@ fn search_candidate(
     excluded: &[bool],
     impacts: &[f64],
     witness_len: Option<usize>,
-    checker: &mut Checker<'_>,
-    removal_list: &mut Vec<usize>,
+    checker: &Checker<'_>,
+    scratch: &mut Scratch,
+    shared_bounds: Option<&SharedBounds>,
     stats: &mut RunStats,
 ) -> Result<CandidateSearch, CrpError> {
     let n = matrix.candidates();
-    let forced: Vec<usize> = (0..n).filter(|&c| c != cc && forced_mask[c]).collect();
-    let mut search: Vec<usize> = (0..n)
-        .filter(|&c| c != cc && !forced_mask[c] && !excluded[c])
-        .collect();
+    // The index buffers are borrowed out of the scratch for the whole
+    // candidate search (the checker only touches the mask/delta state).
+    let mut forced = std::mem::take(&mut scratch.forced);
+    forced.clear();
+    forced.extend((0..n).filter(|&c| c != cc && forced_mask[c]));
+    let mut search = std::mem::take(&mut scratch.search);
+    search.clear();
+    search.extend((0..n).filter(|&c| c != cc && !forced_mask[c] && !excluded[c]));
     // Global impact ordering (see `super::merge`): `impacts` is
     // precomputed once per matrix by the drivers — the weighted sum is
     // O(L) and this sort runs per candidate.
@@ -162,47 +325,103 @@ fn search_candidate(
         }
         // Probability-based pruning (extension): if even the most
         // damaging total+1 removals cannot reach α, no Γ of this size
-        // can satisfy condition (ii).
-        if config.use_probability_bound
-            && !is_answer(matrix.max_pr_after_removing(total + 1), alpha)
-        {
-            continue;
+        // can satisfy condition (ii). Served from a memo — the
+        // worker-shared table in candidate-parallel mode (one factor
+        // sort per explain, each size computed once across workers),
+        // the per-thread scratch otherwise; values are bit-identical
+        // to the reference bound either way.
+        if config.use_probability_bound {
+            let bound = match shared_bounds {
+                Some(sb) => sb.get(matrix, total + 1),
+                None => scratch.max_pr_bound(matrix, total + 1),
+            };
+            if !is_answer(bound, alpha) {
+                continue;
+            }
         }
         let budget = config.max_subsets;
-        for_each_combination(search.len(), k, |combo| {
-            stats.subsets_examined += 1;
-            if let Some(max) = budget {
-                if stats.subsets_examined > max {
-                    budget_hit = Some(stats.subsets_examined);
-                    return true;
+        if config.use_columnar_kernel {
+            checker.begin(&forced, scratch);
+            for_each_combination_delta(search.len(), k, |event| {
+                let _combo = match event {
+                    DeltaEvent::Move(op) => {
+                        checker.apply(op, &search, scratch);
+                        return false;
+                    }
+                    DeltaEvent::Subset(combo) => combo,
+                };
+                stats.subsets_examined += 1;
+                if let Some(max) = budget {
+                    if stats.subsets_examined > max {
+                        budget_hit = Some(stats.subsets_examined);
+                        return true;
+                    }
                 }
-            }
-            removal_list.clear();
-            removal_list.extend_from_slice(&forced);
-            removal_list.extend(combo.iter().map(|&s| search[s]));
-            stats.prsq_evaluations += 1;
-            // Condition (i): P − Γ still a non-answer.
-            if !checker.is_answer(removal_list, alpha) {
-                removal_list.push(cc);
                 stats.prsq_evaluations += 1;
-                // Condition (ii): P − Γ − {cc} becomes an answer.
-                let becomes = checker.is_answer(removal_list, alpha);
-                removal_list.pop();
-                if becomes {
-                    let mut gamma = removal_list.clone();
-                    gamma.sort_unstable();
-                    found = Some(gamma);
-                    return true;
+                // Condition (i): P − Γ still a non-answer.
+                if !checker.current_is_answer(alpha, scratch, &mut stats.query) {
+                    stats.prsq_evaluations += 1;
+                    // Condition (ii): P − Γ − {cc} becomes an answer.
+                    if checker.extra_is_answer(cc, alpha, scratch, &mut stats.query) {
+                        // Γ = the maintained mask, already ascending.
+                        found = Some(
+                            scratch
+                                .mask
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(c, &gone)| gone.then_some(c))
+                                .collect(),
+                        );
+                        return true;
+                    }
                 }
-            }
-            false
-        });
-        if let Some(examined) = budget_hit {
-            return Err(CrpError::BudgetExhausted { examined });
+                false
+            });
+        } else {
+            // The pre-rewrite reference kernel: removal list per subset.
+            let mut removal_list = std::mem::take(&mut scratch.list);
+            for_each_combination(search.len(), k, |combo| {
+                stats.subsets_examined += 1;
+                if let Some(max) = budget {
+                    if stats.subsets_examined > max {
+                        budget_hit = Some(stats.subsets_examined);
+                        return true;
+                    }
+                }
+                removal_list.clear();
+                removal_list.extend_from_slice(&forced);
+                removal_list.extend(combo.iter().map(|&s| search[s]));
+                stats.prsq_evaluations += 1;
+                // Condition (i): P − Γ still a non-answer.
+                if !checker.is_answer(&removal_list, alpha, scratch, &mut stats.query) {
+                    removal_list.push(cc);
+                    stats.prsq_evaluations += 1;
+                    // Condition (ii): P − Γ − {cc} becomes an answer.
+                    let becomes =
+                        checker.is_answer(&removal_list, alpha, scratch, &mut stats.query);
+                    removal_list.pop();
+                    if becomes {
+                        let mut gamma = removal_list.clone();
+                        gamma.sort_unstable();
+                        found = Some(gamma);
+                        return true;
+                    }
+                }
+                false
+            });
+            scratch.list = removal_list;
+        }
+        if budget_hit.is_some() {
+            break 'sizes;
         }
         if found.is_some() {
             break 'sizes;
         }
+    }
+    scratch.forced = forced;
+    scratch.search = search;
+    if let Some(examined) = budget_hit {
+        return Err(CrpError::BudgetExhausted { examined });
     }
     Ok(CandidateSearch { found })
 }
@@ -216,6 +435,7 @@ pub(crate) fn search(
     config: &CpConfig,
     plan: RefinePlan<'_>,
     stats: &mut RunStats,
+    scratch: &mut Scratch,
 ) -> Result<Vec<CauseRec>, CrpError> {
     let RefinePlan {
         forced_mask,
@@ -223,7 +443,7 @@ pub(crate) fn search(
         mut done,
         mut results,
         complete,
-        mut checker,
+        checker,
     } = plan;
     if complete {
         results.sort_by_key(|r| r.cand);
@@ -248,7 +468,6 @@ pub(crate) fn search(
 
     let n = matrix.candidates();
     let impacts = super::merge::impacts(matrix);
-    let mut removal_list: Vec<usize> = Vec::with_capacity(n);
     let mut witness: Vec<Option<Vec<usize>>> = vec![None; n];
     for cc in 0..n {
         if done[cc] {
@@ -263,8 +482,9 @@ pub(crate) fn search(
             &excluded,
             &impacts,
             witness[cc].as_ref().map(|w| w.len()),
-            &mut checker,
-            &mut removal_list,
+            &checker,
+            scratch,
+            None,
             stats,
         )?;
 
@@ -289,11 +509,14 @@ pub(crate) fn search(
                 if !better {
                     continue;
                 }
-                removal_list.clear();
-                removal_list.extend(gamma.iter().copied().filter(|&g| g != o));
-                removal_list.push(cc);
+                let mut list = std::mem::take(&mut scratch.list);
+                list.clear();
+                list.extend(gamma.iter().copied().filter(|&g| g != o));
+                list.push(cc);
                 stats.prsq_evaluations += 1;
-                if !checker.is_answer(&removal_list, alpha) {
+                let still_non_answer = !checker.is_answer(&list, alpha, scratch, &mut stats.query);
+                scratch.list = list;
+                if still_non_answer {
                     // (Γ−{o}) ∪ {cc} is a contingency set for o: condition
                     // (ii) holds because P−Γ−{cc} is an answer already.
                     let mut w: Vec<usize> = gamma.iter().copied().filter(|&g| g != o).collect();
@@ -319,7 +542,8 @@ pub(crate) fn search(
 ///
 /// Preconditions (checked by [`search`]): Lemma 6 off, no subset budget.
 /// Per-candidate counters are folded in ascending candidate order, so
-/// the aggregate [`RunStats`] equals the serial driver's exactly.
+/// the aggregate [`RunStats`] equals the serial driver's exactly. Each
+/// worker borrows its own thread-local [`Scratch`].
 #[allow(clippy::too_many_arguments)]
 fn search_parallel(
     matrix: &DominanceMatrix,
@@ -334,28 +558,36 @@ fn search_parallel(
     let n = matrix.candidates();
     let impacts = super::merge::impacts(matrix);
     // One evaluator for every worker: its O(|Cc|·L) precompute must not
-    // be repeated per candidate (workers only read it).
+    // be repeated per candidate (workers only read it). Likewise one
+    // probability-bound table: its factor sort must not be repeated per
+    // worker scratch.
     let shared_evaluator = (n >= INCREMENTAL_THRESHOLD).then(|| matrix.evaluator());
+    let shared_bounds = config
+        .use_probability_bound
+        .then(|| SharedBounds::new(matrix));
     let open: Vec<usize> = (0..n).filter(|&cc| !done[cc]).collect();
     let per_candidate: Vec<(usize, Option<Vec<usize>>, RunStats)> = open
         .par_iter()
         .map(|&cc| {
             let mut local_stats = RunStats::default();
-            let mut checker = Checker::with_shared(matrix, shared_evaluator.as_ref());
-            let mut removal_list: Vec<usize> = Vec::with_capacity(n);
-            let outcome = search_candidate(
-                matrix,
-                alpha,
-                config,
-                cc,
-                forced_mask,
-                excluded,
-                &impacts,
-                None,
-                &mut checker,
-                &mut removal_list,
-                &mut local_stats,
-            )
+            let outcome = with_scratch(|scratch| {
+                let checker =
+                    Checker::with_shared(matrix, shared_evaluator.as_ref(), config, scratch);
+                search_candidate(
+                    matrix,
+                    alpha,
+                    config,
+                    cc,
+                    forced_mask,
+                    excluded,
+                    &impacts,
+                    None,
+                    &checker,
+                    scratch,
+                    shared_bounds.as_ref(),
+                    &mut local_stats,
+                )
+            })
             .expect("parallel FMCS runs without a budget");
             (cc, outcome.found, local_stats)
         })
@@ -364,6 +596,7 @@ fn search_parallel(
     for (cc, found, local_stats) in per_candidate {
         stats.subsets_examined += local_stats.subsets_examined;
         stats.prsq_evaluations += local_stats.prsq_evaluations;
+        stats.query.absorb(local_stats.query);
         if let Some(gamma) = found {
             results.push(CauseRec {
                 cand: cc,

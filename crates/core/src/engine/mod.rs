@@ -836,16 +836,25 @@ impl ExplainEngine {
         }
         let an_pos = pipeline::validate(ds, q, an, alpha)?;
         let region = filter::candidate_region(ds.object_at(an_pos), q);
-        self.cached_cp_finish(q, an, alpha, cp, region, |stats| {
-            let tree = self.guarded_object_tree(ds)?;
-            Ok(pipeline::stage1_probabilistic(
-                ds,
-                q,
-                an_pos,
-                &SampleWindowFilter::new(tree),
-                stats,
-            ))
-        })
+        cached_cp_finish(
+            &self.cache,
+            Some(&self.io),
+            q,
+            an,
+            alpha,
+            cp,
+            region,
+            |stats| {
+                let tree = self.guarded_object_tree(ds)?;
+                Ok(pipeline::stage1_probabilistic(
+                    ds,
+                    q,
+                    an_pos,
+                    &SampleWindowFilter::new(tree),
+                    stats,
+                ))
+            },
+        )
     }
 
     /// The pdf CP path with the same two-layer cache as
@@ -869,62 +878,19 @@ impl ExplainEngine {
         let an_obj = ds.get(an).expect("validated above");
         let windows = crate::pdf::pdf_windows(q, an_obj.region());
         let region = filter::windows_region(&windows).expect("pdf windows are non-empty");
-        self.cached_cp_finish(q, an, alpha, cp, region, |stats| {
-            let tree = self.guarded_pdf_tree(ds)?;
-            Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
-        })
-    }
-
-    /// The shared tail of both cached CP paths: row-cache lookup (or a
-    /// fresh stage-1 via `fresh`, whose traversal cost is the only part
-    /// that enters the session totals), α-dependent refinement, and
-    /// population of both cache layers. One body, so the caching
-    /// protocol — stats replay on hits, cacheability of outcomes —
-    /// cannot drift between the discrete and pdf workloads.
-    fn cached_cp_finish(
-        &self,
-        q: &Point,
-        an: ObjectId,
-        alpha: f64,
-        cp: &CpConfig,
-        region: HyperRect,
-        fresh: impl FnOnce(&mut RunStats) -> Result<pipeline::StageOne, CrpError>,
-    ) -> Result<CrpOutcome, CrpError> {
-        let mut stats = RunStats::default();
-        let stage1 = match self.cache.lookup_rows(an, q) {
-            Some(rows) => {
-                stats.query = rows.query;
-                rows.stage1
-            }
-            None => {
-                let stage1 = fresh(&mut stats)?;
-                // Only freshly paid traversal enters the session totals.
-                self.io.absorb(stats.query);
-                self.cache.store_rows(
-                    an,
-                    q,
-                    CachedRows {
-                        region: region.clone(),
-                        stage1: stage1.clone(),
-                        query: stats.query,
-                    },
-                );
-                stage1
-            }
-        };
-        let result = pipeline::finish(&stage1.matrix, alpha, cp, &mut stats, |c| stage1.ids[c])
-            .map(|causes| CrpOutcome { causes, stats });
-        self.cache.store_outcome(
-            an,
+        cached_cp_finish(
+            &self.cache,
+            Some(&self.io),
             q,
+            an,
             alpha,
-            ExplainStrategy::Cp,
             cp,
             region,
-            false,
-            &result,
-        );
-        result
+            |stats| {
+                let tree = self.guarded_pdf_tree(ds)?;
+                Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
+            },
+        )
     }
 
     /// The certain-data strategies behind the outcome cache. Entries
@@ -1005,6 +971,66 @@ impl ExplainEngine {
         }
         Ok(self.point_tree())
     }
+}
+
+/// The shared tail of every cached CP path — unsharded (discrete and
+/// pdf) and sharded: row-cache lookup (or a fresh stage-1 via `fresh`),
+/// α-dependent refinement, and population of both cache layers. One
+/// body, so the caching protocol — stats replay on hits, cacheability
+/// of outcomes — cannot drift between workloads or between the
+/// unsharded session and [`ShardedExplainEngine`].
+///
+/// `io`, when given, receives the freshly paid traversal cost (the
+/// unsharded session's accumulator; sharded sessions account traversal
+/// inside their shards and pass `None`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cached_cp_finish(
+    cache: &ExplanationCache,
+    io: Option<&AtomicQueryStats>,
+    q: &Point,
+    an: ObjectId,
+    alpha: f64,
+    cp: &CpConfig,
+    region: HyperRect,
+    fresh: impl FnOnce(&mut RunStats) -> Result<pipeline::StageOne, CrpError>,
+) -> Result<CrpOutcome, CrpError> {
+    let mut stats = RunStats::default();
+    let stage1 = match cache.lookup_rows(an, q) {
+        Some(rows) => {
+            stats.query = rows.query;
+            rows.stage1
+        }
+        None => {
+            let stage1 = fresh(&mut stats)?;
+            // Only freshly paid traversal enters the session totals.
+            if let Some(io) = io {
+                io.absorb(stats.query);
+            }
+            cache.store_rows(
+                an,
+                q,
+                CachedRows {
+                    region: region.clone(),
+                    stage1: stage1.clone(),
+                    query: stats.query,
+                },
+            );
+            stage1
+        }
+    };
+    let result = pipeline::finish(&stage1.matrix, alpha, cp, &mut stats, |c| stage1.ids[c])
+        .map(|causes| CrpOutcome { causes, stats });
+    cache.store_outcome(
+        an,
+        q,
+        alpha,
+        ExplainStrategy::Cp,
+        cp,
+        region,
+        false,
+        &result,
+    );
+    result
 }
 
 /// Incrementally patches a lazily built object/region tree for one
@@ -1389,7 +1415,17 @@ mod tests {
             .explain_as(ExplainStrategy::Cp, &q, 0.25, ObjectId(0))
             .unwrap();
         assert_eq!(engine.accumulated_io().node_accesses, paid);
-        assert_eq!(swept.stats.query, first.stats.query);
+        assert_eq!(
+            swept.stats.query.node_accesses,
+            first.stats.query.node_accesses
+        );
+        assert_eq!(
+            swept.stats.query.leaf_accesses,
+            first.stats.query.leaf_accesses
+        );
+        // The refinement re-ran at the new α: its evaluator taps are
+        // per-call counters, not replayed traversal.
+        assert!(swept.stats.query.eval_fast + swept.stats.query.eval_slow > 0);
         // Identical request: outcome cache, bit-identical result.
         let repeat = engine
             .explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(0))

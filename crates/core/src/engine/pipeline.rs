@@ -14,7 +14,7 @@ use crate::error::CrpError;
 use crate::matrix::DominanceMatrix;
 use crate::types::{Cause, CrpOutcome, RunStats};
 use crp_geom::{dominance_rect, HyperRect, Point, PROB_EPSILON};
-use crp_rtree::{AtomicQueryStats, RTree};
+use crp_rtree::{AtomicQueryStats, QueryStats, RTree};
 use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
 
 /// Stage 1 of the pdf pipeline, abstracted over the partition layout:
@@ -69,10 +69,17 @@ pub(crate) fn tree_region_hits(
 /// Folds the node accesses of one (possibly failed) explain into the
 /// engine's session accumulator. Error outcomes (`NotANonAnswer`,
 /// `BudgetExhausted`) have already paid their tree traversal, so the
-/// session I/O total must include them.
+/// session I/O total must include them. The evaluator fast/slow-path
+/// taps are *per-explain* refinement counters (like
+/// `subsets_examined`), not session I/O — they stay in the outcome's
+/// [`RunStats`] and are stripped from the accumulator here.
 fn absorb_io(io: Option<&AtomicQueryStats>, stats: &RunStats) {
     if let Some(io) = io {
-        io.absorb(stats.query);
+        io.absorb(QueryStats {
+            eval_fast: 0,
+            eval_slow: 0,
+            ..stats.query
+        });
     }
 }
 
@@ -166,8 +173,13 @@ pub(crate) fn finish(
     if pr_an >= alpha - PROB_EPSILON {
         return Err(CrpError::NotANonAnswer { prob: pr_an });
     }
-    // Stage 2: refine (lemma classification), then stage 3: FMCS.
-    let recs = crate::refine::refine(matrix, alpha, config, stats)?;
+    // Stage 2: refine (lemma classification), then stage 3: FMCS — over
+    // the per-thread scratch workspace, so one rayon worker (or one
+    // shard thread) reuses a single allocation-free workspace across
+    // every explain it serves.
+    let recs = crate::matrix::with_scratch(|scratch| {
+        crate::refine::refine(matrix, alpha, config, stats, scratch)
+    })?;
     let causes = recs
         .into_iter()
         .map(|r| {

@@ -17,7 +17,7 @@
 
 use super::fmcs::{CauseRec, Checker};
 use crate::config::CpConfig;
-use crate::matrix::DominanceMatrix;
+use crate::matrix::{DominanceMatrix, Scratch};
 use crate::types::RunStats;
 use crp_geom::PROB_EPSILON;
 
@@ -42,16 +42,18 @@ pub(crate) struct RefinePlan<'m> {
 
 /// Runs the classification. `matrix` must contain only genuine
 /// candidates (positive dominance mass; Lemma 1 filtering is stage 1's
-/// job).
+/// job). `scratch` is the per-thread hot-path workspace, re-shaped here
+/// (via [`Checker::new`]) and shared with stage 3.
 pub(crate) fn classify<'m>(
     matrix: &'m DominanceMatrix,
     alpha: f64,
     config: &CpConfig,
     stats: &mut RunStats,
+    scratch: &mut Scratch,
 ) -> RefinePlan<'m> {
     let n = matrix.candidates();
     stats.candidates = n;
-    let mut checker = Checker::new(matrix);
+    let checker = Checker::new(matrix, config, scratch);
     let mut results: Vec<CauseRec> = Vec::new();
 
     // --- α = 1 fast path (Algorithm 1, lines 9–11). -------------------
@@ -90,7 +92,7 @@ pub(crate) fn classify<'m>(
         for c in 0..n {
             stats.subsets_examined += 1;
             stats.prsq_evaluations += 1;
-            if checker.is_answer(&[c], alpha) {
+            if checker.is_answer(&[c], alpha, scratch, &mut stats.query) {
                 excluded[c] = true;
                 done[c] = true;
                 results.push(CauseRec {

@@ -33,13 +33,15 @@
 //! [`merge_candidate_ids`](super::merge::merge_candidate_ids) is the
 //! router's recombine step.
 
+use super::cache::ExplanationCache;
 use super::certain::{
     collect_dominators, run_certain, DominatorSource, Lemma7ClosedForm, SubsetVerify,
 };
 use super::filter::{self, FilterStage, ScanFilter};
 use super::pipeline::{self, RegionHitSource};
 use super::{
-    oracle_outcome, update_error, validate_resolution, EngineConfig, ExplainStrategy, Workload,
+    cached_cp_finish, oracle_outcome, update_error, validate_resolution, EngineConfig,
+    ExplainStrategy, Workload,
 };
 use crate::config::CpConfig;
 use crate::error::CrpError;
@@ -621,6 +623,12 @@ pub struct ShardedExplainEngine {
     /// Times the whole spatial layout was recut because a slab
     /// overflowed.
     repartitions: u64,
+    /// The same two-layer explanation cache the unsharded session
+    /// keeps (stage-1 rows shared across α + finished outcomes), with
+    /// the same geometric invalidation under updates; its counters are
+    /// merged into the engine totals alongside the per-shard
+    /// accumulators.
+    cache: ExplanationCache,
 }
 
 impl ShardedExplainEngine {
@@ -657,6 +665,7 @@ impl ShardedExplainEngine {
             rr_cursor: ids.len(),
             spatial,
             repartitions: 0,
+            cache: ExplanationCache::new(),
         })
     }
 
@@ -692,6 +701,7 @@ impl ShardedExplainEngine {
             rr_cursor: ids.len(),
             spatial,
             repartitions: 0,
+            cache: ExplanationCache::new(),
         })
     }
 
@@ -737,10 +747,19 @@ impl ShardedExplainEngine {
         }
     }
 
-    /// Total node accesses across every shard and every explain call so
-    /// far — the per-shard accumulators rolled up with `Sum`.
+    /// Total node accesses, update-path work and explanation-cache
+    /// events across every shard and every explain call so far — the
+    /// per-shard accumulators rolled up with `Sum`, plus the session
+    /// cache's counters.
     pub fn accumulated_io(&self) -> QueryStats {
-        self.shards.iter().map(|s| s.io.snapshot()).sum()
+        let mut stats: QueryStats = self.shards.iter().map(|s| s.io.snapshot()).sum();
+        stats.absorb(self.cache.stats());
+        stats
+    }
+
+    /// Live (row, outcome) entry counts of the explanation cache.
+    pub fn cache_len(&self) -> (usize, usize) {
+        self.cache.len()
     }
 
     /// Per-shard node-access totals, in shard order.
@@ -748,9 +767,12 @@ impl ShardedExplainEngine {
         self.shards.iter().map(|s| s.io.snapshot()).collect()
     }
 
-    /// Resets every shard accumulator, returning the rolled-up totals.
+    /// Resets every shard accumulator and the cache counters, returning
+    /// the rolled-up totals.
     pub fn reset_io(&self) -> QueryStats {
-        self.shards.iter().map(|s| s.io.take()).sum()
+        let mut stats: QueryStats = self.shards.iter().map(|s| s.io.take()).sum();
+        stats.absorb(self.cache.take_stats());
+        stats
     }
 
     /// The dataset version this session currently serves.
@@ -795,6 +817,11 @@ impl ShardedExplainEngine {
             });
         }
         let touched = update.id();
+        let was_certain = match &self.data {
+            Workload::Discrete(ds) => ds.is_certain(),
+            Workload::Pdf { .. } => unreachable!("checked above"),
+        };
+        let mut regions: Vec<HyperRect> = Vec::with_capacity(2);
         match update {
             Update::Insert(obj) => {
                 {
@@ -803,41 +830,52 @@ impl ShardedExplainEngine {
                     };
                     ds.push(obj.clone()).map_err(update_error)?;
                 }
-                let center = obj.mbr().center();
-                let shard = self.route_insert(touched, &center);
+                let mbr = obj.mbr();
+                let shard = self.route_insert(touched, &mbr.center());
                 self.shards[shard].insert_discrete(obj);
                 self.owner.insert(touched, shard);
                 self.maintain_after_update(shard);
+                regions.push(mbr);
             }
             Update::Delete(id) => {
-                {
+                let old = {
                     let Workload::Discrete(ds) = &mut self.data else {
                         unreachable!("checked above");
                     };
-                    ds.remove(id).ok_or(CrpError::UnknownObject(id))?;
-                }
+                    ds.remove(id).ok_or(CrpError::UnknownObject(id))?
+                };
                 let shard = self
                     .owner
                     .remove(&id)
                     .expect("owner table tracks every object");
                 self.shards[shard].remove_discrete(id);
                 self.maintain_after_update(shard);
+                regions.push(old.mbr());
             }
             Update::Replace(obj) => {
-                {
+                let new_mbr = obj.mbr();
+                let old = {
                     let Workload::Discrete(ds) = &mut self.data else {
                         unreachable!("checked above");
                     };
-                    ds.replace(obj.clone()).map_err(update_error)?;
-                }
+                    ds.replace(obj.clone()).map_err(update_error)?
+                };
                 let shard = *self
                     .owner
                     .get(&touched)
                     .expect("owner table tracks every object");
                 self.shards[shard].replace_discrete(obj);
                 self.maintain_after_update(shard);
+                regions.push(old.mbr());
+                regions.push(new_mbr);
             }
         }
+        let still_certain = match &self.data {
+            Workload::Discrete(ds) => ds.is_certain(),
+            Workload::Pdf { .. } => unreachable!("checked above"),
+        };
+        let flush_certain = !(was_certain && still_certain);
+        self.cache.invalidate(touched, &regions, flush_certain);
         Ok(self.epoch())
     }
 
@@ -849,6 +887,7 @@ impl ShardedExplainEngine {
             });
         }
         let touched = update.id();
+        let mut regions: Vec<HyperRect> = Vec::with_capacity(2);
         match update {
             Update::Insert(obj) => {
                 {
@@ -857,41 +896,47 @@ impl ShardedExplainEngine {
                     };
                     ds.push(obj.clone()).map_err(update_error)?;
                 }
-                let center = obj.region().center();
-                let shard = self.route_insert(touched, &center);
+                let region = obj.region().clone();
+                let shard = self.route_insert(touched, &region.center());
                 self.shards[shard].insert_pdf(obj);
                 self.owner.insert(touched, shard);
                 self.maintain_after_update(shard);
+                regions.push(region);
             }
             Update::Delete(id) => {
-                {
+                let old = {
                     let Workload::Pdf { ds, .. } = &mut self.data else {
                         unreachable!("checked above");
                     };
-                    ds.remove(id).ok_or(CrpError::UnknownObject(id))?;
-                }
+                    ds.remove(id).ok_or(CrpError::UnknownObject(id))?
+                };
                 let shard = self
                     .owner
                     .remove(&id)
                     .expect("owner table tracks every object");
                 self.shards[shard].remove_pdf(id);
                 self.maintain_after_update(shard);
+                regions.push(old.region().clone());
             }
             Update::Replace(obj) => {
-                {
+                let new_region = obj.region().clone();
+                let old = {
                     let Workload::Pdf { ds, .. } = &mut self.data else {
                         unreachable!("checked above");
                     };
-                    ds.replace(obj.clone()).map_err(update_error)?;
-                }
+                    ds.replace(obj.clone()).map_err(update_error)?
+                };
                 let shard = *self
                     .owner
                     .get(&touched)
                     .expect("owner table tracks every object");
                 self.shards[shard].replace_pdf(obj);
                 self.maintain_after_update(shard);
+                regions.push(old.region().clone());
+                regions.push(new_region);
             }
         }
+        self.cache.invalidate(touched, &regions, false);
         Ok(self.epoch())
     }
 
@@ -1186,7 +1231,18 @@ impl ShardedExplainEngine {
                     if ds.is_empty() {
                         return Err(CrpError::EmptyDataset);
                     }
-                    pipeline::run_probabilistic(ds, q, an, alpha, cp, &fan, None)
+                    // The same two-layer cache protocol as the
+                    // unsharded session (one shared body, see
+                    // `super::cached_cp_finish`); traversal stays
+                    // accounted inside the shards, so `io` is `None`.
+                    if let Some(hit) = self.cache.lookup_outcome(an, q, alpha, strategy, cp) {
+                        return hit;
+                    }
+                    let an_pos = pipeline::validate(ds, q, an, alpha)?;
+                    let region = filter::candidate_region(ds.object_at(an_pos), q);
+                    cached_cp_finish(&self.cache, None, q, an, alpha, cp, region, |stats| {
+                        Ok(pipeline::stage1_probabilistic(ds, q, an_pos, &fan, stats))
+                    })
                 }
                 ExplainStrategy::CpUnindexed => {
                     pipeline::run_probabilistic(ds, q, an, alpha, cp, &ScanFilter, None)
@@ -1201,18 +1257,36 @@ impl ShardedExplainEngine {
                     };
                     pipeline::run_probabilistic(ds, q, an, alpha, &config, &fan, None)
                 }
-                ExplainStrategy::Cr => {
-                    self.guard_certain(ds)?;
-                    run_certain(ds, &fan, q, an, &Lemma7ClosedForm { k: 0 }, None)
-                }
-                ExplainStrategy::CrKskyband { k } => {
-                    self.guard_certain(ds)?;
-                    run_certain(ds, &fan, q, an, &Lemma7ClosedForm { k }, None)
-                }
-                ExplainStrategy::NaiveII { max_subsets } => {
-                    self.guard_certain(ds)?;
-                    run_certain(ds, &fan, q, an, &SubsetVerify { max_subsets }, None)
-                }
+                ExplainStrategy::Cr => self.cached_certain(
+                    ds,
+                    strategy,
+                    q,
+                    alpha,
+                    an,
+                    cp,
+                    &Lemma7ClosedForm { k: 0 },
+                    &fan,
+                ),
+                ExplainStrategy::CrKskyband { k } => self.cached_certain(
+                    ds,
+                    strategy,
+                    q,
+                    alpha,
+                    an,
+                    cp,
+                    &Lemma7ClosedForm { k },
+                    &fan,
+                ),
+                ExplainStrategy::NaiveII { max_subsets } => self.cached_certain(
+                    ds,
+                    strategy,
+                    q,
+                    alpha,
+                    an,
+                    cp,
+                    &SubsetVerify { max_subsets },
+                    &fan,
+                ),
                 ExplainStrategy::OracleCp => {
                     oracle_cp(ds, q, an, alpha).map(|causes| oracle_outcome(ds, causes))
                 }
@@ -1226,7 +1300,17 @@ impl ShardedExplainEngine {
                     if ds.is_empty() {
                         return Err(CrpError::EmptyDataset);
                     }
-                    pipeline::run_pdf(ds, &fan, q, an, alpha, *resolution, cp, None)
+                    if let Some(hit) = self.cache.lookup_outcome(an, q, alpha, strategy, cp) {
+                        return hit;
+                    }
+                    pipeline::validate_pdf(ds, an, alpha)?;
+                    let an_obj = ds.get(an).expect("validated above");
+                    let windows = crate::pdf::pdf_windows(q, an_obj.region());
+                    let region =
+                        filter::windows_region(&windows).expect("pdf windows are non-empty");
+                    cached_cp_finish(&self.cache, None, q, an, alpha, cp, region, |stats| {
+                        Ok(pipeline::stage1_pdf(ds, &fan, q, an, *resolution, stats))
+                    })
                 }
                 ExplainStrategy::NaiveI { max_subsets } => {
                     if ds.is_empty() {
@@ -1256,6 +1340,40 @@ impl ShardedExplainEngine {
             return Err(CrpError::NotCertainData);
         }
         Ok(())
+    }
+
+    /// The certain-data strategies behind the outcome cache — the
+    /// sharded mirror of the unsharded session's protocol: entries are
+    /// flagged `certain` (flushed whenever an update may change the
+    /// dataset's global certainty), keyed on the dominance window of
+    /// `(an, q)`, and failing preconditions stay uncached.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_certain(
+        &self,
+        ds: &UncertainDataset,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+        search: &dyn super::certain::CertainSearch,
+        fan: &ShardFanOut<'_>,
+    ) -> Result<CrpOutcome, CrpError> {
+        self.guard_certain(ds)?;
+        if ds.index_of(an).is_none() {
+            // Unknown non-answer: let the pipeline produce the error,
+            // uncached (cache entries assume a resident object).
+            return run_certain(ds, fan, q, an, search, None);
+        }
+        if let Some(hit) = self.cache.lookup_outcome(an, q, alpha, strategy, cp) {
+            return hit;
+        }
+        let an_point = ds.get(an).expect("checked above").certain_point();
+        let region = dominance_rect(an_point, q);
+        let result = run_certain(ds, fan, q, an, search, None);
+        self.cache
+            .store_outcome(an, q, alpha, strategy, cp, region, true, &result);
+        result
     }
 }
 
@@ -1502,16 +1620,108 @@ mod tests {
         let q = pt(5.0, 5.0);
         let out = sharded.explain(&q, ObjectId(0)).unwrap();
         assert!(out.stats.query.node_accesses > 0);
-        // Engine-level totals = per-shard accumulators rolled up = the
-        // per-call stats (one call so far).
-        assert_eq!(sharded.accumulated_io(), out.stats.query);
-        assert_eq!(
-            sharded.shard_io().into_iter().sum::<QueryStats>(),
-            out.stats.query
-        );
+        // Engine-level totals = per-shard accumulators rolled up, plus
+        // the session cache's counters (one outcome miss so far). The
+        // evaluator taps are per-call refinement counters, not shard
+        // I/O.
+        let io_only = QueryStats {
+            eval_fast: 0,
+            eval_slow: 0,
+            ..out.stats.query
+        };
+        let with_cache = QueryStats {
+            cache_misses: 1,
+            ..io_only
+        };
+        assert_eq!(sharded.accumulated_io(), with_cache);
+        assert_eq!(sharded.shard_io().into_iter().sum::<QueryStats>(), io_only);
         let taken = sharded.reset_io();
-        assert_eq!(taken, out.stats.query);
+        assert_eq!(taken, with_cache);
         assert_eq!(sharded.accumulated_io(), QueryStats::default());
+    }
+
+    #[test]
+    fn sharded_cache_serves_alpha_sweeps_and_repeats() {
+        let sharded = ShardedExplainEngine::new(
+            uncertain_fixture(),
+            EngineConfig::with_alpha(0.75),
+            2,
+            ShardPolicy::Spatial,
+        )
+        .expect("valid engine config");
+        let q = pt(5.0, 5.0);
+        let first = sharded
+            .explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(0))
+            .unwrap();
+        let paid = sharded.accumulated_io().node_accesses;
+        assert!(paid > 0);
+        // Different α over the same non-answer: stage 1 is served from
+        // the row cache — no shard pays another traversal — and the
+        // outcome stats replay the original cost.
+        let swept = sharded
+            .explain_as(ExplainStrategy::Cp, &q, 0.25, ObjectId(0))
+            .unwrap();
+        assert_eq!(sharded.accumulated_io().node_accesses, paid);
+        assert_eq!(
+            swept.stats.query.node_accesses,
+            first.stats.query.node_accesses
+        );
+        // Identical request: outcome cache, bit-identical result.
+        let repeat = sharded
+            .explain_as(ExplainStrategy::Cp, &q, 0.75, ObjectId(0))
+            .unwrap();
+        assert_eq!(repeat, first);
+        let io = sharded.accumulated_io();
+        assert!(io.cache_hits >= 2, "row hit + outcome hit, got {io:?}");
+        let (rows, outcomes) = sharded.cache_len();
+        assert_eq!(rows, 1);
+        assert_eq!(outcomes, 2);
+
+        // Certain strategies share the outcome layer too.
+        let certain = ShardedExplainEngine::new(
+            UncertainDataset::from_points(vec![pt(10.0, 10.0), pt(7.0, 7.0), pt(6.0, 8.0)])
+                .unwrap(),
+            EngineConfig::default(),
+            2,
+            ShardPolicy::RoundRobin,
+        )
+        .expect("valid engine config");
+        let a = certain
+            .explain_as(ExplainStrategy::Cr, &q, 0.5, ObjectId(0))
+            .unwrap();
+        let b = certain
+            .explain_as(ExplainStrategy::Cr, &q, 0.5, ObjectId(0))
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(certain.accumulated_io().cache_hits >= 1);
+    }
+
+    #[test]
+    fn sharded_cache_invalidated_by_updates() {
+        let mut sharded = ShardedExplainEngine::new(
+            uncertain_fixture(),
+            EngineConfig::with_alpha(0.75),
+            2,
+            ShardPolicy::RoundRobin,
+        )
+        .expect("valid engine config");
+        let q = pt(5.0, 5.0);
+        let before = sharded.explain(&q, ObjectId(0)).unwrap();
+        assert!(before.cause(ObjectId(9)).is_none());
+        // Insert a dominator inside the cached candidate region: the
+        // entry must be evicted and the new cause visible immediately.
+        sharded
+            .apply(Update::Insert(UncertainObject::certain(
+                ObjectId(9),
+                pt(6.5, 6.5),
+            )))
+            .unwrap();
+        let after = sharded.explain(&q, ObjectId(0)).unwrap();
+        assert!(
+            after.cause(ObjectId(9)).is_some(),
+            "stale cached outcome served after an update"
+        );
+        assert!(sharded.accumulated_io().cache_evictions > 0);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Bench-only surface over the refine/FMCS hot path.
+//!
+//! The `hotpath_sweep` experiment measures subset-check throughput of
+//! the refinement kernels in isolation — no dataset, no R-tree, just a
+//! [`DominanceMatrix`] and a [`CpConfig`] — and needs the run counters
+//! even when the search aborts on a subset budget (the engine's public
+//! surface drops stats on error outcomes). This module is that seam:
+//! `#[doc(hidden)]`, not a stability promise.
+
+use crate::config::CpConfig;
+use crate::error::CrpError;
+use crate::matrix::{with_scratch, DominanceMatrix};
+use crate::types::RunStats;
+
+/// Runs pipeline stages 2–3 (lemma classification + FMCS) over a raw
+/// dominance matrix, returning every cause as a
+/// `(candidate index, Γ)` pair plus the run counters. The counters are
+/// populated even when the result is an error (budget exhaustion) —
+/// exactly what a throughput sweep needs to compute checks/second.
+#[allow(clippy::type_complexity)]
+pub fn refine_matrix(
+    matrix: &DominanceMatrix,
+    alpha: f64,
+    config: &CpConfig,
+) -> (Result<Vec<(usize, Vec<usize>)>, CrpError>, RunStats) {
+    let mut stats = RunStats::default();
+    let result =
+        with_scratch(|scratch| crate::refine::refine(matrix, alpha, config, &mut stats, scratch));
+    (
+        result.map(|recs| recs.into_iter().map(|r| (r.cand, r.gamma)).collect()),
+        stats,
+    )
+}

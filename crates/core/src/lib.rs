@@ -49,6 +49,8 @@ mod cp;
 mod cr;
 pub mod engine;
 mod error;
+#[doc(hidden)]
+pub mod hotpath;
 mod kskyband;
 mod matrix;
 mod naive;
@@ -58,7 +60,9 @@ mod refine;
 mod types;
 
 pub use answers::answer_causes;
-pub use combinations::{binomial, for_each_combination};
+pub use combinations::{
+    binomial, for_each_combination, for_each_combination_delta, DeltaEvent, DeltaOp,
+};
 pub use config::CpConfig;
 pub use cp::collect_candidates;
 pub use engine::merge::merge_candidate_ids;

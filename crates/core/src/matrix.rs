@@ -20,13 +20,62 @@ use crp_uncertain::UncertainDataset;
 /// Dominance-probability matrix of one non-answer against its candidate
 /// causes. Rows are candidates (by *candidate index*, the position within
 /// the candidate list); columns are the non-answer's samples/cells.
+///
+/// Two layouts are kept side by side:
+///
+/// * `dp` — candidate-major (`dp[c][i]`), the natural build order and
+///   the layout of the exact reference kernels,
+/// * `comp` — **sample-major complements** (`comp[i][c] = 1 − dp[c][i]`),
+///   so the per-sample survival product of the refine hot path walks
+///   contiguous memory and chunks into independent partial products
+///   (see [`DominanceMatrix::pr_with_removed_columnar`]).
 #[derive(Clone, Debug)]
 pub struct DominanceMatrix {
     /// `dp[c * samples + i]`, row-major.
     dp: Vec<f64>,
+    /// `1 − dp`, sample-major: `comp[i * candidates + c]`.
+    comp: Vec<f64>,
     /// `w_i`: appearance weight per sample/cell of the non-answer.
     weights: Vec<f64>,
     candidates: usize,
+}
+
+/// Builds the sample-major complement layout from the row-major `dp`.
+fn sample_major_complements(dp: &[f64], candidates: usize, samples: usize) -> Vec<f64> {
+    let mut comp = vec![1.0f64; candidates * samples];
+    for c in 0..candidates {
+        for i in 0..samples {
+            comp[i * candidates + c] = 1.0 - dp[c * samples + i];
+        }
+    }
+    comp
+}
+
+/// Survival product of one sample-major row under a removal mask, with
+/// 4 independent accumulator lanes so the loop is free of the serial
+/// multiply dependency (auto-vectorization-friendly). Removed
+/// candidates contribute an exact `1.0` factor; since `x * 1.0 == x`
+/// for every finite `x`, masking never perturbs the value — only the
+/// lane reassociation can, by a few ulp (call sites guard-band their
+/// classifications against the exact reference kernel).
+#[inline]
+fn masked_product(row: &[f64], removed: &[bool]) -> f64 {
+    const LANES: usize = 4;
+    let chunks = row.len() / LANES * LANES;
+    let mut acc = [1.0f64; LANES];
+    for (vals, gone) in row[..chunks]
+        .chunks_exact(LANES)
+        .zip(removed[..chunks].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] *= if gone[l] { 1.0 } else { vals[l] };
+        }
+    }
+    let mut prod = (acc[0] * acc[1]) * (acc[2] * acc[3]);
+    for (v, g) in row[chunks..].iter().zip(&removed[chunks..]) {
+        prod *= if *g { 1.0 } else { *v };
+    }
+    prod
 }
 
 impl DominanceMatrix {
@@ -48,9 +97,11 @@ impl DominanceMatrix {
                 dp.push(dominance_probability(obj, s.point(), q));
             }
         }
-        let weights = an.samples().iter().map(|s| s.prob()).collect();
+        let weights: Vec<f64> = an.samples().iter().map(|s| s.prob()).collect();
+        let comp = sample_major_complements(&dp, cand_positions.len(), weights.len());
         Self {
             dp,
+            comp,
             weights,
             candidates: cand_positions.len(),
         }
@@ -68,8 +119,10 @@ impl DominanceMatrix {
             candidates * weights.len(),
             "matrix shape mismatch"
         );
+        let comp = sample_major_complements(&dp, candidates, weights.len());
         Self {
             dp,
+            comp,
             weights,
             candidates,
         }
@@ -146,6 +199,22 @@ impl DominanceMatrix {
         total
     }
 
+    /// `Pr(an | P − Γ)` over the sample-major complement layout — the
+    /// columnar fast kernel of the refine hot path. Same candidate set
+    /// semantics as [`DominanceMatrix::pr_with_removed`]; values can
+    /// differ by a few ulp because the 4-lane chunking reassociates the
+    /// per-sample product, so classification call sites re-verify
+    /// near-threshold verdicts against the exact reference kernel.
+    pub fn pr_with_removed_columnar(&self, removed: &[bool]) -> f64 {
+        debug_assert_eq!(removed.len(), self.candidates);
+        let n = self.candidates;
+        let mut total = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            total += w * masked_product(&self.comp[i * n..(i + 1) * n], removed);
+        }
+        total
+    }
+
     /// `Pr(an)` with nothing removed.
     pub fn pr_full(&self) -> f64 {
         self.pr_with_removed(&vec![false; self.candidates])
@@ -163,6 +232,11 @@ impl DominanceMatrix {
     /// factors `(1 − dp[c][i])`; dropping those factors entirely bounds
     /// the reachable product from above. Sound because each per-sample
     /// bound is independent of which `Γ` is chosen.
+    ///
+    /// This is the allocating reference; the hot path serves the same
+    /// (bit-identical) values through the scratch workspace's memoised
+    /// `max_pr_bound`, which sorts the factors once per matrix and
+    /// memoises per `t`.
     pub fn max_pr_after_removing(&self, t: usize) -> f64 {
         let l = self.weights.len();
         let mut total = 0.0;
@@ -177,6 +251,195 @@ impl DominanceMatrix {
         }
         total
     }
+}
+
+/// Reusable workspace of the refine/FMCS hot path: every buffer a
+/// subset check needs, owned outside the per-explain call chain so the
+/// steady state allocates **nothing per candidate** (and nothing per
+/// explain once the per-thread pool is warm — see [`with_scratch`]).
+///
+/// Holds three groups of state:
+///
+/// * the current **removal mask** over candidates (maintained by delta
+///   moves; also the exact-fallback input and the `Γ` reconstruction
+///   source),
+/// * the **delta state** of the incremental evaluator — per sample, the
+///   annihilator count and log-factor sum of the currently removed set,
+///   refreshed from the mask every [`DELTA_REFRESH_INTERVAL`] moves so
+///   floating-point drift stays far inside the guard band,
+/// * the **probability-bound memo**: per-sample ascending factors sorted
+///   once per matrix, plus one memoised bound value per subset size
+///   (bit-identical to [`DominanceMatrix::max_pr_after_removing`]).
+///
+/// FMCS's forced/search/list index buffers ride along and are borrowed
+/// by `std::mem::take` while a candidate search runs.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// `mask[c]`: candidate `c` is in the current removal set.
+    pub(crate) mask: Vec<bool>,
+    /// Per sample: annihilating members of the current removal set.
+    delta_ones: Vec<u32>,
+    /// Per sample: `Σ ln(1 − dp)` over the removed regular candidates.
+    delta_logq: Vec<f64>,
+    /// Delta moves since the last drift refresh.
+    delta_moves: u64,
+    /// Per sample, ascending `(1 − dp)` factors (`samples × candidates`,
+    /// built lazily on the first bound request).
+    sorted_factors: Vec<f64>,
+    sorted_built: bool,
+    /// Memoised `max_pr_after_removing(t)` per `t` (NaN = unset).
+    bound_memo: Vec<f64>,
+    /// FMCS forced-set buffer (candidate indices).
+    pub(crate) forced: Vec<usize>,
+    /// FMCS search-space buffer (candidate indices, impact-ordered).
+    pub(crate) search: Vec<usize>,
+    /// General removal-list buffer (Lemma 5/6 checks).
+    pub(crate) list: Vec<usize>,
+}
+
+/// Delta moves between drift refreshes. Each move perturbs the
+/// per-sample log sum by at most one ulp of its magnitude (bounded by
+/// `|Γ|·|ln PROB_EPSILON|`), so the accumulated drift between refreshes
+/// stays orders of magnitude below the classification guard band.
+const DELTA_REFRESH_INTERVAL: u64 = 4096;
+
+impl Scratch {
+    /// Re-shapes every buffer for `matrix`, keeping allocations.
+    pub(crate) fn reset_for(&mut self, matrix: &DominanceMatrix) {
+        let n = matrix.candidates();
+        let l = matrix.samples();
+        self.mask.clear();
+        self.mask.resize(n, false);
+        self.delta_ones.clear();
+        self.delta_ones.resize(l, 0);
+        self.delta_logq.clear();
+        self.delta_logq.resize(l, 0.0);
+        self.delta_moves = 0;
+        self.sorted_built = false;
+        self.bound_memo.clear();
+        self.bound_memo.resize(n + 1, f64::NAN);
+    }
+
+    /// [`DominanceMatrix::max_pr_after_removing`] without the per-call
+    /// allocation and sort: factors are sorted once per matrix, each
+    /// subset size is computed at most once, and the product runs in the
+    /// reference's exact order — values are bit-identical, so pruning
+    /// decisions (and with them every counter) cannot drift between the
+    /// reference and the scratch-served path.
+    pub(crate) fn max_pr_bound(&mut self, matrix: &DominanceMatrix, t: usize) -> f64 {
+        let n = matrix.candidates();
+        let l = matrix.samples();
+        let t = t.min(n);
+        let memo = self.bound_memo[t];
+        if !memo.is_nan() {
+            return memo;
+        }
+        if !self.sorted_built {
+            self.sorted_factors.clear();
+            self.sorted_factors.extend_from_slice(&matrix.comp);
+            for i in 0..l {
+                self.sorted_factors[i * n..(i + 1) * n]
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite probabilities"));
+            }
+            self.sorted_built = true;
+        }
+        let mut total = 0.0;
+        for (i, &w) in matrix.weights.iter().enumerate() {
+            let mut prod = 1.0f64;
+            for &f in &self.sorted_factors[i * n + t..(i + 1) * n] {
+                prod *= f;
+            }
+            total += w * prod;
+        }
+        self.bound_memo[t] = total;
+        total
+    }
+
+    /// Clears the removal mask (delta state is reset separately by
+    /// [`PrEvaluator::delta_begin`] / the direct-mode checker).
+    pub(crate) fn clear_mask(&mut self) {
+        self.mask.iter_mut().for_each(|m| *m = false);
+    }
+}
+
+/// The probability-bound table shared by the candidate-parallel FMCS
+/// workers: the per-sample factor sort is paid once at construction
+/// (not once per candidate, which a per-worker [`Scratch`] memo would
+/// cost), and each subset size's bound is computed at most once across
+/// all workers — values are deterministic, so the lock-free publish is
+/// idempotent and every reader sees the same (reference-bit-identical)
+/// bound.
+pub(crate) struct SharedBounds {
+    /// Per sample, ascending `(1 − dp)` factors (`samples × candidates`).
+    sorted: Vec<f64>,
+    /// `max_pr_after_removing(t)` per `t`, as f64 bits; NaN bits = unset
+    /// (a bound is a finite probability, so NaN cannot collide).
+    memo: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl SharedBounds {
+    pub(crate) fn new(matrix: &DominanceMatrix) -> Self {
+        let n = matrix.candidates();
+        let l = matrix.samples();
+        let mut sorted = matrix.comp.clone();
+        for i in 0..l {
+            sorted[i * n..(i + 1) * n]
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite probabilities"));
+        }
+        Self {
+            sorted,
+            memo: (0..=n)
+                .map(|_| std::sync::atomic::AtomicU64::new(f64::NAN.to_bits()))
+                .collect(),
+        }
+    }
+
+    /// The bound for subset size `t` — bit-identical to
+    /// [`DominanceMatrix::max_pr_after_removing`] (same factor order,
+    /// same product order).
+    pub(crate) fn get(&self, matrix: &DominanceMatrix, t: usize) -> f64 {
+        use std::sync::atomic::Ordering;
+        let n = matrix.candidates();
+        let t = t.min(n);
+        let cached = f64::from_bits(self.memo[t].load(Ordering::Relaxed));
+        if !cached.is_nan() {
+            return cached;
+        }
+        let mut total = 0.0;
+        for (i, &w) in matrix.weights.iter().enumerate() {
+            let mut prod = 1.0f64;
+            for &f in &self.sorted[i * n + t..(i + 1) * n] {
+                prod *= f;
+            }
+            total += w * prod;
+        }
+        self.memo[t].store(total.to_bits(), Ordering::Relaxed);
+        total
+    }
+}
+
+thread_local! {
+    static SCRATCH_POOL: std::cell::RefCell<Vec<Scratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Lends a per-thread [`Scratch`] to `f`. A stack (not a single slot)
+/// so re-entrant borrows — the candidate-parallel FMCS driver running a
+/// worker item on the calling thread — get their own workspace instead
+/// of a `RefCell` panic. One scratch per rayon worker / per shard
+/// thread on steady state; nothing is allocated once the pool is warm.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut scratch);
+    SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(scratch);
+        }
+    });
+    out
 }
 
 /// Incremental `Pr(an | P − Γ)` evaluation for large candidate sets.
@@ -203,8 +466,11 @@ pub struct PrEvaluator<'a> {
     log_prod: Vec<f64>,
 }
 
-/// Width of the re-verification band around the decision threshold.
-const GUARD: f64 = 1e-6;
+/// Width of the re-verification band around the decision threshold —
+/// shared by every fast kernel (incremental log-space, delta-maintained,
+/// and the chunked columnar product), whose absolute error is orders of
+/// magnitude smaller.
+pub(crate) const GUARD: f64 = 1e-6;
 
 impl<'a> PrEvaluator<'a> {
     fn new(matrix: &'a DominanceMatrix) -> Self {
@@ -272,6 +538,116 @@ impl<'a> PrEvaluator<'a> {
             return self.matrix.pr_with_removed(&mask) >= alpha - crp_geom::PROB_EPSILON;
         }
         fast >= alpha - crp_geom::PROB_EPSILON
+    }
+
+    // --- delta-maintained state (the FMCS hot path) -------------------
+    //
+    // Instead of re-walking the removal list per subset, the enumerator
+    // reports each successive subset as add/remove-one moves and the
+    // per-sample state (annihilator count + log-factor sum of the
+    // removed set) is maintained in a [`Scratch`] — `O(L)` per move and
+    // `O(L)` per evaluation, independent of `|Γ|`.
+
+    /// Resets the scratch delta state to `Γ = ∅`. The caller owns the
+    /// mask and must have cleared it.
+    pub(crate) fn delta_begin(&self, scratch: &mut Scratch) {
+        scratch.delta_ones.iter_mut().for_each(|o| *o = 0);
+        scratch.delta_logq.iter_mut().for_each(|q| *q = 0.0);
+        scratch.delta_moves = 0;
+    }
+
+    /// Folds candidate `c` into the removed set. `scratch.mask[c]` must
+    /// already be set (the periodic drift refresh rebuilds from the
+    /// mask).
+    pub(crate) fn delta_add(&self, c: usize, scratch: &mut Scratch) {
+        debug_assert!(scratch.mask[c]);
+        let l = self.matrix.samples();
+        for i in 0..l {
+            let lf = self.log_factors[c * l + i];
+            if lf.is_nan() {
+                scratch.delta_ones[i] += 1;
+            } else {
+                scratch.delta_logq[i] += lf;
+            }
+        }
+        self.delta_tick(scratch);
+    }
+
+    /// Removes candidate `c` from the removed set. `scratch.mask[c]`
+    /// must already be cleared.
+    pub(crate) fn delta_remove(&self, c: usize, scratch: &mut Scratch) {
+        debug_assert!(!scratch.mask[c]);
+        let l = self.matrix.samples();
+        for i in 0..l {
+            let lf = self.log_factors[c * l + i];
+            if lf.is_nan() {
+                scratch.delta_ones[i] -= 1;
+            } else {
+                scratch.delta_logq[i] -= lf;
+            }
+        }
+        self.delta_tick(scratch);
+    }
+
+    fn delta_tick(&self, scratch: &mut Scratch) {
+        scratch.delta_moves += 1;
+        if scratch.delta_moves >= DELTA_REFRESH_INTERVAL {
+            self.delta_refresh(scratch);
+        }
+    }
+
+    /// Rebuilds the delta state from the mask, zeroing accumulated
+    /// floating-point drift.
+    fn delta_refresh(&self, scratch: &mut Scratch) {
+        scratch.delta_ones.iter_mut().for_each(|o| *o = 0);
+        scratch.delta_logq.iter_mut().for_each(|q| *q = 0.0);
+        scratch.delta_moves = 0;
+        let l = self.matrix.samples();
+        for c in 0..self.matrix.candidates() {
+            if !scratch.mask[c] {
+                continue;
+            }
+            for i in 0..l {
+                let lf = self.log_factors[c * l + i];
+                if lf.is_nan() {
+                    scratch.delta_ones[i] += 1;
+                } else {
+                    scratch.delta_logq[i] += lf;
+                }
+            }
+        }
+    }
+
+    /// `Pr(an | P − Γ)` for the delta-maintained removal set — `O(L)`,
+    /// matching [`PrEvaluator::pr_with_removed_list`] up to the bounded
+    /// drift the guard band absorbs.
+    pub(crate) fn delta_pr(&self, scratch: &Scratch) -> f64 {
+        let mut total = 0.0;
+        for (i, &w) in self.matrix.weights.iter().enumerate() {
+            if self.ones[i] == scratch.delta_ones[i] {
+                total += w * (self.log_prod[i] - scratch.delta_logq[i]).exp().min(1.0);
+            }
+        }
+        total
+    }
+
+    /// [`PrEvaluator::delta_pr`] with one extra candidate folded in on
+    /// the fly — FMCS condition (ii), `Pr(an | P − Γ − {cc})`, without
+    /// touching the maintained state.
+    pub(crate) fn delta_pr_with_extra(&self, cc: usize, scratch: &Scratch) -> f64 {
+        let l = self.matrix.samples();
+        let mut total = 0.0;
+        for (i, &w) in self.matrix.weights.iter().enumerate() {
+            let lf = self.log_factors[cc * l + i];
+            let (extra_one, extra_lf) = if lf.is_nan() { (1, 0.0) } else { (0, lf) };
+            if self.ones[i] == scratch.delta_ones[i] + extra_one {
+                total += w
+                    * (self.log_prod[i] - scratch.delta_logq[i] - extra_lf)
+                        .exp()
+                        .min(1.0);
+            }
+        }
+        total
     }
 }
 
@@ -427,6 +803,137 @@ mod tests {
                         ev.is_answer_with_removed(&removed, alpha),
                         exact >= alpha - crp_geom::PROB_EPSILON,
                         "round {round} alpha {alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Random matrix mixing exact 0/1, near-1 and fractional entries —
+    /// shared by the kernel-agreement tests below.
+    fn random_matrix(rng: &mut rand::rngs::StdRng, n: usize, l: usize) -> DominanceMatrix {
+        use rand::Rng;
+        let weights = vec![1.0 / l as f64; l];
+        let dp: Vec<f64> = (0..n * l)
+            .map(|_| match rng.random_range(0..5) {
+                0 => 0.0,
+                1 => 1.0,
+                2 => 1.0 - 1e-12,
+                _ => rng.random_range(0.01..0.99),
+            })
+            .collect();
+        DominanceMatrix::from_parts(dp, weights, n)
+    }
+
+    #[test]
+    fn columnar_kernel_matches_reference_within_guard() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC01);
+        for round in 0..40 {
+            let n = rng.random_range(1..=97);
+            let l = rng.random_range(1..=5);
+            let m = random_matrix(&mut rng, n, l);
+            for _ in 0..20 {
+                let removed: Vec<bool> = (0..n).map(|_| rng.random_range(0..3) == 0).collect();
+                let exact = m.pr_with_removed(&removed);
+                let fast = m.pr_with_removed_columnar(&removed);
+                // The chunked product only reassociates: agreement far
+                // inside the classification guard band.
+                assert!(
+                    (exact - fast).abs() < GUARD / 1e3,
+                    "round {round}: exact {exact} vs columnar {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_bound_is_bit_identical_to_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xB0_07);
+        for _ in 0..20 {
+            let n: usize = rng.random_range(0..=40);
+            let l = rng.random_range(1..=4);
+            let m = random_matrix(&mut rng, n.max(1), l);
+            let mut scratch = Scratch::default();
+            scratch.reset_for(&m);
+            // Query in scattered order so the memo path (not just the
+            // lazy sort) is exercised.
+            for t in [3usize, 0, 7, 3, n + 5, 1, 0] {
+                let reference = m.max_pr_after_removing(t);
+                let served = scratch.max_pr_bound(&m, t);
+                assert_eq!(reference.to_bits(), served.to_bits(), "t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_bounds_are_bit_identical_to_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5B_0B);
+        for _ in 0..10 {
+            let n = rng.random_range(1..=40);
+            let l = rng.random_range(1..=4);
+            let m = random_matrix(&mut rng, n, l);
+            let shared = SharedBounds::new(&m);
+            for t in [0usize, 1, 3, n / 2, n, n + 3, 1] {
+                let reference = m.max_pr_after_removing(t);
+                let served = shared.get(&m, t);
+                assert_eq!(reference.to_bits(), served.to_bits(), "t = {t}");
+            }
+        }
+    }
+
+    /// The satellite property test: the delta-maintained evaluator
+    /// agrees with direct evaluation (within the guard band) on random
+    /// matrices, across removal-set cardinalities, under long
+    /// add/remove move sequences including drift refreshes.
+    #[test]
+    fn delta_state_matches_direct_across_cardinalities() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xDE17A);
+        for round in 0..25 {
+            let n = rng.random_range(2..=150);
+            let l = rng.random_range(1..=5);
+            let m = random_matrix(&mut rng, n, l);
+            let ev = m.evaluator();
+            let mut scratch = Scratch::default();
+            scratch.reset_for(&m);
+            ev.delta_begin(&mut scratch);
+            // A long random walk over removal sets: every prefix is a
+            // different cardinality; drift refresh fires on long walks.
+            for step in 0..600 {
+                let c = rng.random_range(0..n);
+                if scratch.mask[c] {
+                    scratch.mask[c] = false;
+                    ev.delta_remove(c, &mut scratch);
+                } else {
+                    scratch.mask[c] = true;
+                    ev.delta_add(c, &mut scratch);
+                }
+                if step % 7 != 0 {
+                    continue;
+                }
+                let exact = m.pr_with_removed(&scratch.mask);
+                let fast = ev.delta_pr(&scratch);
+                assert!(
+                    (exact - fast).abs() < GUARD / 1e2,
+                    "round {round} step {step}: exact {exact} vs delta {fast}"
+                );
+                // Condition (ii) variant: fold one extra candidate in.
+                let cc = rng.random_range(0..n);
+                if !scratch.mask[cc] {
+                    let mut mask2 = scratch.mask.clone();
+                    mask2[cc] = true;
+                    let exact2 = m.pr_with_removed(&mask2);
+                    let fast2 = ev.delta_pr_with_extra(cc, &scratch);
+                    assert!(
+                        (exact2 - fast2).abs() < GUARD / 1e2,
+                        "round {round} step {step}: extra {cc}: {exact2} vs {fast2}"
                     );
                 }
             }

@@ -35,7 +35,7 @@
 use crate::config::CpConfig;
 use crate::engine::{fmcs, refine as classify_stage};
 use crate::error::CrpError;
-use crate::matrix::DominanceMatrix;
+use crate::matrix::{DominanceMatrix, Scratch};
 use crate::types::RunStats;
 
 pub(crate) use crate::engine::fmcs::CauseRec;
@@ -44,15 +44,18 @@ pub(crate) use crate::engine::fmcs::CauseRec;
 /// ([`crate::engine`]'s `refine` classification followed by the FMCS
 /// search) over one dominance matrix. `matrix` must contain only
 /// genuine candidates (positive dominance mass; Lemma 1 filtering is
-/// the caller's job).
+/// the caller's job). `scratch` is the reusable hot-path workspace —
+/// [`crate::engine::pipeline::finish`] lends the per-thread one, so a
+/// steady-state explain allocates nothing per candidate.
 pub(crate) fn refine(
     matrix: &DominanceMatrix,
     alpha: f64,
     config: &CpConfig,
     stats: &mut RunStats,
+    scratch: &mut Scratch,
 ) -> Result<Vec<CauseRec>, CrpError> {
-    let plan = classify_stage::classify(matrix, alpha, config, stats);
-    fmcs::search(matrix, alpha, config, plan, stats)
+    let plan = classify_stage::classify(matrix, alpha, config, stats, scratch);
+    fmcs::search(matrix, alpha, config, plan, stats, scratch)
 }
 
 #[cfg(test)]
@@ -70,7 +73,8 @@ mod tests {
 
     fn run(m: &DominanceMatrix, alpha: f64, config: &CpConfig) -> Vec<CauseRec> {
         let mut stats = RunStats::default();
-        refine(m, alpha, config, &mut stats).expect("no budget configured")
+        crate::matrix::with_scratch(|scratch| refine(m, alpha, config, &mut stats, scratch))
+            .expect("no budget configured")
     }
 
     #[test]
@@ -106,9 +110,14 @@ mod tests {
             ..serial_cfg
         };
         let mut serial_stats = RunStats::default();
-        let serial = refine(&m, alpha, &serial_cfg, &mut serial_stats).unwrap();
+        let serial =
+            crate::matrix::with_scratch(|s| refine(&m, alpha, &serial_cfg, &mut serial_stats, s))
+                .unwrap();
         let mut parallel_stats = RunStats::default();
-        let parallel = refine(&m, alpha, &parallel_cfg, &mut parallel_stats).unwrap();
+        let parallel = crate::matrix::with_scratch(|s| {
+            refine(&m, alpha, &parallel_cfg, &mut parallel_stats, s)
+        })
+        .unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(serial_stats, parallel_stats);
         assert_eq!(serial.len(), n, "every symmetric candidate is a cause");
@@ -215,6 +224,24 @@ mod tests {
                 use_probability_bound: true,
                 ..CpConfig::default()
             },
+            CpConfig {
+                use_columnar_kernel: false,
+                ..CpConfig::default()
+            },
+            // Candidate-parallel + shared bound table + columnar off/on.
+            CpConfig {
+                parallel_fmcs: true,
+                use_probability_bound: true,
+                use_lemma6: false,
+                ..CpConfig::default()
+            },
+            CpConfig {
+                parallel_fmcs: true,
+                use_probability_bound: true,
+                use_lemma6: false,
+                use_columnar_kernel: false,
+                ..CpConfig::default()
+            },
         ];
         for round in 0..60 {
             let n = rng.random_range(1..=6);
@@ -256,7 +283,8 @@ mod tests {
         let m = matrix(&[&[0.3], &[0.3], &[0.3], &[0.3], &[0.3]]);
         let cfg = CpConfig::with_budget(3);
         let mut stats = RunStats::default();
-        let err = refine(&m, 0.9, &cfg, &mut stats).unwrap_err();
+        let err =
+            crate::matrix::with_scratch(|s| refine(&m, 0.9, &cfg, &mut stats, s)).unwrap_err();
         assert!(matches!(err, CrpError::BudgetExhausted { .. }));
     }
 
@@ -264,7 +292,9 @@ mod tests {
     fn stats_are_populated() {
         let m = matrix(&[&[1.0], &[0.6], &[0.05]]);
         let mut stats = RunStats::default();
-        let _ = refine(&m, 0.5, &CpConfig::default(), &mut stats).unwrap();
+        let _ =
+            crate::matrix::with_scratch(|s| refine(&m, 0.5, &CpConfig::default(), &mut stats, s))
+                .unwrap();
         assert_eq!(stats.candidates, 3);
         assert_eq!(stats.forced, 1);
         assert!(stats.subsets_examined > 0);

@@ -226,6 +226,43 @@ proptest! {
     }
 
     #[test]
+    fn columnar_and_reference_kernels_agree(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0]),
+        probability_bound in prop::sample::select(vec![false, true]),
+    ) {
+        // The columnar/delta hot path forced on and off: explanations
+        // and the search counters (`subsets_examined`,
+        // `prsq_evaluations`) must be identical — the kernels enumerate
+        // the same subsets in the same order and classify identically
+        // (guard-banded fast verdicts fall back to the same exact
+        // product). Only the evaluator-tap counters may differ.
+        let columnar_cfg = CpConfig {
+            use_columnar_kernel: true,
+            use_probability_bound: probability_bound,
+            ..CpConfig::default()
+        };
+        let reference_cfg = CpConfig { use_columnar_kernel: false, ..columnar_cfg };
+        let engine = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha))
+            .expect("valid engine config");
+        let sharded = ShardedExplainEngine::new(
+            ds,
+            EngineConfig::with_alpha(alpha),
+            2,
+            ShardPolicy::RoundRobin,
+        )
+        .expect("valid engine config");
+        for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
+            let a = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &columnar_cfg);
+            let b = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &reference_cfg);
+            assert_sharded_matches(&a, b, "reference kernel, unsharded")?;
+            let c = sharded.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &reference_cfg);
+            assert_sharded_matches(&a, c, "reference kernel, 2 shards")?;
+        }
+    }
+
+    #[test]
     fn naive_strategies_agree_with_lemma_strategies(
         ds in certain_dataset(2),
         q in query(2),

@@ -30,6 +30,14 @@ pub struct QueryStats {
     pub cache_misses: u64,
     /// Explanation-cache entries evicted by update invalidation.
     pub cache_evictions: u64,
+    /// Contingency-condition classifications answered by the refine
+    /// stage's fast evaluator (columnar product or incremental
+    /// log-space delta) without an exact re-verification.
+    pub eval_fast: u64,
+    /// Classifications that fell into the guard band around the
+    /// decision threshold and were re-verified by the exact reference
+    /// product.
+    pub eval_slow: u64,
 }
 
 impl QueryStats {
@@ -43,6 +51,8 @@ impl QueryStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.eval_fast += other.eval_fast;
+        self.eval_slow += other.eval_slow;
     }
 }
 

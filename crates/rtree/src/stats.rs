@@ -25,6 +25,8 @@ pub struct AtomicQueryStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    eval_fast: AtomicU64,
+    eval_slow: AtomicU64,
 }
 
 impl AtomicQueryStats {
@@ -47,6 +49,8 @@ impl AtomicQueryStats {
             .fetch_add(stats.cache_misses, Ordering::Relaxed);
         self.cache_evictions
             .fetch_add(stats.cache_evictions, Ordering::Relaxed);
+        self.eval_fast.fetch_add(stats.eval_fast, Ordering::Relaxed);
+        self.eval_slow.fetch_add(stats.eval_slow, Ordering::Relaxed);
     }
 
     /// [`AtomicQueryStats::absorb`] by reference — the engine-level
@@ -67,6 +71,8 @@ impl AtomicQueryStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            eval_fast: self.eval_fast.load(Ordering::Relaxed),
+            eval_slow: self.eval_slow.load(Ordering::Relaxed),
         }
     }
 
@@ -82,6 +88,8 @@ impl AtomicQueryStats {
             cache_hits: self.cache_hits.swap(0, Ordering::Relaxed),
             cache_misses: self.cache_misses.swap(0, Ordering::Relaxed),
             cache_evictions: self.cache_evictions.swap(0, Ordering::Relaxed),
+            eval_fast: self.eval_fast.swap(0, Ordering::Relaxed),
+            eval_slow: self.eval_slow.swap(0, Ordering::Relaxed),
         }
     }
 }
@@ -134,6 +142,7 @@ mod tests {
                 cache_hits: 2,
                 cache_misses: 1,
                 cache_evictions: 3,
+                ..Default::default()
             }
         );
         let taken = shared.take();

@@ -22,6 +22,12 @@ pub struct UncertainDataset {
     objects: Vec<UncertainObject>,
     by_id: HashMap<ObjectId, usize>,
     epoch: Epoch,
+    /// Objects that are *not* certain, maintained by every mutator so
+    /// [`UncertainDataset::is_certain`] is O(1) — engines consult it on
+    /// each update to decide certainty-dependent cache flushes, and an
+    /// O(n) scan there would dominate the otherwise-logarithmic
+    /// incremental update path.
+    uncertain: usize,
 }
 
 impl UncertainDataset {
@@ -67,6 +73,9 @@ impl UncertainDataset {
             return Err(UncertainError::DuplicateId(object.id().0));
         }
         self.by_id.insert(object.id(), self.objects.len());
+        if !object.is_certain() {
+            self.uncertain += 1;
+        }
         self.objects.push(object);
         self.epoch = self.epoch.next();
         Ok(())
@@ -78,6 +87,9 @@ impl UncertainDataset {
     pub fn remove(&mut self, id: ObjectId) -> Option<UncertainObject> {
         let pos = self.by_id.remove(&id)?;
         let removed = self.objects.remove(pos);
+        if !removed.is_certain() {
+            self.uncertain -= 1;
+        }
         for p in self.by_id.values_mut() {
             if *p > pos {
                 *p -= 1;
@@ -102,6 +114,12 @@ impl UncertainDataset {
                     got: object.dim(),
                 });
             }
+        }
+        if !self.objects[pos].is_certain() {
+            self.uncertain -= 1;
+        }
+        if !object.is_certain() {
+            self.uncertain += 1;
         }
         let old = std::mem::replace(&mut self.objects[pos], object);
         self.epoch = self.epoch.next();
@@ -168,9 +186,11 @@ impl UncertainDataset {
     }
 
     /// True when every object is certain (single sample, probability 1) —
-    /// i.e. the dataset is a plain point set and the CR algorithm applies.
+    /// i.e. the dataset is a plain point set and the CR algorithm
+    /// applies. O(1): the uncertain-object count is maintained by the
+    /// mutators.
     pub fn is_certain(&self) -> bool {
-        self.objects.iter().all(|o| o.is_certain())
+        self.uncertain == 0
     }
 
     /// Total number of samples across all objects.
@@ -320,6 +340,25 @@ mod tests {
                 .unwrap_err(),
             UncertainError::DuplicateId(0)
         );
+    }
+
+    #[test]
+    fn certainty_tracking_survives_mutations() {
+        let mut ds = UncertainDataset::from_points(vec![pt(0.0, 0.0), pt(1.0, 1.0)]).unwrap();
+        assert!(ds.is_certain());
+        // Replace a point with an uncertain object and back again.
+        ds.replace(obj(0, vec![pt(2.0, 2.0), pt(3.0, 3.0)]))
+            .unwrap();
+        assert!(!ds.is_certain());
+        ds.replace(obj(0, vec![pt(2.0, 2.0)])).unwrap();
+        assert!(ds.is_certain());
+        // Push an uncertain object, then remove it.
+        ds.push(obj(9, vec![pt(4.0, 4.0), pt(5.0, 5.0)])).unwrap();
+        assert!(!ds.is_certain());
+        ds.remove(ObjectId(9)).unwrap();
+        assert!(ds.is_certain());
+        // The maintained count agrees with a full scan at every step.
+        assert_eq!(ds.is_certain(), ds.iter().all(|o| o.is_certain()));
     }
 
     #[test]
