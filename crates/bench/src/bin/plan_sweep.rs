@@ -1,0 +1,423 @@
+//! Plan-layer sweep: measures what the `Request → Plan → Execute`
+//! layer saves over the pre-planner per-call loop on the two workloads
+//! it was built for, asserts planned outcomes are **bit-identical** to
+//! per-call explains (unsharded and sharded), and writes the series to
+//! `bench_out/BENCH_plan.json`.
+//!
+//! Workloads:
+//!
+//! * `alpha_sweep` — every selected non-answer at several α over one
+//!   query: stage-1 rows are shared across α (planner and session row
+//!   cache agree on this; the planner reports it),
+//! * `nearby_q` — a grid of queries stepped toward the data from a
+//!   base query, every step's filter windows nested inside the base
+//!   query's: the planner derives each nested unit's candidates from
+//!   the base unit's coverage list, so the whole grid pays **one**
+//!   stage-1 traversal per non-answer where the per-call loop pays one
+//!   per `(an, q)` pair — the ≥ 2× acceptance criterion of the plan
+//!   layer (the measured factor is the grid size),
+//! * `single_explain` — planner overhead on the latency path: one
+//!   `explain()` (which now forwards through the planner) against the
+//!   retained direct dispatch; acceptance is no wall-clock regression.
+//!
+//! ```text
+//! cargo run -p crp-bench --release --bin plan_sweep -- --quick
+//! ```
+
+#![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
+
+use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir};
+use crp_bench::report::fnum;
+use crp_bench::selection::{select_prsq_non_answers, PrsqSelectionConfig};
+use crp_core::{
+    CpConfig, CrpError, CrpOutcome, EngineConfig, ExplainEngine, ExplainRequest, ExplainSession,
+    ExplainStrategy, PlanCounters, ShardPolicy, ShardedExplainEngine,
+};
+use crp_data::{uncertain_dataset, UncertainConfig};
+use crp_geom::Point;
+use crp_skyline::build_object_rtree;
+use crp_uncertain::{ObjectId, UncertainDataset};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ALPHA: f64 = 0.6;
+const ALPHAS: [f64; 6] = [0.25, 0.35, 0.45, 0.55, 0.65, 0.75];
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// One workload measurement: the per-call loop against the planned
+/// run, with the stage-1 traversal counts that explain the difference.
+struct WorkloadRow {
+    name: &'static str,
+    tasks: usize,
+    naive_ms: f64,
+    planned_ms: f64,
+    naive_traversals: usize,
+    planned: PlanCounters,
+    naive_node_accesses: u64,
+    planned_node_accesses: u64,
+    bit_identical: bool,
+}
+
+/// The per-call reference: a fresh session driven through the retained
+/// pre-planner dispatch, in the same task order the planner expands.
+fn naive_loop(
+    ds: &UncertainDataset,
+    queries: &[Point],
+    ans: &[ObjectId],
+    alphas: &[f64],
+) -> (Vec<Result<CrpOutcome, CrpError>>, f64, u64) {
+    let engine =
+        ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA)).expect("valid config");
+    let cp = CpConfig::default();
+    let start = Instant::now();
+    let mut outcomes = Vec::with_capacity(queries.len() * ans.len() * alphas.len());
+    for q in queries {
+        for &an in ans {
+            for &alpha in alphas {
+                outcomes.push(engine.explain_direct(ExplainStrategy::Cp, q, alpha, an, &cp));
+            }
+        }
+    }
+    let wall = ms(start);
+    (outcomes, wall, engine.accumulated_io().node_accesses)
+}
+
+/// The planned run: the same workload as one request on a fresh
+/// session.
+fn planned_run(
+    ds: &UncertainDataset,
+    queries: &[Point],
+    ans: &[ObjectId],
+    alphas: &[f64],
+) -> (Vec<Result<CrpOutcome, CrpError>>, f64, PlanCounters, u64) {
+    let engine =
+        ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA)).expect("valid config");
+    let request = ExplainRequest::query_sweep(queries.to_vec(), ans)
+        .with_strategy(ExplainStrategy::Cp)
+        .with_alphas(alphas.to_vec());
+    let start = Instant::now();
+    let report = engine.run(std::slice::from_ref(&request));
+    let wall = ms(start);
+    (
+        report.results,
+        wall,
+        report.counters,
+        engine.accumulated_io().node_accesses,
+    )
+}
+
+/// Task-for-task agreement: causes and the partition/plan-independent
+/// search counters must match exactly (node accesses legitimately
+/// differ — that is the saving being measured).
+fn agrees(a: &Result<CrpOutcome, CrpError>, b: &Result<CrpOutcome, CrpError>) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            x.causes == y.causes
+                && x.stats.candidates == y.stats.candidates
+                && x.stats.subsets_examined == y.stats.subsets_examined
+                && x.stats.prsq_evaluations == y.stats.prsq_evaluations
+        }
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn measure_workload(
+    name: &'static str,
+    ds: &UncertainDataset,
+    queries: &[Point],
+    ans: &[ObjectId],
+    alphas: &[f64],
+) -> WorkloadRow {
+    let (naive, naive_ms, naive_io) = naive_loop(ds, queries, ans, alphas);
+    let (planned, planned_ms, counters, planned_io) = planned_run(ds, queries, ans, alphas);
+    let mut bit_identical =
+        naive.len() == planned.len() && naive.iter().zip(&planned).all(|(a, b)| agrees(a, b));
+
+    // The sharded engine executes the same plan over its partitioned
+    // indexes; outcomes must still match the per-call reference.
+    let sharded = ShardedExplainEngine::new(
+        ds.clone(),
+        EngineConfig::with_alpha(ALPHA),
+        2,
+        ShardPolicy::Spatial,
+    )
+    .expect("valid config");
+    let report = sharded.run(&[ExplainRequest::query_sweep(queries.to_vec(), ans)
+        .with_strategy(ExplainStrategy::Cp)
+        .with_alphas(alphas.to_vec())]);
+    bit_identical &= report.results.len() == naive.len()
+        && naive.iter().zip(&report.results).all(|(a, b)| agrees(a, b));
+
+    // The per-call loop pays one stage-1 traversal per distinct
+    // (an, q) pair (its session row cache shares repeats at equal
+    // keys, exactly like the planner's unit dedup — the planner's
+    // extra win is containment derivation *across* distinct q).
+    let naive_traversals = queries.len() * ans.len();
+    WorkloadRow {
+        name,
+        tasks: naive.len(),
+        naive_ms,
+        planned_ms,
+        naive_traversals,
+        planned: counters,
+        naive_node_accesses: naive_io,
+        planned_node_accesses: planned_io,
+        bit_identical,
+    }
+}
+
+/// The nearby-query grid: steps from `q` toward the selected
+/// non-answers' sample cloud, per-dimension clamped so every stepped
+/// query stays between `q` and **every** sample coordinate — the
+/// sufficient condition for the stepped windows to nest inside the
+/// base windows (see `engine/plan.rs`), guaranteeing the containment
+/// rule fires for every non-answer of the set.
+fn nearby_grid(ds: &UncertainDataset, q: &Point, ans: &[ObjectId], steps: usize) -> Vec<Point> {
+    let dim = q.dim();
+    let mut target: Vec<f64> = vec![f64::INFINITY; dim];
+    for &an in ans {
+        let obj = ds.get(an).expect("selected ids are resident");
+        for s in obj.samples() {
+            for (t, c) in target.iter_mut().zip(s.point().coords()) {
+                *t = t.min(*c);
+            }
+        }
+    }
+    // A dimension where some sample sits below q cannot move (the
+    // stepped query must stay between q and every sample).
+    for (t, qc) in target.iter_mut().zip(q.coords()) {
+        *t = t.max(*qc);
+    }
+    let mut grid = vec![q.clone()];
+    for step in 1..=steps {
+        let t = 0.3 * step as f64 / steps as f64;
+        grid.push(Point::new(
+            q.coords()
+                .iter()
+                .zip(&target)
+                .map(|(c, m)| c + t * (m - c))
+                .collect::<Vec<f64>>(),
+        ));
+    }
+    grid
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let cardinality: usize = arg_value("--cardinality")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 20_000 } else { 60_000 });
+    let trials: usize = arg_value("--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 16 } else { 40 });
+    let grid_steps: usize = arg_value("--grid-steps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    let cfg = UncertainConfig {
+        cardinality,
+        dim: 3,
+        radius_range: (0.0, 5.0),
+        seed: 0x914A_A5, // the plan-sweep workload seed
+        ..UncertainConfig::default()
+    };
+    let ds = uncertain_dataset(&cfg);
+    // An off-centre query: the data bulk sits above it per dimension,
+    // so the nearby grid has room to step toward the samples.
+    let centroid = centroid_query(&ds);
+    let q = Point::new(
+        centroid
+            .coords()
+            .iter()
+            .map(|c| 0.55 * c)
+            .collect::<Vec<f64>>(),
+    );
+    let tree = build_object_rtree(&ds, crp_rtree::RTreeParams::paper_default(3));
+    let candidates = select_prsq_non_answers(
+        &ds,
+        &tree,
+        &q,
+        &PrsqSelectionConfig {
+            count: trials * 6,
+            alpha_classify: ALPHA,
+            alpha_tractability: ALPHA,
+            ..PrsqSelectionConfig::default()
+        },
+    );
+    // Keep only non-answers wholly in q's upper quadrant: with every
+    // sample coordinate ≥ q per dimension, a query stepped from q
+    // toward the samples stays between q and every sample, which is
+    // the containment premise — so the nearby grid is guaranteed to
+    // exercise derivation rather than depending on random geometry.
+    let ans: Vec<ObjectId> = candidates
+        .into_iter()
+        .filter(|&an| {
+            let obj = ds.get(an).expect("selected ids are resident");
+            obj.samples().iter().all(|s| {
+                s.point()
+                    .coords()
+                    .iter()
+                    .zip(q.coords())
+                    .all(|(c, qc)| c > qc)
+            })
+        })
+        .take(trials)
+        .collect();
+    assert!(
+        ans.len() >= 4,
+        "workload selection found only {} tractable upper-quadrant non-answers",
+        ans.len()
+    );
+    println!(
+        "plan_sweep: {} objects, {} non-answers, α grid {:?}, q grid 1+{}",
+        ds.len(),
+        ans.len(),
+        ALPHAS,
+        grid_steps
+    );
+
+    let alpha_row = measure_workload("alpha_sweep", &ds, std::slice::from_ref(&q), &ans, &ALPHAS);
+    let grid = nearby_grid(&ds, &q, &ans, grid_steps);
+    let nearby_row = measure_workload("nearby_q", &ds, &grid, &ans, &[ALPHA]);
+
+    // Single-explain latency: the planner-forwarded entry point
+    // against the retained direct dispatch, fresh sessions, identical
+    // call sequences.
+    let cp = CpConfig::default();
+    let reps = 3usize;
+    let mut direct_ms = f64::INFINITY;
+    let mut planned_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let engine =
+            ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA)).expect("valid config");
+        let start = Instant::now();
+        for &an in &ans {
+            let _ = engine.explain_direct(ExplainStrategy::Cp, &q, ALPHA, an, &cp);
+        }
+        direct_ms = direct_ms.min(ms(start) / ans.len() as f64);
+        let engine =
+            ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(ALPHA)).expect("valid config");
+        let start = Instant::now();
+        for &an in &ans {
+            let _ = engine.explain(&q, an);
+        }
+        planned_ms = planned_ms.min(ms(start) / ans.len() as f64);
+    }
+    let single_ratio = planned_ms / direct_ms.max(1e-9);
+
+    for row in [&alpha_row, &nearby_row] {
+        println!(
+            "{:>12}: {} tasks | naive {} ms / {} traversal(s) | planned {} ms / {} traversal(s), \
+             {} derived | identical: {}",
+            row.name,
+            row.tasks,
+            fnum(row.naive_ms),
+            row.naive_traversals,
+            fnum(row.planned_ms),
+            row.planned.stage1_traversals,
+            row.planned.stage1_derived,
+            row.bit_identical
+        );
+    }
+    println!(
+        "single_explain: direct {} ms/call vs planned {} ms/call (ratio {})",
+        fnum(direct_ms),
+        fnum(planned_ms),
+        fnum(single_ratio)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"cardinality\": {}, \"dim\": 3, \"alpha\": {ALPHA}, \
+         \"non_answers\": {}, \"alphas\": {}, \"grid\": {}}},",
+        ds.len(),
+        ans.len(),
+        ALPHAS.len(),
+        grid.len()
+    );
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, row) in [&alpha_row, &nearby_row].into_iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"tasks\": {}, \"naive_ms\": {}, \"planned_ms\": {}, \
+             \"naive_stage1_traversals\": {}, \"planned_stage1_traversals\": {}, \
+             \"derived_units\": {}, \"shared_tasks\": {}, \"naive_node_accesses\": {}, \
+             \"planned_node_accesses\": {}, \"dedup_factor\": {}, \"bit_identical\": {}}}{}",
+            row.name,
+            row.tasks,
+            fnum(row.naive_ms),
+            fnum(row.planned_ms),
+            row.naive_traversals,
+            row.planned.stage1_traversals,
+            row.planned.stage1_derived,
+            row.planned.stage1_shared_tasks,
+            row.naive_node_accesses,
+            row.planned_node_accesses,
+            fnum(row.naive_traversals as f64 / row.planned.stage1_traversals.max(1) as f64),
+            row.bit_identical,
+            if i == 0 { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"single_explain\": {{\"direct_ms_per_call\": {}, \"planned_ms_per_call\": {}, \
+         \"ratio\": {}}}",
+        fnum(direct_ms),
+        fnum(planned_ms),
+        fnum(single_ratio)
+    );
+    let _ = writeln!(json, "}}");
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("bench_out");
+    let path = dir.join("BENCH_plan.json");
+    std::fs::write(&path, json).expect("write BENCH_plan.json");
+    println!("wrote {}", path.display());
+
+    // ---- acceptance ----
+    assert!(
+        alpha_row.bit_identical,
+        "alpha_sweep diverged from per-call"
+    );
+    assert!(nearby_row.bit_identical, "nearby_q diverged from per-call");
+    let dedup =
+        nearby_row.naive_traversals as f64 / nearby_row.planned.stage1_traversals.max(1) as f64;
+    assert!(
+        dedup >= 2.0,
+        "nearby-q stage-1 dedup {dedup:.2}× is below the 2× acceptance \
+         (naive {}, planned {})",
+        nearby_row.naive_traversals,
+        nearby_row.planned.stage1_traversals
+    );
+    assert!(
+        nearby_row.planned_node_accesses < nearby_row.naive_node_accesses,
+        "containment derivation must save index I/O ({} vs {})",
+        nearby_row.planned_node_accesses,
+        nearby_row.naive_node_accesses
+    );
+    // Wall-clock: planned may not regress (generous noise margin — the
+    // planner does strictly less stage-1 work on these workloads).
+    for row in [&alpha_row, &nearby_row] {
+        assert!(
+            row.planned_ms <= row.naive_ms * 1.25,
+            "{}: planned {} ms regressed past naive {} ms",
+            row.name,
+            row.planned_ms,
+            row.naive_ms
+        );
+    }
+    assert!(
+        single_ratio <= 1.5,
+        "single-explain planner overhead ratio {single_ratio:.2} is above tolerance"
+    );
+    println!(
+        "acceptance: nearby-q dedup {dedup:.1}× (≥ 2×), single-explain ratio {single_ratio:.2}, \
+         all outcomes bit-identical"
+    );
+}

@@ -24,6 +24,10 @@
 //! cargo run -p crp-bench --release --bin shard_sweep -- --quick
 //! ```
 
+// The deprecated per-call entry points are exercised deliberately:
+// these measurements/examples pin the legacy surface, which now
+// forwards through the query planner.
+#![allow(deprecated)]
 #![allow(clippy::unusual_byte_groupings)] // mnemonic experiment seeds
 
 use crp_bench::exp::{arg_flag, arg_value, centroid_query, out_dir};

@@ -7,6 +7,10 @@
 //! measurements (the index build can be measured separately with
 //! [`time`](crate::measure::time) around [`ExplainEngine::object_tree`]).
 
+// The deprecated per-call entry points are exercised deliberately:
+// these measurements/examples pin the legacy surface, which now
+// forwards through the query planner.
+#![allow(deprecated)]
 use crate::measure::AggregateStats;
 use crp_core::{CpConfig, CrpError, CrpOutcome, ExplainEngine, ExplainStrategy};
 use crp_geom::Point;

@@ -39,14 +39,15 @@
 //! engine-agreement property tests pin this across random interleaved
 //! update/explain sequences.
 
-use super::pipeline::StageOne;
-use super::ExplainStrategy;
+use super::pipeline::{self, StageOne};
+use super::{filter, ExplainStrategy};
 use crate::config::CpConfig;
 use crate::error::CrpError;
-use crate::types::CrpOutcome;
+use crate::matrix::Scratch;
+use crate::types::{CrpOutcome, RunStats};
 use crp_geom::{HyperRect, Point};
 use crp_rtree::{AtomicQueryStats, QueryStats};
-use crp_uncertain::ObjectId;
+use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
 use std::collections::HashMap;
 use std::sync::RwLock;
 
@@ -295,6 +296,163 @@ impl ExplanationCache {
             self.bump(0, 0, evicted);
         }
     }
+}
+
+/// How one CP explain was served — filled by [`serve_cp_discrete`] /
+/// [`serve_cp_pdf`], read by the plan executor's counters. Per-call
+/// entry points pass a throwaway.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ServeTrace {
+    /// The finished outcome came straight from the outcome layer.
+    pub outcome_hit: bool,
+    /// Stage-1 rows came from the row layer (traversal saved).
+    pub rows_hit: bool,
+}
+
+/// The **single seam** every indexed CP explain goes through — the
+/// unsharded session, every shard fan-out, and the plan executor all
+/// assemble the same cache-key/finish tuple here instead of
+/// hand-rolling it per call site: outcome-layer lookup, input
+/// validation, candidate-region derivation, then [`cached_cp_finish`].
+///
+/// `fresh` produces the stage-1 output (candidates + dominance matrix)
+/// when neither cache layer can serve it; it receives the validated
+/// dataset position of `an` and the [`RunStats`] to fold traversal
+/// costs into.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serve_cp_discrete(
+    cache: &ExplanationCache,
+    io: Option<&AtomicQueryStats>,
+    ds: &UncertainDataset,
+    q: &Point,
+    an: ObjectId,
+    alpha: f64,
+    cp: &CpConfig,
+    trace: &mut ServeTrace,
+    scratch: &mut Scratch,
+    fresh: impl FnOnce(usize, &mut RunStats) -> Result<StageOne, CrpError>,
+) -> Result<CrpOutcome, CrpError> {
+    if let Some(hit) = cache.lookup_outcome(an, q, alpha, ExplainStrategy::Cp, cp) {
+        trace.outcome_hit = true;
+        return hit;
+    }
+    let an_pos = pipeline::validate(ds, q, an, alpha)?;
+    let region = filter::candidate_region(ds.object_at(an_pos), q);
+    cached_cp_finish(
+        cache,
+        io,
+        q,
+        an,
+        alpha,
+        cp,
+        region,
+        trace,
+        scratch,
+        |stats| fresh(an_pos, stats),
+    )
+}
+
+/// [`serve_cp_discrete`] for continuous-pdf workloads; `fresh` receives
+/// the per-quadrant filter windows of `(an, q)` instead of a dataset
+/// position.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serve_cp_pdf(
+    cache: &ExplanationCache,
+    io: Option<&AtomicQueryStats>,
+    ds: &PdfDataset,
+    q: &Point,
+    an: ObjectId,
+    alpha: f64,
+    cp: &CpConfig,
+    trace: &mut ServeTrace,
+    scratch: &mut Scratch,
+    fresh: impl FnOnce(&[HyperRect], &mut RunStats) -> Result<StageOne, CrpError>,
+) -> Result<CrpOutcome, CrpError> {
+    if let Some(hit) = cache.lookup_outcome(an, q, alpha, ExplainStrategy::Cp, cp) {
+        trace.outcome_hit = true;
+        return hit;
+    }
+    pipeline::validate_pdf(ds, an, alpha)?;
+    let an_obj = ds.get(an).expect("validated above");
+    let windows = crate::pdf::pdf_windows(q, an_obj.region());
+    let region = filter::windows_region(&windows).expect("pdf windows are non-empty");
+    cached_cp_finish(
+        cache,
+        io,
+        q,
+        an,
+        alpha,
+        cp,
+        region,
+        trace,
+        scratch,
+        |stats| fresh(&windows, stats),
+    )
+}
+
+/// The shared tail of every cached CP path — unsharded (discrete and
+/// pdf), sharded, and planned: row-cache lookup (or a fresh stage 1 via
+/// `fresh`), α-dependent refinement, and population of both cache
+/// layers. One body, so the caching protocol — stats replay on hits,
+/// cacheability of outcomes — cannot drift between workloads, engines,
+/// or the plan executor.
+///
+/// `io`, when given, receives the freshly paid traversal cost (the
+/// unsharded session's accumulator; sharded sessions account traversal
+/// inside their shards and pass `None`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cached_cp_finish(
+    cache: &ExplanationCache,
+    io: Option<&AtomicQueryStats>,
+    q: &Point,
+    an: ObjectId,
+    alpha: f64,
+    cp: &CpConfig,
+    region: HyperRect,
+    trace: &mut ServeTrace,
+    scratch: &mut Scratch,
+    fresh: impl FnOnce(&mut RunStats) -> Result<StageOne, CrpError>,
+) -> Result<CrpOutcome, CrpError> {
+    let mut stats = RunStats::default();
+    let stage1 = match cache.lookup_rows(an, q) {
+        Some(rows) => {
+            trace.rows_hit = true;
+            stats.query = rows.query;
+            rows.stage1
+        }
+        None => {
+            let stage1 = fresh(&mut stats)?;
+            // Only freshly paid traversal enters the session totals.
+            if let Some(io) = io {
+                io.absorb(stats.query);
+            }
+            cache.store_rows(
+                an,
+                q,
+                CachedRows {
+                    region: region.clone(),
+                    stage1: stage1.clone(),
+                    query: stats.query,
+                },
+            );
+            stage1
+        }
+    };
+    let result = pipeline::finish(&stage1.matrix, alpha, cp, &mut stats, scratch, |c| {
+        stage1.ids[c]
+    })
+    .map(|causes| CrpOutcome { causes, stats });
+    cache.store_outcome(
+        an,
+        q,
+        alpha,
+        ExplainStrategy::Cp,
+        cp,
+        region,
+        false,
+        &result,
+    );
+    result
 }
 
 #[cfg(test)]

@@ -91,13 +91,29 @@ pub(crate) fn window_candidate_positions(
     });
     hits.sort_unstable();
     hits.dedup();
-    hits.retain(|&pos| {
+    retain_causal(ds, an, q, &mut hits);
+    hits
+}
+
+/// The exact Lemma 2 test over a position superset: keeps exactly the
+/// objects with positive dominance probability w.r.t. some sample of
+/// `an` — the refinement tail of [`window_candidate_positions`], shared
+/// with the plan executor's coverage-derived stage 1 (which draws its
+/// superset from a containing window's coverage list instead of a tree
+/// traversal). One body, so both entries produce the identical
+/// candidate set.
+pub(crate) fn retain_causal(
+    ds: &UncertainDataset,
+    an: &UncertainObject,
+    q: &Point,
+    positions: &mut Vec<usize>,
+) {
+    positions.retain(|&pos| {
         let obj = ds.object_at(pos);
         an.samples()
             .iter()
             .any(|s| dominance_probability(obj, s.point(), q) > 0.0)
     });
-    hits
 }
 
 /// The bounding box of the stage-1 filter windows of one non-answer —

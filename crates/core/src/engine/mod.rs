@@ -64,16 +64,20 @@ pub mod filter;
 pub(crate) mod fmcs;
 pub mod merge;
 pub(crate) mod pipeline;
+pub mod plan;
 pub(crate) mod refine;
+pub mod session;
 pub mod shard;
 
+pub use plan::{ExplainRequest, PlanCounters, PlanReport};
+pub use session::ExplainSession;
 pub use shard::{ShardPolicy, ShardedExplainEngine};
 
 use crate::config::CpConfig;
 use crate::error::CrpError;
 use crate::oracle::{oracle_cp, oracle_cr, OracleCause};
 use crate::types::{Cause, CrpOutcome, RunStats};
-use cache::{CachedRows, ExplanationCache};
+use cache::{ExplanationCache, ServeTrace};
 use certain::{run_certain, Lemma7ClosedForm, PointTreeDominators, SubsetVerify};
 use crp_geom::{HyperRect, Point};
 use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
@@ -84,7 +88,6 @@ use crp_uncertain::{
 };
 use filter::{FilterStage, SampleWindowFilter, ScanFilter};
 use pipeline::RegionHitSource;
-use rayon::prelude::*;
 use std::sync::OnceLock;
 
 /// Algorithm selection over the shared pipeline.
@@ -578,12 +581,19 @@ impl ExplainEngine {
         );
     }
 
-    /// Explains one non-answer with the configured strategy and `α`.
+    /// Explains one non-answer with the configured strategy and `α` —
+    /// a thin shim over the planner: equivalent to running
+    /// [`ExplainRequest::explain`] through [`ExplainSession::run`].
     pub fn explain(&self, q: &Point, an: ObjectId) -> Result<CrpOutcome, CrpError> {
-        self.explain_as(self.config.strategy, q, self.config.alpha, an)
+        plan::one(self, ExplainRequest::explain(q, an))
     }
 
     /// Explains one non-answer with an explicit strategy and `α`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an `ExplainRequest` (`.with_strategy(..).with_alpha(..)`) and run it \
+                through `ExplainSession::run`, which also plans whole workloads"
+    )]
     pub fn explain_as(
         &self,
         strategy: ExplainStrategy,
@@ -591,15 +601,41 @@ impl ExplainEngine {
         alpha: f64,
         an: ObjectId,
     ) -> Result<CrpOutcome, CrpError> {
-        let cp = self.config.cp;
-        self.explain_configured(strategy, q, alpha, an, &cp)
+        plan::one(
+            self,
+            ExplainRequest::explain(q, an)
+                .with_strategy(strategy)
+                .with_alpha(alpha),
+        )
     }
 
-    /// [`ExplainEngine::explain_as`] with a per-call [`CpConfig`]
-    /// override — the ablation experiments sweep lemma switches over
-    /// one session this way, so the index is built once per dataset
-    /// instead of once per variant.
+    /// Explain with a per-call [`CpConfig`] override — the ablation
+    /// experiments sweep lemma switches over one session this way, so
+    /// the index is built once per dataset instead of once per
+    /// variant. Equivalent to an [`ExplainRequest`] with
+    /// `.with_cp(*cp)`.
     pub fn explain_configured(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+    ) -> Result<CrpOutcome, CrpError> {
+        plan::one(
+            self,
+            ExplainRequest::explain(q, an)
+                .with_strategy(strategy)
+                .with_alpha(alpha)
+                .with_cp(*cp),
+        )
+    }
+
+    /// The pre-planner per-call dispatch, kept as a benchmarking seam:
+    /// `plan_sweep` measures the planner's overhead against this
+    /// baseline. Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn explain_direct(
         &self,
         strategy: ExplainStrategy,
         q: &Point,
@@ -616,13 +652,19 @@ impl ExplainEngine {
     /// Explains a batch of non-answers with the configured strategy,
     /// data-parallel over the batch when the session's `parallel` flag
     /// is set. Result order matches `ans`, and each element is
-    /// bit-identical to what [`ExplainEngine::explain`] returns.
+    /// bit-identical to what [`ExplainEngine::explain`] returns. A
+    /// thin shim over [`ExplainRequest::batch`].
     pub fn explain_batch(&self, q: &Point, ans: &[ObjectId]) -> Vec<Result<CrpOutcome, CrpError>> {
-        self.explain_batch_as(self.config.strategy, q, self.config.alpha, ans)
+        plan::execute(self, &[ExplainRequest::batch(q, ans)]).results
     }
 
     /// [`ExplainEngine::explain_batch`] with an explicit strategy and
     /// `α`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an `ExplainRequest::batch(..).with_strategy(..).with_alpha(..)` and run \
+                it through `ExplainSession::run`, which also plans whole workloads"
+    )]
     pub fn explain_batch_as(
         &self,
         strategy: ExplainStrategy,
@@ -630,18 +672,22 @@ impl ExplainEngine {
         alpha: f64,
         ans: &[ObjectId],
     ) -> Vec<Result<CrpOutcome, CrpError>> {
-        if self.config.parallel && ans.len() > 1 {
-            self.prepare(strategy);
-            ans.par_iter()
-                .map(|&an| self.explain_as(strategy, q, alpha, an))
-                .collect()
-        } else {
-            self.explain_batch_serial_as(strategy, q, alpha, ans)
-        }
+        plan::execute(
+            self,
+            &[ExplainRequest::batch(q, ans)
+                .with_strategy(strategy)
+                .with_alpha(alpha)],
+        )
+        .results
     }
 
     /// The serial batch path (regardless of the `parallel` flag) — the
     /// reference the parallel path is tested against.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an `ExplainRequest::batch(..).serial()` and run it through \
+                `ExplainSession::run`"
+    )]
     pub fn explain_batch_serial_as(
         &self,
         strategy: ExplainStrategy,
@@ -649,9 +695,14 @@ impl ExplainEngine {
         alpha: f64,
         ans: &[ObjectId],
     ) -> Vec<Result<CrpOutcome, CrpError>> {
-        ans.iter()
-            .map(|&an| self.explain_as(strategy, q, alpha, an))
-            .collect()
+        plan::execute(
+            self,
+            &[ExplainRequest::batch(q, ans)
+                .with_strategy(strategy)
+                .with_alpha(alpha)
+                .serial()],
+        )
+        .results
     }
 
     /// The stage-1 output for one non-answer: every candidate cause id
@@ -819,7 +870,9 @@ impl ExplainEngine {
     /// refinement over the memoised matrix; miss → full pipeline, then
     /// populate both layers. Served results are identical to a fresh
     /// computation (the cached rows carry their original traversal
-    /// stats, and refinement is deterministic).
+    /// stats, and refinement is deterministic). The protocol body is
+    /// [`cache::serve_cp_discrete`] — the single seam shared with the
+    /// sharded engine and the plan executor.
     fn cached_cp_discrete(
         &self,
         ds: &UncertainDataset,
@@ -828,33 +881,29 @@ impl ExplainEngine {
         alpha: f64,
         cp: &CpConfig,
     ) -> Result<CrpOutcome, CrpError> {
-        if let Some(hit) = self
-            .cache
-            .lookup_outcome(an, q, alpha, ExplainStrategy::Cp, cp)
-        {
-            return hit;
-        }
-        let an_pos = pipeline::validate(ds, q, an, alpha)?;
-        let region = filter::candidate_region(ds.object_at(an_pos), q);
-        cached_cp_finish(
-            &self.cache,
-            Some(&self.io),
-            q,
-            an,
-            alpha,
-            cp,
-            region,
-            |stats| {
-                let tree = self.guarded_object_tree(ds)?;
-                Ok(pipeline::stage1_probabilistic(
-                    ds,
-                    q,
-                    an_pos,
-                    &SampleWindowFilter::new(tree),
-                    stats,
-                ))
-            },
-        )
+        crate::matrix::with_scratch(|scratch| {
+            cache::serve_cp_discrete(
+                &self.cache,
+                Some(&self.io),
+                ds,
+                q,
+                an,
+                alpha,
+                cp,
+                &mut ServeTrace::default(),
+                scratch,
+                |an_pos, stats| {
+                    let tree = self.guarded_object_tree(ds)?;
+                    Ok(pipeline::stage1_probabilistic(
+                        ds,
+                        q,
+                        an_pos,
+                        &SampleWindowFilter::new(tree),
+                        stats,
+                    ))
+                },
+            )
+        })
     }
 
     /// The pdf CP path with the same two-layer cache as
@@ -868,29 +917,23 @@ impl ExplainEngine {
         resolution: usize,
         cp: &CpConfig,
     ) -> Result<CrpOutcome, CrpError> {
-        if let Some(hit) = self
-            .cache
-            .lookup_outcome(an, q, alpha, ExplainStrategy::Cp, cp)
-        {
-            return hit;
-        }
-        pipeline::validate_pdf(ds, an, alpha)?;
-        let an_obj = ds.get(an).expect("validated above");
-        let windows = crate::pdf::pdf_windows(q, an_obj.region());
-        let region = filter::windows_region(&windows).expect("pdf windows are non-empty");
-        cached_cp_finish(
-            &self.cache,
-            Some(&self.io),
-            q,
-            an,
-            alpha,
-            cp,
-            region,
-            |stats| {
-                let tree = self.guarded_pdf_tree(ds)?;
-                Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
-            },
-        )
+        crate::matrix::with_scratch(|scratch| {
+            cache::serve_cp_pdf(
+                &self.cache,
+                Some(&self.io),
+                ds,
+                q,
+                an,
+                alpha,
+                cp,
+                &mut ServeTrace::default(),
+                scratch,
+                |_windows, stats| {
+                    let tree = self.guarded_pdf_tree(ds)?;
+                    Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
+                },
+            )
+        })
     }
 
     /// The certain-data strategies behind the outcome cache. Entries
@@ -973,64 +1016,102 @@ impl ExplainEngine {
     }
 }
 
-/// The shared tail of every cached CP path — unsharded (discrete and
-/// pdf) and sharded: row-cache lookup (or a fresh stage-1 via `fresh`),
-/// α-dependent refinement, and population of both cache layers. One
-/// body, so the caching protocol — stats replay on hits, cacheability
-/// of outcomes — cannot drift between workloads or between the
-/// unsharded session and [`ShardedExplainEngine`].
-///
-/// `io`, when given, receives the freshly paid traversal cost (the
-/// unsharded session's accumulator; sharded sessions account traversal
-/// inside their shards and pass `None`).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn cached_cp_finish(
-    cache: &ExplanationCache,
-    io: Option<&AtomicQueryStats>,
-    q: &Point,
-    an: ObjectId,
-    alpha: f64,
-    cp: &CpConfig,
-    region: HyperRect,
-    fresh: impl FnOnce(&mut RunStats) -> Result<pipeline::StageOne, CrpError>,
-) -> Result<CrpOutcome, CrpError> {
-    let mut stats = RunStats::default();
-    let stage1 = match cache.lookup_rows(an, q) {
-        Some(rows) => {
-            stats.query = rows.query;
-            rows.stage1
-        }
-        None => {
-            let stage1 = fresh(&mut stats)?;
-            // Only freshly paid traversal enters the session totals.
-            if let Some(io) = io {
-                io.absorb(stats.query);
-            }
-            cache.store_rows(
-                an,
-                q,
-                CachedRows {
-                    region: region.clone(),
-                    stage1: stage1.clone(),
-                    query: stats.query,
-                },
-            );
-            stage1
-        }
-    };
-    let result = pipeline::finish(&stage1.matrix, alpha, cp, &mut stats, |c| stage1.ids[c])
-        .map(|causes| CrpOutcome { causes, stats });
-    cache.store_outcome(
-        an,
-        q,
-        alpha,
-        ExplainStrategy::Cp,
-        cp,
-        region,
-        false,
-        &result,
-    );
-    result
+/// The engine-side seams of the plan executor: the unsharded session
+/// serves stage 1 from its single object tree and accounts traversal
+/// in its own accumulator.
+impl plan::PlanHost for ExplainEngine {
+    fn host_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn host_workload(&self) -> &Workload {
+        &self.data
+    }
+
+    fn host_cache(&self) -> &ExplanationCache {
+        &self.cache
+    }
+
+    fn host_io(&self) -> Option<&AtomicQueryStats> {
+        Some(&self.io)
+    }
+
+    fn resolve_strategy(&self, strategy: ExplainStrategy) -> ExplainStrategy {
+        self.resolve(strategy)
+    }
+
+    fn prepare_strategy(&self, strategy: ExplainStrategy) {
+        self.prepare(strategy);
+    }
+
+    fn cp_pre_guard(&self) -> Result<(), CrpError> {
+        // The unsharded session lets pipeline validation produce the
+        // empty-dataset error (after the outcome-cache lookup), exactly
+        // like the pre-planner entry points.
+        Ok(())
+    }
+
+    fn per_call(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+        _fan_parallel: bool,
+    ) -> Result<CrpOutcome, CrpError> {
+        self.dispatch(strategy, q, alpha, an, cp)
+    }
+
+    fn fresh_stage1_discrete(
+        &self,
+        q: &Point,
+        an_pos: usize,
+        _fan_parallel: bool,
+        stats: &mut RunStats,
+    ) -> Result<pipeline::StageOne, CrpError> {
+        let ds = self.discrete();
+        let tree = self.guarded_object_tree(ds)?;
+        Ok(pipeline::stage1_probabilistic(
+            ds,
+            q,
+            an_pos,
+            &SampleWindowFilter::new(tree),
+            stats,
+        ))
+    }
+
+    fn fresh_stage1_pdf(
+        &self,
+        q: &Point,
+        an: ObjectId,
+        resolution: usize,
+        _fan_parallel: bool,
+        stats: &mut RunStats,
+    ) -> Result<pipeline::StageOne, CrpError> {
+        let ds = self.pdf();
+        let tree = self.guarded_pdf_tree(ds)?;
+        Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
+    }
+
+    fn coverage_ids(
+        &self,
+        region: &HyperRect,
+        exclude: ObjectId,
+        _fan_parallel: bool,
+        stats: &mut RunStats,
+    ) -> Result<Vec<ObjectId>, CrpError> {
+        let tree = match &self.data {
+            Workload::Discrete(ds) => self.guarded_object_tree(ds)?,
+            Workload::Pdf { ds, .. } => self.guarded_pdf_tree(ds)?,
+        };
+        Ok(pipeline::tree_region_hits(
+            tree,
+            std::slice::from_ref(region),
+            exclude,
+            &mut stats.query,
+        ))
+    }
 }
 
 /// Incrementally patches a lazily built object/region tree for one
@@ -1130,6 +1211,10 @@ pub(crate) fn oracle_outcome(
 }
 
 #[cfg(test)]
+// The deprecated `explain_*_as` entry points are exercised on purpose:
+// these tests pin that the thin shims stay bit-identical to the
+// planner path they forward into.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crp_uncertain::UncertainObject;

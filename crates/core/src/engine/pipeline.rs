@@ -11,7 +11,7 @@
 use super::filter::FilterStage;
 use crate::config::CpConfig;
 use crate::error::CrpError;
-use crate::matrix::DominanceMatrix;
+use crate::matrix::{with_scratch, DominanceMatrix, Scratch};
 use crate::types::{Cause, CrpOutcome, RunStats};
 use crp_geom::{dominance_rect, HyperRect, Point, PROB_EPSILON};
 use crp_rtree::{AtomicQueryStats, QueryStats, RTree};
@@ -148,25 +148,29 @@ pub(crate) fn run_probabilistic(
     io: Option<&AtomicQueryStats>,
 ) -> Result<CrpOutcome, CrpError> {
     let mut stats = RunStats::default();
-    let result = (|| {
+    let result = with_scratch(|scratch| {
         let an_pos = validate(ds, q, an_id, alpha)?;
         let stage1 = stage1_probabilistic(ds, q, an_pos, filter, &mut stats);
-        finish(&stage1.matrix, alpha, config, &mut stats, |cand| {
+        finish(&stage1.matrix, alpha, config, &mut stats, scratch, |cand| {
             stage1.ids[cand]
         })
-    })();
+    });
     absorb_io(io, &stats);
     result.map(|causes| CrpOutcome { causes, stats })
 }
 
 /// Stages 2 + 3 over an already-built dominance matrix, mapping
 /// candidate indices back to object ids through `id_of`. Shared by the
-/// discrete and pdf variants.
+/// discrete and pdf variants. `scratch` is the reusable hot-path
+/// workspace the caller lends — per-call sites borrow the per-thread
+/// pooled one ([`with_scratch`]), the plan executor threads a single
+/// workspace through every task of a stage-1 unit.
 pub(crate) fn finish(
     matrix: &DominanceMatrix,
     alpha: f64,
     config: &CpConfig,
     stats: &mut RunStats,
+    scratch: &mut Scratch,
     id_of: impl Fn(usize) -> ObjectId,
 ) -> Result<Vec<Cause>, CrpError> {
     let pr_an = matrix.pr_full();
@@ -174,12 +178,10 @@ pub(crate) fn finish(
         return Err(CrpError::NotANonAnswer { prob: pr_an });
     }
     // Stage 2: refine (lemma classification), then stage 3: FMCS — over
-    // the per-thread scratch workspace, so one rayon worker (or one
-    // shard thread) reuses a single allocation-free workspace across
-    // every explain it serves.
-    let recs = crate::matrix::with_scratch(|scratch| {
-        crate::refine::refine(matrix, alpha, config, stats, scratch)
-    })?;
+    // the lent scratch workspace, so one rayon worker (or one shard
+    // thread, or one plan unit) reuses a single allocation-free
+    // workspace across every explain it serves.
+    let recs = crate::refine::refine(matrix, alpha, config, stats, scratch)?;
     let causes = recs
         .into_iter()
         .map(|r| {
@@ -247,6 +249,23 @@ pub(crate) fn stage1_pdf(
     // Stage 1: multi-window traversal over the per-quadrant windows.
     let windows = crate::pdf::pdf_windows(q, an.region());
     let hits = source.region_hits(&windows, an_id, stats);
+    stage1_pdf_from_hits(ds, q, an_id, resolution, hits)
+}
+
+/// The integration tail of pdf stage 1, over an already-known hit list
+/// (sorted ascending ids, `an_id` excluded): closed-form dominance
+/// matrix of each hit over the non-answer's integration cells. Split
+/// out so the plan executor can derive the hit list of a contained
+/// query window from a larger window's coverage set without another
+/// tree traversal and still build a bit-identical matrix.
+pub(crate) fn stage1_pdf_from_hits(
+    ds: &PdfDataset,
+    q: &Point,
+    an_id: ObjectId,
+    resolution: usize,
+    hits: Vec<ObjectId>,
+) -> StageOne {
+    let an = ds.get(an_id).expect("caller validated the id");
 
     // Integration cells of the non-answer.
     let cells = an.pdf().discretize(resolution);
@@ -287,7 +306,9 @@ fn run_pdf_inner(
 ) -> Result<Vec<Cause>, CrpError> {
     validate_pdf(ds, an_id, alpha)?;
     let stage1 = stage1_pdf(ds, source, q, an_id, resolution, stats);
-    finish(&stage1.matrix, alpha, config, stats, |cand| {
-        stage1.ids[cand]
+    with_scratch(|scratch| {
+        finish(&stage1.matrix, alpha, config, stats, scratch, |cand| {
+            stage1.ids[cand]
+        })
     })
 }

@@ -1,0 +1,189 @@
+//! The **[`ExplainSession`]** trait: one serving surface over every
+//! engine flavour.
+//!
+//! [`ExplainEngine`] and [`ShardedExplainEngine`] used to expose six
+//! near-duplicate explain entry points *each*. All twelve now forward
+//! through the planner ([`super::plan`]); this trait is the surface a
+//! serving layer (the `crp` CLI, a future async front-end) programs
+//! against without caring which engine flavour sits behind it:
+//!
+//! ```
+//! use crp_core::engine::{ExplainRequest, ExplainSession};
+//! use crp_core::{EngineConfig, ExplainEngine, ExplainStrategy};
+//! use crp_geom::Point;
+//! use crp_uncertain::{ObjectId, UncertainDataset};
+//!
+//! fn serve(session: &dyn ExplainSession, q: &Point) -> usize {
+//!     let report = session.run(&[
+//!         ExplainRequest::alpha_sweep(q, ObjectId(0), vec![0.25, 0.5, 0.75])
+//!             .with_strategy(ExplainStrategy::Cp),
+//!     ]);
+//!     assert_eq!(report.counters.stage1_units, 1, "three α share one unit");
+//!     report.results.into_iter().filter(|r| r.is_ok()).count()
+//! }
+//!
+//! let ds = UncertainDataset::from_points(vec![
+//!     Point::from([10.0, 10.0]),
+//!     Point::from([7.0, 7.0]),
+//! ])
+//! .unwrap();
+//! let engine = ExplainEngine::new(ds, EngineConfig::default()).unwrap();
+//! assert_eq!(serve(&engine, &Point::from([5.0, 5.0])), 3);
+//! ```
+
+use super::plan::{self, ExplainRequest, PlanReport};
+use super::{EngineConfig, ExplainEngine, ShardedExplainEngine};
+use crate::error::CrpError;
+use crate::types::CrpOutcome;
+use crp_geom::Point;
+use crp_rtree::QueryStats;
+use crp_uncertain::{Epoch, ObjectId};
+
+/// A planned explain session: any engine that can compile
+/// [`ExplainRequest`] workloads into deduplicated stage-1 work units
+/// and execute them. Implemented by [`ExplainEngine`] (one index) and
+/// [`ShardedExplainEngine`] (partitioned indexes); both produce
+/// bit-identical outcomes for the same workload, so callers can swap
+/// flavours freely.
+pub trait ExplainSession: Sync {
+    /// The session configuration (default α, strategy, lemma
+    /// switches, parallelism).
+    fn config(&self) -> &EngineConfig;
+
+    /// The dataset version this session currently serves.
+    fn epoch(&self) -> Epoch;
+
+    /// Node accesses, update-path work and cache events accumulated
+    /// across every call so far.
+    fn accumulated_io(&self) -> QueryStats;
+
+    /// Live (row, outcome) entry counts of the explanation cache.
+    fn cache_len(&self) -> (usize, usize);
+
+    /// Plans `requests` as **one** workload — stage-1 work units
+    /// deduplicated across all of them — and executes the plan.
+    /// Results follow the requests' expansion order; the report's
+    /// [`counters`](PlanReport::counters) say how much work planning
+    /// saved.
+    fn run(&self, requests: &[ExplainRequest]) -> PlanReport;
+
+    /// Convenience: one explanation at the session defaults, through
+    /// the planner.
+    fn explain_one(&self, q: &Point, an: ObjectId) -> Result<CrpOutcome, CrpError> {
+        self.run(&[ExplainRequest::explain(q, an)]).into_single()
+    }
+
+    /// Convenience: one batch at the session defaults, through the
+    /// planner.
+    fn explain_many(&self, q: &Point, ans: &[ObjectId]) -> Vec<Result<CrpOutcome, CrpError>> {
+        self.run(&[ExplainRequest::batch(q, ans)]).results
+    }
+}
+
+impl ExplainSession for ExplainEngine {
+    fn config(&self) -> &EngineConfig {
+        ExplainEngine::config(self)
+    }
+
+    fn epoch(&self) -> Epoch {
+        ExplainEngine::epoch(self)
+    }
+
+    fn accumulated_io(&self) -> QueryStats {
+        ExplainEngine::accumulated_io(self)
+    }
+
+    fn cache_len(&self) -> (usize, usize) {
+        ExplainEngine::cache_len(self)
+    }
+
+    fn run(&self, requests: &[ExplainRequest]) -> PlanReport {
+        plan::execute(self, requests)
+    }
+}
+
+impl ExplainSession for ShardedExplainEngine {
+    fn config(&self) -> &EngineConfig {
+        ShardedExplainEngine::config(self)
+    }
+
+    fn epoch(&self) -> Epoch {
+        ShardedExplainEngine::epoch(self)
+    }
+
+    fn accumulated_io(&self) -> QueryStats {
+        ShardedExplainEngine::accumulated_io(self)
+    }
+
+    fn cache_len(&self) -> (usize, usize) {
+        ShardedExplainEngine::cache_len(self)
+    }
+
+    fn run(&self, requests: &[ExplainRequest]) -> PlanReport {
+        plan::execute(self, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ShardPolicy;
+    use crp_uncertain::{UncertainDataset, UncertainObject};
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    fn fixture() -> UncertainDataset {
+        UncertainDataset::from_objects(vec![
+            UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+            UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+            UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)])
+                .unwrap(),
+            UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn trait_objects_serve_both_engine_flavours() {
+        let config = EngineConfig::with_alpha(0.75);
+        let single = ExplainEngine::new(fixture(), config).expect("valid engine config");
+        let sharded = ShardedExplainEngine::new(fixture(), config, 2, ShardPolicy::Spatial)
+            .expect("valid engine config");
+        let sessions: Vec<&dyn ExplainSession> = vec![&single, &sharded];
+        let q = pt(5.0, 5.0);
+        let outcomes: Vec<_> = sessions
+            .iter()
+            .map(|s| s.explain_one(&q, ObjectId(0)).expect("non-answer"))
+            .collect();
+        assert_eq!(
+            outcomes[0].causes, outcomes[1].causes,
+            "sharded ≡ unsharded through the session trait"
+        );
+        for s in &sessions {
+            let batch = s.explain_many(&q, &[ObjectId(0), ObjectId(3)]);
+            assert_eq!(batch.len(), 2);
+            assert!(s.accumulated_io().node_accesses > 0);
+            assert!(s.cache_len().0 >= 1, "rows cached through the planner");
+        }
+    }
+
+    #[test]
+    fn alpha_sweep_requests_share_one_unit() {
+        let engine = ExplainEngine::new(fixture(), EngineConfig::with_alpha(0.75))
+            .expect("valid engine config");
+        let q = pt(5.0, 5.0);
+        // Two *requests*, same (an, q), disjoint α lists: the planner
+        // dedups them into one stage-1 unit across request boundaries.
+        let report = engine.run(&[
+            ExplainRequest::alpha_sweep(&q, ObjectId(0), vec![0.25, 0.5]),
+            ExplainRequest::alpha_sweep(&q, ObjectId(0), vec![0.75, 0.9]),
+        ]);
+        assert_eq!(report.results.len(), 4);
+        assert_eq!(report.counters.stage1_units, 1);
+        assert_eq!(report.counters.stage1_shared_tasks, 3);
+        assert_eq!(report.counters.stage1_traversals, 1);
+        assert_eq!(report.counters.stage1_derived, 0);
+    }
+}

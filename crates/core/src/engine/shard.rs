@@ -33,15 +33,15 @@
 //! [`merge_candidate_ids`](super::merge::merge_candidate_ids) is the
 //! router's recombine step.
 
-use super::cache::ExplanationCache;
+use super::cache::{self, ExplanationCache, ServeTrace};
 use super::certain::{
     collect_dominators, run_certain, DominatorSource, Lemma7ClosedForm, SubsetVerify,
 };
 use super::filter::{self, FilterStage, ScanFilter};
 use super::pipeline::{self, RegionHitSource};
+use super::plan::{self, ExplainRequest, PlanHost};
 use super::{
-    cached_cp_finish, oracle_outcome, update_error, validate_resolution, EngineConfig,
-    ExplainStrategy, Workload,
+    oracle_outcome, update_error, validate_resolution, EngineConfig, ExplainStrategy, Workload,
 };
 use crate::config::CpConfig;
 use crate::error::CrpError;
@@ -435,6 +435,26 @@ impl Shard {
         }
         let mut qs = QueryStats::default();
         let ids = pipeline::tree_region_hits(self.object_tree(), windows, exclude, &mut qs);
+        self.io.merge(&qs);
+        (ids, qs)
+    }
+
+    /// Coverage query for the plan executor: every id this shard
+    /// indexes whose MBR/region intersects `region` (the bounding box
+    /// of a coverage root's filter windows), ascending, `exclude`
+    /// removed. The union over disjoint shards is the exact global
+    /// coverage list containment-derived stage-1 units filter from.
+    fn coverage_hits(&self, region: &HyperRect, exclude: ObjectId) -> (Vec<ObjectId>, QueryStats) {
+        if self.is_empty() || !self.intersects_any(std::slice::from_ref(region)) {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut qs = QueryStats::default();
+        let ids = pipeline::tree_region_hits(
+            self.object_tree(),
+            std::slice::from_ref(region),
+            exclude,
+            &mut qs,
+        );
         self.io.merge(&qs);
         (ids, qs)
     }
@@ -1027,12 +1047,19 @@ impl ShardedExplainEngine {
         self.repartitions += 1;
     }
 
-    /// Explains one non-answer with the configured strategy and `α`.
+    /// Explains one non-answer with the configured strategy and `α` —
+    /// a thin shim over the planner, exactly like
+    /// [`ExplainEngine::explain`](super::ExplainEngine::explain).
     pub fn explain(&self, q: &Point, an: ObjectId) -> Result<CrpOutcome, CrpError> {
-        self.explain_as(self.config.strategy, q, self.config.alpha, an)
+        plan::one(self, ExplainRequest::explain(q, an))
     }
 
     /// Explains one non-answer with an explicit strategy and `α`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an `ExplainRequest` (`.with_strategy(..).with_alpha(..)`) and run it \
+                through `ExplainSession::run`, which also plans whole workloads"
+    )]
     pub fn explain_as(
         &self,
         strategy: ExplainStrategy,
@@ -1040,13 +1067,38 @@ impl ShardedExplainEngine {
         alpha: f64,
         an: ObjectId,
     ) -> Result<CrpOutcome, CrpError> {
-        let cp = self.config.cp;
-        self.explain_configured(strategy, q, alpha, an, &cp)
+        plan::one(
+            self,
+            ExplainRequest::explain(q, an)
+                .with_strategy(strategy)
+                .with_alpha(alpha),
+        )
     }
 
-    /// [`ShardedExplainEngine::explain_as`] with a per-call
-    /// [`CpConfig`] override.
+    /// Explain with a per-call [`CpConfig`] override — equivalent to
+    /// an [`ExplainRequest`] with `.with_cp(*cp)`.
     pub fn explain_configured(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+    ) -> Result<CrpOutcome, CrpError> {
+        plan::one(
+            self,
+            ExplainRequest::explain(q, an)
+                .with_strategy(strategy)
+                .with_alpha(alpha)
+                .with_cp(*cp),
+        )
+    }
+
+    /// The pre-planner per-call dispatch, kept as a benchmarking seam
+    /// (see
+    /// [`ExplainEngine::explain_direct`](super::ExplainEngine::explain_direct)).
+    #[doc(hidden)]
+    pub fn explain_direct(
         &self,
         strategy: ExplainStrategy,
         q: &Point,
@@ -1061,13 +1113,19 @@ impl ShardedExplainEngine {
     /// when the session's `parallel` flag is set (the per-call shard
     /// fan-out then runs shard-serial to avoid nested thread pools).
     /// Result order matches `ans`; each element is bit-identical to
-    /// [`ShardedExplainEngine::explain`].
+    /// [`ShardedExplainEngine::explain`]. A thin shim over
+    /// [`ExplainRequest::batch`].
     pub fn explain_batch(&self, q: &Point, ans: &[ObjectId]) -> Vec<Result<CrpOutcome, CrpError>> {
-        self.explain_batch_as(self.config.strategy, q, self.config.alpha, ans)
+        plan::execute(self, &[ExplainRequest::batch(q, ans)]).results
     }
 
     /// [`ShardedExplainEngine::explain_batch`] with an explicit
     /// strategy and `α`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an `ExplainRequest::batch(..).with_strategy(..).with_alpha(..)` and run \
+                it through `ExplainSession::run`, which also plans whole workloads"
+    )]
     pub fn explain_batch_as(
         &self,
         strategy: ExplainStrategy,
@@ -1075,19 +1133,22 @@ impl ShardedExplainEngine {
         alpha: f64,
         ans: &[ObjectId],
     ) -> Vec<Result<CrpOutcome, CrpError>> {
-        if self.config.parallel && ans.len() > 1 {
-            self.prepare(strategy);
-            let cp = self.config.cp;
-            ans.par_iter()
-                .map(|&an| self.dispatch(strategy, q, alpha, an, &cp, false))
-                .collect()
-        } else {
-            self.explain_batch_serial_as(strategy, q, alpha, ans)
-        }
+        plan::execute(
+            self,
+            &[ExplainRequest::batch(q, ans)
+                .with_strategy(strategy)
+                .with_alpha(alpha)],
+        )
+        .results
     }
 
     /// The serial batch path (regardless of the `parallel` flag) — the
     /// reference the parallel path is tested against.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an `ExplainRequest::batch(..).serial()` and run it through \
+                `ExplainSession::run`"
+    )]
     pub fn explain_batch_serial_as(
         &self,
         strategy: ExplainStrategy,
@@ -1095,10 +1156,14 @@ impl ShardedExplainEngine {
         alpha: f64,
         ans: &[ObjectId],
     ) -> Vec<Result<CrpOutcome, CrpError>> {
-        let cp = self.config.cp;
-        ans.iter()
-            .map(|&an| self.dispatch(strategy, q, alpha, an, &cp, false))
-            .collect()
+        plan::execute(
+            self,
+            &[ExplainRequest::batch(q, ans)
+                .with_strategy(strategy)
+                .with_alpha(alpha)
+                .serial()],
+        )
+        .results
     }
 
     /// The merged stage-1 output for one non-answer: every candidate
@@ -1232,16 +1297,24 @@ impl ShardedExplainEngine {
                         return Err(CrpError::EmptyDataset);
                     }
                     // The same two-layer cache protocol as the
-                    // unsharded session (one shared body, see
-                    // `super::cached_cp_finish`); traversal stays
+                    // unsharded session (one shared seam, see
+                    // `cache::serve_cp_discrete`); traversal stays
                     // accounted inside the shards, so `io` is `None`.
-                    if let Some(hit) = self.cache.lookup_outcome(an, q, alpha, strategy, cp) {
-                        return hit;
-                    }
-                    let an_pos = pipeline::validate(ds, q, an, alpha)?;
-                    let region = filter::candidate_region(ds.object_at(an_pos), q);
-                    cached_cp_finish(&self.cache, None, q, an, alpha, cp, region, |stats| {
-                        Ok(pipeline::stage1_probabilistic(ds, q, an_pos, &fan, stats))
+                    crate::matrix::with_scratch(|scratch| {
+                        cache::serve_cp_discrete(
+                            &self.cache,
+                            None,
+                            ds,
+                            q,
+                            an,
+                            alpha,
+                            cp,
+                            &mut ServeTrace::default(),
+                            scratch,
+                            |an_pos, stats| {
+                                Ok(pipeline::stage1_probabilistic(ds, q, an_pos, &fan, stats))
+                            },
+                        )
                     })
                 }
                 ExplainStrategy::CpUnindexed => {
@@ -1300,16 +1373,21 @@ impl ShardedExplainEngine {
                     if ds.is_empty() {
                         return Err(CrpError::EmptyDataset);
                     }
-                    if let Some(hit) = self.cache.lookup_outcome(an, q, alpha, strategy, cp) {
-                        return hit;
-                    }
-                    pipeline::validate_pdf(ds, an, alpha)?;
-                    let an_obj = ds.get(an).expect("validated above");
-                    let windows = crate::pdf::pdf_windows(q, an_obj.region());
-                    let region =
-                        filter::windows_region(&windows).expect("pdf windows are non-empty");
-                    cached_cp_finish(&self.cache, None, q, an, alpha, cp, region, |stats| {
-                        Ok(pipeline::stage1_pdf(ds, &fan, q, an, *resolution, stats))
+                    crate::matrix::with_scratch(|scratch| {
+                        cache::serve_cp_pdf(
+                            &self.cache,
+                            None,
+                            ds,
+                            q,
+                            an,
+                            alpha,
+                            cp,
+                            &mut ServeTrace::default(),
+                            scratch,
+                            |_windows, stats| {
+                                Ok(pipeline::stage1_pdf(ds, &fan, q, an, *resolution, stats))
+                            },
+                        )
                     })
                 }
                 ExplainStrategy::NaiveI { max_subsets } => {
@@ -1374,6 +1452,114 @@ impl ShardedExplainEngine {
         self.cache
             .store_outcome(an, q, alpha, strategy, cp, region, true, &result);
         result
+    }
+}
+
+/// The engine-side seams of the plan executor: the sharded session
+/// serves stage 1 by fanning each request over its shards (rayon-
+/// parallel when the plan runs serially over tasks, shard-serial
+/// inside a task-parallel plan — the legacy batch rule) and merging.
+/// Traversal is accounted inside the shards, so `host_io` is `None`.
+impl PlanHost for ShardedExplainEngine {
+    fn host_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn host_workload(&self) -> &Workload {
+        &self.data
+    }
+
+    fn host_cache(&self) -> &ExplanationCache {
+        &self.cache
+    }
+
+    fn host_io(&self) -> Option<&AtomicQueryStats> {
+        None
+    }
+
+    fn resolve_strategy(&self, strategy: ExplainStrategy) -> ExplainStrategy {
+        self.resolve(strategy)
+    }
+
+    fn prepare_strategy(&self, strategy: ExplainStrategy) {
+        self.prepare(strategy);
+    }
+
+    fn cp_pre_guard(&self) -> Result<(), CrpError> {
+        // Mirror the legacy guard order: the sharded engine rejects an
+        // empty dataset before consulting the cache.
+        let empty = match &self.data {
+            Workload::Discrete(ds) => ds.is_empty(),
+            Workload::Pdf { ds, .. } => ds.is_empty(),
+        };
+        if empty {
+            return Err(CrpError::EmptyDataset);
+        }
+        Ok(())
+    }
+
+    fn per_call(
+        &self,
+        strategy: ExplainStrategy,
+        q: &Point,
+        alpha: f64,
+        an: ObjectId,
+        cp: &CpConfig,
+        fan_parallel: bool,
+    ) -> Result<CrpOutcome, CrpError> {
+        self.dispatch(strategy, q, alpha, an, cp, fan_parallel)
+    }
+
+    fn fresh_stage1_discrete(
+        &self,
+        q: &Point,
+        an_pos: usize,
+        fan_parallel: bool,
+        stats: &mut RunStats,
+    ) -> Result<pipeline::StageOne, CrpError> {
+        let Workload::Discrete(ds) = &self.data else {
+            unreachable!("discrete stage 1 runs on discrete workloads");
+        };
+        let fan = ShardFanOut {
+            shards: &self.shards,
+            parallel: fan_parallel && self.shards.len() > 1,
+        };
+        Ok(pipeline::stage1_probabilistic(ds, q, an_pos, &fan, stats))
+    }
+
+    fn fresh_stage1_pdf(
+        &self,
+        q: &Point,
+        an: ObjectId,
+        resolution: usize,
+        fan_parallel: bool,
+        stats: &mut RunStats,
+    ) -> Result<pipeline::StageOne, CrpError> {
+        let Workload::Pdf { ds, .. } = &self.data else {
+            unreachable!("pdf stage 1 runs on pdf workloads");
+        };
+        let fan = ShardFanOut {
+            shards: &self.shards,
+            parallel: fan_parallel && self.shards.len() > 1,
+        };
+        Ok(pipeline::stage1_pdf(ds, &fan, q, an, resolution, stats))
+    }
+
+    fn coverage_ids(
+        &self,
+        region: &HyperRect,
+        exclude: ObjectId,
+        fan_parallel: bool,
+        stats: &mut RunStats,
+    ) -> Result<Vec<ObjectId>, CrpError> {
+        let fan = ShardFanOut {
+            shards: &self.shards,
+            parallel: fan_parallel && self.shards.len() > 1,
+        };
+        let parts = fan.fan(|shard| shard.coverage_hits(region, exclude));
+        Ok(super::merge::merge_candidate_ids(ShardFanOut::fold_parts(
+            parts, stats,
+        )))
     }
 }
 
@@ -1461,6 +1647,10 @@ impl RegionHitSource for ShardFanOut<'_> {
 }
 
 #[cfg(test)]
+// The deprecated `explain_*_as` entry points are exercised on purpose:
+// these tests pin that the thin shims stay bit-identical to the
+// planner path they forward into.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::engine::ExplainEngine;

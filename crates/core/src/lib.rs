@@ -66,7 +66,10 @@ pub use combinations::{
 pub use config::CpConfig;
 pub use cp::collect_candidates;
 pub use engine::merge::merge_candidate_ids;
-pub use engine::{EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy, ShardedExplainEngine};
+pub use engine::{
+    EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy, PlanCounters,
+    PlanReport, ShardPolicy, ShardedExplainEngine,
+};
 pub use error::CrpError;
 pub use matrix::{DominanceMatrix, PrEvaluator};
 // The live-session vocabulary: updates are applied through

@@ -9,9 +9,15 @@
 //! ordering contract), and the combinatorics primitives FMCS leans on
 //! must behave at their boundary sizes.
 
+// The deprecated `explain_*_as` entry points are exercised throughout
+// on purpose: these tests pin that the thin shims stay bit-identical to
+// the planner path they forward into.
+#![allow(deprecated)]
+
 use crp_core::{
     binomial, for_each_combination, oracle_cp, oracle_cr, CpConfig, CrpError, CrpOutcome,
-    EngineConfig, ExplainEngine, ExplainStrategy, ShardPolicy, ShardedExplainEngine,
+    EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy, ShardPolicy,
+    ShardedExplainEngine,
 };
 use crp_geom::{HyperRect, Point};
 use crp_uncertain::{ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainObject};
@@ -834,6 +840,251 @@ proptest! {
 /// FMCS enumerates `C(n, k)` for `n` up to the free-candidate cap; the
 /// saturating `binomial` must stay exact at every size the search can
 /// reach and saturate (not wrap) beyond u128.
+/// Interpolates `q` toward `target` by factor `t ∈ [0, 1]` — when
+/// `target` is a sample of the non-answer, the interpolated query's
+/// dominance window for that sample is contained in the base query's,
+/// the premise of the planner's cross-query containment rule.
+fn interp(q: &Point, target: &Point, t: f64) -> Point {
+    Point::new(
+        q.coords()
+            .iter()
+            .zip(target.coords())
+            .map(|(a, b)| a + t * (b - a))
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    // Each case executes a planned multi-query workload on the
+    // unsharded engine AND 3 policies × 3 shard counts, comparing
+    // every task against the pre-planner per-call dispatch on a fresh
+    // session; few cases cover a lot of ground.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance pin of the plan layer: planned execution —
+    /// α-sweeps sharing stage-1 rows, nearby queries deriving their
+    /// candidates by window containment — is bit-identical (causes
+    /// *and* `subsets_examined`/`prsq_evaluations`) to per-call
+    /// explains, whether or not containment actually triggers for a
+    /// given geometry.
+    #[test]
+    fn planned_discrete_execution_matches_per_call(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        t in prop::sample::select(vec![0.1, 0.35, 0.7]),
+    ) {
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        // A nearby query interpolated toward the first object's first
+        // sample: its windows often nest inside the base query's
+        // (derivation fires), but correctness must not depend on it.
+        let q2 = interp(&q, ds.object_at(0).samples()[0].point(), t);
+        let alphas = vec![0.35, 0.8];
+        let request = ExplainRequest::query_sweep(vec![q.clone(), q2.clone()], &ids)
+            .with_strategy(ExplainStrategy::Cp)
+            .with_alphas(alphas.clone());
+        let config = EngineConfig::with_alpha(0.5);
+        let reference = ExplainEngine::new(ds.clone(), config).expect("valid config");
+        let cp = CpConfig::default();
+        let mut expected = Vec::new();
+        for qq in [&q, &q2] {
+            for &an in &ids {
+                for &alpha in &alphas {
+                    expected.push(reference.explain_direct(ExplainStrategy::Cp, qq, alpha, an, &cp));
+                }
+            }
+        }
+
+        let engine = ExplainEngine::new(ds.clone(), config).expect("valid config");
+        let report = engine.run(std::slice::from_ref(&request));
+        prop_assert_eq!(report.results.len(), expected.len());
+        let distinct_q = if q2.coords() == q.coords() { 1 } else { 2 };
+        prop_assert_eq!(report.counters.stage1_units, distinct_q * ids.len());
+        prop_assert_eq!(
+            report.counters.stage1_shared_tasks,
+            report.counters.tasks - distinct_q * ids.len()
+        );
+        for (i, (want, got)) in expected.iter().zip(&report.results).enumerate() {
+            assert_sharded_matches(want, got.clone(), &format!("unsharded planned, task {i}"))?;
+        }
+
+        for policy in ShardPolicy::ALL {
+            for shards in LIVE_SHARDS {
+                let engine = ShardedExplainEngine::new(ds.clone(), config, shards, policy)
+                    .expect("valid config");
+                let report = engine.run(std::slice::from_ref(&request));
+                for (i, (want, got)) in expected.iter().zip(&report.results).enumerate() {
+                    assert_sharded_matches(
+                        want,
+                        got.clone(),
+                        &format!("planned {policy} × {shards}, task {i}"),
+                    )?;
+                }
+            }
+        }
+    }
+
+    /// The same pin on the continuous-pdf pipeline, whose containment
+    /// rule runs on the per-quadrant window boxes.
+    #[test]
+    fn planned_pdf_execution_matches_per_call(
+        ds in pdf_dataset(2),
+        q in query(2),
+        t in prop::sample::select(vec![0.2, 0.6]),
+    ) {
+        let resolution = 3;
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        let q2 = interp(&q, &ds.objects()[0].region().center(), t);
+        let alphas = vec![0.3, 0.7];
+        let request = ExplainRequest::query_sweep(vec![q.clone(), q2.clone()], &ids)
+            .with_strategy(ExplainStrategy::Cp)
+            .with_alphas(alphas.clone());
+        let config = EngineConfig::with_alpha(0.5);
+        let reference = ExplainEngine::for_pdf(ds.clone(), resolution, config).expect("valid config");
+        let cp = CpConfig::default();
+        let mut expected = Vec::new();
+        for qq in [&q, &q2] {
+            for &an in &ids {
+                for &alpha in &alphas {
+                    expected.push(reference.explain_direct(ExplainStrategy::Cp, qq, alpha, an, &cp));
+                }
+            }
+        }
+
+        let engine = ExplainEngine::for_pdf(ds.clone(), resolution, config).expect("valid config");
+        let report = engine.run(std::slice::from_ref(&request));
+        for (i, (want, got)) in expected.iter().zip(&report.results).enumerate() {
+            assert_sharded_matches(want, got.clone(), &format!("pdf planned, task {i}"))?;
+        }
+
+        for policy in ShardPolicy::ALL {
+            for shards in LIVE_SHARDS {
+                let engine =
+                    ShardedExplainEngine::for_pdf(ds.clone(), resolution, config, shards, policy)
+                        .expect("valid config");
+                let report = engine.run(std::slice::from_ref(&request));
+                for (i, (want, got)) in expected.iter().zip(&report.results).enumerate() {
+                    assert_sharded_matches(
+                        want,
+                        got.clone(),
+                        &format!("pdf planned {policy} × {shards}, task {i}"),
+                    )?;
+                }
+            }
+        }
+    }
+
+    /// Mid-plan invalidation: a plan executed before an update must
+    /// not leak stale rows into a plan executed after it — post-update
+    /// planned results equal a fresh session on the final dataset.
+    #[test]
+    fn planned_execution_survives_apply_invalidation(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        points in live_points(2),
+        alpha in prop::sample::select(vec![0.5, 0.8]),
+    ) {
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        let request = ExplainRequest::batch(&q, &ids)
+            .with_strategy(ExplainStrategy::Cp)
+            .with_alpha(alpha);
+        let config = EngineConfig::with_alpha(alpha);
+        let next_id = ObjectId(ds.iter().map(|o| o.id().0).max().unwrap_or(0) + 1);
+        let obj = UncertainObject::with_equal_probs(next_id, points).expect("non-empty samples");
+
+        // Fresh reference over the post-update dataset.
+        let mut updated = ds.clone();
+        updated.push(obj.clone()).expect("fresh id");
+        let reference = ExplainEngine::new(updated.clone(), config).expect("valid config");
+        let cp = CpConfig::default();
+        let expected: Vec<_> = ids
+            .iter()
+            .map(|&an| reference.explain_direct(ExplainStrategy::Cp, &q, alpha, an, &cp))
+            .collect();
+
+        // Unsharded: warm the caches with a plan, mutate, re-plan.
+        let mut engine = ExplainEngine::new(ds.clone(), config).expect("valid config");
+        let _ = engine.run(std::slice::from_ref(&request));
+        engine.apply(Update::Insert(obj.clone())).expect("fresh id");
+        let report = engine.run(std::slice::from_ref(&request));
+        for (i, (want, got)) in expected.iter().zip(&report.results).enumerate() {
+            assert_sharded_matches(want, got.clone(), &format!("post-apply planned, an {i}"))?;
+        }
+
+        // Sharded: same protocol across policies at 2 shards.
+        for policy in ShardPolicy::ALL {
+            let mut engine = ShardedExplainEngine::new(ds.clone(), config, 2, policy)
+                .expect("valid config");
+            let _ = engine.run(std::slice::from_ref(&request));
+            engine.apply(Update::Insert(obj.clone())).expect("fresh id");
+            let report = engine.run(std::slice::from_ref(&request));
+            for (i, (want, got)) in expected.iter().zip(&report.results).enumerate() {
+                assert_sharded_matches(
+                    want,
+                    got.clone(),
+                    &format!("post-apply planned {policy}, an {i}"),
+                )?;
+            }
+        }
+    }
+}
+
+/// Deterministic containment fixture: a single-sample non-answer and
+/// two queries interpolated toward it guarantee the nested-window
+/// premise, so the planner must derive two of the three stage-1 units
+/// from the base query's coverage — one traversal for the whole grid —
+/// while staying bit-identical to per-call explains.
+#[test]
+fn planned_nearby_queries_derive_stage1_by_containment() {
+    let ds = UncertainDataset::from_objects(vec![
+        UncertainObject::certain(ObjectId(0), Point::from([10.0, 10.0])),
+        UncertainObject::certain(ObjectId(1), Point::from([7.0, 7.0])),
+        UncertainObject::with_equal_probs(
+            ObjectId(2),
+            vec![Point::from([8.0, 9.0]), Point::from([6.0, 6.5])],
+        )
+        .unwrap(),
+        UncertainObject::certain(ObjectId(3), Point::from([40.0, 40.0])),
+    ])
+    .unwrap();
+    let q = Point::from([5.0, 5.0]);
+    let an = ObjectId(0);
+    let target = Point::from([10.0, 10.0]); // the an's only sample
+    let grid = vec![
+        q.clone(),
+        interp(&q, &target, 0.1),
+        interp(&q, &target, 0.25),
+    ];
+    let config = EngineConfig::with_alpha(0.75);
+
+    let reference = ExplainEngine::new(ds.clone(), config).expect("valid config");
+    let cp = CpConfig::default();
+    let expected: Vec<_> = grid
+        .iter()
+        .map(|qq| reference.explain_direct(ExplainStrategy::Cp, qq, 0.75, an, &cp))
+        .collect();
+
+    let engine = ExplainEngine::new(ds, config).expect("valid config");
+    let report = engine.run(&[ExplainRequest::query_sweep(grid, &[an])
+        .with_strategy(ExplainStrategy::Cp)
+        .with_alpha(0.75)]);
+    assert_eq!(report.counters.stage1_units, 3);
+    assert_eq!(
+        report.counters.stage1_traversals, 1,
+        "the base query's coverage serves the nested ones: {:?}",
+        report.counters
+    );
+    assert_eq!(report.counters.stage1_derived, 2, "{:?}", report.counters);
+    for (want, got) in expected.iter().zip(&report.results) {
+        let (want, got) = (
+            want.as_ref().expect("non-answer"),
+            got.as_ref().expect("non-answer"),
+        );
+        assert_eq!(want.causes, got.causes);
+        assert_eq!(want.stats.subsets_examined, got.stats.subsets_examined);
+        assert_eq!(want.stats.prsq_evaluations, got.stats.prsq_evaluations);
+    }
+}
+
 #[test]
 fn binomial_is_exact_at_fmcs_boundary_sizes() {
     // Pascal's rule over the whole range FMCS can touch (tractability

@@ -19,6 +19,10 @@
 //! cargo run --release --example live_session
 //! ```
 
+// The deprecated per-call entry points are exercised deliberately:
+// these measurements/examples pin the legacy surface, which now
+// forwards through the query planner.
+#![allow(deprecated)]
 use prsq_crp::data::{uncertain_dataset, UncertainConfig};
 use prsq_crp::prelude::*;
 use prsq_crp::uncertain::Update;

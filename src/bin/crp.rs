@@ -29,6 +29,14 @@
 //! crp replay --data cars.csv --schema points --query 11580,49000 \
 //!            --workload ops.txt [--shards 4 --shard-policy spatial]
 //!
+//! # Plan a whole workload — an α range and/or a grid of nearby
+//! # queries over a fixed non-answer set — as ONE request: the planner
+//! # dedups stage-1 work across the grid (window containment) and the
+//! # α range (shared dominance rows), and reports what it saved.
+//! crp sweep --data nba.csv --schema seasons --query 3500,1500,600,800 \
+//!           --objects 23,42 --alphas 0.3,0.5,0.7 \
+//!           --q-grid 10:10,25:25 [--shards 4 --shard-policy spatial]
+//!
 //! # Emit a synthetic stand-in dataset as CSV.
 //! crp generate --kind nba   --out league.csv
 //! crp generate --kind cardb --out cars.csv
@@ -51,9 +59,10 @@ use prsq_crp::uncertain::Epoch;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: crp <query|explain|explain-batch|replay|generate> [--data FILE \
+const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|generate> [--data FILE \
      --schema points|seasons --query a1,a2,… --alpha A --object ID \
-     --objects ID,ID,…|all --budget N --serial --workload FILE \
+     --objects ID,ID,…|all --alphas A,A,… --q-grid d1:d2,d1:d2,… \
+     --budget N --serial --workload FILE \
      --shards N --shard-policy round-robin|hash-by-id|spatial \
      | --kind nba|cardb --out FILE]";
 
@@ -104,11 +113,25 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--shards", true),
         ("--shard-policy", true),
     ];
+    const SWEEP: &[(&str, bool)] = &[
+        ("--data", true),
+        ("--schema", true),
+        ("--query", true),
+        ("--alpha", true),
+        ("--alphas", true),
+        ("--q-grid", true),
+        ("--budget", true),
+        ("--objects", true),
+        ("--serial", false),
+        ("--shards", true),
+        ("--shard-policy", true),
+    ];
     const GENERATE: &[(&str, bool)] = &[("--kind", true), ("--out", true)];
     match command {
         "query" => Some(QUERY),
         "explain" => Some(EXPLAIN),
         "explain-batch" => Some(EXPLAIN_BATCH),
+        "sweep" => Some(SWEEP),
         "replay" => Some(REPLAY),
         "generate" => Some(GENERATE),
         _ => None,
@@ -182,6 +205,41 @@ fn parse_sharding(cli: &Cli) -> Result<(usize, ShardPolicy), String> {
     }
     let policy = cli.parse("--shard-policy")?.unwrap_or_default();
     Ok((shards, policy))
+}
+
+/// `--alphas 0.3,0.5,0.7` — the α list of a sweep request.
+fn parse_alphas(raw: &str) -> Result<Vec<f64>, String> {
+    let alphas: Result<Vec<f64>, _> = raw.split(',').map(|tok| tok.trim().parse()).collect();
+    match alphas {
+        Ok(v) if !v.is_empty() => Ok(v),
+        Ok(_) => Err("--alphas needs at least one value".into()),
+        Err(e) => Err(format!("bad --alphas {raw:?}: {e}")),
+    }
+}
+
+/// `--q-grid d1:d2,d1:d2,…` — offset vectors added to the base query
+/// point; the sweep always includes the base point itself.
+fn parse_q_grid(raw: &str, base: &Point) -> Result<Vec<Point>, String> {
+    let mut grid = vec![base.clone()];
+    for entry in raw.split(',') {
+        let coords: Result<Vec<f64>, _> = entry.split(':').map(|c| c.trim().parse()).collect();
+        let offsets = coords.map_err(|e| format!("bad --q-grid entry {entry:?}: {e}"))?;
+        if offsets.len() != base.dim() {
+            return Err(format!(
+                "--q-grid entry {entry:?} has {} offset(s) but the query has {} attribute(s)",
+                offsets.len(),
+                base.dim()
+            ));
+        }
+        grid.push(Point::new(
+            base.coords()
+                .iter()
+                .zip(&offsets)
+                .map(|(c, d)| c + d)
+                .collect::<Vec<f64>>(),
+        ));
+    }
+    Ok(grid)
 }
 
 fn parse_query_point(raw: &str) -> Result<Point, String> {
@@ -273,6 +331,15 @@ impl AnyEngine {
         match self {
             AnyEngine::Single(e) => e.apply(update),
             AnyEngine::Sharded(e) => e.apply(update),
+        }
+    }
+
+    /// Plans and executes a whole workload (both flavours implement
+    /// [`ExplainSession`], so this is one trait call either way).
+    fn run(&self, requests: &[ExplainRequest]) -> PlanReport {
+        match self {
+            AnyEngine::Single(e) => e.run(requests),
+            AnyEngine::Sharded(e) => e.run(requests),
         }
     }
 }
@@ -469,6 +536,77 @@ fn cmd_replay(engine: &mut AnyEngine, q: &Point, ops: &[WorkloadOp]) -> Result<(
     Ok(())
 }
 
+/// `sweep`: one planned request over a query grid × non-answer set ×
+/// α list. The point of the subcommand is the plan report: how many
+/// stage-1 work units the workload really needed, how many were
+/// derived from a containing query's coverage or served from the
+/// session cache — the counters the `plan_sweep` bench tracks, on the
+/// user's own data.
+fn cmd_sweep(
+    engine: &AnyEngine,
+    queries: Vec<Point>,
+    objects: &[ObjectId],
+    alphas: Vec<f64>,
+    serial: bool,
+) -> Result<(), String> {
+    let ds = engine.dataset();
+    let mut request =
+        ExplainRequest::query_sweep(queries.clone(), objects).with_alphas(alphas.clone());
+    if serial {
+        request = request.serial();
+    }
+    let started = std::time::Instant::now();
+    let report = engine.run(std::slice::from_ref(&request));
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut failures = 0usize;
+    let mut results = report.results.iter();
+    for (qi, q) in queries.iter().enumerate() {
+        for &object in objects {
+            for &alpha in &alphas {
+                let outcome = results.next().expect("one result per task");
+                let label = label_of(ds, object);
+                match outcome {
+                    Ok(out) => {
+                        let top = out
+                            .by_responsibility()
+                            .first()
+                            .map(|c| {
+                                format!(
+                                    "{} (1/{})",
+                                    label_of(ds, c.id),
+                                    c.min_contingency.len() + 1
+                                )
+                            })
+                            .unwrap_or_else(|| "-".into());
+                        println!(
+                            "q#{qi} {q} α={alpha:<5} {label:<24} {} cause(s), top {top}",
+                            out.causes.len()
+                        );
+                    }
+                    Err(CrpError::NotANonAnswer { prob }) => {
+                        println!("q#{qi} {q} α={alpha:<5} {label:<24} ANSWER (Pr = {prob:.3})");
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        println!("q#{qi} {q} α={alpha:<5} {label:<24} {e}");
+                    }
+                }
+            }
+        }
+    }
+    println!("plan: {} in {elapsed_ms:.1} ms", report.counters);
+    let io = engine.accumulated_io();
+    println!(
+        "session totals: {} node accesses | cache: {} hit(s), {} miss(es), {} eviction(s)",
+        io.node_accesses, io.cache_hits, io.cache_misses, io.cache_evictions
+    );
+    if failures > 0 {
+        return Err(format!("{failures} task(s) failed"));
+    }
+    Ok(())
+}
+
 fn parse_objects(raw: &str, ds: &UncertainDataset) -> Result<Vec<ObjectId>, String> {
     if raw == "all" {
         return Ok(ds.iter().map(|o| o.id()).collect());
@@ -507,7 +645,7 @@ fn run() -> Result<(), String> {
             let out = cli.require("--out", "FILE")?;
             cmd_generate(kind, out)
         }
-        "query" | "explain" | "explain-batch" | "replay" => {
+        "query" | "explain" | "explain-batch" | "sweep" | "replay" => {
             let data = cli.require("--data", "FILE")?;
             let schema = cli.get("--schema").unwrap_or("points");
             let q = parse_query_point(cli.require("--query", "a1,a2,…")?)?;
@@ -531,6 +669,20 @@ fn run() -> Result<(), String> {
                 let mut engine =
                     build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy)?;
                 return cmd_replay(&mut engine, &q, &ops);
+            }
+            if cli.command == "sweep" {
+                let raw = cli.require("--objects", "ID,ID,… (or 'all')")?;
+                let objects = parse_objects(raw, &ds)?;
+                let alphas = match cli.get("--alphas") {
+                    Some(raw) => parse_alphas(raw)?,
+                    None => vec![alpha],
+                };
+                let queries = match cli.get("--q-grid") {
+                    Some(raw) => parse_q_grid(raw, &q)?,
+                    None => vec![q.clone()],
+                };
+                let engine = build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy)?;
+                return cmd_sweep(&engine, queries, &objects, alphas, cli.has("--serial"));
             }
             if cli.command == "explain" {
                 let id = ObjectId(
@@ -630,6 +782,55 @@ mod tests {
         // --shards is rejected where sharding makes no sense.
         assert!(parse_cli(&args(&["query", "--shards", "4"])).is_err());
         assert!(parse_cli(&args(&["generate", "--shards", "4"])).is_err());
+    }
+
+    #[test]
+    fn sweep_flag_parsing() {
+        use super::{parse_alphas, parse_q_grid};
+        use prsq_crp::prelude::Point;
+        // The sweep subcommand accepts the workload flags.
+        let cli = parse_cli(&args(&[
+            "sweep",
+            "--data",
+            "x.csv",
+            "--query",
+            "5,5",
+            "--objects",
+            "all",
+            "--alphas",
+            "0.3,0.5,0.7",
+            "--q-grid",
+            "1:1,2.5:2.5",
+            "--shards",
+            "2",
+            "--serial",
+        ]))
+        .unwrap();
+        assert_eq!(cli.get("--alphas"), Some("0.3,0.5,0.7"));
+        assert_eq!(cli.get("--q-grid"), Some("1:1,2.5:2.5"));
+        assert!(cli.has("--serial"));
+        assert_eq!(parse_sharding(&cli).unwrap().0, 2);
+
+        // Value parsing: α lists and offset grids, strictly validated.
+        assert_eq!(parse_alphas("0.3, 0.5").unwrap(), vec![0.3, 0.5]);
+        assert!(parse_alphas("0.3,x").unwrap_err().contains("--alphas"));
+        let base = Point::from([5.0, 5.0]);
+        let grid = parse_q_grid("1:1,-2:0.5", &base).unwrap();
+        assert_eq!(grid.len(), 3, "base point + two offsets");
+        assert_eq!(grid[0].coords(), &[5.0, 5.0]);
+        assert_eq!(grid[1].coords(), &[6.0, 6.0]);
+        assert_eq!(grid[2].coords(), &[3.0, 5.5]);
+        // Wrong arity and junk are errors, not silent truncation.
+        assert!(parse_q_grid("1:1:1", &base).unwrap_err().contains("offset"));
+        assert!(parse_q_grid("1:x", &base).unwrap_err().contains("--q-grid"));
+
+        // Sweep-only flags are rejected elsewhere; --object is not a
+        // sweep flag (sweeps take --objects).
+        assert!(parse_cli(&args(&["explain", "--alphas", "0.5"])).is_err());
+        assert!(parse_cli(&args(&["explain-batch", "--q-grid", "1:1"])).is_err());
+        assert!(parse_cli(&args(&["query", "--alphas", "0.5"])).is_err());
+        assert!(parse_cli(&args(&["sweep", "--object", "3"])).is_err());
+        assert!(parse_cli(&args(&["sweep", "--workload", "ops.txt"])).is_err());
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub use crp_uncertain as uncertain;
 pub mod prelude {
     pub use crp_core::{
         answer_causes, merge_candidate_ids, oracle_cp, oracle_cr, Cause, CpConfig, CrpError,
-        CrpOutcome, EngineConfig, ExplainEngine, ExplainStrategy, RunStats, ShardPolicy,
-        ShardedExplainEngine,
+        CrpOutcome, EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy,
+        PlanCounters, PlanReport, RunStats, ShardPolicy, ShardedExplainEngine,
     };
     #[allow(deprecated)]
     pub use crp_core::{cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii};
