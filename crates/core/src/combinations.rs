@@ -78,6 +78,12 @@ pub enum DeltaEvent<'a> {
 /// rolled back after completion or early exit; the consumer resets its
 /// state per enumeration. A single callback (rather than one per event
 /// kind) lets the consumer thread one `&mut` workspace through both.
+///
+/// A consumer that re-bases its state at each enumeration start may
+/// also *ignore* every move of an enumeration it can answer wholesale —
+/// FMCS does this when a cardinality-level bound certifies all size-`k`
+/// subsets inert: the `Subset` events still drive the accounting, but
+/// no state is folded.
 pub fn for_each_combination_delta(
     n: usize,
     k: usize,

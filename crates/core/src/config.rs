@@ -44,6 +44,17 @@ pub struct CpConfig {
     /// kernel-agreement tests. Explanations and search counters are
     /// identical either way.
     pub use_columnar_kernel: bool,
+    /// Candidate-batched probe evaluation on the columnar kernel: the
+    /// Lemma 5 singleton sweep computes all `|Cc|` single-candidate
+    /// probabilities in one prefix/suffix streaming pass, FMCS
+    /// condition-(i)/(ii) pairs share one pass over the complement
+    /// matrix in direct mode, and the incremental evaluator screens
+    /// provably-below-α subsets in log space without calling `exp`.
+    /// `false` reproduces the sequential single-probe protocol (the
+    /// before/after baseline of `hotpath_sweep`). Explanations and the
+    /// `subsets_examined`/`prsq_evaluations` counters are identical
+    /// either way.
+    pub use_batched_probes: bool,
 }
 
 impl Default for CpConfig {
@@ -57,6 +68,7 @@ impl Default for CpConfig {
             max_subsets: None,
             parallel_fmcs: false,
             use_columnar_kernel: true,
+            use_batched_probes: true,
         }
     }
 }
@@ -73,6 +85,7 @@ impl CpConfig {
             max_subsets: None,
             parallel_fmcs: false,
             use_columnar_kernel: true,
+            use_batched_probes: true,
         }
     }
 

@@ -36,11 +36,14 @@ use super::refine::RefinePlan;
 use crate::combinations::{for_each_combination, for_each_combination_delta, DeltaEvent, DeltaOp};
 use crate::config::CpConfig;
 use crate::error::CrpError;
-use crate::matrix::{with_scratch, DominanceMatrix, PrEvaluator, Scratch, SharedBounds, GUARD};
+use crate::matrix::{
+    with_scratch, DominanceMatrix, FastVerdict, PrEvaluator, Scratch, SharedBounds, GUARD,
+};
 use crate::types::RunStats;
 use crp_geom::PROB_EPSILON;
 use crp_rtree::QueryStats;
 use rayon::prelude::*;
+use std::cell::Cell;
 
 /// A cause expressed in candidate indices (mapped to object ids by the
 /// pipeline driver).
@@ -61,7 +64,7 @@ pub(crate) fn is_answer(pr: f64, alpha: f64) -> bool {
 
 /// Candidate counts from which the incremental log-space evaluator beats
 /// the direct `O(|Cc|·L)` product (see [`PrEvaluator`]).
-const INCREMENTAL_THRESHOLD: usize = 64;
+pub(crate) const INCREMENTAL_THRESHOLD: usize = 64;
 
 /// The evaluator a [`Checker`] consults: owned by the serial driver,
 /// borrowed from a shared instance by the parallel workers (building
@@ -86,6 +89,15 @@ pub(crate) struct Checker<'m> {
     evaluator: Evaluator<'m>,
     /// Columnar/delta kernels vs the pre-rewrite reference path.
     columnar: bool,
+    /// Candidate-batched probes: the fused condition pair / singleton
+    /// sweep / log-domain screen ([`CpConfig::use_batched_probes`]);
+    /// only meaningful on the columnar kernel.
+    batched: bool,
+    /// Memoised log-domain screen threshold, keyed by `α` bits (the
+    /// evaluator's weight sum is fixed per checker). A `Cell` — each
+    /// parallel worker owns its own checker, only the [`PrEvaluator`]
+    /// is shared.
+    screen: Cell<(u64, f64)>,
 }
 
 impl<'m> Checker<'m> {
@@ -105,6 +117,8 @@ impl<'m> Checker<'m> {
             matrix,
             evaluator,
             columnar: config.use_columnar_kernel,
+            batched: config.use_batched_probes && config.use_columnar_kernel,
+            screen: Cell::new((f64::NAN.to_bits(), f64::NEG_INFINITY)),
         }
     }
 
@@ -125,7 +139,33 @@ impl<'m> Checker<'m> {
                 None => Evaluator::Direct,
             },
             columnar: config.use_columnar_kernel,
+            batched: config.use_batched_probes && config.use_columnar_kernel,
+            screen: Cell::new((f64::NAN.to_bits(), f64::NEG_INFINITY)),
         }
+    }
+
+    /// The log-domain screen threshold for `α`:
+    /// `ln((α − GUARD)/Σw) − margin`, or `-∞` (screen disabled) when the
+    /// bound cannot certify anything (`α ≤ GUARD` or degenerate
+    /// weights). Memoised per α — the subset loop calls this millions
+    /// of times with the same value.
+    fn ln_threshold(&self, alpha: f64, weight_sum: f64) -> f64 {
+        let key = alpha.to_bits();
+        let (cached_key, cached) = self.screen.get();
+        if cached_key == key {
+            return cached;
+        }
+        let num = alpha - GUARD;
+        let thr = if num > 0.0 && weight_sum > 0.0 {
+            // The 1e-9 log-space margin dominates every rounding step
+            // of the screen's bound chain (see `PrEvaluator` docs), so
+            // a certified `Below` is certain.
+            (num / weight_sum).ln() - 1e-9
+        } else {
+            f64::NEG_INFINITY
+        };
+        self.screen.set((key, thr));
+        thr
     }
 
     fn evaluator(&self) -> Option<&PrEvaluator<'_>> {
@@ -152,10 +192,10 @@ impl<'m> Checker<'m> {
             // its guard-banded columnar counterpart.
             scratch.clear_mask();
             for &c in removed {
-                scratch.mask[c] = true;
+                scratch.set_removed(c);
             }
             if !self.columnar {
-                return is_answer(self.matrix.pr_with_removed(&scratch.mask), alpha);
+                return is_answer(self.matrix.pr_with_removed_fmask(&scratch.mask), alpha);
             }
             let fast = self.matrix.pr_with_removed_columnar(&scratch.mask);
             return self.settle(fast, alpha, &scratch.mask, query);
@@ -168,9 +208,9 @@ impl<'m> Checker<'m> {
             query.eval_slow += 1;
             scratch.clear_mask();
             for &c in removed {
-                scratch.mask[c] = true;
+                scratch.set_removed(c);
             }
-            return is_answer(self.matrix.pr_with_removed(&scratch.mask), alpha);
+            return is_answer(self.matrix.pr_with_removed_fmask(&scratch.mask), alpha);
         }
         query.eval_fast += 1;
         is_answer(fast, alpha)
@@ -179,10 +219,31 @@ impl<'m> Checker<'m> {
     /// Guard-banded verdict for a fast probability estimate: near the
     /// decision threshold, re-verify with the exact reference product
     /// over `mask`.
-    fn settle(&self, fast: f64, alpha: f64, mask: &[bool], query: &mut QueryStats) -> bool {
+    fn settle(&self, fast: f64, alpha: f64, mask: &[f64], query: &mut QueryStats) -> bool {
         if (fast - alpha).abs() <= GUARD {
             query.eval_slow += 1;
-            return is_answer(self.matrix.pr_with_removed(mask), alpha);
+            return is_answer(self.matrix.pr_with_removed_fmask(mask), alpha);
+        }
+        query.eval_fast += 1;
+        is_answer(fast, alpha)
+    }
+
+    /// [`Checker::settle`] with candidate `cc` transiently folded into
+    /// the mask for the exact fallback — the condition-(ii) variant.
+    fn settle_extra(
+        &self,
+        cc: usize,
+        fast: f64,
+        alpha: f64,
+        scratch: &mut Scratch,
+        query: &mut QueryStats,
+    ) -> bool {
+        if (fast - alpha).abs() <= GUARD {
+            query.eval_slow += 1;
+            scratch.set_removed(cc);
+            let verdict = is_answer(self.matrix.pr_with_removed_fmask(&scratch.mask), alpha);
+            scratch.unset_removed(cc);
+            return verdict;
         }
         query.eval_fast += 1;
         is_answer(fast, alpha)
@@ -197,12 +258,12 @@ impl<'m> Checker<'m> {
         if let Some(ev) = self.evaluator() {
             ev.delta_begin(scratch);
             for &c in forced {
-                scratch.mask[c] = true;
+                scratch.set_removed(c);
                 ev.delta_add(c, scratch);
             }
         } else {
             for &c in forced {
-                scratch.mask[c] = true;
+                scratch.set_removed(c);
             }
         }
     }
@@ -213,14 +274,14 @@ impl<'m> Checker<'m> {
         match op {
             DeltaOp::Add(s) => {
                 let c = search[s];
-                scratch.mask[c] = true;
+                scratch.set_removed(c);
                 if let Some(ev) = self.evaluator() {
                     ev.delta_add(c, scratch);
                 }
             }
             DeltaOp::Remove(s) => {
                 let c = search[s];
-                scratch.mask[c] = false;
+                scratch.unset_removed(c);
                 if let Some(ev) = self.evaluator() {
                     ev.delta_remove(c, scratch);
                 }
@@ -247,26 +308,161 @@ impl<'m> Checker<'m> {
         scratch: &mut Scratch,
         query: &mut QueryStats,
     ) -> bool {
-        debug_assert!(!scratch.mask[cc]);
+        debug_assert!(!scratch.is_removed(cc));
         let fast = match self.evaluator() {
             Some(ev) => ev.delta_pr_with_extra(cc, scratch),
             None => {
-                scratch.mask[cc] = true;
+                scratch.set_removed(cc);
                 let fast = self.matrix.pr_with_removed_columnar(&scratch.mask);
-                scratch.mask[cc] = false;
+                scratch.unset_removed(cc);
                 fast
             }
         };
+        self.settle_extra(cc, fast, alpha, scratch, query)
+    }
+
+    /// One FMCS subset check — both conditions for the maintained `Γ`
+    /// and its extension candidate `cc` — through the fastest route the
+    /// checker's mode allows. The caller owns the counter protocol:
+    /// `flips` is only meaningful when `answer` is false (condition (ii)
+    /// is never *charged* — nor, in unbatched mode, evaluated — when
+    /// condition (i) already holds).
+    fn probe(&self, cc: usize, alpha: f64, scratch: &mut Scratch, query: &mut QueryStats) -> Probe {
+        if !self.batched {
+            let answer = self.current_is_answer(alpha, scratch, query);
+            let flips = !answer && self.extra_is_answer(cc, alpha, scratch, query);
+            return Probe { answer, flips };
+        }
+        match self.evaluator() {
+            Some(ev) => {
+                // Screened incremental route: the log-domain screen
+                // certifies almost every deep probe `< α − GUARD` with
+                // zero `exp` calls; anything it cannot certify runs the
+                // exact same guard-banded evaluation as unbatched mode,
+                // so verdicts are identical.
+                let thr = self.ln_threshold(alpha, ev.weight_sum());
+                let answer = match ev.delta_verdict(scratch, thr) {
+                    FastVerdict::Below => {
+                        query.eval_fast += 1;
+                        false
+                    }
+                    FastVerdict::Value(fast) => self.settle(fast, alpha, &scratch.mask, query),
+                };
+                if answer {
+                    return Probe {
+                        answer: true,
+                        flips: false,
+                    };
+                }
+                let flips = match ev.delta_verdict_with_extra(cc, scratch, thr) {
+                    FastVerdict::Below => {
+                        query.eval_fast += 1;
+                        false
+                    }
+                    FastVerdict::Value(fast) => self.settle_extra(cc, fast, alpha, scratch, query),
+                };
+                Probe {
+                    answer: false,
+                    flips,
+                }
+            }
+            None => {
+                // Direct route: one fused streaming pass over the
+                // complement matrix yields both condition values.
+                let (keep, drop) = self.matrix.pr_pair_with_extra(cc, &mut scratch.mask);
+                let answer = self.settle(keep, alpha, &scratch.mask, query);
+                if answer {
+                    return Probe {
+                        answer: true,
+                        flips: false,
+                    };
+                }
+                let flips = self.settle_extra(cc, drop, alpha, scratch, query);
+                Probe {
+                    answer: false,
+                    flips,
+                }
+            }
+        }
+    }
+
+    /// Max per-removal loosening of the cardinality screen over the
+    /// search space, or 0.0 when this checker cannot use the screen
+    /// (no evaluator, or batching off).
+    pub(crate) fn search_neg_bound(&self, search: &[usize]) -> f64 {
+        match self.evaluator() {
+            Some(ev) if self.batched => ev.max_neg_over(search),
+            _ => 0.0,
+        }
+    }
+
+    /// Certifies — at the start of one cardinality's enumeration, with
+    /// the delta state at the forced base — that every size-`k` subset
+    /// keeps both FMCS conditions provably `< α − GUARD` (see
+    /// [`PrEvaluator::cardinality_below`]). The caller then replaces
+    /// the whole walk's evaluations with counter bookkeeping:
+    /// classifications and every counter are exactly what per-subset
+    /// probing would produce.
+    pub(crate) fn cardinality_is_inert(
+        &self,
+        cc: usize,
+        k: usize,
+        search_maxneg: f64,
+        alpha: f64,
+        scratch: &Scratch,
+    ) -> bool {
+        if !self.batched {
+            return false;
+        }
+        let Some(ev) = self.evaluator() else {
+            return false;
+        };
+        let thr = self.ln_threshold(alpha, ev.weight_sum());
+        ev.cardinality_below(scratch, k, search_maxneg, ev.neg_col_max(cc), thr)
+    }
+
+    /// The batched Lemma 5 sweep: fills `scratch.batch_prs` with every
+    /// singleton-removal probability in one prefix/suffix pass. Returns
+    /// false when this checker's mode runs sequential probes instead
+    /// (reference kernel, or batching disabled).
+    pub(crate) fn batch_singletons(&self, scratch: &mut Scratch) -> bool {
+        if !self.batched {
+            return false;
+        }
+        let mut prefix = std::mem::take(&mut scratch.batch_prefix);
+        let mut prs = std::mem::take(&mut scratch.batch_prs);
+        self.matrix.singleton_prs(&mut prefix, &mut prs);
+        scratch.batch_prefix = prefix;
+        scratch.batch_prs = prs;
+        true
+    }
+
+    /// Settles one batched singleton verdict (`fast` =
+    /// `scratch.batch_prs[c]`): near-threshold values re-verify against
+    /// the exact singleton reference, so classifications match the
+    /// sequential probe protocol exactly.
+    pub(crate) fn settle_singleton(
+        &self,
+        c: usize,
+        fast: f64,
+        alpha: f64,
+        query: &mut QueryStats,
+    ) -> bool {
         if (fast - alpha).abs() <= GUARD {
             query.eval_slow += 1;
-            scratch.mask[cc] = true;
-            let verdict = is_answer(self.matrix.pr_with_removed(&scratch.mask), alpha);
-            scratch.mask[cc] = false;
-            return verdict;
+            return is_answer(self.matrix.pr_with_removed_singleton(c), alpha);
         }
         query.eval_fast += 1;
         is_answer(fast, alpha)
     }
+}
+
+/// Outcome of one [`Checker::probe`]: the condition-(i) verdict and —
+/// only meaningful when `answer` is false — whether removing the probe
+/// candidate flips `an` into an answer (condition (ii)).
+struct Probe {
+    answer: bool,
+    flips: bool,
 }
 
 /// Outcome of one candidate's FMCS run.
@@ -315,6 +511,9 @@ fn search_candidate(
     // set of that size exists); otherwise everything up to the whole
     // search space.
     let upper_exclusive = witness_len.unwrap_or(forced.len() + search.len() + 1);
+    // Loosening bound of the batched cardinality screen (one O(|search|)
+    // scan per candidate search; 0.0 when the screen does not apply).
+    let search_maxneg = checker.search_neg_bound(&search);
 
     let mut budget_hit: Option<u64> = None;
     let mut found: Option<Vec<usize>> = None;
@@ -342,10 +541,18 @@ fn search_candidate(
         let budget = config.max_subsets;
         if config.use_columnar_kernel {
             checker.begin(&forced, scratch);
+            // Whole-cardinality certification: when every size-k subset
+            // is provably inert, the walk below skips the delta moves
+            // and evaluations and only advances the counters — exactly
+            // the increments per-subset probing would produce (cond (i)
+            // false → both conditions charged, both screened fast).
+            let inert = checker.cardinality_is_inert(cc, k, search_maxneg, alpha, scratch);
             for_each_combination_delta(search.len(), k, |event| {
                 let _combo = match event {
                     DeltaEvent::Move(op) => {
-                        checker.apply(op, &search, scratch);
+                        if !inert {
+                            checker.apply(op, &search, scratch);
+                        }
                         return false;
                     }
                     DeltaEvent::Subset(combo) => combo,
@@ -358,18 +565,24 @@ fn search_candidate(
                     }
                 }
                 stats.prsq_evaluations += 1;
+                if inert {
+                    stats.prsq_evaluations += 1;
+                    stats.query.eval_fast += 2;
+                    return false;
+                }
                 // Condition (i): P − Γ still a non-answer.
-                if !checker.current_is_answer(alpha, scratch, &mut stats.query) {
+                let probe = checker.probe(cc, alpha, scratch, &mut stats.query);
+                if !probe.answer {
                     stats.prsq_evaluations += 1;
                     // Condition (ii): P − Γ − {cc} becomes an answer.
-                    if checker.extra_is_answer(cc, alpha, scratch, &mut stats.query) {
+                    if probe.flips {
                         // Γ = the maintained mask, already ascending.
                         found = Some(
                             scratch
                                 .mask
                                 .iter()
                                 .enumerate()
-                                .filter_map(|(c, &gone)| gone.then_some(c))
+                                .filter_map(|(c, &gone)| (gone != 0.0).then_some(c))
                                 .collect(),
                         );
                         return true;

@@ -89,10 +89,20 @@ pub(crate) fn classify<'m>(
     let mut excluded = vec![false; n];
     let mut done = vec![false; n];
     if config.use_lemma5 {
+        // Batched mode computes all |Cc| singleton probabilities in one
+        // prefix/suffix pass over the complement matrix; verdicts and
+        // counters are identical to the sequential probes.
+        let batched = checker.batch_singletons(scratch);
         for c in 0..n {
             stats.subsets_examined += 1;
             stats.prsq_evaluations += 1;
-            if checker.is_answer(&[c], alpha, scratch, &mut stats.query) {
+            let counterfactual = if batched {
+                let fast = scratch.batch_prs[c];
+                checker.settle_singleton(c, fast, alpha, &mut stats.query)
+            } else {
+                checker.is_answer(&[c], alpha, scratch, &mut stats.query)
+            };
+            if counterfactual {
                 excluded[c] = true;
                 done[c] = true;
                 results.push(CauseRec {

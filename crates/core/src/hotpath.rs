@@ -31,3 +31,52 @@ pub fn refine_matrix(
         stats,
     )
 }
+
+/// Modeled bytes of matrix-derived state one FMCS subset check streams —
+/// the numerator of `hotpath_sweep`'s "effective GB/s" column.
+///
+/// The model counts the arrays a condition-(i) + condition-(ii) pair
+/// must read (complement-matrix factors, per-sample evaluator state,
+/// removal mask), **not** cache behaviour: small working sets stay
+/// resident in L1/L2, so the derived GB/s can legitimately exceed the
+/// machine's DRAM streaming peak and is best read as *effective*
+/// (algorithmic) bandwidth per kernel variant.
+///
+/// `gamma_len` is the typical removal-set size of the workload (only
+/// the reference evaluator's list walk depends on it).
+pub fn modeled_bytes_per_check(
+    candidates: usize,
+    samples: usize,
+    gamma_len: usize,
+    columnar: bool,
+    batched: bool,
+) -> f64 {
+    let n = candidates as f64;
+    let l = samples as f64;
+    if candidates < crate::engine::fmcs::INCREMENTAL_THRESHOLD {
+        // Direct mode streams the comp matrix plus the f64 mask per
+        // pass; the fused batched pair serves both conditions from one
+        // pass where the sequential protocol takes two.
+        let pass = (n * l + n) * 8.0;
+        return if columnar && batched {
+            pass
+        } else {
+            2.0 * pass
+        };
+    }
+    // Evaluator mode. Per condition: the per-sample state (ones u32 +
+    // delta_ones u32 + log_prod f64 + delta_logq f64 = 24 B/sample);
+    // condition (ii) adds one log-factor column (8 B/sample). The
+    // enumerator's ~2 delta moves per subset each read one log-factor
+    // column and read-modify-write the delta state (16 B/sample).
+    let per_sample_state = 24.0 * l;
+    if columnar {
+        let cond_pair = 2.0 * per_sample_state + 8.0 * l;
+        let moves = 2.0 * (8.0 * l + 16.0 * l);
+        cond_pair + moves
+    } else {
+        // The reference protocol re-walks the whole removal list's
+        // log-factor columns for both conditions.
+        (2.0 * gamma_len as f64 + 1.0) * 8.0 * l + 2.0 * per_sample_state
+    }
+}

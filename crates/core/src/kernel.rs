@@ -1,0 +1,353 @@
+//! The dominance-product compute kernel: explicit AVX2 SIMD with
+//! runtime dispatch, plus its bit-identical scalar twin.
+//!
+//! The refine hot path reduces every subset check to *masked survival
+//! products* over sample-major complement rows (see [`crate::matrix`]):
+//!
+//! ```text
+//! Π_c  max(row[c], mask[c])      row[c] = 1 − dp[c][i] ∈ [0, 1]
+//! ```
+//!
+//! where `mask` is the **multiplicative removal mask** — `1.0` for a
+//! removed candidate, `0.0` for a present one. Because every complement
+//! lies in `[0, 1]` and masks are exactly `0.0`/`1.0`, `max(row, mask)`
+//! yields `1.0` (the neutral factor) for removed candidates and the raw
+//! complement otherwise — a branchless `vmaxpd` + `vmulpd` stream, no
+//! per-lane select and no bool→f64 conversion in the loop.
+//!
+//! Both kernels use the same 16-element accumulation scheme (4 groups ×
+//! 4 lanes; element `16k + 4g + l` lands in group `g`, lane `l`) and the
+//! same fixed reduction tree, so the scalar and AVX2 paths are
+//! **bit-identical** — dispatch can never flip a classification, not
+//! even inside the guard band. The scalar path is the portable fallback
+//! (and what `CRP_KERNEL=scalar` pins for A/B runs); AVX2 is selected at
+//! runtime via `is_x86_feature_detected!` — the build stays plain
+//! stable-toolchain `std::arch`, no nightly `std::simd`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Kernel selection for the masked-product hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Probe the CPU once and pick the widest supported kernel.
+    Auto,
+    /// The portable scalar kernel (bit-identical to the SIMD path).
+    Scalar,
+    /// The AVX2 kernel; selecting it on a CPU without AVX2 is an error.
+    Simd,
+}
+
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(KernelKind::Auto),
+            "scalar" => Ok(KernelKind::Scalar),
+            "simd" => Ok(KernelKind::Simd),
+            other => Err(format!("unknown kernel {other:?} (use auto|scalar|simd)")),
+        }
+    }
+}
+
+const KERNEL_UNSET: u8 = 0;
+const KERNEL_SCALAR: u8 = 1;
+const KERNEL_SIMD: u8 = 2;
+
+/// Process-wide kernel dispatch. Resolved lazily on first use: the
+/// `CRP_KERNEL` environment variable (`auto|scalar|simd`) seeds the
+/// initial value, `Auto` otherwise; [`set_kernel`] overrides it.
+static KERNEL: AtomicU8 = AtomicU8::new(KERNEL_UNSET);
+
+/// True when the AVX2 kernel can run on this machine.
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Pins the masked-product kernel for the whole process (A/B runs, the
+/// CLI's `--kernel` flag, the bench sweep's per-variant legs). Returns
+/// the concrete kernel now active. Requesting [`KernelKind::Simd`] on a
+/// CPU without AVX2 is an error; [`KernelKind::Auto`] silently falls
+/// back to scalar there.
+pub fn set_kernel(kind: KernelKind) -> Result<KernelKind, String> {
+    let resolved = match kind {
+        KernelKind::Scalar => KERNEL_SCALAR,
+        KernelKind::Simd => {
+            if !simd_supported() {
+                return Err("simd kernel unavailable: AVX2 not detected on this CPU".into());
+            }
+            KERNEL_SIMD
+        }
+        KernelKind::Auto => {
+            if simd_supported() {
+                KERNEL_SIMD
+            } else {
+                KERNEL_SCALAR
+            }
+        }
+    };
+    KERNEL.store(resolved, Ordering::Relaxed);
+    Ok(if resolved == KERNEL_SIMD {
+        KernelKind::Simd
+    } else {
+        KernelKind::Scalar
+    })
+}
+
+/// The concrete kernel currently dispatched (`"scalar"` or `"simd"`),
+/// resolving the lazy initial state if needed — what the bench sweep
+/// records next to its throughput rows.
+pub fn active_kernel() -> &'static str {
+    if resolved() == KERNEL_SIMD {
+        "simd"
+    } else {
+        "scalar"
+    }
+}
+
+#[inline]
+fn resolved() -> u8 {
+    let v = KERNEL.load(Ordering::Relaxed);
+    if v != KERNEL_UNSET {
+        return v;
+    }
+    let initial = std::env::var("CRP_KERNEL")
+        .ok()
+        .and_then(|raw| raw.parse::<KernelKind>().ok())
+        .unwrap_or(KernelKind::Auto);
+    // Env-pinned `simd` on a CPU without AVX2 degrades to scalar (the
+    // env var is a hint; the hard error lives in `set_kernel`).
+    let v = match initial {
+        KernelKind::Scalar => KERNEL_SCALAR,
+        _ if simd_supported() => KERNEL_SIMD,
+        _ => KERNEL_SCALAR,
+    };
+    KERNEL.store(v, Ordering::Relaxed);
+    v
+}
+
+/// Accumulator groups (SIMD registers) and lanes per group. One
+/// 16-element step keeps 4 independent `vmulpd` chains in flight, enough
+/// to hide the 4-cycle multiply latency on every AVX2 core.
+const GROUPS: usize = 4;
+const LANES: usize = 4;
+const STRIDE: usize = GROUPS * LANES;
+
+/// Masked survival product `Π_c max(row[c], mask[c])`, dispatched to
+/// the active kernel. `mask[c]` must be exactly `0.0` (present) or
+/// `1.0` (removed); `row` values must be finite and non-negative (they
+/// are probabilities' complements).
+#[inline]
+pub fn masked_product(row: &[f64], mask: &[f64]) -> f64 {
+    debug_assert_eq!(row.len(), mask.len());
+    #[cfg(target_arch = "x86_64")]
+    if resolved() == KERNEL_SIMD {
+        // SAFETY: KERNEL is only ever set to KERNEL_SIMD after
+        // `simd_supported()` confirmed AVX2 via `is_x86_feature_detected!`
+        // (in `set_kernel` / `resolved`), so the target features the
+        // callee enables are present on this CPU.
+        return unsafe { masked_product_avx2(row, mask) };
+    }
+    masked_product_scalar(row, mask)
+}
+
+/// The portable kernel: the same 4×4 accumulation grid and reduction
+/// tree as the AVX2 path, so both produce bit-identical products (the
+/// compiler is free to auto-vectorize this — the grid is exactly the
+/// shape it wants).
+pub fn masked_product_scalar(row: &[f64], mask: &[f64]) -> f64 {
+    let n = row.len();
+    let chunks = n / STRIDE * STRIDE;
+    let mut acc = [[1.0f64; LANES]; GROUPS];
+    let mut base = 0;
+    while base < chunks {
+        for (g, group) in acc.iter_mut().enumerate() {
+            for (l, slot) in group.iter_mut().enumerate() {
+                let k = base + g * LANES + l;
+                *slot *= row[k].max(mask[k]);
+            }
+        }
+        base += STRIDE;
+    }
+    reduce_and_finish(&acc, row, mask, chunks)
+}
+
+/// The AVX2 kernel: 4 × 256-bit accumulators, `vmaxpd` + `vmulpd` per
+/// 16 elements, then the shared reduction tree.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 (checked via
+/// `is_x86_feature_detected!("avx2")` before the dispatch state can
+/// select this path). `row` and `mask` must be equal-length slices —
+/// all loads below stay inside `row[..chunks]` / `mask[..chunks]`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn masked_product_avx2(row: &[f64], mask: &[f64]) -> f64 {
+    use std::arch::x86_64::{
+        _mm256_loadu_pd, _mm256_max_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+    };
+    let n = row.len();
+    let chunks = n / STRIDE * STRIDE;
+    let mut acc = [_mm256_set1_pd(1.0); GROUPS];
+    let rp = row.as_ptr();
+    let mp = mask.as_ptr();
+    let mut base = 0;
+    while base < chunks {
+        for (g, slot) in acc.iter_mut().enumerate() {
+            // SAFETY: base + g·LANES + 3 < chunks ≤ n, so both unaligned
+            // loads read 4 in-bounds f64s.
+            let v = unsafe { _mm256_loadu_pd(rp.add(base + g * LANES)) };
+            let m = unsafe { _mm256_loadu_pd(mp.add(base + g * LANES)) };
+            *slot = _mm256_mul_pd(*slot, _mm256_max_pd(v, m));
+        }
+        base += STRIDE;
+    }
+    let mut grid = [[0.0f64; LANES]; GROUPS];
+    for (g, slot) in acc.iter().enumerate() {
+        // SAFETY: grid[g] is a 4-f64 buffer, exactly one 256-bit store.
+        unsafe { _mm256_storeu_pd(grid[g].as_mut_ptr(), *slot) };
+    }
+    reduce_and_finish(&grid, row, mask, chunks)
+}
+
+/// The shared reduction: groups first (`(g0·g1)·(g2·g3)` per lane), then
+/// lanes (`(l0·l1)·(l2·l3)`), then the scalar remainder `chunks..n` in
+/// order. Keeping this tree identical across kernels is what makes the
+/// dispatch bit-transparent.
+#[inline]
+fn reduce_and_finish(
+    acc: &[[f64; LANES]; GROUPS],
+    row: &[f64],
+    mask: &[f64],
+    chunks: usize,
+) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    for (l, lane) in lanes.iter_mut().enumerate() {
+        *lane = (acc[0][l] * acc[1][l]) * (acc[2][l] * acc[3][l]);
+    }
+    let mut prod = (lanes[0] * lanes[1]) * (lanes[2] * lanes[3]);
+    for (v, m) in row[chunks..].iter().zip(&mask[chunks..]) {
+        prod *= v.max(*m);
+    }
+    prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The definitional product: sequential, removed factors skipped.
+    fn naive(row: &[f64], mask: &[f64]) -> f64 {
+        row.iter()
+            .zip(mask)
+            .filter(|(_, &m)| m == 0.0)
+            .map(|(&v, _)| v)
+            .product()
+    }
+
+    fn random_case(rng: &mut StdRng, n: usize, removal: f64) -> (Vec<f64>, Vec<f64>) {
+        let row: Vec<f64> = (0..n)
+            .map(|_| match rng.random_range(0..4) {
+                0 => 0.0,
+                1 => 1.0,
+                _ => rng.random_range(0.05..1.0),
+            })
+            .collect();
+        let mask: Vec<f64> = (0..n)
+            .map(|_| if rng.random_bool(removal) { 1.0 } else { 0.0 })
+            .collect();
+        (row, mask)
+    }
+
+    /// Remainder lanes (`n % 4 != 0`, `n % 16 != 0`), empty rows, and
+    /// all-/none-removed masks: the SIMD kernel must be bit-identical
+    /// to the scalar kernel on every shape.
+    #[test]
+    fn simd_is_bit_identical_to_scalar() {
+        if !simd_supported() {
+            eprintln!("AVX2 unavailable; simd/scalar identity vacuously holds");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x51_3D);
+        for &n in &[
+            0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 33, 48, 63, 64, 100, 257,
+        ] {
+            for &removal in &[0.0, 0.3, 1.0] {
+                for _ in 0..20 {
+                    let (row, mask) = random_case(&mut rng, n, removal);
+                    let scalar = masked_product_scalar(&row, &mask);
+                    // SAFETY: guarded by `simd_supported()` above.
+                    let simd = unsafe { masked_product_avx2(&row, &mask) };
+                    assert_eq!(
+                        scalar.to_bits(),
+                        simd.to_bits(),
+                        "n={n} removal={removal}: scalar {scalar} vs simd {simd}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Both kernels agree with the definitional sequential product to
+    /// reassociation error (orders of magnitude inside the guard band).
+    #[test]
+    fn kernels_match_naive_within_reassociation_error() {
+        let mut rng = StdRng::seed_from_u64(0xACC);
+        for &n in &[1usize, 3, 16, 21, 64, 130] {
+            for _ in 0..40 {
+                let (row, mask) = random_case(&mut rng, n, 0.25);
+                let exact = naive(&row, &mask);
+                let fast = masked_product_scalar(&row, &mask);
+                assert!(
+                    (exact - fast).abs() <= 1e-9 * exact.abs().max(1.0),
+                    "n={n}: naive {exact} vs scalar {fast}"
+                );
+            }
+        }
+    }
+
+    /// All-removed masks multiply nothing but exact 1.0 factors.
+    #[test]
+    fn all_removed_is_exactly_one() {
+        let row: Vec<f64> = (0..37).map(|i| (i as f64) / 40.0).collect();
+        let mask = vec![1.0; 37];
+        assert_eq!(masked_product_scalar(&row, &mask), 1.0);
+        assert_eq!(masked_product(&row, &mask), 1.0);
+    }
+
+    #[test]
+    fn kernel_kind_parses_strictly() {
+        assert_eq!("auto".parse::<KernelKind>().unwrap(), KernelKind::Auto);
+        assert_eq!("scalar".parse::<KernelKind>().unwrap(), KernelKind::Scalar);
+        assert_eq!("simd".parse::<KernelKind>().unwrap(), KernelKind::Simd);
+        assert!("avx512".parse::<KernelKind>().is_err());
+        assert!("Scalar".parse::<KernelKind>().is_err());
+    }
+
+    /// `set_kernel` round-trips and reports the concrete kernel; the
+    /// test restores `Auto` so concurrently running suites keep their
+    /// (identical-verdict) dispatch.
+    #[test]
+    fn set_kernel_reports_resolution() {
+        assert_eq!(set_kernel(KernelKind::Scalar).unwrap(), KernelKind::Scalar);
+        assert_eq!(active_kernel(), "scalar");
+        if simd_supported() {
+            assert_eq!(set_kernel(KernelKind::Simd).unwrap(), KernelKind::Simd);
+            assert_eq!(active_kernel(), "simd");
+        } else {
+            assert!(set_kernel(KernelKind::Simd).is_err());
+        }
+        let auto = set_kernel(KernelKind::Auto).unwrap();
+        assert!(matches!(auto, KernelKind::Scalar | KernelKind::Simd));
+    }
+}

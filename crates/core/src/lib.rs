@@ -51,6 +51,7 @@ pub mod engine;
 mod error;
 #[doc(hidden)]
 pub mod hotpath;
+mod kernel;
 mod kskyband;
 mod matrix;
 mod naive;
@@ -71,6 +72,7 @@ pub use engine::{
     PlanReport, ShardPolicy, ShardedExplainEngine,
 };
 pub use error::CrpError;
+pub use kernel::{active_kernel, set_kernel, simd_supported, KernelKind};
 pub use matrix::{DominanceMatrix, PrEvaluator};
 // The live-session vocabulary: updates are applied through
 // `ExplainEngine::apply` / `ShardedExplainEngine::apply`, which return

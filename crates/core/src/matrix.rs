@@ -10,9 +10,19 @@
 //!
 //! where `w_i` is the appearance weight of `an`'s `i`-th sample (or
 //! discretisation cell, for the pdf model) and `dp[c][i]` is Eq. 3's
-//! probability that candidate `c` dominates `q` w.r.t. that sample. This
-//! struct stores `dp` once so every subset check is a tight loop.
+//! probability that candidate `c` dominates `q` w.r.t. that sample.
+//!
+//! Only the **sample-major complements** are stored —
+//! `comp[i][c] = 1 − dp[c][i]`, the exact factors of the survival
+//! product — so the per-sample walk of every kernel (the SIMD/scalar
+//! masked product of `crate::kernel` *and* the exact reference
+//! evaluation) streams contiguous memory, and the refine working set is
+//! half of what the old double `dp` + `comp` layout kept resident.
+//! `dp` values are derived on demand ([`DominanceMatrix::dominance`]);
+//! the derivation round-trips exactly for `dp ≥ 0.5` (Sterbenz), which
+//! covers every annihilator/forced-membership threshold test.
 
+use crate::kernel;
 use crp_geom::{Point, PROB_EPSILON};
 use crp_skyline::dominance_probability;
 use crp_uncertain::UncertainDataset;
@@ -20,19 +30,9 @@ use crp_uncertain::UncertainDataset;
 /// Dominance-probability matrix of one non-answer against its candidate
 /// causes. Rows are candidates (by *candidate index*, the position within
 /// the candidate list); columns are the non-answer's samples/cells.
-///
-/// Two layouts are kept side by side:
-///
-/// * `dp` — candidate-major (`dp[c][i]`), the natural build order and
-///   the layout of the exact reference kernels,
-/// * `comp` — **sample-major complements** (`comp[i][c] = 1 − dp[c][i]`),
-///   so the per-sample survival product of the refine hot path walks
-///   contiguous memory and chunks into independent partial products
-///   (see [`DominanceMatrix::pr_with_removed_columnar`]).
+/// Storage is the sample-major complement layout (see module docs).
 #[derive(Clone, Debug)]
 pub struct DominanceMatrix {
-    /// `dp[c * samples + i]`, row-major.
-    dp: Vec<f64>,
     /// `1 − dp`, sample-major: `comp[i * candidates + c]`.
     comp: Vec<f64>,
     /// `w_i`: appearance weight per sample/cell of the non-answer.
@@ -40,7 +40,7 @@ pub struct DominanceMatrix {
     candidates: usize,
 }
 
-/// Builds the sample-major complement layout from the row-major `dp`.
+/// Builds the sample-major complement layout from a row-major `dp`.
 fn sample_major_complements(dp: &[f64], candidates: usize, samples: usize) -> Vec<f64> {
     let mut comp = vec![1.0f64; candidates * samples];
     for c in 0..candidates {
@@ -49,33 +49,6 @@ fn sample_major_complements(dp: &[f64], candidates: usize, samples: usize) -> Ve
         }
     }
     comp
-}
-
-/// Survival product of one sample-major row under a removal mask, with
-/// 4 independent accumulator lanes so the loop is free of the serial
-/// multiply dependency (auto-vectorization-friendly). Removed
-/// candidates contribute an exact `1.0` factor; since `x * 1.0 == x`
-/// for every finite `x`, masking never perturbs the value — only the
-/// lane reassociation can, by a few ulp (call sites guard-band their
-/// classifications against the exact reference kernel).
-#[inline]
-fn masked_product(row: &[f64], removed: &[bool]) -> f64 {
-    const LANES: usize = 4;
-    let chunks = row.len() / LANES * LANES;
-    let mut acc = [1.0f64; LANES];
-    for (vals, gone) in row[..chunks]
-        .chunks_exact(LANES)
-        .zip(removed[..chunks].chunks_exact(LANES))
-    {
-        for l in 0..LANES {
-            acc[l] *= if gone[l] { 1.0 } else { vals[l] };
-        }
-    }
-    let mut prod = (acc[0] * acc[1]) * (acc[2] * acc[3]);
-    for (v, g) in row[chunks..].iter().zip(&removed[chunks..]) {
-        prod *= if *g { 1.0 } else { *v };
-    }
-    prod
 }
 
 impl DominanceMatrix {
@@ -89,21 +62,20 @@ impl DominanceMatrix {
         cand_positions: &[usize],
     ) -> Self {
         let an = ds.object_at(an_pos);
+        let n = cand_positions.len();
         let samples = an.sample_count();
-        let mut dp = Vec::with_capacity(cand_positions.len() * samples);
-        for &c in cand_positions {
+        let mut comp = vec![1.0f64; n * samples];
+        for (ci, &c) in cand_positions.iter().enumerate() {
             let obj = ds.object_at(c);
-            for s in an.samples() {
-                dp.push(dominance_probability(obj, s.point(), q));
+            for (i, s) in an.samples().iter().enumerate() {
+                comp[i * n + ci] = 1.0 - dominance_probability(obj, s.point(), q);
             }
         }
         let weights: Vec<f64> = an.samples().iter().map(|s| s.prob()).collect();
-        let comp = sample_major_complements(&dp, cand_positions.len(), weights.len());
         Self {
-            dp,
             comp,
             weights,
-            candidates: cand_positions.len(),
+            candidates: n,
         }
     }
 
@@ -121,7 +93,6 @@ impl DominanceMatrix {
         );
         let comp = sample_major_complements(&dp, candidates, weights.len());
         Self {
-            dp,
             comp,
             weights,
             candidates,
@@ -140,10 +111,13 @@ impl DominanceMatrix {
         self.weights.len()
     }
 
-    /// `dp[c][i]`.
+    /// `dp[c][i]`, derived from the stored complement. Exact for
+    /// `dp ≥ 0.5` (in particular at every annihilator threshold); below
+    /// that the round trip can differ from the build-time value by one
+    /// ulp — irrelevant to the heuristic consumer ([`Self::impact`]).
     #[inline]
     pub fn dominance(&self, c: usize, i: usize) -> f64 {
-        self.dp[c * self.weights.len() + i]
+        1.0 - self.comp[i * self.candidates + c]
     }
 
     /// Appearance weight of sample/cell `i`.
@@ -154,15 +128,20 @@ impl DominanceMatrix {
 
     /// True when candidate `c` dominates `q` w.r.t. every sample with
     /// probability 1 — the Lemma 4 membership test (`c ∈ Ca`).
+    /// `comp ≤ ε ⇔ dp ≥ 1 − ε` exactly (the complement of any
+    /// `dp ≥ 0.5` is Sterbenz-exact), so the verdicts match the old
+    /// `dp`-stored layout bit for bit.
     pub fn forces_zero(&self, c: usize) -> bool {
-        (0..self.samples()).all(|i| self.dominance(c, i) >= 1.0 - PROB_EPSILON)
+        let n = self.candidates;
+        (0..self.samples()).all(|i| self.comp[i * n + c] <= PROB_EPSILON)
     }
 
     /// True when candidate `c` has any dominating mass at all; rows that
     /// fail this are not candidates (Lemma 1) and should be filtered out
     /// before refinement.
     pub fn has_mass(&self, c: usize) -> bool {
-        (0..self.samples()).any(|i| self.dominance(c, i) > 0.0)
+        let n = self.candidates;
+        (0..self.samples()).any(|i| self.comp[i * n + c] < 1.0)
     }
 
     /// Weighted total dominance mass of candidate `c` — a heuristic for
@@ -170,26 +149,78 @@ impl DominanceMatrix {
     /// search space so high-impact subsets are tried first (any order is
     /// correct; this one finds valid sets sooner on deep non-answers).
     pub fn impact(&self, c: usize) -> f64 {
-        let l = self.weights.len();
         self.weights
             .iter()
             .enumerate()
-            .map(|(i, &w)| w * self.dp[c * l + i])
+            .map(|(i, &w)| w * self.dominance(c, i))
             .sum()
     }
 
-    /// `Pr(an | P − Γ)` where `removed[c]` marks candidates in `Γ`.
+    /// `Pr(an | P − Γ)` where `removed[c]` marks candidates in `Γ` — the
+    /// exact reference evaluation (sequential product, definitional
+    /// order).
     pub fn pr_with_removed(&self, removed: &[bool]) -> f64 {
         debug_assert_eq!(removed.len(), self.candidates);
-        let l = self.weights.len();
+        let n = self.candidates;
         let mut total = 0.0;
         for (i, &w) in self.weights.iter().enumerate() {
+            let row = &self.comp[i * n..(i + 1) * n];
             let mut survive = w;
             for (c, &gone) in removed.iter().enumerate() {
                 if gone {
                     continue;
                 }
-                survive *= 1.0 - self.dp[c * l + i];
+                survive *= row[c];
+                if survive == 0.0 {
+                    break;
+                }
+            }
+            total += survive;
+        }
+        total
+    }
+
+    /// [`Self::pr_with_removed`] over the hot path's multiplicative
+    /// `f64` mask (`1.0` = removed) — same sequential reference product,
+    /// bit-identical to the bool-mask entry point on the equivalent
+    /// removal set. This is the exact fallback the guard-banded kernels
+    /// re-verify against without converting the mask.
+    pub(crate) fn pr_with_removed_fmask(&self, mask: &[f64]) -> f64 {
+        debug_assert_eq!(mask.len(), self.candidates);
+        let n = self.candidates;
+        let mut total = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            let row = &self.comp[i * n..(i + 1) * n];
+            let mut survive = w;
+            for (c, &m) in mask.iter().enumerate() {
+                if m != 0.0 {
+                    continue;
+                }
+                survive *= row[c];
+                if survive == 0.0 {
+                    break;
+                }
+            }
+            total += survive;
+        }
+        total
+    }
+
+    /// Exact `Pr(an | P − {cc})` — the reference evaluation of one
+    /// singleton removal, bit-identical to [`Self::pr_with_removed`]
+    /// with only `cc` marked (same factors, same order). Allocation-free
+    /// fallback for the batched Lemma 5 sweep.
+    pub(crate) fn pr_with_removed_singleton(&self, cc: usize) -> f64 {
+        let n = self.candidates;
+        let mut total = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            let row = &self.comp[i * n..(i + 1) * n];
+            let mut survive = w;
+            for (c, &f) in row.iter().enumerate() {
+                if c == cc {
+                    continue;
+                }
+                survive *= f;
                 if survive == 0.0 {
                     break;
                 }
@@ -200,19 +231,75 @@ impl DominanceMatrix {
     }
 
     /// `Pr(an | P − Γ)` over the sample-major complement layout — the
-    /// columnar fast kernel of the refine hot path. Same candidate set
-    /// semantics as [`DominanceMatrix::pr_with_removed`]; values can
-    /// differ by a few ulp because the 4-lane chunking reassociates the
-    /// per-sample product, so classification call sites re-verify
-    /// near-threshold verdicts against the exact reference kernel.
-    pub fn pr_with_removed_columnar(&self, removed: &[bool]) -> f64 {
-        debug_assert_eq!(removed.len(), self.candidates);
+    /// columnar fast kernel of the refine hot path, dispatched to the
+    /// active SIMD/scalar `crate::kernel` dispatch. `mask` is the
+    /// multiplicative removal mask (`1.0` = removed, `0.0` = present).
+    /// Values can differ from the reference by a few ulp because the
+    /// lane chunking reassociates the per-sample product, so
+    /// classification call sites re-verify near-threshold verdicts
+    /// against the exact reference kernel.
+    pub fn pr_with_removed_columnar(&self, mask: &[f64]) -> f64 {
+        debug_assert_eq!(mask.len(), self.candidates);
         let n = self.candidates;
         let mut total = 0.0;
         for (i, &w) in self.weights.iter().enumerate() {
-            total += w * masked_product(&self.comp[i * n..(i + 1) * n], removed);
+            total += w * kernel::masked_product(&self.comp[i * n..(i + 1) * n], mask);
         }
         total
+    }
+
+    /// The batched FMCS condition pair: one streaming pass over the
+    /// complement matrix computing **both**
+    /// `(Pr(an | P−Γ), Pr(an | P−Γ−{cc}))` for the maintained mask `Γ`
+    /// (which must not contain `cc`). The pass masks `cc`, and the
+    /// condition-(i) value folds `cc`'s complement back per sample —
+    /// halving the matrix traffic of direct-mode subset checks. Both
+    /// values are guard-banded fast estimates (reassociation only); the
+    /// mask is restored before returning.
+    pub(crate) fn pr_pair_with_extra(&self, cc: usize, mask: &mut [f64]) -> (f64, f64) {
+        debug_assert_eq!(mask.len(), self.candidates);
+        debug_assert_eq!(mask[cc], 0.0, "cc must not already be removed");
+        let n = self.candidates;
+        mask[cc] = 1.0;
+        let mut keep = 0.0; // Pr(an | P − Γ): cc still present
+        let mut drop = 0.0; // Pr(an | P − Γ − {cc})
+        for (i, &w) in self.weights.iter().enumerate() {
+            let row = &self.comp[i * n..(i + 1) * n];
+            let without_cc = kernel::masked_product(row, mask);
+            drop += w * without_cc;
+            keep += w * (without_cc * row[cc]);
+        }
+        mask[cc] = 0.0;
+        (keep, drop)
+    }
+
+    /// All `|Cc|` singleton-removal probabilities
+    /// `Pr(an | P − {c})` in one pass — the batched Lemma 5 sweep. Per
+    /// sample row the prefix/suffix product trick serves every
+    /// candidate's "product of the others" in `O(|Cc|)` instead of the
+    /// sequential sweep's `O(|Cc|²)` (and with zero `exp` calls, unlike
+    /// the incremental evaluator's per-candidate path). Guard-banded
+    /// fast estimates: `prefix·suffix` reassociates the product.
+    /// `prefix` and `out` are caller-owned scratch (resized here).
+    pub(crate) fn singleton_prs(&self, prefix: &mut Vec<f64>, out: &mut Vec<f64>) {
+        let n = self.candidates;
+        out.clear();
+        out.resize(n, 0.0);
+        prefix.clear();
+        prefix.resize(n, 0.0);
+        for (i, &w) in self.weights.iter().enumerate() {
+            let row = &self.comp[i * n..(i + 1) * n];
+            let mut p = 1.0f64;
+            for (c, &f) in row.iter().enumerate() {
+                prefix[c] = p;
+                p *= f;
+            }
+            let mut s = 1.0f64;
+            for (c, &f) in row.iter().enumerate().rev() {
+                out[c] += w * (prefix[c] * s);
+                s *= f;
+            }
+        }
     }
 
     /// `Pr(an)` with nothing removed.
@@ -238,13 +325,11 @@ impl DominanceMatrix {
     /// `max_pr_bound`, which sorts the factors once per matrix and
     /// memoises per `t`.
     pub fn max_pr_after_removing(&self, t: usize) -> f64 {
-        let l = self.weights.len();
+        let n = self.candidates;
         let mut total = 0.0;
         for (i, &w) in self.weights.iter().enumerate() {
             // Collect the factors, keep all but the t smallest.
-            let mut factors: Vec<f64> = (0..self.candidates)
-                .map(|c| 1.0 - self.dp[c * l + i])
-                .collect();
+            let mut factors: Vec<f64> = self.comp[i * n..(i + 1) * n].to_vec();
             factors.sort_by(|a, b| a.partial_cmp(b).expect("finite probabilities"));
             let prod: f64 = factors.iter().skip(t.min(factors.len())).product();
             total += w * prod;
@@ -258,25 +343,29 @@ impl DominanceMatrix {
 /// steady state allocates **nothing per candidate** (and nothing per
 /// explain once the per-thread pool is warm — see [`with_scratch`]).
 ///
-/// Holds three groups of state:
+/// Holds four groups of state:
 ///
-/// * the current **removal mask** over candidates (maintained by delta
-///   moves; also the exact-fallback input and the `Γ` reconstruction
-///   source),
+/// * the current **removal mask** over candidates — the multiplicative
+///   `f64` mask shared with the SIMD kernel (`1.0` = removed, `0.0` =
+///   present), maintained by delta moves; also the exact-fallback input
+///   and the `Γ` reconstruction source,
 /// * the **delta state** of the incremental evaluator — per sample, the
 ///   annihilator count and log-factor sum of the currently removed set,
 ///   refreshed from the mask every [`DELTA_REFRESH_INTERVAL`] moves so
 ///   floating-point drift stays far inside the guard band,
 /// * the **probability-bound memo**: per-sample ascending factors sorted
 ///   once per matrix, plus one memoised bound value per subset size
-///   (bit-identical to [`DominanceMatrix::max_pr_after_removing`]).
+///   (bit-identical to [`DominanceMatrix::max_pr_after_removing`]),
+/// * the **batched-probe buffers** of the Lemma 5 singleton sweep
+///   (prefix products and per-candidate probabilities).
 ///
 /// FMCS's forced/search/list index buffers ride along and are borrowed
 /// by `std::mem::take` while a candidate search runs.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    /// `mask[c]`: candidate `c` is in the current removal set.
-    pub(crate) mask: Vec<bool>,
+    /// Multiplicative removal mask: `mask[c] == 1.0` ⇔ candidate `c` is
+    /// in the current removal set (`0.0` otherwise; no other values).
+    pub(crate) mask: Vec<f64>,
     /// Per sample: annihilating members of the current removal set.
     delta_ones: Vec<u32>,
     /// Per sample: `Σ ln(1 − dp)` over the removed regular candidates.
@@ -289,6 +378,10 @@ pub struct Scratch {
     sorted_built: bool,
     /// Memoised `max_pr_after_removing(t)` per `t` (NaN = unset).
     bound_memo: Vec<f64>,
+    /// Prefix-product buffer of the batched singleton sweep.
+    pub(crate) batch_prefix: Vec<f64>,
+    /// Per-candidate singleton probabilities of the batched sweep.
+    pub(crate) batch_prs: Vec<f64>,
     /// FMCS forced-set buffer (candidate indices).
     pub(crate) forced: Vec<usize>,
     /// FMCS search-space buffer (candidate indices, impact-ordered).
@@ -309,7 +402,7 @@ impl Scratch {
         let n = matrix.candidates();
         let l = matrix.samples();
         self.mask.clear();
-        self.mask.resize(n, false);
+        self.mask.resize(n, 0.0);
         self.delta_ones.clear();
         self.delta_ones.resize(l, 0);
         self.delta_logq.clear();
@@ -318,6 +411,24 @@ impl Scratch {
         self.sorted_built = false;
         self.bound_memo.clear();
         self.bound_memo.resize(n + 1, f64::NAN);
+    }
+
+    /// Marks candidate `c` removed in the multiplicative mask.
+    #[inline]
+    pub(crate) fn set_removed(&mut self, c: usize) {
+        self.mask[c] = 1.0;
+    }
+
+    /// Marks candidate `c` present in the multiplicative mask.
+    #[inline]
+    pub(crate) fn unset_removed(&mut self, c: usize) {
+        self.mask[c] = 0.0;
+    }
+
+    /// True when candidate `c` is in the current removal set.
+    #[inline]
+    pub(crate) fn is_removed(&self, c: usize) -> bool {
+        self.mask[c] != 0.0
     }
 
     /// [`DominanceMatrix::max_pr_after_removing`] without the per-call
@@ -358,7 +469,7 @@ impl Scratch {
     /// Clears the removal mask (delta state is reset separately by
     /// [`PrEvaluator::delta_begin`] / the direct-mode checker).
     pub(crate) fn clear_mask(&mut self) {
-        self.mask.iter_mut().for_each(|m| *m = false);
+        self.mask.iter_mut().for_each(|m| *m = 0.0);
     }
 }
 
@@ -464,6 +575,14 @@ pub struct PrEvaluator<'a> {
     ones: Vec<u32>,
     /// Per sample: `Σ ln(1 − dp)` over the regular candidates.
     log_prod: Vec<f64>,
+    /// `Σ w_i` — the log-domain screen's upper-bound weight.
+    weight_sum: f64,
+    /// Per candidate: `max_i max(0, −ln(1 − dp))` over its regular
+    /// factors — how much removing the candidate can raise any sample's
+    /// log term (annihilators act through `ones`, not the log sum, so
+    /// their samples contribute 0). The loosening unit of the
+    /// cardinality-level screen.
+    neg_col_max: Vec<f64>,
 }
 
 /// Width of the re-verification band around the decision threshold —
@@ -472,6 +591,18 @@ pub struct PrEvaluator<'a> {
 /// magnitude smaller.
 pub(crate) const GUARD: f64 = 1e-6;
 
+/// A fast-kernel classification result (see
+/// [`PrEvaluator::delta_verdict`]).
+pub(crate) enum FastVerdict {
+    /// The fast probability estimate — settle it through the usual
+    /// guard-banded comparison.
+    Value(f64),
+    /// The log-domain screen proved the fast estimate `< α − GUARD`
+    /// without evaluating a single `exp`: the verdict is "not an
+    /// answer", outside the guard band, with certainty.
+    Below,
+}
+
 impl<'a> PrEvaluator<'a> {
     fn new(matrix: &'a DominanceMatrix) -> Self {
         let l = matrix.samples();
@@ -479,15 +610,21 @@ impl<'a> PrEvaluator<'a> {
         let mut log_factors = vec![f64::NAN; n * l];
         let mut ones = vec![0u32; l];
         let mut log_prod = vec![0.0f64; l];
+        let mut neg_col_max = vec![0.0f64; n];
         for c in 0..n {
             for i in 0..l {
-                let dp = matrix.dominance(c, i);
-                if dp >= 1.0 - crp_geom::PROB_EPSILON {
+                // comp ≤ ε ⇔ dp ≥ 1 − ε (exact; see `forces_zero`), and
+                // the stored complement IS the old `(1 − dp)` factor, so
+                // both the annihilator split and the log factors are
+                // bit-identical to the dp-stored layout.
+                let q = matrix.comp[i * n + c];
+                if q <= crp_geom::PROB_EPSILON {
                     ones[i] += 1;
                 } else {
-                    let lf = (1.0 - dp).ln();
+                    let lf = q.ln();
                     log_factors[c * l + i] = lf;
                     log_prod[i] += lf;
+                    neg_col_max[c] = neg_col_max[c].max(-lf);
                 }
             }
         }
@@ -496,7 +633,63 @@ impl<'a> PrEvaluator<'a> {
             log_factors,
             ones,
             log_prod,
+            weight_sum: matrix.weights.iter().sum(),
+            neg_col_max,
         }
+    }
+
+    /// `Σ w_i` — the screen threshold's scale (see
+    /// [`PrEvaluator::delta_verdict`]).
+    pub(crate) fn weight_sum(&self) -> f64 {
+        self.weight_sum
+    }
+
+    /// Per-candidate loosening bound of the cardinality screen (see the
+    /// field docs).
+    pub(crate) fn neg_col_max(&self, c: usize) -> f64 {
+        self.neg_col_max[c]
+    }
+
+    /// Max loosening over a candidate list (the FMCS search space).
+    pub(crate) fn max_neg_over(&self, cands: &[usize]) -> f64 {
+        cands.iter().fold(0.0, |m, &c| m.max(self.neg_col_max[c]))
+    }
+
+    /// The cardinality-level screen. With the delta state at the base
+    /// removal set `Γ₀` (the forced cohort), certifies that **every**
+    /// removal set `Γ₀ ∪ S` — `S` of size `k` drawn from a search space
+    /// whose per-candidate loosening is at most `search_maxneg` — plus
+    /// optionally one extra candidate whose loosening is `extra`, keeps
+    /// the fast probability `< α − GUARD`.
+    ///
+    /// Soundness: for any sample `i` and any such removal set,
+    /// `d_i = log_prod[i] − delta_logq[i]` can exceed the base state's
+    /// value by at most `k·search_maxneg + extra` (each removal
+    /// subtracts a non-positive log factor bounded by the loosening;
+    /// annihilating removals change `ones`, never the log sum), and the
+    /// max below ranges over **all** samples — a superset of whichever
+    /// samples are `ones`-active for a particular set. So
+    /// `fast ≤ Σw·exp(dmax + k·search_maxneg + extra)` for every subset
+    /// of the cardinality, and comparing against `ln_threshold`
+    /// (margined, see [`PrEvaluator::delta_verdict`]) certifies both
+    /// FMCS conditions for the entire enumeration: the caller may
+    /// replace the whole subset walk with counter bookkeeping.
+    pub(crate) fn cardinality_below(
+        &self,
+        scratch: &Scratch,
+        k: usize,
+        search_maxneg: f64,
+        extra: f64,
+        ln_threshold: f64,
+    ) -> bool {
+        let mut dmax = f64::NEG_INFINITY;
+        for (i, &dq) in scratch.delta_logq.iter().enumerate() {
+            let d = self.log_prod[i] - dq;
+            if d > dmax {
+                dmax = d;
+            }
+        }
+        dmax + k as f64 * search_maxneg + extra < ln_threshold
     }
 
     /// `Pr(an | P − Γ)` for a removal *list* of candidate indices
@@ -560,7 +753,7 @@ impl<'a> PrEvaluator<'a> {
     /// already be set (the periodic drift refresh rebuilds from the
     /// mask).
     pub(crate) fn delta_add(&self, c: usize, scratch: &mut Scratch) {
-        debug_assert!(scratch.mask[c]);
+        debug_assert!(scratch.is_removed(c));
         let l = self.matrix.samples();
         for i in 0..l {
             let lf = self.log_factors[c * l + i];
@@ -576,7 +769,7 @@ impl<'a> PrEvaluator<'a> {
     /// Removes candidate `c` from the removed set. `scratch.mask[c]`
     /// must already be cleared.
     pub(crate) fn delta_remove(&self, c: usize, scratch: &mut Scratch) {
-        debug_assert!(!scratch.mask[c]);
+        debug_assert!(!scratch.is_removed(c));
         let l = self.matrix.samples();
         for i in 0..l {
             let lf = self.log_factors[c * l + i];
@@ -604,7 +797,7 @@ impl<'a> PrEvaluator<'a> {
         scratch.delta_moves = 0;
         let l = self.matrix.samples();
         for c in 0..self.matrix.candidates() {
-            if !scratch.mask[c] {
+            if scratch.mask[c] == 0.0 {
                 continue;
             }
             for i in 0..l {
@@ -649,6 +842,77 @@ impl<'a> PrEvaluator<'a> {
         }
         total
     }
+
+    // --- the log-domain screen (batched-probe mode) -------------------
+    //
+    // On deep non-answers the subset walk's cost is the `exp` calls of
+    // `delta_pr`/`delta_pr_with_extra`: the candidate counts are huge
+    // but L is small, so each check is a handful of transcendentals.
+    // Almost every probed subset sits far below α, and that is provable
+    // *in log space*: with `d_i = log_prod[i] − delta_logq[i]` over the
+    // annihilator-matching samples,
+    //
+    //   fast = Σ w_i·min(exp(d_i), 1) ≤ (Σ w_i)·exp(max_i d_i)
+    //
+    // so `max_i d_i < ln((α − GUARD)/Σw) − margin` certifies
+    // `fast < α − GUARD` — strictly outside the guard band, verdict
+    // "not an answer" — using only compares and subtractions. The
+    // `margin` (1e-9 in log space, i.e. ~1e-9 relative headroom) covers
+    // every rounding step of the bound chain; when the screen cannot
+    // certify, the caller falls through to the exact same evaluation it
+    // would have run unscreened, so classifications never change.
+
+    /// Screened FMCS condition (i): the verdict source of the batched
+    /// hot path. `ln_threshold` is
+    /// `ln((α − GUARD)/weight_sum) − margin`, or `-∞` to disable.
+    pub(crate) fn delta_verdict(&self, scratch: &Scratch, ln_threshold: f64) -> FastVerdict {
+        let mut dmax = f64::NEG_INFINITY;
+        for (i, (&one, &dq)) in self.ones.iter().zip(&scratch.delta_ones).enumerate() {
+            if one == dq {
+                let d = self.log_prod[i] - dq_logq(&scratch.delta_logq, i);
+                if d > dmax {
+                    dmax = d;
+                }
+            }
+        }
+        if dmax < ln_threshold {
+            return FastVerdict::Below;
+        }
+        FastVerdict::Value(self.delta_pr(scratch))
+    }
+
+    /// Screened FMCS condition (ii) — [`PrEvaluator::delta_verdict`]
+    /// with candidate `cc` folded in on the fly.
+    pub(crate) fn delta_verdict_with_extra(
+        &self,
+        cc: usize,
+        scratch: &Scratch,
+        ln_threshold: f64,
+    ) -> FastVerdict {
+        let l = self.matrix.samples();
+        let mut dmax = f64::NEG_INFINITY;
+        for i in 0..l {
+            let lf = self.log_factors[cc * l + i];
+            let (extra_one, extra_lf) = if lf.is_nan() { (1, 0.0) } else { (0, lf) };
+            if self.ones[i] == scratch.delta_ones[i] + extra_one {
+                let d = self.log_prod[i] - scratch.delta_logq[i] - extra_lf;
+                if d > dmax {
+                    dmax = d;
+                }
+            }
+        }
+        if dmax < ln_threshold {
+            return FastVerdict::Below;
+        }
+        FastVerdict::Value(self.delta_pr_with_extra(cc, scratch))
+    }
+}
+
+/// `delta_logq[i]` — a free function so the screen loop can zip one
+/// slice and index the other without tripping the borrow checker.
+#[inline]
+fn dq_logq(delta_logq: &[f64], i: usize) -> f64 {
+    delta_logq[i]
 }
 
 #[cfg(test)]
@@ -674,6 +938,11 @@ mod tests {
         ])
         .unwrap();
         (ds, pt(5.0, 5.0))
+    }
+
+    /// Bool removal set → the hot path's multiplicative f64 mask.
+    fn fmask(removed: &[bool]) -> Vec<f64> {
+        removed.iter().map(|&r| if r { 1.0 } else { 0.0 }).collect()
     }
 
     #[test]
@@ -837,12 +1106,109 @@ mod tests {
             for _ in 0..20 {
                 let removed: Vec<bool> = (0..n).map(|_| rng.random_range(0..3) == 0).collect();
                 let exact = m.pr_with_removed(&removed);
-                let fast = m.pr_with_removed_columnar(&removed);
+                let fast = m.pr_with_removed_columnar(&fmask(&removed));
                 // The chunked product only reassociates: agreement far
                 // inside the classification guard band.
                 assert!(
                     (exact - fast).abs() < GUARD / 1e3,
                     "round {round}: exact {exact} vs columnar {fast}"
+                );
+            }
+        }
+    }
+
+    /// The f64-mask reference evaluation is bit-identical to the
+    /// bool-mask one on equivalent removal sets (same factors, same
+    /// order — it is the exact-fallback path of the hot loop).
+    #[test]
+    fn fmask_reference_is_bit_identical_to_bool_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xF_3A5);
+        for _ in 0..30 {
+            let n = rng.random_range(1..=80);
+            let l = rng.random_range(1..=5);
+            let m = random_matrix(&mut rng, n, l);
+            for _ in 0..10 {
+                let removed: Vec<bool> = (0..n).map(|_| rng.random_range(0..3) == 0).collect();
+                let a = m.pr_with_removed(&removed);
+                let b = m.pr_with_removed_fmask(&fmask(&removed));
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Singleton fallback: identical to a one-hot bool mask.
+            for cc in [0, n / 2, n - 1] {
+                let mut removed = vec![false; n];
+                removed[cc] = true;
+                assert_eq!(
+                    m.pr_with_removed(&removed).to_bits(),
+                    m.pr_with_removed_singleton(cc).to_bits()
+                );
+            }
+        }
+    }
+
+    /// The fused condition pair agrees with two independent passes far
+    /// inside the guard band (and exactly for the cc-removed value).
+    #[test]
+    fn pair_kernel_matches_two_passes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x9A12);
+        for round in 0..30 {
+            let n = rng.random_range(2..=70);
+            let l = rng.random_range(1..=5);
+            let m = random_matrix(&mut rng, n, l);
+            for _ in 0..10 {
+                let mut mask: Vec<f64> = (0..n)
+                    .map(|_| {
+                        if rng.random_range(0..3) == 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let cc = rng.random_range(0..n);
+                mask[cc] = 0.0;
+                let (keep, drop) = m.pr_pair_with_extra(cc, &mut mask);
+                assert_eq!(mask[cc], 0.0, "mask restored");
+                let keep_ref = m.pr_with_removed_fmask(&mask);
+                mask[cc] = 1.0;
+                let drop_ref = m.pr_with_removed_fmask(&mask);
+                mask[cc] = 0.0;
+                assert!(
+                    (keep - keep_ref).abs() < GUARD / 1e3,
+                    "round {round}: keep {keep} vs {keep_ref}"
+                );
+                assert!(
+                    (drop - drop_ref).abs() < GUARD / 1e3,
+                    "round {round}: drop {drop} vs {drop_ref}"
+                );
+            }
+        }
+    }
+
+    /// The batched singleton sweep agrees with per-candidate exact
+    /// evaluation far inside the guard band on every candidate.
+    #[test]
+    fn singleton_batch_matches_sequential_probes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0x5113);
+        for round in 0..25 {
+            use rand::Rng;
+            let n = rng.random_range(1..=120);
+            let l = rng.random_range(1..=5);
+            let m = random_matrix(&mut rng, n, l);
+            let mut prefix = Vec::new();
+            let mut prs = Vec::new();
+            m.singleton_prs(&mut prefix, &mut prs);
+            assert_eq!(prs.len(), n);
+            for (c, &fast) in prs.iter().enumerate() {
+                let exact = m.pr_with_removed_singleton(c);
+                assert!(
+                    (exact - fast).abs() < GUARD / 1e3,
+                    "round {round} c {c}: exact {exact} vs batched {fast}"
                 );
             }
         }
@@ -908,17 +1274,17 @@ mod tests {
             // different cardinality; drift refresh fires on long walks.
             for step in 0..600 {
                 let c = rng.random_range(0..n);
-                if scratch.mask[c] {
-                    scratch.mask[c] = false;
+                if scratch.is_removed(c) {
+                    scratch.unset_removed(c);
                     ev.delta_remove(c, &mut scratch);
                 } else {
-                    scratch.mask[c] = true;
+                    scratch.set_removed(c);
                     ev.delta_add(c, &mut scratch);
                 }
                 if step % 7 != 0 {
                     continue;
                 }
-                let exact = m.pr_with_removed(&scratch.mask);
+                let exact = m.pr_with_removed_fmask(&scratch.mask);
                 let fast = ev.delta_pr(&scratch);
                 assert!(
                     (exact - fast).abs() < GUARD / 1e2,
@@ -926,10 +1292,10 @@ mod tests {
                 );
                 // Condition (ii) variant: fold one extra candidate in.
                 let cc = rng.random_range(0..n);
-                if !scratch.mask[cc] {
+                if !scratch.is_removed(cc) {
                     let mut mask2 = scratch.mask.clone();
-                    mask2[cc] = true;
-                    let exact2 = m.pr_with_removed(&mask2);
+                    mask2[cc] = 1.0;
+                    let exact2 = m.pr_with_removed_fmask(&mask2);
                     let fast2 = ev.delta_pr_with_extra(cc, &scratch);
                     assert!(
                         (exact2 - fast2).abs() < GUARD / 1e2,
@@ -938,6 +1304,137 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The log-domain screen never certifies `Below` unless the fast
+    /// value it replaces really is `< α − GUARD` — i.e. screening can
+    /// never change a verdict, only skip `exp` calls.
+    #[test]
+    fn log_screen_never_contradicts_the_fast_value() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5C_12EE);
+        let mut screened = 0u32;
+        for _ in 0..40 {
+            let n = rng.random_range(4..=150);
+            let l = rng.random_range(1..=5);
+            let m = random_matrix(&mut rng, n, l);
+            let ev = m.evaluator();
+            let mut scratch = Scratch::default();
+            scratch.reset_for(&m);
+            ev.delta_begin(&mut scratch);
+            for _ in 0..60 {
+                let c = rng.random_range(0..n);
+                if scratch.is_removed(c) {
+                    scratch.unset_removed(c);
+                    ev.delta_remove(c, &mut scratch);
+                } else {
+                    scratch.set_removed(c);
+                    ev.delta_add(c, &mut scratch);
+                }
+                for alpha in [0.05, 0.3, 0.7, 0.99] {
+                    // The threshold exactly as the Checker derives it.
+                    let thr = ((alpha - GUARD) / ev.weight_sum()).ln() - 1e-9;
+                    match ev.delta_verdict(&scratch, thr) {
+                        FastVerdict::Below => {
+                            screened += 1;
+                            assert!(
+                                ev.delta_pr(&scratch) < alpha - GUARD,
+                                "screen certified a value ≥ α − GUARD (α = {alpha})"
+                            );
+                        }
+                        FastVerdict::Value(v) => {
+                            assert_eq!(v.to_bits(), ev.delta_pr(&scratch).to_bits());
+                        }
+                    }
+                    let cc = rng.random_range(0..n);
+                    if scratch.is_removed(cc) {
+                        continue;
+                    }
+                    match ev.delta_verdict_with_extra(cc, &scratch, thr) {
+                        FastVerdict::Below => {
+                            screened += 1;
+                            assert!(
+                                ev.delta_pr_with_extra(cc, &scratch) < alpha - GUARD,
+                                "extra-screen certified a value ≥ α − GUARD (α = {alpha})"
+                            );
+                        }
+                        FastVerdict::Value(v) => {
+                            assert_eq!(v.to_bits(), ev.delta_pr_with_extra(cc, &scratch).to_bits());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(screened > 0, "the screen never fired — test is vacuous");
+    }
+
+    /// The cardinality-level screen never certifies a cardinality whose
+    /// subsets could reach `α − GUARD`: for random matrices, base
+    /// removal sets and cardinalities, every sampled size-k extension
+    /// (with and without one extra fold-in) stays strictly below.
+    #[test]
+    fn cardinality_screen_never_contradicts_subset_values() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xCA_2D);
+        let mut certified = 0u32;
+        for _ in 0..40 {
+            let n = rng.random_range(6..=120);
+            let l = rng.random_range(1..=5);
+            let m = random_matrix(&mut rng, n, l);
+            let ev = m.evaluator();
+            let mut scratch = Scratch::default();
+            scratch.reset_for(&m);
+            ev.delta_begin(&mut scratch);
+            // A random forced base Γ₀.
+            let base: Vec<usize> = (0..n).filter(|_| rng.random_range(0..4) == 0).collect();
+            for &c in &base {
+                scratch.set_removed(c);
+                ev.delta_add(c, &mut scratch);
+            }
+            let search: Vec<usize> = (0..n).filter(|c| !scratch.is_removed(*c)).collect();
+            let k = rng.random_range(0..=search.len().min(3));
+            let search_maxneg = ev.max_neg_over(&search);
+            for alpha in [0.05, 0.4, 0.9] {
+                let thr = ((alpha - GUARD) / ev.weight_sum()).ln() - 1e-9;
+                for &cc in search.iter().take(4) {
+                    if !ev.cardinality_below(&scratch, k, search_maxneg, ev.neg_col_max(cc), thr) {
+                        continue;
+                    }
+                    certified += 1;
+                    // Sample random size-k extensions and verify both
+                    // condition values stay below α − GUARD.
+                    for _ in 0..10 {
+                        let mut pool = search.clone();
+                        for i in (1..pool.len()).rev() {
+                            let j = rng.random_range(0..=i);
+                            pool.swap(i, j);
+                        }
+                        pool.truncate(k);
+                        for &c in &pool {
+                            scratch.set_removed(c);
+                            ev.delta_add(c, &mut scratch);
+                        }
+                        assert!(
+                            ev.delta_pr(&scratch) < alpha - GUARD,
+                            "certified cardinality has a subset ≥ α − GUARD (α = {alpha})"
+                        );
+                        if !pool.contains(&cc) {
+                            assert!(
+                                ev.delta_pr_with_extra(cc, &scratch) < alpha - GUARD,
+                                "certified cardinality flips with cc (α = {alpha})"
+                            );
+                        }
+                        for &c in &pool {
+                            scratch.unset_removed(c);
+                            ev.delta_remove(c, &mut scratch);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(certified > 0, "the cardinality screen never fired");
     }
 
     #[test]

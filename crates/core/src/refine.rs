@@ -228,6 +228,22 @@ mod tests {
                 use_columnar_kernel: false,
                 ..CpConfig::default()
             },
+            // Sequential condition-(ii) probes, with both kernels (the
+            // batched/sequential split must be outcome-invariant).
+            CpConfig {
+                use_batched_probes: false,
+                ..CpConfig::default()
+            },
+            CpConfig {
+                use_batched_probes: false,
+                use_columnar_kernel: false,
+                ..CpConfig::default()
+            },
+            CpConfig {
+                use_batched_probes: false,
+                use_probability_bound: true,
+                ..CpConfig::default()
+            },
             // Candidate-parallel + shared bound table + columnar off/on.
             CpConfig {
                 parallel_fmcs: true,
@@ -275,6 +291,62 @@ mod tests {
                     .collect();
                 assert_eq!(baseline, got, "round {round}, config {ci}");
             }
+        }
+    }
+
+    #[test]
+    fn batched_probes_preserve_full_run_stats_in_evaluator_mode() {
+        // Above INCREMENTAL_THRESHOLD candidates the checker runs on the
+        // incremental evaluator, where batching swaps in the log-domain
+        // screens and the singleton sweep. Classifications, the search
+        // counters AND the evaluator taps (`eval_fast`/`eval_slow`) are
+        // all provably invariant: the screen fires only strictly outside
+        // the guard band, where the sequential settle takes the fast
+        // path too. Pin the whole RunStats, not just the causes.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = crate::engine::fmcs::INCREMENTAL_THRESHOLD + 16;
+        let samples = 5;
+        let weights = vec![1.0 / samples as f64; samples];
+        let dp: Vec<f64> = (0..n * samples)
+            .map(|_| match rng.random_range(0..5) {
+                0 => 0.0,
+                1 => 1.0, // annihilator structure: exercises the `ones` path
+                _ => rng.random_range(1..=99) as f64 / 100.0,
+            })
+            .collect();
+        let m = DominanceMatrix::from_parts(dp, weights, n);
+        // A subset budget keeps candidates with no small contingency set
+        // from enumerating C(80, k); budget exhaustion must be identical
+        // on both sides too (the counters are compared either way).
+        let batched_cfg = CpConfig::with_budget(50_000);
+        let sequential_cfg = CpConfig {
+            use_batched_probes: false,
+            ..batched_cfg
+        };
+        for alpha in [0.3, 0.6, 0.9] {
+            let mut batched_stats = RunStats::default();
+            let batched = crate::matrix::with_scratch(|s| {
+                refine(&m, alpha, &batched_cfg, &mut batched_stats, s)
+            });
+            let mut sequential_stats = RunStats::default();
+            let sequential = crate::matrix::with_scratch(|s| {
+                refine(&m, alpha, &sequential_cfg, &mut sequential_stats, s)
+            });
+            match (batched, sequential) {
+                (Ok(a), Ok(b)) => {
+                    let a: Vec<_> = a.iter().map(|c| (c.cand, c.gamma.clone())).collect();
+                    let b: Vec<_> = b.iter().map(|c| (c.cand, c.gamma.clone())).collect();
+                    assert_eq!(a, b, "α = {alpha}");
+                }
+                (a, b) => assert_eq!(a.is_err(), b.is_err(), "α = {alpha}"),
+            }
+            assert_eq!(batched_stats, sequential_stats, "α = {alpha}");
+            assert!(
+                batched_stats.prsq_evaluations > 0,
+                "α = {alpha}: the comparison must exercise the hot path"
+            );
         }
     }
 

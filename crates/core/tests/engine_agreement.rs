@@ -269,6 +269,38 @@ proptest! {
     }
 
     #[test]
+    fn batched_and_sequential_probes_agree(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0]),
+    ) {
+        // Candidate-batched condition-(ii) probes forced on and off:
+        // the fused-pair and singleton-sweep kernels answer through the
+        // same guard-banded verdict protocol, so causes AND the search
+        // counters (`subsets_examined`, `prsq_evaluations`) must be
+        // identical — batching changes memory traffic, never outcomes.
+        let batched_cfg = CpConfig::default();
+        prop_assert!(batched_cfg.use_batched_probes, "default must exercise the batched path");
+        let sequential_cfg = CpConfig { use_batched_probes: false, ..batched_cfg };
+        let engine = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha))
+            .expect("valid engine config");
+        let sharded = ShardedExplainEngine::new(
+            ds,
+            EngineConfig::with_alpha(alpha),
+            2,
+            ShardPolicy::Spatial,
+        )
+        .expect("valid engine config");
+        for an in engine.dataset().iter().map(|o| o.id()).collect::<Vec<_>>() {
+            let a = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &batched_cfg);
+            let b = engine.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &sequential_cfg);
+            assert_sharded_matches(&a, b, "sequential probes, unsharded")?;
+            let c = sharded.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &sequential_cfg);
+            assert_sharded_matches(&a, c, "sequential probes, 2 shards")?;
+        }
+    }
+
+    #[test]
     fn naive_strategies_agree_with_lemma_strategies(
         ds in certain_dataset(2),
         q in query(2),
@@ -427,6 +459,26 @@ proptest! {
                     prop_assert_eq!(merged, direct, "candidate merge diverged: {}", context);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batched_probes_agree_on_pdf(
+        ds in pdf_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.3, 0.6]),
+    ) {
+        // The batched-probe parity pin again, on the continuous-pdf
+        // pipeline (quadrant-sample matrices with very different
+        // annihilator structure than discrete data).
+        let batched_cfg = CpConfig::default();
+        let sequential_cfg = CpConfig { use_batched_probes: false, ..batched_cfg };
+        let single = ExplainEngine::for_pdf(ds.clone(), 3, EngineConfig::with_alpha(alpha))
+            .expect("valid engine config");
+        for an in ds.iter().map(|o| o.id()).collect::<Vec<_>>() {
+            let a = single.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &batched_cfg);
+            let b = single.explain_configured(ExplainStrategy::Cp, &q, alpha, an, &sequential_cfg);
+            assert_sharded_matches(&a, b, "pdf sequential probes")?;
         }
     }
 

@@ -64,6 +64,7 @@ const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|genera
      --objects ID,ID,…|all --alphas A,A,… --q-grid d1:d2,d1:d2,… \
      --budget N --serial --workload FILE \
      --shards N --shard-policy round-robin|hash-by-id|spatial \
+     --kernel auto|scalar|simd \
      | --kind nba|cardb --out FILE]";
 
 /// Parsed command line: every token accounted for, or an error.
@@ -90,6 +91,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--object", true),
         ("--shards", true),
         ("--shard-policy", true),
+        ("--kernel", true),
     ];
     const EXPLAIN_BATCH: &[(&str, bool)] = &[
         ("--data", true),
@@ -101,6 +103,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--serial", false),
         ("--shards", true),
         ("--shard-policy", true),
+        ("--kernel", true),
     ];
     const REPLAY: &[(&str, bool)] = &[
         ("--data", true),
@@ -112,6 +115,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--serial", false),
         ("--shards", true),
         ("--shard-policy", true),
+        ("--kernel", true),
     ];
     const SWEEP: &[(&str, bool)] = &[
         ("--data", true),
@@ -125,6 +129,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--serial", false),
         ("--shards", true),
         ("--shard-policy", true),
+        ("--kernel", true),
     ];
     const GENERATE: &[(&str, bool)] = &[("--kind", true), ("--out", true)];
     match command {
@@ -205,6 +210,17 @@ fn parse_sharding(cli: &Cli) -> Result<(usize, ShardPolicy), String> {
     }
     let policy = cli.parse("--shard-policy")?.unwrap_or_default();
     Ok((shards, policy))
+}
+
+/// `--kernel auto|scalar|simd` — pins the dominance-kernel dispatch
+/// for A/B runs. `simd` is rejected up front on hosts without AVX2;
+/// absent, the process-wide default (the `CRP_KERNEL` env var, else
+/// auto-detection) stands.
+fn apply_kernel(cli: &Cli) -> Result<(), String> {
+    if let Some(kind) = cli.parse::<KernelKind>("--kernel")? {
+        set_kernel(kind).map_err(|e| format!("bad --kernel: {e}"))?;
+    }
+    Ok(())
 }
 
 /// `--alphas 0.3,0.5,0.7` — the α list of a sweep request.
@@ -663,6 +679,7 @@ fn run() -> Result<(), String> {
             }
             let budget = cli.parse("--budget")?.or(Some(5_000_000));
             let (shards, policy) = parse_sharding(&cli)?;
+            apply_kernel(&cli)?;
             if cli.command == "replay" {
                 let ops =
                     load_workload(cli.require("--workload", "FILE")?).map_err(|e| e.to_string())?;
@@ -715,7 +732,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_cli, parse_query_point, parse_sharding};
+    use super::{apply_kernel, parse_cli, parse_query_point, parse_sharding};
     use prsq_crp::prelude::ShardPolicy;
 
     fn args(list: &[&str]) -> Vec<String> {
@@ -782,6 +799,30 @@ mod tests {
         // --shards is rejected where sharding makes no sense.
         assert!(parse_cli(&args(&["query", "--shards", "4"])).is_err());
         assert!(parse_cli(&args(&["generate", "--shards", "4"])).is_err());
+    }
+
+    #[test]
+    fn kernel_flag_parsing() {
+        // Every explain-family subcommand accepts --kernel.
+        for cmd in ["explain", "explain-batch", "sweep", "replay"] {
+            let cli = parse_cli(&args(&[cmd, "--kernel", "scalar"])).unwrap();
+            assert!(apply_kernel(&cli).is_ok(), "{cmd}");
+        }
+        // Absent flag leaves the process-wide dispatch untouched.
+        let cli = parse_cli(&args(&["explain", "--data", "x.csv"])).unwrap();
+        assert!(apply_kernel(&cli).is_ok());
+        // `auto` always resolves (to simd or scalar, per the host CPU).
+        let cli = parse_cli(&args(&["explain", "--kernel", "auto"])).unwrap();
+        assert!(apply_kernel(&cli).is_ok());
+        // Strict values: typos and wrong case are errors, not fallbacks.
+        for bad in ["avx512", "SIMD", "Scalar", "fast", ""] {
+            let cli = parse_cli(&args(&["explain", "--kernel", bad])).unwrap();
+            let err = apply_kernel(&cli).unwrap_err();
+            assert!(err.contains("--kernel"), "{bad}: {err}");
+        }
+        // Rejected where no refine loop runs.
+        assert!(parse_cli(&args(&["query", "--kernel", "scalar"])).is_err());
+        assert!(parse_cli(&args(&["generate", "--kernel", "scalar"])).is_err());
     }
 
     #[test]

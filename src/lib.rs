@@ -73,9 +73,10 @@ pub use crp_uncertain as uncertain;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crp_core::{
-        answer_causes, merge_candidate_ids, oracle_cp, oracle_cr, Cause, CpConfig, CrpError,
-        CrpOutcome, EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy,
-        PlanCounters, PlanReport, RunStats, ShardPolicy, ShardedExplainEngine,
+        active_kernel, answer_causes, merge_candidate_ids, oracle_cp, oracle_cr, set_kernel,
+        simd_supported, Cause, CpConfig, CrpError, CrpOutcome, EngineConfig, ExplainEngine,
+        ExplainRequest, ExplainSession, ExplainStrategy, KernelKind, PlanCounters, PlanReport,
+        RunStats, ShardPolicy, ShardedExplainEngine,
     };
     #[allow(deprecated)]
     pub use crp_core::{cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii};
