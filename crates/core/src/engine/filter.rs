@@ -18,7 +18,7 @@
 
 use crate::types::RunStats;
 use crp_geom::{dominance_rect, HyperRect, Point};
-use crp_rtree::{QueryStats, RTree};
+use crp_rtree::{QueryStats, RTree, WindowQuery};
 use crp_skyline::dominance_probability;
 use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
 
@@ -35,18 +35,22 @@ pub trait FilterStage: Sync {
     ) -> Vec<usize>;
 }
 
-/// Lemma 2 via the R-tree (the CP filter).
-pub struct SampleWindowFilter<'t> {
-    tree: &'t RTree<ObjectId>,
+/// Lemma 2 via the R-tree (the CP filter). Generic over the tree
+/// representation — the pointer [`RTree`] (the default, kept as the
+/// reference path) or the packed read-only projection
+/// ([`crp_rtree::PackedRTree`]) — through [`WindowQuery`]; both
+/// produce bit-identical candidates and counters.
+pub struct SampleWindowFilter<'t, Q: ?Sized = RTree<ObjectId>> {
+    tree: &'t Q,
 }
 
-impl<'t> SampleWindowFilter<'t> {
-    pub fn new(tree: &'t RTree<ObjectId>) -> Self {
+impl<'t, Q: ?Sized> SampleWindowFilter<'t, Q> {
+    pub fn new(tree: &'t Q) -> Self {
         Self { tree }
     }
 }
 
-impl FilterStage for SampleWindowFilter<'_> {
+impl<Q: WindowQuery<ObjectId> + Sync + ?Sized> FilterStage for SampleWindowFilter<'_, Q> {
     fn candidates(
         &self,
         ds: &UncertainDataset,
@@ -73,8 +77,8 @@ impl FilterStage for SampleWindowFilter<'_> {
 /// global tree) and each shard of the sharded engine (`ds` and `tree`
 /// then describe one partition, while `an` may live elsewhere) — one
 /// body, so the sharded/unsharded bit-identity contract cannot drift.
-pub(crate) fn window_candidate_positions(
-    tree: &RTree<ObjectId>,
+pub(crate) fn window_candidate_positions<Q: WindowQuery<ObjectId> + ?Sized>(
+    tree: &Q,
     ds: &UncertainDataset,
     an: &UncertainObject,
     q: &Point,
@@ -82,12 +86,13 @@ pub(crate) fn window_candidate_positions(
     query: &mut QueryStats,
 ) -> Vec<usize> {
     let mut hits: Vec<usize> = Vec::new();
-    tree.range_intersect_any(windows, query, |_, &id| {
+    tree.visit_windows(windows, query, &mut |&id| {
         if id != an.id() {
             if let Some(pos) = ds.index_of(id) {
                 hits.push(pos);
             }
         }
+        true
     });
     hits.sort_unstable();
     hits.dedup();

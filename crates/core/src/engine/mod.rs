@@ -80,14 +80,13 @@ use crate::types::{Cause, CrpOutcome, RunStats};
 use cache::{ExplanationCache, ServeTrace};
 use certain::{run_certain, Lemma7ClosedForm, PointTreeDominators, SubsetVerify};
 use crp_geom::{HyperRect, Point};
-use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
+use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams, WindowQuery};
 use crp_skyline::{build_object_rtree, build_point_rtree};
 use crp_uncertain::{
     Epoch, ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainError, UncertainObject,
     Update,
 };
 use filter::{FilterStage, SampleWindowFilter, ScanFilter};
-use pipeline::RegionHitSource;
 use std::sync::OnceLock;
 
 /// Algorithm selection over the shared pipeline.
@@ -154,6 +153,13 @@ pub struct EngineConfig {
     pub rtree: Option<RTreeParams>,
     /// Run [`ExplainEngine::explain_batch`] data-parallel with rayon.
     pub parallel: bool,
+    /// Route stage-1 window filtering through the packed SoA projection
+    /// of the R*-tree ([`crp_rtree::PackedRTree`], frozen lazily and
+    /// invalidated by [`ExplainEngine::apply`]) instead of the pointer
+    /// traversal. Bit-identical candidates and node-access counters
+    /// either way; the pointer path is retained as the reference for
+    /// before/after sweeps.
+    pub use_packed_filter: bool,
 }
 
 impl Default for EngineConfig {
@@ -164,6 +170,7 @@ impl Default for EngineConfig {
             cp: CpConfig::default(),
             rtree: None,
             parallel: true,
+            use_packed_filter: true,
         }
     }
 }
@@ -722,7 +729,7 @@ impl ExplainEngine {
                 }
                 let an_pos = ds.index_of(an).ok_or(CrpError::UnknownObject(an))?;
                 let mut stats = RunStats::default();
-                let filter = SampleWindowFilter::new(self.object_tree());
+                let filter = SampleWindowFilter::new(self.filter_view(self.object_tree()));
                 let positions = filter.candidates(ds, q, an_pos, &mut stats);
                 self.io.absorb(stats.query);
                 let mut ids: Vec<ObjectId> = positions
@@ -733,7 +740,7 @@ impl ExplainEngine {
                 Ok(ids)
             }
             Workload::Pdf { ds, .. } => {
-                let tree = self.guarded_pdf_tree(ds)?;
+                let tree = self.pdf_source(self.guarded_pdf_tree(ds)?);
                 let an_obj = ds.get(an).ok_or(CrpError::UnknownObject(an))?;
                 let windows = crate::pdf::pdf_windows(q, an_obj.region());
                 let mut stats = RunStats::default();
@@ -812,7 +819,7 @@ impl ExplainEngine {
                         an,
                         alpha,
                         &config,
-                        &SampleWindowFilter::new(self.guarded_object_tree(ds)?),
+                        &SampleWindowFilter::new(self.filter_view(self.guarded_object_tree(ds)?)),
                         Some(&self.io),
                     )
                 }
@@ -848,7 +855,7 @@ impl ExplainEngine {
                     };
                     pipeline::run_pdf(
                         ds,
-                        self.guarded_pdf_tree(ds)?,
+                        self.pdf_source(self.guarded_pdf_tree(ds)?),
                         q,
                         an,
                         alpha,
@@ -898,7 +905,7 @@ impl ExplainEngine {
                         ds,
                         q,
                         an_pos,
-                        &SampleWindowFilter::new(tree),
+                        &SampleWindowFilter::new(self.filter_view(tree)),
                         stats,
                     ))
                 },
@@ -929,7 +936,7 @@ impl ExplainEngine {
                 &mut ServeTrace::default(),
                 scratch,
                 |_windows, stats| {
-                    let tree = self.guarded_pdf_tree(ds)?;
+                    let tree = self.pdf_source(self.guarded_pdf_tree(ds)?);
                     Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
                 },
             )
@@ -983,6 +990,31 @@ impl ExplainEngine {
         self.cache
             .store_outcome(an, q, alpha, strategy, cp, region, true, &result);
         result
+    }
+
+    /// The stage-1 window-filter view of a tree: the packed frozen
+    /// image when [`EngineConfig::use_packed_filter`] is on (built
+    /// lazily, cached inside the tree, and invalidated by the
+    /// generation bump every [`ExplainEngine::apply`] mutation makes),
+    /// else the pointer tree itself. Both views satisfy the same
+    /// [`WindowQuery`] contract, so candidates and counters are
+    /// bit-identical either way.
+    fn filter_view<'t>(&self, tree: &'t RTree<ObjectId>) -> &'t (dyn WindowQuery<ObjectId> + Sync) {
+        if self.config.use_packed_filter {
+            tree.frozen()
+        } else {
+            tree
+        }
+    }
+
+    /// [`ExplainEngine::filter_view`] for the pdf pipeline's
+    /// [`pipeline::RegionHitSource`] seam.
+    fn pdf_source<'t>(&self, tree: &'t RTree<ObjectId>) -> &'t dyn pipeline::RegionHitSource {
+        if self.config.use_packed_filter {
+            tree.frozen()
+        } else {
+            tree
+        }
     }
 
     /// The pdf region tree, with empty datasets surfaced as the
@@ -1076,7 +1108,7 @@ impl plan::PlanHost for ExplainEngine {
             ds,
             q,
             an_pos,
-            &SampleWindowFilter::new(tree),
+            &SampleWindowFilter::new(self.filter_view(tree)),
             stats,
         ))
     }
@@ -1090,7 +1122,7 @@ impl plan::PlanHost for ExplainEngine {
         stats: &mut RunStats,
     ) -> Result<pipeline::StageOne, CrpError> {
         let ds = self.pdf();
-        let tree = self.guarded_pdf_tree(ds)?;
+        let tree = self.pdf_source(self.guarded_pdf_tree(ds)?);
         Ok(pipeline::stage1_pdf(ds, tree, q, an, resolution, stats))
     }
 
@@ -1106,11 +1138,57 @@ impl plan::PlanHost for ExplainEngine {
             Workload::Pdf { ds, .. } => self.guarded_pdf_tree(ds)?,
         };
         Ok(pipeline::tree_region_hits(
-            tree,
+            self.filter_view(tree),
             std::slice::from_ref(region),
             exclude,
             &mut stats.query,
         ))
+    }
+
+    /// The unsharded engine fuses a plan's traversing units into one
+    /// grouped descent of the packed image. Per-group hit lists and
+    /// counters are exactly what each unit's solo descent produces
+    /// (the packed traversal threads group liveness down the tree), so
+    /// planned outcomes — including their per-explain `QueryStats` —
+    /// stay bit-identical to unfused execution; only the *physical*
+    /// node reads shrink, which the `filter_sweep` bench measures.
+    fn fused_unit_hits(
+        &self,
+        groups: &[plan::FusedGroup],
+    ) -> Option<Vec<(Vec<ObjectId>, QueryStats)>> {
+        if !self.config.use_packed_filter || self.is_empty_data() {
+            return None;
+        }
+        let packed = self.object_tree().frozen();
+        let window_refs: Vec<&[HyperRect]> = groups.iter().map(|g| g.windows.as_slice()).collect();
+        let mut shared = QueryStats::default();
+        let mut per_group = vec![QueryStats::default(); groups.len()];
+        let mut hits: Vec<Vec<ObjectId>> = vec![Vec::new(); groups.len()];
+        packed.visit_grouped_stats(
+            &window_refs,
+            &mut shared,
+            Some(&mut per_group),
+            &mut |g, &id| {
+                if id != groups[g].exclude {
+                    hits[g].push(id);
+                }
+                true
+            },
+        );
+        // The shared physical cost stays out of the session I/O
+        // accumulator on purpose: the session metric is the sum of
+        // logical per-query costs (the paper's node-access measure),
+        // which the per-group counters preserve exactly.
+        Some(
+            hits.into_iter()
+                .zip(per_group)
+                .map(|(mut h, qs)| {
+                    h.sort_unstable();
+                    h.dedup();
+                    (h, qs)
+                })
+                .collect(),
+        )
     }
 }
 

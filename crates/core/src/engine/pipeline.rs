@@ -14,7 +14,7 @@ use crate::error::CrpError;
 use crate::matrix::{with_scratch, DominanceMatrix, Scratch};
 use crate::types::{Cause, CrpOutcome, RunStats};
 use crp_geom::{dominance_rect, HyperRect, Point, PROB_EPSILON};
-use crp_rtree::{AtomicQueryStats, QueryStats, RTree};
+use crp_rtree::{AtomicQueryStats, PackedRTree, QueryStats, RTree, WindowQuery};
 use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
 
 /// Stage 1 of the pdf pipeline, abstracted over the partition layout:
@@ -45,21 +45,34 @@ impl RegionHitSource for RTree<ObjectId> {
     }
 }
 
-/// The pdf window traversal over one region tree: ids intersecting any
-/// window, `exclude` removed, sorted and deduplicated. The single
+impl RegionHitSource for PackedRTree<ObjectId> {
+    fn region_hits(
+        &self,
+        windows: &[HyperRect],
+        exclude: ObjectId,
+        stats: &mut RunStats,
+    ) -> Vec<ObjectId> {
+        tree_region_hits(self, windows, exclude, &mut stats.query)
+    }
+}
+
+/// The pdf window traversal over one region tree (pointer or packed —
+/// generic through [`WindowQuery`]): ids intersecting any window,
+/// `exclude` removed, sorted and deduplicated. The single
 /// implementation behind the global tree and each shard of the sharded
 /// engine.
-pub(crate) fn tree_region_hits(
-    tree: &RTree<ObjectId>,
+pub(crate) fn tree_region_hits<Q: WindowQuery<ObjectId> + ?Sized>(
+    tree: &Q,
     windows: &[HyperRect],
     exclude: ObjectId,
     query: &mut crp_rtree::QueryStats,
 ) -> Vec<ObjectId> {
     let mut hits: Vec<ObjectId> = Vec::new();
-    tree.range_intersect_any(windows, query, |_, &id| {
+    tree.visit_windows(windows, query, &mut |&id| {
         if id != exclude {
             hits.push(id);
         }
+        true
     });
     hits.sort_unstable();
     hits.dedup();

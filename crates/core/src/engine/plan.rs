@@ -58,7 +58,7 @@ use crate::error::CrpError;
 use crate::matrix::{with_scratch, DominanceMatrix, Scratch};
 use crate::types::{CrpOutcome, RunStats};
 use crp_geom::{HyperRect, Point};
-use crp_rtree::AtomicQueryStats;
+use crp_rtree::{AtomicQueryStats, QueryStats};
 use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -333,6 +333,60 @@ pub(crate) trait PlanHost: Sync {
         fan_parallel: bool,
         stats: &mut RunStats,
     ) -> Result<Vec<ObjectId>, CrpError>;
+    /// Fused stage-1 pre-pass: one grouped descent of the packed tree
+    /// serves every traversing unit of the plan at once, each shared
+    /// upper node read a single time. Returns `None` when the host
+    /// cannot fuse (sharded hosts, packed filter off, empty data); an
+    /// entry per group otherwise — the unit's raw hit list (ascending,
+    /// deduplicated, the excluded id removed) plus the traversal
+    /// counters of that unit's *solo* descent, so the per-outcome stats
+    /// and the session I/O metric stay bit-identical to unfused
+    /// execution while the physical node reads shrink.
+    ///
+    /// The pre-pass is eager: a unit later served from the session
+    /// cache wastes its share of the descent. That trade is accepted —
+    /// cold plans (the planner's main workload) fuse fully, and the
+    /// wasted share on warm plans is one already-shared descent.
+    fn fused_unit_hits(&self, groups: &[FusedGroup]) -> Option<Vec<(Vec<ObjectId>, QueryStats)>> {
+        let _ = groups;
+        None
+    }
+}
+
+/// One group of a fused stage-1 descent: a traversing unit's filter
+/// windows and the non-answer its hit list excludes.
+pub(crate) struct FusedGroup {
+    pub unit: usize,
+    pub windows: Vec<HyperRect>,
+    pub exclude: ObjectId,
+}
+
+/// The filter windows a traversing unit's solo descent would use —
+/// discrete leaves test the per-sample dominance windows, coverage
+/// roots their single bounding box, pdf leaves the per-quadrant
+/// windows. `None` for units the serve path will fail before stage 1
+/// (unknown non-answer, dimension mismatch), which must keep surfacing
+/// their errors through the unfused path.
+fn unit_windows(workload: &Workload, unit: &Unit, q: &Point) -> Option<Vec<HyperRect>> {
+    unit.region.as_ref()?;
+    if unit.kind == UnitKind::CoverageRoot {
+        return unit.region.clone().map(|r| vec![r]);
+    }
+    match workload {
+        Workload::Discrete(ds) => {
+            let an = ds.get(unit.an)?;
+            Some(
+                an.samples()
+                    .iter()
+                    .map(|s| crp_geom::dominance_rect(s.point(), q))
+                    .collect(),
+            )
+        }
+        Workload::Pdf { ds, .. } => {
+            let an = ds.get(unit.an)?;
+            Some(crate::pdf::pdf_windows(q, an.region()))
+        }
+    }
 }
 
 /// One explain cell of the expanded workload.
@@ -582,14 +636,18 @@ fn stage1_pdf_from_coverage(
 }
 
 /// Executes one unit's stage 1 (discrete): derive from the parent's
-/// coverage when possible, else traverse — in coverage mode when
-/// children depend on this unit.
+/// coverage when possible, consume the fused pre-pass's hit list when
+/// one exists, else traverse — in coverage mode when children depend
+/// on this unit. The fused hit list is exactly what this unit's solo
+/// traversal would return (and its counters the solo counters), so all
+/// three paths produce the identical [`StageOne`].
 #[allow(clippy::too_many_arguments)]
 fn unit_stage1_discrete<H: PlanHost + ?Sized>(
     host: &H,
     units: &[Unit],
     ui: usize,
     coverage: &[OnceLock<Arc<Vec<ObjectId>>>],
+    fused: &[Option<(Vec<ObjectId>, QueryStats)>],
     ds: &UncertainDataset,
     q: &Point,
     an_pos: usize,
@@ -606,6 +664,16 @@ fn unit_stage1_discrete<H: PlanHost + ?Sized>(
         // through to this unit's own computation.
     }
     flags.traversed = true;
+    if let Some((hits, qs)) = &fused[ui] {
+        stats.query += *qs;
+        if units[ui].kind == UnitKind::CoverageRoot {
+            let cov = Arc::new(hits.clone());
+            let stage1 = stage1_discrete_from_coverage(ds, q, an_pos, &cov);
+            let _ = coverage[ui].set(cov);
+            return Ok(stage1);
+        }
+        return Ok(stage1_discrete_from_coverage(ds, q, an_pos, hits));
+    }
     if units[ui].kind == UnitKind::CoverageRoot {
         let region = units[ui]
             .region
@@ -626,6 +694,7 @@ fn unit_stage1_pdf<H: PlanHost + ?Sized>(
     units: &[Unit],
     ui: usize,
     coverage: &[OnceLock<Arc<Vec<ObjectId>>>],
+    fused: &[Option<(Vec<ObjectId>, QueryStats)>],
     ds: &PdfDataset,
     q: &Point,
     resolution: usize,
@@ -644,6 +713,22 @@ fn unit_stage1_pdf<H: PlanHost + ?Sized>(
         }
     }
     flags.traversed = true;
+    if let Some((hits, qs)) = &fused[ui] {
+        stats.query += *qs;
+        if units[ui].kind == UnitKind::CoverageRoot {
+            let cov = Arc::new(hits.clone());
+            let stage1 = stage1_pdf_from_coverage(ds, q, an, resolution, windows, &cov);
+            let _ = coverage[ui].set(cov);
+            return Ok(stage1);
+        }
+        return Ok(pipeline::stage1_pdf_from_hits(
+            ds,
+            q,
+            an,
+            resolution,
+            hits.clone(),
+        ));
+    }
     if units[ui].kind == UnitKind::CoverageRoot {
         let region = units[ui]
             .region
@@ -665,6 +750,7 @@ fn run_unit<H: PlanHost + ?Sized>(
     plan: &Plan,
     ui: usize,
     coverage: &[OnceLock<Arc<Vec<ObjectId>>>],
+    fused: &[Option<(Vec<ObjectId>, QueryStats)>],
     fan_parallel: bool,
     results: &[OnceLock<Result<CrpOutcome, CrpError>>],
 ) -> UnitFlags {
@@ -684,6 +770,7 @@ fn run_unit<H: PlanHost + ?Sized>(
                 task,
                 q,
                 coverage,
+                fused,
                 fan_parallel,
                 cache,
                 io,
@@ -715,6 +802,7 @@ fn run_cp_task<H: PlanHost + ?Sized>(
     task: &Task,
     q: &Point,
     coverage: &[OnceLock<Arc<Vec<ObjectId>>>],
+    fused: &[Option<(Vec<ObjectId>, QueryStats)>],
     fan_parallel: bool,
     cache: &ExplanationCache,
     io: Option<&AtomicQueryStats>,
@@ -740,6 +828,7 @@ fn run_cp_task<H: PlanHost + ?Sized>(
                     &plan.units,
                     ui,
                     coverage,
+                    fused,
                     ds,
                     q,
                     an_pos,
@@ -765,6 +854,7 @@ fn run_cp_task<H: PlanHost + ?Sized>(
                     &plan.units,
                     ui,
                     coverage,
+                    fused,
                     ds,
                     q,
                     *resolution,
@@ -813,6 +903,36 @@ pub(crate) fn execute<H: PlanHost + ?Sized>(host: &H, requests: &[ExplainRequest
     let phase2: Vec<usize> = (0..plan.units.len())
         .filter(|&ui| matches!(plan.units[ui].kind, UnitKind::Derived { .. }))
         .collect();
+
+    // Fused stage-1 pre-pass: when the host can fuse and at least two
+    // phase-1 units would traverse, one grouped packed descent computes
+    // every unit's hit list up front — shared upper nodes read once.
+    // Units the serve path fails before stage 1 (no windows) stay
+    // unfused so their errors surface identically.
+    let mut fused: Vec<Option<(Vec<ObjectId>, QueryStats)>> =
+        (0..plan.units.len()).map(|_| None).collect();
+    if phase1.len() >= 2 {
+        let workload = host.host_workload();
+        let groups: Vec<FusedGroup> = phase1
+            .iter()
+            .filter_map(|&ui| {
+                let unit = &plan.units[ui];
+                Some(FusedGroup {
+                    unit: ui,
+                    windows: unit_windows(workload, unit, &plan.qtable[unit.q])?,
+                    exclude: unit.an,
+                })
+            })
+            .collect();
+        if groups.len() >= 2 {
+            if let Some(hits) = host.fused_unit_hits(&groups) {
+                for (group, hit) in groups.into_iter().zip(hits) {
+                    fused[group.unit] = Some(hit);
+                }
+            }
+        }
+    }
+
     let run_units = |unit_ids: &[usize]| -> Vec<(usize, UnitFlags)> {
         if parallel && unit_ids.len() > 1 {
             unit_ids
@@ -820,7 +940,7 @@ pub(crate) fn execute<H: PlanHost + ?Sized>(host: &H, requests: &[ExplainRequest
                 .map(|&ui| {
                     (
                         ui,
-                        run_unit(host, &plan, ui, &coverage, fan_parallel, &results),
+                        run_unit(host, &plan, ui, &coverage, &fused, fan_parallel, &results),
                     )
                 })
                 .collect()
@@ -830,7 +950,7 @@ pub(crate) fn execute<H: PlanHost + ?Sized>(host: &H, requests: &[ExplainRequest
                 .map(|&ui| {
                     (
                         ui,
-                        run_unit(host, &plan, ui, &coverage, fan_parallel, &results),
+                        run_unit(host, &plan, ui, &coverage, &fused, fan_parallel, &results),
                     )
                 })
                 .collect()

@@ -48,7 +48,7 @@ use crate::error::CrpError;
 use crate::oracle::{oracle_cp, oracle_cr};
 use crate::types::{CrpOutcome, RunStats};
 use crp_geom::{dominance_rect, HyperRect, Point};
-use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams};
+use crp_rtree::{AtomicQueryStats, QueryStats, RTree, RTreeParams, WindowQuery};
 use crp_skyline::{build_object_rtree, build_point_rtree};
 use crp_uncertain::{
     Epoch, ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainObject, Update,
@@ -373,6 +373,20 @@ impl Shard {
         })
     }
 
+    /// The stage-1 filter view of this shard's object tree: the packed
+    /// frozen image (lazily built per shard, invalidated by the shard's
+    /// update path through the tree's generation bump) or the pointer
+    /// tree — the per-shard counterpart of the unsharded engine's
+    /// `filter_view`.
+    fn filter_tree(&self, packed: bool) -> &(dyn WindowQuery<ObjectId> + Sync) {
+        let tree = self.object_tree();
+        if packed {
+            tree.frozen()
+        } else {
+            tree
+        }
+    }
+
     /// Stage 1 (probabilistic) for this shard: the shard-local
     /// candidate causes of `an` — Lemma 2 window hits refined to exact
     /// dominance, as ascending ids. Returns the traversal's node
@@ -382,6 +396,7 @@ impl Shard {
         an: &UncertainObject,
         q: &Point,
         windows: &[HyperRect],
+        packed: bool,
     ) -> (Vec<ObjectId>, QueryStats) {
         let ShardData::Discrete(ds) = &self.data else {
             unreachable!("probabilistic stage 1 runs on discrete shards");
@@ -393,8 +408,14 @@ impl Shard {
         // The unsharded filter's exact body over this shard's tree and
         // dataset — the union over (disjoint) shards is therefore the
         // exact global candidate set.
-        let hits =
-            filter::window_candidate_positions(self.object_tree(), ds, an, q, windows, &mut qs);
+        let hits = filter::window_candidate_positions(
+            self.filter_tree(packed),
+            ds,
+            an,
+            q,
+            windows,
+            &mut qs,
+        );
         let mut ids: Vec<ObjectId> = hits.into_iter().map(|pos| ds.object_at(pos).id()).collect();
         ids.sort_unstable();
         self.io.merge(&qs);
@@ -426,7 +447,12 @@ impl Shard {
 
     /// Stage 1 (pdf) for this shard: the shard-local region hits of the
     /// per-quadrant windows, as ascending ids.
-    fn region_hits(&self, windows: &[HyperRect], exclude: ObjectId) -> (Vec<ObjectId>, QueryStats) {
+    fn region_hits(
+        &self,
+        windows: &[HyperRect],
+        exclude: ObjectId,
+        packed: bool,
+    ) -> (Vec<ObjectId>, QueryStats) {
         let ShardData::Pdf(_) = &self.data else {
             unreachable!("pdf stage 1 runs on pdf shards");
         };
@@ -434,7 +460,7 @@ impl Shard {
             return (Vec::new(), QueryStats::default());
         }
         let mut qs = QueryStats::default();
-        let ids = pipeline::tree_region_hits(self.object_tree(), windows, exclude, &mut qs);
+        let ids = pipeline::tree_region_hits(self.filter_tree(packed), windows, exclude, &mut qs);
         self.io.merge(&qs);
         (ids, qs)
     }
@@ -444,13 +470,18 @@ impl Shard {
     /// of a coverage root's filter windows), ascending, `exclude`
     /// removed. The union over disjoint shards is the exact global
     /// coverage list containment-derived stage-1 units filter from.
-    fn coverage_hits(&self, region: &HyperRect, exclude: ObjectId) -> (Vec<ObjectId>, QueryStats) {
+    fn coverage_hits(
+        &self,
+        region: &HyperRect,
+        exclude: ObjectId,
+        packed: bool,
+    ) -> (Vec<ObjectId>, QueryStats) {
         if self.is_empty() || !self.intersects_any(std::slice::from_ref(region)) {
             return (Vec::new(), QueryStats::default());
         }
         let mut qs = QueryStats::default();
         let ids = pipeline::tree_region_hits(
-            self.object_tree(),
+            self.filter_tree(packed),
             std::slice::from_ref(region),
             exclude,
             &mut qs,
@@ -1215,7 +1246,9 @@ impl ShardedExplainEngine {
                 let an_pos = ds.index_of(an).ok_or(CrpError::UnknownObject(an))?;
                 let an_obj = ds.object_at(an_pos);
                 let windows = sample_windows(an_obj, q);
-                Ok(self.shards[shard].sample_candidates(an_obj, q, &windows).0)
+                Ok(self.shards[shard]
+                    .sample_candidates(an_obj, q, &windows, self.config.use_packed_filter)
+                    .0)
             }
             Workload::Pdf { ds, .. } => {
                 if ds.is_empty() {
@@ -1223,7 +1256,9 @@ impl ShardedExplainEngine {
                 }
                 let an_obj = ds.get(an).ok_or(CrpError::UnknownObject(an))?;
                 let windows = crate::pdf::pdf_windows(q, an_obj.region());
-                Ok(self.shards[shard].region_hits(&windows, an).0)
+                Ok(self.shards[shard]
+                    .region_hits(&windows, an, self.config.use_packed_filter)
+                    .0)
             }
         }
     }
@@ -1287,6 +1322,7 @@ impl ShardedExplainEngine {
         let fan = ShardFanOut {
             shards: &self.shards,
             parallel: parallel_shards && self.shards.len() > 1,
+            packed: self.config.use_packed_filter,
         };
         match &self.data {
             Workload::Discrete(ds) => match strategy {
@@ -1523,6 +1559,7 @@ impl PlanHost for ShardedExplainEngine {
         let fan = ShardFanOut {
             shards: &self.shards,
             parallel: fan_parallel && self.shards.len() > 1,
+            packed: self.config.use_packed_filter,
         };
         Ok(pipeline::stage1_probabilistic(ds, q, an_pos, &fan, stats))
     }
@@ -1541,6 +1578,7 @@ impl PlanHost for ShardedExplainEngine {
         let fan = ShardFanOut {
             shards: &self.shards,
             parallel: fan_parallel && self.shards.len() > 1,
+            packed: self.config.use_packed_filter,
         };
         Ok(pipeline::stage1_pdf(ds, &fan, q, an, resolution, stats))
     }
@@ -1555,8 +1593,9 @@ impl PlanHost for ShardedExplainEngine {
         let fan = ShardFanOut {
             shards: &self.shards,
             parallel: fan_parallel && self.shards.len() > 1,
+            packed: self.config.use_packed_filter,
         };
-        let parts = fan.fan(|shard| shard.coverage_hits(region, exclude));
+        let parts = fan.fan(|shard| shard.coverage_hits(region, exclude, fan.packed));
         Ok(super::merge::merge_candidate_ids(ShardFanOut::fold_parts(
             parts, stats,
         )))
@@ -1578,6 +1617,9 @@ fn sample_windows(an: &UncertainObject, q: &Point) -> Vec<HyperRect> {
 struct ShardFanOut<'e> {
     shards: &'e [Shard],
     parallel: bool,
+    /// Route each shard's stage-1 traversal through its packed frozen
+    /// image ([`EngineConfig::use_packed_filter`]).
+    packed: bool,
 }
 
 impl ShardFanOut<'_> {
@@ -1615,7 +1657,7 @@ impl FilterStage for ShardFanOut<'_> {
     ) -> Vec<usize> {
         let an = ds.object_at(an_pos);
         let windows = sample_windows(an, q);
-        let parts = self.fan(|shard| shard.sample_candidates(an, q, &windows));
+        let parts = self.fan(|shard| shard.sample_candidates(an, q, &windows, self.packed));
         let ids = super::merge::merge_candidate_ids(Self::fold_parts(parts, stats));
         super::merge::global_positions(ds, &ids)
     }
@@ -1641,7 +1683,7 @@ impl RegionHitSource for ShardFanOut<'_> {
         exclude: ObjectId,
         stats: &mut RunStats,
     ) -> Vec<ObjectId> {
-        let parts = self.fan(|shard| shard.region_hits(windows, exclude));
+        let parts = self.fan(|shard| shard.region_hits(windows, exclude, self.packed));
         super::merge::merge_candidate_ids(Self::fold_parts(parts, stats))
     }
 }

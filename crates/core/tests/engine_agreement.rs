@@ -1221,3 +1221,177 @@ fn for_each_combination_boundary_sizes() {
     }));
     assert_eq!(seen, total);
 }
+
+// ---------------------------------------------------------------------
+// Packed stage-1 read path: the frozen SoA image must be bit-identical
+// to the pointer traversal — candidates, causes, AND every counter in
+// `stats.query` — at every engine shape. Unlike the sharded sweeps
+// above (which tolerate node-access drift via `assert_sharded_matches`),
+// these compare full `CrpOutcome` equality: same engine shape, only the
+// filter representation differs, so nothing is allowed to move.
+// ---------------------------------------------------------------------
+
+/// Same configuration as the packed default, with only the stage-1
+/// filter routed through the pointer arena instead of the frozen image.
+fn pointer_config(alpha: f64) -> EngineConfig {
+    EngineConfig {
+        use_packed_filter: false,
+        ..EngineConfig::with_alpha(alpha)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn packed_filter_is_bit_identical_on_discrete(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.25, 0.5, 1.0]),
+    ) {
+        let packed = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha))
+            .expect("valid engine config");
+        let pointer = ExplainEngine::new(ds.clone(), pointer_config(alpha))
+            .expect("valid engine config");
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        for strategy in [ExplainStrategy::Cr, ExplainStrategy::Cp] {
+            let a = packed.explain_batch_as(strategy, &q, alpha, &ids);
+            let b = pointer.explain_batch_as(strategy, &q, alpha, &ids);
+            prop_assert_eq!(&a, &b, "packed vs pointer batch diverged: {:?}", strategy);
+        }
+        for &an in &ids {
+            prop_assert_eq!(
+                packed.candidate_ids(&q, an),
+                pointer.candidate_ids(&q, an),
+                "candidate filter diverged: an = {}",
+                an
+            );
+        }
+    }
+
+    #[test]
+    fn packed_filter_is_bit_identical_on_discrete_3d(
+        ds in uncertain_dataset(3),
+        q in query(3),
+    ) {
+        // Odd dimension: the SIMD kernel's 4-lane chunks straddle slot
+        // boundaries differently than dim 2 — parity must still hold.
+        let packed = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(0.5))
+            .expect("valid engine config");
+        let pointer = ExplainEngine::new(ds.clone(), pointer_config(0.5))
+            .expect("valid engine config");
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        let a = packed.explain_batch_as(ExplainStrategy::Cp, &q, 0.5, &ids);
+        let b = pointer.explain_batch_as(ExplainStrategy::Cp, &q, 0.5, &ids);
+        prop_assert_eq!(&a, &b, "packed vs pointer diverged in dim 3");
+    }
+
+    #[test]
+    fn packed_filter_is_bit_identical_on_pdf(
+        ds in pdf_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.3, 0.6]),
+    ) {
+        let resolution = 3;
+        let packed = ExplainEngine::for_pdf(ds.clone(), resolution, EngineConfig::with_alpha(alpha))
+            .expect("valid engine config");
+        let pointer = ExplainEngine::for_pdf(ds.clone(), resolution, pointer_config(alpha))
+            .expect("valid engine config");
+        for an in ds.iter().map(|o| o.id()).collect::<Vec<_>>() {
+            prop_assert_eq!(
+                packed.explain(&q, an),
+                pointer.explain(&q, an),
+                "pdf packed vs pointer diverged: an = {}, α = {}",
+                an,
+                alpha
+            );
+            prop_assert_eq!(
+                packed.candidate_ids(&q, an),
+                pointer.candidate_ids(&q, an),
+                "pdf candidate filter diverged: an = {}",
+                an
+            );
+        }
+    }
+
+    #[test]
+    fn packed_filter_is_bit_identical_when_sharded(
+        ds in uncertain_dataset(2),
+        q in query(2),
+    ) {
+        // Every shard freezes its own sub-tree; the fan-out/merge must
+        // not notice which representation served the hits.
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        for policy in ShardPolicy::ALL {
+            for shards in LIVE_SHARDS {
+                let packed = ShardedExplainEngine::new(
+                    ds.clone(),
+                    EngineConfig::with_alpha(0.5),
+                    shards,
+                    policy,
+                ).expect("valid engine config");
+                let pointer = ShardedExplainEngine::new(
+                    ds.clone(),
+                    pointer_config(0.5),
+                    shards,
+                    policy,
+                ).expect("valid engine config");
+                let a = packed.explain_batch_as(ExplainStrategy::Cp, &q, 0.5, &ids);
+                let b = pointer.explain_batch_as(ExplainStrategy::Cp, &q, 0.5, &ids);
+                prop_assert_eq!(&a, &b, "sharded packed vs pointer: {} × {}", policy, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_filter_survives_apply_refreeze(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        points in live_points(2),
+    ) {
+        // Mutations invalidate the frozen image (generation bump); the
+        // next explain refreezes lazily. Warm both engines, apply the
+        // same insert-then-delete, and the refrozen packed path must
+        // still be bit-identical to the pointer path.
+        let config = EngineConfig::with_alpha(0.5);
+        let next_id = ObjectId(ds.iter().map(|o| o.id().0).max().unwrap_or(0) + 1);
+        let obj = UncertainObject::with_equal_probs(next_id, points).expect("non-empty samples");
+        let victim = ds.iter().map(|o| o.id()).next().expect("non-empty dataset");
+
+        let mut packed = ExplainEngine::new(ds.clone(), config).expect("valid engine config");
+        let mut pointer = ExplainEngine::new(ds.clone(), pointer_config(0.5))
+            .expect("valid engine config");
+        for engine in [&mut packed, &mut pointer] {
+            let _ = engine.explain_as(ExplainStrategy::Cp, &q, 0.5, victim);
+            engine.apply(Update::Insert(obj.clone())).expect("fresh id");
+            engine.apply(Update::Delete(victim)).expect("live id");
+        }
+        let ids: Vec<ObjectId> = packed.dataset().iter().map(|o| o.id()).collect();
+        let a = packed.explain_batch_as(ExplainStrategy::Cp, &q, 0.5, &ids);
+        let b = pointer.explain_batch_as(ExplainStrategy::Cp, &q, 0.5, &ids);
+        prop_assert_eq!(&a, &b, "post-apply refreeze diverged from pointer path");
+    }
+
+    #[test]
+    fn fused_planned_execution_is_bit_identical_to_unfused(
+        ds in uncertain_dataset(2),
+        q in query(2),
+        alpha in prop::sample::select(vec![0.5, 0.8]),
+    ) {
+        // A multi-an batch plan triggers the fused multi-query descent
+        // on the packed engine; the pointer engine runs the same plan
+        // unfused. Results — including per-query node accesses, which
+        // the fused pre-pass attributes solo-equivalently — must match.
+        let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).collect();
+        let request = ExplainRequest::batch(&q, &ids)
+            .with_strategy(ExplainStrategy::Cp)
+            .with_alpha(alpha);
+        let packed = ExplainEngine::new(ds.clone(), EngineConfig::with_alpha(alpha))
+            .expect("valid engine config");
+        let pointer = ExplainEngine::new(ds.clone(), pointer_config(alpha))
+            .expect("valid engine config");
+        let a = packed.run(std::slice::from_ref(&request));
+        let b = pointer.run(std::slice::from_ref(&request));
+        prop_assert_eq!(&a.results, &b.results, "fused plan diverged from unfused plan");
+    }
+}

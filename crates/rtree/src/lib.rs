@@ -19,14 +19,18 @@
 
 mod bulk;
 mod node;
+mod packed;
 mod params;
 mod query;
 mod stats;
 mod tree;
 
 pub use node::NodeId;
+pub use packed::{
+    active_rect_kernel, rect_simd_supported, set_rect_kernel, PackedRTree, RectKernel,
+};
 pub use params::RTreeParams;
-pub use query::QueryStats;
+pub use query::{QueryStats, WindowQuery};
 pub use stats::AtomicQueryStats;
 pub use tree::RTree;
 

@@ -1,8 +1,18 @@
 //! Queries with node-access accounting.
+//!
+//! Every window query in this crate — single-window, multi-window
+//! (Algorithm 1's RecList descent) and the fused multi-*query* descent
+//! of the packed projection — is one traversal contract,
+//! [`WindowQuery`], implemented exactly once per tree representation:
+//! the pointer tree's core is [`RTree::visit_grouped_core`], the packed
+//! tree's is `PackedRTree::visit_grouped_stats`. The four public query
+//! entry points are thin wrappers, so traversal order, pruning and the
+//! node-access counters cannot drift between them.
 
 use crate::node::{NodeEntries, NodeId};
 use crate::tree::RTree;
 use crp_geom::HyperRect;
+use std::cell::RefCell;
 
 /// Accumulates the I/O metric the paper reports — the number of tree
 /// nodes touched by queries — plus the maintenance and cache counters a
@@ -79,6 +89,92 @@ impl std::iter::Sum for QueryStats {
     }
 }
 
+/// Reusable traversal workspace: the DFS stacks and the packed
+/// projection's mask/liveness buffers. One instance lives per thread
+/// (see [`with_scratch`]), so steady-state traversals allocate nothing —
+/// a property pinned by the crate's counting-allocator test.
+#[derive(Default)]
+pub(crate) struct TraversalScratch {
+    /// Pending pointer-tree nodes (DFS order).
+    pub(crate) stack: Vec<NodeId>,
+    /// Pending packed nodes with their live-frame offsets.
+    pub(crate) packed_stack: Vec<(u32, u32)>,
+    /// Per-group entry-match bitmasks of the node being visited.
+    pub(crate) masks: Vec<u64>,
+    /// Live-group bitset frames, one per pushed packed node.
+    pub(crate) live: Vec<u64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TraversalScratch> = RefCell::new(TraversalScratch::default());
+}
+
+/// Runs `f` with this thread's traversal scratch. The workspace is
+/// *taken* for the duration (not borrowed), so a visitor that re-enters
+/// a traversal gets a fresh — allocating, but correct — workspace
+/// instead of a `RefCell` panic; the outer workspace is restored
+/// afterwards, keeping its grown buffers for the next call.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut TraversalScratch) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.take();
+        let out = f(&mut scratch);
+        cell.replace(scratch);
+        out
+    })
+}
+
+/// The traversal contract shared by the pointer [`RTree`] and its
+/// packed read-only projection
+/// ([`PackedRTree`](crate::PackedRTree)): one depth-first descent
+/// serving one *or many* window queries. Stage-1 filtering in the
+/// engine crate is generic over this trait, so the pointer and packed
+/// paths run bit-identical filter code.
+pub trait WindowQuery<T> {
+    /// Fused multi-query traversal: each element of `groups` is one
+    /// query's window list, and a single descent serves them all — a
+    /// child is entered when *any* group's window intersects its entry
+    /// rectangle, and `visitor` receives `(group index, payload)` for
+    /// every (group, entry) match, entries in depth-first entry order,
+    /// groups in ascending order per entry. Returning `false` aborts
+    /// the whole traversal (the return value is `false` iff aborted).
+    ///
+    /// Per-group hit sequences are identical to running each group
+    /// alone: window/rectangle intersection is containment-monotone
+    /// (a window missing a node's entry rectangle cannot intersect any
+    /// rectangle inside it), so a group never matches an entry below a
+    /// branch it would itself have pruned. `stats` counts each
+    /// *physical* node visit once — the fused descent's whole point is
+    /// that this union cost is below the per-group sum.
+    fn visit_grouped<'a>(
+        &'a self,
+        groups: &[&[HyperRect]],
+        stats: &mut QueryStats,
+        visitor: &mut dyn FnMut(usize, &'a T) -> bool,
+    ) -> bool;
+
+    /// Single-query any-window traversal — group 0 of
+    /// [`WindowQuery::visit_grouped`].
+    fn visit_windows<'a>(
+        &'a self,
+        windows: &[HyperRect],
+        stats: &mut QueryStats,
+        visitor: &mut dyn FnMut(&'a T) -> bool,
+    ) -> bool {
+        self.visit_grouped(&[windows], stats, &mut |_, t| visitor(t))
+    }
+}
+
+impl<T> WindowQuery<T> for RTree<T> {
+    fn visit_grouped<'a>(
+        &'a self,
+        groups: &[&[HyperRect]],
+        stats: &mut QueryStats,
+        visitor: &mut dyn FnMut(usize, &'a T) -> bool,
+    ) -> bool {
+        self.visit_grouped_core(groups, stats, &mut |g, _, t| visitor(g, t))
+    }
+}
+
 impl<T> RTree<T> {
     /// Visits every data entry whose rectangle intersects `window`
     /// (closed-boundary semantics).
@@ -88,11 +184,7 @@ impl<T> RTree<T> {
         stats: &mut QueryStats,
         mut visitor: impl FnMut(&HyperRect, &T),
     ) {
-        if self.is_empty() {
-            return;
-        }
-        let windows = std::slice::from_ref(window);
-        self.visit_multi(self.root_id(), windows, stats, &mut |r, t| {
+        self.visit_grouped_core(&[std::slice::from_ref(window)], stats, &mut |_, r, t| {
             visitor(r, t);
             true
         });
@@ -108,10 +200,7 @@ impl<T> RTree<T> {
         stats: &mut QueryStats,
         mut visitor: impl FnMut(&HyperRect, &T),
     ) {
-        if self.is_empty() || windows.is_empty() {
-            return;
-        }
-        self.visit_multi(self.root_id(), windows, stats, &mut |r, t| {
+        self.visit_grouped_core(&[windows], stats, &mut |_, r, t| {
             visitor(r, t);
             true
         });
@@ -125,23 +214,15 @@ impl<T> RTree<T> {
         stats: &mut QueryStats,
         mut pred: impl FnMut(&HyperRect, &T) -> bool,
     ) -> Option<&'a T> {
-        if self.is_empty() {
-            return None;
-        }
         let mut found: Option<&'a T> = None;
-        self.visit_multi_ref(
-            self.root_id(),
-            std::slice::from_ref(window),
-            stats,
-            &mut |r, t| {
-                if pred(r, t) {
-                    found = Some(t);
-                    false // stop traversal
-                } else {
-                    true
-                }
-            },
-        );
+        self.visit_grouped_core(&[std::slice::from_ref(window)], stats, &mut |_, r, t| {
+            if pred(r, t) {
+                found = Some(t);
+                false // stop traversal
+            } else {
+                true
+            }
+        });
         found
     }
 
@@ -151,78 +232,79 @@ impl<T> RTree<T> {
         T: Clone,
     {
         let mut out = Vec::new();
-        self.range_intersect(window, stats, |_, t| out.push(t.clone()));
+        self.collect_intersecting_into(window, stats, &mut out);
         out
     }
 
-    fn root_id(&self) -> NodeId {
-        self.root
-    }
-
-    /// Depth-first multi-window traversal. The visitor returns `false` to
-    /// abort the whole traversal (early termination for existence
-    /// queries). Returns `false` when aborted.
-    fn visit_multi(
+    /// [`RTree::collect_intersecting`] into a caller-owned buffer:
+    /// clears `out`, then fills it. With a warm buffer (and this
+    /// thread's traversal stack grown once), repeated queries allocate
+    /// nothing.
+    pub fn collect_intersecting_into(
         &self,
-        node_id: NodeId,
-        windows: &[HyperRect],
+        window: &HyperRect,
         stats: &mut QueryStats,
-        visitor: &mut impl FnMut(&HyperRect, &T) -> bool,
-    ) -> bool {
-        stats.node_accesses += 1;
-        let node = self.node(node_id);
-        match &node.entries {
-            NodeEntries::Leaf(v) => {
-                stats.leaf_accesses += 1;
-                for e in v {
-                    if windows.iter().any(|w| w.intersects(&e.rect)) && !visitor(&e.rect, &e.data) {
-                        return false;
-                    }
-                }
-            }
-            NodeEntries::Branch(v) => {
-                for e in v {
-                    if windows.iter().any(|w| w.intersects(&e.rect))
-                        && !self.visit_multi(e.child, windows, stats, visitor)
-                    {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
+        out: &mut Vec<T>,
+    ) where
+        T: Clone,
+    {
+        out.clear();
+        self.range_intersect(window, stats, |_, t| out.push(t.clone()));
     }
 
-    /// Same traversal, but the visitor may keep references into the tree.
-    fn visit_multi_ref<'a>(
+    /// The single traversal core behind every pointer-tree window
+    /// query: an iterative depth-first descent over a reusable stack,
+    /// visiting nodes in exactly the order the classic recursive
+    /// formulation does (children are pushed in reverse entry order).
+    /// `stats.node_accesses` advances once per visited node,
+    /// `stats.leaf_accesses` once per visited leaf; a `false` from the
+    /// visitor aborts the whole traversal with the counters reflecting
+    /// the nodes actually read.
+    fn visit_grouped_core<'a>(
         &'a self,
-        node_id: NodeId,
-        windows: &[HyperRect],
+        groups: &[&[HyperRect]],
         stats: &mut QueryStats,
-        visitor: &mut impl FnMut(&'a HyperRect, &'a T) -> bool,
+        visitor: &mut impl FnMut(usize, &'a HyperRect, &'a T) -> bool,
     ) -> bool {
-        stats.node_accesses += 1;
-        let node = self.node(node_id);
-        match &node.entries {
-            NodeEntries::Leaf(v) => {
-                stats.leaf_accesses += 1;
-                for e in v {
-                    if windows.iter().any(|w| w.intersects(&e.rect)) && !visitor(&e.rect, &e.data) {
-                        return false;
-                    }
-                }
-            }
-            NodeEntries::Branch(v) => {
-                for e in v {
-                    if windows.iter().any(|w| w.intersects(&e.rect))
-                        && !self.visit_multi_ref(e.child, windows, stats, visitor)
-                    {
-                        return false;
-                    }
-                }
-            }
+        if self.is_empty() || groups.iter().all(|g| g.is_empty()) {
+            return true;
         }
-        true
+        with_scratch(|scratch| {
+            let stack = &mut scratch.stack;
+            stack.clear();
+            stack.push(self.root);
+            while let Some(id) = stack.pop() {
+                stats.node_accesses += 1;
+                match &self.node(id).entries {
+                    NodeEntries::Leaf(v) => {
+                        stats.leaf_accesses += 1;
+                        for e in v {
+                            for (gi, g) in groups.iter().enumerate() {
+                                if g.iter().any(|w| w.intersects(&e.rect))
+                                    && !visitor(gi, &e.rect, &e.data)
+                                {
+                                    stack.clear();
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                    NodeEntries::Branch(v) => {
+                        let before = stack.len();
+                        for e in v {
+                            if groups
+                                .iter()
+                                .any(|g| g.iter().any(|w| w.intersects(&e.rect)))
+                            {
+                                stack.push(e.child);
+                            }
+                        }
+                        stack[before..].reverse();
+                    }
+                }
+            }
+            true
+        })
     }
 }
 
@@ -359,6 +441,72 @@ mod tests {
         assert_eq!(a.inserts, 1);
         assert_eq!(a.reinserts, 2);
         assert_eq!(a.cache_hits, 3);
+    }
+
+    #[test]
+    fn grouped_traversal_matches_per_query_runs() {
+        let tree = grid_tree(100);
+        let g0 = vec![
+            window([0.0, 0.0], [2.0, 2.0]),
+            window([7.0, 7.0], [9.0, 9.0]),
+        ];
+        let g1 = vec![window([3.0, 0.0], [5.0, 4.0])];
+        let g2: Vec<HyperRect> = Vec::new(); // empty group never matches
+
+        let mut fused_stats = QueryStats::default();
+        let mut fused: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        WindowQuery::visit_grouped(&tree, &[&g0, &g1, &g2], &mut fused_stats, &mut |g, &i| {
+            fused[g].push(i);
+            true
+        });
+
+        let mut solo_sum = QueryStats::default();
+        for (g, windows) in [(0usize, &g0), (1, &g1), (2, &g2)] {
+            let mut stats = QueryStats::default();
+            let mut solo = Vec::new();
+            tree.range_intersect_any(windows, &mut stats, |_, &i| solo.push(i));
+            // Per-group hit sequence (including order) identical to the
+            // group's solo descent.
+            assert_eq!(fused[g], solo, "group {g}");
+            solo_sum += stats;
+        }
+        // One physical descent serves all groups: strictly cheaper than
+        // the per-query sum (the root alone is shared by both live
+        // groups).
+        assert!(fused_stats.node_accesses < solo_sum.node_accesses);
+        assert!(fused_stats.leaf_accesses <= solo_sum.leaf_accesses);
+    }
+
+    #[test]
+    fn visit_windows_trait_matches_range_intersect_any() {
+        let tree = grid_tree(100);
+        let windows = vec![
+            window([1.0, 1.0], [4.0, 3.0]),
+            window([6.0, 6.0], [8.0, 8.0]),
+        ];
+        let mut a_stats = QueryStats::default();
+        let mut a = Vec::new();
+        tree.range_intersect_any(&windows, &mut a_stats, |_, &i| a.push(i));
+        let mut b_stats = QueryStats::default();
+        let mut b = Vec::new();
+        WindowQuery::visit_windows(&tree, &windows, &mut b_stats, &mut |&i| {
+            b.push(i);
+            true
+        });
+        assert_eq!(a, b);
+        assert_eq!(a_stats, b_stats);
+    }
+
+    #[test]
+    fn collect_into_reuses_buffer() {
+        let tree = grid_tree(100);
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        tree.collect_intersecting_into(&window([0.0, 0.0], [3.0, 3.0]), &mut stats, &mut out);
+        let first: Vec<usize> = out.clone();
+        tree.collect_intersecting_into(&window([0.0, 0.0], [3.0, 3.0]), &mut stats, &mut out);
+        assert_eq!(out, first, "buffer is cleared, not appended to");
+        assert!(!out.is_empty());
     }
 
     #[test]

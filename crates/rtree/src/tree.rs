@@ -1,9 +1,11 @@
 //! The R*-tree proper: insertion, deletion, structural invariants.
 
 use crate::node::{BranchEntry, LeafEntry, Node, NodeEntries, NodeId};
+use crate::packed::PackedRTree;
 use crate::params::RTreeParams;
 use crate::query::QueryStats;
 use crp_geom::{HyperRect, Point};
+use std::sync::OnceLock;
 
 /// An in-memory R*-tree mapping rectangles to payloads of type `T`.
 ///
@@ -31,6 +33,14 @@ pub struct RTree<T> {
     /// count: the counters measure the update path a mutable session
     /// pays for, not construction.
     upkeep: QueryStats,
+    /// Mutation counter: advanced by every structure-modifying public
+    /// operation and stamped into frozen images, so a stale
+    /// [`PackedRTree`] snapshot is detectable by tag comparison.
+    generation: u64,
+    /// Lazily built packed projection of the current tree state,
+    /// cleared by every mutation (which holds `&mut self`) and rebuilt
+    /// on the next [`RTree::frozen`] call.
+    frozen: OnceLock<PackedRTree<T>>,
 }
 
 /// What gets (re-)inserted during overflow/underflow treatment: either a
@@ -52,6 +62,8 @@ impl<T> RTree<T> {
             params,
             len: 0,
             upkeep: QueryStats::default(),
+            generation: 0,
+            frozen: OnceLock::new(),
         }
     }
 
@@ -109,6 +121,43 @@ impl<T> RTree<T> {
         self.node(self.root).mbr()
     }
 
+    /// The mutation counter stamped into frozen images: advanced by
+    /// every [`RTree::insert`] / [`RTree::remove`] that changes the
+    /// tree. Two frozen images with equal generations describe the
+    /// same tree state.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidates the cached frozen image and tags the new state —
+    /// called (under `&mut self`) by every structural mutation.
+    fn invalidate_frozen(&mut self) {
+        self.generation += 1;
+        self.frozen = OnceLock::new();
+    }
+
+    /// Builds a fresh packed, read-only SoA projection of the current
+    /// tree state (see [`PackedRTree`]). Prefer [`RTree::frozen`],
+    /// which caches the image until the next mutation.
+    pub fn freeze(&self) -> PackedRTree<T>
+    where
+        T: Clone,
+    {
+        PackedRTree::build(self)
+    }
+
+    /// The cached frozen image of the current tree state, built on
+    /// first use and shared by every reader until a mutation
+    /// invalidates it (generation-tagged; rebuilt lazily on the next
+    /// call, so incremental `apply` keeps working and each epoch gets a
+    /// stable snapshot).
+    pub fn frozen(&self) -> &PackedRTree<T>
+    where
+        T: Clone,
+    {
+        self.frozen.get_or_init(|| PackedRTree::build(self))
+    }
+
     #[inline]
     pub(crate) fn node(&self, id: NodeId) -> &Node<T> {
         &self.nodes[id.index()]
@@ -144,6 +193,7 @@ impl<T> RTree<T> {
     /// Panics if the rectangle's dimensionality differs from the tree's.
     pub fn insert(&mut self, rect: HyperRect, data: T) {
         assert_eq!(rect.dim(), self.dim, "dimension mismatch");
+        self.invalidate_frozen();
         // Forced reinsertion fires at most once per level per logical
         // insertion (the R*-tree rule).
         let mut reinserted = vec![false; self.height()];
@@ -521,6 +571,7 @@ impl<T: PartialEq> RTree<T> {
         if !self.find_leaf_path(self.root, rect, data, &mut path) {
             return false;
         }
+        self.invalidate_frozen();
         let leaf = *path.last().expect("found path is non-empty");
         {
             let entries = self.node_mut(leaf).leaf_entries_mut();

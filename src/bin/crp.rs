@@ -55,6 +55,7 @@ use prsq_crp::data::{
     write_season_records, CarDbConfig, NbaConfig, WorkloadOp,
 };
 use prsq_crp::prelude::*;
+use prsq_crp::rtree::{set_rect_kernel, RectKernel};
 use prsq_crp::uncertain::Epoch;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -64,7 +65,7 @@ const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|genera
      --objects ID,ID,…|all --alphas A,A,… --q-grid d1:d2,d1:d2,… \
      --budget N --serial --workload FILE \
      --shards N --shard-policy round-robin|hash-by-id|spatial \
-     --kernel auto|scalar|simd \
+     --kernel auto|scalar|simd --filter auto|pointer|packed \
      | --kind nba|cardb --out FILE]";
 
 /// Parsed command line: every token accounted for, or an error.
@@ -92,6 +93,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--shards", true),
         ("--shard-policy", true),
         ("--kernel", true),
+        ("--filter", true),
     ];
     const EXPLAIN_BATCH: &[(&str, bool)] = &[
         ("--data", true),
@@ -104,6 +106,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--shards", true),
         ("--shard-policy", true),
         ("--kernel", true),
+        ("--filter", true),
     ];
     const REPLAY: &[(&str, bool)] = &[
         ("--data", true),
@@ -116,6 +119,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--shards", true),
         ("--shard-policy", true),
         ("--kernel", true),
+        ("--filter", true),
     ];
     const SWEEP: &[(&str, bool)] = &[
         ("--data", true),
@@ -130,6 +134,7 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--shards", true),
         ("--shard-policy", true),
         ("--kernel", true),
+        ("--filter", true),
     ];
     const GENERATE: &[(&str, bool)] = &[("--kind", true), ("--out", true)];
     match command {
@@ -215,12 +220,53 @@ fn parse_sharding(cli: &Cli) -> Result<(usize, ShardPolicy), String> {
 /// `--kernel auto|scalar|simd` — pins the dominance-kernel dispatch
 /// for A/B runs. `simd` is rejected up front on hosts without AVX2;
 /// absent, the process-wide default (the `CRP_KERNEL` env var, else
-/// auto-detection) stands.
+/// auto-detection) stands. One flag pins both dispatches: the packed
+/// filter's rect kernel follows the same variant.
 fn apply_kernel(cli: &Cli) -> Result<(), String> {
     if let Some(kind) = cli.parse::<KernelKind>("--kernel")? {
         set_kernel(kind).map_err(|e| format!("bad --kernel: {e}"))?;
+        let rect = match kind {
+            KernelKind::Auto => RectKernel::Auto,
+            KernelKind::Scalar => RectKernel::Scalar,
+            KernelKind::Simd => RectKernel::Simd,
+        };
+        set_rect_kernel(rect).map_err(|e| format!("bad --kernel: {e}"))?;
     }
     Ok(())
+}
+
+/// `--filter auto|pointer|packed` — selects the stage-1 window-filter
+/// representation: `pointer` walks the mutable arena directly, `packed`
+/// routes every filter descent through the frozen SoA image (`auto`
+/// spells out the default, which is `packed`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FilterKind {
+    Auto,
+    Pointer,
+    Packed,
+}
+
+impl std::str::FromStr for FilterKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "pointer" => Ok(Self::Pointer),
+            "packed" => Ok(Self::Packed),
+            other => Err(format!(
+                "unknown filter '{other}' (expected auto, pointer or packed)"
+            )),
+        }
+    }
+}
+
+/// Resolves `--filter` to the engine's `use_packed_filter` switch.
+fn parse_filter(cli: &Cli) -> Result<bool, String> {
+    let kind = cli
+        .parse::<FilterKind>("--filter")?
+        .unwrap_or(FilterKind::Auto);
+    Ok(!matches!(kind, FilterKind::Pointer))
 }
 
 /// `--alphas 0.3,0.5,0.7` — the α list of a sweep request.
@@ -371,6 +417,7 @@ fn build_engine(
     parallel: bool,
     shards: usize,
     policy: ShardPolicy,
+    packed_filter: bool,
 ) -> Result<AnyEngine, String> {
     let config = EngineConfig {
         alpha,
@@ -380,6 +427,7 @@ fn build_engine(
             ..CpConfig::default()
         },
         parallel,
+        use_packed_filter: packed_filter,
         ..EngineConfig::default()
     };
     Ok(if shards > 1 {
@@ -680,11 +728,19 @@ fn run() -> Result<(), String> {
             let budget = cli.parse("--budget")?.or(Some(5_000_000));
             let (shards, policy) = parse_sharding(&cli)?;
             apply_kernel(&cli)?;
+            let packed_filter = parse_filter(&cli)?;
             if cli.command == "replay" {
                 let ops =
                     load_workload(cli.require("--workload", "FILE")?).map_err(|e| e.to_string())?;
-                let mut engine =
-                    build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy)?;
+                let mut engine = build_engine(
+                    ds,
+                    alpha,
+                    budget,
+                    !cli.has("--serial"),
+                    shards,
+                    policy,
+                    packed_filter,
+                )?;
                 return cmd_replay(&mut engine, &q, &ops);
             }
             if cli.command == "sweep" {
@@ -698,7 +754,15 @@ fn run() -> Result<(), String> {
                     Some(raw) => parse_q_grid(raw, &q)?,
                     None => vec![q.clone()],
                 };
-                let engine = build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy)?;
+                let engine = build_engine(
+                    ds,
+                    alpha,
+                    budget,
+                    !cli.has("--serial"),
+                    shards,
+                    policy,
+                    packed_filter,
+                )?;
                 return cmd_sweep(&engine, queries, &objects, alphas, cli.has("--serial"));
             }
             if cli.command == "explain" {
@@ -707,12 +771,20 @@ fn run() -> Result<(), String> {
                         .parse()
                         .map_err(|e| format!("bad --object: {e}"))?,
                 );
-                let engine = build_engine(ds, alpha, budget, true, shards, policy)?;
+                let engine = build_engine(ds, alpha, budget, true, shards, policy, packed_filter)?;
                 cmd_explain(&engine, &q, id)
             } else {
                 let raw = cli.require("--objects", "ID,ID,… (or 'all')")?;
                 let ids = parse_objects(raw, &ds)?;
-                let engine = build_engine(ds, alpha, budget, !cli.has("--serial"), shards, policy)?;
+                let engine = build_engine(
+                    ds,
+                    alpha,
+                    budget,
+                    !cli.has("--serial"),
+                    shards,
+                    policy,
+                    packed_filter,
+                )?;
                 cmd_explain_batch(&engine, &q, &ids)
             }
         }
@@ -823,6 +895,33 @@ mod tests {
         // Rejected where no refine loop runs.
         assert!(parse_cli(&args(&["query", "--kernel", "scalar"])).is_err());
         assert!(parse_cli(&args(&["generate", "--kernel", "scalar"])).is_err());
+    }
+
+    #[test]
+    fn filter_flag_parsing() {
+        use super::parse_filter;
+        // Every explain-family subcommand accepts --filter, and both
+        // `auto` and `packed` resolve to the packed read path.
+        for cmd in ["explain", "explain-batch", "sweep", "replay"] {
+            for value in ["auto", "packed"] {
+                let cli = parse_cli(&args(&[cmd, "--filter", value])).unwrap();
+                assert!(parse_filter(&cli).unwrap(), "{cmd} --filter {value}");
+            }
+            let cli = parse_cli(&args(&[cmd, "--filter", "pointer"])).unwrap();
+            assert!(!parse_filter(&cli).unwrap(), "{cmd} --filter pointer");
+        }
+        // Absent flag defaults to the packed image.
+        let cli = parse_cli(&args(&["explain", "--data", "x.csv"])).unwrap();
+        assert!(parse_filter(&cli).unwrap());
+        // Strict values: typos and wrong case are errors, not fallbacks.
+        for bad in ["soa", "Packed", "POINTER", "arena", ""] {
+            let cli = parse_cli(&args(&["explain", "--filter", bad])).unwrap();
+            let err = parse_filter(&cli).unwrap_err();
+            assert!(err.contains("--filter"), "{bad}: {err}");
+        }
+        // Rejected where no stage-1 filter runs.
+        assert!(parse_cli(&args(&["query", "--filter", "packed"])).is_err());
+        assert!(parse_cli(&args(&["generate", "--filter", "packed"])).is_err());
     }
 
     #[test]
