@@ -48,8 +48,8 @@ use crate::types::{CrpOutcome, RunStats};
 use crp_geom::{HyperRect, Point};
 use crp_rtree::{AtomicQueryStats, QueryStats};
 use crp_uncertain::{ObjectId, PdfDataset, UncertainDataset};
-use std::collections::HashMap;
-use std::sync::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex, RwLock};
 
 /// Hash key for a query point: exact f64 bit patterns (explanations are
 /// deterministic functions of the exact coordinates, so bitwise
@@ -118,6 +118,35 @@ pub(crate) struct ExplanationCache {
     /// Hit / miss / eviction counters (only the `cache_*` fields are
     /// used), folded into the session totals by the engine.
     stats: AtomicQueryStats,
+    /// Single-flight registry: outcome keys currently being computed.
+    /// Concurrent explains for the same `(an, q, α, cp)` after an
+    /// invalidation coalesce on one leader instead of stampeding the
+    /// pipeline (see [`ExplanationCache::coalesce_cp`]).
+    inflight: Inflight,
+}
+
+/// The in-flight key set plus its wake-up signal. The mutex is held
+/// only for set membership checks — never across a computation.
+#[derive(Debug, Default)]
+struct Inflight {
+    keys: Mutex<HashSet<OutcomeKey>>,
+    cv: Condvar,
+}
+
+/// Removes the led key and wakes the waiters when the leader's
+/// computation finishes — on the success path *and* on unwind, so a
+/// panicking leader cannot strand its followers.
+struct InflightGuard<'a> {
+    cache: &'a ExplanationCache,
+    key: OutcomeKey,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut keys = self.cache.inflight.keys.lock().expect("in-flight lock");
+        keys.remove(&self.key);
+        self.cache.inflight.cv.notify_all();
+    }
 }
 
 impl ExplanationCache {
@@ -263,6 +292,63 @@ impl ExplanationCache {
         map.insert(key, rows);
     }
 
+    /// Single-flight guard over one CP outcome computation: when
+    /// several threads miss the outcome layer for the **same**
+    /// `(an, q, α, cp)` — the first-reader stampede after an
+    /// invalidation bump — exactly one becomes the leader and runs
+    /// `compute`; the rest block until it finishes, then serve the
+    /// leader's freshly stored outcome from the cache (counted as a
+    /// hit, like any other outcome-layer serve). When the leader's
+    /// result was not cacheable (budget exhaustion, unknown id, …) or
+    /// was invalidated again before the waiters woke, the waiters
+    /// compete to lead a recomputation — correctness never depends on
+    /// coalescing, it only collapses duplicate work.
+    pub fn coalesce_cp(
+        &self,
+        an: ObjectId,
+        q: &Point,
+        alpha: f64,
+        cp: &CpConfig,
+        trace: &mut ServeTrace,
+        compute: impl FnOnce(&mut ServeTrace) -> Result<CrpOutcome, CrpError>,
+    ) -> Result<CrpOutcome, CrpError> {
+        let key = OutcomeKey {
+            an,
+            q: PointKey::of(q),
+            alpha: alpha.to_bits(),
+            strategy: ExplainStrategy::Cp,
+            cp: *cp,
+        };
+        loop {
+            let lead = {
+                let mut keys = self.inflight.keys.lock().expect("in-flight lock");
+                if keys.contains(&key) {
+                    // A leader is already computing this exact explain:
+                    // wait it out instead of recomputing, then re-check
+                    // the outcome layer below.
+                    let _woken = self
+                        .inflight
+                        .cv
+                        .wait_while(keys, |k| k.contains(&key))
+                        .expect("in-flight lock");
+                    false
+                } else {
+                    keys.insert(key.clone());
+                    true
+                }
+            };
+            if lead {
+                break;
+            }
+            if let Some(hit) = self.lookup_outcome(an, q, alpha, ExplainStrategy::Cp, cp) {
+                trace.outcome_hit = true;
+                return hit;
+            }
+        }
+        let _done = InflightGuard { cache: self, key };
+        compute(trace)
+    }
+
     /// Evicts everything an update to `touched` (old and/or new MBR in
     /// `regions`) could have changed; `flush_certain` additionally
     /// drops every certain-strategy outcome (set when the update could
@@ -338,18 +424,20 @@ pub(crate) fn serve_cp_discrete(
     }
     let an_pos = pipeline::validate(ds, q, an, alpha)?;
     let region = filter::candidate_region(ds.object_at(an_pos), q);
-    cached_cp_finish(
-        cache,
-        io,
-        q,
-        an,
-        alpha,
-        cp,
-        region,
-        trace,
-        scratch,
-        |stats| fresh(an_pos, stats),
-    )
+    cache.coalesce_cp(an, q, alpha, cp, trace, |trace| {
+        cached_cp_finish(
+            cache,
+            io,
+            q,
+            an,
+            alpha,
+            cp,
+            region,
+            trace,
+            scratch,
+            |stats| fresh(an_pos, stats),
+        )
+    })
 }
 
 /// [`serve_cp_discrete`] for continuous-pdf workloads; `fresh` receives
@@ -376,18 +464,20 @@ pub(crate) fn serve_cp_pdf(
     let an_obj = ds.get(an).expect("validated above");
     let windows = crate::pdf::pdf_windows(q, an_obj.region());
     let region = filter::windows_region(&windows).expect("pdf windows are non-empty");
-    cached_cp_finish(
-        cache,
-        io,
-        q,
-        an,
-        alpha,
-        cp,
-        region,
-        trace,
-        scratch,
-        |stats| fresh(&windows, stats),
-    )
+    cache.coalesce_cp(an, q, alpha, cp, trace, |trace| {
+        cached_cp_finish(
+            cache,
+            io,
+            q,
+            an,
+            alpha,
+            cp,
+            region,
+            trace,
+            scratch,
+            |stats| fresh(&windows, stats),
+        )
+    })
 }
 
 /// The shared tail of every cached CP path — unsharded (discrete and

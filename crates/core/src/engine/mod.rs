@@ -63,6 +63,7 @@ pub mod certain;
 pub mod filter;
 pub(crate) mod fmcs;
 pub mod merge;
+pub mod mvcc;
 pub(crate) mod pipeline;
 pub mod plan;
 pub(crate) mod refine;
@@ -246,9 +247,21 @@ fn update_error(e: UncertainError) -> CrpError {
 /// The data a session explains over — shared with the sharded engine,
 /// which keeps a global `Workload` for validation and matrix building
 /// while all index I/O happens in the shards.
+#[derive(Clone)]
 pub(crate) enum Workload {
     Discrete(UncertainDataset),
     Pdf { ds: PdfDataset, resolution: usize },
+}
+
+/// Clones a lazily initialised slot: a built value is cloned into the
+/// fork, an unbuilt one stays unbuilt (the fork pays the same lazy
+/// build a fresh engine would).
+pub(crate) fn clone_slot<T: Clone>(slot: &OnceLock<T>) -> OnceLock<T> {
+    let out = OnceLock::new();
+    if let Some(value) = slot.get() {
+        let _ = out.set(value.clone());
+    }
+    out
 }
 
 /// A per-dataset explain session: owns the dataset, the R-trees and the
@@ -309,6 +322,25 @@ impl ExplainEngine {
     /// The session configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Forks an immutable snapshot of this session: the dataset and any
+    /// built trees are cloned (an already-frozen packed image is shared
+    /// zero-copy through its `Arc`), while the I/O accumulator and the
+    /// explanation cache start fresh — each epoch gets its own cache
+    /// generation, so invalidation never reaches across snapshots.
+    /// Explains against the fork are bit-identical to explains against
+    /// the source at the moment of forking; this is the read-side half
+    /// of the MVCC session ([`mvcc::MvccEngine`]).
+    pub fn fork(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            config: self.config,
+            object_tree: clone_slot(&self.object_tree),
+            point_tree: clone_slot(&self.point_tree),
+            io: AtomicQueryStats::new(),
+            cache: ExplanationCache::new(),
+        }
     }
 
     /// The discrete dataset of this session.
@@ -475,6 +507,7 @@ impl ExplainEngine {
         }
         let flush_certain = !(was_certain && self.discrete().is_certain());
         self.cache.invalidate(touched, &regions, flush_certain);
+        self.refreeze_trees();
         Ok(self.discrete().epoch())
     }
 
@@ -529,7 +562,25 @@ impl ExplainEngine {
             }
         }
         self.cache.invalidate(touched, &regions, false);
+        self.refreeze_trees();
         Ok(self.pdf().epoch())
+    }
+
+    /// Re-freezes the packed images of whichever trees are built, so
+    /// the first post-update explain finds a warm snapshot instead of
+    /// paying the rebuild inside its latency budget. Counted in
+    /// [`QueryStats::refreezes`]; skipped entirely when the packed
+    /// filter is disabled (the pointer traversal never freezes).
+    fn refreeze_trees(&mut self) {
+        if !self.config.use_packed_filter {
+            return;
+        }
+        for slot in [&mut self.object_tree, &mut self.point_tree] {
+            if let Some(tree) = slot.get_mut() {
+                tree.refreeze();
+                self.io.absorb(tree.take_upkeep());
+            }
+        }
     }
 
     fn discrete(&self) -> &UncertainDataset {
@@ -1540,6 +1591,11 @@ mod tests {
         assert_eq!(io.inserts, 2, "insert + replace");
         assert_eq!(io.removes, 2, "delete + replace");
         assert!(io.cache_evictions > 0, "updates evicted cached entries");
+        // Each update re-froze the packed image eagerly (the object
+        // tree was warm before the first apply; the point tree is never
+        // built for this uncertain fixture), so the first post-update
+        // explain found a warm snapshot.
+        assert_eq!(io.refreezes, 3, "one eager refreeze per applied update");
 
         // Error paths: unknown delete, duplicate insert, wrong workload.
         assert_eq!(
@@ -1599,6 +1655,64 @@ mod tests {
         let (rows, outcomes) = engine.cache_len();
         assert_eq!(rows, 1);
         assert_eq!(outcomes, 2);
+    }
+
+    #[test]
+    fn invalidated_explains_coalesce_on_one_computation() {
+        // The first-reader stampede: after an update invalidates the
+        // cache, many concurrent explains for the same (an, q, α) must
+        // coalesce on a single pipeline computation (one traversal, one
+        // eval burst) instead of all recomputing.
+        let q = pt(5.0, 5.0);
+        let make = || {
+            let mut engine =
+                ExplainEngine::new(uncertain_fixture(), EngineConfig::with_alpha(0.75))
+                    .expect("valid engine config");
+            let _ = engine.explain(&q, ObjectId(0)).unwrap(); // warm the cache
+            engine
+                .apply(Update::Insert(UncertainObject::certain(
+                    ObjectId(9),
+                    pt(6.5, 6.5),
+                )))
+                .unwrap();
+            engine.reset_io();
+            engine
+        };
+
+        // Reference: what exactly one fresh post-invalidation explain
+        // pays (traversal + the single eval_fast/eval_slow burst).
+        let solo = make();
+        let baseline = solo.explain(&q, ObjectId(0)).unwrap();
+        let one_burst = solo.accumulated_io();
+        assert!(
+            one_burst.node_accesses > 0,
+            "fresh explain pays a traversal"
+        );
+        assert!(
+            baseline.stats.query.eval_fast + baseline.stats.query.eval_slow > 0,
+            "refinement ran"
+        );
+
+        // Eight concurrent explains against one invalidated session.
+        let shared = make();
+        let outcomes: Vec<CrpOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| shared.explain(&q, ObjectId(0)).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every thread sees the leader's outcome, bit-identical down to
+        // the replayed traversal cost and evaluator taps.
+        for out in &outcomes {
+            assert_eq!(*out, baseline);
+        }
+        let io = shared.accumulated_io();
+        // Exactly one burst was paid: the session totals show a single
+        // fresh traversal, not eight.
+        assert_eq!(io.node_accesses, one_burst.node_accesses);
+        // The other seven explains were served from the outcome layer
+        // (waiting out the leader, or hitting the cache outright).
+        assert_eq!(io.cache_hits, 7, "got {io:?}");
     }
 
     #[test]

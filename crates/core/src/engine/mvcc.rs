@@ -1,0 +1,383 @@
+//! Epoch-snapshot MVCC over an explain session: any number of reader
+//! threads run the full filter → refine → FMCS pipeline against a
+//! **pinned, immutable epoch snapshot** while a single writer applies
+//! the next update batch and publishes it atomically.
+//!
+//! ## Architecture
+//!
+//! * The **writer** owns the authoritative mutable engine behind a
+//!   mutex. [`MvccEngine::apply_batch`] applies a whole batch, then
+//!   [forks](super::ExplainEngine::fork) an immutable snapshot of the
+//!   post-batch state — dataset view, built R-trees (the eagerly
+//!   re-frozen packed images are shared zero-copy through their `Arc`s)
+//!   and a fresh cache generation — and publishes it.
+//! * **Publication** is `ArcSwap`-style: the current snapshot lives in
+//!   an `RwLock<Arc<_>>` whose lock scope is a pointer clone (readers)
+//!   or a pointer store (writer) — readers never block behind a batch,
+//!   and the writer never waits for in-flight explains to drain.
+//! * A bounded **epoch ring** retains recent snapshots so sessions can
+//!   pin a specific epoch ([`MvccEngine::pin_at`]); when the ring
+//!   overflows, the oldest snapshot is retired — its memory is freed
+//!   when the last reader still holding its `Arc` drops it.
+//!
+//! Readers can never observe a torn epoch: a snapshot is forked only
+//! after its whole batch applied, so every published epoch is a batch
+//! boundary. Explains against a pinned snapshot are bit-identical
+//! (outcome *and* `stats.query`) to a fresh serial engine replayed to
+//! that epoch — incremental R*-tree patching is deterministic, so the
+//! forked trees equal the replayed trees node for node; the concurrency
+//! stress suite pins this across engines, workloads and shard counts.
+//!
+//! Durability (write-ahead logging of update batches + snapshot
+//! manifests) composes on top: see `crp_data::wal` and the `crp` CLI's
+//! session assembly, which log a batch before handing it to
+//! [`MvccEngine::apply_batch`].
+
+use super::session::ExplainSession;
+use super::{ExplainEngine, ShardedExplainEngine};
+use crate::error::CrpError;
+use crp_uncertain::{Epoch, PdfObject, UncertainDataset, UncertainObject, Update};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// What the MVCC session needs from an engine: single-writer update
+/// application plus an immutable snapshot fork for readers. Implemented
+/// by both [`ExplainEngine`] and [`ShardedExplainEngine`].
+pub trait SnapshotEngine: ExplainSession + Send + Sync {
+    /// Forks an immutable reader snapshot of the current state.
+    fn fork_snapshot(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Applies one discrete-sample update.
+    fn apply_update(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError>;
+
+    /// Applies one continuous-pdf update.
+    fn apply_pdf_update(&mut self, update: Update<PdfObject>) -> Result<Epoch, CrpError>;
+
+    /// The discrete dataset this session serves, `None` for a
+    /// continuous-pdf session. Durable sessions use this to validate a
+    /// batch against the published state before logging it (the WAL
+    /// grammar is discrete-only).
+    fn discrete_dataset(&self) -> Option<&UncertainDataset>;
+}
+
+impl SnapshotEngine for ExplainEngine {
+    fn fork_snapshot(&self) -> Self {
+        self.fork()
+    }
+
+    fn apply_update(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError> {
+        self.apply(update)
+    }
+
+    fn apply_pdf_update(&mut self, update: Update<PdfObject>) -> Result<Epoch, CrpError> {
+        self.apply_pdf(update)
+    }
+
+    fn discrete_dataset(&self) -> Option<&UncertainDataset> {
+        if self.pdf_dataset().is_some() {
+            None
+        } else {
+            Some(self.dataset())
+        }
+    }
+}
+
+impl SnapshotEngine for ShardedExplainEngine {
+    fn fork_snapshot(&self) -> Self {
+        self.fork()
+    }
+
+    fn apply_update(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError> {
+        self.apply(update)
+    }
+
+    fn apply_pdf_update(&mut self, update: Update<PdfObject>) -> Result<Epoch, CrpError> {
+        self.apply_pdf(update)
+    }
+
+    fn discrete_dataset(&self) -> Option<&UncertainDataset> {
+        if self.pdf_dataset().is_some() {
+            None
+        } else {
+            Some(self.dataset())
+        }
+    }
+}
+
+/// One published epoch: an immutable engine fork pinned to the dataset
+/// version it was taken at. Readers explain through
+/// [`EpochSnapshot::engine`] (an [`ExplainSession`]); the snapshot
+/// stays alive — and bit-stable — for as long as any reader holds its
+/// `Arc`, regardless of how far the writer has advanced.
+pub struct EpochSnapshot<E> {
+    epoch: Epoch,
+    engine: E,
+}
+
+impl<E> EpochSnapshot<E> {
+    /// The dataset version this snapshot serves.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The immutable engine fork — explain through its
+    /// [`ExplainSession`] surface.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+}
+
+/// Lifecycle counters of an MVCC session (see
+/// [`MvccEngine::counters`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MvccCounters {
+    /// Snapshots published so far, including the construction snapshot.
+    pub published: u64,
+    /// Snapshots evicted from the epoch ring (no longer pinnable by
+    /// epoch; freed once their last reader drops them).
+    pub retired: u64,
+    /// Snapshots currently held by the ring.
+    pub live: usize,
+    /// The currently published epoch.
+    pub epoch: Epoch,
+}
+
+/// The concurrent session: one writer, many lock-free readers over
+/// epoch snapshots. See the [module docs](self).
+pub struct MvccEngine<E> {
+    /// The authoritative mutable engine — single writer by construction.
+    writer: Mutex<E>,
+    /// The currently published snapshot; lock scope is a pointer
+    /// clone/store, never a computation.
+    published: RwLock<Arc<EpochSnapshot<E>>>,
+    /// Recent snapshots, newest last, bounded by `ring_capacity`.
+    ring: Mutex<VecDeque<Arc<EpochSnapshot<E>>>>,
+    ring_capacity: usize,
+    published_count: AtomicU64,
+    retired: AtomicU64,
+}
+
+impl<E: SnapshotEngine> MvccEngine<E> {
+    /// Wraps an engine into an MVCC session, publishing its current
+    /// state as the first snapshot. Default epoch-ring capacity is 8.
+    pub fn new(engine: E) -> Self {
+        Self::with_ring_capacity(engine, 8)
+    }
+
+    /// [`MvccEngine::new`] with an explicit epoch-ring capacity
+    /// (clamped to ≥ 1 — the published snapshot always stays pinnable).
+    pub fn with_ring_capacity(engine: E, capacity: usize) -> Self {
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: engine.epoch(),
+            engine: engine.fork_snapshot(),
+        });
+        let mut ring = VecDeque::new();
+        ring.push_back(Arc::clone(&snapshot));
+        Self {
+            writer: Mutex::new(engine),
+            published: RwLock::new(snapshot),
+            ring: Mutex::new(ring),
+            ring_capacity: capacity.max(1),
+            published_count: AtomicU64::new(1),
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the currently published snapshot: a reader holding the
+    /// returned `Arc` keeps explaining against that epoch no matter how
+    /// many batches the writer publishes meanwhile.
+    pub fn pin(&self) -> Arc<EpochSnapshot<E>> {
+        Arc::clone(&self.published.read().expect("publication lock"))
+    }
+
+    /// Pins a specific epoch from the ring, `None` when it was never
+    /// published at a batch boundary or has already been retired.
+    pub fn pin_at(&self, epoch: Epoch) -> Option<Arc<EpochSnapshot<E>>> {
+        self.ring
+            .lock()
+            .expect("epoch ring lock")
+            .iter()
+            .find(|s| s.epoch == epoch)
+            .cloned()
+    }
+
+    /// Applies one discrete update batch and publishes the post-batch
+    /// epoch atomically. Readers keep serving the previous snapshot
+    /// until the new one is fully built; they never see a partially
+    /// applied batch. On a mid-batch error nothing is published (the
+    /// writer state may have absorbed the batch's valid prefix; callers
+    /// that need all-or-nothing batches should validate first — the WAL
+    /// layer does, by replaying only committed batches).
+    pub fn apply_batch(
+        &self,
+        updates: impl IntoIterator<Item = Update<UncertainObject>>,
+    ) -> Result<Epoch, CrpError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        for update in updates {
+            writer.apply_update(update)?;
+        }
+        Ok(self.publish(&writer))
+    }
+
+    /// [`MvccEngine::apply_batch`] for continuous-pdf sessions.
+    pub fn apply_pdf_batch(
+        &self,
+        updates: impl IntoIterator<Item = Update<PdfObject>>,
+    ) -> Result<Epoch, CrpError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        for update in updates {
+            writer.apply_pdf_update(update)?;
+        }
+        Ok(self.publish(&writer))
+    }
+
+    /// Forks and publishes the writer's current state. The expensive
+    /// part (the fork) runs while readers still serve the old snapshot;
+    /// only the pointer swap takes the publication write lock.
+    fn publish(&self, writer: &E) -> Epoch {
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: writer.epoch(),
+            engine: writer.fork_snapshot(),
+        });
+        {
+            let mut ring = self.ring.lock().expect("epoch ring lock");
+            ring.push_back(Arc::clone(&snapshot));
+            while ring.len() > self.ring_capacity {
+                ring.pop_front();
+                self.retired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let epoch = snapshot.epoch;
+        *self.published.write().expect("publication lock") = snapshot;
+        self.published_count.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Current lifecycle counters.
+    pub fn counters(&self) -> MvccCounters {
+        MvccCounters {
+            published: self.published_count.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
+            live: self.ring.lock().expect("epoch ring lock").len(),
+            epoch: self.pin().epoch(),
+        }
+    }
+
+    /// Runs `f` against the authoritative writer engine — for session
+    /// assembly tasks (replaying a recovered WAL tail, draining
+    /// accumulated I/O) that must not race the update stream. Readers
+    /// are unaffected: they hold snapshots.
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut E) -> R) -> R {
+        f(&mut self.writer.lock().expect("writer lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crp_geom::Point;
+    use crp_uncertain::{ObjectId, UncertainDataset, UncertainObject};
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::from([x, y])
+    }
+
+    fn fixture() -> UncertainDataset {
+        UncertainDataset::from_objects(vec![
+            UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+            UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+            UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)])
+                .unwrap(),
+            UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_writer_batches() {
+        let engine = ExplainEngine::new(fixture(), EngineConfig::with_alpha(0.75)).unwrap();
+        let mvcc = MvccEngine::new(engine);
+        let q = pt(5.0, 5.0);
+
+        let pinned = mvcc.pin();
+        assert_eq!(pinned.epoch(), Epoch(4), "construction pushed four objects");
+        let before = pinned.engine().explain(&q, ObjectId(0)).unwrap();
+
+        // A batch lands: object 9 becomes a new dominator.
+        let e = mvcc
+            .apply_batch(vec![Update::Insert(UncertainObject::certain(
+                ObjectId(9),
+                pt(6.5, 6.5),
+            ))])
+            .unwrap();
+        assert_eq!(e, Epoch(5));
+
+        // The old pin still answers at its epoch — bit-identical to its
+        // pre-batch result — while a fresh pin sees the new object.
+        let replay = pinned.engine().explain(&q, ObjectId(0)).unwrap();
+        assert_eq!(replay, before);
+        assert!(replay.cause(ObjectId(9)).is_none());
+        let fresh = mvcc.pin();
+        assert_eq!(fresh.epoch(), Epoch(5));
+        assert!(fresh
+            .engine()
+            .explain(&q, ObjectId(0))
+            .unwrap()
+            .cause(ObjectId(9))
+            .is_some());
+
+        // Both epochs stay pinnable through the ring.
+        assert_eq!(mvcc.pin_at(Epoch(4)).unwrap().epoch(), Epoch(4));
+        assert_eq!(mvcc.pin_at(Epoch(5)).unwrap().epoch(), Epoch(5));
+        assert!(mvcc.pin_at(Epoch(99)).is_none());
+        let counters = mvcc.counters();
+        assert_eq!(counters.published, 2);
+        assert_eq!(counters.live, 2);
+        assert_eq!(counters.retired, 0);
+        assert_eq!(counters.epoch, Epoch(5));
+    }
+
+    #[test]
+    fn ring_overflow_retires_oldest_epochs() {
+        let engine = ExplainEngine::new(fixture(), EngineConfig::with_alpha(0.75)).unwrap();
+        let mvcc = MvccEngine::with_ring_capacity(engine, 2);
+        // Pin the construction snapshot, then push it out of the ring.
+        let oldest = mvcc.pin();
+        for i in 0..3u32 {
+            mvcc.apply_batch(vec![Update::Insert(UncertainObject::certain(
+                ObjectId(10 + i),
+                pt(50.0 + i as f64, 50.0),
+            ))])
+            .unwrap();
+        }
+        let counters = mvcc.counters();
+        assert_eq!(counters.published, 4);
+        assert_eq!(counters.live, 2);
+        assert_eq!(counters.retired, 2);
+        // The retired epoch is no longer pinnable from the ring…
+        assert!(mvcc.pin_at(Epoch(4)).is_none());
+        // …but the reader that pinned it earlier still owns it.
+        assert_eq!(oldest.epoch(), Epoch(4));
+        assert_eq!(oldest.engine().dataset().len(), 4);
+    }
+
+    #[test]
+    fn mid_batch_error_publishes_nothing() {
+        let engine = ExplainEngine::new(fixture(), EngineConfig::with_alpha(0.75)).unwrap();
+        let mvcc = MvccEngine::new(engine);
+        let err = mvcc
+            .apply_batch(vec![
+                Update::Insert(UncertainObject::certain(ObjectId(9), pt(6.5, 6.5))),
+                Update::Delete(ObjectId(42)), // unknown id: the batch fails here
+            ])
+            .unwrap_err();
+        assert_eq!(err, CrpError::UnknownObject(ObjectId(42)));
+        // Readers still serve the last complete epoch.
+        assert_eq!(mvcc.pin().epoch(), Epoch(4));
+        assert_eq!(mvcc.counters().published, 1);
+    }
+}

@@ -247,6 +247,7 @@ impl SpatialLayout {
 /// One shard's data: a disjoint slice of the dataset. Shards may be
 /// empty (more shards than objects); empty shards answer every stage-1
 /// request with an empty hit list at zero node accesses.
+#[derive(Clone)]
 enum ShardData {
     Discrete(UncertainDataset),
     Pdf(PdfDataset),
@@ -304,6 +305,22 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
+    /// Snapshot clone for [`super::mvcc::MvccEngine`]: dataset and built
+    /// trees copied (frozen packed images shared through their `Arc`s),
+    /// maintenance state carried over, I/O accumulator fresh.
+    fn fork(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            rtree: self.rtree,
+            object_tree: super::clone_slot(&self.object_tree),
+            point_tree: super::clone_slot(&self.point_tree),
+            mbr_cache: super::clone_slot(&self.mbr_cache),
+            io: AtomicQueryStats::new(),
+            rebuilds: self.rebuilds,
+            mutations: self.mutations,
+        }
+    }
+
     fn new(data: ShardData, rtree: Option<RTreeParams>) -> Self {
         Self {
             data,
@@ -632,6 +649,20 @@ impl Shard {
         self.note_mutation(1, 1);
     }
 
+    /// Re-freezes the packed images of whichever of this shard's trees
+    /// are built — a no-op for shards whose image is already warm, so
+    /// fanning this over every shard after an update only rebuilds the
+    /// one the routed mutation invalidated. Counted in
+    /// [`QueryStats::refreezes`] via the shard accumulator.
+    fn refreeze_trees(&mut self) {
+        for slot in [&mut self.object_tree, &mut self.point_tree] {
+            if let Some(tree) = slot.get_mut() {
+                tree.refreeze();
+                self.io.merge(&tree.take_upkeep());
+            }
+        }
+    }
+
     /// Drops the shard's indexes for a lazy rebuild from its current
     /// data — the stale-shard path: only this shard pays the rebuild,
     /// every other shard keeps serving untouched.
@@ -774,6 +805,26 @@ impl ShardedExplainEngine {
     /// The session configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Forks an immutable snapshot of this sharded session — the
+    /// partition-parallel counterpart of
+    /// [`ExplainEngine::fork`](super::ExplainEngine::fork): the global
+    /// dataset, every shard (data + built trees, frozen images shared
+    /// zero-copy), the owner table and the spatial layout are carried
+    /// over, while accumulators and the explanation cache start fresh.
+    pub fn fork(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            shards: self.shards.iter().map(Shard::fork).collect(),
+            policy: self.policy,
+            config: self.config,
+            owner: self.owner.clone(),
+            rr_cursor: self.rr_cursor,
+            spatial: self.spatial.clone(),
+            repartitions: self.repartitions,
+            cache: ExplanationCache::new(),
+        }
     }
 
     /// The global discrete dataset of this session.
@@ -927,6 +978,7 @@ impl ShardedExplainEngine {
         };
         let flush_certain = !(was_certain && still_certain);
         self.cache.invalidate(touched, &regions, flush_certain);
+        self.refreeze_shards();
         Ok(self.epoch())
     }
 
@@ -988,7 +1040,21 @@ impl ShardedExplainEngine {
             }
         }
         self.cache.invalidate(touched, &regions, false);
+        self.refreeze_shards();
         Ok(self.epoch())
+    }
+
+    /// Eager post-update refreeze across the partition (satellite of
+    /// the MVCC work): every shard whose packed image went cold —
+    /// exactly the one the update routed to, unless maintenance dropped
+    /// more — rebuilds it now, off the first reader's latency budget.
+    fn refreeze_shards(&mut self) {
+        if !self.config.use_packed_filter {
+            return;
+        }
+        for shard in &mut self.shards {
+            shard.refreeze_trees();
+        }
     }
 
     /// Picks the shard a new object lands in. Deterministic for every
@@ -2103,6 +2169,16 @@ mod tests {
             let io = sharded.accumulated_io();
             assert_eq!(io.inserts, 2, "{policy}: insert + replace");
             assert_eq!(io.removes, 2, "{policy}: delete + replace");
+            // The owning shard's packed image is re-frozen eagerly
+            // after each routed mutation. The insert may land in a
+            // shard whose tree was never built (nothing to refreeze),
+            // but the replace and delete route to a shard the explains
+            // above forced to build — at least those two count.
+            assert!(
+                io.refreezes >= 2,
+                "{policy}: expected eager refreezes, got {}",
+                io.refreezes
+            );
             // And the session still matches a fresh unsharded engine.
             let fresh = crate::engine::ExplainEngine::new(
                 UncertainDataset::from_objects(sharded.dataset().iter().cloned()).unwrap(),

@@ -67,6 +67,7 @@ pub use combinations::{
 pub use config::CpConfig;
 pub use cp::collect_candidates;
 pub use engine::merge::merge_candidate_ids;
+pub use engine::mvcc::{EpochSnapshot, MvccCounters, MvccEngine, SnapshotEngine};
 pub use engine::{
     EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy, PlanCounters,
     PlanReport, ShardPolicy, ShardedExplainEngine,
@@ -78,6 +79,10 @@ pub use matrix::{DominanceMatrix, PrEvaluator};
 // `ExplainEngine::apply` / `ShardedExplainEngine::apply`, which return
 // the dataset epoch the session now serves.
 pub use crp_uncertain::{Epoch, Update};
+// `ExplainSession::accumulated_io` speaks this type; re-exported so
+// session consumers (and `SnapshotEngine` adapters in downstream
+// tests/binaries) need no direct crp-rtree dependency.
+pub use crp_rtree::QueryStats;
 pub use oracle::{oracle_cp, oracle_cr, oracle_crp, OracleCause};
 pub use pdf::build_pdf_rtree;
 pub use types::{Cause, CrpOutcome, RunStats};

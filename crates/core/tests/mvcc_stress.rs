@@ -1,0 +1,409 @@
+//! Concurrency stress for the epoch-snapshot MVCC session: N reader
+//! threads explain against pinned snapshots while a writer thread
+//! continuously applies ~1% update batches. Every reader-observed
+//! outcome must be **bit-identical** — `CrpOutcome` including
+//! `stats.query` — to a fresh serial engine replayed to the reader's
+//! pinned epoch (incremental R*-tree patching is deterministic, so the
+//! forked trees equal the replayed trees node for node). Readers must
+//! also never observe a torn epoch: every pinned epoch is a batch
+//! boundary. The grid covers discrete and continuous-pdf workloads at
+//! 1, 2 and 4 shards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crp_core::{
+    CpConfig, CrpError, CrpOutcome, EngineConfig, Epoch, ExplainEngine, ExplainSession, MvccEngine,
+    ShardPolicy, ShardedExplainEngine, SnapshotEngine, Update,
+};
+use crp_geom::{HyperRect, Point};
+use crp_uncertain::{ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainObject};
+
+const READERS: usize = 4;
+const IDS_PER_PIN: usize = 6;
+
+/// Deterministic split-mix generator so the whole update stream (and
+/// therefore the serial replay reference) is a pure function of a seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn grid(&mut self) -> f64 {
+        (self.next() % 13) as f64
+    }
+}
+
+fn grid_point(rng: &mut Rng) -> Point {
+    Point::from([rng.grid(), rng.grid()])
+}
+
+fn discrete_object(id: u32, rng: &mut Rng) -> UncertainObject {
+    let samples = 1 + rng.below(2);
+    UncertainObject::with_equal_probs(ObjectId(id), (0..samples).map(|_| grid_point(rng))).unwrap()
+}
+
+fn pdf_object(id: u32, rng: &mut Rng) -> PdfObject {
+    let lo = grid_point(rng);
+    let hi = Point::new(
+        lo.coords()
+            .iter()
+            .map(|c| c + 1.0 + rng.below(2) as f64)
+            .collect::<Vec<_>>(),
+    );
+    PdfObject::uniform(ObjectId(id), HyperRect::new(lo, hi))
+}
+
+/// Pre-generates the whole batched update stream against a simulated
+/// live-id set: ~1% of the population per batch (floored at 2), mixing
+/// inserts, deletes and replaces.
+fn make_batches<T, F: FnMut(u32, &mut Rng) -> T>(
+    n: usize,
+    batches: usize,
+    rng: &mut Rng,
+    mut fresh: F,
+) -> (Vec<u32>, Vec<Vec<Update<T>>>) {
+    let base_ids: Vec<u32> = (0..n as u32).collect();
+    let mut live = base_ids.clone();
+    let mut next_id = n as u32;
+    let batch_len = (n / 100).max(2);
+    let stream = (0..batches)
+        .map(|_| {
+            (0..batch_len)
+                .map(|_| match rng.below(10) {
+                    0..=3 => {
+                        let id = next_id;
+                        next_id += 1;
+                        live.push(id);
+                        Update::Insert(fresh(id, rng))
+                    }
+                    4..=6 => {
+                        let id = live.remove(rng.below(live.len()));
+                        Update::Delete(ObjectId(id))
+                    }
+                    _ => {
+                        let id = live[rng.below(live.len())];
+                        Update::Replace(fresh(id, rng))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (base_ids, stream)
+}
+
+/// One reader-recorded observation: the pinned epoch and the outcomes
+/// it served.
+type Observation = (Epoch, Vec<(ObjectId, Result<CrpOutcome, CrpError>)>);
+
+/// Drives the full stress protocol for one engine shape:
+/// `make_engine(k)` must deterministically build the engine replayed
+/// through the first `k` batches (the serial reference); `k = 0` seeds
+/// the MVCC writer.
+fn run_stress<U, A, M>(batches: &[Vec<U>], q: &Point, apply: A, make_engine: M, label: &str)
+where
+    U: Clone + Send + Sync,
+    A: Fn(&MvccEngine<AnyShape>, Vec<U>) -> Result<Epoch, CrpError>,
+    M: Fn(usize) -> AnyShape,
+{
+    let mvcc = MvccEngine::with_ring_capacity(make_engine(0), batches.len() + 1);
+    let base_epoch = mvcc.pin().epoch();
+
+    // Epoch → replay depth. Filled by the writer below; pre-seeded with
+    // the construction epoch.
+    let mut boundary: HashMap<Epoch, usize> = HashMap::from([(base_epoch, 0)]);
+
+    let done = AtomicBool::new(false);
+    let observations: Vec<Vec<Observation>> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|reader| {
+                let done = &done;
+                let mvcc = &mvcc;
+                scope.spawn(move || {
+                    let mut seen: Vec<Observation> = Vec::new();
+                    let mut round = 0;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let snapshot = mvcc.pin();
+                        let ids: Vec<ObjectId> = snapshot.engine().live_ids();
+                        let outcomes = (0..IDS_PER_PIN)
+                            .map(|i| {
+                                let an = ids[(reader * 3 + round + i * 5) % ids.len()];
+                                (an, snapshot.engine().explain_one(q, an))
+                            })
+                            .collect();
+                        seen.push((snapshot.epoch(), outcomes));
+                        round += 1;
+                        if finished {
+                            return seen;
+                        }
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                })
+            })
+            .collect();
+
+        // The writer: one batch at a time, publishing at each boundary.
+        for (k, batch) in batches.iter().enumerate() {
+            let epoch = apply(&mvcc, batch.clone()).expect("valid batch");
+            boundary.insert(epoch, k + 1);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Release);
+        readers.into_iter().map(|r| r.join().unwrap()).collect()
+    });
+
+    // Verification: every pinned epoch is a published batch boundary
+    // (no torn epochs), and every outcome is bit-identical to a fresh
+    // serial engine replayed to that boundary.
+    let mut references: HashMap<Epoch, AnyShape> = HashMap::new();
+    let mut checked = 0usize;
+    for (epoch, outcomes) in observations.into_iter().flatten() {
+        let depth = *boundary
+            .get(&epoch)
+            .unwrap_or_else(|| panic!("{label}: torn epoch {epoch:?} observed by a reader"));
+        let reference = references
+            .entry(epoch)
+            .or_insert_with(|| make_engine(depth));
+        for (an, outcome) in outcomes {
+            assert_eq!(
+                outcome,
+                reference.explain_one(q, an),
+                "{label}: reader outcome diverged from serial replay at epoch {epoch:?}, an = {an}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= READERS * IDS_PER_PIN,
+        "{label}: too few observations ({checked})"
+    );
+}
+
+/// Session config shared by the MVCC writer and every serial-replay
+/// reference. The subset budget bounds adversarial non-answers whose
+/// exact minimal-contingency search would be astronomically large; the
+/// resulting `BudgetExhausted` outcomes are deterministic, so the
+/// bit-identity contract is unaffected.
+fn stress_config() -> EngineConfig {
+    EngineConfig {
+        alpha: 0.6,
+        cp: CpConfig {
+            use_probability_bound: true,
+            max_subsets: Some(20_000),
+            ..CpConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// Builds a discrete engine warmed with one explain (so the update
+/// stream exercises incremental tree patching + eager refreeze), then
+/// serially replayed through the first `depth` batches.
+fn discrete_engine(
+    base: &UncertainDataset,
+    batches: &[Vec<Update<UncertainObject>>],
+    depth: usize,
+    shards: usize,
+    q: &Point,
+) -> AnyShape {
+    let config = stress_config();
+    let warm_an = base.object_at(0).id();
+    if shards == 1 {
+        let mut engine = ExplainEngine::new(base.clone(), config).expect("valid config");
+        let _ = engine.explain_one(q, warm_an);
+        for batch in &batches[..depth] {
+            for update in batch {
+                engine.apply(update.clone()).expect("valid update");
+            }
+        }
+        AnyShape::Single(engine)
+    } else {
+        let mut engine =
+            ShardedExplainEngine::new(base.clone(), config, shards, ShardPolicy::RoundRobin)
+                .expect("valid config");
+        let _ = engine.explain_one(q, warm_an);
+        for batch in &batches[..depth] {
+            for update in batch {
+                engine.apply(update.clone()).expect("valid update");
+            }
+        }
+        AnyShape::Sharded(engine)
+    }
+}
+
+fn pdf_engine(
+    base: &PdfDataset,
+    batches: &[Vec<Update<PdfObject>>],
+    depth: usize,
+    shards: usize,
+    q: &Point,
+) -> AnyShape {
+    let config = stress_config();
+    let resolution = 3;
+    let warm_an = base.objects()[0].id();
+    if shards == 1 {
+        let mut engine =
+            ExplainEngine::for_pdf(base.clone(), resolution, config).expect("valid config");
+        let _ = engine.explain_one(q, warm_an);
+        for batch in &batches[..depth] {
+            for update in batch {
+                engine.apply_pdf(update.clone()).expect("valid update");
+            }
+        }
+        AnyShape::Single(engine)
+    } else {
+        let mut engine = ShardedExplainEngine::for_pdf(
+            base.clone(),
+            resolution,
+            config,
+            shards,
+            ShardPolicy::RoundRobin,
+        )
+        .expect("valid config");
+        let _ = engine.explain_one(q, warm_an);
+        for batch in &batches[..depth] {
+            for update in batch {
+                engine.apply_pdf(update.clone()).expect("valid update");
+            }
+        }
+        AnyShape::Sharded(engine)
+    }
+}
+
+/// Unified engine shape so one generic runner covers the whole
+/// unsharded × sharded grid.
+#[allow(clippy::large_enum_variant)] // a handful per test; size is irrelevant
+enum AnyShape {
+    Single(ExplainEngine),
+    Sharded(ShardedExplainEngine),
+}
+
+impl AnyShape {
+    /// Live ids at this engine's epoch, for either workload.
+    fn live_ids(&self) -> Vec<ObjectId> {
+        match self {
+            AnyShape::Single(e) => match e.pdf_dataset() {
+                Some((pdf, _)) => pdf.objects().iter().map(|o| o.id()).collect(),
+                None => e.dataset().iter().map(|o| o.id()).collect(),
+            },
+            AnyShape::Sharded(e) => match e.pdf_dataset() {
+                Some((pdf, _)) => pdf.objects().iter().map(|o| o.id()).collect(),
+                None => e.dataset().iter().map(|o| o.id()).collect(),
+            },
+        }
+    }
+}
+
+impl ExplainSession for AnyShape {
+    fn config(&self) -> &EngineConfig {
+        match self {
+            AnyShape::Single(e) => ExplainSession::config(e),
+            AnyShape::Sharded(e) => ExplainSession::config(e),
+        }
+    }
+
+    fn epoch(&self) -> Epoch {
+        match self {
+            AnyShape::Single(e) => ExplainSession::epoch(e),
+            AnyShape::Sharded(e) => ExplainSession::epoch(e),
+        }
+    }
+
+    fn accumulated_io(&self) -> crp_core::QueryStats {
+        match self {
+            AnyShape::Single(e) => ExplainSession::accumulated_io(e),
+            AnyShape::Sharded(e) => ExplainSession::accumulated_io(e),
+        }
+    }
+
+    fn cache_len(&self) -> (usize, usize) {
+        match self {
+            AnyShape::Single(e) => ExplainSession::cache_len(e),
+            AnyShape::Sharded(e) => ExplainSession::cache_len(e),
+        }
+    }
+
+    fn run(&self, requests: &[crp_core::ExplainRequest]) -> crp_core::PlanReport {
+        match self {
+            AnyShape::Single(e) => e.run(requests),
+            AnyShape::Sharded(e) => e.run(requests),
+        }
+    }
+}
+
+impl SnapshotEngine for AnyShape {
+    fn fork_snapshot(&self) -> Self {
+        match self {
+            AnyShape::Single(e) => AnyShape::Single(e.fork()),
+            AnyShape::Sharded(e) => AnyShape::Sharded(e.fork()),
+        }
+    }
+
+    fn apply_update(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError> {
+        match self {
+            AnyShape::Single(e) => e.apply(update),
+            AnyShape::Sharded(e) => e.apply(update),
+        }
+    }
+
+    fn apply_pdf_update(&mut self, update: Update<PdfObject>) -> Result<Epoch, CrpError> {
+        match self {
+            AnyShape::Single(e) => e.apply_pdf(update),
+            AnyShape::Sharded(e) => e.apply_pdf(update),
+        }
+    }
+
+    fn discrete_dataset(&self) -> Option<&UncertainDataset> {
+        match self {
+            AnyShape::Single(e) => e.discrete_dataset(),
+            AnyShape::Sharded(e) => e.discrete_dataset(),
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_stay_bit_identical_to_serial_replay_discrete() {
+    let mut rng = Rng(0x5EED_0001);
+    let base =
+        UncertainDataset::from_objects((0..48u32).map(|id| discrete_object(id, &mut rng))).unwrap();
+    let (_, batches) = make_batches(base.len(), 6, &mut rng, discrete_object);
+    let q = Point::from([4.0, 4.0]);
+    for shards in [1usize, 2, 4] {
+        run_stress(
+            &batches,
+            &q,
+            |mvcc, batch| mvcc.apply_batch(batch),
+            |depth| discrete_engine(&base, &batches, depth, shards, &q),
+            &format!("discrete × {shards} shard(s)"),
+        );
+    }
+}
+
+#[test]
+fn concurrent_readers_stay_bit_identical_to_serial_replay_pdf() {
+    let mut rng = Rng(0x5EED_0002);
+    let base = PdfDataset::from_objects((0..16u32).map(|id| pdf_object(id, &mut rng))).unwrap();
+    let (_, batches) = make_batches(base.len(), 4, &mut rng, pdf_object);
+    let q = Point::from([4.0, 4.0]);
+    for shards in [1usize, 2, 4] {
+        run_stress(
+            &batches,
+            &q,
+            |mvcc, batch| mvcc.apply_pdf_batch(batch),
+            |depth| pdf_engine(&base, &batches, depth, shards, &q),
+            &format!("pdf × {shards} shard(s)"),
+        );
+    }
+}

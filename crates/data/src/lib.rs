@@ -24,6 +24,7 @@ pub mod io;
 pub mod nba;
 pub mod rng;
 pub mod synthetic;
+pub mod wal;
 pub mod workload;
 
 pub use cardb::{cardb_dataset, CarDbConfig};
@@ -35,5 +36,8 @@ pub use io::{
 pub use nba::{nba_dataset, nba_position_query, NbaConfig};
 pub use synthetic::{
     pdf_dataset, uncertain_dataset, CenterDistribution, RadiusDistribution, UncertainConfig,
+};
+pub use wal::{
+    recover_session, recover_wal, write_snapshot, Manifest, WalBatch, WalRecovery, WriteAheadLog,
 };
 pub use workload::{load_workload, parse_workload, WorkloadOp};

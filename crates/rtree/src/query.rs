@@ -34,6 +34,10 @@ pub struct QueryStats {
     /// Each moved item counts once (a dissolved subtree counts per
     /// record, a block-moved subtree as one).
     pub reinserts: u64,
+    /// Packed-image rebuilds paid eagerly on the update path
+    /// ([`RTree::refreeze`](crate::RTree::refreeze)) so the first
+    /// post-update filter descent finds a warm frozen snapshot.
+    pub refreezes: u64,
     /// Explanation-cache hits (row or outcome) of the engine session.
     pub cache_hits: u64,
     /// Explanation-cache misses of the engine session.
@@ -58,6 +62,7 @@ impl QueryStats {
         self.inserts += other.inserts;
         self.removes += other.removes;
         self.reinserts += other.reinserts;
+        self.refreezes += other.refreezes;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;

@@ -22,6 +22,7 @@ pub struct AtomicQueryStats {
     inserts: AtomicU64,
     removes: AtomicU64,
     reinserts: AtomicU64,
+    refreezes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
@@ -43,6 +44,7 @@ impl AtomicQueryStats {
         self.inserts.fetch_add(stats.inserts, Ordering::Relaxed);
         self.removes.fetch_add(stats.removes, Ordering::Relaxed);
         self.reinserts.fetch_add(stats.reinserts, Ordering::Relaxed);
+        self.refreezes.fetch_add(stats.refreezes, Ordering::Relaxed);
         self.cache_hits
             .fetch_add(stats.cache_hits, Ordering::Relaxed);
         self.cache_misses
@@ -68,6 +70,7 @@ impl AtomicQueryStats {
             inserts: self.inserts.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
             reinserts: self.reinserts.load(Ordering::Relaxed),
+            refreezes: self.refreezes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
@@ -85,6 +88,7 @@ impl AtomicQueryStats {
             inserts: self.inserts.swap(0, Ordering::Relaxed),
             removes: self.removes.swap(0, Ordering::Relaxed),
             reinserts: self.reinserts.swap(0, Ordering::Relaxed),
+            refreezes: self.refreezes.swap(0, Ordering::Relaxed),
             cache_hits: self.cache_hits.swap(0, Ordering::Relaxed),
             cache_misses: self.cache_misses.swap(0, Ordering::Relaxed),
             cache_evictions: self.cache_evictions.swap(0, Ordering::Relaxed),

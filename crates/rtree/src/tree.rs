@@ -5,7 +5,7 @@ use crate::packed::PackedRTree;
 use crate::params::RTreeParams;
 use crate::query::QueryStats;
 use crp_geom::{HyperRect, Point};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// An in-memory R*-tree mapping rectangles to payloads of type `T`.
 ///
@@ -39,8 +39,34 @@ pub struct RTree<T> {
     generation: u64,
     /// Lazily built packed projection of the current tree state,
     /// cleared by every mutation (which holds `&mut self`) and rebuilt
-    /// on the next [`RTree::frozen`] call.
-    frozen: OnceLock<PackedRTree<T>>,
+    /// on the next [`RTree::frozen`] call. Held behind an [`Arc`] so a
+    /// cloned tree (an MVCC epoch snapshot) shares the image zero-copy
+    /// and readers can pin it past the clone's lifetime.
+    frozen: OnceLock<Arc<PackedRTree<T>>>,
+}
+
+/// Epoch-snapshot clone: the node arena is deep-copied (the writer will
+/// keep mutating its own), but an already-built frozen image is shared
+/// through its [`Arc`] — the packed projection is immutable, so a
+/// snapshot costs no rebuild and no second copy of the SoA slabs.
+impl<T: Clone> Clone for RTree<T> {
+    fn clone(&self) -> Self {
+        let frozen = OnceLock::new();
+        if let Some(image) = self.frozen.get() {
+            let _ = frozen.set(Arc::clone(image));
+        }
+        RTree {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            dim: self.dim,
+            params: self.params,
+            len: self.len,
+            upkeep: self.upkeep,
+            generation: self.generation,
+            frozen,
+        }
+    }
 }
 
 /// What gets (re-)inserted during overflow/underflow treatment: either a
@@ -155,7 +181,34 @@ impl<T> RTree<T> {
     where
         T: Clone,
     {
-        self.frozen.get_or_init(|| PackedRTree::build(self))
+        self.frozen
+            .get_or_init(|| Arc::new(PackedRTree::build(self)))
+    }
+
+    /// The cached frozen image behind its shared handle — what an MVCC
+    /// snapshot pins: the [`Arc`] keeps the packed projection alive for
+    /// readers even after the owning tree mutates or drops.
+    pub fn frozen_image(&self) -> Arc<PackedRTree<T>>
+    where
+        T: Clone,
+    {
+        self.frozen();
+        Arc::clone(self.frozen.get().expect("frozen image just built"))
+    }
+
+    /// Eagerly (re)builds the frozen image after a mutation, moving the
+    /// packed-projection rebuild off the first post-update read path.
+    /// Counted in [`QueryStats::refreezes`] via the upkeep accumulator;
+    /// a no-op (and not counted) when the image is already warm.
+    pub fn refreeze(&mut self)
+    where
+        T: Clone,
+    {
+        if self.frozen.get().is_none() {
+            let image = Arc::new(PackedRTree::build(self));
+            let _ = self.frozen.set(image);
+            self.upkeep.refreezes += 1;
+        }
     }
 
     #[inline]

@@ -145,6 +145,16 @@ impl UncertainDataset {
         self.epoch
     }
 
+    /// Overrides the version counter without touching the objects.
+    /// Snapshot recovery rebuilds the object sequence through
+    /// [`from_objects`](Self::from_objects) — which ticks the epoch once
+    /// per object — and then restores the epoch the snapshot was taken
+    /// at, so a recovered session continues the numbering its
+    /// write-ahead log recorded.
+    pub fn restore_epoch(&mut self, epoch: Epoch) {
+        self.epoch = epoch;
+    }
+
     /// Number of objects.
     pub fn len(&self) -> usize {
         self.objects.len()

@@ -29,6 +29,17 @@
 //! crp replay --data cars.csv --schema points --query 11580,49000 \
 //!            --workload ops.txt [--shards 4 --shard-policy spatial]
 //!
+//! # Concurrent replay (MVCC): consecutive updates are applied as one
+//! # batch publishing an epoch snapshot, and every explain op fans its
+//! # ids across N reader threads pinned to the snapshot — readers
+//! # never block behind the writer. --session-dir adds durability:
+//! # batches are write-ahead logged before they apply, the session
+//! # checkpoints on exit, and reopening the directory resumes from the
+//! # last complete epoch (the workload file can then be the next day's
+//! # update stream).
+//! crp replay --data cars.csv --schema points --query 11580,49000 \
+//!            --workload ops.txt --readers 4 [--session-dir state/]
+//!
 //! # Plan a whole workload — an α range and/or a grid of nearby
 //! # queries over a fixed non-answer set — as ONE request: the planner
 //! # dedups stage-1 work across the grid (window containment) and the
@@ -63,7 +74,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|generate> [--data FILE \
      --schema points|seasons --query a1,a2,… --alpha A --object ID \
      --objects ID,ID,…|all --alphas A,A,… --q-grid d1:d2,d1:d2,… \
-     --budget N --serial --workload FILE \
+     --budget N --serial --workload FILE --readers N --session-dir DIR \
      --shards N --shard-policy round-robin|hash-by-id|spatial \
      --kernel auto|scalar|simd --filter auto|pointer|packed \
      | --kind nba|cardb --out FILE]";
@@ -120,6 +131,8 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--shard-policy", true),
         ("--kernel", true),
         ("--filter", true),
+        ("--readers", true),
+        ("--session-dir", true),
     ];
     const SWEEP: &[(&str, bool)] = &[
         ("--data", true),
@@ -406,20 +419,82 @@ impl AnyEngine {
     }
 }
 
+// The MVCC session surface, so `--readers`/`--session-dir` replay can
+// wrap either flavour in `MvccEngine<AnyEngine>` / a `DurableSession`.
+impl ExplainSession for AnyEngine {
+    fn config(&self) -> &EngineConfig {
+        match self {
+            AnyEngine::Single(e) => ExplainSession::config(e),
+            AnyEngine::Sharded(e) => ExplainSession::config(e),
+        }
+    }
+
+    fn epoch(&self) -> Epoch {
+        match self {
+            AnyEngine::Single(e) => ExplainSession::epoch(e),
+            AnyEngine::Sharded(e) => ExplainSession::epoch(e),
+        }
+    }
+
+    fn accumulated_io(&self) -> QueryStats {
+        match self {
+            AnyEngine::Single(e) => ExplainSession::accumulated_io(e),
+            AnyEngine::Sharded(e) => ExplainSession::accumulated_io(e),
+        }
+    }
+
+    fn cache_len(&self) -> (usize, usize) {
+        match self {
+            AnyEngine::Single(e) => ExplainSession::cache_len(e),
+            AnyEngine::Sharded(e) => ExplainSession::cache_len(e),
+        }
+    }
+
+    fn run(&self, requests: &[ExplainRequest]) -> PlanReport {
+        AnyEngine::run(self, requests)
+    }
+}
+
+impl SnapshotEngine for AnyEngine {
+    fn fork_snapshot(&self) -> Self {
+        match self {
+            AnyEngine::Single(e) => AnyEngine::Single(e.fork()),
+            AnyEngine::Sharded(e) => AnyEngine::Sharded(e.fork()),
+        }
+    }
+
+    fn apply_update(&mut self, update: Update<UncertainObject>) -> Result<Epoch, CrpError> {
+        self.apply(update)
+    }
+
+    fn apply_pdf_update(&mut self, update: Update<PdfObject>) -> Result<Epoch, CrpError> {
+        match self {
+            AnyEngine::Single(e) => e.apply_pdf(update),
+            AnyEngine::Sharded(e) => e.apply_pdf(update),
+        }
+    }
+
+    fn discrete_dataset(&self) -> Option<&UncertainDataset> {
+        match self {
+            AnyEngine::Single(e) => e.discrete_dataset(),
+            AnyEngine::Sharded(e) => e.discrete_dataset(),
+        }
+    }
+}
+
 /// Builds the engine session the `explain` / `explain-batch` commands
 /// share: auto strategy (CR for certain data, CP otherwise) with the
 /// probability-bound extension and the CLI's subset budget; sharded
 /// when `--shards` exceeds 1.
-fn build_engine(
-    ds: UncertainDataset,
+/// The session configuration every CLI engine shares: auto strategy
+/// with the probability-bound extension and the CLI's subset budget.
+fn cli_engine_config(
     alpha: f64,
     budget: Option<u64>,
     parallel: bool,
-    shards: usize,
-    policy: ShardPolicy,
     packed_filter: bool,
-) -> Result<AnyEngine, String> {
-    let config = EngineConfig {
+) -> EngineConfig {
+    EngineConfig {
         alpha,
         cp: CpConfig {
             use_probability_bound: true,
@@ -429,14 +504,45 @@ fn build_engine(
         parallel,
         use_packed_filter: packed_filter,
         ..EngineConfig::default()
-    };
+    }
+}
+
+/// Everything [`build_any`] needs besides the dataset, so replay can
+/// rebuild the engine over a recovered dataset.
+struct EngineSpec {
+    config: EngineConfig,
+    shards: usize,
+    policy: ShardPolicy,
+}
+
+/// One engine over `ds`: unsharded for `--shards 1`, partition-parallel
+/// otherwise. Also the `make_engine` factory durable replay hands to
+/// [`DurableSession::open`], which may feed it a recovered dataset
+/// instead of the one from `--data`.
+fn build_any(
+    ds: UncertainDataset,
+    config: EngineConfig,
+    shards: usize,
+    policy: ShardPolicy,
+) -> Result<AnyEngine, CrpError> {
     Ok(if shards > 1 {
-        AnyEngine::Sharded(
-            ShardedExplainEngine::new(ds, config, shards, policy).map_err(|e| e.to_string())?,
-        )
+        AnyEngine::Sharded(ShardedExplainEngine::new(ds, config, shards, policy)?)
     } else {
-        AnyEngine::Single(ExplainEngine::new(ds, config).map_err(|e| e.to_string())?)
+        AnyEngine::Single(ExplainEngine::new(ds, config)?)
     })
+}
+
+fn build_engine(
+    ds: UncertainDataset,
+    alpha: f64,
+    budget: Option<u64>,
+    parallel: bool,
+    shards: usize,
+    policy: ShardPolicy,
+    packed_filter: bool,
+) -> Result<AnyEngine, String> {
+    let config = cli_engine_config(alpha, budget, parallel, packed_filter);
+    build_any(ds, config, shards, policy).map_err(|e| e.to_string())
 }
 
 fn print_outcome(ds: &UncertainDataset, object: ObjectId, outcome: &CrpOutcome) {
@@ -600,6 +706,175 @@ fn cmd_replay(engine: &mut AnyEngine, q: &Point, ops: &[WorkloadOp]) -> Result<(
     Ok(())
 }
 
+/// What `--readers`/`--session-dir` replay runs against: a volatile
+/// MVCC session, or one whose batches are write-ahead logged first.
+enum ReplaySession {
+    Volatile(MvccEngine<AnyEngine>),
+    Durable(DurableSession<AnyEngine>),
+}
+
+impl ReplaySession {
+    fn mvcc(&self) -> &MvccEngine<AnyEngine> {
+        match self {
+            ReplaySession::Volatile(mvcc) => mvcc,
+            ReplaySession::Durable(session) => session.mvcc(),
+        }
+    }
+
+    fn apply_batch(&mut self, updates: Vec<Update<UncertainObject>>) -> Result<Epoch, String> {
+        match self {
+            ReplaySession::Volatile(mvcc) => mvcc.apply_batch(updates).map_err(|e| e.to_string()),
+            ReplaySession::Durable(session) => {
+                session.apply_batch(updates).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// `replay --readers N [--session-dir DIR]`: the same workload stream,
+/// served MVCC-style. Consecutive updates coalesce into one batch that
+/// publishes a single epoch snapshot; each explain op first flushes the
+/// pending batch, then pins the published snapshot and fans its ids
+/// across `readers` threads — every thread explains against the same
+/// immutable epoch, so output is bit-identical to the serial path and
+/// deterministic regardless of thread interleaving. With a session
+/// directory, batches are fsynced to the write-ahead log *before* they
+/// apply and the session checkpoints on exit; reopening the directory
+/// resumes from the last complete epoch, ignoring `--data`.
+fn cmd_replay_mvcc(
+    ds: UncertainDataset,
+    q: &Point,
+    ops: &[WorkloadOp],
+    readers: usize,
+    session_dir: Option<&str>,
+    spec: EngineSpec,
+) -> Result<(), String> {
+    let make = move |ds: UncertainDataset| build_any(ds, spec.config, spec.shards, spec.policy);
+    let mut session = match session_dir {
+        Some(dir) => {
+            let session = DurableSession::open(dir, ds, make).map_err(|e| e.to_string())?;
+            let recovery = session.recovery();
+            if !recovery.batches.is_empty() || recovery.truncated {
+                println!(
+                    "recovered {dir} at {}: {} committed WAL batch(es){}",
+                    session.epoch(),
+                    recovery.batches.len(),
+                    if recovery.truncated {
+                        ", torn tail dropped"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            ReplaySession::Durable(session)
+        }
+        None => ReplaySession::Volatile(MvccEngine::new(make(ds).map_err(|e| e.to_string())?)),
+    };
+
+    fn flush(
+        session: &mut ReplaySession,
+        pending: &mut Vec<Update<UncertainObject>>,
+        batches: &mut usize,
+    ) -> Result<(), String> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let n = pending.len();
+        let epoch = session.apply_batch(std::mem::take(pending))?;
+        *batches += 1;
+        println!("batch of {n} update(s) → {epoch}");
+        Ok(())
+    }
+
+    let started = std::time::Instant::now();
+    let mut pending: Vec<Update<UncertainObject>> = Vec::new();
+    let mut updates = 0usize;
+    let mut batches = 0usize;
+    let mut explains = 0usize;
+    let mut failures = 0usize;
+    for op in ops {
+        match op {
+            WorkloadOp::Update(update) => {
+                updates += 1;
+                pending.push(update.clone());
+            }
+            WorkloadOp::Explain(_) | WorkloadOp::ExplainAll => {
+                flush(&mut session, &mut pending, &mut batches)?;
+                let snapshot = session.mvcc().pin();
+                let engine = snapshot.engine();
+                let ds = engine.dataset();
+                let ids: Vec<ObjectId> = match op {
+                    WorkloadOp::Explain(ids) => ids.clone(),
+                    _ => ds.iter().map(|o| o.id()).collect(),
+                };
+                explains += ids.len();
+                // Contiguous chunks, one per reader; concatenating the
+                // per-chunk results restores workload order.
+                let chunk = ids.len().div_ceil(readers).max(1);
+                let outcomes: Vec<Result<CrpOutcome, CrpError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = ids
+                        .chunks(chunk)
+                        .map(|chunk_ids| {
+                            scope.spawn(move || {
+                                chunk_ids
+                                    .iter()
+                                    .map(|&id| engine.explain(q, id))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|handle| handle.join().expect("reader thread panicked"))
+                        .collect()
+                });
+                for (&object, outcome) in ids.iter().zip(&outcomes) {
+                    match outcome {
+                        Ok(out) => print_outcome(ds, object, out),
+                        Err(CrpError::NotANonAnswer { prob }) => {
+                            println!("{} is an ANSWER (Pr = {prob:.3})", label_of(ds, object))
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            println!("{}: {e}", label_of(ds, object));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut session, &mut pending, &mut batches)?;
+
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let io = session.mvcc().with_writer(|writer| writer.accumulated_io());
+    println!(
+        "replay of {updates} update(s) in {batches} batch(es) + {explains} explain call(s) \
+         across {readers} reader(s) in {elapsed_ms:.1} ms ({failures} failure(s))"
+    );
+    println!(
+        "session totals: {} node accesses | updates: {} inserted, {} removed, {} reinserted",
+        io.node_accesses, io.inserts, io.removes, io.reinserts
+    );
+    let counters = session.mvcc().counters();
+    println!(
+        "mvcc: {} snapshot(s) published, {} retired, {} live in ring, serving {}",
+        counters.published, counters.retired, counters.live, counters.epoch
+    );
+    if let ReplaySession::Durable(durable) = &session {
+        let manifest = durable.checkpoint().map_err(|e| e.to_string())?;
+        println!(
+            "wal: {} byte(s) in {}; checkpointed at {}",
+            durable.wal_bytes(),
+            durable.dir().display(),
+            manifest.epoch
+        );
+    }
+    if failures > 0 {
+        return Err(format!("{failures} operation(s) failed"));
+    }
+    Ok(())
+}
+
 /// `sweep`: one planned request over a query grid × non-answer set ×
 /// α list. The point of the subcommand is the plan report: how many
 /// stage-1 work units the workload really needed, how many were
@@ -732,6 +1007,21 @@ fn run() -> Result<(), String> {
             if cli.command == "replay" {
                 let ops =
                     load_workload(cli.require("--workload", "FILE")?).map_err(|e| e.to_string())?;
+                let readers = cli.parse::<usize>("--readers")?.unwrap_or(0);
+                let session_dir = cli.get("--session-dir");
+                if readers > 0 || session_dir.is_some() {
+                    let spec = EngineSpec {
+                        config: cli_engine_config(
+                            alpha,
+                            budget,
+                            !cli.has("--serial"),
+                            packed_filter,
+                        ),
+                        shards,
+                        policy,
+                    };
+                    return cmd_replay_mvcc(ds, &q, &ops, readers.max(1), session_dir, spec);
+                }
                 let mut engine = build_engine(
                     ds,
                     alpha,
@@ -997,5 +1287,36 @@ mod tests {
         assert!(parse_cli(&args(&["query", "--workload", "ops.txt"])).is_err());
         // --object belongs to explain, not replay.
         assert!(parse_cli(&args(&["replay", "--object", "3"])).is_err());
+    }
+
+    #[test]
+    fn mvcc_replay_flag_parsing() {
+        // --readers / --session-dir are replay flags and take values.
+        let cli = parse_cli(&args(&[
+            "replay",
+            "--workload",
+            "ops.txt",
+            "--readers",
+            "4",
+            "--session-dir",
+            "state",
+        ]))
+        .unwrap();
+        assert_eq!(cli.parse::<usize>("--readers").unwrap(), Some(4));
+        assert_eq!(cli.get("--session-dir"), Some("state"));
+        // A non-numeric reader count fails at parse, not silently as 0.
+        let cli = parse_cli(&args(&["replay", "--readers", "many"])).unwrap();
+        assert!(cli.parse::<usize>("--readers").is_err());
+        // Both flags need a value…
+        assert!(parse_cli(&args(&["replay", "--readers"])).is_err());
+        assert!(parse_cli(&args(&["replay", "--session-dir"])).is_err());
+        // …and belong to replay only.
+        for flag in [&["--readers", "4"][..], &["--session-dir", "state"][..]] {
+            for command in ["query", "explain", "explain-batch", "sweep", "generate"] {
+                let mut argv = vec![command];
+                argv.extend_from_slice(flag);
+                assert!(parse_cli(&args(&argv)).is_err(), "{command} {flag:?}");
+            }
+        }
     }
 }

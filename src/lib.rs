@@ -70,13 +70,18 @@ pub use crp_rtree as rtree;
 pub use crp_skyline as skyline;
 pub use crp_uncertain as uncertain;
 
+pub mod session;
+
+pub use session::{DurableSession, SessionError};
+
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::session::{DurableSession, SessionError};
     pub use crp_core::{
         active_kernel, answer_causes, merge_candidate_ids, oracle_cp, oracle_cr, set_kernel,
         simd_supported, Cause, CpConfig, CrpError, CrpOutcome, EngineConfig, ExplainEngine,
-        ExplainRequest, ExplainSession, ExplainStrategy, KernelKind, PlanCounters, PlanReport,
-        RunStats, ShardPolicy, ShardedExplainEngine,
+        ExplainRequest, ExplainSession, ExplainStrategy, KernelKind, MvccCounters, MvccEngine,
+        PlanCounters, PlanReport, RunStats, ShardPolicy, ShardedExplainEngine, SnapshotEngine,
     };
     #[allow(deprecated)]
     pub use crp_core::{cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii};

@@ -1,0 +1,209 @@
+//! Durable MVCC explain sessions: the [`MvccEngine`] epoch machinery
+//! composed with the `crp-data` write-ahead log and snapshot
+//! checkpoints, so a killed session restarts from the last *complete*
+//! epoch.
+//!
+//! ## Protocol
+//!
+//! [`DurableSession::apply_batch`] is strictly ordered:
+//!
+//! 1. **validate** — the batch is replayed against a clone of the
+//!    published dataset; a batch that would fail mid-way is rejected
+//!    here, before a single byte hits disk (the in-memory engine only
+//!    publishes at batch boundaries, so the log must too),
+//! 2. **log** — the batch and its `commit <epoch>` marker are appended
+//!    and fsynced ([`WriteAheadLog::append_batch`]); the commit epoch is
+//!    the one the validation replay landed on,
+//! 3. **apply** — only then does [`MvccEngine::apply_batch`] run and
+//!    publish the new snapshot to readers.
+//!
+//! A crash between 2 and 3 is absorbed on restart: recovery replays the
+//! committed batch the engine never saw. A crash *during* 2 leaves a
+//! torn tail that [`recover_session`] drops — the WAL grammar's
+//! newline-terminated records make the last complete `commit` marker
+//! unambiguous (property-tested against truncation at every byte).
+//!
+//! [`DurableSession::open`] seeds a fresh directory by checkpointing
+//! the seed dataset immediately — updates alone cannot reconstruct a
+//! generated dataset — and recovers an existing one via
+//! [`recover_session`] (checkpoint + committed WAL tail), ignoring the
+//! seed. The WAL grammar is discrete-only, so durable sessions are too;
+//! continuous-pdf sessions stay in-memory.
+
+use crp_core::{CrpError, Epoch, MvccCounters, MvccEngine, SnapshotEngine};
+use crp_data::io::CsvError;
+use crp_data::wal::{
+    recover_session, write_snapshot, Manifest, WalRecovery, WriteAheadLog, MANIFEST_FILE, WAL_FILE,
+};
+use crp_uncertain::{UncertainDataset, UncertainObject, Update};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a durable session could not open or apply a batch.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Session-directory I/O or WAL/manifest/snapshot parsing failed.
+    Storage(CsvError),
+    /// Engine construction or batch validation rejected the input; the
+    /// batch was not logged and nothing was published.
+    Engine(CrpError),
+    /// The engine factory produced a continuous-pdf session, which the
+    /// discrete-only WAL grammar cannot make durable.
+    PdfSession,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Storage(e) => write!(f, "session storage: {e}"),
+            SessionError::Engine(e) => write!(f, "session engine: {e}"),
+            SessionError::PdfSession => {
+                write!(f, "durable sessions are discrete-only (WAL grammar)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CsvError> for SessionError {
+    fn from(e: CsvError) -> Self {
+        SessionError::Storage(e)
+    }
+}
+
+impl From<CrpError> for SessionError {
+    fn from(e: CrpError) -> Self {
+        SessionError::Engine(e)
+    }
+}
+
+/// An [`MvccEngine`] whose update stream survives the process: batches
+/// are write-ahead logged before they are applied, and
+/// [`DurableSession::checkpoint`] bounds replay work on restart. See
+/// the [module docs](self) for the commit protocol.
+pub struct DurableSession<E: SnapshotEngine> {
+    dir: PathBuf,
+    wal: WriteAheadLog,
+    mvcc: MvccEngine<E>,
+    recovery: WalRecovery,
+}
+
+impl<E: SnapshotEngine> DurableSession<E> {
+    /// Opens the session directory. A directory holding a checkpoint
+    /// manifest or a WAL recovers to its last complete epoch (the seed
+    /// is ignored); a fresh directory starts from `seed` and
+    /// checkpoints it immediately so restarts never depend on the seed
+    /// being regenerable. `make_engine` builds the session engine over
+    /// whichever dataset won.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        seed: UncertainDataset,
+        make_engine: impl FnOnce(UncertainDataset) -> Result<E, CrpError>,
+    ) -> Result<Self, SessionError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| CsvError::Io(e.to_string()))?;
+        let has_state = dir.join(MANIFEST_FILE).exists() || dir.join(WAL_FILE).exists();
+        let (dataset, recovery) = if has_state {
+            recover_session(&dir)?
+        } else {
+            write_snapshot(&dir, &seed)?;
+            (seed, WalRecovery::default())
+        };
+        let engine = make_engine(dataset)?;
+        if engine.discrete_dataset().is_none() {
+            return Err(SessionError::PdfSession);
+        }
+        let wal = WriteAheadLog::open(dir.join(WAL_FILE))?;
+        Ok(Self {
+            dir,
+            wal,
+            mvcc: MvccEngine::new(engine),
+            recovery,
+        })
+    }
+
+    /// Validates, logs (fsync) and applies one update batch, publishing
+    /// the post-batch epoch to readers. A batch that fails validation
+    /// is rejected wholesale — no WAL bytes, no published epoch — so
+    /// the log only ever holds batches that replay cleanly.
+    pub fn apply_batch(
+        &mut self,
+        updates: Vec<Update<UncertainObject>>,
+    ) -> Result<Epoch, SessionError> {
+        let snapshot = self.mvcc.pin();
+        let mut probe = snapshot
+            .engine()
+            .discrete_dataset()
+            .expect("durable sessions are discrete (checked at open)")
+            .clone();
+        for update in &updates {
+            probe.apply(update.clone()).map_err(|e| {
+                SessionError::Engine(CrpError::InvalidUpdate {
+                    reason: e.to_string(),
+                })
+            })?;
+        }
+        let commit = probe.epoch();
+        self.wal.append_batch(&updates, commit)?;
+        let applied = self.mvcc.apply_batch(updates)?;
+        assert_eq!(
+            applied, commit,
+            "validated batch must land on its logged commit epoch"
+        );
+        Ok(applied)
+    }
+
+    /// Checkpoints the current state (tmp-file + rename, manifest
+    /// last); restart replays only WAL batches past this epoch.
+    pub fn checkpoint(&self) -> Result<Manifest, SessionError> {
+        let manifest = self.mvcc.with_writer(|writer| {
+            write_snapshot(
+                &self.dir,
+                writer
+                    .discrete_dataset()
+                    .expect("durable sessions are discrete (checked at open)"),
+            )
+        })?;
+        Ok(manifest)
+    }
+
+    /// The MVCC surface: [`MvccEngine::pin`] for readers,
+    /// [`MvccEngine::counters`] for lifecycle stats.
+    pub fn mvcc(&self) -> &MvccEngine<E> {
+        &self.mvcc
+    }
+
+    /// Convenience: the currently published epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.mvcc.pin().epoch()
+    }
+
+    /// Convenience: the epoch-ring lifecycle counters.
+    pub fn counters(&self) -> MvccCounters {
+        self.mvcc.counters()
+    }
+
+    /// Bytes in the write-ahead log (recovered content plus this
+    /// session's appends).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// What recovery salvaged when this session opened: committed
+    /// batches replayed, and whether a torn tail was dropped.
+    pub fn recovery(&self) -> &WalRecovery {
+        &self.recovery
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Pins the published snapshot — shorthand for `mvcc().pin()`.
+    pub fn pin(&self) -> Arc<crp_core::EpochSnapshot<E>> {
+        self.mvcc.pin()
+    }
+}

@@ -1,0 +1,149 @@
+//! Kill-and-restart durability: a [`DurableSession`] reopened over its
+//! directory recovers the exact epoch it last published, with explains
+//! bit-identical to the live session — through the WAL alone, through a
+//! checkpoint plus WAL tail, and across a torn tail from a simulated
+//! crash mid-append.
+
+use prsq_crp::prelude::*;
+use prsq_crp::DurableSession;
+use std::path::PathBuf;
+
+fn pt(x: f64, y: f64) -> Point {
+    Point::from([x, y])
+}
+
+fn seed_dataset() -> UncertainDataset {
+    UncertainDataset::from_objects(vec![
+        UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+        UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+        UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)]).unwrap(),
+        UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)),
+    ])
+    .unwrap()
+}
+
+fn make_engine(ds: UncertainDataset) -> Result<ExplainEngine, CrpError> {
+    ExplainEngine::new(ds, EngineConfig::with_alpha(0.75))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "crp-durable-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The two batches every test drives: an insert-heavy one and a
+/// delete/replace one, both valid against [`seed_dataset`].
+fn batches() -> [Vec<Update<UncertainObject>>; 2] {
+    [
+        vec![
+            Update::Insert(UncertainObject::certain(ObjectId(9), pt(6.5, 6.5))),
+            Update::Insert(UncertainObject::certain(ObjectId(10), pt(25.0, 3.0))),
+        ],
+        vec![
+            Update::Delete(ObjectId(3)),
+            Update::Replace(UncertainObject::certain(ObjectId(2), pt(9.0, 8.0))),
+        ],
+    ]
+}
+
+#[test]
+fn restart_recovers_exact_epoch_and_bit_identical_explains() {
+    let dir = temp_dir("wal-only");
+    let q = pt(5.0, 5.0);
+
+    let (live_epoch, live_outcome) = {
+        let mut session = DurableSession::open(&dir, seed_dataset(), make_engine).unwrap();
+        assert_eq!(session.epoch(), Epoch(4), "seed pushed four objects");
+        for batch in batches() {
+            session.apply_batch(batch).unwrap();
+        }
+        assert!(session.wal_bytes() > 0);
+        let pin = session.pin();
+        (pin.epoch(), pin.engine().explain(&q, ObjectId(0)).unwrap())
+    }; // killed: session dropped without a checkpoint of the batches
+
+    // The reopened session must ignore the (different!) seed and land on
+    // the logged state: seed checkpoint + two committed WAL batches.
+    let decoy =
+        UncertainDataset::from_objects(vec![UncertainObject::certain(ObjectId(77), pt(1.0, 1.0))])
+            .unwrap();
+    let session = DurableSession::open(&dir, decoy, make_engine).unwrap();
+    assert_eq!(session.epoch(), live_epoch);
+    assert_eq!(session.recovery().batches.len(), 2);
+    assert!(!session.recovery().truncated);
+    let pin = session.pin();
+    let recovered = pin.engine().explain(&q, ObjectId(0)).unwrap();
+    assert_eq!(recovered, live_outcome);
+    assert!(pin.engine().dataset().get(ObjectId(77)).is_none());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_bounds_replay_and_torn_tail_is_dropped() {
+    let dir = temp_dir("checkpoint");
+    let [first, second] = batches();
+
+    let live_epoch = {
+        let mut session = DurableSession::open(&dir, seed_dataset(), make_engine).unwrap();
+        session.apply_batch(first).unwrap();
+        let manifest = session.checkpoint().unwrap();
+        assert_eq!(manifest.epoch, session.epoch());
+        session.apply_batch(second).unwrap();
+        session.epoch()
+    };
+
+    // Crash mid-append: a torn record after the last commit marker.
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(b"insert 99 1,");
+    std::fs::write(&wal, bytes).unwrap();
+
+    let session = DurableSession::open(&dir, seed_dataset(), make_engine).unwrap();
+    assert_eq!(session.epoch(), live_epoch);
+    assert!(session.recovery().truncated, "torn tail must be reported");
+    let pin = session.pin();
+    let ds = pin.engine().dataset();
+    assert!(
+        ds.get(ObjectId(99)).is_none(),
+        "torn insert must not survive"
+    );
+    assert!(
+        ds.get(ObjectId(3)).is_none(),
+        "second batch's delete survived"
+    );
+    assert!(ds.get(ObjectId(9)).is_some(), "checkpointed batch survived");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn invalid_batch_is_rejected_before_any_wal_byte() {
+    let dir = temp_dir("reject");
+    let mut session = DurableSession::open(&dir, seed_dataset(), make_engine).unwrap();
+    let logged = session.wal_bytes();
+    let epoch = session.epoch();
+
+    let err = session
+        .apply_batch(vec![
+            Update::Insert(UncertainObject::certain(ObjectId(9), pt(6.5, 6.5))),
+            Update::Delete(ObjectId(42)), // unknown id: validation fails here
+        ])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        prsq_crp::SessionError::Engine(CrpError::InvalidUpdate { .. })
+    ));
+    // Nothing was logged and nothing was published — even the batch's
+    // valid prefix.
+    assert_eq!(session.wal_bytes(), logged);
+    assert_eq!(session.epoch(), epoch);
+    assert!(session.pin().engine().dataset().get(ObjectId(9)).is_none());
+
+    std::fs::remove_dir_all(session.dir()).unwrap();
+}
