@@ -152,7 +152,17 @@ impl CertainSearch for SubsetVerify {
         let k_total = dominators.len();
         let mut budget_hit = None;
         let mut causes: Vec<Cause> = Vec::new();
+        let cancel = super::budget::active();
+        let mut cancel_err: Option<CrpError> = None;
+        let mut uncharged: u64 = 0;
         for cc in 0..k_total {
+            // Plan-budget boundary: settle the previous candidate's
+            // subset charge and poll before starting the next one.
+            if let Some(c) = &cancel {
+                c.charge_subsets(uncharged);
+                uncharged = 0;
+                c.check()?;
+            }
             let others: Vec<ObjectId> = dominators
                 .iter()
                 .copied()
@@ -167,6 +177,17 @@ impl CertainSearch for SubsetVerify {
                             budget_hit = Some(stats.subsets_examined);
                             return true;
                         }
+                    }
+                    uncharged += 1;
+                    if uncharged >= super::budget::CHECK_INTERVAL {
+                        if let Some(c) = &cancel {
+                            c.charge_subsets(uncharged);
+                            if let Err(e) = c.check() {
+                                cancel_err = Some(e);
+                                return true;
+                            }
+                        }
+                        uncharged = 0;
                     }
                     stats.prsq_evaluations += 2;
                     // Condition (i): a dominator survives in P − Γ (cc
@@ -185,6 +206,9 @@ impl CertainSearch for SubsetVerify {
                         examined: stats.subsets_examined,
                     });
                 }
+                if let Some(e) = cancel_err.take() {
+                    return Err(e);
+                }
                 if stop && found.is_some() {
                     break 'sizes;
                 }
@@ -196,6 +220,9 @@ impl CertainSearch for SubsetVerify {
                 counterfactual: gamma.is_empty(),
                 min_contingency: gamma,
             });
+        }
+        if let Some(c) = &cancel {
+            c.charge_subsets(uncharged);
         }
         if k_total == 1 {
             stats.counterfactuals = 1;

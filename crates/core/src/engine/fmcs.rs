@@ -517,6 +517,13 @@ fn search_candidate(
 
     let mut budget_hit: Option<u64> = None;
     let mut found: Option<Vec<usize>> = None;
+    // Plan-budget seam: poll the scoped cancellation handle every
+    // CHECK_INTERVAL subset checks, charging that interval's work into
+    // the plan-wide counters first so a `Partial` reports real
+    // progress.
+    let cancel = super::budget::active();
+    let mut cancel_err: Option<CrpError> = None;
+    let mut uncharged: u64 = 0;
     'sizes: for total in forced.len()..upper_exclusive {
         let k = total - forced.len();
         if k > search.len() {
@@ -564,6 +571,17 @@ fn search_candidate(
                         return true;
                     }
                 }
+                uncharged += 1;
+                if uncharged >= super::budget::CHECK_INTERVAL {
+                    if let Some(c) = &cancel {
+                        c.charge_subsets(uncharged);
+                        if let Err(e) = c.check() {
+                            cancel_err = Some(e);
+                            return true;
+                        }
+                    }
+                    uncharged = 0;
+                }
                 stats.prsq_evaluations += 1;
                 if inert {
                     stats.prsq_evaluations += 1;
@@ -601,6 +619,17 @@ fn search_candidate(
                         return true;
                     }
                 }
+                uncharged += 1;
+                if uncharged >= super::budget::CHECK_INTERVAL {
+                    if let Some(c) = &cancel {
+                        c.charge_subsets(uncharged);
+                        if let Err(e) = c.check() {
+                            cancel_err = Some(e);
+                            return true;
+                        }
+                    }
+                    uncharged = 0;
+                }
                 removal_list.clear();
                 removal_list.extend_from_slice(&forced);
                 removal_list.extend(combo.iter().map(|&s| search[s]));
@@ -624,7 +653,7 @@ fn search_candidate(
             });
             scratch.list = removal_list;
         }
-        if budget_hit.is_some() {
+        if budget_hit.is_some() || cancel_err.is_some() {
             break 'sizes;
         }
         if found.is_some() {
@@ -633,6 +662,12 @@ fn search_candidate(
     }
     scratch.forced = forced;
     scratch.search = search;
+    if let Some(c) = &cancel {
+        c.charge_subsets(uncharged);
+    }
+    if let Some(e) = cancel_err {
+        return Err(e);
+    }
     if let Some(examined) = budget_hit {
         return Err(CrpError::BudgetExhausted { examined });
     }
@@ -665,8 +700,15 @@ pub(crate) fn search(
 
     // Candidate-level parallelism is exact only when candidates are
     // independent: Lemma 6 couples them through witnesses, and a global
-    // subset budget couples them through the shared counter.
-    if config.parallel_fmcs && !config.use_lemma6 && config.max_subsets.is_none() {
+    // subset budget couples them through the shared counter. A plan
+    // budget also stays serial: its cancellation handle is scoped to
+    // this thread, and serial order keeps the progress counters
+    // deterministic up to the trip.
+    if config.parallel_fmcs
+        && !config.use_lemma6
+        && config.max_subsets.is_none()
+        && super::budget::active().is_none()
+    {
         return search_parallel(
             matrix,
             alpha,
@@ -681,10 +723,17 @@ pub(crate) fn search(
 
     let n = matrix.candidates();
     let impacts = super::merge::impacts(matrix);
+    let cancel = super::budget::active();
     let mut witness: Vec<Option<Vec<usize>>> = vec![None; n];
     for cc in 0..n {
         if done[cc] {
             continue;
+        }
+        // Per-candidate budget poll: a deadline is honored at the next
+        // candidate boundary even when each candidate stays under
+        // CHECK_INTERVAL subsets.
+        if let Some(c) = &cancel {
+            c.check()?;
         }
         let outcome = search_candidate(
             matrix,

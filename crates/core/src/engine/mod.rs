@@ -58,6 +58,7 @@
 //! assert!(out.causes[0].counterfactual);
 //! ```
 
+pub mod budget;
 pub(crate) mod cache;
 pub mod certain;
 pub mod filter;
@@ -70,6 +71,7 @@ pub(crate) mod refine;
 pub mod session;
 pub mod shard;
 
+pub use budget::{PartialProgress, PlanLimits, StopReason};
 pub use plan::{ExplainRequest, PlanCounters, PlanReport};
 pub use session::ExplainSession;
 pub use shard::{ShardPolicy, ShardedExplainEngine};

@@ -39,7 +39,7 @@ use crate::error::CrpError;
 use crp_uncertain::{Epoch, PdfObject, UncertainDataset, UncertainObject, Update};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// What the MVCC session needs from an engine: single-writer update
 /// application plus an immutable snapshot fork for readers. Implemented
@@ -189,19 +189,47 @@ impl<E: SnapshotEngine> MvccEngine<E> {
     /// Pins the currently published snapshot: a reader holding the
     /// returned `Arc` keeps explaining against that epoch no matter how
     /// many batches the writer publishes meanwhile.
+    ///
+    /// Poison-tolerant: the lock's critical sections are pure pointer
+    /// clones/stores, so a thread that panicked while holding one left
+    /// the pointer intact — readers keep serving the last complete
+    /// epoch even after a writer panic poisoned the session
+    /// (see [`MvccEngine::is_poisoned`]).
     pub fn pin(&self) -> Arc<EpochSnapshot<E>> {
-        Arc::clone(&self.published.read().expect("publication lock"))
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
     /// Pins a specific epoch from the ring, `None` when it was never
     /// published at a batch boundary or has already been retired.
+    /// Poison-tolerant like [`MvccEngine::pin`].
     pub fn pin_at(&self, epoch: Epoch) -> Option<Arc<EpochSnapshot<E>>> {
         self.ring
             .lock()
-            .expect("epoch ring lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .find(|s| s.epoch == epoch)
             .cloned()
+    }
+
+    /// Whether a panicked batch has poisoned the writer. Readers are
+    /// unaffected either way; write entry points return
+    /// [`CrpError::WriterPoisoned`] instead of publishing from a state
+    /// that may hold a half-applied batch.
+    pub fn is_poisoned(&self) -> bool {
+        self.writer.is_poisoned()
+    }
+
+    /// The writer mutex as a typed error instead of a panic: a
+    /// poisoned guard means some earlier batch panicked mid-apply, so
+    /// the authoritative engine may hold a torn prefix — nothing from
+    /// it may be published again.
+    fn writer_guard(&self) -> Result<MutexGuard<'_, E>, CrpError> {
+        self.writer.lock().map_err(|_| CrpError::WriterPoisoned)
     }
 
     /// Applies one discrete update batch and publishes the post-batch
@@ -210,12 +238,13 @@ impl<E: SnapshotEngine> MvccEngine<E> {
     /// applied batch. On a mid-batch error nothing is published (the
     /// writer state may have absorbed the batch's valid prefix; callers
     /// that need all-or-nothing batches should validate first — the WAL
-    /// layer does, by replaying only committed batches).
+    /// layer does, by replaying only committed batches). Returns
+    /// [`CrpError::WriterPoisoned`] once a previous batch panicked.
     pub fn apply_batch(
         &self,
         updates: impl IntoIterator<Item = Update<UncertainObject>>,
     ) -> Result<Epoch, CrpError> {
-        let mut writer = self.writer.lock().expect("writer lock");
+        let mut writer = self.writer_guard()?;
         for update in updates {
             writer.apply_update(update)?;
         }
@@ -227,7 +256,7 @@ impl<E: SnapshotEngine> MvccEngine<E> {
         &self,
         updates: impl IntoIterator<Item = Update<PdfObject>>,
     ) -> Result<Epoch, CrpError> {
-        let mut writer = self.writer.lock().expect("writer lock");
+        let mut writer = self.writer_guard()?;
         for update in updates {
             writer.apply_pdf_update(update)?;
         }
@@ -243,7 +272,7 @@ impl<E: SnapshotEngine> MvccEngine<E> {
             engine: writer.fork_snapshot(),
         });
         {
-            let mut ring = self.ring.lock().expect("epoch ring lock");
+            let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
             ring.push_back(Arc::clone(&snapshot));
             while ring.len() > self.ring_capacity {
                 ring.pop_front();
@@ -251,7 +280,10 @@ impl<E: SnapshotEngine> MvccEngine<E> {
             }
         }
         let epoch = snapshot.epoch;
-        *self.published.write().expect("publication lock") = snapshot;
+        *self
+            .published
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = snapshot;
         self.published_count.fetch_add(1, Ordering::Relaxed);
         epoch
     }
@@ -261,7 +293,11 @@ impl<E: SnapshotEngine> MvccEngine<E> {
         MvccCounters {
             published: self.published_count.load(Ordering::Relaxed),
             retired: self.retired.load(Ordering::Relaxed),
-            live: self.ring.lock().expect("epoch ring lock").len(),
+            live: self
+                .ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
             epoch: self.pin().epoch(),
         }
     }
@@ -269,9 +305,11 @@ impl<E: SnapshotEngine> MvccEngine<E> {
     /// Runs `f` against the authoritative writer engine — for session
     /// assembly tasks (replaying a recovered WAL tail, draining
     /// accumulated I/O) that must not race the update stream. Readers
-    /// are unaffected: they hold snapshots.
-    pub fn with_writer<R>(&self, f: impl FnOnce(&mut E) -> R) -> R {
-        f(&mut self.writer.lock().expect("writer lock"))
+    /// are unaffected: they hold snapshots. Returns
+    /// [`CrpError::WriterPoisoned`] once a previous batch panicked.
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut E) -> R) -> Result<R, CrpError> {
+        let mut guard = self.writer_guard()?;
+        Ok(f(&mut guard))
     }
 }
 
@@ -363,6 +401,46 @@ mod tests {
         // …but the reader that pinned it earlier still owns it.
         assert_eq!(oldest.epoch(), Epoch(4));
         assert_eq!(oldest.engine().dataset().len(), 4);
+    }
+
+    #[test]
+    fn readers_keep_serving_after_a_writer_panic_poisons_the_session() {
+        let engine = ExplainEngine::new(fixture(), EngineConfig::with_alpha(0.75)).unwrap();
+        let mvcc = MvccEngine::new(engine);
+        let q = pt(5.0, 5.0);
+        let pinned = mvcc.pin();
+        let before = pinned.engine().explain(&q, ObjectId(0)).unwrap();
+
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), CrpError> =
+                mvcc.with_writer(|_| panic!("simulated writer crash mid-batch"));
+        }));
+        assert!(panicked.is_err());
+        assert!(mvcc.is_poisoned());
+
+        // Write entry points fail typed, not by panicking the caller.
+        assert_eq!(
+            mvcc.apply_batch(vec![Update::Insert(UncertainObject::certain(
+                ObjectId(9),
+                pt(6.5, 6.5),
+            ))])
+            .unwrap_err(),
+            CrpError::WriterPoisoned
+        );
+        assert_eq!(
+            mvcc.with_writer(|_| ()).unwrap_err(),
+            CrpError::WriterPoisoned
+        );
+
+        // Readers are untouched: old pins replay bit-identically, fresh
+        // pins still resolve, the ring still serves epochs, counters
+        // still read.
+        assert_eq!(pinned.engine().explain(&q, ObjectId(0)).unwrap(), before);
+        let fresh = mvcc.pin();
+        assert_eq!(fresh.epoch(), Epoch(4));
+        assert_eq!(fresh.engine().explain(&q, ObjectId(0)).unwrap(), before);
+        assert_eq!(mvcc.pin_at(Epoch(4)).unwrap().epoch(), Epoch(4));
+        assert_eq!(mvcc.counters().published, 1);
     }
 
     #[test]

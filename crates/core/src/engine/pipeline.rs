@@ -186,6 +186,13 @@ pub(crate) fn finish(
     scratch: &mut Scratch,
     id_of: impl Fn(usize) -> ObjectId,
 ) -> Result<Vec<Cause>, CrpError> {
+    // Budget seam: stage 1 is done, so its traversal cost is known —
+    // charge it and poll before entering refinement (the part whose
+    // cost can explode).
+    if let Some(cancel) = super::budget::active() {
+        cancel.charge_nodes(stats.query.node_accesses);
+        cancel.check()?;
+    }
     let pr_an = matrix.pr_full();
     if pr_an >= alpha - PROB_EPSILON {
         return Err(CrpError::NotANonAnswer { prob: pr_an });

@@ -49,6 +49,7 @@
 //! [`ExplainEngine`]: super::ExplainEngine
 //! [`ShardedExplainEngine`]: super::ShardedExplainEngine
 
+use super::budget::{self, Cancel, PlanLimits};
 use super::cache::{self, ExplanationCache, ServeTrace};
 use super::filter;
 use super::pipeline::{self, StageOne};
@@ -89,6 +90,7 @@ pub struct ExplainRequest {
     strategy: Option<ExplainStrategy>,
     cp: Option<CpConfig>,
     serial: bool,
+    limits: PlanLimits,
 }
 
 impl ExplainRequest {
@@ -101,6 +103,7 @@ impl ExplainRequest {
             strategy: None,
             cp: None,
             serial: false,
+            limits: PlanLimits::default(),
         }
     }
 
@@ -131,6 +134,7 @@ impl ExplainRequest {
             strategy: None,
             cp: None,
             serial: false,
+            limits: PlanLimits::default(),
         }
     }
 
@@ -176,6 +180,39 @@ impl ExplainRequest {
     pub fn serial(mut self) -> Self {
         self.serial = true;
         self
+    }
+
+    /// Wall deadline in milliseconds: past it, unfinished tasks return
+    /// [`CrpError::Partial`] (honored within one cancellation-check
+    /// interval, [`budget::CHECK_INTERVAL`] subset checks).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.limits.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Caps R-tree node accesses across the plan this request joins.
+    pub fn with_node_budget(mut self, max: u64) -> Self {
+        self.limits.max_node_accesses = Some(max);
+        self
+    }
+
+    /// Caps FMCS subset checks across the plan this request joins
+    /// (plan-wide, unlike the per-explain
+    /// [`CpConfig::max_subsets`](crate::CpConfig::max_subsets)).
+    pub fn with_subset_budget(mut self, max: u64) -> Self {
+        self.limits.max_subsets = Some(max);
+        self
+    }
+
+    /// Replaces every execution limit at once.
+    pub fn with_limits(mut self, limits: PlanLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The execution limits of this request.
+    pub fn limits(&self) -> &PlanLimits {
+        &self.limits
     }
 
     /// The query grid.
@@ -745,6 +782,7 @@ fn unit_stage1_pdf<H: PlanHost + ?Sized>(
 /// Runs every task of one unit (first task computes or fetches the
 /// rows, the rest share them through the session row cache), filling
 /// `results` and returning the unit's execution flags.
+#[allow(clippy::too_many_arguments)]
 fn run_unit<H: PlanHost + ?Sized>(
     host: &H,
     plan: &Plan,
@@ -752,6 +790,7 @@ fn run_unit<H: PlanHost + ?Sized>(
     coverage: &[OnceLock<Arc<Vec<ObjectId>>>],
     fused: &[Option<(Vec<ObjectId>, QueryStats)>],
     fan_parallel: bool,
+    cancel: Option<&Arc<Cancel>>,
     results: &[OnceLock<Result<CrpOutcome, CrpError>>],
 ) -> UnitFlags {
     let mut flags = UnitFlags::default();
@@ -759,35 +798,53 @@ fn run_unit<H: PlanHost + ?Sized>(
     let q = &plan.qtable[unit.q];
     let cache = host.host_cache();
     let io = host.host_io();
-    with_scratch(|scratch| {
-        for &ti in &unit.tasks {
-            let task = &plan.tasks[ti];
-            let mut trace = ServeTrace::default();
-            let outcome = run_cp_task(
-                host,
-                plan,
-                ui,
-                task,
-                q,
-                coverage,
-                fused,
-                fan_parallel,
-                cache,
-                io,
-                scratch,
-                &mut trace,
-                &mut flags,
-            );
-            if trace.outcome_hit {
-                flags.outcome_hits += 1;
+    // Install the plan's budget handle on *this* thread (rayon workers
+    // included) so the pipeline and FMCS loops below can poll it.
+    budget::with_cancel(cancel, || {
+        with_scratch(|scratch| {
+            for &ti in &unit.tasks {
+                if let Some(c) = cancel {
+                    if let Err(partial) = c.check() {
+                        results[ti]
+                            .set(Err(partial))
+                            .expect("each task executes exactly once");
+                        continue;
+                    }
+                }
+                let task = &plan.tasks[ti];
+                let mut trace = ServeTrace::default();
+                let outcome = run_cp_task(
+                    host,
+                    plan,
+                    ui,
+                    task,
+                    q,
+                    coverage,
+                    fused,
+                    fan_parallel,
+                    cache,
+                    io,
+                    scratch,
+                    &mut trace,
+                    &mut flags,
+                );
+                if trace.outcome_hit {
+                    flags.outcome_hits += 1;
+                }
+                if trace.outcome_hit || trace.rows_hit {
+                    flags.rows_or_outcome_hit = true;
+                }
+                let finished = !matches!(outcome, Err(CrpError::Partial(_)));
+                results[ti]
+                    .set(outcome)
+                    .expect("each task executes exactly once");
+                if finished {
+                    if let Some(c) = cancel {
+                        c.task_completed();
+                    }
+                }
             }
-            if trace.outcome_hit || trace.rows_hit {
-                flags.rows_or_outcome_hit = true;
-            }
-            results[ti]
-                .set(outcome)
-                .expect("each task executes exactly once");
-        }
+        })
     });
     flags
 }
@@ -874,6 +931,14 @@ fn run_cp_task<H: PlanHost + ?Sized>(
 pub(crate) fn execute<H: PlanHost + ?Sized>(host: &H, requests: &[ExplainRequest]) -> PlanReport {
     let plan = compile(host, requests);
     let config = host.host_config();
+    // One budget handle for the whole plan: the most restrictive limit
+    // of each kind across the joined requests. `None` (the common
+    // case) costs nothing on the hot paths.
+    let limits = requests
+        .iter()
+        .fold(PlanLimits::default(), |acc, r| acc.merge_min(r.limits));
+    let cancel = Cancel::new(limits, plan.tasks.len() as u64);
+    let cancel = cancel.as_ref();
     // Mirror the legacy dispatch exactly: batches (> 1 task) run
     // task-parallel with partition fan-out disabled per call; a single
     // task keeps the per-call fan-out the legacy `explain` used.
@@ -934,26 +999,25 @@ pub(crate) fn execute<H: PlanHost + ?Sized>(host: &H, requests: &[ExplainRequest
     }
 
     let run_units = |unit_ids: &[usize]| -> Vec<(usize, UnitFlags)> {
+        let one_unit = |ui: usize| {
+            (
+                ui,
+                run_unit(
+                    host,
+                    &plan,
+                    ui,
+                    &coverage,
+                    &fused,
+                    fan_parallel,
+                    cancel,
+                    &results,
+                ),
+            )
+        };
         if parallel && unit_ids.len() > 1 {
-            unit_ids
-                .par_iter()
-                .map(|&ui| {
-                    (
-                        ui,
-                        run_unit(host, &plan, ui, &coverage, &fused, fan_parallel, &results),
-                    )
-                })
-                .collect()
+            unit_ids.par_iter().map(|&ui| one_unit(ui)).collect()
         } else {
-            unit_ids
-                .iter()
-                .map(|&ui| {
-                    (
-                        ui,
-                        run_unit(host, &plan, ui, &coverage, &fused, fan_parallel, &results),
-                    )
-                })
-                .collect()
+            unit_ids.iter().map(|&ui| one_unit(ui)).collect()
         }
     };
     let mut unit_flags: Vec<(usize, UnitFlags)> = run_units(&phase1);
@@ -963,18 +1027,34 @@ pub(crate) fn execute<H: PlanHost + ?Sized>(host: &H, requests: &[ExplainRequest
         .filter(|&ti| plan.tasks[ti].unit.is_none())
         .collect();
     let run_per_call = |ti: usize| {
+        if let Some(c) = cancel {
+            if let Err(partial) = c.check() {
+                results[ti]
+                    .set(Err(partial))
+                    .expect("each task executes exactly once");
+                return;
+            }
+        }
         let task = &plan.tasks[ti];
-        let outcome = host.per_call(
-            task.strategy,
-            &plan.qtable[task.q],
-            task.alpha,
-            task.an,
-            &task.cp,
-            fan_parallel,
-        );
+        let outcome = budget::with_cancel(cancel, || {
+            host.per_call(
+                task.strategy,
+                &plan.qtable[task.q],
+                task.alpha,
+                task.an,
+                &task.cp,
+                fan_parallel,
+            )
+        });
+        let finished = !matches!(outcome, Err(CrpError::Partial(_)));
         results[ti]
             .set(outcome)
             .expect("each task executes exactly once");
+        if finished {
+            if let Some(c) = cancel {
+                c.task_completed();
+            }
+        }
     };
     if parallel && per_call.len() > 1 {
         let _: Vec<()> = per_call.par_iter().map(|&ti| run_per_call(ti)).collect();

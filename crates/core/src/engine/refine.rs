@@ -113,6 +113,13 @@ pub(crate) fn classify<'m>(
             }
         }
         stats.counterfactuals = results.len();
+        // The singleton probes are subset checks too: charge them so a
+        // plan budget meters refine-only explains (certain data under
+        // Lemma 7 never reaches the FMCS kernels). The next check
+        // site — the FMCS driver or the following task — observes it.
+        if let Some(cancel) = super::budget::active() {
+            cancel.charge_subsets(n as u64);
+        }
     }
 
     RefinePlan {

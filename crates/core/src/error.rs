@@ -1,5 +1,6 @@
 //! Error type shared by the CRP algorithms.
 
+use crate::engine::budget::PartialProgress;
 use crp_uncertain::ObjectId;
 use std::fmt;
 
@@ -51,6 +52,15 @@ pub enum CrpError {
         /// What was wrong with the update.
         reason: String,
     },
+    /// A plan budget tripped before this task could finish
+    /// ([`crate::PlanLimits`]): the result is missing, never wrong.
+    /// Carries monotone progress counters of the plan so far.
+    Partial(Box<PartialProgress>),
+    /// The MVCC writer mutex is poisoned — a previous batch panicked
+    /// mid-apply. Readers keep serving pinned epoch snapshots; the
+    /// writer refuses further batches instead of publishing a torn
+    /// epoch.
+    WriterPoisoned,
 }
 
 impl fmt::Display for CrpError {
@@ -81,6 +91,13 @@ impl fmt::Display for CrpError {
                 write!(f, "invalid engine config: {field} {reason}")
             }
             CrpError::InvalidUpdate { reason } => write!(f, "invalid update: {reason}"),
+            CrpError::Partial(progress) => write!(f, "partial result: {progress}"),
+            CrpError::WriterPoisoned => {
+                write!(
+                    f,
+                    "MVCC writer poisoned by a panicked batch; session is read-only"
+                )
+            }
         }
     }
 }
@@ -120,6 +137,18 @@ mod tests {
                 },
                 "duplicate",
             ),
+            (
+                CrpError::Partial(Box::new(PartialProgress {
+                    reason: crate::engine::budget::StopReason::DeadlineExceeded,
+                    tasks_total: 4,
+                    tasks_completed: 1,
+                    node_accesses: 7,
+                    subsets_examined: 9,
+                    elapsed_ms: 12,
+                })),
+                "deadline",
+            ),
+            (CrpError::WriterPoisoned, "poisoned"),
         ] {
             assert!(e.to_string().contains(needle), "{e}");
         }

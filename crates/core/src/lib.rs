@@ -69,8 +69,8 @@ pub use cp::collect_candidates;
 pub use engine::merge::merge_candidate_ids;
 pub use engine::mvcc::{EpochSnapshot, MvccCounters, MvccEngine, SnapshotEngine};
 pub use engine::{
-    EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy, PlanCounters,
-    PlanReport, ShardPolicy, ShardedExplainEngine,
+    EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy, PartialProgress,
+    PlanCounters, PlanLimits, PlanReport, ShardPolicy, ShardedExplainEngine, StopReason,
 };
 pub use error::CrpError;
 pub use kernel::{active_kernel, set_kernel, simd_supported, KernelKind};

@@ -24,6 +24,7 @@ pub mod io;
 pub mod nba;
 pub mod rng;
 pub mod synthetic;
+pub mod vfs;
 pub mod wal;
 pub mod workload;
 
@@ -36,6 +37,10 @@ pub use io::{
 pub use nba::{nba_dataset, nba_position_query, NbaConfig};
 pub use synthetic::{
     pdf_dataset, uncertain_dataset, CenterDistribution, RadiusDistribution, UncertainConfig,
+};
+pub use vfs::{
+    classify, retry, CrashMode, FaultClass, FaultSpec, FaultVfs, MemVfs, RealVfs, RetryPolicy, Vfs,
+    VfsFile,
 };
 pub use wal::{
     recover_session, recover_wal, write_snapshot, Manifest, WalBatch, WalRecovery, WriteAheadLog,

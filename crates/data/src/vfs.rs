@@ -1,0 +1,907 @@
+//! Injectable filesystem seam for the durability stack.
+//!
+//! Everything the WAL, checkpoints and [`crate::wal::recover_session`]
+//! do to disk goes through the [`Vfs`] trait: open/append/read/fsync/
+//! rename/dir-sync. Three implementations:
+//!
+//! * [`RealVfs`] — the `std::fs` passthrough production sessions use,
+//!   including a genuine parent-directory fsync for [`Vfs::sync_dir`]
+//!   (a rename is only durable once its directory entry is).
+//! * [`MemVfs`] — an in-memory crash-consistency simulator in the
+//!   ALICE/CrashMonkey tradition: it tracks, per file, the *durable*
+//!   content (what fsync has pinned) separately from the *volatile*
+//!   content (what the process has written), and tracks the directory
+//!   namespace the same way (a created or renamed entry survives a
+//!   crash only after [`Vfs::sync_dir`]). Every mutating call is one
+//!   numbered **boundary**; [`MemVfs::fail_after`] kills the process at
+//!   boundary `k` and [`MemVfs::crash`] then discards everything
+//!   volatile — wholesale ([`CrashMode::Barrier`]) or keeping a
+//!   seed-chosen prefix of each unsynced tail ([`CrashMode::Torn`]),
+//!   which is exactly the any-byte-truncation surface the WAL recovery
+//!   property is tested against.
+//! * [`FaultVfs`] — a deterministic decorator injecting the fault
+//!   taxonomy into any inner [`Vfs`]: transient `EINTR`-class errors
+//!   every nth op, a fatal `ENOSPC` at the nth op, a torn write (a
+//!   seed-chosen prefix hits the inner VFS, then the op fails), and
+//!   lying fsyncs that report success without syncing. Parsed from the
+//!   CLI via [`FaultSpec`] (`crp replay --inject seed=7,eio-every=5`).
+//!
+//! The error taxonomy lives here too: [`classify`] splits
+//! [`std::io::Error`]s into [`FaultClass::Transient`] (interrupted /
+//! would-block / timed-out — worth retrying) and
+//! [`FaultClass::Fatal`] (everything else, including `ENOSPC`).
+//! [`retry`] applies bounded exponential backoff to transient faults —
+//! but callers may only use it for *idempotent* ops (open, read,
+//! rename, dir-sync). A failed `write` or `fsync` is never retried: an
+//! unknown number of bytes may already be in the file, and re-running
+//! the write would corrupt the log mid-stream.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+// ------------------------------------------------------------------ traits
+
+/// A writable file handle produced by [`Vfs::create`] /
+/// [`Vfs::open_append`].
+pub trait VfsFile: Send {
+    /// Writes the whole buffer (appending for handles from
+    /// [`Vfs::open_append`]).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes the file's content to durable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the durability stack needs — nothing more,
+/// so a simulator can implement the whole surface faithfully.
+pub trait Vfs: Send + Sync {
+    /// `std::fs::create_dir_all`.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists (volatile view).
+    fn exists(&self, path: &Path) -> bool;
+    /// Current length of a file in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Reads a whole file as UTF-8 text.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Creates (truncating) a file for writing — the tmp side of the
+    /// checkpoint protocol.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens (creating if absent) a file for appending — the WAL.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Fsyncs a *directory*, making its entries (creates and renames)
+    /// durable. The classic missing step after tmp+rename.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+// ----------------------------------------------------------------- RealVfs
+
+/// The production [`Vfs`]: a direct `std::fs` passthrough.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(
+            OpenOptions::new().create(true).append(true).open(path)?,
+        )))
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // On unix a directory opens as a file and fsync flushes its
+        // entries; elsewhere directory handles are not a thing and the
+        // OS offers no equivalent, so this is best-effort by design.
+        #[cfg(unix)]
+        {
+            File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+}
+
+// ------------------------------------------------------------ error class
+
+/// Whether an I/O failure is worth retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Interrupted / would-block / timed-out: the op may succeed if
+    /// simply re-issued.
+    Transient,
+    /// Everything else — `ENOSPC`, `EIO`, permission errors, simulated
+    /// crashes. Retrying cannot help; the writer must degrade.
+    Fatal,
+}
+
+/// Classifies an I/O error into the retry taxonomy.
+pub fn classify(e: &io::Error) -> FaultClass {
+    match e.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            FaultClass::Transient
+        }
+        _ => FaultClass::Fatal,
+    }
+}
+
+/// Bounded retry with exponential backoff for transient faults.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first failure (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Runs `op`, retrying on [`FaultClass::Transient`] errors with
+/// exponential backoff up to `policy.max_retries` times.
+///
+/// **Only for idempotent operations** (open, read, rename, dir-sync):
+/// retrying a failed write or fsync can duplicate a partially persisted
+/// record, which is worse than failing.
+pub fn retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut backoff = policy.base_backoff;
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) if classify(&e) == FaultClass::Transient && attempt < policy.max_retries => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ MemVfs
+
+/// How a simulated crash treats each file's unsynced tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Drop everything unsynced — the clean power-cut model.
+    Barrier,
+    /// Keep a pseudo-random (seed-determined) prefix of each unsynced
+    /// tail — the torn-write model the WAL's any-byte-truncation
+    /// property guards against.
+    Torn(u64),
+}
+
+/// One inode in the simulator: what fsync pinned vs. what was written.
+#[derive(Clone, Debug, Default)]
+struct MemFile {
+    content: Vec<u8>,
+    durable: Vec<u8>,
+}
+
+#[derive(Default)]
+struct MemState {
+    /// Inode table: open handles and both namespaces reference these by
+    /// id, so a rename moves the *name* while handles keep writing the
+    /// same inode — exactly the POSIX behaviour tmp+rename relies on.
+    inodes: HashMap<u64, MemFile>,
+    next_inode: u64,
+    /// Volatile namespace: what the live process sees.
+    names: HashMap<PathBuf, u64>,
+    /// Durable namespace: the entries a crash reveals. Only
+    /// [`Vfs::sync_dir`] copies volatile entries in (and stale ones
+    /// out); content durability is separate (per-inode fsync).
+    durable_names: HashMap<PathBuf, u64>,
+    dirs: Vec<PathBuf>,
+    ops: u64,
+    fail_after: Option<u64>,
+    trace: Vec<String>,
+}
+
+impl MemState {
+    /// Accounts one mutating boundary; fails it when the process has
+    /// been scheduled to die at an earlier boundary.
+    fn boundary(&mut self, what: impl FnOnce() -> String) -> io::Result<()> {
+        if let Some(limit) = self.fail_after {
+            if self.ops >= limit {
+                return Err(io::Error::other("simulated crash (process killed)"));
+            }
+        }
+        self.ops += 1;
+        let label = what();
+        self.trace.push(label);
+        Ok(())
+    }
+}
+
+/// The in-memory crash-consistency simulator. Cheap to clone the
+/// handle; all clones share one filesystem image.
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    state: Arc<Mutex<MemState>>,
+}
+
+/// splitmix64 — deterministic tail-length choice for torn crashes.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl MemVfs {
+    /// A fresh, empty simulated filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutating boundaries performed so far (create/write/fsync/rename/
+    /// dir-sync). The torture harness's enumeration space.
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// The boundary trace, one label per mutating op, in order.
+    pub fn trace(&self) -> Vec<String> {
+        self.lock().trace.clone()
+    }
+
+    /// Kills the process at boundary `k`: the first `k` mutating ops
+    /// succeed, every later one fails with a simulated-crash error.
+    /// `None` clears the schedule (the reopened process runs normally).
+    pub fn fail_after(&self, k: Option<u64>) {
+        self.lock().fail_after = k;
+    }
+
+    /// Simulates the machine dying and rebooting: the volatile view is
+    /// replaced by what actually survived — durable directory entries
+    /// only, each inode cut back to its fsynced prefix plus (in
+    /// [`CrashMode::Torn`]) a seed-chosen slice of the unsynced tail.
+    /// Also clears any [`MemVfs::fail_after`] schedule.
+    pub fn crash(&self, mode: CrashMode) {
+        let mut state = self.lock();
+        state.fail_after = None;
+        state.names = state.durable_names.clone();
+        let live: Vec<u64> = state.names.values().copied().collect();
+        state.inodes.retain(|id, _| live.contains(id));
+        for (id, file) in state.inodes.iter_mut() {
+            let mut kept = file.durable.clone();
+            if let CrashMode::Torn(seed) = mode {
+                let tail = file.content.len().saturating_sub(file.durable.len());
+                if tail > 0 && file.content.starts_with(&file.durable) {
+                    let keep = (splitmix64(seed ^ *id ^ file.content.len() as u64)
+                        % (tail as u64 + 1)) as usize;
+                    kept.extend_from_slice(&file.content[kept.len()..kept.len() + keep]);
+                }
+            }
+            file.content = kept.clone();
+            file.durable = kept;
+        }
+    }
+}
+
+impl MemState {
+    fn fresh_inode(&mut self) -> u64 {
+        self.next_inode += 1;
+        self.inodes.insert(self.next_inode, MemFile::default());
+        self.next_inode
+    }
+
+    fn inode_of(&self, path: &Path) -> io::Result<u64> {
+        self.names
+            .get(path)
+            .copied()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+}
+
+/// A write handle into the simulator: follows its inode across renames,
+/// like a real open file descriptor.
+struct MemHandle {
+    vfs: MemVfs,
+    inode: u64,
+    path: PathBuf, // for trace labels only
+}
+
+impl VfsFile for MemHandle {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut state = self.vfs.lock();
+        let path = self.path.clone();
+        state.boundary(|| format!("write {} ({} bytes)", path.display(), buf.len()))?;
+        let file = state
+            .inodes
+            .get_mut(&self.inode)
+            .ok_or_else(|| io::Error::other("inode vanished (crashed)"))?;
+        file.content.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut state = self.vfs.lock();
+        let path = self.path.clone();
+        state.boundary(|| format!("fsync {}", path.display()))?;
+        let file = state
+            .inodes
+            .get_mut(&self.inode)
+            .ok_or_else(|| io::Error::other("inode vanished (crashed)"))?;
+        file.durable = file.content.clone();
+        Ok(())
+    }
+}
+
+impl Vfs for MemVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        if !state.dirs.iter().any(|d| d == path) {
+            state.boundary(|| format!("mkdir {}", path.display()))?;
+            state.dirs.push(path.to_path_buf());
+        }
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.lock().names.contains_key(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        let state = self.lock();
+        let id = state.inode_of(path)?;
+        Ok(state.inodes[&id].content.len() as u64)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let state = self.lock();
+        let id = state.inode_of(path)?;
+        String::from_utf8(state.inodes[&id].content.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut state = self.lock();
+        let p = path.to_path_buf();
+        state.boundary(|| format!("create {}", p.display()))?;
+        // A fresh inode even when the name exists: the old inode stays
+        // reachable through the durable namespace, which models the
+        // adversarial "truncate never persisted" outcome.
+        let id = state.fresh_inode();
+        state.names.insert(path.to_path_buf(), id);
+        drop(state);
+        Ok(Box::new(MemHandle {
+            vfs: self.clone(),
+            inode: id,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut state = self.lock();
+        let id = match state.names.get(path) {
+            Some(&id) => id,
+            None => {
+                let p = path.to_path_buf();
+                state.boundary(|| format!("create {}", p.display()))?;
+                let id = state.fresh_inode();
+                state.names.insert(path.to_path_buf(), id);
+                id
+            }
+        };
+        drop(state);
+        Ok(Box::new(MemHandle {
+            vfs: self.clone(),
+            inode: id,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        let (f, t) = (from.to_path_buf(), to.to_path_buf());
+        state.boundary(|| format!("rename {} -> {}", f.display(), t.display()))?;
+        let id = state
+            .names
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "rename source missing"))?;
+        state.names.insert(to.to_path_buf(), id);
+        // The durable namespace is untouched: without a dir-sync the
+        // old entry is what a crash reveals.
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        let d = dir.to_path_buf();
+        state.boundary(|| format!("dirsync {}", d.display()))?;
+        // Persist the namespace under `dir`: entries now present become
+        // durable, entries gone from the volatile view are forgotten.
+        let under: Vec<(PathBuf, u64)> = state
+            .names
+            .iter()
+            .filter(|(p, _)| p.parent() == Some(dir))
+            .map(|(p, &id)| (p.clone(), id))
+            .collect();
+        state
+            .durable_names
+            .retain(|p, _| p.parent() != Some(dir) || under.iter().any(|(u, _)| u == p));
+        for (path, id) in under {
+            state.durable_names.insert(path, id);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for MemVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.lock();
+        f.debug_struct("MemVfs")
+            .field("files", &state.names.len())
+            .field("durable", &state.durable_names.len())
+            .field("ops", &state.ops)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------- FaultVfs
+
+/// The deterministic fault schedule a [`FaultVfs`] injects. All
+/// counters are 1-based over *mutating* ops (create/write/fsync/
+/// rename/dir-sync) in issue order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for the torn-write prefix length.
+    pub seed: u64,
+    /// Every `k`-th mutating op fails with a transient interrupted
+    /// error (succeeds when re-issued — the retry path's test surface).
+    pub eio_every: Option<u64>,
+    /// The `k`-th mutating op fails with a fatal out-of-space error.
+    pub enospc_at: Option<u64>,
+    /// The `k`-th mutating op, if a write, persists only a seed-chosen
+    /// prefix and then fails.
+    pub torn_at: Option<u64>,
+    /// Every `k`-th fsync lies: reports success without syncing.
+    pub lying_every: Option<u64>,
+}
+
+impl FromStr for FaultSpec {
+    type Err = String;
+
+    /// `seed=N[,eio-every=K][,enospc-at=K][,torn-at=K][,lying-every=K]`
+    /// — strict: unknown keys and malformed values are errors.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = FaultSpec::default();
+        let mut saw_seed = false;
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--inject: expected key=value, got {part:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("--inject: bad value in {part:?}: {e}"))?;
+            match key.trim() {
+                "seed" => {
+                    spec.seed = value;
+                    saw_seed = true;
+                }
+                "eio-every" => spec.eio_every = Some(value),
+                "enospc-at" => spec.enospc_at = Some(value),
+                "torn-at" => spec.torn_at = Some(value),
+                "lying-every" => spec.lying_every = Some(value),
+                other => {
+                    return Err(format!(
+                        "--inject: unknown key {other:?} \
+                         (use seed|eio-every|enospc-at|torn-at|lying-every)"
+                    ))
+                }
+            }
+        }
+        if spec.eio_every == Some(0) || spec.lying_every == Some(0) {
+            return Err("--inject: every-N counters must be ≥ 1".into());
+        }
+        if !saw_seed {
+            return Err(
+                "--inject: seed=N is required (fault schedules must be reproducible)".into(),
+            );
+        }
+        Ok(spec)
+    }
+}
+
+#[derive(Default)]
+struct FaultState {
+    ops: u64,
+    fsyncs: u64,
+}
+
+/// Fault gate shared between a [`FaultVfs`] and the handles it hands
+/// out: one op counter, one schedule.
+struct FaultGate {
+    spec: FaultSpec,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultGate {
+    fn gate(&self) -> io::Result<u64> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.ops += 1;
+        let n = state.ops;
+        drop(state);
+        if self.spec.enospc_at == Some(n) {
+            return Err(io::Error::other(
+                "injected ENOSPC: no space left on device (fatal)",
+            ));
+        }
+        if let Some(every) = self.spec.eio_every {
+            if n.is_multiple_of(every) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected EIO (transient)",
+                ));
+            }
+        }
+        Ok(n)
+    }
+}
+
+struct FaultedHandle {
+    inner: Box<dyn VfsFile>,
+    gate: FaultGate,
+}
+
+impl VfsFile for FaultedHandle {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let n = self.gate.gate()?;
+        if self.gate.spec.torn_at == Some(n) {
+            // A torn write: a seed-chosen strict prefix reaches the
+            // inner filesystem, then the op reports failure.
+            let keep = (splitmix64(self.gate.spec.seed ^ n) % buf.len().max(1) as u64) as usize;
+            self.inner.write_all(&buf[..keep])?;
+            return Err(io::Error::other(format!(
+                "injected torn write: {keep} of {} bytes persisted (fatal)",
+                buf.len()
+            )));
+        }
+        self.inner.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let n = self.gate.gate()?;
+        if let Some(every) = self.gate.spec.lying_every {
+            let mut state = self
+                .gate
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.fsyncs += 1;
+            let lie = state.fsyncs.is_multiple_of(every);
+            drop(state);
+            if lie {
+                let _ = n;
+                return Ok(()); // the lie: success reported, nothing synced
+            }
+        }
+        self.inner.sync_data()
+    }
+}
+
+/// The deterministic fault injector: decorates any inner [`Vfs`] with
+/// the [`FaultSpec`] schedule. The inner filesystem sits behind an
+/// `Arc` so the handles this VFS hands out outlive the call that made
+/// them; `crp replay --inject` builds one over [`RealVfs`].
+#[derive(Clone)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    spec: FaultSpec,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// Wraps `inner` with the given deterministic fault schedule.
+    pub fn new(inner: Arc<dyn Vfs>, spec: FaultSpec) -> Self {
+        Self {
+            inner,
+            spec,
+            state: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// Convenience: a fault injector over the real filesystem.
+    pub fn over_real(spec: FaultSpec) -> Self {
+        Self::new(Arc::new(RealVfs), spec)
+    }
+
+    fn gate(&self) -> io::Result<u64> {
+        FaultGate {
+            spec: self.spec,
+            state: Arc::clone(&self.state),
+        }
+        .gate()
+    }
+
+    /// Mutating ops issued so far (successful or faulted).
+    pub fn op_count(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ops
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.inner.read_to_string(path)
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate()?;
+        Ok(Box::new(FaultedHandle {
+            inner: self.inner.create(path)?,
+            gate: FaultGate {
+                spec: self.spec,
+                state: Arc::clone(&self.state),
+            },
+        }))
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate()?;
+        Ok(Box::new(FaultedHandle {
+            inner: self.inner.open_append(path)?,
+            gate: FaultGate {
+                spec: self.spec,
+                state: Arc::clone(&self.state),
+            },
+        }))
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.rename(from, to)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.sync_dir(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn mem_vfs_barrier_crash_keeps_only_fsynced_content_and_synced_names() {
+        let vfs = MemVfs::new();
+        vfs.create_dir_all(&p("/s")).unwrap();
+        let mut f = vfs.create(&p("/s/a")).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        f.write_all(b" world").unwrap(); // unsynced tail
+        vfs.sync_dir(&p("/s")).unwrap();
+        let mut g = vfs.create(&p("/s/b")).unwrap(); // entry never dir-synced
+        g.write_all(b"gone").unwrap();
+        g.sync_data().unwrap();
+
+        vfs.crash(CrashMode::Barrier);
+        assert_eq!(vfs.read_to_string(&p("/s/a")).unwrap(), "hello");
+        assert!(!vfs.exists(&p("/s/b")), "entry was never made durable");
+    }
+
+    #[test]
+    fn mem_vfs_rename_without_dirsync_reverts_on_crash() {
+        let vfs = MemVfs::new();
+        vfs.create_dir_all(&p("/s")).unwrap();
+        let mut old = vfs.create(&p("/s/m")).unwrap();
+        old.write_all(b"old").unwrap();
+        old.sync_data().unwrap();
+        vfs.sync_dir(&p("/s")).unwrap();
+
+        let mut tmp = vfs.create(&p("/s/m.tmp")).unwrap();
+        tmp.write_all(b"new").unwrap();
+        tmp.sync_data().unwrap();
+        vfs.rename(&p("/s/m.tmp"), &p("/s/m")).unwrap();
+        // No dir-sync: the crash reveals the old entry.
+        vfs.crash(CrashMode::Barrier);
+        assert_eq!(vfs.read_to_string(&p("/s/m")).unwrap(), "old");
+
+        // With the dir-sync the rename is durable.
+        let vfs = MemVfs::new();
+        vfs.create_dir_all(&p("/s")).unwrap();
+        let mut old = vfs.create(&p("/s/m")).unwrap();
+        old.write_all(b"old").unwrap();
+        old.sync_data().unwrap();
+        vfs.sync_dir(&p("/s")).unwrap();
+        let mut tmp = vfs.create(&p("/s/m.tmp")).unwrap();
+        tmp.write_all(b"new").unwrap();
+        tmp.sync_data().unwrap();
+        vfs.rename(&p("/s/m.tmp"), &p("/s/m")).unwrap();
+        vfs.sync_dir(&p("/s")).unwrap();
+        vfs.crash(CrashMode::Barrier);
+        assert_eq!(vfs.read_to_string(&p("/s/m")).unwrap(), "new");
+        assert!(!vfs.exists(&p("/s/m.tmp")), "tmp entry dropped by dirsync");
+    }
+
+    #[test]
+    fn mem_vfs_torn_crash_keeps_a_prefix_of_the_unsynced_tail() {
+        for seed in 0..16 {
+            let vfs = MemVfs::new();
+            vfs.create_dir_all(&p("/s")).unwrap();
+            let mut f = vfs.create(&p("/s/w")).unwrap();
+            f.write_all(b"durable|").unwrap();
+            f.sync_data().unwrap();
+            f.write_all(b"torn-tail").unwrap();
+            vfs.sync_dir(&p("/s")).unwrap();
+            vfs.crash(CrashMode::Torn(seed));
+            let text = vfs.read_to_string(&p("/s/w")).unwrap();
+            assert!(text.starts_with("durable|"), "{text:?}");
+            assert!("durable|torn-tail".starts_with(&text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn mem_vfs_fail_after_kills_later_boundaries() {
+        let vfs = MemVfs::new();
+        vfs.create_dir_all(&p("/s")).unwrap();
+        let ops = vfs.op_count();
+        vfs.fail_after(Some(ops + 1));
+        let mut f = vfs.create(&p("/s/x")).unwrap(); // boundary ops+1: ok
+        let err = f.write_all(b"dead").unwrap_err();
+        assert_eq!(classify(&err), FaultClass::Fatal);
+        assert!(err.to_string().contains("simulated crash"), "{err}");
+        assert!(!vfs.trace().is_empty());
+    }
+
+    #[test]
+    fn fault_spec_parses_strictly() {
+        let spec: FaultSpec = "seed=7,eio-every=5,enospc-at=9,torn-at=3,lying-every=2"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.eio_every, Some(5));
+        assert_eq!(spec.enospc_at, Some(9));
+        assert_eq!(spec.torn_at, Some(3));
+        assert_eq!(spec.lying_every, Some(2));
+        assert!("bogus=1".parse::<FaultSpec>().is_err());
+        assert!("seed".parse::<FaultSpec>().is_err());
+        assert!("seed=x".parse::<FaultSpec>().is_err());
+        assert!("seed=1,eio-every=0".parse::<FaultSpec>().is_err());
+        // A schedule without its seed is not reproducible — rejected.
+        assert!("".parse::<FaultSpec>().unwrap_err().contains("seed"));
+        assert!("eio-every=3"
+            .parse::<FaultSpec>()
+            .unwrap_err()
+            .contains("seed"));
+        assert_eq!("seed=0".parse::<FaultSpec>().unwrap(), FaultSpec::default());
+    }
+
+    #[test]
+    fn fault_vfs_injects_transient_and_fatal_errors() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let vfs = FaultVfs::new(
+            Arc::clone(&mem),
+            FaultSpec {
+                eio_every: Some(3),
+                ..FaultSpec::default()
+            },
+        );
+        vfs.create_dir_all(&p("/s")).unwrap();
+        let mut f = vfs.create(&p("/s/a")).unwrap(); // op 1
+        f.write_all(b"x").unwrap(); // op 2
+        let err = f.write_all(b"y").unwrap_err(); // op 3 → EIO
+        assert_eq!(classify(&err), FaultClass::Transient);
+        f.write_all(b"y").unwrap(); // op 4: re-issue succeeds
+
+        let vfs = FaultVfs::new(
+            mem,
+            FaultSpec {
+                enospc_at: Some(1),
+                ..FaultSpec::default()
+            },
+        );
+        let err = vfs.create(&p("/s/b")).map(|_| ()).unwrap_err();
+        assert_eq!(classify(&err), FaultClass::Fatal);
+    }
+
+    #[test]
+    fn lying_fsync_loses_data_at_the_next_crash() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultSpec {
+                lying_every: Some(1), // every fsync lies
+                ..FaultSpec::default()
+            },
+        );
+        vfs.create_dir_all(&p("/s")).unwrap();
+        let mut f = vfs.create(&p("/s/a")).unwrap();
+        f.write_all(b"data").unwrap();
+        f.sync_data().unwrap(); // lies
+        vfs.sync_dir(&p("/s")).unwrap();
+        mem.crash(CrashMode::Barrier);
+        assert_eq!(
+            mem.read_to_string(&p("/s/a")).unwrap(),
+            "",
+            "the lying fsync pinned nothing"
+        );
+    }
+
+    #[test]
+    fn retry_recovers_transient_faults_but_not_fatal_ones() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_micros(1),
+        };
+        let mut calls = 0;
+        let out = retry(&policy, || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let out: io::Result<()> = retry(&policy, || {
+            calls += 1;
+            Err(io::Error::other("enospc"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "fatal errors are not retried");
+    }
+}

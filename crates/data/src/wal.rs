@@ -23,16 +23,24 @@
 //! ```
 //!
 //! Snapshot files are plain `insert` lines (uniform objects round-trip
-//! through the stock grammar) and are published with the usual
-//! tmp-file + rename dance, manifest last, so a crash mid-checkpoint
-//! leaves the previous checkpoint intact.
+//! through the stock grammar) and are published with the full
+//! tmp-file + fsync + rename + directory-fsync dance, manifest last, so
+//! a crash mid-checkpoint leaves the previous checkpoint intact.
+//!
+//! Every disk operation routes through the [`crate::vfs`] seam: the
+//! `*_with` variants take any [`Vfs`] (the crash-consistency simulator,
+//! the fault injector), while the original names run on [`RealVfs`].
+//! Idempotent ops (open/read/rename/dir-sync) retry transient faults
+//! with bounded backoff; writes and fsyncs never retry — a re-issued
+//! partial write would corrupt the log mid-stream, and recovery cannot
+//! resync past a torn middle.
 
 use crate::io::CsvError;
+use crate::vfs::{retry, RealVfs, RetryPolicy, Vfs, VfsFile};
 use crp_geom::Point;
 use crp_uncertain::{Epoch, ObjectId, UncertainDataset, UncertainObject, Update};
+use std::fmt;
 use std::fmt::Write as _;
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// The manifest file name inside a session directory.
@@ -266,11 +274,17 @@ pub fn recover_wal_text(text: &str) -> WalRecovery {
 /// [`recover_wal_text`] from a file; a missing file recovers to the
 /// empty log (a fresh session directory has no WAL yet).
 pub fn recover_wal(path: impl AsRef<Path>) -> Result<WalRecovery, CsvError> {
-    let path = path.as_ref();
-    if !path.exists() {
+    recover_wal_with(&RealVfs, path.as_ref())
+}
+
+/// [`recover_wal`] through an injectable [`Vfs`]. The read is
+/// idempotent, so transient faults are retried with backoff.
+pub fn recover_wal_with(vfs: &dyn Vfs, path: &Path) -> Result<WalRecovery, CsvError> {
+    if !vfs.exists(path) {
         return Ok(WalRecovery::default());
     }
-    let text = std::fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    let text = retry(&RetryPolicy::default(), || vfs.read_to_string(path))
+        .map_err(|e| CsvError::Io(e.to_string()))?;
     Ok(recover_wal_text(&text))
 }
 
@@ -278,27 +292,44 @@ pub fn recover_wal(path: impl AsRef<Path>) -> Result<WalRecovery, CsvError> {
 
 /// Append-side handle: batches go to disk (flushed and fsynced) before
 /// the engine sees them.
-#[derive(Debug)]
 pub struct WriteAheadLog {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     bytes: u64,
+}
+
+impl fmt::Debug for WriteAheadLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteAheadLog")
+            .field("path", &self.path)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
 }
 
 impl WriteAheadLog {
     /// Opens (or creates) the log for appending; existing committed
     /// content is preserved.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, CsvError> {
+        Self::open_with(&RealVfs, path.into())
+    }
+
+    /// [`WriteAheadLog::open`] through an injectable [`Vfs`]. A
+    /// brand-new log file is followed by a parent-directory fsync:
+    /// without it the file's directory entry is volatile, and a crash
+    /// could silently drop the *entire* log — fsynced batches included.
+    pub fn open_with(vfs: &dyn Vfs, path: impl Into<PathBuf>) -> Result<Self, CsvError> {
         let path = path.into();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| CsvError::Io(e.to_string()))?;
-        let bytes = file
-            .metadata()
-            .map_err(|e| CsvError::Io(e.to_string()))?
-            .len();
+        let io_err = |e: std::io::Error| CsvError::Io(e.to_string());
+        let policy = RetryPolicy::default();
+        let fresh = !vfs.exists(&path);
+        let file = retry(&policy, || vfs.open_append(&path)).map_err(io_err)?;
+        if fresh {
+            if let Some(parent) = path.parent() {
+                retry(&policy, || vfs.sync_dir(parent)).map_err(io_err)?;
+            }
+        }
+        let bytes = vfs.file_len(&path).map_err(io_err)?;
         Ok(Self { file, path, bytes })
     }
 
@@ -348,11 +379,19 @@ pub struct Manifest {
 }
 
 /// Checkpoints a dataset: writes `snapshot-<epoch>.crp` (insert lines)
-/// and then the [`MANIFEST_FILE`], each via tmp-file + rename so a
-/// crash mid-checkpoint never clobbers the previous one. Returns the
-/// manifest it published.
+/// and then the [`MANIFEST_FILE`], each via tmp-file + fsync + rename +
+/// parent-directory fsync so a crash mid-checkpoint never clobbers the
+/// previous one. Returns the manifest it published.
 pub fn write_snapshot(dir: impl AsRef<Path>, ds: &UncertainDataset) -> Result<Manifest, CsvError> {
-    let dir = dir.as_ref();
+    write_snapshot_with(&RealVfs, dir.as_ref(), ds)
+}
+
+/// [`write_snapshot`] through an injectable [`Vfs`].
+pub fn write_snapshot_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    ds: &UncertainDataset,
+) -> Result<Manifest, CsvError> {
     let epoch = ds.epoch();
     let name = format!("snapshot-{:010}.crp", epoch.0);
 
@@ -362,13 +401,14 @@ pub fn write_snapshot(dir: impl AsRef<Path>, ds: &UncertainDataset) -> Result<Ma
         body.push_str(&format_object(object));
         body.push('\n');
     }
-    atomic_write(&dir.join(&name), &body)?;
+    atomic_write(vfs, &dir.join(&name), &body)?;
 
     let manifest = Manifest {
         epoch,
         snapshot: name,
     };
     atomic_write(
+        vfs,
         &dir.join(MANIFEST_FILE),
         &format!(
             "epoch {}\nsnapshot {}\n",
@@ -378,23 +418,43 @@ pub fn write_snapshot(dir: impl AsRef<Path>, ds: &UncertainDataset) -> Result<Ma
     Ok(manifest)
 }
 
-fn atomic_write(path: &Path, body: &str) -> Result<(), CsvError> {
+/// tmp + write + fsync + rename + **parent-directory fsync**. The last
+/// step is the classic omission: without it the rename lives only in
+/// the directory's volatile state, and a crash right after this
+/// function returns can resurface the *old* file — or, for a file that
+/// never existed before (a fresh session's seed checkpoint), no file at
+/// all, making the directory look empty and silently re-seeding.
+fn atomic_write(vfs: &dyn Vfs, path: &Path, body: &str) -> Result<(), CsvError> {
     let tmp = path.with_extension("tmp");
     let io_err = |e: std::io::Error| CsvError::Io(e.to_string());
-    let mut file = File::create(&tmp).map_err(io_err)?;
+    let policy = RetryPolicy::default();
+    let mut file = retry(&policy, || vfs.create(&tmp)).map_err(io_err)?;
+    // Write + fsync are never retried: a re-issued write after a
+    // partial one would corrupt the tmp file undetectably.
     file.write_all(body.as_bytes())
         .and_then(|()| file.sync_data())
         .map_err(io_err)?;
-    std::fs::rename(&tmp, path).map_err(io_err)
+    drop(file);
+    retry(&policy, || vfs.rename(&tmp, path)).map_err(io_err)?;
+    if let Some(parent) = path.parent() {
+        retry(&policy, || vfs.sync_dir(parent)).map_err(io_err)?;
+    }
+    Ok(())
 }
 
 /// Reads the manifest, `None` when the directory has no checkpoint yet.
 pub fn read_manifest(dir: impl AsRef<Path>) -> Result<Option<Manifest>, CsvError> {
-    let path = dir.as_ref().join(MANIFEST_FILE);
-    if !path.exists() {
+    read_manifest_with(&RealVfs, dir.as_ref())
+}
+
+/// [`read_manifest`] through an injectable [`Vfs`].
+pub fn read_manifest_with(vfs: &dyn Vfs, dir: &Path) -> Result<Option<Manifest>, CsvError> {
+    let path = dir.join(MANIFEST_FILE);
+    if !vfs.exists(&path) {
         return Ok(None);
     }
-    let text = std::fs::read_to_string(&path).map_err(|e| CsvError::Io(e.to_string()))?;
+    let text = retry(&RetryPolicy::default(), || vfs.read_to_string(&path))
+        .map_err(|e| CsvError::Io(e.to_string()))?;
     let mut epoch = None;
     let mut snapshot = None;
     for (idx, raw) in text.lines().enumerate() {
@@ -438,8 +498,18 @@ pub fn load_snapshot(
     dir: impl AsRef<Path>,
     manifest: &Manifest,
 ) -> Result<UncertainDataset, CsvError> {
-    let path = dir.as_ref().join(&manifest.snapshot);
-    let text = std::fs::read_to_string(&path).map_err(|e| CsvError::Io(e.to_string()))?;
+    load_snapshot_with(&RealVfs, dir.as_ref(), manifest)
+}
+
+/// [`load_snapshot`] through an injectable [`Vfs`].
+pub fn load_snapshot_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<UncertainDataset, CsvError> {
+    let path = dir.join(&manifest.snapshot);
+    let text = retry(&RetryPolicy::default(), || vfs.read_to_string(&path))
+        .map_err(|e| CsvError::Io(e.to_string()))?;
     let mut objects = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
@@ -470,13 +540,20 @@ pub fn load_snapshot(
 /// order. Returns the dataset positioned at the last complete epoch and
 /// the recovery report for the log.
 pub fn recover_session(dir: impl AsRef<Path>) -> Result<(UncertainDataset, WalRecovery), CsvError> {
-    let dir = dir.as_ref();
-    let mut ds = match read_manifest(dir)? {
-        Some(manifest) => load_snapshot(dir, &manifest)?,
+    recover_session_with(&RealVfs, dir.as_ref())
+}
+
+/// [`recover_session`] through an injectable [`Vfs`].
+pub fn recover_session_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+) -> Result<(UncertainDataset, WalRecovery), CsvError> {
+    let mut ds = match read_manifest_with(vfs, dir)? {
+        Some(manifest) => load_snapshot_with(vfs, dir, &manifest)?,
         None => UncertainDataset::new(),
     };
     let base = ds.epoch();
-    let recovery = recover_wal(dir.join(WAL_FILE))?;
+    let recovery = recover_wal_with(vfs, &dir.join(WAL_FILE))?;
     for batch in &recovery.batches {
         if batch.epoch.0 <= base.0 {
             continue; // already absorbed by the checkpoint

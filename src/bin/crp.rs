@@ -63,18 +63,21 @@
 
 use prsq_crp::data::{
     cardb_dataset, load_points, load_season_records, load_workload, nba_dataset,
-    write_season_records, CarDbConfig, NbaConfig, WorkloadOp,
+    write_season_records, CarDbConfig, FaultSpec, FaultVfs, NbaConfig, RealVfs, Vfs, WorkloadOp,
 };
 use prsq_crp::prelude::*;
 use prsq_crp::rtree::{set_rect_kernel, RectKernel};
 use prsq_crp::uncertain::Epoch;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|generate> [--data FILE \
      --schema points|seasons --query a1,a2,… --alpha A --object ID \
      --objects ID,ID,…|all --alphas A,A,… --q-grid d1:d2,d1:d2,… \
      --budget N --serial --workload FILE --readers N --session-dir DIR \
+     --inject seed=N[,eio-every=K,enospc-at=K,torn-at=K,lying-every=K] \
+     --deadline-ms N --budget-nodes N --budget-subsets N \
      --shards N --shard-policy round-robin|hash-by-id|spatial \
      --kernel auto|scalar|simd --filter auto|pointer|packed \
      | --kind nba|cardb --out FILE]";
@@ -133,6 +136,10 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--filter", true),
         ("--readers", true),
         ("--session-dir", true),
+        ("--inject", true),
+        ("--deadline-ms", true),
+        ("--budget-nodes", true),
+        ("--budget-subsets", true),
     ];
     const SWEEP: &[(&str, bool)] = &[
         ("--data", true),
@@ -741,6 +748,7 @@ impl ReplaySession {
 /// directory, batches are fsynced to the write-ahead log *before* they
 /// apply and the session checkpoints on exit; reopening the directory
 /// resumes from the last complete epoch, ignoring `--data`.
+#[allow(clippy::too_many_arguments)]
 fn cmd_replay_mvcc(
     ds: UncertainDataset,
     q: &Point,
@@ -748,11 +756,19 @@ fn cmd_replay_mvcc(
     readers: usize,
     session_dir: Option<&str>,
     spec: EngineSpec,
+    limits: PlanLimits,
+    inject: Option<FaultSpec>,
 ) -> Result<(), String> {
     let make = move |ds: UncertainDataset| build_any(ds, spec.config, spec.shards, spec.policy);
+    let fault = inject.map(FaultVfs::over_real);
     let mut session = match session_dir {
         Some(dir) => {
-            let session = DurableSession::open(dir, ds, make).map_err(|e| e.to_string())?;
+            let vfs: Arc<dyn Vfs> = match &fault {
+                Some(f) => Arc::new(f.clone()),
+                None => Arc::new(RealVfs),
+            };
+            let session =
+                DurableSession::open_with_vfs(dir, ds, make, vfs).map_err(|e| e.to_string())?;
             let recovery = session.recovery();
             if !recovery.batches.is_empty() || recovery.truncated {
                 println!(
@@ -792,6 +808,7 @@ fn cmd_replay_mvcc(
     let mut batches = 0usize;
     let mut explains = 0usize;
     let mut failures = 0usize;
+    let mut partials = 0usize;
     for op in ops {
         match op {
             WorkloadOp::Update(update) => {
@@ -809,7 +826,9 @@ fn cmd_replay_mvcc(
                 };
                 explains += ids.len();
                 // Contiguous chunks, one per reader; concatenating the
-                // per-chunk results restores workload order.
+                // per-chunk results restores workload order. Each
+                // explain is a single-task plan carrying the CLI's
+                // budget limits (a no-op when none were given).
                 let chunk = ids.len().div_ceil(readers).max(1);
                 let outcomes: Vec<Result<CrpOutcome, CrpError>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = ids
@@ -818,7 +837,11 @@ fn cmd_replay_mvcc(
                             scope.spawn(move || {
                                 chunk_ids
                                     .iter()
-                                    .map(|&id| engine.explain(q, id))
+                                    .map(|&id| {
+                                        let request =
+                                            ExplainRequest::explain(q, id).with_limits(limits);
+                                        engine.run(std::slice::from_ref(&request)).into_single()
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -834,6 +857,10 @@ fn cmd_replay_mvcc(
                         Err(CrpError::NotANonAnswer { prob }) => {
                             println!("{} is an ANSWER (Pr = {prob:.3})", label_of(ds, object))
                         }
+                        Err(CrpError::Partial(progress)) => {
+                            partials += 1;
+                            println!("{}: {progress}", label_of(ds, object));
+                        }
                         Err(e) => {
                             failures += 1;
                             println!("{}: {e}", label_of(ds, object));
@@ -846,11 +873,18 @@ fn cmd_replay_mvcc(
     flush(&mut session, &mut pending, &mut batches)?;
 
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-    let io = session.mvcc().with_writer(|writer| writer.accumulated_io());
+    let io = session
+        .mvcc()
+        .with_writer(|writer| writer.accumulated_io())
+        .map_err(|e| e.to_string())?;
     println!(
         "replay of {updates} update(s) in {batches} batch(es) + {explains} explain call(s) \
-         across {readers} reader(s) in {elapsed_ms:.1} ms ({failures} failure(s))"
+         across {readers} reader(s) in {elapsed_ms:.1} ms \
+         ({failures} failure(s), {partials} partial(s))"
     );
+    if let Some(f) = &fault {
+        println!("fault injection: {} vfs op(s) gated", f.op_count());
+    }
     println!(
         "session totals: {} node accesses | updates: {} inserted, {} removed, {} reinserted",
         io.node_accesses, io.inserts, io.removes, io.reinserts
@@ -1009,7 +1043,19 @@ fn run() -> Result<(), String> {
                     load_workload(cli.require("--workload", "FILE")?).map_err(|e| e.to_string())?;
                 let readers = cli.parse::<usize>("--readers")?.unwrap_or(0);
                 let session_dir = cli.get("--session-dir");
-                if readers > 0 || session_dir.is_some() {
+                let limits = PlanLimits {
+                    deadline_ms: cli.parse("--deadline-ms")?,
+                    max_node_accesses: cli.parse("--budget-nodes")?,
+                    max_subsets: cli.parse("--budget-subsets")?,
+                };
+                let inject = cli.parse::<FaultSpec>("--inject")?;
+                if inject.is_some() && session_dir.is_none() {
+                    return Err(
+                        "--inject requires --session-dir (faults target the durability path)"
+                            .into(),
+                    );
+                }
+                if readers > 0 || session_dir.is_some() || !limits.is_unlimited() {
                     let spec = EngineSpec {
                         config: cli_engine_config(
                             alpha,
@@ -1020,7 +1066,16 @@ fn run() -> Result<(), String> {
                         shards,
                         policy,
                     };
-                    return cmd_replay_mvcc(ds, &q, &ops, readers.max(1), session_dir, spec);
+                    return cmd_replay_mvcc(
+                        ds,
+                        &q,
+                        &ops,
+                        readers.max(1),
+                        session_dir,
+                        spec,
+                        limits,
+                        inject,
+                    );
                 }
                 let mut engine = build_engine(
                     ds,
@@ -1312,6 +1367,73 @@ mod tests {
         assert!(parse_cli(&args(&["replay", "--session-dir"])).is_err());
         // …and belong to replay only.
         for flag in [&["--readers", "4"][..], &["--session-dir", "state"][..]] {
+            for command in ["query", "explain", "explain-batch", "sweep", "generate"] {
+                let mut argv = vec![command];
+                argv.extend_from_slice(flag);
+                assert!(parse_cli(&args(&argv)).is_err(), "{command} {flag:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_and_budget_flag_parsing() {
+        use prsq_crp::data::FaultSpec;
+
+        // All four flags parse on replay, and the typed values come out.
+        let cli = parse_cli(&args(&[
+            "replay",
+            "--workload",
+            "ops.txt",
+            "--inject",
+            "seed=7,eio-every=100,torn-at=42",
+            "--deadline-ms",
+            "250",
+            "--budget-nodes",
+            "5000",
+            "--budget-subsets",
+            "100000",
+        ]))
+        .unwrap();
+        let spec = cli.parse::<FaultSpec>("--inject").unwrap().unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.eio_every, Some(100));
+        assert_eq!(spec.torn_at, Some(42));
+        assert_eq!(spec.enospc_at, None);
+        assert_eq!(cli.parse::<u64>("--deadline-ms").unwrap(), Some(250));
+        assert_eq!(cli.parse::<u64>("--budget-nodes").unwrap(), Some(5000));
+        assert_eq!(cli.parse::<u64>("--budget-subsets").unwrap(), Some(100_000));
+
+        // Bad values fail at parse with the flag named — never silently.
+        let cli = parse_cli(&args(&["replay", "--inject", "eio-every=3"])).unwrap();
+        assert!(
+            cli.parse::<FaultSpec>("--inject")
+                .unwrap_err()
+                .contains("seed"),
+            "an injection schedule without a seed is not reproducible"
+        );
+        let cli = parse_cli(&args(&["replay", "--inject", "seed=1,frobnicate=2"])).unwrap();
+        assert!(cli.parse::<FaultSpec>("--inject").is_err());
+        let cli = parse_cli(&args(&["replay", "--deadline-ms", "soon"])).unwrap();
+        assert!(cli.parse::<u64>("--deadline-ms").is_err());
+        let cli = parse_cli(&args(&["replay", "--budget-nodes", "-1"])).unwrap();
+        assert!(cli.parse::<u64>("--budget-nodes").is_err());
+
+        // Every one of them takes a value…
+        for flag in [
+            "--inject",
+            "--deadline-ms",
+            "--budget-nodes",
+            "--budget-subsets",
+        ] {
+            assert!(parse_cli(&args(&["replay", flag])).is_err(), "{flag}");
+        }
+        // …and belongs to replay only.
+        for flag in [
+            &["--inject", "seed=1"][..],
+            &["--deadline-ms", "100"][..],
+            &["--budget-nodes", "10"][..],
+            &["--budget-subsets", "10"][..],
+        ] {
             for command in ["query", "explain", "explain-batch", "sweep", "generate"] {
                 let mut argv = vec![command];
                 argv.extend_from_slice(flag);

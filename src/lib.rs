@@ -81,7 +81,8 @@ pub mod prelude {
         active_kernel, answer_causes, merge_candidate_ids, oracle_cp, oracle_cr, set_kernel,
         simd_supported, Cause, CpConfig, CrpError, CrpOutcome, EngineConfig, ExplainEngine,
         ExplainRequest, ExplainSession, ExplainStrategy, KernelKind, MvccCounters, MvccEngine,
-        PlanCounters, PlanReport, RunStats, ShardPolicy, ShardedExplainEngine, SnapshotEngine,
+        PartialProgress, PlanCounters, PlanLimits, PlanReport, RunStats, ShardPolicy,
+        ShardedExplainEngine, SnapshotEngine, StopReason,
     };
     #[allow(deprecated)]
     pub use crp_core::{cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii};

@@ -19,21 +19,24 @@
 //!
 //! A crash between 2 and 3 is absorbed on restart: recovery replays the
 //! committed batch the engine never saw. A crash *during* 2 leaves a
-//! torn tail that [`recover_session`] drops — the WAL grammar's
+//! torn tail that [`recover_session_with`] drops — the WAL grammar's
 //! newline-terminated records make the last complete `commit` marker
 //! unambiguous (property-tested against truncation at every byte).
 //!
 //! [`DurableSession::open`] seeds a fresh directory by checkpointing
 //! the seed dataset immediately — updates alone cannot reconstruct a
 //! generated dataset — and recovers an existing one via
-//! [`recover_session`] (checkpoint + committed WAL tail), ignoring the
+//! [`recover_session_with`] (checkpoint + committed WAL tail), ignoring
+//! the
 //! seed. The WAL grammar is discrete-only, so durable sessions are too;
 //! continuous-pdf sessions stay in-memory.
 
 use crp_core::{CrpError, Epoch, MvccCounters, MvccEngine, SnapshotEngine};
 use crp_data::io::CsvError;
+use crp_data::vfs::{RealVfs, Vfs};
 use crp_data::wal::{
-    recover_session, write_snapshot, Manifest, WalRecovery, WriteAheadLog, MANIFEST_FILE, WAL_FILE,
+    recover_session_with, write_snapshot_with, Manifest, WalRecovery, WriteAheadLog, MANIFEST_FILE,
+    WAL_FILE,
 };
 use crp_uncertain::{UncertainDataset, UncertainObject, Update};
 use std::fmt;
@@ -51,6 +54,11 @@ pub enum SessionError {
     /// The engine factory produced a continuous-pdf session, which the
     /// discrete-only WAL grammar cannot make durable.
     PdfSession,
+    /// A fatal storage fault poisoned the writer: the session is
+    /// read-only — readers keep serving pinned epoch snapshots, but no
+    /// further batch or checkpoint is accepted (see
+    /// [`DurableSession::is_degraded`]). Carries the original fault.
+    Degraded(String),
 }
 
 impl fmt::Display for SessionError {
@@ -60,6 +68,9 @@ impl fmt::Display for SessionError {
             SessionError::Engine(e) => write!(f, "session engine: {e}"),
             SessionError::PdfSession => {
                 write!(f, "durable sessions are discrete-only (WAL grammar)")
+            }
+            SessionError::Degraded(reason) => {
+                write!(f, "session degraded to read-only: {reason}")
             }
         }
     }
@@ -85,9 +96,13 @@ impl From<CrpError> for SessionError {
 /// the [module docs](self) for the commit protocol.
 pub struct DurableSession<E: SnapshotEngine> {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     wal: WriteAheadLog,
     mvcc: MvccEngine<E>,
     recovery: WalRecovery,
+    /// `Some(reason)` once a fatal storage fault poisoned the writer:
+    /// the session serves reads only from then on.
+    degraded: Option<String>,
 }
 
 impl<E: SnapshotEngine> DurableSession<E> {
@@ -102,36 +117,81 @@ impl<E: SnapshotEngine> DurableSession<E> {
         seed: UncertainDataset,
         make_engine: impl FnOnce(UncertainDataset) -> Result<E, CrpError>,
     ) -> Result<Self, SessionError> {
+        Self::open_with_vfs(dir, seed, make_engine, Arc::new(RealVfs))
+    }
+
+    /// [`DurableSession::open`] over an explicit filesystem seam — the
+    /// crash-torture harness opens sessions over a `MemVfs`, the CLI's
+    /// `--inject` over a `FaultVfs`. Every byte the session reads or
+    /// writes (WAL appends, checkpoint tmp+rename, recovery) goes
+    /// through `vfs`.
+    pub fn open_with_vfs(
+        dir: impl Into<PathBuf>,
+        seed: UncertainDataset,
+        make_engine: impl FnOnce(UncertainDataset) -> Result<E, CrpError>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, SessionError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| CsvError::Io(e.to_string()))?;
-        let has_state = dir.join(MANIFEST_FILE).exists() || dir.join(WAL_FILE).exists();
+        vfs.create_dir_all(&dir)
+            .map_err(|e| CsvError::Io(e.to_string()))?;
+        let has_state = vfs.exists(&dir.join(MANIFEST_FILE)) || vfs.exists(&dir.join(WAL_FILE));
         let (dataset, recovery) = if has_state {
-            recover_session(&dir)?
+            recover_session_with(vfs.as_ref(), &dir)?
         } else {
-            write_snapshot(&dir, &seed)?;
+            write_snapshot_with(vfs.as_ref(), &dir, &seed)?;
             (seed, WalRecovery::default())
         };
         let engine = make_engine(dataset)?;
         if engine.discrete_dataset().is_none() {
             return Err(SessionError::PdfSession);
         }
-        let wal = WriteAheadLog::open(dir.join(WAL_FILE))?;
+        let wal = WriteAheadLog::open_with(vfs.as_ref(), dir.join(WAL_FILE))?;
         Ok(Self {
             dir,
+            vfs,
             wal,
             mvcc: MvccEngine::new(engine),
             recovery,
+            degraded: None,
         })
+    }
+
+    /// `Err(Degraded)` once the writer is poisoned; write entry points
+    /// call this first so they fail fast and uniformly.
+    fn ensure_healthy(&self) -> Result<(), SessionError> {
+        match &self.degraded {
+            Some(reason) => Err(SessionError::Degraded(reason.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks the session read-only and returns the error that caused
+    /// it. Storage faults that reach this point are fatal: either the
+    /// retry policy already exhausted a transient fault, or the WAL
+    /// stream may hold a partial record that must never be extended
+    /// (appending past a torn write would bury it mid-stream, where
+    /// recovery's torn-tail rule can no longer drop it).
+    fn degrade(&mut self, error: SessionError) -> SessionError {
+        self.degraded = Some(error.to_string());
+        error
     }
 
     /// Validates, logs (fsync) and applies one update batch, publishing
     /// the post-batch epoch to readers. A batch that fails validation
     /// is rejected wholesale — no WAL bytes, no published epoch — so
     /// the log only ever holds batches that replay cleanly.
+    ///
+    /// A storage fault during the log step (or any failure after it)
+    /// **degrades** the session to read-only: the writer is poisoned
+    /// without publishing, readers keep serving the last complete
+    /// epoch, and every later write returns
+    /// [`SessionError::Degraded`]. Validation failures do *not*
+    /// degrade — nothing touched disk.
     pub fn apply_batch(
         &mut self,
         updates: Vec<Update<UncertainObject>>,
     ) -> Result<Epoch, SessionError> {
+        self.ensure_healthy()?;
         let snapshot = self.mvcc.pin();
         let mut probe = snapshot
             .engine()
@@ -146,8 +206,17 @@ impl<E: SnapshotEngine> DurableSession<E> {
             })?;
         }
         let commit = probe.epoch();
-        self.wal.append_batch(&updates, commit)?;
-        let applied = self.mvcc.apply_batch(updates)?;
+        if let Err(e) = self.wal.append_batch(&updates, commit) {
+            return Err(self.degrade(SessionError::Storage(e)));
+        }
+        // The batch is committed on disk; an in-memory failure now
+        // (validated updates cannot fail, but a poisoned writer can
+        // surface here) leaves log and engine out of step — degrade
+        // rather than guess.
+        let applied = match self.mvcc.apply_batch(updates) {
+            Ok(epoch) => epoch,
+            Err(e) => return Err(self.degrade(SessionError::Engine(e))),
+        };
         assert_eq!(
             applied, commit,
             "validated batch must land on its logged commit epoch"
@@ -155,18 +224,35 @@ impl<E: SnapshotEngine> DurableSession<E> {
         Ok(applied)
     }
 
-    /// Checkpoints the current state (tmp-file + rename, manifest
-    /// last); restart replays only WAL batches past this epoch.
+    /// Checkpoints the current state (tmp-file + fsync + rename +
+    /// directory fsync, manifest last); restart replays only WAL
+    /// batches past this epoch. A failed checkpoint does *not* degrade
+    /// the session: the previous manifest is still intact on disk and
+    /// the WAL still covers everything since.
     pub fn checkpoint(&self) -> Result<Manifest, SessionError> {
+        self.ensure_healthy()?;
         let manifest = self.mvcc.with_writer(|writer| {
-            write_snapshot(
+            write_snapshot_with(
+                self.vfs.as_ref(),
                 &self.dir,
                 writer
                     .discrete_dataset()
                     .expect("durable sessions are discrete (checked at open)"),
             )
-        })?;
+        })??;
         Ok(manifest)
+    }
+
+    /// Whether a fatal storage fault has poisoned the writer: the
+    /// session still answers reads from pinned snapshots but refuses
+    /// batches and checkpoints.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// The fault that degraded the session, if any.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.degraded.as_deref()
     }
 
     /// The MVCC surface: [`MvccEngine::pin`] for readers,

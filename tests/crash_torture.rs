@@ -1,0 +1,211 @@
+//! Crash-at-every-boundary torture: a scripted durable-session run
+//! (open → batch → checkpoint → batch) is killed at *every* mutating
+//! VFS boundary the clean run performs — create, write, fsync, rename,
+//! dir-sync — under both the clean power-cut model and seed-driven
+//! torn-write models. After each kill the machine "reboots"
+//! ([`MemVfs::crash`]) and the session reopens; it must land on one of
+//! the committed epochs, never regress as more boundaries survive, and
+//! answer explains bit-identically to the clean run at that epoch.
+
+use prsq_crp::data::wal::recover_session_with;
+use prsq_crp::data::{CrashMode, MemVfs, Vfs};
+use prsq_crp::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+fn pt(x: f64, y: f64) -> Point {
+    Point::from([x, y])
+}
+
+fn seed_dataset() -> UncertainDataset {
+    UncertainDataset::from_objects(vec![
+        UncertainObject::certain(ObjectId(0), pt(10.0, 10.0)),
+        UncertainObject::certain(ObjectId(1), pt(7.0, 7.0)),
+        UncertainObject::with_equal_probs(ObjectId(2), vec![pt(8.0, 9.0), pt(30.0, 30.0)]).unwrap(),
+        UncertainObject::certain(ObjectId(3), pt(40.0, 40.0)),
+    ])
+    .unwrap()
+}
+
+fn make_engine(ds: UncertainDataset) -> Result<ExplainEngine, CrpError> {
+    ExplainEngine::new(ds, EngineConfig::with_alpha(0.75))
+}
+
+fn batches() -> [Vec<Update<UncertainObject>>; 2] {
+    [
+        vec![
+            Update::Insert(UncertainObject::certain(ObjectId(9), pt(6.5, 6.5))),
+            Update::Insert(UncertainObject::certain(ObjectId(10), pt(25.0, 3.0))),
+        ],
+        vec![
+            Update::Delete(ObjectId(3)),
+            Update::Replace(UncertainObject::certain(ObjectId(2), pt(9.0, 8.0))),
+        ],
+    ]
+}
+
+const DIR: &str = "torture-session";
+const Q: [f64; 2] = [5.0, 5.0];
+
+/// The canonical explain at whatever epoch `session` recovered,
+/// rendered for bit-identical comparison (answers and non-answers
+/// alike go through Debug).
+fn explain_fingerprint(session: &DurableSession<ExplainEngine>) -> String {
+    let pin = session.pin();
+    format!("{:?}", pin.engine().explain(&pt(Q[0], Q[1]), ObjectId(0)))
+}
+
+/// The scripted workload every torture run replays. Each step swallows
+/// its error: once [`MemVfs::fail_after`] trips, every further boundary
+/// fails too (the process is dead), and a degraded session refuses
+/// writes on its own — exactly the behaviour a real crash produces.
+fn scripted_run(vfs: Arc<dyn Vfs>) {
+    let session = DurableSession::open_with_vfs(Path::new(DIR), seed_dataset(), make_engine, vfs);
+    let Ok(mut session) = session else { return };
+    let [first, second] = batches();
+    let _ = session.apply_batch(first);
+    let _ = session.checkpoint();
+    let _ = session.apply_batch(second);
+}
+
+/// Clean run: record every committed epoch, its reference explain, and
+/// the total number of mutating boundaries (the enumeration space).
+fn reference_run() -> (BTreeMap<Epoch, String>, u64) {
+    let vfs = MemVfs::new();
+    let mut committed = BTreeMap::new();
+    let mut session = DurableSession::open_with_vfs(
+        Path::new(DIR),
+        seed_dataset(),
+        make_engine,
+        Arc::new(vfs.clone()),
+    )
+    .unwrap();
+    committed.insert(session.epoch(), explain_fingerprint(&session));
+    let [first, second] = batches();
+    session.apply_batch(first).unwrap();
+    committed.insert(session.epoch(), explain_fingerprint(&session));
+    session.checkpoint().unwrap();
+    session.apply_batch(second).unwrap();
+    committed.insert(session.epoch(), explain_fingerprint(&session));
+    drop(session);
+    (committed, vfs.op_count())
+}
+
+/// Crash modes under test: the clean power cut plus one torn-write
+/// model per seed in `CRP_TORTURE_SEEDS` (comma-separated, default
+/// `0,1,2` — CI widens the matrix).
+fn crash_modes() -> Vec<CrashMode> {
+    let seeds = std::env::var("CRP_TORTURE_SEEDS").unwrap_or_else(|_| "0,1,2".into());
+    let mut modes = vec![CrashMode::Barrier];
+    for seed in seeds.split(',').filter(|s| !s.trim().is_empty()) {
+        modes.push(CrashMode::Torn(
+            seed.trim().parse().expect("CRP_TORTURE_SEEDS: bad seed"),
+        ));
+    }
+    modes
+}
+
+#[test]
+fn every_boundary_crash_recovers_a_committed_epoch() {
+    let (committed, boundaries) = reference_run();
+    assert!(
+        boundaries > 0,
+        "the scripted run must cross at least one mutating boundary"
+    );
+    assert_eq!(
+        committed.len(),
+        3,
+        "seed, post-batch-1 and post-batch-2 epochs must be distinct"
+    );
+    let modes = crash_modes();
+    println!(
+        "torture: {boundaries} boundaries x {} crash mode(s) = {} kill points",
+        modes.len(),
+        boundaries as usize * modes.len()
+    );
+
+    for mode in modes {
+        let mut last_epoch = Epoch(0);
+        // `kill_at = k` lets k boundaries succeed and fails every
+        // later one; `k = boundaries` is the kill *after* the final
+        // fsync, which must preserve the complete run.
+        for kill_at in 0..=boundaries {
+            let vfs = MemVfs::new();
+            vfs.fail_after(Some(kill_at));
+            scripted_run(Arc::new(vfs.clone()));
+            vfs.crash(mode);
+
+            let session = DurableSession::open_with_vfs(
+                Path::new(DIR),
+                seed_dataset(),
+                make_engine,
+                Arc::new(vfs.clone()),
+            )
+            .unwrap_or_else(|e| {
+                panic!("kill at boundary {kill_at} ({mode:?}): reopen failed: {e}")
+            });
+            let epoch = session.epoch();
+            let reference = committed.get(&epoch).unwrap_or_else(|| {
+                panic!(
+                    "kill at boundary {kill_at} ({mode:?}): recovered epoch {epoch:?} \
+                     was never committed (trace tail: {:?})",
+                    vfs.trace().last()
+                )
+            });
+            assert!(
+                epoch >= last_epoch,
+                "kill at boundary {kill_at} ({mode:?}): recovered {epoch:?} after \
+                 {last_epoch:?} — surviving more boundaries lost progress"
+            );
+            last_epoch = epoch;
+            assert_eq!(
+                &explain_fingerprint(&session),
+                reference,
+                "kill at boundary {kill_at} ({mode:?}): explain diverged at {epoch:?}"
+            );
+        }
+        assert_eq!(
+            last_epoch,
+            *committed.keys().last().unwrap(),
+            "{mode:?}: killing after the final boundary must preserve the whole run"
+        );
+    }
+}
+
+/// Satellite regression for the checkpoint protocol's parent-directory
+/// fsync: a crash *immediately* after the manifest rename must still
+/// reveal the new manifest on reboot. Without the protocol's trailing
+/// dir-sync the rename would only exist in the volatile namespace and
+/// the checkpoint would silently vanish.
+#[test]
+fn crash_right_after_checkpoint_rename_still_recovers_the_manifest() {
+    use prsq_crp::data::wal::write_snapshot_with;
+
+    let vfs = MemVfs::new();
+    vfs.create_dir_all(Path::new(DIR)).unwrap();
+    let manifest = write_snapshot_with(&vfs, Path::new(DIR), &seed_dataset()).unwrap();
+    assert_eq!(manifest.epoch, Epoch(4));
+    let trace = vfs.trace();
+    assert!(
+        trace
+            .iter()
+            .rev()
+            .position(|op| op.starts_with("dirsync"))
+            .unwrap()
+            < trace
+                .iter()
+                .rev()
+                .position(|op| op.starts_with("rename"))
+                .unwrap(),
+        "the checkpoint protocol must dir-sync after its last rename: {trace:?}"
+    );
+
+    // Power cut with nothing else in flight: only dir-synced names and
+    // fsynced bytes survive.
+    vfs.crash(CrashMode::Barrier);
+    let (dataset, recovery) = recover_session_with(&vfs, Path::new(DIR)).unwrap();
+    assert_eq!(dataset.epoch(), Epoch(4));
+    assert_eq!(dataset.len(), 4);
+    assert!(recovery.batches.is_empty());
+}
