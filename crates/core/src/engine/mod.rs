@@ -70,11 +70,15 @@ pub mod plan;
 pub(crate) mod refine;
 pub mod session;
 pub mod shard;
+pub mod window;
 
 pub use budget::{PartialProgress, PlanLimits, StopReason};
 pub use plan::{ExplainRequest, PlanCounters, PlanReport};
 pub use session::ExplainSession;
 pub use shard::{ShardPolicy, ShardedExplainEngine};
+pub use window::{
+    admission, derive_limits, execute_window, fan_out, Admission, ClientClass, WindowReport,
+};
 
 use crate::config::CpConfig;
 use crate::error::CrpError;

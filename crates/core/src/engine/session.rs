@@ -67,6 +67,33 @@ pub trait ExplainSession: Sync {
     /// saved.
     fn run(&self, requests: &[ExplainRequest]) -> PlanReport;
 
+    /// How many stage-1 partitions back this session (1 when
+    /// unsharded). A serving front-end uses this to size a
+    /// multi-process shard fleet.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Merged stage-1 candidate ids for one non-answer: sorted,
+    /// deduplicated, bit-identical across engine flavours for the
+    /// same dataset.
+    fn candidate_ids(&self, q: &Point, an: ObjectId) -> Result<Vec<ObjectId>, CrpError>;
+
+    /// One partition's share of the stage-1 candidates, for serving
+    /// stage-1 across OS processes. Merging every shard's output with
+    /// [`crate::engine::merge::merge_candidate_ids`] reproduces
+    /// [`candidate_ids`](Self::candidate_ids) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shard_count()`.
+    fn shard_candidate_ids(
+        &self,
+        shard: usize,
+        q: &Point,
+        an: ObjectId,
+    ) -> Result<Vec<ObjectId>, CrpError>;
+
     /// Convenience: one explanation at the session defaults, through
     /// the planner.
     fn explain_one(&self, q: &Point, an: ObjectId) -> Result<CrpOutcome, CrpError> {
@@ -97,6 +124,20 @@ impl ExplainSession for ExplainEngine {
         ExplainEngine::cache_len(self)
     }
 
+    fn candidate_ids(&self, q: &Point, an: ObjectId) -> Result<Vec<ObjectId>, CrpError> {
+        ExplainEngine::candidate_ids(self, q, an)
+    }
+
+    fn shard_candidate_ids(
+        &self,
+        shard: usize,
+        q: &Point,
+        an: ObjectId,
+    ) -> Result<Vec<ObjectId>, CrpError> {
+        assert!(shard < 1, "shard {shard} out of range for 1 shard");
+        ExplainEngine::candidate_ids(self, q, an)
+    }
+
     fn run(&self, requests: &[ExplainRequest]) -> PlanReport {
         plan::execute(self, requests)
     }
@@ -117,6 +158,23 @@ impl ExplainSession for ShardedExplainEngine {
 
     fn cache_len(&self) -> (usize, usize) {
         ShardedExplainEngine::cache_len(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        ShardedExplainEngine::shard_count(self)
+    }
+
+    fn candidate_ids(&self, q: &Point, an: ObjectId) -> Result<Vec<ObjectId>, CrpError> {
+        ShardedExplainEngine::candidate_ids(self, q, an)
+    }
+
+    fn shard_candidate_ids(
+        &self,
+        shard: usize,
+        q: &Point,
+        an: ObjectId,
+    ) -> Result<Vec<ObjectId>, CrpError> {
+        ShardedExplainEngine::shard_candidates(self, shard, q, an)
     }
 
     fn run(&self, requests: &[ExplainRequest]) -> PlanReport {

@@ -68,6 +68,9 @@ pub use config::CpConfig;
 pub use cp::collect_candidates;
 pub use engine::merge::merge_candidate_ids;
 pub use engine::mvcc::{EpochSnapshot, MvccCounters, MvccEngine, SnapshotEngine};
+pub use engine::window::{
+    admission, derive_limits, execute_window, fan_out, Admission, ClientClass, WindowReport,
+};
 pub use engine::{
     EngineConfig, ExplainEngine, ExplainRequest, ExplainSession, ExplainStrategy, PartialProgress,
     PlanCounters, PlanLimits, PlanReport, ShardPolicy, ShardedExplainEngine, StopReason,

@@ -335,6 +335,32 @@ impl ExplainSession for AnyShape {
         }
     }
 
+    fn shard_count(&self) -> usize {
+        match self {
+            AnyShape::Single(e) => ExplainSession::shard_count(e),
+            AnyShape::Sharded(e) => ExplainSession::shard_count(e),
+        }
+    }
+
+    fn candidate_ids(&self, q: &Point, an: ObjectId) -> Result<Vec<ObjectId>, crp_core::CrpError> {
+        match self {
+            AnyShape::Single(e) => ExplainSession::candidate_ids(e, q, an),
+            AnyShape::Sharded(e) => ExplainSession::candidate_ids(e, q, an),
+        }
+    }
+
+    fn shard_candidate_ids(
+        &self,
+        shard: usize,
+        q: &Point,
+        an: ObjectId,
+    ) -> Result<Vec<ObjectId>, crp_core::CrpError> {
+        match self {
+            AnyShape::Single(e) => ExplainSession::shard_candidate_ids(e, shard, q, an),
+            AnyShape::Sharded(e) => ExplainSession::shard_candidate_ids(e, shard, q, an),
+        }
+    }
+
     fn run(&self, requests: &[crp_core::ExplainRequest]) -> crp_core::PlanReport {
         match self {
             AnyShape::Single(e) => e.run(requests),

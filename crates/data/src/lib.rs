@@ -26,6 +26,7 @@ pub mod rng;
 pub mod synthetic;
 pub mod vfs;
 pub mod wal;
+pub mod wire;
 pub mod workload;
 
 pub use cardb::{cardb_dataset, CarDbConfig};
@@ -44,5 +45,9 @@ pub use vfs::{
 };
 pub use wal::{
     recover_session, recover_wal, write_snapshot, Manifest, WalBatch, WalRecovery, WriteAheadLog,
+};
+pub use wire::{
+    decode_frame, encode_frame, read_frame, write_frame, Request, Response, WireCause, WireError,
+    WirePartial, WireResult, WireStop, MAX_FRAME,
 };
 pub use workload::{load_workload, parse_workload, WorkloadOp};

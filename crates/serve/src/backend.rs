@@ -1,0 +1,95 @@
+//! What the server serves *from*: a pinnable, updatable session.
+//!
+//! The serving loop never names an engine type. It programs against
+//! [`ServeBackend`] — "give me an immutable snapshot to explain
+//! against, apply this update batch at a window boundary, checkpoint
+//! on shutdown" — and against [`ErasedSnapshot`] for the pinned view.
+//! [`VolatileBackend`] wraps any [`SnapshotEngine`] in an in-memory
+//! [`MvccEngine`]; the `crp` binary supplies a durable backend over
+//! its WAL-backed session the same way.
+
+use crp_core::{EpochSnapshot, ExplainSession, MvccEngine, SnapshotEngine};
+use crp_uncertain::{Epoch, UncertainDataset, UncertainObject, Update};
+use std::sync::Arc;
+
+/// An immutable dataset version pinned for one planner window, with
+/// the engine type erased so one server loop handles every flavour.
+pub trait ErasedSnapshot: Send + Sync {
+    /// The dataset version this snapshot serves.
+    fn epoch(&self) -> Epoch;
+
+    /// The planned-execution surface of the pinned engine.
+    fn session(&self) -> &dyn ExplainSession;
+
+    /// The discrete dataset behind the snapshot, when there is one
+    /// (used to resolve `explain all`; `None` for continuous-pdf
+    /// sessions).
+    fn discrete_dataset(&self) -> Option<&UncertainDataset>;
+}
+
+impl<E: SnapshotEngine + 'static> ErasedSnapshot for EpochSnapshot<E> {
+    fn epoch(&self) -> Epoch {
+        EpochSnapshot::epoch(self)
+    }
+
+    fn session(&self) -> &dyn ExplainSession {
+        self.engine()
+    }
+
+    fn discrete_dataset(&self) -> Option<&UncertainDataset> {
+        self.engine().discrete_dataset()
+    }
+}
+
+/// The mutable side the collector thread drives: pin a snapshot per
+/// window, apply update batches at window boundaries, checkpoint on
+/// graceful shutdown. Errors cross as strings because they go straight
+/// onto the wire.
+pub trait ServeBackend: Send + Sync {
+    /// Pin the currently published snapshot.
+    fn pin(&self) -> Arc<dyn ErasedSnapshot>;
+
+    /// Apply one update batch and publish the new epoch. Only the
+    /// collector calls this, and only between windows, so readers
+    /// never observe a half-applied batch.
+    fn apply(&self, updates: Vec<Update<UncertainObject>>) -> Result<Epoch, String>;
+
+    /// Make everything applied so far durable (no-op for volatile
+    /// backends).
+    fn checkpoint(&self) -> Result<(), String>;
+}
+
+/// An in-memory backend: full MVCC semantics, no durability. This is
+/// what `crp serve` uses without `--session-dir`, and what the tests
+/// and the `serve_sweep` bench serve from.
+pub struct VolatileBackend<E: SnapshotEngine + 'static> {
+    mvcc: MvccEngine<E>,
+}
+
+impl<E: SnapshotEngine + 'static> VolatileBackend<E> {
+    /// Wraps `engine` in an MVCC session at its current epoch.
+    pub fn new(engine: E) -> Self {
+        Self {
+            mvcc: MvccEngine::new(engine),
+        }
+    }
+
+    /// The underlying MVCC session (for counter assertions in tests).
+    pub fn mvcc(&self) -> &MvccEngine<E> {
+        &self.mvcc
+    }
+}
+
+impl<E: SnapshotEngine + 'static> ServeBackend for VolatileBackend<E> {
+    fn pin(&self) -> Arc<dyn ErasedSnapshot> {
+        self.mvcc.pin()
+    }
+
+    fn apply(&self, updates: Vec<Update<UncertainObject>>) -> Result<Epoch, String> {
+        self.mvcc.apply_batch(updates).map_err(|e| e.to_string())
+    }
+
+    fn checkpoint(&self) -> Result<(), String> {
+        Ok(())
+    }
+}

@@ -1,0 +1,394 @@
+//! Serving is a *transport*, not a different engine: everything a
+//! client reads off the wire must be bit-identical to what the same
+//! workload computes offline — across engine flavours (unsharded,
+//! 2-way, 4-way sharded; discrete and continuous-pdf), across
+//! concurrent clients, through planner windows, and through the
+//! multi-process stage-1 fleet.
+
+use crp_core::{
+    ClientClass, CrpError, CrpOutcome, EngineConfig, ExplainEngine, ExplainRequest, ExplainSession,
+    ShardPolicy, ShardedExplainEngine,
+};
+use crp_data::wire::{Request, Response, WireCause, WireResult};
+use crp_data::{uncertain_dataset, UncertainConfig};
+use crp_geom::{HyperRect, Point};
+use crp_serve::{Client, ClientError, ServeConfig, Server, ShardFleet, VolatileBackend};
+use crp_uncertain::{ObjectId, PdfDataset, PdfObject, UncertainDataset, UncertainObject, Update};
+use std::sync::Arc;
+
+fn dataset() -> UncertainDataset {
+    uncertain_dataset(&UncertainConfig {
+        cardinality: 300,
+        dim: 2,
+        radius_range: (0.0, 5.0),
+        seed: 0x5EED_CAFE,
+        ..UncertainConfig::default()
+    })
+}
+
+/// The server's outcome→wire mapping, duplicated here so the tests
+/// compare against an *independent* statement of it.
+fn expected_wire(results: &[Result<CrpOutcome, CrpError>]) -> Vec<WireResult> {
+    results
+        .iter()
+        .map(|r| match r {
+            Ok(outcome) => WireResult::Causes(
+                outcome
+                    .causes
+                    .iter()
+                    .map(|c| WireCause {
+                        id: c.id,
+                        responsibility: c.responsibility,
+                        counterfactual: c.counterfactual,
+                        contingency: c.min_contingency.clone(),
+                    })
+                    .collect(),
+            ),
+            Err(CrpError::NotANonAnswer { prob }) => WireResult::Answer { prob: *prob },
+            Err(other) => WireResult::Failed {
+                message: other.to_string(),
+            },
+        })
+        .collect()
+}
+
+fn start_discrete(shards: usize, config: ServeConfig) -> (Server, Vec<ObjectId>, Point) {
+    let ds = dataset();
+    let ids: Vec<ObjectId> = ds.iter().map(|o| o.id()).take(24).collect();
+    let q = Point::new(vec![4000.0, 4000.0]);
+    let engine_config = EngineConfig::with_alpha(0.5);
+    let server = if shards <= 1 {
+        let engine = ExplainEngine::new(ds, engine_config).unwrap();
+        Server::start(Arc::new(VolatileBackend::new(engine)), config).unwrap()
+    } else {
+        let engine =
+            ShardedExplainEngine::new(ds, engine_config, shards, ShardPolicy::Spatial).unwrap();
+        Server::start(Arc::new(VolatileBackend::new(engine)), config).unwrap()
+    };
+    (server, ids, q)
+}
+
+fn offline_discrete(shards: usize, ids: &[ObjectId], q: &Point) -> Vec<WireResult> {
+    let ds = dataset();
+    let engine_config = EngineConfig::with_alpha(0.5);
+    let results = if shards <= 1 {
+        let engine = ExplainEngine::new(ds, engine_config).unwrap();
+        engine.run(&[ExplainRequest::batch(q, ids)]).results
+    } else {
+        let engine =
+            ShardedExplainEngine::new(ds, engine_config, shards, ShardPolicy::Spatial).unwrap();
+        engine.run(&[ExplainRequest::batch(q, ids)]).results
+    };
+    expected_wire(&results)
+}
+
+#[test]
+fn concurrent_clients_match_offline_serial_across_shard_grid() {
+    for shards in [1usize, 2, 4] {
+        let (server, ids, q) = start_discrete(shards, ServeConfig::default());
+        let addr = server.local_addr();
+        let offline = offline_discrete(shards, &ids, &q);
+
+        // Six concurrent clients, each explaining its own slice — the
+        // slices overlap so windows have stage-1 work to share.
+        let slices: Vec<Vec<ObjectId>> = (0..6).map(|i| ids[i..i + 16].to_vec()).collect();
+        let served: Vec<Vec<WireResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slices
+                .iter()
+                .map(|slice| {
+                    let q = q.clone();
+                    scope.spawn(move || {
+                        let (mut client, _) = Client::connect_as(addr, ClientClass::Batch).unwrap();
+                        let (_, results) = client.explain(slice, Some(&q), &[]).unwrap();
+                        results
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (i, (slice, got)) in slices.iter().zip(&served).enumerate() {
+            let want: Vec<WireResult> = slice
+                .iter()
+                .map(|id| {
+                    let at = ids.iter().position(|x| x == id).unwrap();
+                    offline[at].clone()
+                })
+                .collect();
+            assert_eq!(
+                got, &want,
+                "client {i}, {shards} shard(s): served ≡ offline"
+            );
+        }
+
+        let stats = server.stats();
+        assert_eq!(stats.requests(), 6);
+        assert!(stats.windows() >= 1);
+        server.request_shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn pdf_sessions_serve_bit_identically() {
+    fn pdf() -> PdfDataset {
+        PdfDataset::from_objects((0..6).map(|i| {
+            let lo = Point::new(vec![2.0 * i as f64 + 4.0, 3.0 * i as f64 + 4.0]);
+            let hi = Point::new(vec![2.0 * i as f64 + 7.0, 3.0 * i as f64 + 8.0]);
+            PdfObject::uniform(ObjectId(i as u32), HyperRect::new(lo, hi))
+        }))
+        .unwrap()
+    }
+    let config = EngineConfig::with_alpha(0.5);
+    let q = Point::new(vec![3.0, 3.0]);
+    let ids: Vec<ObjectId> = (0..6).map(ObjectId).collect();
+
+    let offline = {
+        let engine = ExplainEngine::for_pdf(pdf(), 4, config).unwrap();
+        expected_wire(&engine.run(&[ExplainRequest::batch(&q, &ids)]).results)
+    };
+
+    let engine = ExplainEngine::for_pdf(pdf(), 4, config).unwrap();
+    let server = Server::start(
+        Arc::new(VolatileBackend::new(engine)),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let (mut client, _) = Client::connect_as(server.local_addr(), ClientClass::Batch).unwrap();
+    let (_, served) = client.explain(&ids, Some(&q), &[]).unwrap();
+    assert_eq!(served, offline, "pdf served ≡ pdf offline");
+
+    // `explain all` has no discrete dataset to enumerate here.
+    let err = client.explain_all(Some(&q), &[]).unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "typed error: {err}");
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn pipelined_requests_share_one_window() {
+    let (server, ids, q) = start_discrete(
+        1,
+        ServeConfig {
+            window_max: 16,
+            window_ms: 250,
+            ..ServeConfig::default()
+        },
+    );
+    let (mut client, _) = Client::connect_as(server.local_addr(), ClientClass::Batch).unwrap();
+    // Eight α-variants of the same (q, an): pipelined back-to-back,
+    // they land in the collector's backlog together, so the planner
+    // sees ONE window and dedups stage-1 across all eight.
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| Request::Explain {
+            ids: vec![ids[0]],
+            all: false,
+            query: Some(q.clone()),
+            alphas: vec![0.3 + 0.05 * i as f64],
+        })
+        .collect();
+    let responses = client.pipeline(&reqs).unwrap();
+    assert!(responses
+        .iter()
+        .all(|r| matches!(r, Response::Outcomes { .. })));
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("stats field {k}"))
+            .1
+            .parse::<u64>()
+            .unwrap()
+    };
+    assert_eq!(get("requests"), 8);
+    assert!(
+        get("windows") < 8,
+        "pipelined requests were windowed (got {} windows)",
+        get("windows")
+    );
+    assert!(get("dedup_pct") > 0, "same (q, an) across clients dedups");
+    assert!(get("p50_us") > 0 && get("p99_us") >= get("p50_us"));
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn admission_sheds_with_a_typed_busy_and_counts_it() {
+    let (server, ids, q) = start_discrete(
+        1,
+        ServeConfig {
+            queue_cap: 1,
+            window_ms: 400,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Request 1 is admitted (queue 0/1) and holds its window open for
+    // 400 ms; request 2 is read well within that and finds the queue
+    // full — deterministically shed.
+    let req = Request::Explain {
+        ids: vec![ids[0]],
+        all: false,
+        query: Some(q.clone()),
+        alphas: Vec::new(),
+    };
+    let responses = client.pipeline(&[req.clone(), req]).unwrap();
+    let outcomes = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Outcomes { .. }))
+        .count();
+    let busy: Vec<u64> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Busy { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(outcomes, 1, "first request is served");
+    assert_eq!(busy, vec![25], "second is shed with the deterministic hint");
+    assert_eq!(server.stats().shed(), 1);
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn updates_apply_at_window_boundaries_and_move_the_epoch() {
+    let (server, _, q) = start_discrete(1, ServeConfig::default());
+    let (mut client, epoch0) = Client::connect_as(server.local_addr(), ClientClass::Batch).unwrap();
+
+    let fresh = UncertainObject::certain(ObjectId(9_000), Point::new(vec![4100.0, 4100.0]));
+    let (epoch1, count) = client.update(vec![Update::Insert(fresh)]).unwrap();
+    assert_eq!(count, 1);
+    assert!(epoch1 > epoch0, "update published a new epoch");
+
+    let (epoch_seen, results) = client.explain(&[ObjectId(9_000)], Some(&q), &[]).unwrap();
+    assert_eq!(epoch_seen, epoch1, "the next window pins the new epoch");
+    assert_eq!(results.len(), 1, "the inserted object is explainable");
+
+    let (_, gone) = client
+        .update(vec![Update::Delete(ObjectId(9_000))])
+        .unwrap();
+    assert_eq!(gone, 1);
+    let err = client.explain(&[ObjectId(9_000)], Some(&q), &[]).unwrap();
+    assert!(
+        matches!(err.1[0], WireResult::Failed { .. }),
+        "deleted object now fails with a typed error"
+    );
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn shard_fleet_merges_bit_identically_to_in_process_stage1() {
+    let ds = dataset();
+    let q = Point::new(vec![4000.0, 4000.0]);
+    let an = ds.iter().next().unwrap().id();
+    let config = EngineConfig::with_alpha(0.5);
+
+    // Ground truth: the unsharded and in-process sharded candidate
+    // sets (themselves bit-identical by the merge law).
+    let single = ExplainEngine::new(ds.clone(), config).unwrap();
+    let truth = ExplainSession::candidate_ids(&single, &q, an).unwrap();
+    let sharded = ShardedExplainEngine::new(ds.clone(), config, 2, ShardPolicy::Spatial).unwrap();
+    assert_eq!(
+        ShardedExplainEngine::candidate_ids(&sharded, &q, an).unwrap(),
+        truth
+    );
+
+    // Two stage-1 worker servers, each holding the same 2-way sharded
+    // session; worker i answers shard i.
+    let workers: Vec<Server> = (0..2)
+        .map(|_| {
+            let engine =
+                ShardedExplainEngine::new(ds.clone(), config, 2, ShardPolicy::Spatial).unwrap();
+            Server::start(
+                Arc::new(VolatileBackend::new(engine)),
+                ServeConfig {
+                    stage1_only: true,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let fleet_addrs: Vec<String> = workers.iter().map(|w| w.local_addr().to_string()).collect();
+
+    // A worker refuses explain — it serves stage-1 only.
+    let (mut probe, _) = Client::connect_as(workers[0].local_addr(), ClientClass::Batch).unwrap();
+    assert!(matches!(
+        probe.explain(&[an], Some(&q), &[]),
+        Err(ClientError::Server(_))
+    ));
+    // …but answers its shard, and rejects out-of-range shards with a
+    // typed error instead of dying.
+    assert!(probe.candidates(&q, an, Some(0)).is_ok());
+    assert!(matches!(
+        probe.candidates(&q, an, Some(7)),
+        Err(ClientError::Server(_))
+    ));
+
+    // Client-side merge through ShardFleet.
+    let mut fleet = ShardFleet::connect(&fleet_addrs).unwrap();
+    assert_eq!(fleet.shard_count(), 2);
+    assert_eq!(fleet.candidate_ids(&q, an).unwrap(), truth);
+
+    // Server-side merge: a parent serving an UNSHARDED session but
+    // configured with the worker fleet answers merged `candidates`
+    // from the fleet — bit-identical to its own in-process stage-1.
+    let parent = Server::start(
+        Arc::new(VolatileBackend::new(single)),
+        ServeConfig {
+            fleet: fleet_addrs,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(parent.local_addr()).unwrap();
+    assert_eq!(client.candidates(&q, an, None).unwrap(), truth);
+
+    client.shutdown().unwrap();
+    parent.join();
+    for w in workers {
+        w.request_shutdown();
+        w.join();
+    }
+}
+
+#[test]
+fn graceful_shutdown_serves_everything_already_queued() {
+    let (server, ids, q) = start_discrete(
+        1,
+        ServeConfig {
+            window_ms: 100,
+            ..ServeConfig::default()
+        },
+    );
+    let (mut client, _) = Client::connect_as(server.local_addr(), ClientClass::Batch).unwrap();
+    let explain = Request::Explain {
+        ids: vec![ids[0], ids[1]],
+        all: false,
+        query: Some(q.clone()),
+        alphas: Vec::new(),
+    };
+    // Three explains then shutdown, pipelined: the reader acks the
+    // shutdown immediately, but the queued windows still execute and
+    // reply before the server exits.
+    let responses = client
+        .pipeline(&[explain.clone(), explain.clone(), explain, Request::Shutdown])
+        .unwrap();
+    let outcomes = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Outcomes { .. }))
+        .count();
+    let byes = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Bye))
+        .count();
+    assert_eq!((outcomes, byes), (3, 1), "drained, then said goodbye");
+    server.join();
+}

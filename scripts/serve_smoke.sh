@@ -1,0 +1,205 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `crp serve` / `crp client`.
+#
+# Exercises the serving front-end the way CI can't from unit tests
+# alone: real OS processes talking over real sockets.
+#
+#   1. bit-identity   — the same explain workload against a windowed
+#                       server (concurrent clients, batched into
+#                       planner windows) and a per-request server
+#                       (--window-max 1) must print byte-identical
+#                       results.
+#   2. fleet merge    — stage-1 candidates through a parent +
+#                       two --shard-worker child processes must match
+#                       a single local server bit-for-bit.
+#   3. group commit   — pipelined updates ack and the stats verb
+#                       reports updates/update_batches.
+#   4. admission shed — a best-effort client hitting a saturated
+#                       queue gets a typed Busy with retry-after,
+#                       while the in-flight interactive request
+#                       completes normally.
+#   5. graceful exit  — every server drains and exits 0 on the
+#                       shutdown verb, printing its summary line.
+#
+# All server logs and client transcripts land in $SMOKE_OUT (default
+# smoke_out/) so CI can upload them as an artifact.
+
+set -euo pipefail
+
+BIN=${CRP_BIN:-target/release/crp}
+OUT=${SMOKE_OUT:-smoke_out}
+QUERY="1500,600,500,300"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build with: cargo build --release)" >&2
+  exit 1
+fi
+mkdir -p "$OUT"
+
+SERVER_PIDS=()
+cleanup() {
+  for pid in "${SERVER_PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# start_server LOGFILE ARGS... — spawns `crp serve`, waits for the
+# "serving on HOST:PORT" announce line, and leaves the port in $PORT.
+# Not a command substitution: the pid must land in the parent shell's
+# SERVER_PIDS so the final `wait` really reaps every server.
+start_server() {
+  local log=$1
+  shift
+  "$BIN" serve "$@" >"$log" 2>&1 &
+  SERVER_PIDS+=($!)
+  for _ in $(seq 1 100); do
+    if grep -q '^serving on ' "$log" 2>/dev/null; then
+      break
+    fi
+    sleep 0.1
+  done
+  grep -q '^serving on ' "$log" || fail "server never announced its address ($log)"
+  local addr
+  addr=$(grep -m1 '^serving on ' "$log" | awk '{print $3}')
+  PORT=${addr##*:}
+}
+
+# strip_session FILE — drop the lines that legitimately differ
+# between servers (address/port in the connect banner).
+strip_session() {
+  grep -v '^connected to ' "$1"
+}
+
+echo "== generate dataset =="
+"$BIN" generate --kind nba --out "$OUT/nba_full.csv"
+# A small slice keeps the contingency searches cheap; truncating at a
+# line boundary just leaves the last player with fewer seasons.
+head -n 151 "$OUT/nba_full.csv" >"$OUT/nba.csv"
+DATA="$OUT/nba.csv"
+COMMON=(--data "$DATA" --schema seasons --alpha 0.5 --addr 127.0.0.1:0)
+
+echo "== start servers =="
+# Windowed: a generous gather deadline so the concurrent clients below
+# really do land in shared planner windows.
+start_server "$OUT/server_windowed.log" "${COMMON[@]}" --window-ms 100
+PW=$PORT
+# Per-request: singleton windows AND singleton write batches.
+start_server "$OUT/server_per_request.log" "${COMMON[@]}" --window-max 1
+PP=$PORT
+echo "windowed on :$PW, per-request on :$PP"
+
+echo "== 1. bit-identity: windowed (concurrent) vs per-request (serial) =="
+# Batch-class clients: unlimited plan limits, so every task runs to
+# completion — Partial results carry progress counters that
+# legitimately differ between serving modes, completed results must
+# not differ by a byte.
+IDS=(3 7 11 "3,7,11" all)
+client_pids=()
+for i in "${!IDS[@]}"; do
+  "$BIN" client --addr "127.0.0.1:$PW" --class batch --objects "${IDS[$i]}" \
+    --query "$QUERY" --alphas 0.3,0.5 >"$OUT/windowed_$i.txt" 2>&1 &
+  client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do
+  wait "$pid" || fail "windowed client exited nonzero"
+done
+for i in "${!IDS[@]}"; do
+  "$BIN" client --addr "127.0.0.1:$PP" --class batch --objects "${IDS[$i]}" \
+    --query "$QUERY" --alphas 0.3,0.5 >"$OUT/per_request_$i.txt" 2>&1 \
+    || fail "per-request client exited nonzero"
+  diff <(strip_session "$OUT/windowed_$i.txt") \
+       <(strip_session "$OUT/per_request_$i.txt") \
+    || fail "windowed vs per-request results differ for --objects ${IDS[$i]}"
+done
+echo "ok: ${#IDS[@]} workloads bit-identical across serving modes"
+
+echo "== 2. fleet merge: parent + 2 shard-worker processes =="
+start_server "$OUT/worker0.log" "${COMMON[@]}" --shards 2 --shard-worker
+PC0=$PORT
+start_server "$OUT/worker1.log" "${COMMON[@]}" --shards 2 --shard-worker
+PC1=$PORT
+start_server "$OUT/fleet_parent.log" "${COMMON[@]}" \
+  --fleet "127.0.0.1:$PC0,127.0.0.1:$PC1"
+PF=$PORT
+echo "workers on :$PC0 :$PC1, fleet parent on :$PF"
+for an in 2 5 9; do
+  "$BIN" client --addr "127.0.0.1:$PF" --candidates "$an" --query "$QUERY" \
+    >"$OUT/fleet_cand_$an.txt" 2>&1 || fail "fleet candidates for $an"
+  "$BIN" client --addr "127.0.0.1:$PP" --candidates "$an" --query "$QUERY" \
+    >"$OUT/local_cand_$an.txt" 2>&1 || fail "local candidates for $an"
+  diff <(strip_session "$OUT/fleet_cand_$an.txt") \
+       <(strip_session "$OUT/local_cand_$an.txt") \
+    || fail "fleet-merged candidates differ from the local engine for $an"
+done
+# A worker also serves its own shard's share directly.
+"$BIN" client --addr "127.0.0.1:$PC0" --candidates 5 --query "$QUERY" --shard 0 \
+  >"$OUT/shard0_cand.txt" 2>&1 || fail "shard 0 share"
+"$BIN" client --addr "127.0.0.1:$PC0" --candidates 5 --query "$QUERY" --shard 1 \
+  >"$OUT/shard1_cand.txt" 2>&1 || fail "shard 1 share"
+echo "ok: 3 merged candidate sets bit-identical across processes"
+
+echo "== 3. group commit + stats verb =="
+cat >"$OUT/inserts.txt" <<'EOF'
+insert 9001 3300,1400,1600,1200
+insert 9002 3400,1450,1650,1250
+EOF
+"$BIN" client --addr "127.0.0.1:$PW" --update "$OUT/inserts.txt" \
+  >"$OUT/update.txt" 2>&1 || fail "update request"
+grep -q 'applied 2 update(s)' "$OUT/update.txt" || fail "update was not acked"
+"$BIN" client --addr "127.0.0.1:$PW" --stats >"$OUT/stats.txt" 2>&1 \
+  || fail "stats request"
+for key in windows requests dedup_pct shed updates update_batches p50_us p99_us; do
+  grep -Eq "^ *$key [0-9]+$" "$OUT/stats.txt" || fail "stats verb missing $key"
+done
+# `updates` counts acked update requests; both ops of the one request
+# rode a single group-committed publish.
+grep -Eq '^ *updates 1$' "$OUT/stats.txt" || fail "stats should count 1 update request"
+grep -Eq '^ *update_batches 1$' "$OUT/stats.txt" \
+  || fail "one update request group-commits as one batch"
+echo "ok: stats verb reports all counters; 1 update request, 1 publish"
+
+echo "== 4. admission control: best-effort client is shed =="
+# Tiny queue + a long gather deadline: the interactive explain below
+# holds pending=1 for up to 3 s, so the best-effort client (shed
+# threshold = queue_cap/2 = 1) must get a typed Busy.
+start_server "$OUT/server_shed.log" "${COMMON[@]}" \
+  --queue-cap 2 --window-ms 3000
+PS=$PORT
+"$BIN" client --addr "127.0.0.1:$PS" --objects 3 --query "$QUERY" \
+  >"$OUT/shed_victim.txt" 2>&1 &
+victim=$!
+sleep 0.7
+if "$BIN" client --addr "127.0.0.1:$PS" --class best-effort --objects 5 \
+  --query "$QUERY" >"$OUT/shed_reply.txt" 2>&1; then
+  fail "best-effort client should have been shed"
+fi
+grep -q 'retry after' "$OUT/shed_reply.txt" \
+  || fail "shed reply carries no retry-after hint"
+wait "$victim" || fail "the in-flight interactive request should still succeed"
+"$BIN" client --addr "127.0.0.1:$PS" --stats >"$OUT/shed_stats.txt" 2>&1 \
+  || fail "stats after shed"
+grep -Eq '^ *shed 1$' "$OUT/shed_stats.txt" || fail "shed counter did not move"
+echo "ok: best-effort shed with retry-after; interactive request completed"
+
+echo "== 5. graceful shutdown =="
+for port in "$PW" "$PP" "$PC0" "$PC1" "$PF" "$PS"; do
+  "$BIN" client --addr "127.0.0.1:$port" --shutdown >/dev/null 2>&1 \
+    || fail "shutdown verb on :$port"
+done
+for pid in "${SERVER_PIDS[@]}"; do
+  wait "$pid" || fail "a server exited nonzero"
+done
+SERVER_PIDS=()
+for log in server_windowed server_per_request worker0 worker1 fleet_parent server_shed; do
+  grep -q '^shutdown: ' "$OUT/$log.log" \
+    || fail "$log did not print its drain summary"
+done
+echo "ok: all 6 servers drained and exited 0"
+
+echo "serve smoke: PASS"

@@ -48,6 +48,27 @@
 //!           --objects 23,42 --alphas 0.3,0.5,0.7 \
 //!           --q-grid 10:10,25:25 [--shards 4 --shard-policy spatial]
 //!
+//! # Serve the session over TCP: concurrent clients' explain requests
+//! # are gathered into planner windows (closed on size or a few-ms
+//! # deadline) and compiled as ONE workload each, so stage-1 work
+//! # dedups across clients; admission control sheds past the queue cap
+//! # with a typed retry hint. --session-dir makes updates durable
+//! # (WAL + checkpoint on graceful shutdown). --shard-worker serves
+//! # only per-shard stage-1 `candidates`; a parent started with
+//! # --fleet answers merged `candidates` from those worker processes,
+//! # bit-identical to its in-process stage-1.
+//! crp serve --data cars.csv --schema points --query 11580,49000 \
+//!           [--addr 127.0.0.1:0 --window-max 16 --window-ms 4 \
+//!            --queue-cap 64 --session-dir state/ \
+//!            --shard-worker | --fleet host:p1,host:p2]
+//!
+//! # Talk to a running server (the wire format lives in crp_data::wire).
+//! crp client --addr 127.0.0.1:4820 --objects 42,57 [--alphas 0.3,0.5]
+//! crp client --addr 127.0.0.1:4820 --update day2.ops
+//! crp client --addr 127.0.0.1:4820 --candidates 42 --query 11580,49000
+//! crp client --addr 127.0.0.1:4820 --stats
+//! crp client --addr 127.0.0.1:4820 --shutdown
+//!
 //! # Emit a synthetic stand-in dataset as CSV.
 //! crp generate --kind nba   --out league.csv
 //! crp generate --kind cardb --out cars.csv
@@ -61,18 +82,21 @@
 //! a typo like `--aplha` fails loudly instead of silently running with
 //! the default.
 
+use prsq_crp::data::wire::WireResult;
 use prsq_crp::data::{
     cardb_dataset, load_points, load_season_records, load_workload, nba_dataset,
     write_season_records, CarDbConfig, FaultSpec, FaultVfs, NbaConfig, RealVfs, Vfs, WorkloadOp,
 };
 use prsq_crp::prelude::*;
 use prsq_crp::rtree::{set_rect_kernel, RectKernel};
+use prsq_crp::serve::{Client, ErasedSnapshot, ServeBackend, ServeConfig, Server, VolatileBackend};
 use prsq_crp::uncertain::Epoch;
 use std::collections::HashMap;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|generate> [--data FILE \
+const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|serve|client|generate> \
+     [--data FILE \
      --schema points|seasons --query a1,a2,… --alpha A --object ID \
      --objects ID,ID,…|all --alphas A,A,… --q-grid d1:d2,d1:d2,… \
      --budget N --serial --workload FILE --readers N --session-dir DIR \
@@ -80,6 +104,10 @@ const USAGE: &str = "usage: crp <query|explain|explain-batch|sweep|replay|genera
      --deadline-ms N --budget-nodes N --budget-subsets N \
      --shards N --shard-policy round-robin|hash-by-id|spatial \
      --kernel auto|scalar|simd --filter auto|pointer|packed \
+     --addr HOST:PORT --window-max N --window-ms N --queue-cap N \
+     --shard-worker --fleet HOST:PORT,… \
+     --class interactive|batch|best-effort --update FILE \
+     --candidates ID --shard N --stats --shutdown \
      | --kind nba|cardb --out FILE]";
 
 /// Parsed command line: every token accounted for, or an error.
@@ -156,6 +184,37 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         ("--kernel", true),
         ("--filter", true),
     ];
+    const SERVE: &[(&str, bool)] = &[
+        ("--data", true),
+        ("--schema", true),
+        ("--query", true),
+        ("--alpha", true),
+        ("--budget", true),
+        ("--serial", false),
+        ("--shards", true),
+        ("--shard-policy", true),
+        ("--kernel", true),
+        ("--filter", true),
+        ("--addr", true),
+        ("--window-max", true),
+        ("--window-ms", true),
+        ("--queue-cap", true),
+        ("--session-dir", true),
+        ("--shard-worker", false),
+        ("--fleet", true),
+    ];
+    const CLIENT: &[(&str, bool)] = &[
+        ("--addr", true),
+        ("--class", true),
+        ("--query", true),
+        ("--objects", true),
+        ("--alphas", true),
+        ("--update", true),
+        ("--candidates", true),
+        ("--shard", true),
+        ("--stats", false),
+        ("--shutdown", false),
+    ];
     const GENERATE: &[(&str, bool)] = &[("--kind", true), ("--out", true)];
     match command {
         "query" => Some(QUERY),
@@ -163,6 +222,8 @@ fn accepted_flags(command: &str) -> Option<&'static [(&'static str, bool)]> {
         "explain-batch" => Some(EXPLAIN_BATCH),
         "sweep" => Some(SWEEP),
         "replay" => Some(REPLAY),
+        "serve" => Some(SERVE),
+        "client" => Some(CLIENT),
         "generate" => Some(GENERATE),
         _ => None,
     }
@@ -454,6 +515,32 @@ impl ExplainSession for AnyEngine {
         match self {
             AnyEngine::Single(e) => ExplainSession::cache_len(e),
             AnyEngine::Sharded(e) => ExplainSession::cache_len(e),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            AnyEngine::Single(e) => ExplainSession::shard_count(e),
+            AnyEngine::Sharded(e) => ExplainSession::shard_count(e),
+        }
+    }
+
+    fn candidate_ids(&self, q: &Point, an: ObjectId) -> Result<Vec<ObjectId>, CrpError> {
+        match self {
+            AnyEngine::Single(e) => ExplainSession::candidate_ids(e, q, an),
+            AnyEngine::Sharded(e) => ExplainSession::candidate_ids(e, q, an),
+        }
+    }
+
+    fn shard_candidate_ids(
+        &self,
+        shard: usize,
+        q: &Point,
+        an: ObjectId,
+    ) -> Result<Vec<ObjectId>, CrpError> {
+        match self {
+            AnyEngine::Single(e) => ExplainSession::shard_candidate_ids(e, shard, q, an),
+            AnyEngine::Sharded(e) => ExplainSession::shard_candidate_ids(e, shard, q, an),
         }
     }
 
@@ -825,32 +912,21 @@ fn cmd_replay_mvcc(
                     _ => ds.iter().map(|o| o.id()).collect(),
                 };
                 explains += ids.len();
-                // Contiguous chunks, one per reader; concatenating the
-                // per-chunk results restores workload order. Each
-                // explain is a single-task plan carrying the CLI's
-                // budget limits (a no-op when none were given).
-                let chunk = ids.len().div_ceil(readers).max(1);
-                let outcomes: Vec<Result<CrpOutcome, CrpError>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = ids
-                        .chunks(chunk)
-                        .map(|chunk_ids| {
-                            scope.spawn(move || {
-                                chunk_ids
-                                    .iter()
-                                    .map(|&id| {
-                                        let request =
-                                            ExplainRequest::explain(q, id).with_limits(limits);
-                                        engine.run(std::slice::from_ref(&request)).into_single()
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
+                // The serving executor: contiguous chunks, one planner
+                // window per reader; concatenating the per-window
+                // results restores workload order. Each explain
+                // carries the CLI's budget limits (a no-op when none
+                // were given).
+                let requests: Vec<ExplainRequest> = ids
+                    .iter()
+                    .map(|&id| ExplainRequest::explain(q, id).with_limits(limits))
+                    .collect();
+                let outcomes: Vec<Result<CrpOutcome, CrpError>> =
+                    fan_out(engine, &requests, readers)
                         .into_iter()
-                        .flat_map(|handle| handle.join().expect("reader thread panicked"))
-                        .collect()
-                });
+                        .flat_map(|window| window.per_request)
+                        .flatten()
+                        .collect();
                 for (&object, outcome) in ids.iter().zip(&outcomes) {
                     match outcome {
                         Ok(out) => print_outcome(ds, object, out),
@@ -1009,6 +1085,330 @@ fn cmd_generate(kind: &str, out: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The WAL-backed [`ServeBackend`] behind `crp serve --session-dir`:
+/// every update batch is WAL-committed before its epoch is published,
+/// and checkpoint compacts the log into a manifest. The mutex guards
+/// the writer only; pinned snapshots read lock-free.
+struct DurableBackend {
+    session: Mutex<DurableSession<AnyEngine>>,
+}
+
+impl DurableBackend {
+    fn lock(&self) -> std::sync::MutexGuard<'_, DurableSession<AnyEngine>> {
+        self.session.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl ServeBackend for DurableBackend {
+    fn pin(&self) -> Arc<dyn ErasedSnapshot> {
+        self.lock().pin()
+    }
+
+    fn apply(&self, updates: Vec<Update<UncertainObject>>) -> Result<Epoch, String> {
+        self.lock().apply_batch(updates).map_err(|e| e.to_string())
+    }
+
+    fn checkpoint(&self) -> Result<(), String> {
+        self.lock()
+            .checkpoint()
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// SIGINT/SIGTERM → a flag the serve loop polls, so ^C drains queued
+/// windows and checkpoints instead of killing the process mid-batch.
+/// The handler only stores to an atomic (async-signal-safe).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    let data = cli.require("--data", "FILE")?;
+    let schema = cli.get("--schema").unwrap_or("points");
+    let default_query = match cli.get("--query") {
+        Some(raw) => Some(parse_query_point(raw)?),
+        None => None,
+    };
+    let alpha: f64 = cli.parse("--alpha")?.unwrap_or(0.5);
+    let budget = cli.parse("--budget")?.or(Some(5_000_000));
+    let (shards, policy) = parse_sharding(cli)?;
+    apply_kernel(cli)?;
+    let packed_filter = parse_filter(cli)?;
+    let ds = load(schema, data)?;
+    if let (Some(q), Some(dim)) = (&default_query, ds.dim()) {
+        if q.dim() != dim {
+            return Err(format!(
+                "query has {} attributes but the data has {dim}",
+                q.dim()
+            ));
+        }
+    }
+    let fleet: Vec<String> = match cli.get("--fleet") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        None => Vec::new(),
+    };
+    let serve_config = ServeConfig {
+        addr: cli.get("--addr").unwrap_or("127.0.0.1:0").to_string(),
+        window_max: cli.parse("--window-max")?.unwrap_or(16),
+        window_ms: cli.parse("--window-ms")?.unwrap_or(4),
+        queue_cap: cli.parse("--queue-cap")?.unwrap_or(64),
+        default_query,
+        stage1_only: cli.has("--shard-worker"),
+        fleet,
+    };
+    let objects = ds.len();
+    let parallel = !cli.has("--serial");
+    let make = move |ds: UncertainDataset| {
+        build_any(
+            ds,
+            cli_engine_config(alpha, budget, parallel, packed_filter),
+            shards,
+            policy,
+        )
+    };
+    let backend: Arc<dyn ServeBackend> = match cli.get("--session-dir") {
+        Some(dir) => {
+            let session = DurableSession::open(dir, ds, make).map_err(|e| e.to_string())?;
+            let recovery = session.recovery();
+            if !recovery.batches.is_empty() || recovery.truncated {
+                println!(
+                    "recovered {dir} at {}: {} committed WAL batch(es){}",
+                    session.epoch(),
+                    recovery.batches.len(),
+                    if recovery.truncated {
+                        ", torn tail dropped"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Arc::new(DurableBackend {
+                session: Mutex::new(session),
+            })
+        }
+        None => Arc::new(VolatileBackend::new(make(ds).map_err(|e| e.to_string())?)),
+    };
+
+    signals::install();
+    let window_max = serve_config.window_max;
+    let window_ms = serve_config.window_ms;
+    let queue_cap = serve_config.queue_cap;
+    let stage1_only = serve_config.stage1_only;
+    let fleet_size = serve_config.fleet.len();
+    let server = Server::start(backend, serve_config).map_err(|e| e.to_string())?;
+    let stats = server.stats();
+    println!(
+        "serving on {} — {objects} object(s), window ≤{window_max} req / {window_ms} ms, \
+         queue cap {queue_cap}{}{}",
+        server.local_addr(),
+        if stage1_only {
+            " [stage-1 shard worker]"
+        } else {
+            ""
+        },
+        if fleet_size > 0 {
+            format!(" [fleet of {fleet_size} worker(s)]")
+        } else {
+            String::new()
+        },
+    );
+    // Tests and scripts scrape the port from this line; make sure it
+    // crosses the pipe before the first connection arrives.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !signals::requested() && !server.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.request_shutdown();
+    server.join();
+    println!(
+        "shutdown: {} window(s) over {} request(s), dedup {}%, {} shed, p50 {} µs, p99 {} µs",
+        stats.windows(),
+        stats.requests(),
+        stats.dedup_pct(),
+        stats.shed(),
+        stats.quantile_us(50),
+        stats.quantile_us(99),
+    );
+    Ok(())
+}
+
+fn print_wire_results(results: &[WireResult]) {
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            WireResult::Causes(causes) => {
+                println!("task #{i}: NON-ANSWER, {} actual cause(s):", causes.len());
+                for c in causes {
+                    println!(
+                        "  {:<8} responsibility {:.4}{}{}",
+                        c.id.to_string(),
+                        c.responsibility,
+                        if c.counterfactual {
+                            "  (counterfactual)"
+                        } else {
+                            ""
+                        },
+                        if c.contingency.is_empty() {
+                            String::new()
+                        } else {
+                            format!(
+                                "  contingency [{}]",
+                                c.contingency
+                                    .iter()
+                                    .map(|id| id.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        },
+                    );
+                }
+            }
+            WireResult::Answer { prob } => println!("task #{i}: ANSWER (Pr = {prob:.3})"),
+            WireResult::Partial(p) => println!(
+                "task #{i}: PARTIAL ({}) — {}/{} task(s), {} node(s), {} subset(s), {} ms",
+                p.reason.as_str(),
+                p.done,
+                p.total,
+                p.nodes,
+                p.subsets,
+                p.ms,
+            ),
+            WireResult::Failed { message } => println!("task #{i}: FAILED — {message}"),
+        }
+    }
+}
+
+fn cmd_client(cli: &Cli) -> Result<(), String> {
+    let addr = cli.require("--addr", "HOST:PORT")?;
+    let class: ClientClass = cli
+        .get("--class")
+        .unwrap_or("interactive")
+        .parse()
+        .map_err(|e| format!("bad --class: {e}"))?;
+    let (mut client, epoch) = Client::connect_as(addr, class).map_err(|e| e.to_string())?;
+    println!("connected to {addr} (serving {epoch})");
+    let mut acted = false;
+    if let Some(file) = cli.get("--update") {
+        let ops = load_workload(file).map_err(|e| e.to_string())?;
+        let mut updates = Vec::new();
+        for op in ops {
+            match op {
+                WorkloadOp::Update(u) => updates.push(u),
+                WorkloadOp::Explain(_) | WorkloadOp::ExplainAll => {
+                    return Err(format!(
+                        "{file}: only insert/replace/delete ops can ride --update \
+                         (explains go through --objects)"
+                    ));
+                }
+            }
+        }
+        let (epoch, count) = client.update(updates).map_err(|e| e.to_string())?;
+        println!("applied {count} update(s) → {epoch}");
+        acted = true;
+    }
+    if let Some(raw) = cli.get("--objects") {
+        let query = match cli.get("--query") {
+            Some(raw) => Some(parse_query_point(raw)?),
+            None => None,
+        };
+        let alphas = match cli.get("--alphas") {
+            Some(raw) => parse_alphas(raw)?,
+            None => Vec::new(),
+        };
+        let reply = if raw == "all" {
+            client.explain_all(query.as_ref(), &alphas)
+        } else {
+            let ids = raw
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse::<u32>()
+                        .map(ObjectId)
+                        .map_err(|e| format!("bad object id {tok:?}: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            client.explain(&ids, query.as_ref(), &alphas)
+        };
+        let (epoch, results) = reply.map_err(|e| e.to_string())?;
+        println!("{} result(s) at {epoch}:", results.len());
+        print_wire_results(&results);
+        acted = true;
+    }
+    if let Some(raw) = cli.get("--candidates") {
+        let an = ObjectId(raw.parse().map_err(|e| format!("bad --candidates: {e}"))?);
+        let q = parse_query_point(cli.require("--query", "a1,a2,… (--candidates needs one)")?)?;
+        let shard = cli.parse::<usize>("--shard")?;
+        let ids = client
+            .candidates(&q, an, shard)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{} stage-1 candidate(s) for {an}: [{}]",
+            ids.len(),
+            ids.iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        acted = true;
+    }
+    if cli.has("--stats") {
+        for (key, value) in client.stats().map_err(|e| e.to_string())? {
+            println!("{key:>16} {value}");
+        }
+        acted = true;
+    }
+    if cli.has("--shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("server is shutting down");
+        acted = true;
+    }
+    if !acted {
+        return Err(
+            "client needs an action: --update, --objects, --candidates, --stats, or --shutdown"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args)?;
@@ -1018,6 +1418,8 @@ fn run() -> Result<(), String> {
             let out = cli.require("--out", "FILE")?;
             cmd_generate(kind, out)
         }
+        "serve" => cmd_serve(&cli),
+        "client" => cmd_client(&cli),
         "query" | "explain" | "explain-batch" | "sweep" | "replay" => {
             let data = cli.require("--data", "FILE")?;
             let schema = cli.get("--schema").unwrap_or("points");
@@ -1267,6 +1669,107 @@ mod tests {
         // Rejected where no stage-1 filter runs.
         assert!(parse_cli(&args(&["query", "--filter", "packed"])).is_err());
         assert!(parse_cli(&args(&["generate", "--filter", "packed"])).is_err());
+    }
+
+    #[test]
+    fn serve_flag_parsing() {
+        // The full serving surface parses: engine flags + tuning +
+        // multi-process stage-1.
+        let cli = parse_cli(&args(&[
+            "serve",
+            "--data",
+            "x.csv",
+            "--query",
+            "5,5",
+            "--alpha",
+            "0.6",
+            "--shards",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+            "--window-max",
+            "32",
+            "--window-ms",
+            "2",
+            "--queue-cap",
+            "128",
+            "--session-dir",
+            "state",
+            "--fleet",
+            "127.0.0.1:9001,127.0.0.1:9002",
+        ]))
+        .unwrap();
+        assert_eq!(cli.get("--addr"), Some("127.0.0.1:0"));
+        assert_eq!(cli.parse::<usize>("--window-max").unwrap(), Some(32));
+        assert_eq!(cli.parse::<u64>("--window-ms").unwrap(), Some(2));
+        assert_eq!(cli.parse::<usize>("--queue-cap").unwrap(), Some(128));
+        assert_eq!(cli.get("--session-dir"), Some("state"));
+        assert!(!cli.has("--shard-worker"));
+        // --shard-worker is a bare flag.
+        let cli = parse_cli(&args(&[
+            "serve",
+            "--data",
+            "x.csv",
+            "--shard-worker",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert!(cli.has("--shard-worker"));
+        // Serving tuning is rejected on non-serving subcommands, and
+        // vice versa for replay-only flags.
+        assert!(parse_cli(&args(&["explain", "--window-max", "8"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--workload", "ops"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--readers", "4"])).is_err());
+        // Missing values and duplicates stay errors here too.
+        assert!(parse_cli(&args(&["serve", "--addr"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--addr", "a:1", "--addr", "b:2"])).is_err());
+    }
+
+    #[test]
+    fn client_flag_parsing() {
+        // One connection, every verb expressible.
+        let cli = parse_cli(&args(&[
+            "client",
+            "--addr",
+            "127.0.0.1:4820",
+            "--class",
+            "best-effort",
+            "--objects",
+            "4,7",
+            "--query",
+            "5,5",
+            "--alphas",
+            "0.3,0.7",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(cli.get("--addr"), Some("127.0.0.1:4820"));
+        assert_eq!(cli.get("--class"), Some("best-effort"));
+        assert_eq!(cli.get("--objects"), Some("4,7"));
+        assert!(cli.has("--stats"));
+        assert!(!cli.has("--shutdown"));
+        // --stats / --shutdown are bare flags: a trailing value is a
+        // stray positional and gets rejected.
+        assert!(parse_cli(&args(&["client", "--addr", "a:1", "--stats", "yes"])).is_err());
+        // The engine-side flags don't leak into the client.
+        assert!(parse_cli(&args(&["client", "--addr", "a:1", "--data", "x.csv"])).is_err());
+        assert!(parse_cli(&args(&["client", "--addr", "a:1", "--shards", "2"])).is_err());
+        // --candidates takes the non-answer id, --shard the worker.
+        let cli = parse_cli(&args(&[
+            "client",
+            "--addr",
+            "a:1",
+            "--candidates",
+            "42",
+            "--query",
+            "5,5",
+            "--shard",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(cli.get("--candidates"), Some("42"));
+        assert_eq!(cli.parse::<usize>("--shard").unwrap(), Some(1));
     }
 
     #[test]

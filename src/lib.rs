@@ -57,7 +57,8 @@
 //! | [`uncertain`] | discrete samples, possible worlds, continuous pdfs |
 //! | [`skyline`] | (reverse / probabilistic reverse) skyline queries |
 //! | [`core`] | the CP / CR algorithms, baselines, oracle |
-//! | [`data`] | deterministic workload generators |
+//! | [`data`] | deterministic workload generators, wire protocol |
+//! | [`serve`] | `crp serve`: planner-window batching over TCP |
 //!
 //! The experiment suite reproducing every table and figure of the paper
 //! lives in the `crp-bench` crate (`cargo run -p crp-bench --release
@@ -67,6 +68,7 @@ pub use crp_core as core;
 pub use crp_data as data;
 pub use crp_geom as geom;
 pub use crp_rtree as rtree;
+pub use crp_serve as serve;
 pub use crp_skyline as skyline;
 pub use crp_uncertain as uncertain;
 
@@ -78,11 +80,12 @@ pub use session::{DurableSession, SessionError};
 pub mod prelude {
     pub use crate::session::{DurableSession, SessionError};
     pub use crp_core::{
-        active_kernel, answer_causes, merge_candidate_ids, oracle_cp, oracle_cr, set_kernel,
-        simd_supported, Cause, CpConfig, CrpError, CrpOutcome, EngineConfig, ExplainEngine,
-        ExplainRequest, ExplainSession, ExplainStrategy, KernelKind, MvccCounters, MvccEngine,
-        PartialProgress, PlanCounters, PlanLimits, PlanReport, RunStats, ShardPolicy,
-        ShardedExplainEngine, SnapshotEngine, StopReason,
+        active_kernel, admission, answer_causes, derive_limits, execute_window, fan_out,
+        merge_candidate_ids, oracle_cp, oracle_cr, set_kernel, simd_supported, Admission, Cause,
+        ClientClass, CpConfig, CrpError, CrpOutcome, EngineConfig, ExplainEngine, ExplainRequest,
+        ExplainSession, ExplainStrategy, KernelKind, MvccCounters, MvccEngine, PartialProgress,
+        PlanCounters, PlanLimits, PlanReport, RunStats, ShardPolicy, ShardedExplainEngine,
+        SnapshotEngine, StopReason, WindowReport,
     };
     #[allow(deprecated)]
     pub use crp_core::{cp, cp_pdf, cp_unindexed, cr, cr_kskyband, naive_i, naive_ii};

@@ -1,0 +1,239 @@
+//! Durability of the served session across shutdowns, graceful and
+//! violent.
+//!
+//! These tests spawn the real `crp serve` binary with `--session-dir`,
+//! drive it over the wire, and then reopen the session directory
+//! in-process to check what survived:
+//!
+//! * an `applied` ack is only sent after the WAL commit, so a server
+//!   SIGKILLed right after the ack must recover to the last acked
+//!   epoch;
+//! * the `shutdown` verb (and SIGINT) drains queued windows and
+//!   checkpoints, so a graceful exit leaves a compacted log.
+
+use prsq_crp::data::{uncertain_dataset, write_season_records, UncertainConfig};
+use prsq_crp::prelude::*;
+use prsq_crp::serve::Client;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// A scratch directory unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crp-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A small deterministic dataset, written as a season-record CSV the
+/// server can load and returned for in-process comparisons.
+fn write_dataset(path: &Path) -> UncertainDataset {
+    let ds = uncertain_dataset(&UncertainConfig {
+        cardinality: 60,
+        dim: 2,
+        seed: 0xD07_CAFE,
+        ..UncertainConfig::default()
+    });
+    write_season_records(&ds, path).expect("write dataset csv");
+    ds
+}
+
+/// Spawns `crp serve` with `args`, scrapes the bound port from its
+/// "serving on …" line, and keeps draining stdout so the child never
+/// blocks on a full pipe.
+fn spawn_serve(args: &[&str]) -> (Child, u16) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crp"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn crp serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let port = loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read server stdout") == 0 {
+            panic!("server exited before announcing its address");
+        }
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            let addr = rest.split_whitespace().next().expect("addr token");
+            break addr
+                .rsplit(':')
+                .next()
+                .expect("port")
+                .parse::<u16>()
+                .expect("numeric port");
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    (child, port)
+}
+
+fn reopen(state: &Path, seed: UncertainDataset) -> DurableSession<ExplainEngine> {
+    DurableSession::open(state, seed, |ds| {
+        ExplainEngine::new(ds, EngineConfig::with_alpha(0.5))
+    })
+    .expect("reopen session dir")
+}
+
+/// The epoch the session directory's checkpoint manifest points at.
+fn manifest_epoch(state: &Path) -> Epoch {
+    let text = std::fs::read_to_string(state.join("MANIFEST")).expect("read MANIFEST");
+    let raw = text
+        .lines()
+        .find_map(|line| line.strip_prefix("epoch "))
+        .expect("manifest has an epoch line");
+    Epoch(raw.trim().parse().expect("numeric manifest epoch"))
+}
+
+/// One certain insert with a fresh id, as an update batch.
+fn insert(id: u32, x: f64) -> Vec<Update<UncertainObject>> {
+    vec![Update::Insert(UncertainObject::certain(
+        ObjectId(id),
+        Point::from([x, 700.0]),
+    ))]
+}
+
+#[test]
+fn sigkilled_server_recovers_to_the_last_acked_epoch() {
+    let dir = scratch("kill");
+    let data = dir.join("data.csv");
+    let seed = write_dataset(&data);
+    let state = dir.join("state");
+    let (mut child, port) = spawn_serve(&[
+        "serve",
+        "--data",
+        data.to_str().unwrap(),
+        "--schema",
+        "seasons",
+        "--query",
+        "4000,4000",
+        "--addr",
+        "127.0.0.1:0",
+        "--session-dir",
+        state.to_str().unwrap(),
+    ]);
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let base = seed.len() as u32;
+    let mut last_acked = None;
+    for i in 0..3u32 {
+        let (epoch, count) = client
+            .update(insert(base + i, 500.0 + f64::from(i)))
+            .expect("update acked");
+        assert_eq!(count, 1);
+        last_acked = Some(epoch);
+    }
+
+    // No drain, no checkpoint: the process dies right after the ack.
+    child.kill().expect("SIGKILL server");
+    child.wait().expect("reap server");
+
+    let last_acked = last_acked.expect("three acked updates");
+    assert!(
+        manifest_epoch(&state) < last_acked,
+        "a SIGKILL leaves no checkpoint behind the acked updates"
+    );
+    let session = reopen(&state, seed);
+    assert_eq!(
+        session.epoch(),
+        last_acked,
+        "every acked update must survive a SIGKILL"
+    );
+    assert!(
+        !session.recovery().batches.is_empty(),
+        "recovery replays from the WAL, not from a checkpoint"
+    );
+}
+
+#[test]
+fn shutdown_verb_drains_and_checkpoints() {
+    let dir = scratch("verb");
+    let data = dir.join("data.csv");
+    let seed = write_dataset(&data);
+    let state = dir.join("state");
+    let (mut child, port) = spawn_serve(&[
+        "serve",
+        "--data",
+        data.to_str().unwrap(),
+        "--schema",
+        "seasons",
+        "--query",
+        "4000,4000",
+        "--addr",
+        "127.0.0.1:0",
+        "--session-dir",
+        state.to_str().unwrap(),
+    ]);
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let (acked, _) = client
+        .update(insert(seed.len() as u32, 511.0))
+        .expect("update acked");
+    // A served window before the shutdown, so the drain path has work
+    // behind it.
+    let (epoch, results) = client
+        .explain(&[ObjectId(0), ObjectId(1)], None, &[])
+        .expect("windowed explain");
+    assert_eq!(epoch, acked);
+    assert_eq!(results.len(), 2);
+
+    client.shutdown().expect("bye");
+    let status = child.wait().expect("reap server");
+    assert!(status.success(), "graceful exit");
+
+    assert_eq!(
+        manifest_epoch(&state),
+        acked,
+        "graceful shutdown checkpoints at the last completed window's epoch"
+    );
+    let session = reopen(&state, seed);
+    assert_eq!(session.epoch(), acked);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_drains_and_checkpoints() {
+    let dir = scratch("sigint");
+    let data = dir.join("data.csv");
+    let seed = write_dataset(&data);
+    let state = dir.join("state");
+    let (mut child, port) = spawn_serve(&[
+        "serve",
+        "--data",
+        data.to_str().unwrap(),
+        "--schema",
+        "seasons",
+        "--query",
+        "4000,4000",
+        "--addr",
+        "127.0.0.1:0",
+        "--session-dir",
+        state.to_str().unwrap(),
+    ]);
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect");
+    let (acked, _) = client
+        .update(insert(seed.len() as u32, 513.0))
+        .expect("update acked");
+
+    let interrupted = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(interrupted.success());
+    let status = child.wait().expect("reap server");
+    assert!(status.success(), "SIGINT is a graceful shutdown");
+
+    assert_eq!(
+        manifest_epoch(&state),
+        acked,
+        "SIGINT checkpoints before exit"
+    );
+    let session = reopen(&state, seed);
+    assert_eq!(session.epoch(), acked);
+}
